@@ -1,0 +1,59 @@
+//! Figure 6: bandwidth as an eight-bit zero-mask walks across the address
+//! bits, restricting traffic to one bank, one vault, two vaults, ... —
+//! the experiment that exposes the address-mapping hierarchy.
+
+use hmc_bench::{bench_mc, print_comparisons, Comparison};
+use hmc_core::experiments::bandwidth::{figure6, figure6_table};
+use hmc_core::SystemConfig;
+use hmc_types::RequestKind;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let points = figure6(&cfg, &bench_mc());
+    println!("{}", figure6_table(&points));
+
+    let bw = |label: &str, kind: RequestKind| {
+        points
+            .iter()
+            .find(|p| p.label == label && p.kind == kind)
+            .map_or(0.0, |p| p.bandwidth_gbs)
+    };
+    let ro = RequestKind::ReadOnly;
+    print_comparisons(
+        "Figure 6",
+        &[
+            Comparison::range(
+                "row-only mask (24-31) ro bandwidth",
+                "near peak, ≈21 GB/s",
+                bw("24-31", ro),
+                "GB/s",
+                16.0,
+                24.0,
+            ),
+            Comparison::range(
+                "one-bank mask (7-14) is the minimum",
+                "global minimum of the sweep",
+                bw("7-14", ro),
+                "GB/s",
+                0.5,
+                2.0,
+            ),
+            Comparison::range(
+                "drop from two vaults (2-9) to one vault (3-10)",
+                "large drop (vault ceiling 10 GB/s)",
+                bw("2-9", ro) / bw("3-10", ro),
+                "x",
+                1.5,
+                3.0,
+            ),
+            Comparison::range(
+                "one-vault mask (3-10) bandwidth",
+                "≈10 GB/s internal ceiling",
+                bw("3-10", ro),
+                "GB/s",
+                8.0,
+                12.0,
+            ),
+        ],
+    );
+}

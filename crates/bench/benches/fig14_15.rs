@@ -1,0 +1,93 @@
+//! Figure 14 (TX-path latency deconstruction) and Figure 15 (low-load
+//! latency of 2–28-request streams at each size).
+
+use hmc_bench::{paper, print_comparisons, Comparison};
+use hmc_core::experiments::latency::{
+    figure14, figure14_table, figure15, figure15_table, FIG15_SIZES,
+};
+use hmc_core::SystemConfig;
+use hmc_types::RequestSize;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let d128 = figure14(&cfg, RequestSize::MAX);
+    println!("{}", figure14_table(&d128));
+    let d16 = figure14(&cfg, RequestSize::MIN);
+
+    let points = figure15(&cfg);
+    for bytes in FIG15_SIZES {
+        let size = RequestSize::new(bytes).expect("valid");
+        println!("{}", figure15_table(size, &points));
+    }
+
+    let avg = |bytes: u64, n: usize| {
+        points
+            .iter()
+            .find(|p| p.size.bytes() == bytes && p.n == n)
+            .map_or(0.0, |p| p.avg_ns)
+    };
+    let max_growth_128 = {
+        let p2 = points
+            .iter()
+            .find(|p| p.size.bytes() == 128 && p.n == 2)
+            .unwrap();
+        let p28 = points
+            .iter()
+            .find(|p| p.size.bytes() == 128 && p.n == 28)
+            .unwrap();
+        p28.max_ns - p2.max_ns
+    };
+    print_comparisons(
+        "Figures 14 & 15",
+        &[
+            Comparison::range(
+                "minimum round trip, 16 B read",
+                format!("{} ns", paper::MIN_LATENCY_16B_NS),
+                d16.measured_ns,
+                "ns",
+                500.0,
+                820.0,
+            ),
+            Comparison::range(
+                "minimum round trip, 128 B read",
+                format!("{} ns", paper::MIN_LATENCY_128B_NS),
+                d128.measured_ns,
+                "ns",
+                550.0,
+                880.0,
+            ),
+            Comparison::range(
+                "infrastructure share (TX + RX)",
+                format!("{} ns", paper::INFRA_NS),
+                d128.infra_ns,
+                "ns",
+                400.0,
+                600.0,
+            ),
+            Comparison::range(
+                "in-cube share",
+                format!("≈{} ns average", paper::IN_CUBE_NS),
+                d128.in_cube_ns,
+                "ns",
+                70.0,
+                280.0,
+            ),
+            Comparison::range(
+                "28-packet stream: 128 B avg over 16 B avg",
+                "≈1.5x (interference grows with size)",
+                avg(128, 28) / avg(16, 28),
+                "x",
+                1.05,
+                2.0,
+            ),
+            Comparison::range(
+                "max latency growth with stream length (128 B)",
+                "maximum grows; minimum stays flat",
+                max_growth_128,
+                "ns",
+                30.0,
+                2_000.0,
+            ),
+        ],
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 16: high-load read latency across patterns and sizes — the
+//! queueing-dominated regime where targeted patterns pay microseconds.
+
+use hmc_bench::{bench_mc, paper, print_comparisons, Comparison};
+use hmc_core::experiments::latency::{figure16, figure16_table};
+use hmc_core::{AccessPattern, SystemConfig};
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let points = figure16(&cfg, &bench_mc());
+    println!("{}", figure16_table(&points));
+
+    let lat = |pattern: AccessPattern, bytes: u64| {
+        points
+            .iter()
+            .find(|p| p.pattern == pattern && p.size.bytes() == bytes)
+            .map_or(0.0, |p| p.latency_ns)
+    };
+    print_comparisons(
+        "Figure 16",
+        &[
+            Comparison::range(
+                "32 B across 16 vaults",
+                format!("{} ns", paper::HIGH_LOAD_32B_16V_NS),
+                lat(AccessPattern::Vaults(16), 32),
+                "ns",
+                1_200.0,
+                4_500.0,
+            ),
+            Comparison::range(
+                "128 B to one bank",
+                format!("{} ns", paper::HIGH_LOAD_128B_1BANK_NS),
+                lat(AccessPattern::Banks(1), 128),
+                "ns",
+                12_000.0,
+                40_000.0,
+            ),
+            Comparison::range(
+                "one bank / 16 vaults latency ratio (128 B)",
+                "order of magnitude (queueing at the bank)",
+                lat(AccessPattern::Banks(1), 128) / lat(AccessPattern::Vaults(16), 128),
+                "x",
+                3.0,
+                20.0,
+            ),
+            Comparison::range(
+                "32 B faster than 128 B at the same pattern",
+                "32 B always lower (one DRAM-bus beat)",
+                lat(AccessPattern::Banks(1), 32) / lat(AccessPattern::Banks(1), 128),
+                "x",
+                0.1,
+                0.99,
+            ),
+        ],
+    );
+}

@@ -1,0 +1,74 @@
+//! Figures 17 and 18: latency–bandwidth curves from small-scale GUPS
+//! (1–9 active ports), with the Little's-law saturation analysis the
+//! paper performs on the 4-bank and 2-bank patterns.
+
+use hmc_bench::{paper, print_comparisons, sweep_mc, Comparison};
+use hmc_core::experiments::latency::{curves_table, figure17, figure18};
+use hmc_core::{AccessPattern, SystemConfig};
+use hmc_types::RequestSize;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let mc = sweep_mc();
+
+    let f17 = figure17(&cfg, &mc);
+    println!("{}", curves_table("Figure 17: 4-bank and 2-bank sweeps", &f17));
+
+    // Figure 18 at two representative sizes (all nine patterns).
+    let sizes = [RequestSize::new(32).expect("valid"), RequestSize::MAX];
+    let f18 = figure18(&cfg, &sizes, &mc);
+    println!("{}", curves_table("Figure 18: all patterns", &f18));
+
+    let outstanding = |pattern: AccessPattern, bytes: u64| {
+        f17.iter()
+            .find(|c| c.pattern == pattern && c.size.bytes() == bytes)
+            .and_then(|c| c.analysis.points.last())
+            .map_or(0.0, |p| p.outstanding())
+    };
+    let o4 = outstanding(AccessPattern::Banks(4), 128);
+    let o2 = outstanding(AccessPattern::Banks(2), 128);
+    let sat = |pattern: AccessPattern, bytes: u64| {
+        f18.iter()
+            .find(|c| c.pattern == pattern && c.size.bytes() == bytes)
+            .map_or(0.0, |c| c.analysis.saturation_bandwidth_gbs())
+    };
+    let v1 = sat(AccessPattern::Vaults(1), 128);
+    let v2 = sat(AccessPattern::Vaults(2), 128);
+    print_comparisons(
+        "Figures 17 & 18",
+        &[
+            Comparison::range(
+                "outstanding at saturation, 4 banks (Little's law)",
+                format!("≈{}", paper::OUTSTANDING_4BANK),
+                o4,
+                "requests",
+                200.0,
+                600.0,
+            ),
+            Comparison::range(
+                "4-bank / 2-bank outstanding ratio",
+                "≈2x (one queue per bank)",
+                o4 / o2,
+                "x",
+                1.5,
+                2.5,
+            ),
+            Comparison::range(
+                "1-vault saturation bandwidth",
+                format!("≈{} GB/s", paper::VAULT_CEILING_GBS),
+                v1,
+                "GB/s",
+                8.0,
+                12.0,
+            ),
+            Comparison::range(
+                "2-vault / 1-vault saturation ratio",
+                "≈2x (19 GB/s vs 10 GB/s)",
+                v2 / v1,
+                "x",
+                1.5,
+                2.4,
+            ),
+        ],
+    );
+}

@@ -1,0 +1,103 @@
+//! PIM projection: in-stack update throughput vs host-driven updates, and
+//! the thermal envelope of logic-layer compute — the paper's motivating
+//! scenario ("a sustained [PIM] operation can eventually lead to failure
+//! by exceeding the operational temperature").
+
+use hmc_bench::{bench_mc, print_comparisons, Comparison};
+use hmc_core::hmc_host::Workload;
+use hmc_core::measure::run_measurement;
+use hmc_core::{SystemConfig, Table};
+use hmc_pim::experiments::{measure_pim, thermal_envelope};
+use hmc_pim::PimConfig;
+use hmc_core::hmc_thermal::{CoolingConfig, FailurePolicy};
+use hmc_types::{RequestKind, RequestSize, TimeDelta};
+
+fn main() {
+    let sys_cfg = SystemConfig::default();
+    let mc = bench_mc();
+    let window = TimeDelta::from_us(200);
+
+    // Host-driven updates: rw over the external links.
+    let host = run_measurement(
+        &sys_cfg,
+        &Workload::full_scale(RequestKind::ReadModifyWrite, RequestSize::MIN),
+        &mc,
+    );
+    let host_updates = host.host.writes_completed as f64 / mc.window.as_secs_f64();
+
+    // In-stack updates: the PIM fabric, vault-local.
+    let pim = measure_pim(
+        &sys_cfg.mem,
+        &PimConfig::default(),
+        &CoolingConfig::cfg1(),
+        window,
+    );
+
+    let mut t = Table::new(
+        "Host-driven vs in-stack updates (16 B read-modify-write)",
+        &["driver", "updates M/s", "mem latency ns", "link GB/s"],
+    );
+    t.row(vec![
+        "host rw over SerDes".into(),
+        format!("{:.1}", host_updates / 1e6),
+        format!("{:.0}", host.mean_latency_ns()),
+        format!("{:.1}", host.bandwidth_gbs),
+    ]);
+    t.row(vec![
+        "PIM in logic layer".into(),
+        format!("{:.1}", pim.ops_per_sec / 1e6),
+        format!("{:.0}", pim.mem_latency_ns),
+        "0.0".into(),
+    ]);
+    println!("{t}");
+
+    let rows = thermal_envelope(
+        &sys_cfg.mem,
+        &PimConfig::default(),
+        &FailurePolicy::default(),
+        window,
+    );
+    let mut et = Table::new(
+        "PIM thermal envelope: max sustainable update rate per cooling config",
+        &["cooling", "max updates M/s", "surface C", "throttled?"],
+    );
+    for r in &rows {
+        et.row(vec![
+            r.cooling.to_string(),
+            format!("{:.1}", r.max_ops_per_sec / 1e6),
+            format!("{:.1}", r.surface_c),
+            if r.unconstrained { "no".into() } else { "yes".into() },
+        ]);
+    }
+    println!("{et}");
+
+    print_comparisons(
+        "PIM projection",
+        &[
+            Comparison::range(
+                "PIM / host update-rate advantage",
+                "in-stack updates dodge the link+packet path",
+                pim.ops_per_sec / host_updates,
+                "x",
+                1.3,
+                20.0,
+            ),
+            Comparison::range(
+                "in-stack memory latency",
+                "a fraction of the ~650 ns external round trip",
+                pim.mem_latency_ns,
+                "ns",
+                20.0,
+                400.0,
+            ),
+            Comparison::range(
+                "envelope monotone: Cfg1 over Cfg4 sustainable rate",
+                "stronger cooling buys more in-stack compute",
+                rows[0].max_ops_per_sec / rows[3].max_ops_per_sec.max(1.0),
+                "x",
+                1.0,
+                1e9,
+            ),
+        ],
+    );
+}

@@ -1,0 +1,47 @@
+//! Read-ratio sweep — validates the related-work result the paper cites:
+//! HMCSim (Rosenfeld) and OpenHMC (Schmidt et al.) both found maximum
+//! link utilization at a read ratio between 53 % and 66 %.
+
+use hmc_bench::{bench_mc, print_comparisons, Comparison};
+use hmc_core::experiments::read_ratio::{optimal_ratio, read_ratio_sweep, read_ratio_table};
+use hmc_core::SystemConfig;
+use hmc_types::RequestSize;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let points = read_ratio_sweep(&cfg, RequestSize::MAX, 10, &bench_mc());
+    println!("{}", read_ratio_table(&points));
+
+    let peak = optimal_ratio(&points).expect("sweep not empty");
+    let pure_reads = points.last().expect("sweep not empty");
+    let pure_writes = points.first().expect("sweep not empty");
+    print_comparisons(
+        "Read-ratio sweep (related work: HMCSim / OpenHMC)",
+        &[
+            Comparison::range(
+                "optimal read ratio",
+                "53-66 % reads maximizes link utilization",
+                peak.read_fraction * 100.0,
+                "%",
+                40.0,
+                80.0,
+            ),
+            Comparison::range(
+                "peak over pure reads",
+                "mixed traffic fills both directions",
+                peak.bandwidth_gbs / pure_reads.bandwidth_gbs,
+                "x",
+                1.1,
+                2.0,
+            ),
+            Comparison::range(
+                "peak over pure writes",
+                "writes alone idle the downstream direction",
+                peak.bandwidth_gbs / pure_writes.bandwidth_gbs,
+                "x",
+                1.3,
+                3.5,
+            ),
+        ],
+    );
+}

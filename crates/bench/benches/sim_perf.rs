@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the simulator itself (not the paper's
+//! experiments): how fast the event core, device, and full system run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmc_core::hmc_host::Workload;
+use hmc_core::system::{System, SystemConfig};
+use hmc_types::{RequestKind, RequestSize, Time, TimeDelta};
+use sim_engine::{EventQueue, SplitMix64};
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            let mut rng = SplitMix64::new(7);
+            for i in 0..10_000u64 {
+                q.push(Time::from_ps(rng.next_below(1_000_000)), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_full_system(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full_system");
+    g.sample_size(10);
+    g.bench_function("full_scale_ro_128B_50us", |b| {
+        b.iter(|| {
+            let mut sys = System::new(SystemConfig::default());
+            sys.host_mut().apply_workload(&Workload::full_scale(
+                RequestKind::ReadOnly,
+                RequestSize::MAX,
+            ));
+            sys.host_mut().start(Time::ZERO);
+            sys.run_for(TimeDelta::from_us(50));
+            black_box(sys.host().total_issued())
+        })
+    });
+    g.bench_function("full_scale_rw_64B_50us", |b| {
+        b.iter(|| {
+            let mut sys = System::new(SystemConfig::default());
+            sys.host_mut().apply_workload(&Workload::full_scale(
+                RequestKind::ReadModifyWrite,
+                RequestSize::new(64).expect("valid"),
+            ));
+            sys.host_mut().start(Time::ZERO);
+            sys.run_for(TimeDelta::from_us(50));
+            black_box(sys.host().total_issued())
+        })
+    });
+    g.bench_function("single_bank_flood_50us", |b| {
+        b.iter(|| {
+            let cfg = SystemConfig::default();
+            let mask = hmc_core::AccessPattern::Banks(1)
+                .mask(cfg.mem.mapping, &cfg.mem.spec)
+                .expect("valid");
+            let mut sys = System::new(cfg);
+            sys.host_mut().apply_workload(&Workload::masked(
+                RequestKind::ReadOnly,
+                RequestSize::MAX,
+                mask,
+            ));
+            sys.host_mut().start(Time::ZERO);
+            sys.run_for(TimeDelta::from_us(50));
+            black_box(sys.host().total_issued())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_full_system);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Tables I and II: structural properties of the HMC generations and the
+//! flit sizes of every transaction type, regenerated from the model's
+//! spec/packet laws.
+
+use hmc_bench::{print_comparisons, Comparison};
+use hmc_core::Table;
+use hmc_types::packet::{OpKind, TransactionSizes};
+use hmc_types::{HmcSpec, HmcVersion, LinkConfig, RequestSize};
+
+fn table1() -> Table {
+    let mut t = Table::new(
+        "Table I: properties of HMC versions",
+        &[
+            "property", "HMC 1.0", "HMC 1.1", "HMC 2.0",
+        ],
+    );
+    let specs: Vec<HmcSpec> = [HmcVersion::Gen1, HmcVersion::Gen2, HmcVersion::Hmc2]
+        .into_iter()
+        .map(HmcSpec::of)
+        .collect();
+    let row = |name: &str, f: &dyn Fn(&HmcSpec) -> String| {
+        let mut cells = vec![name.to_string()];
+        cells.extend(specs.iter().map(f));
+        cells
+    };
+    t.row(row("size (GB)", &|s| {
+        format!("{:.1}", s.capacity_bytes() as f64 / (1 << 30) as f64)
+    }));
+    t.row(row("DRAM layers", &|s| s.dram_layers().to_string()));
+    t.row(row("quadrants", &|s| s.num_quadrants().to_string()));
+    t.row(row("vaults", &|s| s.num_vaults().to_string()));
+    t.row(row("vaults/quadrant", &|s| s.vaults_per_quadrant().to_string()));
+    t.row(row("banks", &|s| s.total_banks().to_string()));
+    t.row(row("banks/vault", &|s| s.banks_per_vault().to_string()));
+    t.row(row("bank size (MB)", &|s| (s.bank_bytes() >> 20).to_string()));
+    t.row(row("partition size (MB)", &|s| {
+        (s.partition_bytes() >> 20).to_string()
+    }));
+    t
+}
+
+fn table2() -> Table {
+    let mut t = Table::new(
+        "Table II: request/response sizes in flits",
+        &["size", "rd req", "rd resp", "wr req", "wr resp"],
+    );
+    for size in RequestSize::ALL {
+        let rd = TransactionSizes::of(OpKind::Read, size);
+        let wr = TransactionSizes::of(OpKind::Write, size);
+        t.row(vec![
+            size.to_string(),
+            rd.request_flits().count().to_string(),
+            rd.response_flits().count().to_string(),
+            wr.request_flits().count().to_string(),
+            wr.response_flits().count().to_string(),
+        ]);
+    }
+    t
+}
+
+fn main() {
+    println!("{}", table1());
+    println!("{}", table2());
+    let gen2 = HmcSpec::of(HmcVersion::Gen2);
+    let links = LinkConfig::ac510();
+    print_comparisons(
+        "Tables I & II",
+        &[
+            Comparison::range(
+                "total banks, 4 GB HMC 1.1 (Eq. 1)",
+                format!("{}", hmc_bench::paper::TOTAL_BANKS_GEN2),
+                gen2.total_banks() as f64,
+                "banks",
+                256.0,
+                256.0,
+            ),
+            Comparison::range(
+                "peak bandwidth, 2x half-width @15 Gb/s (Eq. 2)",
+                format!("{} GB/s", hmc_bench::paper::PEAK_BANDWIDTH_GBS),
+                links.peak_bandwidth_bytes_per_sec() as f64 / 1e9,
+                "GB/s",
+                60.0,
+                60.0,
+            ),
+            Comparison::range(
+                "wire efficiency at 128 B",
+                "89%",
+                RequestSize::MAX.wire_efficiency() * 100.0,
+                "%",
+                88.0,
+                90.0,
+            ),
+            Comparison::range(
+                "wire efficiency at 16 B",
+                "50%",
+                RequestSize::MIN.wire_efficiency() * 100.0,
+                "%",
+                50.0,
+                50.0,
+            ),
+        ],
+    );
+}

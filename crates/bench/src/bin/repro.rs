@@ -1,0 +1,173 @@
+//! `repro` — regenerate any table or figure of the paper on demand.
+//!
+//! Usage: `cargo run --release -p hmc-bench --bin repro -- <target>...`
+//! where `<target>` is one of: `table1`, `table2`, `table3`, `fig6`,
+//! `fig7`, `fig8`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13`, `fig14`,
+//! `fig15`, `fig16`, `fig17`, `fig18`, `baseline`, or `all`.
+//!
+//! (The `benches/` targets print the same tables plus paper-vs-measured
+//! verdicts; this binary is the quick interactive entry point.)
+
+use hmc_bench::{bench_mc, sweep_mc};
+use hmc_core::experiments::{
+    bandwidth, baseline, faults, generations, kernels, latency, mapping, page_policy,
+    read_ratio, thermal,
+};
+use hmc_core::SystemConfig;
+use hmc_types::packet::{OpKind, TransactionSizes};
+use hmc_types::{HmcSpec, HmcVersion, RequestKind, RequestSize};
+
+fn table1() {
+    for v in [HmcVersion::Gen1, HmcVersion::Gen2, HmcVersion::Hmc2] {
+        let s = HmcSpec::of(v);
+        println!(
+            "{}: {} quadrants, {} vaults, {} banks ({} MB each), {} layers",
+            s,
+            s.num_quadrants(),
+            s.num_vaults(),
+            s.total_banks(),
+            s.bank_bytes() >> 20,
+            s.dram_layers(),
+        );
+    }
+}
+
+fn table2() {
+    println!("size  rd-req  rd-resp  wr-req  wr-resp (flits)");
+    for size in RequestSize::ALL {
+        let rd = TransactionSizes::of(OpKind::Read, size);
+        let wr = TransactionSizes::of(OpKind::Write, size);
+        println!(
+            "{:>5}  {:>6}  {:>7}  {:>6}  {:>7}",
+            size.to_string(),
+            rd.request_flits().count(),
+            rd.response_flits().count(),
+            wr.request_flits().count(),
+            wr.response_flits().count(),
+        );
+    }
+}
+
+fn run(target: &str, cfg: &SystemConfig) {
+    let mc = bench_mc();
+    match target {
+        "table1" => table1(),
+        "table2" => table2(),
+        "table3" => println!("{}", thermal::table3()),
+        "fig6" => println!("{}", bandwidth::figure6_table(&bandwidth::figure6(cfg, &mc))),
+        "fig7" => println!("{}", bandwidth::figure7_table(&bandwidth::figure7(cfg, &mc))),
+        "fig8" => println!("{}", bandwidth::figure8_table(&bandwidth::figure8(cfg, &mc))),
+        "fig9" | "fig10" => {
+            for kind in RequestKind::ALL {
+                let outcomes = thermal::figure9_10(cfg, kind, &mc);
+                if target == "fig9" {
+                    println!("{}", thermal::figure9_table(kind, &outcomes));
+                } else {
+                    println!("{}", thermal::figure10_table(kind, &outcomes));
+                }
+            }
+        }
+        "fig11" | "fig12" => {
+            let mut all = Vec::new();
+            for kind in RequestKind::ALL {
+                all.extend(thermal::figure9_10(cfg, kind, &mc));
+            }
+            if target == "fig11" {
+                println!("{}", thermal::figure11_table(&thermal::figure11(&all)));
+            } else {
+                for line in thermal::figure12(&all, &[50.0, 55.0, 60.0]) {
+                    println!(
+                        "{} hold {:.0} C: {:?}",
+                        line.kind,
+                        line.target_c,
+                        line.points
+                            .iter()
+                            .map(|(b, w)| format!("{b:.1}GB/s->{w:.2}W"))
+                            .collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+        "fig13" => println!(
+            "{}",
+            page_policy::figure13_table(&page_policy::figure13(cfg, &mc))
+        ),
+        "fig14" => println!(
+            "{}",
+            latency::figure14_table(&latency::figure14(cfg, RequestSize::MAX))
+        ),
+        "fig15" => {
+            let pts = latency::figure15(cfg);
+            for bytes in latency::FIG15_SIZES {
+                let size = RequestSize::new(bytes).expect("valid");
+                println!("{}", latency::figure15_table(size, &pts));
+            }
+        }
+        "fig16" => println!("{}", latency::figure16_table(&latency::figure16(cfg, &mc))),
+        "fig17" => println!(
+            "{}",
+            latency::curves_table("Figure 17", &latency::figure17(cfg, &sweep_mc()))
+        ),
+        "fig18" => {
+            let sizes = [RequestSize::new(32).expect("valid"), RequestSize::MAX];
+            println!(
+                "{}",
+                latency::curves_table("Figure 18", &latency::figure18(cfg, &sizes, &sweep_mc()))
+            );
+        }
+        "baseline" => {
+            let rows: Vec<_> = [16u64, 64, 128]
+                .into_iter()
+                .map(|b| baseline::compare(cfg, RequestSize::new(b).expect("valid"), &mc))
+                .collect();
+            println!("{}", baseline::baseline_table(&rows));
+        }
+        "readratio" => {
+            let pts = read_ratio::read_ratio_sweep(cfg, RequestSize::MAX, 10, &mc);
+            println!("{}", read_ratio::read_ratio_table(&pts));
+        }
+        "kernels" => {
+            println!("{}", kernels::kernels_table(&kernels::run_kernels(cfg, &mc)));
+        }
+        "mapping" => {
+            println!("{}", mapping::mapping_table(&mapping::mapping_ablation(cfg, &mc)));
+        }
+        "faults" => {
+            let pts = faults::ber_sweep(cfg, &faults::BER_AXIS, &mc);
+            println!("{}", faults::faults_table(&pts));
+        }
+        "generations" => {
+            println!(
+                "{}",
+                generations::generations_table(&generations::generation_sweep(&mc))
+            );
+        }
+        other => eprintln!(
+            "unknown target '{other}' (try: table1..3, fig6..fig18, baseline, readratio, kernels, mapping, all)"
+        ),
+    }
+}
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <table1|table2|table3|fig6..fig18|baseline|all>...");
+        std::process::exit(2);
+    }
+    let all = [
+        "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "baseline", "readratio", "kernels",
+        "mapping", "faults", "generations",
+    ];
+    for arg in &args {
+        if arg == "all" {
+            for t in all {
+                println!("\n########## {t} ##########");
+                run(t, &cfg);
+            }
+        } else {
+            run(arg, &cfg);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's reported numbers, transcribed for the paper-vs-measured
+//! record (Hadidi et al., "Demystifying the Characteristics of 3D-Stacked
+//! Memories: A Case Study for Hybrid Memory Cube", IISWC 2017).
+
+/// Counted read-only bandwidth at 128 B over 16 vaults (Figures 6–8), GB/s.
+pub const RO_16V_128B_GBS: f64 = 21.0;
+
+/// Approximate rw / wo bandwidth ratio (Figure 7: "roughly double").
+pub const RW_OVER_WO: f64 = 2.0;
+
+/// Single-vault internal bandwidth ceiling, GB/s (Section IV-A).
+pub const VAULT_CEILING_GBS: f64 = 10.0;
+
+/// Minimum low-load read latency at 16 B, ns (Section IV-E2).
+pub const MIN_LATENCY_16B_NS: f64 = 655.0;
+
+/// Minimum low-load read latency at 128 B, ns (Section IV-E2).
+pub const MIN_LATENCY_128B_NS: f64 = 711.0;
+
+/// Infrastructure (FPGA + link) share of the round trip, ns.
+pub const INFRA_NS: f64 = 547.0;
+
+/// Average in-cube share of the round trip, ns.
+pub const IN_CUBE_NS: f64 = 125.0;
+
+/// High-load read latency, 32 B across 16 vaults, ns (Figure 16).
+pub const HIGH_LOAD_32B_16V_NS: f64 = 1_966.0;
+
+/// High-load read latency, 128 B to one bank, ns (Figure 16).
+pub const HIGH_LOAD_128B_1BANK_NS: f64 = 24_233.0;
+
+/// High-load average over low-load average (Section IV-E3).
+pub const HIGH_OVER_LOW_LOAD: f64 = 12.0;
+
+/// Little's-law outstanding requests at saturation, 4-bank pattern
+/// (Figure 17a).
+pub const OUTSTANDING_4BANK: f64 = 375.0;
+
+/// Temperature rise from 5 to 20 GB/s in Cfg2, read-only, °C
+/// (Figure 11a).
+pub const TEMP_RISE_5_TO_20_C: f64 = 3.0;
+
+/// Device power rise from 5 to 20 GB/s, W (Figure 11b).
+pub const POWER_RISE_5_TO_20_W: f64 = 2.0;
+
+/// Cooling-power growth per 16 GB/s of bandwidth, W (Section IV-C).
+pub const COOLING_W_PER_16_GBS: f64 = 1.5;
+
+/// Thermal limit for read-dominated workloads, °C.
+pub const READ_LIMIT_C: f64 = 85.0;
+
+/// Thermal limit for write-heavy workloads, °C.
+pub const WRITE_LIMIT_C: f64 = 75.0;
+
+/// Table III idle temperatures, °C, Cfg1..Cfg4.
+pub const IDLE_TEMPS_C: [f64; 4] = [43.1, 51.7, 62.3, 71.6];
+
+/// Table III cooling powers, W, Cfg1..Cfg4.
+pub const COOLING_POWERS_W: [f64; 4] = [19.32, 15.9, 13.9, 10.78];
+
+/// Wire efficiency at 128 B requests (Section IV-D).
+pub const WIRE_EFFICIENCY_128B: f64 = 128.0 / 144.0;
+
+/// Wire efficiency at 16 B requests (Section IV-D).
+pub const WIRE_EFFICIENCY_16B: f64 = 0.5;
+
+/// Peak bidirectional link bandwidth of the AC-510 arrangement, GB/s
+/// (Equation 2).
+pub const PEAK_BANDWIDTH_GBS: f64 = 60.0;
+
+/// Total banks in a 4 GB HMC 1.1 (Equation 1).
+pub const TOTAL_BANKS_GEN2: u32 = 256;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_values_are_sane() {
+        let sizes = [MIN_LATENCY_16B_NS, MIN_LATENCY_128B_NS];
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        let split = [INFRA_NS + IN_CUBE_NS, MIN_LATENCY_128B_NS + 60.0];
+        assert!(split.windows(2).all(|w| w[0] < w[1]));
+        assert!(IDLE_TEMPS_C.windows(2).all(|w| w[0] < w[1]));
+        assert!(COOLING_POWERS_W.windows(2).all(|w| w[0] > w[1]));
+        assert_eq!(TOTAL_BANKS_GEN2, 256);
+        assert!((WIRE_EFFICIENCY_128B - 0.888).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Analysis tools: Little's-law readings and saturation-knee detection —
+//! the methodology behind the paper's Figure 17 discussion.
+
+use sim_engine::LinearFit;
+
+/// One `(offered bandwidth, mean latency)` point of a latency–bandwidth
+/// sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// Measured counted bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Mean read latency, ns.
+    pub latency_ns: f64,
+    /// Requests per second actually completed.
+    pub requests_per_sec: f64,
+}
+
+impl LoadPoint {
+    /// Little's law at this operating point: mean outstanding requests
+    /// `L = λ · W`.
+    pub fn outstanding(&self) -> f64 {
+        self.requests_per_sec * self.latency_ns * 1e-9
+    }
+}
+
+/// Summary of a latency–bandwidth sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationAnalysis {
+    /// The sweep, in increasing offered-load order.
+    pub points: Vec<LoadPoint>,
+    /// Index of the detected saturation knee, if the sweep saturates.
+    pub knee: Option<usize>,
+}
+
+impl SaturationAnalysis {
+    /// Analyses a sweep (points must be in increasing offered-load
+    /// order). The knee is the first point whose latency exceeds the
+    /// low-load latency by `knee_factor` while bandwidth stops growing
+    /// (< 10 % gain over the previous point).
+    pub fn analyse(points: Vec<LoadPoint>, knee_factor: f64) -> Self {
+        let knee = if points.len() < 2 {
+            None
+        } else {
+            let base = points[0].latency_ns;
+            (1..points.len()).find(|&i| {
+                let bw_gain = points[i].bandwidth_gbs / points[i - 1].bandwidth_gbs.max(1e-9);
+                points[i].latency_ns > base * knee_factor && bw_gain < 1.10
+            })
+        };
+        SaturationAnalysis { points, knee }
+    }
+
+    /// The saturated bandwidth (at the knee, or the max observed).
+    pub fn saturation_bandwidth_gbs(&self) -> f64 {
+        match self.knee {
+            Some(i) => self.points[i].bandwidth_gbs,
+            None => self
+                .points
+                .iter()
+                .map(|p| p.bandwidth_gbs)
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// Little's-law outstanding count at the saturation point — the
+    /// quantity the paper finds to be ≈375 for 4-bank patterns and half
+    /// that for 2-bank patterns.
+    pub fn outstanding_at_saturation(&self) -> Option<f64> {
+        // At saturation the deepest point of the sweep carries the full
+        // queue population; use the final point if no knee was detected.
+        match self.knee {
+            Some(_) => self.points.last().map(LoadPoint::outstanding),
+            None => None,
+        }
+    }
+}
+
+/// Fits a line to `(x, y)` observation pairs — re-exported convenience
+/// for the Figure 11/12 regressions.
+pub fn fit_line(points: &[(f64, f64)]) -> Option<LinearFit> {
+    LinearFit::fit(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_with_knee() -> Vec<LoadPoint> {
+        // Bandwidth saturates at 10 GB/s while latency climbs.
+        vec![
+            LoadPoint {
+                bandwidth_gbs: 2.0,
+                latency_ns: 700.0,
+                requests_per_sec: 12.5e6,
+            },
+            LoadPoint {
+                bandwidth_gbs: 6.0,
+                latency_ns: 800.0,
+                requests_per_sec: 37.5e6,
+            },
+            LoadPoint {
+                bandwidth_gbs: 9.8,
+                latency_ns: 1_500.0,
+                requests_per_sec: 61.0e6,
+            },
+            LoadPoint {
+                bandwidth_gbs: 10.0,
+                latency_ns: 4_000.0,
+                requests_per_sec: 62.5e6,
+            },
+            LoadPoint {
+                bandwidth_gbs: 10.0,
+                latency_ns: 6_000.0,
+                requests_per_sec: 62.5e6,
+            },
+        ]
+    }
+
+    #[test]
+    fn knee_detected_where_bandwidth_flattens() {
+        let a = SaturationAnalysis::analyse(sweep_with_knee(), 2.0);
+        assert_eq!(a.knee, Some(3));
+        assert!((a.saturation_bandwidth_gbs() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn littles_law_outstanding() {
+        let p = LoadPoint {
+            bandwidth_gbs: 10.0,
+            latency_ns: 6_000.0,
+            requests_per_sec: 62.5e6,
+        };
+        // 62.5e6 × 6 µs = 375 — the paper's 4-bank number.
+        assert!((p.outstanding() - 375.0).abs() < 1e-6);
+        let a = SaturationAnalysis::analyse(sweep_with_knee(), 2.0);
+        assert!((a.outstanding_at_saturation().unwrap() - 375.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unsaturated_sweep_has_no_knee() {
+        let pts = vec![
+            LoadPoint {
+                bandwidth_gbs: 2.0,
+                latency_ns: 700.0,
+                requests_per_sec: 12.5e6,
+            },
+            LoadPoint {
+                bandwidth_gbs: 4.0,
+                latency_ns: 710.0,
+                requests_per_sec: 25.0e6,
+            },
+        ];
+        let a = SaturationAnalysis::analyse(pts, 2.0);
+        assert_eq!(a.knee, None);
+        assert_eq!(a.outstanding_at_saturation(), None);
+        assert!((a.saturation_bandwidth_gbs() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiny_sweeps_handled() {
+        let a = SaturationAnalysis::analyse(vec![], 2.0);
+        assert_eq!(a.knee, None);
+        assert_eq!(a.saturation_bandwidth_gbs(), 0.0);
+    }
+
+    #[test]
+    fn fit_line_reexport() {
+        let f = fit_line(&[(0.0, 1.0), (1.0, 2.0)]).unwrap();
+        assert!((f.slope - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Bandwidth experiments: Figures 6, 7, and 8.
+
+use hmc_host::Workload;
+use hmc_types::{AddressMask, RequestKind, RequestSize};
+
+use crate::measure::{run_measurement, MeasureConfig};
+use crate::pattern::AccessPattern;
+use crate::report::{f1, Table};
+use crate::system::SystemConfig;
+
+/// One bar of Figure 6: an eight-bit mask position and the bandwidth it
+/// yields for one request kind.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaskSweepPoint {
+    /// Bit range forced to zero, e.g. "7-14".
+    pub label: String,
+    /// Request kind.
+    pub kind: RequestKind,
+    /// Measured counted bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// The mask positions Figure 6 sweeps (eight bits forced to zero).
+pub const FIG6_MASKS: [(u32, u32); 7] =
+    [(24, 31), (10, 17), (7, 14), (3, 10), (2, 9), (1, 8), (0, 7)];
+
+/// Figure 6: random 128 B accesses with an eight-bit zero-mask applied at
+/// each position, for `ro`, `rw`, and `wo`.
+pub fn figure6(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<MaskSweepPoint> {
+    let size = RequestSize::MAX;
+    let mut out = Vec::new();
+    for (lo, hi) in FIG6_MASKS {
+        for kind in RequestKind::ALL {
+            let mask = AddressMask::zero_bits(lo, hi);
+            let m = run_measurement(cfg, &Workload::masked(kind, size, mask), mc);
+            out.push(MaskSweepPoint {
+                label: format!("{lo}-{hi}"),
+                kind,
+                bandwidth_gbs: m.bandwidth_gbs,
+            });
+        }
+    }
+    out
+}
+
+/// Renders Figure 6 as a table (rows = mask positions, columns = kinds).
+pub fn figure6_table(points: &[MaskSweepPoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 6: bandwidth vs masked bit positions (128 B random)",
+        &["bits zeroed", "ro GB/s", "rw GB/s", "wo GB/s"],
+    );
+    for (lo, hi) in FIG6_MASKS {
+        let label = format!("{lo}-{hi}");
+        let get = |k: RequestKind| {
+            points
+                .iter()
+                .find(|p| p.label == label && p.kind == k)
+                .map_or(0.0, |p| p.bandwidth_gbs)
+        };
+        t.row(vec![
+            label.clone(),
+            f1(get(RequestKind::ReadOnly)),
+            f1(get(RequestKind::ReadModifyWrite)),
+            f1(get(RequestKind::WriteOnly)),
+        ]);
+    }
+    t
+}
+
+/// One bar of Figure 7: an access pattern and kind.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternPoint {
+    /// The access pattern.
+    pub pattern: AccessPattern,
+    /// Request kind.
+    pub kind: RequestKind,
+    /// Measured counted bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+/// Figure 7: bandwidth of every pattern for `ro`, `rw`, and `wo` at
+/// 128 B.
+pub fn figure7(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<PatternPoint> {
+    let size = RequestSize::MAX;
+    let mapping = cfg.mem.mapping;
+    let spec = cfg.mem.spec;
+    let mut out = Vec::new();
+    for pattern in AccessPattern::paper_axis() {
+        let mask = pattern.mask(mapping, &spec).expect("paper axis is valid");
+        for kind in RequestKind::ALL {
+            let m = run_measurement(cfg, &Workload::masked(kind, size, mask), mc);
+            out.push(PatternPoint {
+                pattern,
+                kind,
+                bandwidth_gbs: m.bandwidth_gbs,
+            });
+        }
+    }
+    out
+}
+
+/// Renders Figure 7.
+pub fn figure7_table(points: &[PatternPoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 7: bandwidth by access pattern and kind (128 B)",
+        &["pattern", "ro GB/s", "rw GB/s", "wo GB/s"],
+    );
+    for pattern in AccessPattern::paper_axis() {
+        let get = |k: RequestKind| {
+            points
+                .iter()
+                .find(|p| p.pattern == pattern && p.kind == k)
+                .map_or(0.0, |p| p.bandwidth_gbs)
+        };
+        t.row(vec![
+            pattern.to_string(),
+            f1(get(RequestKind::ReadOnly)),
+            f1(get(RequestKind::ReadModifyWrite)),
+            f1(get(RequestKind::WriteOnly)),
+        ]);
+    }
+    t
+}
+
+/// One point of Figure 8: a pattern and request size, with bandwidth and
+/// request rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizePoint {
+    /// The access pattern.
+    pub pattern: AccessPattern,
+    /// Request payload size.
+    pub size: RequestSize,
+    /// Counted bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Million requests per second.
+    pub mrps: f64,
+}
+
+/// Figure 8: read-only bandwidth and MRPS for 128/64/32 B requests across
+/// the pattern axis.
+pub fn figure8(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<SizePoint> {
+    let mapping = cfg.mem.mapping;
+    let spec = cfg.mem.spec;
+    let mut out = Vec::new();
+    for pattern in AccessPattern::paper_axis() {
+        let mask = pattern.mask(mapping, &spec).expect("paper axis is valid");
+        for size in RequestSize::FIG8 {
+            let m = run_measurement(
+                cfg,
+                &Workload::masked(RequestKind::ReadOnly, size, mask),
+                mc,
+            );
+            out.push(SizePoint {
+                pattern,
+                size,
+                bandwidth_gbs: m.bandwidth_gbs,
+                mrps: m.mrps,
+            });
+        }
+    }
+    out
+}
+
+/// Renders Figure 8.
+pub fn figure8_table(points: &[SizePoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 8: read-only bandwidth and MRPS by request size",
+        &[
+            "pattern", "128B GB/s", "64B GB/s", "32B GB/s", "128B MRPS", "64B MRPS", "32B MRPS",
+        ],
+    );
+    for pattern in AccessPattern::paper_axis() {
+        let get = |bytes: u64| {
+            points
+                .iter()
+                .find(|p| p.pattern == pattern && p.size.bytes() == bytes)
+                .copied()
+                .unwrap_or(SizePoint {
+                    pattern,
+                    size: RequestSize::MAX,
+                    bandwidth_gbs: 0.0,
+                    mrps: 0.0,
+                })
+        };
+        t.row(vec![
+            pattern.to_string(),
+            f1(get(128).bandwidth_gbs),
+            f1(get(64).bandwidth_gbs),
+            f1(get(32).bandwidth_gbs),
+            f1(get(128).mrps),
+            f1(get(64).mrps),
+            f1(get(32).mrps),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MeasureConfig {
+        MeasureConfig {
+            warmup: hmc_types::TimeDelta::from_us(30),
+            window: hmc_types::TimeDelta::from_us(120),
+        }
+    }
+
+    #[test]
+    fn figure6_shape_holds() {
+        let cfg = SystemConfig::default();
+        let pts = figure6(&cfg, &tiny());
+        assert_eq!(pts.len(), 21);
+        let bw = |label: &str, kind: RequestKind| {
+            pts.iter()
+                .find(|p| p.label == label && p.kind == kind)
+                .unwrap()
+                .bandwidth_gbs
+        };
+        let ro = RequestKind::ReadOnly;
+        // Bits 7-14 (one bank) is the global minimum.
+        let one_bank = bw("7-14", ro);
+        for p in &pts {
+            assert!(
+                p.bandwidth_gbs >= one_bank * 0.9,
+                "{} {} below the 1-bank floor",
+                p.label,
+                p.kind
+            );
+        }
+        // Row-only mask (24-31) performs like unmasked: near peak.
+        assert!(bw("24-31", ro) > 15.0);
+        // The big drop from 2-9 (two vaults) to 3-10 (one vault).
+        assert!(bw("2-9", ro) > bw("3-10", ro) * 1.5);
+        // One vault sits near its 10 GB/s ceiling.
+        let one_vault = bw("3-10", ro);
+        assert!((7.0..12.0).contains(&one_vault), "one vault {one_vault}");
+        let table = figure6_table(&pts);
+        assert_eq!(table.len(), 7);
+    }
+
+    #[test]
+    fn figure7_kind_ordering() {
+        let cfg = SystemConfig::default();
+        // Only the 16-vault column — the full figure runs in the bench.
+        let mask = AccessPattern::Vaults(16)
+            .mask(cfg.mem.mapping, &cfg.mem.spec)
+            .unwrap();
+        let bw = |kind| {
+            run_measurement(
+                &cfg,
+                &Workload::masked(kind, RequestSize::MAX, mask),
+                &tiny(),
+            )
+            .bandwidth_gbs
+        };
+        let ro = bw(RequestKind::ReadOnly);
+        let rw = bw(RequestKind::ReadModifyWrite);
+        let wo = bw(RequestKind::WriteOnly);
+        // Paper: rw > ro > wo, with rw ≈ 2×wo.
+        assert!(rw > ro, "rw {rw} vs ro {ro}");
+        assert!(ro > wo, "ro {ro} vs wo {wo}");
+        let ratio = rw / wo;
+        assert!((1.6..2.4).contains(&ratio), "rw/wo ratio {ratio}");
+    }
+
+    #[test]
+    fn figure8_small_requests_more_mrps_less_bandwidth() {
+        let cfg = SystemConfig::default();
+        let mask = AccessPattern::Vaults(16)
+            .mask(cfg.mem.mapping, &cfg.mem.spec)
+            .unwrap();
+        let run = |bytes| {
+            run_measurement(
+                &cfg,
+                &Workload::masked(
+                    RequestKind::ReadOnly,
+                    RequestSize::new(bytes).unwrap(),
+                    mask,
+                ),
+                &tiny(),
+            )
+        };
+        let big = run(128);
+        let small = run(32);
+        assert!(big.bandwidth_gbs > small.bandwidth_gbs);
+        assert!(
+            small.mrps > big.mrps * 1.4,
+            "32 B {} MRPS vs 128 B {}",
+            small.mrps,
+            big.mrps
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! The DDR DIMM baseline comparison.
+//!
+//! The paper positions HMC against JEDEC DIMMs qualitatively: the
+//! packet-switched interface costs roughly 2× a typical closed-page DRAM
+//! access in unloaded latency, in exchange for concurrency that a
+//! synchronous bus cannot offer. This experiment measures both sides on
+//! the two models.
+
+use ddr_baseline::{DdrConfig, DdrDimm};
+use hmc_host::Workload;
+use hmc_types::{RequestKind, RequestSize, TimeDelta};
+use sim_engine::SplitMix64;
+
+use crate::measure::{run_measurement, run_stream, MeasureConfig};
+use crate::report::{f1, ns, Table};
+use crate::system::SystemConfig;
+
+/// Head-to-head numbers for one request size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineComparison {
+    /// Request size compared.
+    pub size: RequestSize,
+    /// HMC unloaded read latency (single request), ns.
+    pub hmc_unloaded_ns: f64,
+    /// DDR unloaded read latency, ns.
+    pub ddr_unloaded_ns: f64,
+    /// HMC loaded random-read bandwidth, GB/s (counted).
+    pub hmc_bandwidth_gbs: f64,
+    /// DDR streaming bandwidth ceiling, GB/s (data).
+    pub ddr_bandwidth_gbs: f64,
+    /// HMC in-cube latency share, ns (round trip minus host
+    /// infrastructure).
+    pub hmc_in_cube_ns: f64,
+}
+
+/// Runs the comparison at one size.
+pub fn compare(cfg: &SystemConfig, size: RequestSize, mc: &MeasureConfig) -> BaselineComparison {
+    // HMC unloaded latency: single-request stream.
+    let (hist, _) = run_stream(cfg, &Workload::read_stream(1, size));
+    let hmc_unloaded = hist.min().map_or(0.0, |d| d.as_ns_f64());
+    let infra = hmc_host::controller::infrastructure_latency(
+        &cfg.host.tx,
+        &cfg.host.rx,
+        size,
+        cfg.host.frequency,
+    )
+    .as_ns_f64();
+
+    // HMC loaded bandwidth.
+    let m = run_measurement(
+        cfg,
+        &Workload::full_scale(RequestKind::ReadOnly, size),
+        mc,
+    );
+
+    // DDR unloaded latency: one random access on an idle DIMM.
+    let mut dimm = DdrDimm::new(DdrConfig::ddr3_1600());
+    let done = dimm.access(0x10_0000, false, size.bytes(), hmc_types::Time::ZERO);
+    let ddr_unloaded = done.as_ns_f64();
+
+    // DDR streaming bandwidth: paced linear burst train.
+    let mut stream_dimm = DdrDimm::new(DdrConfig::ddr3_1600());
+    let n = 20_000u64;
+    let span = stream_dimm.run_paced(
+        (0..n).map(|i| (i * 64, false, 64)),
+        DdrConfig::ddr3_1600().burst_time,
+    );
+    let ddr_bw = stream_dimm.stats().data_bytes as f64 / span.as_secs_f64() / 1e9;
+
+    BaselineComparison {
+        size,
+        hmc_unloaded_ns: hmc_unloaded,
+        ddr_unloaded_ns: ddr_unloaded,
+        hmc_bandwidth_gbs: m.bandwidth_gbs,
+        ddr_bandwidth_gbs: ddr_bw,
+        hmc_in_cube_ns: hmc_unloaded - infra,
+    }
+}
+
+/// Renders the comparison.
+pub fn baseline_table(rows: &[BaselineComparison]) -> Table {
+    let mut t = Table::new(
+        "HMC vs DDR3-1600 baseline",
+        &[
+            "size",
+            "HMC unloaded",
+            "DDR unloaded",
+            "HMC in-cube",
+            "HMC GB/s",
+            "DDR GB/s",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.size.to_string(),
+            ns(r.hmc_unloaded_ns),
+            ns(r.ddr_unloaded_ns),
+            ns(r.hmc_in_cube_ns),
+            f1(r.hmc_bandwidth_gbs),
+            f1(r.ddr_bandwidth_gbs),
+        ]);
+    }
+    t
+}
+
+/// Random-access throughput comparison: HMC's vault/bank concurrency vs
+/// the DIMM's shared bus, under a random 128 B request flood.
+pub fn random_access_throughput(cfg: &SystemConfig, mc: &MeasureConfig) -> (f64, f64) {
+    let m = run_measurement(
+        cfg,
+        &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+        mc,
+    );
+    let hmc_data_gbs = m.device_delta.data_read_bytes as f64 / m.window.as_secs_f64() / 1e9;
+    let mut dimm = DdrDimm::new(DdrConfig::ddr3_1600());
+    let mut rng = SplitMix64::new(7);
+    let n = 50_000u64;
+    let span = dimm.run_paced(
+        (0..n).map(|_| (rng.next_below(1 << 27) * 128, false, 128)),
+        TimeDelta::from_ns(10),
+    );
+    let ddr_data_gbs = dimm.stats().data_bytes as f64 / span.as_secs_f64() / 1e9;
+    (hmc_data_gbs, ddr_data_gbs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MeasureConfig {
+        MeasureConfig {
+            warmup: TimeDelta::from_us(30),
+            window: TimeDelta::from_us(150),
+        }
+    }
+
+    #[test]
+    fn packet_interface_costs_latency() {
+        let c = compare(&SystemConfig::default(), RequestSize::MAX, &tiny());
+        // Unloaded: HMC is far slower than a DIMM (packetization + SerDes
+        // + FPGA pipelines).
+        assert!(
+            c.hmc_unloaded_ns > 5.0 * c.ddr_unloaded_ns,
+            "HMC {} vs DDR {}",
+            c.hmc_unloaded_ns,
+            c.ddr_unloaded_ns
+        );
+        // But the in-cube share alone is ~2x a closed-page DRAM access —
+        // the paper's estimate for the packet-switched interface.
+        let ratio = c.hmc_in_cube_ns / c.ddr_unloaded_ns;
+        assert!((1.0..6.0).contains(&ratio), "in-cube ratio {ratio}");
+    }
+
+    #[test]
+    fn hmc_wins_on_bandwidth() {
+        let c = compare(&SystemConfig::default(), RequestSize::MAX, &tiny());
+        assert!(
+            c.hmc_bandwidth_gbs > c.ddr_bandwidth_gbs,
+            "HMC {} vs DDR {}",
+            c.hmc_bandwidth_gbs,
+            c.ddr_bandwidth_gbs
+        );
+    }
+
+    #[test]
+    fn random_concurrency_advantage() {
+        let (hmc, ddr) = random_access_throughput(&SystemConfig::default(), &tiny());
+        assert!(hmc > ddr, "HMC {hmc} vs DDR {ddr} GB/s of random data");
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = vec![compare(&SystemConfig::default(), RequestSize::MIN, &tiny())];
+        let t = baseline_table(&rows);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Fault injection on the serial links.
+//!
+//! The paper credits HMC's packet protocol with "packet integrity and
+//! proper flow control" (the Add-Seq#/Add-CRC stages of Figure 14) and
+//! counts "better package-level fault tolerance" among the returns for the
+//! latency premium. This experiment injects lane bit errors and measures
+//! what the link-level retry protocol costs as the error rate climbs —
+//! the price of the integrity machinery actually doing work.
+
+use hmc_host::Workload;
+use hmc_types::{RequestKind, RequestSize};
+
+use crate::measure::{run_measurement, MeasureConfig};
+use crate::report::{f1, ns, Table};
+use crate::system::SystemConfig;
+
+/// One point of the bit-error-rate sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPoint {
+    /// Injected lane bit-error rate.
+    pub ber: f64,
+    /// Counted bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Mean read latency, ns.
+    pub latency_ns: f64,
+    /// Link retries per million packets.
+    pub retries_per_mpkt: f64,
+}
+
+/// Sweeps the injected bit-error rate under full-scale 128 B reads.
+pub fn ber_sweep(cfg: &SystemConfig, bers: &[f64], mc: &MeasureConfig) -> Vec<FaultPoint> {
+    bers.iter()
+        .map(|&ber| {
+            let mut c = cfg.clone();
+            c.mem.link_layer.bit_error_rate = ber;
+            let m = run_measurement(
+                &c,
+                &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+                mc,
+            );
+            let packets =
+                m.device_delta.reads_completed + m.device_delta.writes_completed;
+            FaultPoint {
+                ber,
+                bandwidth_gbs: m.bandwidth_gbs,
+                latency_ns: m.mean_latency_ns(),
+                retries_per_mpkt: if packets == 0 {
+                    0.0
+                } else {
+                    m.device_delta.link_retries as f64 * 1e6 / (2 * packets) as f64
+                },
+            }
+        })
+        .collect()
+}
+
+/// The sweep the bench target runs.
+pub const BER_AXIS: [f64; 5] = [0.0, 1e-9, 1e-7, 1e-6, 1e-5];
+
+/// Renders the sweep.
+pub fn faults_table(points: &[FaultPoint]) -> Table {
+    let mut t = Table::new(
+        "Link fault injection: bandwidth & latency vs lane bit-error rate",
+        &["BER", "GB/s", "latency", "retries/Mpkt"],
+    );
+    for p in points {
+        t.row(vec![
+            if p.ber == 0.0 {
+                "0".to_string()
+            } else {
+                format!("{:.0e}", p.ber)
+            },
+            f1(p.bandwidth_gbs),
+            ns(p.latency_ns),
+            f1(p.retries_per_mpkt),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::TimeDelta;
+
+    fn tiny() -> MeasureConfig {
+        MeasureConfig {
+            warmup: TimeDelta::from_us(30),
+            window: TimeDelta::from_us(150),
+        }
+    }
+
+    #[test]
+    fn clean_links_never_retry() {
+        let pts = ber_sweep(&SystemConfig::default(), &[0.0], &tiny());
+        assert_eq!(pts[0].retries_per_mpkt, 0.0);
+    }
+
+    #[test]
+    fn errors_cost_bandwidth_monotonically() {
+        let pts = ber_sweep(&SystemConfig::default(), &[0.0, 1e-6, 1e-5], &tiny());
+        assert!(pts[1].retries_per_mpkt > 0.0);
+        assert!(pts[2].retries_per_mpkt > pts[1].retries_per_mpkt);
+        // Heavy error injection visibly derates the read ceiling.
+        assert!(
+            pts[2].bandwidth_gbs < pts[0].bandwidth_gbs * 0.97,
+            "BER 1e-5: {} vs clean {}",
+            pts[2].bandwidth_gbs,
+            pts[0].bandwidth_gbs
+        );
+        // Rare errors are absorbed with negligible cost — the protocol's
+        // selling point.
+        assert!(
+            pts[1].bandwidth_gbs > pts[0].bandwidth_gbs * 0.95,
+            "BER 1e-6 nearly free: {} vs {}",
+            pts[1].bandwidth_gbs,
+            pts[0].bandwidth_gbs
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let pts = ber_sweep(&SystemConfig::default(), &[0.0], &tiny());
+        let t = faults_table(&pts);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cell(0, 0), "0");
+    }
+}

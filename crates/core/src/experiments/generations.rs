@@ -1,0 +1,156 @@
+//! Cross-generation projection: the same experiments on HMC 1.0, the
+//! characterized HMC 1.1, and the then-unreleased HMC 2.0.
+//!
+//! Table I of the paper lays out the three geometries; its conclusion
+//! says the insights "are generic ... to the class of 3D-memory systems".
+//! This module re-runs the headline measurements on each generation —
+//! including HMC 2.0's 32 vaults and four-link configuration, hardware
+//! the authors could not buy.
+
+use hmc_host::Workload;
+use hmc_types::{
+    HmcSpec, HmcVersion, LinkConfig, LinkSpeed, LinkWidth, RequestKind, RequestSize,
+};
+
+use crate::measure::{run_measurement, MeasureConfig};
+use crate::pattern::AccessPattern;
+use crate::report::{f1, ns, Table};
+use crate::system::SystemConfig;
+
+/// Headline numbers for one generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationPoint {
+    /// The generation measured.
+    pub version: HmcVersion,
+    /// Full-cube read bandwidth at 128 B, GB/s.
+    pub ro_gbs: f64,
+    /// Read-modify-write bandwidth, GB/s.
+    pub rw_gbs: f64,
+    /// Single-vault ceiling, GB/s.
+    pub vault_gbs: f64,
+    /// Mean high-load read latency, ns.
+    pub latency_ns: f64,
+    /// Link peak (Equation 2), GB/s.
+    pub peak_gbs: f64,
+}
+
+/// The system configuration a generation implies: its geometry, its link
+/// arrangement (HMC 2.0 is four-link only), and a host address space
+/// matching its capacity.
+pub fn config_for(version: HmcVersion) -> SystemConfig {
+    let mut cfg = SystemConfig::default();
+    cfg.mem.spec = HmcSpec::of(version);
+    if version == HmcVersion::Hmc2 {
+        cfg.mem.links = LinkConfig::new(4, LinkWidth::Half, LinkSpeed::G15)
+            .expect("4 links valid");
+        cfg.host.links = cfg.mem.links;
+    }
+    cfg.host.memory_capacity = cfg.mem.spec.capacity_bytes();
+    cfg
+}
+
+/// Measures the headline numbers of each generation.
+pub fn generation_sweep(mc: &MeasureConfig) -> Vec<GenerationPoint> {
+    [HmcVersion::Gen1, HmcVersion::Gen2, HmcVersion::Hmc2]
+        .into_iter()
+        .map(|version| {
+            let cfg = config_for(version);
+            let ro = run_measurement(
+                &cfg,
+                &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+                mc,
+            );
+            let rw = run_measurement(
+                &cfg,
+                &Workload::full_scale(RequestKind::ReadModifyWrite, RequestSize::MAX),
+                mc,
+            );
+            let vault_mask = AccessPattern::Vaults(1)
+                .mask(cfg.mem.mapping, &cfg.mem.spec)
+                .expect("one vault always valid");
+            let vault = run_measurement(
+                &cfg,
+                &Workload::masked(RequestKind::ReadOnly, RequestSize::MAX, vault_mask),
+                mc,
+            );
+            GenerationPoint {
+                version,
+                ro_gbs: ro.bandwidth_gbs,
+                rw_gbs: rw.bandwidth_gbs,
+                vault_gbs: vault.bandwidth_gbs,
+                latency_ns: ro.mean_latency_ns(),
+                peak_gbs: cfg.mem.links.peak_bandwidth_bytes_per_sec() as f64 / 1e9,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep.
+pub fn generations_table(points: &[GenerationPoint]) -> Table {
+    let mut t = Table::new(
+        "Generations: headline numbers on each Table I geometry",
+        &["generation", "peak GB/s", "ro GB/s", "rw GB/s", "1 vault GB/s", "ro latency"],
+    );
+    for p in points {
+        t.row(vec![
+            p.version.to_string(),
+            f1(p.peak_gbs),
+            f1(p.ro_gbs),
+            f1(p.rw_gbs),
+            f1(p.vault_gbs),
+            ns(p.latency_ns),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::TimeDelta;
+
+    fn tiny() -> MeasureConfig {
+        MeasureConfig {
+            warmup: TimeDelta::from_us(30),
+            window: TimeDelta::from_us(150),
+        }
+    }
+
+    #[test]
+    fn hmc2_outruns_gen2() {
+        let pts = generation_sweep(&tiny());
+        assert_eq!(pts.len(), 3);
+        let gen2 = pts[1];
+        let hmc2 = pts[2];
+        assert_eq!(hmc2.peak_gbs, 2.0 * gen2.peak_gbs, "4 links vs 2");
+        assert!(
+            hmc2.ro_gbs > gen2.ro_gbs * 1.3,
+            "HMC2 ro {} vs Gen2 {}",
+            hmc2.ro_gbs,
+            gen2.ro_gbs
+        );
+        // The vault ceiling is a per-vault property: constant across
+        // generations.
+        assert!((hmc2.vault_gbs / gen2.vault_gbs - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn gen1_matches_gen2_on_link_bound_reads() {
+        // Gen1 has half the banks but the same links: full-cube reads are
+        // link-bound either way.
+        let pts = generation_sweep(&tiny());
+        let ratio = pts[0].ro_gbs / pts[1].ro_gbs;
+        assert!((0.85..1.1).contains(&ratio), "Gen1/Gen2 ro ratio {ratio}");
+    }
+
+    #[test]
+    fn config_for_scales_capacity() {
+        assert_eq!(
+            config_for(HmcVersion::Gen1).host.memory_capacity,
+            512 << 20
+        );
+        assert_eq!(config_for(HmcVersion::Hmc2).mem.links.num_links(), 4);
+        let t = generations_table(&[]);
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Application-kernel building blocks.
+//!
+//! The paper motivates its synthetic patterns as "building blocks of real
+//! applications"; this module assembles those blocks into four
+//! recognizable kernels and measures what the cube gives each one:
+//!
+//! * **scan** — a streaming pass (linear, all ports): link-bound.
+//! * **hot spot** — 90 % of accesses to one 2 KB structure: vault-bound,
+//!   the pathology the data-layout guidance warns about.
+//! * **pointer chase** — a dependent walk: round-trip-latency-bound, the
+//!   worst case for a packet-switched memory.
+//! * **batched gather** — random independent reads: the concurrency
+//!   sweet spot.
+
+use hmc_host::workload::{Addressing, PortWorkload};
+use hmc_host::Workload;
+use hmc_types::{AddressMask, RequestKind, RequestSize, Time, TimeDelta};
+
+use crate::measure::{run_measurement, MeasureConfig};
+use crate::report::{f1, ns, Table};
+use crate::system::{System, SystemConfig};
+
+/// The four kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Streaming linear pass over a large array.
+    Scan,
+    /// 90 % of accesses to a 2 KB hot structure, 10 % uniform.
+    HotSpot,
+    /// Dependent pointer chase.
+    PointerChase,
+    /// Independent random gather.
+    Gather,
+}
+
+impl Kernel {
+    /// All kernels in presentation order.
+    pub const ALL: [Kernel; 4] = [
+        Kernel::Scan,
+        Kernel::HotSpot,
+        Kernel::PointerChase,
+        Kernel::Gather,
+    ];
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Kernel::Scan => "scan (linear stream)",
+            Kernel::HotSpot => "hot spot (2 KB structure)",
+            Kernel::PointerChase => "pointer chase",
+            Kernel::Gather => "gather (random batch)",
+        })
+    }
+}
+
+/// Measured behaviour of one kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelResult {
+    /// Which kernel.
+    pub kernel: Kernel,
+    /// Counted bandwidth, GB/s (0 for the chase — it is latency-bound by
+    /// construction).
+    pub bandwidth_gbs: f64,
+    /// Mean read latency, ns (per hop for the chase).
+    pub latency_ns: f64,
+}
+
+/// Runs all four kernels at 128 B granularity.
+pub fn run_kernels(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<KernelResult> {
+    let size = RequestSize::MAX;
+    Kernel::ALL
+        .iter()
+        .map(|&kernel| match kernel {
+            Kernel::Scan => {
+                let m = run_measurement(
+                    cfg,
+                    &Workload::Continuous {
+                        port: PortWorkload {
+                            kind: RequestKind::ReadOnly,
+                            size,
+                            addressing: Addressing::Linear,
+                            mask: AddressMask::NONE,
+                            read_fraction: None,
+                        },
+                        active_ports: 9,
+                    },
+                    mc,
+                );
+                KernelResult {
+                    kernel,
+                    bandwidth_gbs: m.bandwidth_gbs,
+                    latency_ns: m.mean_latency_ns(),
+                }
+            }
+            Kernel::HotSpot => {
+                // 90 % of ports hammer the hot structure, one port roams.
+                let hot = AddressMask::zero_bits(11, 33);
+                let m = run_measurement(
+                    cfg,
+                    &Workload::masked(RequestKind::ReadOnly, size, hot),
+                    mc,
+                );
+                KernelResult {
+                    kernel,
+                    bandwidth_gbs: m.bandwidth_gbs,
+                    latency_ns: m.mean_latency_ns(),
+                }
+            }
+            Kernel::Gather => {
+                let m = run_measurement(
+                    cfg,
+                    &Workload::full_scale(RequestKind::ReadOnly, size),
+                    mc,
+                );
+                KernelResult {
+                    kernel,
+                    bandwidth_gbs: m.bandwidth_gbs,
+                    latency_ns: m.mean_latency_ns(),
+                }
+            }
+            Kernel::PointerChase => {
+                let hops = 64;
+                let mut sys = System::new(cfg.clone());
+                sys.host_mut()
+                    .apply_workload(&Workload::pointer_chase(hops, size, 11));
+                sys.host_mut().start(Time::ZERO);
+                let drained = sys.run_until_idle(TimeDelta::from_ms(10));
+                debug_assert!(drained, "chase did not finish");
+                let stats = sys.host().stats();
+                KernelResult {
+                    kernel,
+                    bandwidth_gbs: 0.0,
+                    latency_ns: stats.read_latency.mean().as_ns_f64(),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Renders the kernel comparison.
+pub fn kernels_table(results: &[KernelResult]) -> Table {
+    let mut t = Table::new(
+        "Application kernels on HMC (128 B accesses)",
+        &["kernel", "bandwidth GB/s", "mean latency"],
+    );
+    for r in results {
+        t.row(vec![
+            r.kernel.to_string(),
+            if r.bandwidth_gbs > 0.0 {
+                f1(r.bandwidth_gbs)
+            } else {
+                "latency-bound".into()
+            },
+            ns(r.latency_ns),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MeasureConfig {
+        MeasureConfig {
+            warmup: TimeDelta::from_us(30),
+            window: TimeDelta::from_us(150),
+        }
+    }
+
+    fn result(results: &[KernelResult], k: Kernel) -> KernelResult {
+        *results.iter().find(|r| r.kernel == k).expect("present")
+    }
+
+    #[test]
+    fn kernel_hierarchy_matches_the_papers_guidance() {
+        let results = run_kernels(&SystemConfig::default(), &tiny());
+        let scan = result(&results, Kernel::Scan);
+        let hot = result(&results, Kernel::HotSpot);
+        let gather = result(&results, Kernel::Gather);
+        let chase = result(&results, Kernel::PointerChase);
+        // Scans and gathers both reach the link-bound ceiling: closed
+        // page means streaming buys nothing over random.
+        assert!((scan.bandwidth_gbs / gather.bandwidth_gbs - 1.0).abs() < 0.15);
+        // The hot 2 KB structure is parallelism-starved.
+        assert!(
+            hot.bandwidth_gbs < scan.bandwidth_gbs * 0.95,
+            "hot {} vs scan {}",
+            hot.bandwidth_gbs,
+            scan.bandwidth_gbs
+        );
+        // A dependent chase pays one unloaded round trip per hop —
+        // microseconds of progress per cache line.
+        assert!(
+            (550.0..900.0).contains(&chase.latency_ns),
+            "chase per-hop {}",
+            chase.latency_ns
+        );
+        assert!(chase.latency_ns < gather.latency_ns, "unloaded vs loaded");
+        let table = kernels_table(&results);
+        assert_eq!(table.len(), 4);
+    }
+}

@@ -1,0 +1,457 @@
+//! Latency experiments: Figures 14, 15, 16, 17, and 18.
+
+use hmc_host::controller::{infrastructure_latency, TxStage};
+use hmc_host::Workload;
+use hmc_types::packet::OpKind;
+use hmc_types::{RequestKind, RequestSize, TransactionSizes};
+
+use crate::analysis::{LoadPoint, SaturationAnalysis};
+use crate::measure::{run_measurement, run_stream, MeasureConfig};
+use crate::pattern::AccessPattern;
+use crate::report::{f1, ns, Table};
+use crate::system::SystemConfig;
+
+/// Figure 14: the TX-path deconstruction plus the measured end-to-end
+/// split between infrastructure and in-cube latency.
+#[derive(Debug, Clone)]
+pub struct Deconstruction {
+    /// Request size analysed.
+    pub size: RequestSize,
+    /// Named TX stages with cycle costs.
+    pub tx_stages: Vec<TxStage>,
+    /// TX-path latency (min arbitration), ns.
+    pub tx_ns: f64,
+    /// RX-path latency for the data response, ns.
+    pub rx_ns: f64,
+    /// Infrastructure share (TX + RX), ns — the paper's ≈547 ns.
+    pub infra_ns: f64,
+    /// Measured unloaded round-trip of a single read, ns.
+    pub measured_ns: f64,
+    /// What remains inside the cube (measured − infrastructure), ns — the
+    /// paper's ≈125 ns.
+    pub in_cube_ns: f64,
+}
+
+/// Computes Figure 14 by combining the stage budget with a measured
+/// single-request round trip.
+pub fn figure14(cfg: &SystemConfig, size: RequestSize) -> Deconstruction {
+    let host = &cfg.host;
+    let read = TransactionSizes::of(OpKind::Read, size);
+    let tx_stages = host.tx.breakdown(read);
+    let tx = host
+        .tx
+        .min_latency(read.request_flits(), host.frequency)
+        .as_ns_f64();
+    let rx = host
+        .rx
+        .latency(read.response_flits(), host.frequency)
+        .as_ns_f64();
+    let infra = infrastructure_latency(&host.tx, &host.rx, size, host.frequency).as_ns_f64();
+    let (hist, _) = run_stream(cfg, &Workload::read_stream(1, size));
+    let measured = hist.min().map_or(0.0, |d| d.as_ns_f64());
+    Deconstruction {
+        size,
+        tx_stages,
+        tx_ns: tx,
+        rx_ns: rx,
+        infra_ns: infra,
+        measured_ns: measured,
+        in_cube_ns: measured - infra,
+    }
+}
+
+/// Renders Figure 14.
+pub fn figure14_table(d: &Deconstruction) -> Table {
+    let mut t = Table::new(
+        format!("Figure 14: latency deconstruction ({} read)", d.size),
+        &["stage", "cycles", "ns"],
+    );
+    let cycle_ns = 16.0 / 3.0;
+    for s in &d.tx_stages {
+        t.row(vec![
+            s.name.to_string(),
+            s.cycles.to_string(),
+            f1(s.cycles as f64 * cycle_ns),
+        ]);
+    }
+    t.row(vec!["TX total".into(), "-".into(), f1(d.tx_ns)]);
+    t.row(vec!["RX total".into(), "-".into(), f1(d.rx_ns)]);
+    t.row(vec!["infrastructure".into(), "-".into(), f1(d.infra_ns)]);
+    t.row(vec!["measured round-trip".into(), "-".into(), f1(d.measured_ns)]);
+    t.row(vec!["in-cube".into(), "-".into(), f1(d.in_cube_ns)]);
+    t
+}
+
+/// One point of Figure 15: a stream length and the latency statistics it
+/// produces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamPoint {
+    /// Requests in the stream.
+    pub n: usize,
+    /// Request size.
+    pub size: RequestSize,
+    /// Minimum latency, ns.
+    pub min_ns: f64,
+    /// Average latency, ns.
+    pub avg_ns: f64,
+    /// Maximum latency, ns.
+    pub max_ns: f64,
+}
+
+/// The request sizes Figure 15 plots.
+pub const FIG15_SIZES: [u64; 4] = [16, 32, 64, 128];
+
+/// Figure 15: low-load latency of read streams of 2–28 requests for each
+/// size.
+pub fn figure15(cfg: &SystemConfig) -> Vec<StreamPoint> {
+    let mut out = Vec::new();
+    for bytes in FIG15_SIZES {
+        let size = RequestSize::new(bytes).expect("valid size");
+        for n in (2..=28).step_by(2) {
+            let (hist, fails) = run_stream(cfg, &Workload::read_stream(n, size));
+            debug_assert_eq!(fails, 0);
+            out.push(StreamPoint {
+                n,
+                size,
+                min_ns: hist.min().map_or(0.0, |d| d.as_ns_f64()),
+                avg_ns: hist.mean().as_ns_f64(),
+                max_ns: hist.max().map_or(0.0, |d| d.as_ns_f64()),
+            });
+        }
+    }
+    out
+}
+
+/// Renders Figure 15 for one size.
+pub fn figure15_table(size: RequestSize, points: &[StreamPoint]) -> Table {
+    let mut t = Table::new(
+        format!("Figure 15: low-load latency vs stream length ({size})"),
+        &["# reads", "min", "avg", "max"],
+    );
+    for p in points.iter().filter(|p| p.size == size) {
+        t.row(vec![
+            p.n.to_string(),
+            ns(p.min_ns),
+            ns(p.avg_ns),
+            ns(p.max_ns),
+        ]);
+    }
+    t
+}
+
+/// One point of Figure 16: high-load read latency and bandwidth for a
+/// pattern × size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HighLoadPoint {
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// Request size.
+    pub size: RequestSize,
+    /// Counted bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Mean read latency, ns.
+    pub latency_ns: f64,
+}
+
+/// Figure 16: full-scale read-only latency across patterns and sizes.
+pub fn figure16(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<HighLoadPoint> {
+    let mut out = Vec::new();
+    for pattern in AccessPattern::paper_axis() {
+        let mask = pattern
+            .mask(cfg.mem.mapping, &cfg.mem.spec)
+            .expect("paper axis valid");
+        for size in RequestSize::FIG8 {
+            let m = run_measurement(
+                cfg,
+                &Workload::masked(RequestKind::ReadOnly, size, mask),
+                mc,
+            );
+            out.push(HighLoadPoint {
+                pattern,
+                size,
+                bandwidth_gbs: m.bandwidth_gbs,
+                latency_ns: m.mean_latency_ns(),
+            });
+        }
+    }
+    out
+}
+
+/// Renders Figure 16.
+pub fn figure16_table(points: &[HighLoadPoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 16: high-load read latency by pattern and size",
+        &[
+            "pattern",
+            "128B GB/s",
+            "128B lat",
+            "64B GB/s",
+            "64B lat",
+            "32B GB/s",
+            "32B lat",
+        ],
+    );
+    for pattern in AccessPattern::paper_axis() {
+        let get = |bytes: u64| {
+            points
+                .iter()
+                .find(|p| p.pattern == pattern && p.size.bytes() == bytes)
+                .copied()
+        };
+        let cells = |bytes: u64| -> (String, String) {
+            get(bytes).map_or(("-".into(), "-".into()), |p| {
+                (f1(p.bandwidth_gbs), ns(p.latency_ns))
+            })
+        };
+        let (b128, l128) = cells(128);
+        let (b64, l64) = cells(64);
+        let (b32, l32) = cells(32);
+        t.row(vec![pattern.to_string(), b128, l128, b64, l64, b32, l32]);
+    }
+    t
+}
+
+/// A latency–bandwidth curve (Figures 17/18): one pattern × size swept
+/// over the number of active GUPS ports.
+#[derive(Debug, Clone)]
+pub struct LatencyBandwidthCurve {
+    /// Access pattern.
+    pub pattern: AccessPattern,
+    /// Request size.
+    pub size: RequestSize,
+    /// The sweep with its saturation analysis.
+    pub analysis: SaturationAnalysis,
+}
+
+/// Sweeps offered load (1..=9 active ports) for one pattern × size.
+pub fn latency_bandwidth_curve(
+    cfg: &SystemConfig,
+    pattern: AccessPattern,
+    size: RequestSize,
+    mc: &MeasureConfig,
+) -> LatencyBandwidthCurve {
+    let mask = pattern
+        .mask(cfg.mem.mapping, &cfg.mem.spec)
+        .expect("pattern valid");
+    let mut points = Vec::new();
+    for ports in 1..=cfg.host.num_ports {
+        let m = run_measurement(
+            cfg,
+            &Workload::small_scale(RequestKind::ReadOnly, size, mask, ports),
+            mc,
+        );
+        let rps = (m.host.reads_completed + m.host.writes_completed) as f64
+            / m.window.as_secs_f64();
+        points.push(LoadPoint {
+            bandwidth_gbs: m.bandwidth_gbs,
+            latency_ns: m.mean_latency_ns(),
+            requests_per_sec: rps,
+        });
+    }
+    LatencyBandwidthCurve {
+        pattern,
+        size,
+        analysis: SaturationAnalysis::analyse(points, 2.0),
+    }
+}
+
+/// Figure 17: the 4-bank and 2-bank curves for every Figure 15 size, with
+/// the Little's-law outstanding analysis the paper performs.
+pub fn figure17(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<LatencyBandwidthCurve> {
+    let mut out = Vec::new();
+    for pattern in [AccessPattern::Banks(4), AccessPattern::Banks(2)] {
+        for bytes in FIG15_SIZES {
+            let size = RequestSize::new(bytes).expect("valid");
+            out.push(latency_bandwidth_curve(cfg, pattern, size, mc));
+        }
+    }
+    out
+}
+
+/// Figure 18: curves for every pattern at the given sizes.
+pub fn figure18(
+    cfg: &SystemConfig,
+    sizes: &[RequestSize],
+    mc: &MeasureConfig,
+) -> Vec<LatencyBandwidthCurve> {
+    let mut out = Vec::new();
+    for pattern in AccessPattern::paper_axis() {
+        for &size in sizes {
+            out.push(latency_bandwidth_curve(cfg, pattern, size, mc));
+        }
+    }
+    out
+}
+
+/// Renders a set of latency–bandwidth curves.
+pub fn curves_table(title: &str, curves: &[LatencyBandwidthCurve]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["pattern", "size", "ports", "BW GB/s", "latency", "outstanding"],
+    );
+    for c in curves {
+        for (i, p) in c.analysis.points.iter().enumerate() {
+            t.row(vec![
+                c.pattern.to_string(),
+                c.size.to_string(),
+                (i + 1).to_string(),
+                f1(p.bandwidth_gbs),
+                ns(p.latency_ns),
+                f1(p.outstanding()),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::TimeDelta;
+
+    fn tiny() -> MeasureConfig {
+        MeasureConfig {
+            warmup: TimeDelta::from_us(30),
+            window: TimeDelta::from_us(150),
+        }
+    }
+
+    #[test]
+    fn figure14_splits_infrastructure_and_cube() {
+        let d = figure14(&SystemConfig::default(), RequestSize::MAX);
+        // Infrastructure dominates (paper: 547 of ~711 ns).
+        assert!(d.infra_ns > 380.0, "infra {}", d.infra_ns);
+        assert!(
+            (500.0..850.0).contains(&d.measured_ns),
+            "measured {}",
+            d.measured_ns
+        );
+        assert!(
+            (60.0..280.0).contains(&d.in_cube_ns),
+            "in-cube {}",
+            d.in_cube_ns
+        );
+        assert_eq!(d.tx_stages.len(), 7);
+        let table = figure14_table(&d);
+        assert!(table.len() >= 12);
+    }
+
+    #[test]
+    fn figure15_minimum_flat_maximum_grows() {
+        let cfg = SystemConfig::default();
+        let size = RequestSize::MAX;
+        let short = {
+            let (h, _) = run_stream(&cfg, &Workload::read_stream(2, size));
+            (
+                h.min().unwrap().as_ns_f64(),
+                h.max().unwrap().as_ns_f64(),
+            )
+        };
+        let long = {
+            let (h, _) = run_stream(&cfg, &Workload::read_stream(28, size));
+            (
+                h.min().unwrap().as_ns_f64(),
+                h.max().unwrap().as_ns_f64(),
+            )
+        };
+        // Minimum roughly constant; maximum grows with stream length.
+        assert!((long.0 - short.0).abs() < 100.0, "{short:?} vs {long:?}");
+        assert!(long.1 > short.1 + 50.0, "{short:?} vs {long:?}");
+    }
+
+    #[test]
+    fn figure15_large_packets_interfere_more() {
+        let cfg = SystemConfig::default();
+        let avg = |bytes: u64, n: usize| {
+            let (h, _) = run_stream(
+                &cfg,
+                &Workload::read_stream(n, RequestSize::new(bytes).unwrap()),
+            );
+            h.mean().as_ns_f64()
+        };
+        let small28 = avg(16, 28);
+        let large28 = avg(128, 28);
+        // Paper: a 28-packet 128 B stream is ~1.5x the 16 B stream.
+        let ratio = large28 / small28;
+        assert!((1.1..2.0).contains(&ratio), "ratio {ratio}");
+        // Tiny streams cost almost the same regardless of size.
+        let small2 = avg(16, 2);
+        let large2 = avg(128, 2);
+        assert!((large2 - small2).abs() < 120.0, "{small2} vs {large2}");
+    }
+
+    #[test]
+    fn figure16_one_bank_queueing_dominates() {
+        let cfg = SystemConfig::default();
+        let mc = tiny();
+        let one_bank = {
+            let mask = AccessPattern::Banks(1)
+                .mask(cfg.mem.mapping, &cfg.mem.spec)
+                .unwrap();
+            run_measurement(
+                &cfg,
+                &Workload::masked(RequestKind::ReadOnly, RequestSize::MAX, mask),
+                &mc,
+            )
+        };
+        let all_vaults = run_measurement(
+            &cfg,
+            &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+            &mc,
+        );
+        // Paper: 24 us vs ~2-5 us — an order of magnitude.
+        assert!(
+            one_bank.mean_latency_ns() > 4.0 * all_vaults.mean_latency_ns(),
+            "1 bank {} ns vs 16 vaults {} ns",
+            one_bank.mean_latency_ns(),
+            all_vaults.mean_latency_ns()
+        );
+        assert!(
+            one_bank.mean_latency_ns() > 10_000.0,
+            "1-bank latency {} ns",
+            one_bank.mean_latency_ns()
+        );
+        // 32 B requests are faster than 128 B at the same pattern.
+        let mask = AccessPattern::Banks(1)
+            .mask(cfg.mem.mapping, &cfg.mem.spec)
+            .unwrap();
+        let small = run_measurement(
+            &cfg,
+            &Workload::masked(
+                RequestKind::ReadOnly,
+                RequestSize::new(32).unwrap(),
+                mask,
+            ),
+            &mc,
+        );
+        assert!(small.mean_latency_ns() < one_bank.mean_latency_ns());
+    }
+
+    #[test]
+    fn figure17_outstanding_scales_with_banks() {
+        let cfg = SystemConfig::default();
+        let mc = tiny();
+        let four = latency_bandwidth_curve(
+            &cfg,
+            AccessPattern::Banks(4),
+            RequestSize::MAX,
+            &mc,
+        );
+        let two = latency_bandwidth_curve(
+            &cfg,
+            AccessPattern::Banks(2),
+            RequestSize::MAX,
+            &mc,
+        );
+        // Deepest-sweep outstanding: 4-bank should be ~2x 2-bank (the
+        // paper's 375 vs 187 observation).
+        let o4 = four.analysis.points.last().unwrap().outstanding();
+        let o2 = two.analysis.points.last().unwrap().outstanding();
+        let ratio = o4 / o2;
+        assert!((1.5..2.5).contains(&ratio), "outstanding ratio {ratio}");
+        // And 4 banks saturate at ~2x the bandwidth.
+        let b4 = four.analysis.saturation_bandwidth_gbs();
+        let b2 = two.analysis.saturation_bandwidth_gbs();
+        assert!((1.5..2.5).contains(&(b4 / b2)), "bw ratio {}", b4 / b2);
+    }
+}

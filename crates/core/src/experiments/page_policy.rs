@@ -1,0 +1,219 @@
+//! Closed-page policy experiments: Figure 13 and the open-page ablation.
+
+use hmc_host::workload::{Addressing, PortWorkload};
+use hmc_host::Workload;
+use hmc_mem::PagePolicy;
+use hmc_types::{RequestKind, RequestSize};
+
+use crate::measure::{run_measurement, MeasureConfig, Measurement};
+use crate::pattern::AccessPattern;
+use crate::report::{f1, Table};
+use crate::system::SystemConfig;
+
+/// One bar of Figure 13: pattern scope × addressing × request size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PagePolicyPoint {
+    /// 16-vault or 1-vault scope.
+    pub pattern: AccessPattern,
+    /// Linear or random addressing.
+    pub addressing: Addressing,
+    /// Request size.
+    pub size: RequestSize,
+    /// Counted bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+fn run_point(
+    cfg: &SystemConfig,
+    pattern: AccessPattern,
+    addressing: Addressing,
+    size: RequestSize,
+    mc: &MeasureConfig,
+) -> Measurement {
+    let mask = pattern
+        .mask(cfg.mem.mapping, &cfg.mem.spec)
+        .expect("pattern valid");
+    let workload = Workload::Continuous {
+        port: PortWorkload {
+            kind: RequestKind::ReadOnly,
+            size,
+            addressing,
+            mask,
+            read_fraction: None,
+        },
+        active_ports: 9,
+    };
+    run_measurement(cfg, &workload, mc)
+}
+
+/// Figure 13: read-only bandwidth for linear and random addressing over
+/// 16 vaults and 1 vault, across all eight request sizes.
+pub fn figure13(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<PagePolicyPoint> {
+    let mut out = Vec::new();
+    for pattern in [AccessPattern::Vaults(16), AccessPattern::Vaults(1)] {
+        for addressing in [Addressing::Linear, Addressing::Random] {
+            for size in RequestSize::ALL {
+                let m = run_point(cfg, pattern, addressing, size, mc);
+                out.push(PagePolicyPoint {
+                    pattern,
+                    addressing,
+                    size,
+                    bandwidth_gbs: m.bandwidth_gbs,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders Figure 13.
+pub fn figure13_table(points: &[PagePolicyPoint]) -> Table {
+    let mut t = Table::new(
+        "Figure 13: linear vs random read bandwidth by request size (GB/s)",
+        &[
+            "scope/mode", "128B", "112B", "96B", "80B", "64B", "48B", "32B", "16B",
+        ],
+    );
+    for pattern in [AccessPattern::Vaults(16), AccessPattern::Vaults(1)] {
+        for addressing in [Addressing::Linear, Addressing::Random] {
+            let mut row = vec![format!("{pattern} {addressing}")];
+            for bytes in [128u64, 112, 96, 80, 64, 48, 32, 16] {
+                let bw = points
+                    .iter()
+                    .find(|p| {
+                        p.pattern == pattern
+                            && p.addressing == addressing
+                            && p.size.bytes() == bytes
+                    })
+                    .map_or(0.0, |p| p.bandwidth_gbs);
+                row.push(f1(bw));
+            }
+            t.row(row);
+        }
+    }
+    t
+}
+
+/// The open-page ablation: what HMC would gain (or not) by keeping rows
+/// open, measured on a linear single-vault stream where row reuse is
+/// maximal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PagePolicyAblation {
+    /// Bandwidth under the real closed-page policy, GB/s.
+    pub closed_gbs: f64,
+    /// Bandwidth with the open-page ablation, GB/s.
+    pub open_gbs: f64,
+    /// Row hits recorded under open page.
+    pub open_row_hits: u64,
+}
+
+/// Runs the ablation on a linear 1-vault read stream (the scenario where
+/// open page would help most).
+pub fn page_policy_ablation(cfg: &SystemConfig, mc: &MeasureConfig) -> PagePolicyAblation {
+    let size = RequestSize::MAX;
+    let closed = run_point(
+        cfg,
+        AccessPattern::Vaults(1),
+        Addressing::Linear,
+        size,
+        mc,
+    );
+    let mut open_cfg = cfg.clone();
+    open_cfg.mem.page_policy = PagePolicy::OpenPage;
+    let open = run_point(
+        &open_cfg,
+        AccessPattern::Vaults(1),
+        Addressing::Linear,
+        size,
+        mc,
+    );
+    PagePolicyAblation {
+        closed_gbs: closed.bandwidth_gbs,
+        open_gbs: open.bandwidth_gbs,
+        open_row_hits: open.device_delta.row_hits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::TimeDelta;
+
+    fn tiny() -> MeasureConfig {
+        MeasureConfig {
+            warmup: TimeDelta::from_us(30),
+            window: TimeDelta::from_us(150),
+        }
+    }
+
+    #[test]
+    fn linear_and_random_match_under_closed_page() {
+        // Figure 13's headline: the closed-page policy makes linear and
+        // random bandwidth essentially equal.
+        let cfg = SystemConfig::default();
+        for pattern in [AccessPattern::Vaults(16), AccessPattern::Vaults(1)] {
+            let lin = run_point(&cfg, pattern, Addressing::Linear, RequestSize::MAX, &tiny());
+            let rnd = run_point(&cfg, pattern, Addressing::Random, RequestSize::MAX, &tiny());
+            let ratio = rnd.bandwidth_gbs / lin.bandwidth_gbs;
+            assert!(
+                (0.85..1.15).contains(&ratio),
+                "{pattern}: linear {} vs random {}",
+                lin.bandwidth_gbs,
+                rnd.bandwidth_gbs
+            );
+        }
+    }
+
+    #[test]
+    fn bandwidth_grows_with_block_size() {
+        // Figure 13: 16 B -> 128 B requests climb the bandwidth stairs.
+        let cfg = SystemConfig::default();
+        let bw = |bytes: u64| {
+            run_point(
+                &cfg,
+                AccessPattern::Vaults(16),
+                Addressing::Random,
+                RequestSize::new(bytes).unwrap(),
+                &tiny(),
+            )
+            .bandwidth_gbs
+        };
+        let b16 = bw(16);
+        let b64 = bw(64);
+        let b128 = bw(128);
+        assert!(b16 < b64, "16B {b16} vs 64B {b64}");
+        assert!(b64 < b128, "64B {b64} vs 128B {b128}");
+        assert!(b128 / b16 > 1.7, "stairs too flat: {b16} .. {b128}");
+    }
+
+    #[test]
+    fn open_page_ablation_shows_modest_gain_only() {
+        // HMC rows are 256 B, so even a perfectly linear stream reuses a
+        // row at most once per 128 B request pair — open page cannot buy
+        // much, which is why the design chose closed page.
+        let a = page_policy_ablation(&SystemConfig::default(), &tiny());
+        assert!(a.open_row_hits > 0, "linear stream should hit rows");
+        let gain = a.open_gbs / a.closed_gbs;
+        assert!(
+            (0.9..1.5).contains(&gain),
+            "open/closed gain {gain} (closed {} open {})",
+            a.closed_gbs,
+            a.open_gbs
+        );
+    }
+
+    #[test]
+    fn table_renders_four_rows() {
+        // Use a handful of synthetic points rather than the full sweep.
+        let pts = vec![PagePolicyPoint {
+            pattern: AccessPattern::Vaults(16),
+            addressing: Addressing::Linear,
+            size: RequestSize::MAX,
+            bandwidth_gbs: 20.0,
+        }];
+        let t = figure13_table(&pts);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.cell(0, 1), "20.0");
+        assert_eq!(t.cell(1, 1), "0.0");
+    }
+}

@@ -1,0 +1,140 @@
+//! Read-ratio sweep — the link-utilization experiment of the studies the
+//! paper relates to.
+//!
+//! Rosenfeld's HMCSim exploration and Schmidt's OpenHMC measurements (both
+//! cited in Section V of the paper) found that HMC link utilization peaks
+//! at a read ratio between **53 % and 66 %**: the downstream direction
+//! carries read data while the upstream direction carries write data, so
+//! a mix saturates both where pure reads or pure writes idle one side.
+//! This module sweeps the read fraction of an independent random mix and
+//! locates the peak.
+
+use hmc_host::Workload;
+use hmc_types::RequestSize;
+
+use crate::measure::{run_measurement, MeasureConfig};
+use crate::report::{f1, Table};
+use crate::system::SystemConfig;
+
+/// One point of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadRatioPoint {
+    /// Fraction of issues that are reads.
+    pub read_fraction: f64,
+    /// Counted bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Upstream (request) bytes per second at the device.
+    pub up_gbs: f64,
+    /// Downstream (response) bytes per second.
+    pub down_gbs: f64,
+}
+
+/// Sweeps the read fraction over `steps` evenly spaced points in
+/// `[0, 1]`.
+pub fn read_ratio_sweep(
+    cfg: &SystemConfig,
+    size: RequestSize,
+    steps: usize,
+    mc: &MeasureConfig,
+) -> Vec<ReadRatioPoint> {
+    (0..=steps)
+        .map(|i| {
+            let f = i as f64 / steps as f64;
+            let m = run_measurement(cfg, &Workload::mixed(size, f), mc);
+            let secs = m.window.as_secs_f64();
+            ReadRatioPoint {
+                read_fraction: f,
+                bandwidth_gbs: m.bandwidth_gbs,
+                up_gbs: m.device_delta.bytes_up as f64 / secs / 1e9,
+                down_gbs: m.device_delta.bytes_down as f64 / secs / 1e9,
+            }
+        })
+        .collect()
+}
+
+/// The sweep point with the highest counted bandwidth.
+pub fn optimal_ratio(points: &[ReadRatioPoint]) -> Option<&ReadRatioPoint> {
+    points
+        .iter()
+        .max_by(|a, b| a.bandwidth_gbs.total_cmp(&b.bandwidth_gbs))
+}
+
+/// Renders the sweep.
+pub fn read_ratio_table(points: &[ReadRatioPoint]) -> Table {
+    let mut t = Table::new(
+        "Read-ratio sweep: counted bandwidth vs read fraction (128 B)",
+        &["read %", "total GB/s", "up GB/s", "down GB/s"],
+    );
+    for p in points {
+        t.row(vec![
+            format!("{:.0}", p.read_fraction * 100.0),
+            f1(p.bandwidth_gbs),
+            f1(p.up_gbs),
+            f1(p.down_gbs),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::TimeDelta;
+
+    fn tiny() -> MeasureConfig {
+        MeasureConfig {
+            warmup: TimeDelta::from_us(30),
+            window: TimeDelta::from_us(150),
+        }
+    }
+
+    #[test]
+    fn mixed_peak_beats_both_pure_modes() {
+        let cfg = SystemConfig::default();
+        let pts = read_ratio_sweep(&cfg, RequestSize::MAX, 10, &tiny());
+        assert_eq!(pts.len(), 11);
+        let peak = optimal_ratio(&pts).expect("non-empty");
+        let pure_writes = pts.first().unwrap();
+        let pure_reads = pts.last().unwrap();
+        assert!(
+            peak.bandwidth_gbs > pure_reads.bandwidth_gbs * 1.1,
+            "peak {} vs pure reads {}",
+            peak.bandwidth_gbs,
+            pure_reads.bandwidth_gbs
+        );
+        assert!(
+            peak.bandwidth_gbs > pure_writes.bandwidth_gbs * 1.3,
+            "peak {} vs pure writes {}",
+            peak.bandwidth_gbs,
+            pure_writes.bandwidth_gbs
+        );
+        // The OpenHMC / HMCSim finding: optimum between ~50 and ~70 %.
+        assert!(
+            (0.4..=0.8).contains(&peak.read_fraction),
+            "optimal read fraction {}",
+            peak.read_fraction
+        );
+    }
+
+    #[test]
+    fn directions_trade_off_monotonically() {
+        let cfg = SystemConfig::default();
+        let pts = read_ratio_sweep(&cfg, RequestSize::MAX, 4, &tiny());
+        // More reads -> more downstream traffic, less upstream.
+        assert!(pts.last().unwrap().down_gbs > pts.first().unwrap().down_gbs);
+        assert!(pts.first().unwrap().up_gbs > pts.last().unwrap().up_gbs);
+    }
+
+    #[test]
+    fn table_renders_all_points() {
+        let pts = vec![ReadRatioPoint {
+            read_fraction: 0.5,
+            bandwidth_gbs: 30.0,
+            up_gbs: 15.0,
+            down_gbs: 15.0,
+        }];
+        let t = read_ratio_table(&pts);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.cell(0, 0), "50");
+    }
+}

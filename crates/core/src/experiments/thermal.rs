@@ -1,0 +1,509 @@
+//! Thermal and power experiments: Table III and Figures 9–12.
+//!
+//! The paper's 200 s thermal runs settle far faster than the per-request
+//! timescale, so each operating point is computed in two stages:
+//!
+//! 1. a discrete-event measurement window yields the workload's activity
+//!    rates (bandwidth, DRAM and link traffic);
+//! 2. the thermal RC network and power model are solved to their coupled
+//!    fixed point (power depends on temperature via leakage; temperature
+//!    depends on power), including the refresh-rate doubling in the hot
+//!    regime — which feeds back into stage 1 by re-measuring with the
+//!    doubled refresh rate.
+//!
+//! This is physically exactly the separation of timescales of the real
+//! experiment: GUPS reaches its bandwidth steady state in microseconds,
+//! the heatsink in tens of seconds.
+
+use hmc_power::PowerModel;
+use hmc_thermal::{CoolingConfig, CoolingPowerMap, FailurePolicy, ThermalModel, ThermalParams};
+use hmc_types::{RequestKind, RequestSize, TimeDelta};
+use sim_engine::{LinearFit, TimeSeries};
+
+use crate::measure::{run_measurement_with, MeasureConfig, Measurement};
+use crate::pattern::AccessPattern;
+use crate::report::{f1, f2, Table};
+use crate::system::SystemConfig;
+
+/// One settled thermal operating point (a bar of Figures 9/10).
+#[derive(Debug, Clone)]
+pub struct ThermalOutcome {
+    /// Access pattern driven.
+    pub pattern: AccessPattern,
+    /// Request kind.
+    pub kind: RequestKind,
+    /// Cooling configuration name.
+    pub cooling: &'static str,
+    /// Counted bandwidth at the settled point, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Settled heatsink-surface temperature (what the camera reads).
+    pub surface_c: f64,
+    /// Settled junction temperature.
+    pub junction_c: f64,
+    /// Wall-analyzer system power, W.
+    pub system_power_w: f64,
+    /// Power dissipated under the shared heatsink, W.
+    pub local_power_w: f64,
+    /// True if the hot regime doubled the refresh rate.
+    pub refresh_boosted: bool,
+    /// Surface temperature at shutdown, if the run thermally failed.
+    pub failure: Option<f64>,
+}
+
+/// Solves one workload × cooling operating point to its thermal fixed
+/// point.
+pub fn thermal_operating_point(
+    cfg: &SystemConfig,
+    kind: RequestKind,
+    pattern: AccessPattern,
+    cooling: &CoolingConfig,
+    mc: &MeasureConfig,
+    power: &PowerModel,
+    policy: &FailurePolicy,
+) -> ThermalOutcome {
+    let mask = pattern
+        .mask(cfg.mem.mapping, &cfg.mem.spec)
+        .expect("pattern valid for geometry");
+    let workload = hmc_host::Workload::masked(kind, RequestSize::MAX, mask);
+    let params = ThermalParams::default();
+    let resistance = cooling.thermal_resistance();
+
+    // Coupled fixed point: T = amb + R * P_local(T).
+    let solve = |m: &Measurement| -> (f64, f64, f64) {
+        let rates = m.activity_rates();
+        let mut surface = cooling.idle_temp_c;
+        let mut local = 0.0;
+        for _ in 0..32 {
+            let junction = surface + params.surface_offset_c;
+            local = power.local_power_w(&rates, junction);
+            let next = params.ambient_c + resistance * local;
+            if (next - surface).abs() < 1e-6 {
+                surface = next;
+                break;
+            }
+            surface = next;
+        }
+        let junction = surface + params.surface_offset_c;
+        (surface, junction, local)
+    };
+
+    let measured = run_measurement_with(cfg, &workload, mc, |_| {});
+    let (surface, junction, local) = solve(&measured);
+
+    // Hot regime: refresh doubles, which costs a little bandwidth and
+    // power; re-measure and re-solve once.
+    let (m, surface, junction, local, boosted) = if surface >= policy.refresh_boost_c {
+        let m2 = run_measurement_with(cfg, &workload, mc, |sys| {
+            sys.device_mut().set_refresh_multiplier(2);
+        });
+        let (s2, j2, l2) = solve(&m2);
+        (m2, s2, j2, l2, true)
+    } else {
+        (measured, surface, junction, local, false)
+    };
+
+    let failure = policy.check(surface, kind.writes()).err().map(|_| surface);
+    let rates = m.activity_rates();
+    ThermalOutcome {
+        pattern,
+        kind,
+        cooling: cooling.name,
+        bandwidth_gbs: m.bandwidth_gbs,
+        surface_c: surface,
+        junction_c: junction,
+        system_power_w: power.system_power_w(&rates, junction),
+        local_power_w: local,
+        refresh_boosted: boosted,
+        failure,
+    }
+}
+
+/// Figures 9 and 10: every pattern × cooling configuration for one
+/// request kind. Failed configurations are included (marked by
+/// [`ThermalOutcome::failure`]); the paper simply omits them from its
+/// plots.
+pub fn figure9_10(
+    cfg: &SystemConfig,
+    kind: RequestKind,
+    mc: &MeasureConfig,
+) -> Vec<ThermalOutcome> {
+    let power = PowerModel::default();
+    let policy = FailurePolicy::default();
+    let mut out = Vec::new();
+    for cooling in CoolingConfig::all() {
+        for pattern in AccessPattern::paper_axis() {
+            out.push(thermal_operating_point(
+                cfg, kind, pattern, &cooling, mc, &power, &policy,
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the temperature table (Figure 9) for one kind.
+pub fn figure9_table(kind: RequestKind, outcomes: &[ThermalOutcome]) -> Table {
+    let mut t = Table::new(
+        format!("Figure 9 ({kind}): surface temperature by pattern and cooling"),
+        &["pattern", "BW GB/s", "Cfg1 C", "Cfg2 C", "Cfg3 C", "Cfg4 C"],
+    );
+    for pattern in AccessPattern::paper_axis() {
+        let cell = |cfg_name: &str| {
+            outcomes
+                .iter()
+                .find(|o| o.pattern == pattern && o.cooling == cfg_name && o.kind == kind)
+                .map_or("-".to_string(), |o| match o.failure {
+                    Some(temp) => format!("FAIL@{temp:.0}"),
+                    None => f1(o.surface_c),
+                })
+        };
+        let bw = outcomes
+            .iter()
+            .find(|o| o.pattern == pattern && o.kind == kind)
+            .map_or(0.0, |o| o.bandwidth_gbs);
+        t.row(vec![
+            pattern.to_string(),
+            f1(bw),
+            cell("Cfg1"),
+            cell("Cfg2"),
+            cell("Cfg3"),
+            cell("Cfg4"),
+        ]);
+    }
+    t
+}
+
+/// Renders the system-power table (Figure 10) for one kind.
+pub fn figure10_table(kind: RequestKind, outcomes: &[ThermalOutcome]) -> Table {
+    let mut t = Table::new(
+        format!("Figure 10 ({kind}): average system power by pattern and cooling"),
+        &["pattern", "BW GB/s", "Cfg1 W", "Cfg2 W", "Cfg3 W", "Cfg4 W"],
+    );
+    for pattern in AccessPattern::paper_axis() {
+        let cell = |cfg_name: &str| {
+            outcomes
+                .iter()
+                .find(|o| o.pattern == pattern && o.cooling == cfg_name && o.kind == kind)
+                .map_or("-".to_string(), |o| match o.failure {
+                    Some(_) => "FAIL".to_string(),
+                    None => f1(o.system_power_w),
+                })
+        };
+        let bw = outcomes
+            .iter()
+            .find(|o| o.pattern == pattern && o.kind == kind)
+            .map_or(0.0, |o| o.bandwidth_gbs);
+        t.row(vec![
+            pattern.to_string(),
+            f1(bw),
+            cell("Cfg1"),
+            cell("Cfg2"),
+            cell("Cfg3"),
+            cell("Cfg4"),
+        ]);
+    }
+    t
+}
+
+/// Figure 11: linear fits of temperature and power against bandwidth in
+/// Cfg2 (the hottest configuration with no failures for any kind).
+#[derive(Debug, Clone)]
+pub struct Figure11 {
+    /// Per-kind `(slope °C per GB/s, intercept)` temperature fits.
+    pub temp_fits: Vec<(RequestKind, LinearFit)>,
+    /// Per-kind system-power fits.
+    pub power_fits: Vec<(RequestKind, LinearFit)>,
+}
+
+/// Computes Figure 11 from Cfg2 outcomes of all three kinds.
+pub fn figure11(outcomes: &[ThermalOutcome]) -> Figure11 {
+    let mut temp_fits = Vec::new();
+    let mut power_fits = Vec::new();
+    for kind in RequestKind::ALL {
+        let pts_t: Vec<(f64, f64)> = outcomes
+            .iter()
+            .filter(|o| o.kind == kind && o.cooling == "Cfg2" && o.failure.is_none())
+            .map(|o| (o.bandwidth_gbs, o.surface_c))
+            .collect();
+        let pts_p: Vec<(f64, f64)> = outcomes
+            .iter()
+            .filter(|o| o.kind == kind && o.cooling == "Cfg2" && o.failure.is_none())
+            .map(|o| (o.bandwidth_gbs, o.system_power_w))
+            .collect();
+        if let Some(f) = LinearFit::fit(&pts_t) {
+            temp_fits.push((kind, f));
+        }
+        if let Some(f) = LinearFit::fit(&pts_p) {
+            power_fits.push((kind, f));
+        }
+    }
+    Figure11 {
+        temp_fits,
+        power_fits,
+    }
+}
+
+/// Renders Figure 11 as a table of fit parameters.
+pub fn figure11_table(f: &Figure11) -> Table {
+    let mut t = Table::new(
+        "Figure 11: temperature & power vs bandwidth, linear fits (Cfg2)",
+        &["kind", "dT/dBW C/(GB/s)", "T @5GB/s", "T @20GB/s", "dP/dBW W/(GB/s)", "P rise 5->20 W"],
+    );
+    for kind in RequestKind::ALL {
+        let tf = f.temp_fits.iter().find(|(k, _)| *k == kind).map(|(_, f)| f);
+        let pf = f.power_fits.iter().find(|(k, _)| *k == kind).map(|(_, f)| f);
+        t.row(vec![
+            kind.to_string(),
+            tf.map_or("-".into(), |f| f2(f.slope)),
+            tf.map_or("-".into(), |f| f1(f.predict(5.0))),
+            tf.map_or("-".into(), |f| f1(f.predict(20.0))),
+            pf.map_or("-".into(), |f| f2(f.slope)),
+            pf.map_or("-".into(), |f| f1(f.predict(20.0) - f.predict(5.0))),
+        ]);
+    }
+    t
+}
+
+/// One line of Figure 12: the cooling power needed to hold a target
+/// temperature as bandwidth grows.
+#[derive(Debug, Clone)]
+pub struct CoolingPowerLine {
+    /// Request kind.
+    pub kind: RequestKind,
+    /// Surface temperature being held.
+    pub target_c: f64,
+    /// `(bandwidth GB/s, cooling W)` samples.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Figure 12: for each kind, cooling power vs bandwidth at several held
+/// temperatures, derived from the measured local-power-vs-bandwidth fit
+/// and the cooling-power map.
+pub fn figure12(outcomes: &[ThermalOutcome], targets_c: &[f64]) -> Vec<CoolingPowerLine> {
+    let map = CoolingPowerMap::fit(&CoolingConfig::all());
+    let params = ThermalParams::default();
+    let mut lines = Vec::new();
+    for kind in RequestKind::ALL {
+        // Local power vs bandwidth from every non-failed outcome of this
+        // kind (cooling configuration only shifts leakage slightly).
+        let pts: Vec<(f64, f64)> = outcomes
+            .iter()
+            .filter(|o| o.kind == kind && o.failure.is_none())
+            .map(|o| (o.bandwidth_gbs, o.local_power_w))
+            .collect();
+        let Some(fit) = LinearFit::fit(&pts) else {
+            continue;
+        };
+        let max_bw = pts.iter().map(|p| p.0).fold(0.0, f64::max);
+        for &target in targets_c {
+            let mut line = Vec::new();
+            let steps = 10;
+            for i in 0..=steps {
+                let bw = max_bw * i as f64 / steps as f64;
+                let local = fit.predict(bw);
+                if let Some(w) = map.required_cooling_w(target, local, params.ambient_c) {
+                    line.push((bw, w));
+                }
+            }
+            lines.push(CoolingPowerLine {
+                kind,
+                target_c: target,
+                points: line,
+            });
+        }
+    }
+    lines
+}
+
+/// Table III: the cooling configurations with modelled idle temperatures.
+pub fn table3() -> Table {
+    let mut t = Table::new(
+        "Table III: cooling configurations",
+        &["name", "fan V", "fan A", "distance cm", "idle C (model)", "cooling W"],
+    );
+    for c in CoolingConfig::all() {
+        let model = ThermalModel::new(c.clone());
+        t.row(vec![
+            c.name.to_string(),
+            f1(c.fan_voltage_v),
+            f2(c.fan_current_a),
+            f1(c.fan_distance_cm),
+            f1(model.surface_c()),
+            f2(c.cooling_power_w),
+        ]);
+    }
+    t
+}
+
+/// Simulates the 200 s transient of one settled operating point (for the
+/// trace the paper's thermal camera records), given its local power.
+pub fn settle_trace(cooling: &CoolingConfig, local_power_w: f64, seconds: u64) -> TimeSeries {
+    let mut model = ThermalModel::new(cooling.clone());
+    let mut series = TimeSeries::new(format!("{} surface C", cooling.name));
+    for s in 0..=seconds {
+        let t = hmc_types::Time::from_ps(s * 1_000_000_000_000);
+        series.push(t, model.surface_c());
+        model.step(local_power_w, TimeDelta::from_secs(1));
+    }
+    series
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MeasureConfig {
+        MeasureConfig {
+            warmup: TimeDelta::from_us(30),
+            window: TimeDelta::from_us(120),
+        }
+    }
+
+    fn point(
+        kind: RequestKind,
+        pattern: AccessPattern,
+        cooling: CoolingConfig,
+    ) -> ThermalOutcome {
+        thermal_operating_point(
+            &SystemConfig::default(),
+            kind,
+            pattern,
+            &cooling,
+            &tiny(),
+            &PowerModel::default(),
+            &FailurePolicy::default(),
+        )
+    }
+
+    #[test]
+    fn read_only_never_fails_even_at_cfg4() {
+        let o = point(
+            RequestKind::ReadOnly,
+            AccessPattern::Vaults(16),
+            CoolingConfig::cfg4(),
+        );
+        assert!(o.failure.is_none(), "ro failed at {:.1} C", o.surface_c);
+        // Hot: in the 70-85 C band the paper's Cfg4 curve occupies.
+        assert!(
+            (70.0..85.0).contains(&o.surface_c),
+            "ro Cfg4 surface {:.1}",
+            o.surface_c
+        );
+    }
+
+    #[test]
+    fn write_workloads_fail_under_weak_cooling() {
+        let wo = point(
+            RequestKind::WriteOnly,
+            AccessPattern::Vaults(16),
+            CoolingConfig::cfg4(),
+        );
+        assert!(wo.failure.is_some(), "wo Cfg4 at {:.1} C", wo.surface_c);
+        let rw = point(
+            RequestKind::ReadModifyWrite,
+            AccessPattern::Vaults(16),
+            CoolingConfig::cfg4(),
+        );
+        assert!(rw.failure.is_some(), "rw Cfg4 at {:.1} C", rw.surface_c);
+    }
+
+    #[test]
+    fn write_workloads_survive_strong_cooling() {
+        for kind in [RequestKind::WriteOnly, RequestKind::ReadModifyWrite] {
+            let o = point(kind, AccessPattern::Vaults(16), CoolingConfig::cfg1());
+            assert!(o.failure.is_none(), "{kind} failed under Cfg1");
+        }
+    }
+
+    #[test]
+    fn narrower_patterns_run_cooler() {
+        let wide = point(
+            RequestKind::ReadOnly,
+            AccessPattern::Vaults(16),
+            CoolingConfig::cfg2(),
+        );
+        let narrow = point(
+            RequestKind::ReadOnly,
+            AccessPattern::Banks(1),
+            CoolingConfig::cfg2(),
+        );
+        assert!(
+            wide.surface_c > narrow.surface_c + 1.0,
+            "wide {:.1} vs narrow {:.1}",
+            wide.surface_c,
+            narrow.surface_c
+        );
+        assert!(wide.bandwidth_gbs > narrow.bandwidth_gbs * 5.0);
+    }
+
+    #[test]
+    fn cfg2_temperature_slope_matches_paper() {
+        // Figure 11a: 5 -> 20 GB/s raises temperature ~3-4 C in Cfg2.
+        // Build the fit from a few ro patterns spanning the range.
+        let outcomes: Vec<ThermalOutcome> = [
+            AccessPattern::Vaults(16),
+            AccessPattern::Vaults(1),
+            AccessPattern::Banks(4),
+            AccessPattern::Banks(1),
+        ]
+        .into_iter()
+        .map(|p| point(RequestKind::ReadOnly, p, CoolingConfig::cfg2()))
+        .collect();
+        let f11 = figure11(&outcomes);
+        let (_, fit) = f11
+            .temp_fits
+            .iter()
+            .find(|(k, _)| *k == RequestKind::ReadOnly)
+            .expect("ro fit");
+        let rise = fit.predict(20.0) - fit.predict(5.0);
+        assert!((1.5..6.0).contains(&rise), "temperature rise {rise:.2} C");
+        let (_, pfit) = f11
+            .power_fits
+            .iter()
+            .find(|(k, _)| *k == RequestKind::ReadOnly)
+            .expect("ro power fit");
+        let prise = pfit.predict(20.0) - pfit.predict(5.0);
+        // Figure 11b: ~2 W.
+        assert!((1.0..3.5).contains(&prise), "power rise {prise:.2} W");
+    }
+
+    #[test]
+    fn figure12_lines_monotone() {
+        let outcomes: Vec<ThermalOutcome> = [
+            AccessPattern::Vaults(16),
+            AccessPattern::Vaults(1),
+            AccessPattern::Banks(1),
+        ]
+        .into_iter()
+        .map(|p| point(RequestKind::ReadOnly, p, CoolingConfig::cfg2()))
+        .collect();
+        let lines = figure12(&outcomes, &[55.0]);
+        let line = lines
+            .iter()
+            .find(|l| l.kind == RequestKind::ReadOnly)
+            .expect("ro line");
+        assert!(line.points.len() > 5);
+        for pair in line.points.windows(2) {
+            assert!(pair[1].1 >= pair[0].1, "cooling power must not fall");
+        }
+    }
+
+    #[test]
+    fn table3_renders_idle_temps() {
+        let t = table3();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.cell(0, 4), "43.1");
+        assert_eq!(t.cell(3, 4), "71.6");
+    }
+
+    #[test]
+    fn settle_trace_is_monotone_rise() {
+        let trace = settle_trace(&CoolingConfig::cfg2(), 24.0, 200);
+        assert_eq!(trace.len(), 201);
+        let first = trace.points()[0].1;
+        let last = trace.last().unwrap().1;
+        assert!(last > first + 3.0);
+        // Settled by 200 s.
+        let at150 = trace.sample_at(hmc_types::Time::from_ps(150_000_000_000_000)).unwrap();
+        assert!((last - at150).abs() < 0.2);
+    }
+}

@@ -1,0 +1,212 @@
+//! Warm-up / measurement-window experiment runner.
+//!
+//! The paper warms the system up and then reads the GUPS counters over a
+//! fixed window (20 s on hardware). The simulator reproduces the same
+//! steady state in far less simulated time, so the default window is a few
+//! milliseconds; [`MeasureConfig::quick`] shrinks it further for unit
+//! tests and doc examples.
+
+use hmc_host::{HostStats, Workload};
+use hmc_mem::DeviceStats;
+use hmc_power::ActivityRates;
+use hmc_types::{Time, TimeDelta};
+use sim_engine::Histogram;
+
+use crate::system::{System, SystemConfig};
+
+/// Measurement-window parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasureConfig {
+    /// Simulated time before the window opens (reach steady state).
+    pub warmup: TimeDelta,
+    /// Measurement window length.
+    pub window: TimeDelta,
+}
+
+impl MeasureConfig {
+    /// The default experiment window: 100 µs warm-up, 1 ms measurement.
+    pub fn standard() -> Self {
+        MeasureConfig {
+            warmup: TimeDelta::from_us(100),
+            window: TimeDelta::from_ms(1),
+        }
+    }
+
+    /// A fast window for tests and docs: 50 µs warm-up, 200 µs window.
+    pub fn quick() -> Self {
+        MeasureConfig {
+            warmup: TimeDelta::from_us(50),
+            window: TimeDelta::from_us(200),
+        }
+    }
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        MeasureConfig::standard()
+    }
+}
+
+/// The outcome of one measurement window.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Counted bandwidth (paper accounting: full packet footprints of
+    /// completed transactions over the window), GB/s.
+    pub bandwidth_gbs: f64,
+    /// Completed requests in millions per second.
+    pub mrps: f64,
+    /// Read-latency histogram over the window.
+    pub read_latency: Histogram,
+    /// Host-side counters over the window.
+    pub host: HostStats,
+    /// Device activity delta over the window.
+    pub device_delta: DeviceStats,
+    /// The window length.
+    pub window: TimeDelta,
+    /// Mean outstanding requests over the window, by Little's law
+    /// (`throughput × mean latency`).
+    pub outstanding: f64,
+}
+
+impl Measurement {
+    /// Device activity expressed as rates, for the power model.
+    pub fn activity_rates(&self) -> ActivityRates {
+        ActivityRates::from_deltas(
+            self.device_delta.link_bytes(),
+            self.device_delta.data_read_bytes,
+            self.device_delta.data_write_bytes,
+            self.device_delta.bank_activations,
+            self.device_delta.refreshes,
+            self.window,
+        )
+    }
+
+    /// Mean read latency in nanoseconds (0 if no reads completed).
+    pub fn mean_latency_ns(&self) -> f64 {
+        self.read_latency.mean().as_ns_f64()
+    }
+}
+
+fn stats_delta(after: DeviceStats, before: DeviceStats) -> DeviceStats {
+    DeviceStats {
+        reads_completed: after.reads_completed - before.reads_completed,
+        writes_completed: after.writes_completed - before.writes_completed,
+        bytes_up: after.bytes_up - before.bytes_up,
+        bytes_down: after.bytes_down - before.bytes_down,
+        data_read_bytes: after.data_read_bytes - before.data_read_bytes,
+        data_write_bytes: after.data_write_bytes - before.data_write_bytes,
+        bank_activations: after.bank_activations - before.bank_activations,
+        row_hits: after.row_hits - before.row_hits,
+        refreshes: after.refreshes - before.refreshes,
+        local_hops: after.local_hops - before.local_hops,
+        remote_hops: after.remote_hops - before.remote_hops,
+        link_retries: after.link_retries - before.link_retries,
+    }
+}
+
+/// Runs `workload` on a fresh system and measures one window.
+pub fn run_measurement(cfg: &SystemConfig, workload: &Workload, mc: &MeasureConfig) -> Measurement {
+    run_measurement_with(cfg, workload, mc, |_| {})
+}
+
+/// Like [`run_measurement`], with a setup hook applied to the fresh
+/// system before it starts (e.g. forcing the hot-regime refresh
+/// multiplier).
+pub fn run_measurement_with(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    mc: &MeasureConfig,
+    setup: impl FnOnce(&mut System),
+) -> Measurement {
+    let mut sys = System::new(cfg.clone());
+    setup(&mut sys);
+    sys.host_mut().apply_workload(workload);
+    sys.host_mut().start(Time::ZERO);
+    sys.step_until(Time::ZERO + mc.warmup);
+    sys.host_mut().reset_stats();
+    let before = sys.device().stats();
+    sys.step_until(Time::ZERO + mc.warmup + mc.window);
+    let after = sys.device().stats();
+    let host = sys.host().stats();
+    let bandwidth_gbs = host.bandwidth_gbs(mc.window);
+    let mrps = host.mrps(mc.window);
+    let read_latency = host.read_latency.clone();
+    let completed_per_sec = (host.reads_completed + host.writes_completed) as f64
+        / mc.window.as_secs_f64();
+    let outstanding = completed_per_sec * read_latency.mean().as_secs_f64();
+    Measurement {
+        bandwidth_gbs,
+        mrps,
+        read_latency,
+        device_delta: stats_delta(after, before),
+        host,
+        window: mc.window,
+        outstanding,
+    }
+}
+
+/// Runs a [`Workload::Stream`] to completion on a fresh system and
+/// returns the latency histogram plus integrity-failure count.
+pub fn run_stream(cfg: &SystemConfig, workload: &Workload) -> (Histogram, u64) {
+    let mut sys = System::new(cfg.clone());
+    sys.host_mut().apply_workload(workload);
+    sys.host_mut().start(Time::ZERO);
+    let drained = sys.run_until_idle(TimeDelta::from_ms(100));
+    debug_assert!(drained, "stream did not drain");
+    let stats = sys.host().stats();
+    (stats.read_latency.clone(), stats.integrity_failures)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::{RequestKind, RequestSize};
+
+    #[test]
+    fn full_scale_reads_hit_calibrated_bandwidth() {
+        let m = run_measurement(
+            &SystemConfig::default(),
+            &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+            &MeasureConfig::quick(),
+        );
+        // Paper Figure 7: ro 128 B over 16 vaults ≈ 21 GB/s counted.
+        assert!(
+            (17.0..24.0).contains(&m.bandwidth_gbs),
+            "ro bandwidth {}",
+            m.bandwidth_gbs
+        );
+        assert!(m.mrps > 80.0, "mrps {}", m.mrps);
+        assert!(m.mean_latency_ns() > 600.0);
+        assert!(m.outstanding > 50.0);
+    }
+
+    #[test]
+    fn activity_rates_consistent_with_bandwidth() {
+        let m = run_measurement(
+            &SystemConfig::default(),
+            &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+            &MeasureConfig::quick(),
+        );
+        let r = m.activity_rates();
+        // Counted bytes at the host track wire bytes at the device.
+        let host_rate = m.bandwidth_gbs * 1e9;
+        assert!(
+            (r.link_bytes_per_sec - host_rate).abs() / host_rate < 0.15,
+            "device {} vs host {}",
+            r.link_bytes_per_sec,
+            host_rate
+        );
+        assert!(r.read_bytes_per_sec > 0.0);
+        assert_eq!(r.write_bytes_per_sec, 0.0);
+    }
+
+    #[test]
+    fn stream_measurement_drains() {
+        let (lat, fails) = run_stream(
+            &SystemConfig::default(),
+            &Workload::read_stream(12, RequestSize::new(64).unwrap()),
+        );
+        assert_eq!(lat.count(), 12);
+        assert_eq!(fails, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! The paper's targeted access patterns, expressed as GUPS address masks.
+//!
+//! A "*k*-bank" pattern restricts random traffic to *k* banks inside vault
+//! 0; a "*k*-vault" pattern spans all banks of *k* vaults. These are the
+//! x-axis categories of Figures 7–10 and 16, built exactly the way the
+//! paper builds them: by forcing address bits to zero with the GUPS mask
+//! registers (Section IV-A).
+
+use std::fmt;
+
+use hmc_types::{AddressMapping, AddressMask, HmcError, HmcSpec};
+
+/// One of the paper's access-pattern categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// Random traffic over `n` banks of vault 0 (`n` a power of two up to
+    /// the banks per vault).
+    Banks(u32),
+    /// Random traffic over all banks of `n` vaults (`n` a power of two up
+    /// to the vault count).
+    Vaults(u32),
+}
+
+impl AccessPattern {
+    /// The x-axis of the paper's pattern figures, widest pattern first:
+    /// 16, 8, 4, 2, 1 vaults, then 8, 4, 2, 1 banks.
+    pub fn paper_axis() -> Vec<AccessPattern> {
+        vec![
+            AccessPattern::Vaults(16),
+            AccessPattern::Vaults(8),
+            AccessPattern::Vaults(4),
+            AccessPattern::Vaults(2),
+            AccessPattern::Vaults(1),
+            AccessPattern::Banks(8),
+            AccessPattern::Banks(4),
+            AccessPattern::Banks(2),
+            AccessPattern::Banks(1),
+        ]
+    }
+
+    /// The GUPS mask implementing this pattern under the given mapping
+    /// and geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HmcError::InvalidPattern`] if the count is not a power of
+    /// two or exceeds the geometry.
+    pub fn mask(&self, mapping: AddressMapping, spec: &HmcSpec) -> Result<AddressMask, HmcError> {
+        let check = |n: u32, limit: u32, what: &str| -> Result<u32, HmcError> {
+            if n == 0 || !n.is_power_of_two() || n > limit {
+                Err(HmcError::InvalidPattern(format!(
+                    "{what} count {n} must be a power of two in 1..={limit}"
+                )))
+            } else {
+                Ok(n.trailing_zeros())
+            }
+        };
+        let vault_lo = mapping.vault_shift();
+        let bank_lo = mapping.bank_shift(spec);
+        match self {
+            AccessPattern::Vaults(n) => {
+                let bits = check(*n, spec.num_vaults(), "vault")?;
+                if bits == spec.vault_bits() {
+                    return Ok(AddressMask::NONE);
+                }
+                // Freeze the high vault-field bits, leaving `bits` low
+                // ones free: traffic spans 2^bits vaults, all banks.
+                Ok(AddressMask::zero_bits(
+                    vault_lo + bits,
+                    vault_lo + spec.vault_bits() - 1,
+                ))
+            }
+            AccessPattern::Banks(n) => {
+                let bits = check(*n, spec.banks_per_vault(), "bank")?;
+                // All traffic lands in vault 0 (vault field zeroed)...
+                let vault_mask = AddressMask::zero_bits(vault_lo, bank_lo - 1);
+                if bits == spec.bank_bits() {
+                    return Ok(vault_mask);
+                }
+                // ...with only the low `bits` of the bank field free.
+                Ok(vault_mask.with_zero_bits(bank_lo + bits, bank_lo + spec.bank_bits() - 1))
+            }
+        }
+    }
+
+    /// Number of distinct banks the pattern reaches.
+    pub fn bank_count(&self, spec: &HmcSpec) -> u32 {
+        match self {
+            AccessPattern::Banks(n) => *n,
+            AccessPattern::Vaults(n) => n * spec.banks_per_vault(),
+        }
+    }
+
+    /// Number of distinct vaults the pattern reaches.
+    pub fn vault_count(&self) -> u32 {
+        match self {
+            AccessPattern::Banks(_) => 1,
+            AccessPattern::Vaults(n) => *n,
+        }
+    }
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPattern::Banks(1) => write!(f, "1 bank"),
+            AccessPattern::Banks(n) => write!(f, "{n} banks"),
+            AccessPattern::Vaults(1) => write!(f, "1 vault"),
+            AccessPattern::Vaults(n) => write!(f, "{n} vaults"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::Address;
+    use std::collections::BTreeSet;
+
+    fn reached(mask: AddressMask) -> (BTreeSet<u16>, BTreeSet<u16>) {
+        let spec = HmcSpec::default();
+        let map = AddressMapping::default();
+        let mut vaults = BTreeSet::new();
+        let mut banks = BTreeSet::new();
+        for raw in 0..(1u64 << 16) {
+            let loc = map.decode(mask.apply(Address::new(raw << 4)), &spec);
+            vaults.insert(loc.vault.index());
+            banks.insert(loc.vault.index() * 16 + loc.bank.index());
+        }
+        (vaults, banks)
+    }
+
+    #[test]
+    fn vault_patterns_reach_expected_counts() {
+        let spec = HmcSpec::default();
+        let map = AddressMapping::default();
+        for n in [1u32, 2, 4, 8, 16] {
+            let mask = AccessPattern::Vaults(n).mask(map, &spec).unwrap();
+            let (vaults, banks) = reached(mask);
+            assert_eq!(vaults.len() as u32, n, "{n} vaults");
+            assert_eq!(banks.len() as u32, n * 16, "{n} vaults, all banks");
+        }
+    }
+
+    #[test]
+    fn bank_patterns_stay_in_vault_zero() {
+        let spec = HmcSpec::default();
+        let map = AddressMapping::default();
+        for n in [1u32, 2, 4, 8, 16] {
+            let mask = AccessPattern::Banks(n).mask(map, &spec).unwrap();
+            let (vaults, banks) = reached(mask);
+            assert_eq!(vaults.iter().copied().collect::<Vec<_>>(), vec![0]);
+            assert_eq!(banks.len() as u32, n, "{n} banks");
+        }
+    }
+
+    #[test]
+    fn sixteen_vaults_is_unmasked() {
+        let spec = HmcSpec::default();
+        let map = AddressMapping::default();
+        assert_eq!(
+            AccessPattern::Vaults(16).mask(map, &spec).unwrap(),
+            AddressMask::NONE
+        );
+    }
+
+    #[test]
+    fn invalid_patterns_rejected() {
+        let spec = HmcSpec::default();
+        let map = AddressMapping::default();
+        assert!(AccessPattern::Vaults(3).mask(map, &spec).is_err());
+        assert!(AccessPattern::Vaults(32).mask(map, &spec).is_err());
+        assert!(AccessPattern::Banks(0).mask(map, &spec).is_err());
+        assert!(AccessPattern::Banks(32).mask(map, &spec).is_err());
+    }
+
+    #[test]
+    fn counts_and_axis() {
+        let spec = HmcSpec::default();
+        assert_eq!(AccessPattern::Banks(4).bank_count(&spec), 4);
+        assert_eq!(AccessPattern::Vaults(2).bank_count(&spec), 32);
+        assert_eq!(AccessPattern::Banks(4).vault_count(), 1);
+        assert_eq!(AccessPattern::Vaults(8).vault_count(), 8);
+        let axis = AccessPattern::paper_axis();
+        assert_eq!(axis.len(), 9);
+        assert_eq!(axis[0], AccessPattern::Vaults(16));
+        assert_eq!(axis[8], AccessPattern::Banks(1));
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(AccessPattern::Vaults(16).to_string(), "16 vaults");
+        assert_eq!(AccessPattern::Vaults(1).to_string(), "1 vault");
+        assert_eq!(AccessPattern::Banks(2).to_string(), "2 banks");
+        assert_eq!(AccessPattern::Banks(1).to_string(), "1 bank");
+    }
+}

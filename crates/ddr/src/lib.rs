@@ -1,0 +1,370 @@
+//! A DDR3-style DIMM timing model — the synchronous-bus baseline the HMC
+//! results are contrasted against.
+//!
+//! The paper frames HMC against JEDEC DIMMs: a DIMM has a handful of banks
+//! behind one shared 64-bit data bus, large (2 KB) rows usually managed
+//! with an open-page policy, deterministic access latency, and no
+//! packetization overhead. This model captures exactly those properties so
+//! the harness can measure:
+//!
+//! * the **latency premium of HMC's packet-switched interface** (the paper
+//!   estimates the HMC in-cube latency at ≈2× a typical closed-page DRAM
+//!   access);
+//! * the **row-hit benefit of open-page linear access** that HMC's
+//!   closed-page policy deliberately gives up (Figure 13's context);
+//! * the **bandwidth ceiling of a synchronous bus** (12.8 GB/s for
+//!   DDR3-1600) versus HMC's concurrent vaults.
+//!
+//! # Example
+//!
+//! ```
+//! use ddr_baseline::{DdrConfig, DdrDimm};
+//! use hmc_types::Time;
+//!
+//! let mut dimm = DdrDimm::new(DdrConfig::ddr3_1600());
+//! let done = dimm.access(0x1000, false, 64, Time::ZERO);
+//! assert!(done.as_ns_f64() < 100.0, "one access is tens of ns");
+//! ```
+
+use hmc_types::{Time, TimeDelta};
+use sim_engine::Histogram;
+
+/// Row-buffer policy of the DIMM controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DdrPagePolicy {
+    /// Leave rows open (the common DIMM policy).
+    #[default]
+    Open,
+    /// Precharge after every access (for apples-to-apples comparison with
+    /// HMC).
+    Closed,
+}
+
+/// DDR timing and geometry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DdrConfig {
+    /// Banks on the DIMM.
+    pub banks: usize,
+    /// Row (page) size in bytes — 2 KB typical at rank level.
+    pub row_bytes: u64,
+    /// Activate-to-CAS delay.
+    pub t_rcd: TimeDelta,
+    /// CAS latency.
+    pub t_cl: TimeDelta,
+    /// Precharge.
+    pub t_rp: TimeDelta,
+    /// Row-active minimum.
+    pub t_ras: TimeDelta,
+    /// Data-bus time per 64 B burst (also the CAS-to-CAS floor).
+    pub burst_time: TimeDelta,
+    /// Fixed controller/PHY overhead per access (command queueing,
+    /// synchronous handshake) — no packetization, so this is small.
+    pub controller_overhead: TimeDelta,
+    /// Row-buffer policy.
+    pub policy: DdrPagePolicy,
+}
+
+impl DdrConfig {
+    /// DDR3-1600: 11-11-11 timings, 8 banks, 12.8 GB/s bus.
+    pub fn ddr3_1600() -> Self {
+        DdrConfig {
+            banks: 8,
+            row_bytes: 2048,
+            t_rcd: TimeDelta::from_ps(13_750),
+            t_cl: TimeDelta::from_ps(13_750),
+            t_rp: TimeDelta::from_ps(13_750),
+            t_ras: TimeDelta::from_ps(35_000),
+            // 64 B burst over a 64-bit bus at 1600 MT/s: 5 ns.
+            burst_time: TimeDelta::from_ns(5),
+            controller_overhead: TimeDelta::from_ns(15),
+            policy: DdrPagePolicy::Open,
+        }
+    }
+
+    /// The same device under a closed-page policy.
+    pub fn ddr3_1600_closed_page() -> Self {
+        DdrConfig {
+            policy: DdrPagePolicy::Closed,
+            ..Self::ddr3_1600()
+        }
+    }
+
+    /// Peak data-bus bandwidth in bytes per second.
+    pub fn peak_bandwidth_bytes_per_sec(&self) -> f64 {
+        64.0 / self.burst_time.as_secs_f64()
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct DdrBank {
+    busy_until: Time,
+    open_row: Option<u64>,
+}
+
+/// Access statistics of a DIMM run.
+#[derive(Debug, Clone, Default)]
+pub struct DdrStats {
+    /// Accesses served.
+    pub accesses: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Row activations.
+    pub activations: u64,
+    /// Data bytes moved.
+    pub data_bytes: u64,
+    /// Per-access latency (request arrival to data completion).
+    pub latency: Histogram,
+}
+
+impl DdrStats {
+    /// Row-hit rate over all accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The DIMM model: banks behind one shared data bus, served in arrival
+/// order. Command latency pipelines; the data bus and per-bank command
+/// occupancy are the serializing resources.
+#[derive(Debug, Clone)]
+pub struct DdrDimm {
+    cfg: DdrConfig,
+    banks: Vec<DdrBank>,
+    bus_free: Time,
+    stats: DdrStats,
+}
+
+impl DdrDimm {
+    /// Creates an idle DIMM.
+    pub fn new(cfg: DdrConfig) -> Self {
+        DdrDimm {
+            banks: vec![DdrBank::default(); cfg.banks],
+            bus_free: Time::ZERO,
+            stats: DdrStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DdrConfig {
+        &self.cfg
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &DdrStats {
+        &self.stats
+    }
+
+    /// Bank and row of an address: rows are interleaved across banks so
+    /// consecutive rows land in different banks, while accesses within a
+    /// row stay in one bank.
+    fn decode(&self, addr: u64) -> (usize, u64) {
+        let row_index = addr / self.cfg.row_bytes;
+        (
+            (row_index % self.cfg.banks as u64) as usize,
+            row_index / self.cfg.banks as u64,
+        )
+    }
+
+    /// Performs one access arriving at `at`; returns the completion time
+    /// of its data.
+    pub fn access(&mut self, addr: u64, is_write: bool, bytes: u64, at: Time) -> Time {
+        let (bank_idx, row) = self.decode(addr);
+        let bank = &mut self.banks[bank_idx];
+        // Controller overhead is pipelined: it adds latency but does not
+        // occupy the bank.
+        let start = at.max(bank.busy_until);
+        // (latency to first data, how long the bank refuses new commands)
+        let (to_data, occupy) = match self.cfg.policy {
+            DdrPagePolicy::Closed => {
+                self.stats.activations += 1;
+                bank.open_row = None;
+                (
+                    self.cfg.t_rcd + self.cfg.t_cl,
+                    self.cfg.t_ras + self.cfg.t_rp,
+                )
+            }
+            DdrPagePolicy::Open => {
+                if bank.open_row == Some(row) {
+                    self.stats.row_hits += 1;
+                    // Back-to-back CAS: bank ready again after one burst.
+                    (self.cfg.t_cl, self.cfg.burst_time)
+                } else {
+                    let pre = if bank.open_row.is_some() {
+                        self.cfg.t_rp
+                    } else {
+                        TimeDelta::ZERO
+                    };
+                    self.stats.activations += 1;
+                    bank.open_row = Some(row);
+                    (pre + self.cfg.t_rcd + self.cfg.t_cl, pre + self.cfg.t_rcd)
+                }
+            }
+        };
+        let bursts = bytes.div_ceil(64).max(1);
+        let bus_start = (start + self.cfg.controller_overhead + to_data).max(self.bus_free);
+        let done = bus_start + self.cfg.burst_time.saturating_mul(bursts);
+        self.bus_free = done;
+        bank.busy_until = start + occupy;
+        let _ = is_write; // symmetric timing in this baseline
+        self.stats.accesses += 1;
+        self.stats.data_bytes += bytes;
+        self.stats.latency.record(done.since(at));
+        done
+    }
+
+    /// Runs a *dependent* chain of `(addr, is_write, bytes)` requests —
+    /// each issued when the previous one's data returns (pointer-chasing
+    /// semantics; measures unloaded latency). Returns the makespan.
+    pub fn run_trace<I>(&mut self, trace: I) -> TimeDelta
+    where
+        I: IntoIterator<Item = (u64, bool, u64)>,
+    {
+        let mut last = Time::ZERO;
+        for (addr, w, bytes) in trace {
+            last = last.max(self.access(addr, w, bytes, last));
+        }
+        last.since(Time::ZERO)
+    }
+
+    /// Runs an *open-loop* trace with one request arriving every
+    /// `interval` (streaming semantics; measures throughput and loaded
+    /// latency). Returns the makespan.
+    pub fn run_paced<I>(&mut self, trace: I, interval: TimeDelta) -> TimeDelta
+    where
+        I: IntoIterator<Item = (u64, bool, u64)>,
+    {
+        let mut end = Time::ZERO;
+        for (i, (addr, w, bytes)) in trace.into_iter().enumerate() {
+            let at = Time::ZERO + interval.saturating_mul(i as u64);
+            end = end.max(self.access(addr, w, bytes, at));
+        }
+        end.since(Time::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_access_latency_tens_of_ns() {
+        let mut d = DdrDimm::new(DdrConfig::ddr3_1600());
+        let done = d.access(0, false, 64, Time::ZERO);
+        // 15 (ctrl) + 27.5 (tRCD+tCL) + 5 (burst) = 47.5 ns.
+        assert!((done.as_ns_f64() - 47.5).abs() < 0.1, "{}", done.as_ns_f64());
+    }
+
+    #[test]
+    fn open_page_row_hits_are_fast() {
+        let mut d = DdrDimm::new(DdrConfig::ddr3_1600());
+        let t0 = d.access(0, false, 64, Time::ZERO);
+        let t1 = d.access(64, false, 64, t0);
+        // Hit: 15 + 13.75 + 5 = 33.75 ns.
+        assert!((t1.since(t0).as_ns_f64() - 33.75).abs() < 0.1);
+        assert_eq!(d.stats().row_hits, 1);
+        assert!(d.stats().hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn closed_page_never_hits() {
+        let mut d = DdrDimm::new(DdrConfig::ddr3_1600_closed_page());
+        let mut at = Time::ZERO;
+        for i in 0..8 {
+            at = d.access(i * 64, false, 64, at);
+        }
+        assert_eq!(d.stats().row_hits, 0);
+        assert_eq!(d.stats().activations, 8);
+    }
+
+    #[test]
+    fn linear_beats_random_under_open_page() {
+        // Dependent chains: linear walks hit the row buffer and see
+        // CAS-only latency; random pointer chasing keeps activating.
+        let cfg = DdrConfig::ddr3_1600();
+        let mut linear = DdrDimm::new(cfg);
+        linear.run_trace((0..2_000u64).map(|i| (i * 64, false, 64)));
+        let mut random = DdrDimm::new(cfg);
+        let mut rng = sim_engine::SplitMix64::new(1);
+        random.run_trace((0..2_000).map(|_| (rng.next_below(1 << 28) * 64, false, 64)));
+        let lin = linear.stats().latency.mean().as_ns_f64();
+        let rnd = random.stats().latency.mean().as_ns_f64();
+        assert!(lin * 1.2 < rnd, "linear {lin} ns vs random {rnd} ns");
+        assert!(linear.stats().hit_rate() > 0.9);
+        assert!(random.stats().hit_rate() < 0.1);
+    }
+
+    #[test]
+    fn linear_equals_random_under_closed_page() {
+        // The HMC argument: closed-page makes locality worthless for
+        // latency — a dependent linear walk pays the same full
+        // activate/CAS/precharge sequence as random pointer chasing.
+        let cfg = DdrConfig::ddr3_1600_closed_page();
+        let mut linear = DdrDimm::new(cfg);
+        linear.run_trace((0..2_000u64).map(|i| (i * 64, false, 64)));
+        let mut random = DdrDimm::new(cfg);
+        let mut rng = sim_engine::SplitMix64::new(1);
+        random.run_trace((0..2_000).map(|_| (rng.next_below(1 << 28) * 64, false, 64)));
+        let lin = linear.stats().latency.mean().as_ns_f64();
+        let rnd = random.stats().latency.mean().as_ns_f64();
+        let ratio = rnd / lin;
+        assert!((0.9..1.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn streaming_bandwidth_near_bus_peak() {
+        let cfg = DdrConfig::ddr3_1600();
+        let mut d = DdrDimm::new(cfg);
+        let span = d.run_paced(
+            (0..20_000u64).map(|i| (i * 64, false, 64)),
+            cfg.burst_time,
+        );
+        let gbs = d.stats().data_bytes as f64 / span.as_secs_f64() / 1e9;
+        let peak = cfg.peak_bandwidth_bytes_per_sec() / 1e9;
+        assert!(gbs > 0.85 * peak, "streaming {gbs} GB/s of peak {peak}");
+        assert!(gbs <= peak + 1e-9);
+    }
+
+    #[test]
+    fn dependent_chain_is_latency_bound() {
+        // Pointer chasing cannot exploit the bus: throughput is one access
+        // per round-trip, far below peak.
+        let cfg = DdrConfig::ddr3_1600();
+        let mut d = DdrDimm::new(cfg);
+        let mut rng = sim_engine::SplitMix64::new(2);
+        let span = d.run_trace((0..1_000).map(|_| (rng.next_below(1 << 28) * 64, false, 64)));
+        let gbs = d.stats().data_bytes as f64 / span.as_secs_f64() / 1e9;
+        assert!(gbs < 2.0, "dependent chain {gbs} GB/s");
+    }
+
+    #[test]
+    fn peak_bandwidth_is_12_8_gbs() {
+        let p = DdrConfig::ddr3_1600().peak_bandwidth_bytes_per_sec();
+        assert!((p / 1e9 - 12.8).abs() < 0.01);
+    }
+
+    #[test]
+    fn bank_interleaving_decodes_rows() {
+        let d = DdrDimm::new(DdrConfig::ddr3_1600());
+        let (b0, r0) = d.decode(0);
+        let (b1, r1) = d.decode(2048);
+        assert_eq!((b0, r0), (0, 0));
+        assert_eq!((b1, r1), (1, 0));
+        let (b8, r8) = d.decode(2048 * 8);
+        assert_eq!((b8, r8), (0, 1));
+    }
+
+    #[test]
+    fn stats_track_bytes_and_latency() {
+        let mut d = DdrDimm::new(DdrConfig::ddr3_1600());
+        d.access(0, true, 128, Time::ZERO);
+        assert_eq!(d.stats().accesses, 1);
+        assert_eq!(d.stats().data_bytes, 128);
+        assert_eq!(d.stats().latency.count(), 1);
+        assert_eq!(DdrStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! A time-ordered, FIFO-stable event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hmc_types::Time;
+
+/// A discrete-event queue: events pop in non-decreasing time order, and
+/// events scheduled for the same instant pop in insertion order
+/// (FIFO-stable), which keeps simulations deterministic.
+///
+/// ```
+/// use sim_engine::event::EventQueue;
+/// use hmc_types::Time;
+///
+/// let mut q = EventQueue::new();
+/// let t = Time::from_ps(5);
+/// q.push(t, 'a');
+/// q.push(t, 'b');
+/// assert_eq!(q.pop().unwrap().1, 'a');
+/// assert_eq!(q.pop().unwrap().1, 'b');
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    key: Reverse<(Time, u64)>,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` at instant `at`.
+    pub fn push(&mut self, at: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            key: Reverse((at, seq)),
+            event,
+        });
+    }
+
+    /// Removes and returns the earliest event with its scheduled time.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|e| (e.key.0 .0, e.event))
+    }
+
+    /// The time of the earliest scheduled event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.key.0 .0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Iterates over pending events in arbitrary order (diagnostics).
+    pub fn iter(&self) -> impl Iterator<Item = (Time, &E)> {
+        self.heap.iter().map(|e| (e.key.0 .0, &e.event))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(30), 3);
+        q.push(Time::from_ps(10), 1);
+        q.push(Time::from_ps(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_stable_at_equal_times() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ps(100);
+        for i in 0..50 {
+            q.push(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(10), "a");
+        q.push(Time::from_ps(5), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+        q.push(Time::from_ps(7), "c");
+        q.push(Time::from_ps(20), "d");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "d");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(42), ());
+        assert_eq!(q.peek_time(), Some(Time::from_ps(42)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::with_capacity(8);
+        q.push(Time::ZERO, 1);
+        q.push(Time::ZERO, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+    }
+}

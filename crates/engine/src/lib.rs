@@ -1,0 +1,47 @@
+//! Deterministic discrete-event simulation core for the `hmcsim` workspace.
+//!
+//! The engine is deliberately small and policy-free:
+//!
+//! * [`event::EventQueue`] — a time-ordered, FIFO-stable priority queue of
+//!   user-defined events. Simulation crates define their own event enums and
+//!   drive their own main loops.
+//! * [`queue::BoundedQueue`] — a capacity-limited FIFO with time-weighted
+//!   occupancy statistics, used for bank queues, controller FIFOs, and tag
+//!   pools.
+//! * [`stats`] — counters, latency [`stats::Histogram`]s, time-weighted
+//!   averages, and bandwidth meters.
+//! * [`series::TimeSeries`] — sampled traces (temperature and power over
+//!   simulated time).
+//! * [`regress`] — least-squares line fitting used for the paper's
+//!   Figure 11/12 regressions.
+//! * [`rng::SplitMix64`] — a tiny deterministic PRNG so every experiment is
+//!   exactly reproducible from its seed.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_engine::event::EventQueue;
+//! use hmc_types::Time;
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Time::from_ps(20), "late");
+//! q.push(Time::from_ps(10), "early");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t.as_ps(), ev), (10, "early"));
+//! ```
+
+pub mod event;
+pub mod queue;
+pub mod regress;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod token;
+
+pub use event::EventQueue;
+pub use queue::BoundedQueue;
+pub use regress::LinearFit;
+pub use rng::SplitMix64;
+pub use series::TimeSeries;
+pub use stats::{BandwidthMeter, Counter, Histogram, TimeWeighted};
+pub use token::TokenBucket;

@@ -1,0 +1,143 @@
+//! Ordinary least-squares line fitting.
+//!
+//! The paper extracts the temperature–bandwidth and power–bandwidth
+//! relationships (Figures 11 and 12) with linear regression over the
+//! measured points; this module provides the same tool.
+
+use std::fmt;
+
+/// A fitted line `y = slope·x + intercept` with its coefficient of
+/// determination.
+///
+/// ```
+/// use sim_engine::regress::LinearFit;
+///
+/// let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
+/// let fit = LinearFit::fit(&pts).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination (1.0 = perfect fit).
+    pub r_squared: f64,
+}
+
+impl LinearFit {
+    /// Fits a line to `(x, y)` points by ordinary least squares.
+    ///
+    /// Returns `None` for fewer than two points or when all x values
+    /// coincide (vertical line).
+    pub fn fit(points: &[(f64, f64)]) -> Option<LinearFit> {
+        if points.len() < 2 {
+            return None;
+        }
+        let n = points.len() as f64;
+        let sum_x: f64 = points.iter().map(|p| p.0).sum();
+        let sum_y: f64 = points.iter().map(|p| p.1).sum();
+        let mean_x = sum_x / n;
+        let mean_y = sum_y / n;
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        let mut syy = 0.0;
+        for &(x, y) in points {
+            sxx += (x - mean_x) * (x - mean_x);
+            sxy += (x - mean_x) * (y - mean_y);
+            syy += (y - mean_y) * (y - mean_y);
+        }
+        if sxx == 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = mean_y - slope * mean_x;
+        let r_squared = if syy == 0.0 {
+            1.0 // constant y: the fit is exact
+        } else {
+            (sxy * sxy) / (sxx * syy)
+        };
+        Some(LinearFit {
+            slope,
+            intercept,
+            r_squared,
+        })
+    }
+
+    /// Evaluates the fitted line at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Solves the fitted line for the `x` giving the requested `y`.
+    ///
+    /// Returns `None` if the line is flat.
+    pub fn solve_for_x(&self, y: f64) -> Option<f64> {
+        if self.slope == 0.0 {
+            None
+        } else {
+            Some((y - self.intercept) / self.slope)
+        }
+    }
+}
+
+impl fmt::Display for LinearFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "y = {:.4}x + {:.4} (r2 = {:.3})",
+            self.slope, self.intercept, self.r_squared
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - 58.0).abs() < 1e-12);
+        assert!((fit.solve_for_x(58.0).unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let pts = [(0.0, 0.1), (1.0, 0.9), (2.0, 2.2), (3.0, 2.8)];
+        let fit = LinearFit::fit(&pts).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.95);
+        assert!((fit.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(LinearFit::fit(&[]).is_none());
+        assert!(LinearFit::fit(&[(1.0, 1.0)]).is_none());
+        // Vertical line: all x equal.
+        assert!(LinearFit::fit(&[(2.0, 1.0), (2.0, 5.0)]).is_none());
+    }
+
+    #[test]
+    fn constant_y_has_zero_slope() {
+        let fit = LinearFit::fit(&[(0.0, 4.0), (1.0, 4.0), (2.0, 4.0)]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 4.0);
+        assert_eq!(fit.r_squared, 1.0);
+        assert!(fit.solve_for_x(9.0).is_none());
+    }
+
+    #[test]
+    fn display() {
+        let fit = LinearFit::fit(&[(0.0, 0.0), (1.0, 2.0)]).unwrap();
+        assert!(format!("{fit}").contains("2.0000x"));
+    }
+}

@@ -1,0 +1,186 @@
+//! Sampled time series for slowly varying signals (temperature, power).
+
+use hmc_types::Time;
+
+/// A `(time, value)` trace sampled at irregular instants.
+///
+/// ```
+/// use sim_engine::series::TimeSeries;
+/// use hmc_types::Time;
+///
+/// let mut s = TimeSeries::new("temperature_c");
+/// s.push(Time::from_ps(0), 43.1);
+/// s.push(Time::from_ps(1_000), 44.0);
+/// assert_eq!(s.last().unwrap().1, 44.0);
+/// assert!((s.mean() - 43.55).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(Time, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty, named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// The series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` precedes the previous sample.
+    pub fn push(&mut self, at: Time, value: f64) {
+        debug_assert!(
+            self.points.last().is_none_or(|&(t, _)| t <= at),
+            "samples must be pushed in time order"
+        );
+        self.points.push((at, value));
+    }
+
+    /// All samples in time order.
+    pub fn points(&self) -> &[(Time, f64)] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<(Time, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Unweighted mean of the sampled values (zero if empty).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// Largest sampled value.
+    pub fn max(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Smallest sampled value.
+    pub fn min(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+    }
+
+    /// Mean of the samples taken at or after `from` — used to read the
+    /// settled value of a thermal trace after its transient.
+    pub fn mean_after(&self, from: Time) -> f64 {
+        let tail: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|&&(t, _)| t >= from)
+            .map(|&(_, v)| v)
+            .collect();
+        if tail.is_empty() {
+            0.0
+        } else {
+            tail.iter().sum::<f64>() / tail.len() as f64
+        }
+    }
+
+    /// Linear interpolation of the signal at `at` (clamped to the ends).
+    pub fn sample_at(&self, at: Time) -> Option<f64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        if at <= self.points[0].0 {
+            return Some(self.points[0].1);
+        }
+        if at >= self.points[self.points.len() - 1].0 {
+            return Some(self.points[self.points.len() - 1].1);
+        }
+        let idx = self.points.partition_point(|&(t, _)| t <= at);
+        let (t0, v0) = self.points[idx - 1];
+        let (t1, v1) = self.points[idx];
+        let frac = at.since(t0).as_ps() as f64 / t1.since(t0).as_ps() as f64;
+        Some(v0 + (v1 - v0) * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        let mut s = TimeSeries::new("t");
+        s.push(Time::from_ps(0), 10.0);
+        s.push(Time::from_ps(100), 20.0);
+        s.push(Time::from_ps(200), 40.0);
+        s
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = series();
+        assert_eq!(s.name(), "t");
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.last(), Some((Time::from_ps(200), 40.0)));
+        assert_eq!(s.points().len(), 3);
+    }
+
+    #[test]
+    fn aggregates() {
+        let s = series();
+        assert!((s.mean() - 70.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.max(), Some(40.0));
+        assert_eq!(s.min(), Some(10.0));
+    }
+
+    #[test]
+    fn mean_after_settling() {
+        let s = series();
+        assert!((s.mean_after(Time::from_ps(100)) - 30.0).abs() < 1e-9);
+        assert_eq!(s.mean_after(Time::from_ps(999)), 0.0);
+    }
+
+    #[test]
+    fn interpolation() {
+        let s = series();
+        assert_eq!(s.sample_at(Time::from_ps(50)), Some(15.0));
+        assert_eq!(s.sample_at(Time::from_ps(150)), Some(30.0));
+        // Clamped at the ends.
+        assert_eq!(s.sample_at(Time::from_ps(0)), Some(10.0));
+        assert_eq!(s.sample_at(Time::from_ps(900)), Some(40.0));
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.last(), None);
+        assert_eq!(s.sample_at(Time::ZERO), None);
+    }
+}

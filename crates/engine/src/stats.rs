@@ -1,0 +1,453 @@
+//! Measurement instruments: counters, latency histograms, time-weighted
+//! averages, and bandwidth meters.
+
+use std::fmt;
+
+use hmc_types::{Time, TimeDelta};
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.0 = 0;
+    }
+
+    /// Count divided by an elapsed wall of simulated time, in events per
+    /// second.
+    pub fn rate_per_sec(self, elapsed: TimeDelta) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.0 as f64 / elapsed.as_secs_f64()
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A latency histogram storing summary moments plus a bounded reservoir of
+/// raw samples for percentile queries.
+///
+/// The GUPS monitoring unit reports min / max / aggregate read latency; this
+/// mirrors that and adds percentiles for richer analysis.
+///
+/// ```
+/// use sim_engine::stats::Histogram;
+/// use hmc_types::TimeDelta;
+///
+/// let mut h = Histogram::new();
+/// for ns in [10, 20, 30] {
+///     h.record(TimeDelta::from_ns(ns));
+/// }
+/// assert_eq!(h.mean().as_ns_f64(), 20.0);
+/// assert_eq!(h.min().unwrap().as_ns_f64(), 10.0);
+/// assert_eq!(h.max().unwrap().as_ns_f64(), 30.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    count: u64,
+    sum_ps: u128,
+    sum_sq_ps: f64,
+    min: Option<TimeDelta>,
+    max: Option<TimeDelta>,
+    /// Raw samples, capped at `RESERVOIR_CAP` by uniform decimation.
+    samples: Vec<u64>,
+    /// Every `stride`-th sample is kept once the reservoir fills.
+    stride: u64,
+}
+
+impl Histogram {
+    const RESERVOIR_CAP: usize = 65_536;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum_ps: 0,
+            sum_sq_ps: 0.0,
+            min: None,
+            max: None,
+            samples: Vec::new(),
+            stride: 1,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: TimeDelta) {
+        let ps = sample.as_ps();
+        self.count += 1;
+        self.sum_ps += ps as u128;
+        self.sum_sq_ps += (ps as f64) * (ps as f64);
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = Some(self.max.map_or(sample, |m| m.max(sample)));
+        if self.count.is_multiple_of(self.stride) {
+            if self.samples.len() >= Self::RESERVOIR_CAP {
+                // Decimate: keep every other sample and double the stride.
+                let mut keep = Vec::with_capacity(Self::RESERVOIR_CAP / 2);
+                for (i, &s) in self.samples.iter().enumerate() {
+                    if i % 2 == 0 {
+                        keep.push(s);
+                    }
+                }
+                self.samples = keep;
+                self.stride *= 2;
+            }
+            self.samples.push(ps);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample.
+    pub fn min(&self) -> Option<TimeDelta> {
+        self.min
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> Option<TimeDelta> {
+        self.max
+    }
+
+    /// Arithmetic mean (zero if empty).
+    pub fn mean(&self) -> TimeDelta {
+        if self.count == 0 {
+            TimeDelta::ZERO
+        } else {
+            TimeDelta::from_ps((self.sum_ps / self.count as u128) as u64)
+        }
+    }
+
+    /// Population standard deviation in picoseconds (zero if fewer than two
+    /// samples).
+    pub fn std_dev_ps(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.sum_ps as f64 / n;
+        let var = (self.sum_sq_ps / n) - mean * mean;
+        var.max(0.0).sqrt()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) from the sample reservoir.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<TimeDelta> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        Some(TimeDelta::from_ps(sorted[idx]))
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> TimeDelta {
+        TimeDelta::from_ps(self.sum_ps.min(u64::MAX as u128) as u64)
+    }
+
+    /// Merges another histogram's moments into this one (reservoirs are
+    /// concatenated then decimated lazily on the next record).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum_ps += other.sum_ps;
+        self.sum_sq_ps += other.sum_sq_ps;
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.samples.extend_from_slice(&other.samples);
+        if self.samples.len() > 2 * Self::RESERVOIR_CAP {
+            let mut keep = Vec::with_capacity(Self::RESERVOIR_CAP);
+            for (i, &s) in self.samples.iter().enumerate() {
+                if i % 2 == 0 {
+                    keep.push(s);
+                }
+            }
+            self.samples = keep;
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "histogram(empty)");
+        }
+        write!(
+            f,
+            "n={} min={} mean={} max={}",
+            self.count,
+            self.min.unwrap_or(TimeDelta::ZERO),
+            self.mean(),
+            self.max.unwrap_or(TimeDelta::ZERO),
+        )
+    }
+}
+
+/// A time-weighted running average of a piecewise-constant signal (e.g.
+/// instantaneous power).
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    integral: f64,
+    last_value: f64,
+    last_time: Time,
+    start: Time,
+}
+
+impl TimeWeighted {
+    /// Starts tracking a signal whose value is `initial` at `start`.
+    pub fn new(start: Time, initial: f64) -> Self {
+        TimeWeighted {
+            integral: 0.0,
+            last_value: initial,
+            last_time: start,
+            start,
+        }
+    }
+
+    /// Records that the signal changed to `value` at instant `now`.
+    pub fn set(&mut self, now: Time, value: f64) {
+        self.integral += self.last_value * now.since(self.last_time).as_ps() as f64;
+        self.last_value = value;
+        self.last_time = now;
+    }
+
+    /// The signal's current value.
+    pub fn current(&self) -> f64 {
+        self.last_value
+    }
+
+    /// The time-weighted mean over `[start, now]`.
+    pub fn mean(&self, now: Time) -> f64 {
+        let span = now.since(self.start).as_ps() as f64;
+        if span == 0.0 {
+            return self.last_value;
+        }
+        let integral = self.integral + self.last_value * now.since(self.last_time).as_ps() as f64;
+        integral / span
+    }
+}
+
+/// Accumulates bytes moved and reports bandwidth over the observation
+/// window — the paper's accounting multiplies access counts by full packet
+/// footprints (header + tail + payload) and divides by elapsed time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BandwidthMeter {
+    bytes: u64,
+}
+
+impl BandwidthMeter {
+    /// Creates a zeroed meter.
+    pub const fn new() -> Self {
+        BandwidthMeter { bytes: 0 }
+    }
+
+    /// Records `bytes` moved.
+    pub fn record(&mut self, bytes: u64) {
+        self.bytes += bytes;
+    }
+
+    /// Total bytes recorded.
+    pub const fn bytes(self) -> u64 {
+        self.bytes
+    }
+
+    /// Bandwidth in bytes per second over `elapsed`.
+    pub fn bytes_per_sec(self, elapsed: TimeDelta) -> f64 {
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            self.bytes as f64 / elapsed.as_secs_f64()
+        }
+    }
+
+    /// Bandwidth in gigabytes per second (decimal GB) over `elapsed`.
+    pub fn gb_per_sec(self, elapsed: TimeDelta) -> f64 {
+        self.bytes_per_sec(elapsed) / 1e9
+    }
+
+    /// Resets the meter.
+    pub fn reset(&mut self) {
+        self.bytes = 0;
+    }
+}
+
+impl fmt::Display for BandwidthMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bytes", self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.rate_per_sec(TimeDelta::from_secs(5)), 1.0);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(c.rate_per_sec(TimeDelta::ZERO), 0.0);
+    }
+
+    #[test]
+    fn histogram_moments() {
+        let mut h = Histogram::new();
+        for ns in [100u64, 200, 300, 400] {
+            h.record(TimeDelta::from_ns(ns));
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.mean().as_ns_f64(), 250.0);
+        assert_eq!(h.min().unwrap().as_ns_f64(), 100.0);
+        assert_eq!(h.max().unwrap().as_ns_f64(), 400.0);
+        assert_eq!(h.total().as_ns_f64(), 1000.0);
+        // Population std-dev of {100,200,300,400} ns is ~111.8 ns.
+        assert!((h.std_dev_ps() / 1000.0 - 111.8).abs() < 0.1);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new();
+        for i in 1..=100u64 {
+            h.record(TimeDelta::from_ns(i));
+        }
+        assert_eq!(h.quantile(0.0).unwrap().as_ns_f64(), 1.0);
+        assert_eq!(h.quantile(1.0).unwrap().as_ns_f64(), 100.0);
+        let median = h.quantile(0.5).unwrap().as_ns_f64();
+        assert!((49.0..=52.0).contains(&median));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quantile_range_checked() {
+        let h = Histogram::new();
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn histogram_reservoir_decimates() {
+        let mut h = Histogram::new();
+        for i in 0..200_000u64 {
+            h.record(TimeDelta::from_ps(i));
+        }
+        assert_eq!(h.count(), 200_000);
+        assert!(h.samples.len() <= 70_000);
+        // Quantiles remain sane after decimation.
+        let q = h.quantile(0.5).unwrap().as_ps();
+        assert!((90_000..110_000).contains(&q), "median {q}");
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(TimeDelta::from_ns(10));
+        b.record(TimeDelta::from_ns(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean().as_ns_f64(), 20.0);
+        assert_eq!(a.min().unwrap().as_ns_f64(), 10.0);
+        assert_eq!(a.max().unwrap().as_ns_f64(), 30.0);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), TimeDelta::ZERO);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.std_dev_ps(), 0.0);
+        assert_eq!(format!("{h}"), "histogram(empty)");
+    }
+
+    #[test]
+    fn time_weighted_mean() {
+        let mut tw = TimeWeighted::new(Time::ZERO, 10.0);
+        tw.set(Time::from_ps(100), 20.0);
+        // 10 over [0,100), 20 over [100,200): mean 15.
+        assert!((tw.mean(Time::from_ps(200)) - 15.0).abs() < 1e-9);
+        assert_eq!(tw.current(), 20.0);
+        // Zero-length window returns the current value.
+        let fresh = TimeWeighted::new(Time::ZERO, 7.0);
+        assert_eq!(fresh.mean(Time::ZERO), 7.0);
+    }
+
+    #[test]
+    fn bandwidth_meter() {
+        let mut m = BandwidthMeter::new();
+        m.record(160);
+        m.record(160);
+        assert_eq!(m.bytes(), 320);
+        // 320 B over 16 ns = 20 GB/s.
+        assert!((m.gb_per_sec(TimeDelta::from_ns(16)) - 20.0).abs() < 1e-9);
+        assert_eq!(m.bytes_per_sec(TimeDelta::ZERO), 0.0);
+        m.reset();
+        assert_eq!(m.bytes(), 0);
+    }
+
+    #[test]
+    fn display_impls() {
+        let mut h = Histogram::new();
+        h.record(TimeDelta::from_ns(5));
+        assert!(format!("{h}").contains("n=1"));
+        let mut c = Counter::new();
+        c.incr();
+        assert_eq!(format!("{c}"), "1");
+        assert!(format!("{}", BandwidthMeter::new()).contains("bytes"));
+    }
+}

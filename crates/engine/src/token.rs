@@ -1,0 +1,182 @@
+//! A deterministic token bucket for rate limiting in simulated time.
+
+use hmc_types::{Time, TimeDelta};
+
+/// A token bucket refilling continuously at a fixed rate, with a burst
+/// capacity — the standard shaper for modelling drains, credits-per-second
+/// interfaces, and paced producers.
+///
+/// Tokens are tracked in integer micro-units so refill arithmetic is exact
+/// and runs are reproducible.
+///
+/// ```
+/// use sim_engine::token::TokenBucket;
+/// use hmc_types::{Time, TimeDelta};
+///
+/// // 2 tokens per microsecond, burst of 4.
+/// let mut b = TokenBucket::new(2_000_000.0, 4);
+/// assert!(b.try_take(4, Time::ZERO)); // burst drained
+/// assert!(!b.try_take(1, Time::ZERO));
+/// // After 1 µs, two tokens are back.
+/// assert!(b.try_take(2, Time::ZERO + TimeDelta::from_us(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Tokens currently available, in micro-tokens.
+    micro_tokens: u64,
+    /// Capacity in micro-tokens.
+    capacity_micro: u64,
+    /// Refill rate in micro-tokens per picosecond, expressed as a
+    /// rational (numerator per 1e18 ps) for exactness.
+    rate_micro_per_ps_num: u128,
+    last_refill: Time,
+}
+
+const MICRO: u64 = 1_000_000;
+const RATE_DEN: u128 = 1_000_000_000_000_000_000;
+
+impl TokenBucket {
+    /// Creates a bucket refilling at `tokens_per_sec`, holding at most
+    /// `capacity` tokens, initially full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is non-positive or the capacity is zero.
+    pub fn new(tokens_per_sec: f64, capacity: u64) -> Self {
+        assert!(tokens_per_sec > 0.0, "rate must be positive");
+        assert!(capacity > 0, "capacity must be non-zero");
+        // micro-tokens per ps = tokens_per_sec * 1e6 / 1e12; scale by 1e18
+        // for the rational representation.
+        let num = (tokens_per_sec * 1e12) as u128;
+        TokenBucket {
+            micro_tokens: capacity * MICRO,
+            capacity_micro: capacity * MICRO,
+            rate_micro_per_ps_num: num,
+            last_refill: Time::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: Time) {
+        if now <= self.last_refill {
+            return;
+        }
+        let dt = now.since(self.last_refill).as_ps() as u128;
+        let added = (dt * self.rate_micro_per_ps_num / RATE_DEN) as u64;
+        if added > 0 {
+            self.micro_tokens = (self.micro_tokens + added).min(self.capacity_micro);
+            self.last_refill = now;
+        }
+    }
+
+    /// Takes `n` tokens at `now` if available.
+    pub fn try_take(&mut self, n: u64, now: Time) -> bool {
+        self.refill(now);
+        let need = n * MICRO;
+        if self.micro_tokens >= need {
+            self.micro_tokens -= need;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whole tokens currently available at `now`.
+    pub fn available(&mut self, now: Time) -> u64 {
+        self.refill(now);
+        self.micro_tokens / MICRO
+    }
+
+    /// The earliest instant at which `n` tokens will be available, given
+    /// no intervening takes. Returns `now` if already available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the bucket capacity (it would never fill).
+    pub fn next_available(&mut self, n: u64, now: Time) -> Time {
+        assert!(
+            n * MICRO <= self.capacity_micro,
+            "requested more tokens than the bucket holds"
+        );
+        self.refill(now);
+        let need = n * MICRO;
+        if self.micro_tokens >= need {
+            return now;
+        }
+        let deficit = (need - self.micro_tokens) as u128;
+        let ps = deficit * RATE_DEN / self.rate_micro_per_ps_num + 1;
+        now + TimeDelta::from_ps(ps as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut b = TokenBucket::new(1e6, 10);
+        assert_eq!(b.available(Time::ZERO), 10);
+        assert!(b.try_take(10, Time::ZERO));
+        assert!(!b.try_take(1, Time::ZERO));
+        assert_eq!(b.available(Time::ZERO), 0);
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        // 1 M tokens/s = 1 token per µs.
+        let mut b = TokenBucket::new(1e6, 100);
+        b.try_take(100, Time::ZERO);
+        let t = Time::ZERO + TimeDelta::from_us(5);
+        assert_eq!(b.available(t), 5);
+        assert!(b.try_take(5, t));
+        assert!(!b.try_take(1, t));
+    }
+
+    #[test]
+    fn capacity_caps_refill() {
+        let mut b = TokenBucket::new(1e9, 3);
+        // A long idle period cannot overfill.
+        assert_eq!(b.available(Time::from_ps(1_000_000_000_000)), 3);
+    }
+
+    #[test]
+    fn next_available_predicts_refill() {
+        let mut b = TokenBucket::new(1e6, 10);
+        b.try_take(10, Time::ZERO);
+        let at = b.next_available(3, Time::ZERO);
+        // Three tokens at 1/µs: ready just after 3 µs.
+        let us = at.as_us_f64();
+        assert!((3.0..3.1).contains(&us), "{us}");
+        assert!(b.try_take(3, at));
+    }
+
+    #[test]
+    fn next_available_now_when_stocked() {
+        let mut b = TokenBucket::new(1e6, 10);
+        assert_eq!(b.next_available(5, Time::from_ps(77)), Time::from_ps(77));
+    }
+
+    #[test]
+    #[should_panic(expected = "more tokens than the bucket")]
+    fn oversized_request_panics() {
+        let mut b = TokenBucket::new(1e6, 2);
+        let _ = b.next_available(3, Time::ZERO);
+    }
+
+    #[test]
+    fn exactness_over_many_small_refills() {
+        // Integer arithmetic: 1000 separate 1 ns refills equal one 1 µs
+        // refill at 1 token/µs.
+        let mut a = TokenBucket::new(1e6, 1000);
+        let mut bb = TokenBucket::new(1e6, 1000);
+        a.try_take(1000, Time::ZERO);
+        bb.try_take(1000, Time::ZERO);
+        for i in 1..=1000u64 {
+            let _ = a.available(Time::from_ps(i * 1_000));
+        }
+        assert_eq!(
+            a.available(Time::from_ps(1_000_000)),
+            bb.available(Time::from_ps(1_000_000))
+        );
+    }
+}

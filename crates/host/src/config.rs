@@ -1,0 +1,85 @@
+//! Host controller configuration.
+
+use hmc_types::{Frequency, LinkConfig, TimeDelta};
+
+use crate::controller::{RxPath, TxStages};
+
+/// Configuration of the FPGA-side controller and GUPS design.
+///
+/// Defaults follow the AC-510 infrastructure: a 187.5 MHz fabric, nine
+/// usable GUPS ports (ten minus one reserved for system use) split across
+/// two `hmc_node`s, and 64-entry read tag pools per port.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostConfig {
+    /// Fabric clock (187.5 MHz on the Kintex UltraScale design).
+    pub frequency: Frequency,
+    /// Usable GUPS ports.
+    pub num_ports: usize,
+    /// External links (each backed by one `hmc_node`).
+    pub links: LinkConfig,
+    /// Read tag pool depth per port.
+    pub tag_pool_depth: usize,
+    /// Requests an `hmc_node` buffers before raising the stop signal to
+    /// its ports (the request flow-control unit of Figure 14).
+    pub node_queue_depth: usize,
+    /// TX pipeline stage budget.
+    pub tx: TxStages,
+    /// RX pipeline budget.
+    pub rx: RxPath,
+    /// Addressable memory size the generators draw from (4 GB device).
+    pub memory_capacity: u64,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            frequency: Frequency::FPGA_187_5_MHZ,
+            num_ports: 9,
+            links: LinkConfig::ac510(),
+            tag_pool_depth: 64,
+            node_queue_depth: 16,
+            tx: TxStages::default(),
+            rx: RxPath::default(),
+            memory_capacity: 4 << 30,
+        }
+    }
+}
+
+impl HostConfig {
+    /// The `hmc_node` (and therefore external link) a port transmits on.
+    /// Ports are dealt round-robin so that small-scale GUPS (few active
+    /// ports, Figures 17/18) exercises every link: with nine ports and
+    /// two links, even ports use link 0 and odd ports link 1.
+    pub fn node_of_port(&self, port: usize) -> usize {
+        port % self.links.num_links() as usize
+    }
+
+    /// One fabric clock period.
+    pub fn cycle(&self) -> TimeDelta {
+        self.frequency.period()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_ac510() {
+        let c = HostConfig::default();
+        assert_eq!(c.num_ports, 9);
+        assert_eq!(c.tag_pool_depth, 64);
+        assert_eq!(c.links.num_links(), 2);
+        assert_eq!(c.cycle().as_ps(), 5_333);
+    }
+
+    #[test]
+    fn port_to_node_round_robin() {
+        let c = HostConfig::default();
+        let nodes: Vec<usize> = (0..9).map(|p| c.node_of_port(p)).collect();
+        assert_eq!(nodes, vec![0, 1, 0, 1, 0, 1, 0, 1, 0]);
+        // Five ports land on node 0, four on node 1 — the 10-port design
+        // with one reserved port.
+        assert_eq!(nodes.iter().filter(|&&n| n == 0).count(), 5);
+    }
+}

@@ -1,0 +1,243 @@
+//! The HMC controller pipelines on the FPGA — the latency deconstruction
+//! of Figure 14 of the paper.
+//!
+//! Each stage's cycle budget comes directly from the paper's timestamped
+//! measurements at 187.5 MHz: the `FlitsToParallel` buffer costs ten
+//! cycles (53.3 ns), the 5:1 round-robin arbiter two to nine cycles, the
+//! sequence-number / flow-control / CRC group ten cycles, the SerDes
+//! conversion about ten cycles, and transmitting a 128 B request about 15
+//! cycles — up to 54 cycles (287 ns) on the TX path, with roughly 260 ns
+//! on the RX path, for the 547 ns of infrastructure latency the paper
+//! attributes to packet generation and link transfer.
+
+use hmc_types::packet::FlitCount;
+use hmc_types::{Frequency, RequestSize, TimeDelta, TransactionSizes};
+
+/// One named stage of the TX path with its cycle cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxStage {
+    /// Stage name as Figure 14 labels it.
+    pub name: &'static str,
+    /// Cycle cost at the fabric clock.
+    pub cycles: u64,
+}
+
+/// The TX pipeline cycle budget (Figure 14, items 1–8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxStages {
+    /// FlitsToParallel buffering (item 2): 10 cycles.
+    pub flits_to_parallel: u64,
+    /// Round-robin arbiter (item 3): minimum cycles (the budget grows to
+    /// `arbiter_max` under contention).
+    pub arbiter_min: u64,
+    /// Arbiter worst case: 9 cycles.
+    pub arbiter_max: u64,
+    /// Add-Seq# (item 4).
+    pub add_seq: u64,
+    /// Request flow control (item 5).
+    pub flow_control: u64,
+    /// Add-CRC (item 6).
+    pub add_crc: u64,
+    /// Conversion to the SerDes protocol (item 7): ~10 cycles.
+    pub serdes_convert: u64,
+}
+
+impl Default for TxStages {
+    fn default() -> Self {
+        TxStages {
+            flits_to_parallel: 10,
+            arbiter_min: 2,
+            arbiter_max: 9,
+            add_seq: 4,
+            flow_control: 3,
+            add_crc: 3,
+            serdes_convert: 10,
+        }
+    }
+}
+
+impl TxStages {
+    /// Fixed pipeline cycles (excluding arbitration spread and transmit).
+    pub fn fixed_cycles(&self) -> u64 {
+        self.flits_to_parallel
+            + self.add_seq
+            + self.flow_control
+            + self.add_crc
+            + self.serdes_convert
+    }
+
+    /// Transmit-stage latency in cycles for a packet of `flits` — the
+    /// paper measures ~15 cycles for a 9-flit (128 B) request, i.e. five
+    /// cycles per three flits.
+    pub fn transmit_cycles(flits: FlitCount) -> u64 {
+        (flits.count() * 5).div_ceil(3)
+    }
+
+    /// Minimum TX-path latency for a request packet of `flits`.
+    pub fn min_latency(&self, flits: FlitCount, clk: Frequency) -> TimeDelta {
+        clk.cycles(self.fixed_cycles() + self.arbiter_min + Self::transmit_cycles(flits))
+    }
+
+    /// Worst-case TX-path latency (maximum arbitration).
+    pub fn max_latency(&self, flits: FlitCount, clk: Frequency) -> TimeDelta {
+        clk.cycles(self.fixed_cycles() + self.arbiter_max + Self::transmit_cycles(flits))
+    }
+
+    /// The per-stage deconstruction table for a request of the given size
+    /// — the data behind Figure 14. Uses the minimum arbitration cost.
+    pub fn breakdown(&self, sizes: TransactionSizes) -> Vec<TxStage> {
+        let flits = sizes.request_flits();
+        vec![
+            TxStage {
+                name: "FlitsToParallel",
+                cycles: self.flits_to_parallel,
+            },
+            TxStage {
+                name: "Arbiter (5:1 round-robin)",
+                cycles: self.arbiter_min,
+            },
+            TxStage {
+                name: "Add-Seq#",
+                cycles: self.add_seq,
+            },
+            TxStage {
+                name: "Req. flow control",
+                cycles: self.flow_control,
+            },
+            TxStage {
+                name: "Add-CRC",
+                cycles: self.add_crc,
+            },
+            TxStage {
+                name: "Convert to SerDes",
+                cycles: self.serdes_convert,
+            },
+            TxStage {
+                name: "Serialize + transmit",
+                cycles: Self::transmit_cycles(flits),
+            },
+        ]
+    }
+}
+
+/// The RX pipeline budget: deserialization, verification (CRC and sequence
+/// checks), and routing the response back to its port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxPath {
+    /// Fixed pipeline cycles.
+    pub fixed_cycles: u64,
+    /// Additional cycles per response flit (deserializer occupancy).
+    pub cycles_per_flit: u64,
+}
+
+impl Default for RxPath {
+    fn default() -> Self {
+        RxPath {
+            fixed_cycles: 38,
+            cycles_per_flit: 1,
+        }
+    }
+}
+
+impl RxPath {
+    /// RX-path latency for a response of `flits`.
+    pub fn latency(&self, flits: FlitCount, clk: Frequency) -> TimeDelta {
+        clk.cycles(self.fixed_cycles + self.cycles_per_flit * flits.count())
+    }
+}
+
+/// Minimum infrastructure (FPGA + link) round-trip share for a read of the
+/// given size: TX path for the 1-flit request plus RX path for the data
+/// response — the quantity the paper pins at ≈547 ns.
+pub fn infrastructure_latency(
+    tx: &TxStages,
+    rx: &RxPath,
+    size: RequestSize,
+    clk: Frequency,
+) -> TimeDelta {
+    let read = TransactionSizes::of(hmc_types::packet::OpKind::Read, size);
+    tx.min_latency(read.request_flits(), clk) + rx.latency(read.response_flits(), clk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::packet::OpKind;
+
+    const CLK: Frequency = Frequency::FPGA_187_5_MHZ;
+
+    #[test]
+    fn paper_figure_14_totals() {
+        let tx = TxStages::default();
+        // A 128 B write request (9 flits) under maximum arbitration: the
+        // paper reports "up to 54 cycles, or 287 ns".
+        let wr = TransactionSizes::of(OpKind::Write, RequestSize::new(128).unwrap());
+        let cycles =
+            tx.fixed_cycles() + tx.arbiter_max + TxStages::transmit_cycles(wr.request_flits());
+        assert_eq!(cycles, 54);
+        let lat = tx.max_latency(wr.request_flits(), CLK);
+        assert!((lat.as_ns_f64() - 287.0).abs() < 2.0, "{}", lat.as_ns_f64());
+    }
+
+    #[test]
+    fn transmit_cycles_match_paper() {
+        // ~15 cycles for a 9-flit request.
+        assert_eq!(TxStages::transmit_cycles(FlitCount::new(9)), 15);
+        assert_eq!(TxStages::transmit_cycles(FlitCount::new(1)), 2);
+    }
+
+    #[test]
+    fn flits_to_parallel_is_53ns() {
+        let tx = TxStages::default();
+        assert_eq!(tx.flits_to_parallel, 10);
+        assert_eq!(CLK.cycles(10).as_ps(), 53_333);
+    }
+
+    #[test]
+    fn rx_path_near_260ns_for_full_response() {
+        let rx = RxPath::default();
+        // 9-flit (128 B) read response.
+        let lat = rx.latency(FlitCount::new(9), CLK);
+        assert!(
+            (245.0..265.0).contains(&lat.as_ns_f64()),
+            "{}",
+            lat.as_ns_f64()
+        );
+    }
+
+    #[test]
+    fn infrastructure_share_near_547ns() {
+        let tx = TxStages::default();
+        let rx = RxPath::default();
+        let infra = infrastructure_latency(&tx, &rx, RequestSize::new(128).unwrap(), CLK);
+        // Paper: 287 (TX) + 260 (RX) = 547 ns; our min-arbitration read
+        // request is lighter, so allow a window.
+        assert!(
+            (400.0..560.0).contains(&infra.as_ns_f64()),
+            "{}",
+            infra.as_ns_f64()
+        );
+    }
+
+    #[test]
+    fn breakdown_covers_all_stages() {
+        let tx = TxStages::default();
+        let read = TransactionSizes::of(OpKind::Read, RequestSize::new(128).unwrap());
+        let rows = tx.breakdown(read);
+        assert_eq!(rows.len(), 7);
+        let total: u64 = rows.iter().map(|s| s.cycles).sum();
+        assert_eq!(
+            total,
+            tx.fixed_cycles() + tx.arbiter_min + TxStages::transmit_cycles(read.request_flits())
+        );
+        assert!(rows.iter().any(|s| s.name.contains("CRC")));
+    }
+
+    #[test]
+    fn bigger_packets_take_longer_to_transmit() {
+        let tx = TxStages::default();
+        let small = tx.min_latency(FlitCount::new(1), CLK);
+        let large = tx.min_latency(FlitCount::new(9), CLK);
+        assert!(large > small);
+    }
+}

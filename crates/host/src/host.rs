@@ -1,0 +1,643 @@
+//! The assembled host: GUPS ports, transmit nodes, the RX pipeline, and
+//! the event loop driving requests into a [`LinkSink`].
+
+use hmc_types::packet::FlitCount;
+use hmc_types::{MemoryRequest, MemoryResponse, PortId, RequestId, Time, TimeDelta};
+use sim_engine::{EventQueue, Histogram};
+
+use crate::config::HostConfig;
+use crate::controller::TxStages;
+use crate::node::{TxNode, TxStart};
+use crate::port::{GupsPort, IssueBlock};
+use crate::workload::Workload;
+
+/// Where the host's transmitted requests go — implemented by the memory
+/// device model (and by test stubs).
+pub trait LinkSink {
+    /// Free ingress credits on `link` right now.
+    fn free_slots(&self, link: usize) -> usize;
+
+    /// Delivers a request whose last flit crossed the wire at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Hands the request back if the link cannot take it; the host
+    /// reserves credits ahead of transmission, so an error indicates a
+    /// credit-accounting bug.
+    fn submit(&mut self, link: usize, req: MemoryRequest, now: Time) -> Result<(), MemoryRequest>;
+}
+
+/// Aggregated measurements across all ports for one window.
+#[derive(Debug, Clone, Default)]
+pub struct HostStats {
+    /// Read requests issued.
+    pub reads_issued: u64,
+    /// Write requests issued.
+    pub writes_issued: u64,
+    /// Read responses delivered.
+    pub reads_completed: u64,
+    /// Write responses delivered.
+    pub writes_completed: u64,
+    /// Paper-accounting wire bytes of completed transactions.
+    pub counted_bytes: u64,
+    /// Merged read-latency histogram.
+    pub read_latency: Histogram,
+    /// Stream data-integrity mismatches.
+    pub integrity_failures: u64,
+}
+
+impl HostStats {
+    /// Counted bandwidth in GB/s over a window.
+    pub fn bandwidth_gbs(&self, window: TimeDelta) -> f64 {
+        if window.is_zero() {
+            0.0
+        } else {
+            self.counted_bytes as f64 / window.as_secs_f64() / 1e9
+        }
+    }
+
+    /// Completed requests (all kinds) in millions per second — the MRPS
+    /// lines of Figure 8.
+    pub fn mrps(&self, window: TimeDelta) -> f64 {
+        if window.is_zero() {
+            0.0
+        } else {
+            (self.reads_completed + self.writes_completed) as f64 / window.as_secs_f64() / 1e6
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum HostEvent {
+    PortIssue { port: usize },
+    NodeKick { node: usize, seq: u64 },
+    NodeTxDone { node: usize, req: MemoryRequest },
+    RxDeliver { resp: MemoryResponse },
+}
+
+/// The FPGA-side model: nine GUPS ports feeding two transmit nodes, with
+/// the RX pipeline returning responses to the ports' monitoring units.
+#[derive(Debug)]
+pub struct Host {
+    cfg: HostConfig,
+    ports: Vec<GupsPort>,
+    nodes: Vec<TxNode>,
+    parked_no_tags: Vec<bool>,
+    parked_node_full: Vec<bool>,
+    issue_pending: Vec<bool>,
+    /// Time of the single live kick per node (None = no live kick).
+    node_kick_at: Vec<Option<Time>>,
+    /// Sequence number of the live kick; stale events are dropped.
+    node_kick_seq: Vec<u64>,
+    events: EventQueue<HostEvent>,
+    next_id: RequestId,
+    now: Time,
+    total_issued: u64,
+    total_completed: u64,
+}
+
+impl Host {
+    /// Builds an idle host.
+    pub fn new(cfg: HostConfig) -> Self {
+        let ports = (0..cfg.num_ports)
+            .map(|p| {
+                GupsPort::new(
+                    PortId::new(p as u8),
+                    cfg.tag_pool_depth,
+                    cfg.memory_capacity,
+                    0xC0FFEE ^ p as u64,
+                )
+            })
+            .collect();
+        let nodes = (0..cfg.links.num_links() as usize)
+            .map(|l| TxNode::new(l, cfg.node_queue_depth))
+            .collect();
+        Host {
+            ports,
+            nodes,
+            parked_no_tags: vec![false; cfg.num_ports],
+            parked_node_full: vec![false; cfg.num_ports],
+            issue_pending: vec![false; cfg.num_ports],
+            node_kick_at: vec![None; cfg.links.num_links() as usize],
+            node_kick_seq: vec![0; cfg.links.num_links() as usize],
+            events: EventQueue::with_capacity(1024),
+            next_id: RequestId::new(0),
+            now: Time::ZERO,
+            total_issued: 0,
+            total_completed: 0,
+            cfg,
+        }
+    }
+
+    /// The host configuration.
+    pub fn config(&self) -> &HostConfig {
+        &self.cfg
+    }
+
+    /// Installs a workload on the ports (continuous on the first N ports,
+    /// or a stream on port 0).
+    pub fn apply_workload(&mut self, w: &Workload) {
+        match w {
+            Workload::Continuous { port, active_ports } => {
+                for (i, p) in self.ports.iter_mut().enumerate() {
+                    if i < *active_ports {
+                        p.set_continuous(*port);
+                    } else {
+                        p.set_idle();
+                    }
+                }
+            }
+            Workload::Stream(ops) => {
+                self.ports[0].set_stream(ops.clone());
+                for p in self.ports.iter_mut().skip(1) {
+                    p.set_idle();
+                }
+            }
+            Workload::DependentChain { addrs, size } => {
+                self.ports[0].set_chain(addrs.clone(), *size);
+                for p in self.ports.iter_mut().skip(1) {
+                    p.set_idle();
+                }
+            }
+        }
+    }
+
+    /// Schedules the first issue opportunity of every active port,
+    /// staggered within one cycle so ports do not move in lockstep.
+    pub fn start(&mut self, now: Time) {
+        self.now = self.now.max(now);
+        let stagger = self.cfg.cycle() / self.cfg.num_ports as u64;
+        for p in 0..self.ports.len() {
+            if self.ports[p].is_active() {
+                self.schedule_issue(p, now + stagger * p as u64);
+            }
+        }
+    }
+
+    /// Stops all generators (outstanding responses still drain).
+    pub fn stop_generation(&mut self) {
+        for p in &mut self.ports {
+            p.set_idle();
+        }
+    }
+
+    /// Earliest pending host event.
+    pub fn next_time(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    /// The host's local clock.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Pending internal events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Processes every host event at or before `until`, transmitting into
+    /// `sink`.
+    pub fn advance<S: LinkSink>(&mut self, until: Time, sink: &mut S) {
+        while let Some(t) = self.events.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked");
+            self.now = self.now.max(t);
+            self.handle(ev, t, sink);
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Accepts a response that left the device at `at`; it reaches its
+    /// port after the RX pipeline.
+    pub fn receive_response(&mut self, resp: MemoryResponse, at: Time) {
+        let flits = FlitCount::new(resp.size.payload_flits().count() + 1);
+        let deliver = at + self.cfg.rx.latency(flits, self.cfg.frequency);
+        self.events.push(deliver, HostEvent::RxDeliver { resp });
+    }
+
+    /// The device reports `free_slots` ingress credits on `link`:
+    /// un-stall that node if a transmission could actually start (credits
+    /// must exceed the node's own in-flight packets, or the node would
+    /// immediately re-stall and the caller would spin).
+    pub fn notify_credit(&mut self, link: usize, free_slots: usize, now: Time) {
+        if self.nodes[link].waiting_credit() && free_slots > self.nodes[link].in_flight() {
+            self.nodes[link].grant_credit();
+            self.kick_node(link, now.max(self.now));
+        }
+    }
+
+    /// True if any node is stalled waiting for device credit.
+    pub fn any_node_stalled(&self) -> bool {
+        self.nodes.iter().any(|n| n.waiting_credit())
+    }
+
+    /// Requests issued and not yet delivered back.
+    pub fn outstanding(&self) -> u64 {
+        self.total_issued - self.total_completed
+    }
+
+    /// Requests issued since construction (not reset by
+    /// [`reset_stats`](Host::reset_stats)).
+    pub fn total_issued(&self) -> u64 {
+        self.total_issued
+    }
+
+    /// True while any port can still generate or any response is pending.
+    pub fn is_busy(&self) -> bool {
+        self.outstanding() > 0 || self.ports.iter().any(|p| p.is_active())
+    }
+
+    /// Aggregated window measurements across all ports.
+    pub fn stats(&self) -> HostStats {
+        let mut s = HostStats::default();
+        for p in &self.ports {
+            let m = p.monitor();
+            s.reads_issued += m.reads_issued;
+            s.writes_issued += m.writes_issued;
+            s.reads_completed += m.reads_completed;
+            s.writes_completed += m.writes_completed;
+            s.counted_bytes += m.counted_bytes;
+            s.integrity_failures += m.integrity_failures;
+            s.read_latency.merge(&m.read_latency);
+        }
+        s
+    }
+
+    /// Clears all port monitors (start of a measurement window).
+    pub fn reset_stats(&mut self) {
+        for p in &mut self.ports {
+            p.reset_monitor();
+        }
+    }
+
+    /// Per-port read-latency histograms (the per-port monitoring units).
+    pub fn port_latencies(&self) -> Vec<&Histogram> {
+        self.ports.iter().map(|p| &p.monitor().read_latency).collect()
+    }
+
+    // ------------------------------------------------------------------
+
+    fn handle<S: LinkSink>(&mut self, ev: HostEvent, now: Time, sink: &mut S) {
+        match ev {
+            HostEvent::PortIssue { port } => self.port_issue(port, now),
+            HostEvent::NodeKick { node, seq } => {
+                if seq != self.node_kick_seq[node] {
+                    return; // superseded by an earlier kick
+                }
+                self.node_kick_at[node] = None;
+                self.node_try_start(node, now, sink);
+            }
+            HostEvent::NodeTxDone { node, req } => {
+                let link = self.nodes[node].link();
+                sink.submit(link, req, now)
+                    .unwrap_or_else(|_| panic!("credit was reserved for link {link}"));
+                self.nodes[node].arrived();
+                // The wire is free and our in-flight count just dropped;
+                // try the next queued packet.
+                if !self.nodes[node].waiting_credit() {
+                    self.kick_node(node, now);
+                }
+            }
+            HostEvent::RxDeliver { mut resp } => {
+                resp.completed_at = now;
+                let p = resp.port.index() as usize;
+                self.total_completed += 1;
+                let unblocked = self.ports[p].deliver(&resp);
+                if unblocked && (self.parked_no_tags[p] || self.ports[p].is_active()) {
+                    self.parked_no_tags[p] = false;
+                    self.schedule_issue(p, now);
+                }
+            }
+        }
+    }
+
+    fn port_issue(&mut self, p: usize, now: Time) {
+        self.issue_pending[p] = false;
+        let node_idx = self.cfg.node_of_port(p);
+        if self.nodes[node_idx].stop_asserted() {
+            self.parked_node_full[p] = true;
+            return;
+        }
+        match self.ports[p].try_issue(self.next_id, now) {
+            Ok(req) => {
+                self.next_id = self.next_id.next();
+                self.total_issued += 1;
+                let ready = now + self.cfg.frequency.cycles(self.cfg.tx.flits_to_parallel);
+                self.nodes[node_idx].enqueue(ready, req);
+                self.kick_node(node_idx, ready);
+                if self.ports[p].is_active() {
+                    self.schedule_issue(p, now + self.cfg.cycle());
+                }
+            }
+            Err(IssueBlock::NoTags) => {
+                self.parked_no_tags[p] = true;
+            }
+            Err(IssueBlock::Done) => {}
+        }
+    }
+
+    fn node_try_start<S: LinkSink>(&mut self, n: usize, now: Time, sink: &mut S) {
+        let link = self.nodes[n].link();
+        let free = sink.free_slots(link);
+        let tx = self.cfg.tx;
+        let clk = self.cfg.frequency;
+        let links = self.cfg.links;
+        let pipe = |req: &MemoryRequest| {
+            clk.cycles(
+                tx.arbiter_min
+                    + tx.add_seq
+                    + tx.flow_control
+                    + tx.add_crc
+                    + tx.serdes_convert
+                    + TxStages::transmit_cycles(req.sizes().request_flits()),
+            )
+        };
+        let wire =
+            |req: &MemoryRequest| TimeDelta::from_ps(links.serialize_ps(req.sizes().request_flits().bytes()));
+        let (result, started) = self.nodes[n].try_start(now, free, pipe, wire);
+        match result {
+            TxStart::Started(arrival, wire_free) => {
+                let req = started.expect("started implies a request");
+                self.events.push(arrival, HostEvent::NodeTxDone { node: n, req });
+                self.kick_node(n, wire_free);
+                self.wake_node_ports(n, now);
+            }
+            TxStart::NotReady(t) | TxStart::WireBusy(t) => self.kick_node(n, t),
+            TxStart::NeedCredit | TxStart::Empty => {}
+        }
+    }
+
+    fn wake_node_ports(&mut self, n: usize, now: Time) {
+        if self.nodes[n].stop_asserted() {
+            return;
+        }
+        for p in 0..self.ports.len() {
+            if self.parked_node_full[p] && self.cfg.node_of_port(p) == n {
+                self.parked_node_full[p] = false;
+                self.schedule_issue(p, now);
+            }
+        }
+    }
+
+    /// Schedules a port's next issue attempt, respecting one-per-cycle
+    /// pacing and deduplicating pending attempts.
+    fn schedule_issue(&mut self, p: usize, at: Time) {
+        if self.issue_pending[p] {
+            return;
+        }
+        let paced = match self.ports[p].last_issue() {
+            Some(last) => at.max(last + self.cfg.cycle()),
+            None => at,
+        };
+        self.issue_pending[p] = true;
+        self.events.push(paced, HostEvent::PortIssue { port: p });
+    }
+
+    /// Arms the node's single live kick. If a live kick already fires at
+    /// or before `at`, nothing is scheduled (its handler re-arms as
+    /// needed); an earlier `at` supersedes the live kick via the sequence
+    /// number.
+    fn kick_node(&mut self, n: usize, at: Time) {
+        let at = at.max(self.now);
+        if let Some(t) = self.node_kick_at[n] {
+            if t <= at {
+                return;
+            }
+        }
+        self.node_kick_seq[n] += 1;
+        self.node_kick_at[n] = Some(at);
+        self.events.push(
+            at,
+            HostEvent::NodeKick {
+                node: n,
+                seq: self.node_kick_seq[n],
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::{RequestKind, RequestSize};
+
+    /// A sink that accepts everything instantly and optionally echoes
+    /// responses after a fixed delay (collected for manual delivery).
+    struct EchoSink {
+        free: usize,
+        submitted: Vec<(usize, MemoryRequest, Time)>,
+    }
+
+    impl EchoSink {
+        fn new(free: usize) -> Self {
+            EchoSink {
+                free,
+                submitted: Vec::new(),
+            }
+        }
+    }
+
+    impl LinkSink for EchoSink {
+        fn free_slots(&self, _link: usize) -> usize {
+            self.free
+        }
+        fn submit(
+            &mut self,
+            link: usize,
+            req: MemoryRequest,
+            now: Time,
+        ) -> Result<(), MemoryRequest> {
+            self.submitted.push((link, req, now));
+            Ok(())
+        }
+    }
+
+    fn echo(req: &MemoryRequest, at: Time, delay_ns: u64) -> MemoryResponse {
+        MemoryResponse {
+            id: req.id,
+            port: req.port,
+            tag: req.tag,
+            op: req.op,
+            size: req.size,
+            addr: req.addr,
+            issued_at: req.issued_at,
+            completed_at: at + TimeDelta::from_ns(delay_ns),
+            data_token: 0,
+        }
+    }
+
+    #[test]
+    fn ports_issue_until_tags_exhaust() {
+        let mut host = Host::new(HostConfig::default());
+        host.apply_workload(&Workload::full_scale(
+            RequestKind::ReadOnly,
+            RequestSize::MAX,
+        ));
+        host.start(Time::ZERO);
+        let mut sink = EchoSink::new(64);
+        host.advance(Time::from_ps(10_000_000), &mut sink); // 10 us
+        // Nine ports x 64 tags, all issued, none returned.
+        assert_eq!(host.total_issued(), 9 * 64);
+        assert_eq!(host.outstanding(), 9 * 64);
+        assert_eq!(sink.submitted.len(), 9 * 64);
+    }
+
+    #[test]
+    fn responses_release_tags_and_measure_latency() {
+        let mut host = Host::new(HostConfig::default());
+        host.apply_workload(&Workload::small_scale(
+            RequestKind::ReadOnly,
+            RequestSize::MAX,
+            hmc_types::AddressMask::NONE,
+            1,
+        ));
+        host.start(Time::ZERO);
+        let mut sink = EchoSink::new(64);
+        host.advance(Time::from_ps(2_000_000), &mut sink);
+        let issued = host.total_issued();
+        assert_eq!(issued, 64, "one port's tag pool");
+        // Echo all submissions back with a 200 ns device delay.
+        let submitted = std::mem::take(&mut sink.submitted);
+        for (_, req, at) in &submitted {
+            host.receive_response(echo(req, *at, 200), *at + TimeDelta::from_ns(200));
+        }
+        host.advance(Time::from_ps(10_000_000), &mut sink);
+        let stats = host.stats();
+        assert_eq!(stats.reads_completed, 64);
+        assert!(host.total_issued() > issued, "tags recycled, port resumed");
+        // Latency includes TX pipeline + device echo + RX pipeline.
+        let min = stats.read_latency.min().unwrap().as_ns_f64();
+        assert!(min > 300.0, "min latency {min} ns");
+    }
+
+    #[test]
+    fn stream_workload_runs_once() {
+        let mut host = Host::new(HostConfig::default());
+        host.apply_workload(&Workload::read_stream(8, RequestSize::MIN));
+        host.start(Time::ZERO);
+        let mut sink = EchoSink::new(64);
+        host.advance(Time::from_ps(5_000_000), &mut sink);
+        assert_eq!(host.total_issued(), 8);
+        assert_eq!(sink.submitted.len(), 8);
+        // Stream requests pace one per cycle from port 0.
+        assert!(sink.submitted.iter().all(|(l, _, _)| *l == 0));
+    }
+
+    #[test]
+    fn credit_stall_and_notify() {
+        let mut host = Host::new(HostConfig::default());
+        host.apply_workload(&Workload::small_scale(
+            RequestKind::ReadOnly,
+            RequestSize::MAX,
+            hmc_types::AddressMask::NONE,
+            1,
+        ));
+        host.start(Time::ZERO);
+        let mut sink = EchoSink::new(0); // no credits at all
+        host.advance(Time::from_ps(1_000_000), &mut sink);
+        assert!(sink.submitted.is_empty());
+        assert!(host.any_node_stalled());
+        // Grant credit: transmission resumes.
+        sink.free = 64;
+        host.notify_credit(0, 64, host.now());
+        host.advance(Time::from_ps(3_000_000), &mut sink);
+        assert!(!sink.submitted.is_empty());
+        // A notification that cannot lead to a start is ignored (no spin).
+        host.notify_credit(1, 0, host.now());
+    }
+
+    #[test]
+    fn write_only_floods_until_node_queue_fills() {
+        let cfg = HostConfig {
+            node_queue_depth: 4,
+            ..HostConfig::default()
+        };
+        let mut host = Host::new(cfg);
+        host.apply_workload(&Workload::small_scale(
+            RequestKind::WriteOnly,
+            RequestSize::MAX,
+            hmc_types::AddressMask::NONE,
+            1,
+        ));
+        host.start(Time::ZERO);
+        // Zero credits: the node queue fills to its stop threshold and the
+        // port parks instead of issuing forever.
+        let mut sink = EchoSink::new(0);
+        host.advance(Time::from_ps(10_000_000), &mut sink);
+        assert!(host.total_issued() <= 6, "issued {}", host.total_issued());
+    }
+
+    #[test]
+    fn rw_issues_write_after_read_response() {
+        let mut host = Host::new(HostConfig::default());
+        host.apply_workload(&Workload::small_scale(
+            RequestKind::ReadModifyWrite,
+            RequestSize::MAX,
+            hmc_types::AddressMask::NONE,
+            1,
+        ));
+        host.start(Time::ZERO);
+        let mut sink = EchoSink::new(1024);
+        host.advance(Time::from_ps(2_000_000), &mut sink);
+        let reads: Vec<_> = std::mem::take(&mut sink.submitted);
+        assert!(reads
+            .iter()
+            .all(|(_, r, _)| r.op == hmc_types::packet::OpKind::Read));
+        // Respond to the first read; a write to the same address follows.
+        let (_, first, at) = reads[0];
+        host.receive_response(echo(&first, at, 200), at + TimeDelta::from_ns(200));
+        host.advance(host.now() + TimeDelta::from_us(2), &mut sink);
+        let writes: Vec<_> = sink
+            .submitted
+            .iter()
+            .filter(|(_, r, _)| r.op == hmc_types::packet::OpKind::Write)
+            .collect();
+        assert_eq!(writes.len(), 1);
+        assert_eq!(writes[0].1.addr, first.addr);
+    }
+
+    #[test]
+    fn dependent_chain_has_one_in_flight() {
+        let mut host = Host::new(HostConfig::default());
+        host.apply_workload(&Workload::pointer_chase(5, RequestSize::MAX, 3));
+        host.start(Time::ZERO);
+        let mut sink = EchoSink::new(64);
+        host.advance(Time::from_ps(5_000_000), &mut sink);
+        // Only the first hop went out; the rest wait on responses.
+        assert_eq!(sink.submitted.len(), 1);
+        let (_, first, at) = sink.submitted[0];
+        host.receive_response(echo(&first, at, 300), at + TimeDelta::from_ns(300));
+        host.advance(host.now() + TimeDelta::from_us(5), &mut sink);
+        assert_eq!(sink.submitted.len(), 2, "second hop after the response");
+    }
+
+    #[test]
+    fn stats_reset_between_windows() {
+        let mut host = Host::new(HostConfig::default());
+        host.apply_workload(&Workload::read_stream(4, RequestSize::MIN));
+        host.start(Time::ZERO);
+        let mut sink = EchoSink::new(64);
+        host.advance(Time::from_ps(1_000_000), &mut sink);
+        assert!(host.stats().reads_issued > 0);
+        host.reset_stats();
+        assert_eq!(host.stats().reads_issued, 0);
+        assert_eq!(host.stats().counted_bytes, 0);
+    }
+
+    #[test]
+    fn bandwidth_and_mrps_helpers() {
+        let s = HostStats {
+            counted_bytes: 160_000,
+            reads_completed: 1_000,
+            ..HostStats::default()
+        };
+        // 160 kB over 10 us = 16 GB/s; 1000 reqs over 10 us = 100 MRPS.
+        assert!((s.bandwidth_gbs(TimeDelta::from_us(10)) - 16.0).abs() < 1e-9);
+        assert!((s.mrps(TimeDelta::from_us(10)) - 100.0).abs() < 1e-9);
+        assert_eq!(s.bandwidth_gbs(TimeDelta::ZERO), 0.0);
+        assert_eq!(s.mrps(TimeDelta::ZERO), 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Host-side model: the FPGA HMC controller and the GUPS traffic
+//! generators of the paper's experimental infrastructure (Section III-B).
+//!
+//! * [`controller`] — the TX/RX pipeline stage model of Figure 14, with
+//!   per-stage cycle budgets at the 187.5 MHz fabric clock and the
+//!   latency-deconstruction table the paper reports.
+//! * [`workload`] — GUPS knobs: request kind (`ro`/`wo`/`rw`), payload
+//!   size, linear/random addressing, mask/anti-mask registers, and the
+//!   three GUPS variants (full-scale, small-scale, stream).
+//! * [`port`] — one GUPS port: address generator, 64-entry read tag pool,
+//!   read-latency monitoring unit, and the pending-write queue that makes
+//!   `rw` mode issue each write only after its read returns.
+//! * [`node`] — one `hmc_node`: the per-link transmit serializer that five
+//!   ports share, including the flow-control stop signal.
+//! * [`host`] — the assembled [`Host`] component plus the [`LinkSink`]
+//!   trait it drives (implemented by the memory device model).
+//!
+//! # Example
+//!
+//! ```
+//! use hmc_host::{Host, HostConfig, LinkSink, Workload};
+//! use hmc_types::{MemoryRequest, RequestKind, RequestSize, Time};
+//!
+//! // A sink that completes nothing — just to show the driving API.
+//! struct NullSink;
+//! impl LinkSink for NullSink {
+//!     fn free_slots(&self, _link: usize) -> usize { usize::MAX }
+//!     fn submit(&mut self, _link: usize, _req: MemoryRequest, _now: Time)
+//!         -> Result<(), MemoryRequest> { Ok(()) }
+//! }
+//!
+//! let mut host = Host::new(HostConfig::default());
+//! host.apply_workload(&Workload::full_scale(
+//!     RequestKind::ReadOnly,
+//!     RequestSize::new(128)?,
+//! ));
+//! host.start(Time::ZERO);
+//! let mut sink = NullSink;
+//! host.advance(Time::from_ps(1_000_000), &mut sink);
+//! assert!(host.total_issued() > 0);
+//! # Ok::<(), hmc_types::HmcError>(())
+//! ```
+
+pub mod config;
+pub mod controller;
+pub mod host;
+pub mod node;
+pub mod port;
+pub mod workload;
+
+pub use config::HostConfig;
+pub use controller::{RxPath, TxStage, TxStages};
+pub use host::{Host, HostStats, LinkSink};
+pub use workload::{Addressing, PortWorkload, StreamOp, Workload};

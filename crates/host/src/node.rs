@@ -1,0 +1,246 @@
+//! The `hmc_node` transmit side: the per-link serializer five GUPS ports
+//! share, with its request flow-control stop signal.
+
+use std::collections::VecDeque;
+
+use hmc_types::{MemoryRequest, Time, TimeDelta};
+
+/// Outcome of asking the node to start its next transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxStart {
+    /// A packet started: it arrives at the device at `.0`, and the wire is
+    /// occupied until `.1`.
+    Started(Time, Time),
+    /// Nothing queued.
+    Empty,
+    /// The head packet is still in the FlitsToParallel stage until `.0`.
+    NotReady(Time),
+    /// The wire is occupied until `.0`.
+    WireBusy(Time),
+    /// The device has no ingress credit; the node stalls until notified.
+    NeedCredit,
+}
+
+/// One transmit node.
+#[derive(Debug, Clone)]
+pub struct TxNode {
+    link: usize,
+    queue: VecDeque<(Time, MemoryRequest)>,
+    wire_free_at: Time,
+    /// Packets serialized onto the wire but not yet arrived at the device
+    /// (credits we must assume consumed).
+    in_flight: usize,
+    waiting_credit: bool,
+    queue_depth: usize,
+    packets_sent: u64,
+    bytes_sent: u64,
+}
+
+impl TxNode {
+    /// Creates an idle node for `link` with the given flow-control queue
+    /// depth.
+    pub fn new(link: usize, queue_depth: usize) -> Self {
+        TxNode {
+            link,
+            queue: VecDeque::new(),
+            wire_free_at: Time::ZERO,
+            in_flight: 0,
+            waiting_credit: false,
+            queue_depth,
+            packets_sent: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// The external link this node drives.
+    pub fn link(&self) -> usize {
+        self.link
+    }
+
+    /// True if the request flow-control unit is asserting the stop signal
+    /// to this node's ports.
+    pub fn stop_asserted(&self) -> bool {
+        self.queue.len() >= self.queue_depth
+    }
+
+    /// Queued packets.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True if the node stalled waiting for device credit.
+    pub fn waiting_credit(&self) -> bool {
+        self.waiting_credit
+    }
+
+    /// Packets on the wire whose device-side credit is already spoken
+    /// for.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Clears the credit stall (the device freed ingress space).
+    pub fn grant_credit(&mut self) {
+        self.waiting_credit = false;
+    }
+
+    /// Packets sent and total request bytes serialized.
+    pub fn sent(&self) -> (u64, u64) {
+        (self.packets_sent, self.bytes_sent)
+    }
+
+    /// Enqueues a packet that exits the port's FlitsToParallel stage at
+    /// `ready_at`.
+    pub fn enqueue(&mut self, ready_at: Time, req: MemoryRequest) {
+        self.queue.push_back((ready_at, req));
+    }
+
+    /// Attempts to put the head packet on the wire at `now`.
+    ///
+    /// `free_credits` is the device's current free ingress capacity on
+    /// this link; the node refuses to start unless credits exceed its own
+    /// in-flight count. `pipe_latency` is the fixed TX pipeline delay
+    /// (arbiter through SerDes conversion plus the transmit stage), and
+    /// `wire_time` computes serialization occupancy from the packet.
+    pub fn try_start(
+        &mut self,
+        now: Time,
+        free_credits: usize,
+        pipe_latency: impl Fn(&MemoryRequest) -> TimeDelta,
+        wire_time: impl Fn(&MemoryRequest) -> TimeDelta,
+    ) -> (TxStart, Option<MemoryRequest>) {
+        let Some(&(ready_at, _)) = self.queue.front() else {
+            return (TxStart::Empty, None);
+        };
+        if ready_at > now {
+            return (TxStart::NotReady(ready_at), None);
+        }
+        if self.wire_free_at > now {
+            return (TxStart::WireBusy(self.wire_free_at), None);
+        }
+        if free_credits <= self.in_flight {
+            self.waiting_credit = true;
+            return (TxStart::NeedCredit, None);
+        }
+        let (_, req) = self.queue.pop_front().expect("peeked");
+        let wire = wire_time(&req);
+        let arrival = now + pipe_latency(&req) + wire;
+        self.wire_free_at = now + wire;
+        self.in_flight += 1;
+        self.packets_sent += 1;
+        self.bytes_sent += req.sizes().request_flits().bytes();
+        (TxStart::Started(arrival, self.wire_free_at), Some(req))
+    }
+
+    /// Records that a packet arrived at the device (credit consumed
+    /// there).
+    pub fn arrived(&mut self) {
+        debug_assert!(self.in_flight > 0);
+        self.in_flight -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::packet::OpKind;
+    use hmc_types::{Address, PortId, RequestId, RequestSize, Tag};
+
+    fn req(id: u64) -> MemoryRequest {
+        MemoryRequest {
+            id: RequestId::new(id),
+            port: PortId::new(0),
+            tag: Tag::new(0),
+            op: OpKind::Read,
+            size: RequestSize::MAX,
+            addr: Address::new(0),
+            issued_at: Time::ZERO,
+            data_token: 0,
+        }
+    }
+
+    fn pipe(_: &MemoryRequest) -> TimeDelta {
+        TimeDelta::from_ns(100)
+    }
+
+    fn wire(_: &MemoryRequest) -> TimeDelta {
+        TimeDelta::from_ns(2)
+    }
+
+    #[test]
+    fn empty_node() {
+        let mut n = TxNode::new(0, 16);
+        assert_eq!(n.link(), 0);
+        let (r, p) = n.try_start(Time::ZERO, 8, pipe, wire);
+        assert_eq!(r, TxStart::Empty);
+        assert!(p.is_none());
+    }
+
+    #[test]
+    fn not_ready_until_f2p_done() {
+        let mut n = TxNode::new(0, 16);
+        n.enqueue(Time::from_ps(53_333), req(0));
+        let (r, _) = n.try_start(Time::ZERO, 8, pipe, wire);
+        assert_eq!(r, TxStart::NotReady(Time::from_ps(53_333)));
+        let (r, p) = n.try_start(Time::from_ps(53_333), 8, pipe, wire);
+        assert!(matches!(r, TxStart::Started(_, _)));
+        assert_eq!(p.unwrap().id.value(), 0);
+    }
+
+    #[test]
+    fn wire_serializes_packets() {
+        let mut n = TxNode::new(0, 16);
+        n.enqueue(Time::ZERO, req(0));
+        n.enqueue(Time::ZERO, req(1));
+        let (r0, _) = n.try_start(Time::ZERO, 8, pipe, wire);
+        let TxStart::Started(arrival, wire_free) = r0 else {
+            panic!("expected start");
+        };
+        assert_eq!(arrival.as_ns_f64(), 102.0);
+        assert_eq!(wire_free.as_ns_f64(), 2.0);
+        // Wire busy until 2 ns.
+        let (r1, _) = n.try_start(Time::from_ps(1_000), 8, pipe, wire);
+        assert_eq!(r1, TxStart::WireBusy(Time::from_ps(2_000)));
+        let (r2, _) = n.try_start(Time::from_ps(2_000), 8, pipe, wire);
+        assert!(matches!(r2, TxStart::Started(_, _)));
+    }
+
+    #[test]
+    fn credit_gating_counts_in_flight() {
+        let mut n = TxNode::new(0, 16);
+        n.enqueue(Time::ZERO, req(0));
+        n.enqueue(Time::ZERO, req(1));
+        // One free credit: first packet goes.
+        let (r0, _) = n.try_start(Time::ZERO, 1, pipe, wire);
+        assert!(matches!(r0, TxStart::Started(_, _)));
+        // Still one credit but one in flight: stall.
+        let (r1, _) = n.try_start(Time::from_ps(2_000), 1, pipe, wire);
+        assert_eq!(r1, TxStart::NeedCredit);
+        assert!(n.waiting_credit());
+        // The first arrives, freeing our accounting.
+        n.arrived();
+        n.grant_credit();
+        let (r2, _) = n.try_start(Time::from_ps(2_000), 1, pipe, wire);
+        assert!(matches!(r2, TxStart::Started(_, _)));
+    }
+
+    #[test]
+    fn stop_signal_at_queue_depth() {
+        let mut n = TxNode::new(1, 2);
+        assert!(!n.stop_asserted());
+        n.enqueue(Time::ZERO, req(0));
+        n.enqueue(Time::ZERO, req(1));
+        assert!(n.stop_asserted());
+        assert_eq!(n.queue_len(), 2);
+    }
+
+    #[test]
+    fn sent_counters() {
+        let mut n = TxNode::new(0, 16);
+        n.enqueue(Time::ZERO, req(0));
+        n.try_start(Time::ZERO, 8, pipe, wire);
+        let (pkts, bytes) = n.sent();
+        assert_eq!(pkts, 1);
+        assert_eq!(bytes, 16, "read request is one flit");
+    }
+}

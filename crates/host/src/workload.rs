@@ -1,0 +1,290 @@
+//! GUPS workload descriptions: what each port generates.
+
+use hmc_types::packet::OpKind;
+use hmc_types::{Address, AddressMask, RequestKind, RequestSize};
+
+/// Address-sequence mode of a GUPS port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Addressing {
+    /// Uniformly random addresses over the masked space.
+    #[default]
+    Random,
+    /// Sequential addresses advancing by the request size.
+    Linear,
+}
+
+impl std::fmt::Display for Addressing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Addressing::Random => "random",
+            Addressing::Linear => "linear",
+        })
+    }
+}
+
+/// Configuration of one continuously generating GUPS port.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PortWorkload {
+    /// Read-only, write-only, or read-modify-write.
+    pub kind: RequestKind,
+    /// Payload size of every request.
+    pub size: RequestSize,
+    /// Linear or random addressing.
+    pub addressing: Addressing,
+    /// Mask / anti-mask registers applied to every generated address.
+    pub mask: AddressMask,
+    /// Independent read/write mixing: when set, each issue is a read with
+    /// this probability and an (independent) write otherwise, overriding
+    /// `kind`'s pure modes. This is the read-ratio knob of the
+    /// OpenHMC/HMCSim studies the paper relates to, which found maximum
+    /// link utilization between 53 % and 66 % reads.
+    pub read_fraction: Option<f64>,
+}
+
+impl PortWorkload {
+    /// A random read-only workload of the given size over the full address
+    /// space.
+    pub fn random_reads(size: RequestSize) -> Self {
+        PortWorkload {
+            kind: RequestKind::ReadOnly,
+            size,
+            addressing: Addressing::Random,
+            mask: AddressMask::NONE,
+            read_fraction: None,
+        }
+    }
+
+    /// A random mixed workload issuing reads with probability
+    /// `read_fraction` and independent writes otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `read_fraction` is within `[0, 1]`.
+    pub fn random_mixed(size: RequestSize, read_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&read_fraction),
+            "read fraction must be in [0, 1]"
+        );
+        PortWorkload {
+            kind: RequestKind::ReadOnly,
+            size,
+            addressing: Addressing::Random,
+            mask: AddressMask::NONE,
+            read_fraction: Some(read_fraction),
+        }
+    }
+}
+
+/// One operation of a stream-GUPS run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamOp {
+    /// Read or write.
+    pub op: OpKind,
+    /// Target address.
+    pub addr: Address,
+    /// Payload size.
+    pub size: RequestSize,
+    /// For writes: the data token to store. For reads: the token the
+    /// response is expected to carry (checked by the integrity monitor),
+    /// or zero to skip verification.
+    pub token: u64,
+}
+
+/// A complete host workload: what every port does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// Full- or small-scale GUPS: the first `active_ports` ports run the
+    /// same continuous generator.
+    Continuous {
+        /// Per-port generator settings.
+        port: PortWorkload,
+        /// Number of active ports (9 = full-scale GUPS).
+        active_ports: usize,
+    },
+    /// Stream GUPS: port 0 issues exactly this sequence, paced one request
+    /// per cycle, then stops.
+    Stream(Vec<StreamOp>),
+    /// A dependent chain on port 0: each read issues only after the
+    /// previous one's response returns (pointer-chasing semantics — the
+    /// latency-bound building block).
+    DependentChain {
+        /// Addresses visited in order.
+        addrs: Vec<Address>,
+        /// Request size of every hop.
+        size: RequestSize,
+    },
+}
+
+impl Workload {
+    /// Full-scale GUPS over the whole address space: all nine ports,
+    /// random addressing.
+    pub fn full_scale(kind: RequestKind, size: RequestSize) -> Self {
+        Workload::Continuous {
+            port: PortWorkload {
+                kind,
+                size,
+                addressing: Addressing::Random,
+                mask: AddressMask::NONE,
+                read_fraction: None,
+            },
+            active_ports: 9,
+        }
+    }
+
+    /// Full-scale GUPS restricted by a mask.
+    pub fn masked(kind: RequestKind, size: RequestSize, mask: AddressMask) -> Self {
+        Workload::Continuous {
+            port: PortWorkload {
+                kind,
+                size,
+                addressing: Addressing::Random,
+                mask,
+                read_fraction: None,
+            },
+            active_ports: 9,
+        }
+    }
+
+    /// Small-scale GUPS: like full-scale but with only `active_ports`
+    /// ports generating, to tune the offered request rate (Figure 17/18).
+    pub fn small_scale(
+        kind: RequestKind,
+        size: RequestSize,
+        mask: AddressMask,
+        active_ports: usize,
+    ) -> Self {
+        Workload::Continuous {
+            port: PortWorkload {
+                kind,
+                size,
+                addressing: Addressing::Random,
+                mask,
+                read_fraction: None,
+            },
+            active_ports,
+        }
+    }
+
+    /// Full-scale mixed traffic with the given read fraction.
+    pub fn mixed(size: RequestSize, read_fraction: f64) -> Self {
+        Workload::Continuous {
+            port: PortWorkload::random_mixed(size, read_fraction),
+            active_ports: 9,
+        }
+    }
+
+    /// A stream of `count` back-to-back reads of `size` at consecutive
+    /// 128 B blocks — the low-load latency probe of Figure 15. The
+    /// one-block stride spreads the stream across vaults the same way for
+    /// every request size (the default interleave sends consecutive
+    /// blocks to consecutive vaults).
+    pub fn read_stream(count: usize, size: RequestSize) -> Self {
+        Workload::Stream(
+            (0..count)
+                .map(|i| StreamOp {
+                    op: OpKind::Read,
+                    addr: Address::new(i as u64 * 128),
+                    size,
+                    token: 0,
+                })
+                .collect(),
+        )
+    }
+
+    /// A pointer chase over `count` pseudo-random locations.
+    pub fn pointer_chase(count: usize, size: RequestSize, seed: u64) -> Self {
+        let mut rng = sim_engine::SplitMix64::new(seed);
+        let slots = (4u64 << 30) / 128;
+        Workload::DependentChain {
+            addrs: (0..count)
+                .map(|_| Address::new(rng.next_below(slots) * 128))
+                .collect(),
+            size,
+        }
+    }
+
+    /// Number of ports that will generate traffic.
+    pub fn active_ports(&self) -> usize {
+        match self {
+            Workload::Continuous { active_ports, .. } => *active_ports,
+            Workload::Stream(_) | Workload::DependentChain { .. } => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_scale_uses_nine_ports() {
+        let w = Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX);
+        assert_eq!(w.active_ports(), 9);
+        if let Workload::Continuous { port, .. } = w {
+            assert_eq!(port.addressing, Addressing::Random);
+            assert_eq!(port.mask, AddressMask::NONE);
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    fn small_scale_tunes_rate() {
+        let w = Workload::small_scale(
+            RequestKind::ReadOnly,
+            RequestSize::MIN,
+            AddressMask::NONE,
+            3,
+        );
+        assert_eq!(w.active_ports(), 3);
+    }
+
+    #[test]
+    fn read_stream_addresses_are_sequential() {
+        let w = Workload::read_stream(4, RequestSize::new(64).unwrap());
+        if let Workload::Stream(ops) = &w {
+            assert_eq!(ops.len(), 4);
+            assert_eq!(ops[0].addr.as_u64(), 0);
+            assert_eq!(ops[3].addr.as_u64(), 384);
+            assert!(ops.iter().all(|o| o.op == OpKind::Read));
+        } else {
+            unreachable!();
+        }
+        assert_eq!(w.active_ports(), 1);
+    }
+
+    #[test]
+    fn mixed_workload_validates_fraction() {
+        let w = Workload::mixed(RequestSize::MAX, 0.6);
+        if let Workload::Continuous { port, .. } = w {
+            assert_eq!(port.read_fraction, Some(0.6));
+        } else {
+            unreachable!();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "read fraction")]
+    fn out_of_range_fraction_panics() {
+        let _ = PortWorkload::random_mixed(RequestSize::MAX, 1.5);
+    }
+
+    #[test]
+    fn pointer_chase_builds_aligned_chain() {
+        let w = Workload::pointer_chase(32, RequestSize::MAX, 9);
+        if let Workload::DependentChain { addrs, size } = &w {
+            assert_eq!(addrs.len(), 32);
+            assert_eq!(size.bytes(), 128);
+            assert!(addrs.iter().all(|a| a.as_u64() % 128 == 0));
+        } else {
+            unreachable!();
+        }
+        assert_eq!(w.active_ports(), 1);
+    }
+
+    #[test]
+    fn display_addressing() {
+        assert_eq!(Addressing::Random.to_string(), "random");
+        assert_eq!(Addressing::Linear.to_string(), "linear");
+    }
+}

@@ -1,0 +1,902 @@
+//! The assembled HMC device: links, crossbar, vaults, refresh, and the
+//! event loop tying them together.
+
+use std::collections::{HashMap, VecDeque};
+
+use hmc_types::packet::OpKind;
+use hmc_types::{MemoryRequest, MemoryResponse, Time, TimeDelta};
+use sim_engine::EventQueue;
+
+use crate::config::MemConfig;
+use crate::link::{DeviceLink, OutPacket};
+use crate::store::SparseStore;
+use crate::vault::Vault;
+use crate::xbar::Xbar;
+
+/// A response leaving the device, timestamped with the instant its last
+/// flit crossed the link (the host's RX pipeline starts then).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceOutput {
+    /// The response record (with `completed_at` set to the link-exit time;
+    /// the host overwrites it after its RX pipeline).
+    pub resp: MemoryResponse,
+    /// Link the response left on.
+    pub link: usize,
+    /// Link-exit instant.
+    pub at: Time,
+}
+
+/// Aggregated activity counters of the whole device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Read operations completed by the DRAM banks.
+    pub reads_completed: u64,
+    /// Write operations completed by the DRAM banks.
+    pub writes_completed: u64,
+    /// Request-packet bytes received across all links.
+    pub bytes_up: u64,
+    /// Response-packet bytes sent across all links.
+    pub bytes_down: u64,
+    /// Payload bytes read from DRAM.
+    pub data_read_bytes: u64,
+    /// Payload bytes written to DRAM.
+    pub data_write_bytes: u64,
+    /// Row activations across all banks.
+    pub bank_activations: u64,
+    /// Open-page row hits (ablation mode only).
+    pub row_hits: u64,
+    /// Refresh operations performed.
+    pub refreshes: u64,
+    /// Crossbar local-quadrant deliveries.
+    pub local_hops: u64,
+    /// Crossbar remote-quadrant deliveries.
+    pub remote_hops: u64,
+    /// Link-level retries (injected bit errors caught by CRC).
+    pub link_retries: u64,
+}
+
+impl DeviceStats {
+    /// Total SerDes traffic in both directions.
+    pub fn link_bytes(&self) -> u64 {
+        self.bytes_up + self.bytes_down
+    }
+}
+
+#[derive(Debug, Clone)]
+enum DeviceEvent {
+    IngressDone { link: usize, req: MemoryRequest },
+    VaultArrive { vault: u16, req: MemoryRequest },
+    BankWake { vault: u16, seq: u64 },
+    ResponseAtLink { link: usize, pkt: OutPacket },
+    EgressDone { link: usize, pkt: OutPacket },
+    WriteDrained { link: usize, req: MemoryRequest },
+    PimReturn { pkt: OutPacket },
+    Refresh { vault: u16 },
+}
+
+/// The pseudo-link id marking requests injected by logic-layer (PIM)
+/// compute units. Their responses return through [`DeviceOutput::link`]
+/// with this value instead of leaving over SerDes.
+pub const PIM_LINK: usize = usize::MAX;
+
+/// The modelled 3D-stacked memory cube.
+///
+/// The device is an event-driven component: the host [`submit`]s requests
+/// to a link (after checking [`can_accept`]) and periodically calls
+/// [`advance`], collecting completed responses. [`next_time`] exposes the
+/// earliest pending internal event so a caller can interleave the device
+/// with other simulation actors deterministically.
+///
+/// [`submit`]: HmcDevice::submit
+/// [`can_accept`]: HmcDevice::can_accept
+/// [`advance`]: HmcDevice::advance
+/// [`next_time`]: HmcDevice::next_time
+#[derive(Debug)]
+pub struct HmcDevice {
+    cfg: MemConfig,
+    links: Vec<DeviceLink>,
+    vaults: Vec<Vault>,
+    /// Input-FIFO slots promised to in-flight requests, per vault.
+    vault_reserved: Vec<usize>,
+    /// Time of the single live bank wake per vault.
+    wake_at: Vec<Option<Time>>,
+    /// Sequence number of the live wake; stale events are dropped.
+    wake_seq: Vec<u64>,
+    xbar: Xbar,
+    store: Option<SparseStore>,
+    /// Posted-write buffer occupancy (shared across links).
+    write_buf_used: usize,
+    /// Drain cursor of the posted-write path.
+    drain_free_at: Time,
+    /// Drained writes waiting for a vault input slot.
+    drained_waiting: VecDeque<(usize, MemoryRequest)>,
+    arrival_link: HashMap<u64, usize>,
+    events: EventQueue<DeviceEvent>,
+    refresh_multiplier: u32,
+    refreshes: u64,
+    data_read_bytes: u64,
+    data_write_bytes: u64,
+    now: Time,
+}
+
+impl HmcDevice {
+    /// Builds an idle device from its configuration.
+    pub fn new(cfg: MemConfig) -> Self {
+        let n_vaults = cfg.spec.num_vaults() as usize;
+        let n_links = cfg.links.num_links() as usize;
+        let links = (0..n_links)
+            .map(|l| DeviceLink::with_seed(cfg.links, cfg.link_layer, 0x11CE ^ l as u64))
+            .collect();
+        let vaults = (0..n_vaults).map(|v| Vault::new(v as u16, &cfg)).collect();
+        let xbar = Xbar::new(cfg.xbar, &cfg.spec, &cfg.links);
+        let mut events = EventQueue::with_capacity(1024);
+        if cfg.refresh.enabled {
+            // Stagger vault refreshes across the interval (none at t = 0,
+            // so cold-start accesses are not refresh-delayed).
+            let step = cfg.refresh.interval / n_vaults as u64;
+            for v in 0..n_vaults {
+                events.push(
+                    Time::ZERO + step * (v as u64 + 1),
+                    DeviceEvent::Refresh { vault: v as u16 },
+                );
+            }
+        }
+        HmcDevice {
+            store: cfg.track_data.then(SparseStore::new),
+            links,
+            vaults,
+            vault_reserved: vec![0; n_vaults],
+            wake_at: vec![None; n_vaults],
+            wake_seq: vec![0; n_vaults],
+            xbar,
+            write_buf_used: 0,
+            drain_free_at: Time::ZERO,
+            drained_waiting: VecDeque::new(),
+            arrival_link: HashMap::new(),
+            events,
+            refresh_multiplier: 1,
+            refreshes: 0,
+            data_read_bytes: 0,
+            data_write_bytes: 0,
+            now: Time::ZERO,
+            cfg,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// True if link `link` has an ingress credit for another request.
+    pub fn can_accept(&self, link: usize) -> bool {
+        self.links[link].can_accept()
+    }
+
+    /// Free ingress credits on `link` (the window the host flow control
+    /// sees).
+    pub fn ingress_free(&self, link: usize) -> usize {
+        self.links[link].ingress_free()
+    }
+
+    /// Submits a request packet that finished crossing the wire onto link
+    /// `link` at `now`.
+    ///
+    /// # Errors
+    ///
+    /// Hands the request back if the link's ingress buffer is full; callers
+    /// should gate on [`can_accept`](HmcDevice::can_accept).
+    pub fn submit(
+        &mut self,
+        link: usize,
+        req: MemoryRequest,
+        now: Time,
+    ) -> Result<(), MemoryRequest> {
+        debug_assert!(now >= self.now, "submit in the past");
+        self.links[link].enqueue_ingress(req, now)?;
+        self.kick_ingress(link, now);
+        Ok(())
+    }
+
+    /// Submits a request from a logic-layer (PIM) compute unit: it enters
+    /// the target vault directly — no SerDes, no packetization, no
+    /// posted-write drain — paying only a short in-stack hop. The response
+    /// comes back through [`advance`](HmcDevice::advance) with
+    /// [`DeviceOutput::link`] set to [`PIM_LINK`].
+    ///
+    /// # Errors
+    ///
+    /// Hands the request back when the target vault's input FIFO has no
+    /// free slot (the PIM unit should retry after a completion).
+    pub fn pim_submit(&mut self, req: MemoryRequest, now: Time) -> Result<(), MemoryRequest> {
+        debug_assert!(now >= self.now, "submit in the past");
+        let loc = self.cfg.mapping.decode(req.addr, &self.cfg.spec);
+        let v = loc.vault.index() as usize;
+        if self.vault_reserved[v] >= self.cfg.vault.input_fifo_depth {
+            return Err(req);
+        }
+        self.vault_reserved[v] += 1;
+        self.arrival_link.insert(req.id.value(), PIM_LINK);
+        self.events.push(
+            now + self.cfg.xbar.local_hop,
+            DeviceEvent::VaultArrive {
+                vault: loc.vault.index(),
+                req,
+            },
+        );
+        Ok(())
+    }
+
+    /// Free input-FIFO slots of the vault that `addr` maps to — the
+    /// admission window a PIM unit sees.
+    pub fn pim_free_slots(&self, addr: hmc_types::Address) -> usize {
+        let loc = self.cfg.mapping.decode(addr, &self.cfg.spec);
+        self.cfg.vault.input_fifo_depth - self.vault_reserved[loc.vault.index() as usize]
+    }
+
+    /// Earliest pending internal event, if any.
+    pub fn next_time(&self) -> Option<Time> {
+        self.events.peek_time()
+    }
+
+    /// The device's local clock (the time of the last processed event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Pending internal events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Processes every internal event scheduled at or before `until`,
+    /// appending responses that left the device to `out`.
+    pub fn advance(&mut self, until: Time, out: &mut Vec<DeviceOutput>) {
+        while let Some(t) = self.events.peek_time() {
+            if t > until {
+                break;
+            }
+            let (t, ev) = self.events.pop().expect("peeked");
+            self.now = self.now.max(t);
+            self.handle(ev, t, out);
+        }
+        self.now = self.now.max(until);
+    }
+
+    /// Current refresh-rate multiplier (≥ 1; 2 in the high-temperature
+    /// regime).
+    pub fn refresh_multiplier(&self) -> u32 {
+        self.refresh_multiplier
+    }
+
+    /// Sets the refresh-rate multiplier — the thermal model raises it when
+    /// the junction runs hot.
+    pub fn set_refresh_multiplier(&mut self, m: u32) {
+        self.refresh_multiplier = m.max(1);
+    }
+
+    /// Wipes the backing store, modelling the data loss of a thermal
+    /// shutdown.
+    pub fn wipe_data(&mut self) {
+        if let Some(s) = &mut self.store {
+            s.wipe();
+        }
+    }
+
+    /// Read-only access to the backing store (when `track_data` is on).
+    pub fn store(&self) -> Option<&SparseStore> {
+        self.store.as_ref()
+    }
+
+    /// Requests currently queued inside vault `v` (input FIFO + bank
+    /// queues).
+    pub fn vault_queued(&self, v: usize) -> usize {
+        self.vaults[v].queued()
+    }
+
+    /// Requests queued across all vaults.
+    pub fn total_queued(&self) -> usize {
+        self.vaults.iter().map(|v| v.queued()).sum()
+    }
+
+    /// Aggregated activity counters.
+    pub fn stats(&self) -> DeviceStats {
+        let mut s = DeviceStats {
+            refreshes: self.refreshes,
+            data_read_bytes: self.data_read_bytes,
+            data_write_bytes: self.data_write_bytes,
+            ..DeviceStats::default()
+        };
+        for v in &self.vaults {
+            let vs = v.stats();
+            s.reads_completed += vs.reads;
+            s.writes_completed += vs.writes;
+            s.bank_activations += v.activations();
+            s.row_hits += v.row_hits();
+        }
+        for l in &self.links {
+            let ls = l.stats();
+            s.bytes_up += ls.bytes_up;
+            s.bytes_down += ls.bytes_down;
+            s.link_retries += ls.retries;
+        }
+        let xs = self.xbar.stats();
+        s.local_hops = xs.local_hops;
+        s.remote_hops = xs.remote_hops;
+        s
+    }
+
+    // ------------------------------------------------------------------
+    // internals
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, ev: DeviceEvent, now: Time, out: &mut Vec<DeviceOutput>) {
+        match ev {
+            DeviceEvent::IngressDone { link, req } => {
+                let accepted = match req.op {
+                    OpKind::Read => self.route_request(link, req, now),
+                    OpKind::Write => self.try_drain(link, req, now),
+                };
+                if accepted {
+                    self.links[link].finish_ingress();
+                    self.kick_ingress(link, now);
+                } else {
+                    self.links[link].block_head(req);
+                }
+            }
+            DeviceEvent::VaultArrive { vault, req } => {
+                self.vaults[vault as usize]
+                    .accept(req, now)
+                    .expect("input FIFO slot was reserved");
+                self.pump_vault(vault as usize, now, out);
+            }
+            DeviceEvent::BankWake { vault, seq } => {
+                if seq != self.wake_seq[vault as usize] {
+                    return; // superseded
+                }
+                self.wake_at[vault as usize] = None;
+                self.pump_vault(vault as usize, now, out);
+            }
+            DeviceEvent::ResponseAtLink { link, pkt } => {
+                self.links[link].push_egress(pkt);
+                self.kick_egress(link, now);
+            }
+            DeviceEvent::EgressDone { link, pkt } => {
+                self.links[link].finish_egress();
+                out.push(DeviceOutput {
+                    resp: MemoryResponse {
+                        id: pkt.req.id,
+                        port: pkt.req.port,
+                        tag: pkt.req.tag,
+                        op: pkt.req.op,
+                        size: pkt.req.size,
+                        addr: pkt.req.addr,
+                        issued_at: pkt.req.issued_at,
+                        completed_at: now,
+                        data_token: pkt.token,
+                    },
+                    link,
+                    at: now,
+                });
+                self.kick_egress(link, now);
+            }
+            DeviceEvent::PimReturn { pkt } => {
+                out.push(DeviceOutput {
+                    resp: MemoryResponse {
+                        id: pkt.req.id,
+                        port: pkt.req.port,
+                        tag: pkt.req.tag,
+                        op: pkt.req.op,
+                        size: pkt.req.size,
+                        addr: pkt.req.addr,
+                        issued_at: pkt.req.issued_at,
+                        completed_at: now,
+                        data_token: pkt.token,
+                    },
+                    link: PIM_LINK,
+                    at: now,
+                });
+            }
+            DeviceEvent::WriteDrained { link, req } => {
+                // The buffer slot stays held until the write lands in its
+                // vault's input FIFO — otherwise the posted-write path
+                // would admit writes far faster than a congested vault
+                // drains them, breaking flow control.
+                if self.route_request(link, req, now) {
+                    self.write_buf_used -= 1;
+                    self.unblock_drain_waiters(now);
+                } else {
+                    self.drained_waiting.push_back((link, req));
+                }
+            }
+            DeviceEvent::Refresh { vault } => {
+                let v = vault as usize;
+                self.vaults[v].hold_all(now + self.cfg.refresh.duration);
+                self.refreshes += 1;
+                let next = now + self.cfg.refresh.interval / self.refresh_multiplier as u64;
+                self.events.push(next, DeviceEvent::Refresh { vault });
+                self.arm_wake(v, now);
+            }
+        }
+    }
+
+    /// Starts ingress processing on `link` if it is idle and has queued
+    /// packets.
+    fn kick_ingress(&mut self, link: usize, now: Time) {
+        if let Some((done, req)) = self.links[link].start_ingress(now) {
+            self.events.push(done, DeviceEvent::IngressDone { link, req });
+        }
+    }
+
+    fn kick_egress(&mut self, link: usize, now: Time) {
+        if let Some((done, pkt)) = self.links[link].start_egress(now) {
+            self.events.push(done, DeviceEvent::EgressDone { link, pkt });
+        }
+    }
+
+    /// Admits a posted write into the shared write buffer; returns false
+    /// when the buffer is full (the link must stall).
+    fn try_drain(&mut self, link: usize, req: MemoryRequest, now: Time) -> bool {
+        if self.write_buf_used >= self.cfg.link_layer.write_buffer_depth {
+            return false;
+        }
+        self.write_buf_used += 1;
+        let payload_ps = req.size.bytes() * 1_000_000_000_000
+            / self.cfg.link_layer.write_drain_bytes_per_sec;
+        let end = now.max(self.drain_free_at) + TimeDelta::from_ps(payload_ps);
+        self.drain_free_at = end;
+        self.events.push(end, DeviceEvent::WriteDrained { link, req });
+        true
+    }
+
+    /// Re-admits writes stalled at link heads now that buffer slots
+    /// freed.
+    fn unblock_drain_waiters(&mut self, now: Time) {
+        for l in 0..self.links.len() {
+            if self.write_buf_used >= self.cfg.link_layer.write_buffer_depth {
+                break;
+            }
+            let is_write = self.links[l]
+                .blocked_request()
+                .is_some_and(|r| r.op == OpKind::Write);
+            if !is_write {
+                continue;
+            }
+            let req = self.links[l].take_blocked().expect("checked blocked");
+            let admitted = self.try_drain(l, req, now);
+            debug_assert!(admitted, "buffer slot was free");
+            self.kick_ingress(l, now);
+        }
+    }
+
+    /// Reserves a vault slot and schedules delivery; returns false if the
+    /// target vault has no free slot.
+    fn route_request(&mut self, link: usize, req: MemoryRequest, now: Time) -> bool {
+        let loc = self.cfg.mapping.decode(req.addr, &self.cfg.spec);
+        let v = loc.vault.index() as usize;
+        if self.vault_reserved[v] >= self.cfg.vault.input_fifo_depth {
+            return false;
+        }
+        self.vault_reserved[v] += 1;
+        self.arrival_link.insert(req.id.value(), link);
+        let delay = self.xbar.delay(link, loc.vault.index()) + self.cfg.xbar.ingress_latency;
+        self.events.push(
+            now + delay,
+            DeviceEvent::VaultArrive {
+                vault: loc.vault.index(),
+                req,
+            },
+        );
+        true
+    }
+
+    /// Drains the vault's input FIFO, starts every ready bank, routes the
+    /// produced responses, releases link stalls, and re-arms the vault's
+    /// wake event.
+    fn pump_vault(&mut self, v: usize, now: Time, _out: &mut [DeviceOutput]) {
+        let mut freed = 0;
+        let mut started = Vec::new();
+        loop {
+            let moved = self.vaults[v].drain_input(now);
+            freed += moved;
+            let before = started.len();
+            self.vaults[v].start_ready(now, &mut started);
+            if moved == 0 && started.len() == before {
+                break;
+            }
+        }
+        self.vault_reserved[v] -= freed;
+        for op in started {
+            let token = match op.req.op {
+                OpKind::Read => {
+                    self.data_read_bytes += op.req.size.bytes();
+                    self.store
+                        .as_mut()
+                        .map_or(0, |s| s.read(op.req.addr))
+                }
+                OpKind::Write => {
+                    self.data_write_bytes += op.req.size.bytes();
+                    if let Some(s) = &mut self.store {
+                        s.write(op.req.addr, op.req.size.bytes(), op.req.data_token);
+                    }
+                    0
+                }
+            };
+            let link = self
+                .arrival_link
+                .remove(&op.req.id.value())
+                .expect("response for unknown request");
+            if link == PIM_LINK {
+                // Logic-layer consumers get their data after the in-stack
+                // hop, skipping the SerDes egress entirely.
+                self.events.push(
+                    op.response_at + self.cfg.xbar.local_hop,
+                    DeviceEvent::PimReturn {
+                        pkt: OutPacket { req: op.req, token },
+                    },
+                );
+            } else {
+                let delay =
+                    self.xbar.delay(link, self.vaults[v].id()) + self.cfg.xbar.egress_latency;
+                self.events.push(
+                    op.response_at + delay,
+                    DeviceEvent::ResponseAtLink {
+                        link,
+                        pkt: OutPacket { req: op.req, token },
+                    },
+                );
+            }
+        }
+        if freed > 0 {
+            self.release_stalls(v, now);
+        }
+        self.arm_wake(v, now);
+    }
+
+    /// Re-tries work stalled on vault `v` now that slots freed up:
+    /// drained writes first (they are oldest), then links whose head read
+    /// is blocked on this vault.
+    fn release_stalls(&mut self, v: usize, now: Time) {
+        let mut i = 0;
+        while i < self.drained_waiting.len() {
+            if self.vault_reserved[v] >= self.cfg.vault.input_fifo_depth {
+                return;
+            }
+            let targets_v = {
+                let (_, req) = &self.drained_waiting[i];
+                let loc = self.cfg.mapping.decode(req.addr, &self.cfg.spec);
+                loc.vault.index() as usize == v
+            };
+            if targets_v {
+                let (link, req) = self.drained_waiting.remove(i).expect("index valid");
+                let routed = self.route_request(link, req, now);
+                debug_assert!(routed, "slot was free");
+                self.write_buf_used -= 1;
+                self.unblock_drain_waiters(now);
+            } else {
+                i += 1;
+            }
+        }
+        for link in 0..self.links.len() {
+            if self.vault_reserved[v] >= self.cfg.vault.input_fifo_depth {
+                break;
+            }
+            let targets_v = self.links[link].blocked_request().is_some_and(|req| {
+                req.op == OpKind::Read && {
+                    let loc = self.cfg.mapping.decode(req.addr, &self.cfg.spec);
+                    loc.vault.index() as usize == v
+                }
+            });
+            if !targets_v {
+                continue;
+            }
+            let req = self.links[link].take_blocked().expect("checked blocked");
+            let routed = self.route_request(link, req, now);
+            debug_assert!(routed, "slot was free");
+            self.kick_ingress(link, now);
+        }
+    }
+
+    /// Arms the vault's single live dispatch opportunity. A live wake
+    /// firing at or before the needed time is left alone; an earlier need
+    /// supersedes it via the sequence number.
+    fn arm_wake(&mut self, v: usize, now: Time) {
+        if self.vaults[v].queued() == 0 {
+            return;
+        }
+        let Some(t) = self.vaults[v].next_bank_ready() else {
+            return;
+        };
+        // Guard against same-instant rescheduling loops.
+        let t = t.max(now + TimeDelta::from_ps(1));
+        if let Some(w) = self.wake_at[v] {
+            if w <= t {
+                return;
+            }
+        }
+        self.wake_seq[v] += 1;
+        self.wake_at[v] = Some(t);
+        self.events.push(
+            t,
+            DeviceEvent::BankWake {
+                vault: v as u16,
+                seq: self.wake_seq[v],
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::{Address, PortId, RequestId, RequestSize, Tag};
+
+    fn read_req(id: u64, addr: u64, size: u64) -> MemoryRequest {
+        MemoryRequest {
+            id: RequestId::new(id),
+            port: PortId::new(0),
+            tag: Tag::new((id % 64) as u16),
+            op: OpKind::Read,
+            size: RequestSize::new(size).unwrap(),
+            addr: Address::new(addr),
+            issued_at: Time::ZERO,
+            data_token: 0,
+        }
+    }
+
+    fn write_req(id: u64, addr: u64, size: u64, token: u64) -> MemoryRequest {
+        MemoryRequest {
+            op: OpKind::Write,
+            data_token: token,
+            ..read_req(id, addr, size)
+        }
+    }
+
+    fn run_to_idle(dev: &mut HmcDevice, mut horizon: Time) -> Vec<DeviceOutput> {
+        let mut out = Vec::new();
+        // Refresh events recur forever, so cap at the horizon.
+        dev.advance(horizon, &mut out);
+        horizon += TimeDelta::from_us(100);
+        dev.advance(horizon, &mut out);
+        out
+    }
+
+    #[test]
+    fn single_read_completes_with_plausible_latency() {
+        let mut dev = HmcDevice::new(MemConfig::default());
+        dev.submit(0, read_req(0, 0, 128), Time::ZERO).unwrap();
+        let out = run_to_idle(&mut dev, Time::from_ps(1_000_000));
+        assert_eq!(out.len(), 1);
+        let lat = out[0].at.since(Time::ZERO).as_ns_f64();
+        // In-cube latency: ingress + xbar + DRAM (50) + beats (16) + xbar +
+        // egress + serialization; roughly 100-200 ns.
+        assert!((80.0..250.0).contains(&lat), "in-cube latency {lat} ns");
+        assert_eq!(dev.stats().reads_completed, 1);
+        assert_eq!(dev.stats().bytes_up, 16);
+        assert_eq!(dev.stats().bytes_down, 144);
+    }
+
+    #[test]
+    fn write_then_read_returns_token() {
+        let cfg = MemConfig {
+            track_data: true,
+            ..MemConfig::default()
+        };
+        let mut dev = HmcDevice::new(cfg);
+        dev.submit(0, write_req(0, 0x400, 128, 0xABCD), Time::ZERO)
+            .unwrap();
+        let out = run_to_idle(&mut dev, Time::from_ps(1_000_000));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].resp.op, OpKind::Write);
+        let t1 = dev.now();
+        dev.submit(0, read_req(1, 0x400, 128), t1).unwrap();
+        let out2 = run_to_idle(&mut dev, t1 + TimeDelta::from_us(1));
+        assert_eq!(out2.len(), 1);
+        assert_eq!(out2[0].resp.data_token, 0xABCD);
+        assert!(dev.store().unwrap().verify(Address::new(0x400), 128, 0xABCD));
+    }
+
+    #[test]
+    fn responses_return_on_arrival_link() {
+        let mut dev = HmcDevice::new(MemConfig::default());
+        dev.submit(1, read_req(0, 0, 128), Time::ZERO).unwrap();
+        let out = run_to_idle(&mut dev, Time::from_ps(1_000_000));
+        assert_eq!(out[0].link, 1);
+    }
+
+    #[test]
+    fn remote_quadrant_access_is_slower() {
+        let mut cfg = MemConfig::default();
+        cfg.refresh.enabled = false;
+        let mut dev = HmcDevice::new(cfg.clone());
+        // Vault 0 is local to link 0; vault 8 (quadrant 2) is remote.
+        dev.submit(0, read_req(0, 0, 128), Time::ZERO).unwrap();
+        let local = run_to_idle(&mut dev, Time::from_ps(1_000_000))[0].at;
+        let mut dev2 = HmcDevice::new(cfg);
+        dev2.submit(0, read_req(0, 8 << 7, 128), Time::ZERO).unwrap();
+        let remote = run_to_idle(&mut dev2, Time::from_ps(1_000_000))[0].at;
+        // Two crossings, 8 ns extra each.
+        assert_eq!(remote.since(local).as_ns_f64(), 16.0);
+        assert_eq!(dev2.stats().remote_hops, 2);
+    }
+
+    #[test]
+    fn ingress_credits_backpressure() {
+        let mut dev = HmcDevice::new(MemConfig::default());
+        let mut accepted = 0;
+        // Flood link 0 with same-instant submissions.
+        for i in 0..100 {
+            if dev.can_accept(0) {
+                dev.submit(0, read_req(i, (i % 16) << 7, 128), Time::ZERO)
+                    .unwrap();
+                accepted += 1;
+            } else {
+                break;
+            }
+        }
+        // The queue holds 32; one more is in flight after the first kick.
+        assert!((32..=34).contains(&accepted), "accepted {accepted}");
+        assert!(!dev.can_accept(0));
+        assert!(dev
+            .submit(0, read_req(999, 0, 128), Time::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn all_submitted_requests_eventually_complete() {
+        let cfg = MemConfig {
+            track_data: false,
+            ..MemConfig::default()
+        };
+        let mut dev = HmcDevice::new(cfg);
+        let mut sent = 0u64;
+        let mut now = Time::ZERO;
+        let mut out = Vec::new();
+        let mut rng = sim_engine::SplitMix64::new(42);
+        while sent < 2_000 {
+            if dev.can_accept((sent % 2) as usize) {
+                let addr = rng.next_below(1 << 30) & !0xF;
+                let op = if rng.next_f64() < 0.5 {
+                    read_req(sent, addr, 64)
+                } else {
+                    write_req(sent, addr, 64, sent)
+                };
+                dev.submit((sent % 2) as usize, op, now).unwrap();
+                sent += 1;
+            } else {
+                now = dev.next_time().unwrap_or(now).max(now);
+                dev.advance(now, &mut out);
+            }
+        }
+        // Drain.
+        for _ in 0..1_000_000 {
+            match dev.next_time() {
+                Some(t) => {
+                    now = t;
+                    dev.advance(now, &mut out);
+                }
+                None => break,
+            }
+            if out.len() as u64 == sent {
+                break;
+            }
+        }
+        assert_eq!(out.len() as u64, sent, "every request answered");
+        let s = dev.stats();
+        assert_eq!(s.reads_completed + s.writes_completed, sent);
+    }
+
+    #[test]
+    fn single_bank_flood_exposes_queueing() {
+        // All requests to vault 0 / bank 0: the bank serializes at tRC and
+        // queues grow; latency of late responses far exceeds the first.
+        let mut cfg = MemConfig::default();
+        cfg.refresh.enabled = false;
+        let mut dev = HmcDevice::new(cfg);
+        let mut now = Time::ZERO;
+        let mut out = Vec::new();
+        let mut sent = 0u64;
+        while sent < 300 {
+            if dev.can_accept(0) {
+                dev.submit(0, read_req(sent, (sent % 512) << 15, 128), now)
+                    .unwrap();
+                sent += 1;
+            } else {
+                now = dev.next_time().expect("events pending");
+                dev.advance(now, &mut out);
+            }
+        }
+        while out.len() < 300 {
+            now = dev.next_time().expect("still draining");
+            dev.advance(now, &mut out);
+        }
+        let first = out.first().unwrap();
+        let last = out.last().unwrap();
+        let spread = last.at.since(first.at).as_us_f64();
+        // 299 accesses x 128 ns ≈ 38 us of serialization.
+        assert!(spread > 30.0, "bank serialization spread {spread} us");
+    }
+
+    #[test]
+    fn pim_requests_bypass_links_and_return_fast() {
+        let mut cfg = MemConfig {
+            track_data: true,
+            ..MemConfig::default()
+        };
+        cfg.refresh.enabled = false;
+        let mut dev = HmcDevice::new(cfg);
+        // A PIM write then read at the same address.
+        dev.pim_submit(write_req(0, 0x200, 16, 0x77), Time::ZERO)
+            .unwrap();
+        let mut out = Vec::new();
+        dev.advance(Time::from_ps(1_000_000), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].link, PIM_LINK);
+        let t1 = dev.now();
+        dev.pim_submit(read_req(1, 0x200, 16), t1).unwrap();
+        dev.advance(t1 + TimeDelta::from_us(1), &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[1].resp.data_token, 0x77);
+        // In-stack round trip is far below the external-link round trip:
+        // hop + DRAM + beat + hop, with no SerDes or packet processing.
+        let lat = out[1].at.since(t1).as_ns_f64();
+        assert!(lat < 100.0, "PIM read latency {lat} ns");
+        // No SerDes traffic was generated at all.
+        assert_eq!(dev.stats().link_bytes(), 0);
+    }
+
+    #[test]
+    fn pim_admission_window_tracks_vault_fifo() {
+        let mut cfg = MemConfig::default();
+        cfg.refresh.enabled = false;
+        let mut dev = HmcDevice::new(cfg);
+        let addr = Address::new(0);
+        let window = dev.pim_free_slots(addr);
+        assert_eq!(window, 16);
+        let mut accepted = 0;
+        for i in 0..64 {
+            if dev.pim_submit(read_req(i, 0, 128), Time::ZERO).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 16, "admission bounded by the vault FIFO");
+        assert_eq!(dev.pim_free_slots(addr), 0);
+    }
+
+    #[test]
+    fn refresh_happens_and_multiplier_speeds_it_up() {
+        let mut dev = HmcDevice::new(MemConfig::default());
+        let mut out = Vec::new();
+        dev.advance(Time::from_ps(100_000_000), &mut out); // 100 us
+        let base = dev.stats().refreshes;
+        assert!(base > 100, "16 vaults / 7.8 us over 100 us: {base}");
+        dev.set_refresh_multiplier(2);
+        dev.advance(Time::from_ps(200_000_000), &mut out);
+        let hot = dev.stats().refreshes - base;
+        assert!(
+            hot as f64 > base as f64 * 1.7,
+            "doubled refresh: {hot} vs {base}"
+        );
+        assert_eq!(dev.refresh_multiplier(), 2);
+    }
+
+    #[test]
+    fn stats_accumulate_consistently() {
+        let mut dev = HmcDevice::new(MemConfig::default());
+        dev.submit(0, read_req(0, 0, 32), Time::ZERO).unwrap();
+        dev.submit(0, write_req(1, 128, 32, 7), Time::ZERO).unwrap();
+        let out = run_to_idle(&mut dev, Time::from_ps(2_000_000));
+        assert_eq!(out.len(), 2);
+        let s = dev.stats();
+        assert_eq!(s.reads_completed, 1);
+        assert_eq!(s.writes_completed, 1);
+        assert_eq!(s.data_read_bytes, 32);
+        assert_eq!(s.data_write_bytes, 32);
+        // Read req 16 B + write req 48 B up; read resp 48 B + write resp
+        // 16 B down.
+        assert_eq!(s.bytes_up, 64);
+        assert_eq!(s.bytes_down, 64);
+        assert_eq!(s.link_bytes(), 128);
+        assert!(s.bank_activations >= 2);
+    }
+}

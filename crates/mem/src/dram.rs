@@ -1,0 +1,288 @@
+//! A single DRAM bank's timing state machine.
+
+use hmc_types::{Time, TimeDelta};
+
+use crate::config::{DramTiming, PagePolicy};
+
+/// Cumulative activity counters for one bank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Row activations performed.
+    pub activations: u64,
+    /// Read accesses completed.
+    pub reads: u64,
+    /// Write accesses completed.
+    pub writes: u64,
+    /// Open-page row hits (always zero under the closed-page policy).
+    pub row_hits: u64,
+}
+
+/// Timing outcome of starting one access on a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankAccess {
+    /// When the access actually began (>= requested start).
+    pub start: Time,
+    /// For reads: when data is ready to leave the sense amps onto the TSV
+    /// bus. For writes: when the bank can begin absorbing data.
+    pub data_at: Time,
+    /// Lower bound on when the bank can start its next access (the caller
+    /// may extend it to cover bus occupancy).
+    pub busy_until: Time,
+}
+
+/// One DRAM bank inside a vault.
+///
+/// Under the closed-page policy every access pays the full
+/// activate–CAS–precharge sequence; under the open-page ablation the row
+/// register is tracked and hits skip the activate.
+#[derive(Debug, Clone)]
+pub struct Bank {
+    next_free: Time,
+    open_row: Option<u64>,
+    stats: BankStats,
+}
+
+impl Bank {
+    /// Creates an idle bank.
+    pub fn new() -> Self {
+        Bank {
+            next_free: Time::ZERO,
+            open_row: None,
+            stats: BankStats::default(),
+        }
+    }
+
+    /// Earliest instant the bank can start a new access.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// True if the bank can start an access at `now`.
+    pub fn is_free(&self, now: Time) -> bool {
+        self.next_free <= now
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> BankStats {
+        self.stats
+    }
+
+    /// Pushes the bank's availability out to at least `until` and closes
+    /// any open row — the refresh engine's effect on a bank.
+    pub fn hold_until(&mut self, until: Time) {
+        self.next_free = self.next_free.max(until);
+        self.open_row = None;
+    }
+
+    /// Pushes the bank's availability out to at least `until` without
+    /// touching the row register — used to account for TSV-bus occupancy
+    /// extending past the bank's own cycle.
+    pub fn extend_busy(&mut self, until: Time) {
+        self.next_free = self.next_free.max(until);
+    }
+
+    /// Starts a read of `row` no earlier than `at`, moving `beats` 32 B
+    /// bursts of data (bursts beyond the first extend the column
+    /// occupancy, which is why larger requests cycle a bank slightly
+    /// slower — the Figure 16 size effect).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the bank is still busy at `at`.
+    pub fn begin_read(
+        &mut self,
+        at: Time,
+        row: u64,
+        beats: u64,
+        t: &DramTiming,
+        policy: PagePolicy,
+    ) -> BankAccess {
+        debug_assert!(self.is_free(at), "bank busy until {}", self.next_free);
+        self.stats.reads += 1;
+        self.access(at, row, beats, t, policy, false)
+    }
+
+    /// Starts a write of `row` no earlier than `at` absorbing `beats`
+    /// bursts.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the bank is still busy at `at`.
+    pub fn begin_write(
+        &mut self,
+        at: Time,
+        row: u64,
+        beats: u64,
+        t: &DramTiming,
+        policy: PagePolicy,
+    ) -> BankAccess {
+        debug_assert!(self.is_free(at), "bank busy until {}", self.next_free);
+        self.stats.writes += 1;
+        self.access(at, row, beats, t, policy, true)
+    }
+
+    fn access(
+        &mut self,
+        at: Time,
+        row: u64,
+        beats: u64,
+        t: &DramTiming,
+        policy: PagePolicy,
+        is_write: bool,
+    ) -> BankAccess {
+        let start = at.max(self.next_free);
+        // Bursts beyond the first occupy the column path before the row
+        // can close.
+        let burst_tail = t.bus_beat.saturating_mul(beats.saturating_sub(1));
+        let (to_data, cycle) = match policy {
+            PagePolicy::ClosedPage => {
+                self.stats.activations += 1;
+                self.open_row = None;
+                let to_data = t.t_rcd + t.t_cl;
+                let cycle = if is_write {
+                    // Write recovery and precharge dominate; keep the bank
+                    // cycle symmetric with reads so per-bank read and write
+                    // rates match.
+                    t.t_rc().max(t.t_rcd + t.t_wr + t.t_rp)
+                } else {
+                    t.t_rc()
+                };
+                (to_data, cycle + burst_tail)
+            }
+            PagePolicy::OpenPage => {
+                if self.open_row == Some(row) {
+                    self.stats.row_hits += 1;
+                    // Row hit: CAS only, bank reusable right after the
+                    // column access.
+                    let to_data = t.t_cl;
+                    let cycle = t.t_cl + if is_write { t.t_wr } else { TimeDelta::ZERO };
+                    (to_data, cycle + burst_tail)
+                } else {
+                    let had_open = self.open_row.is_some();
+                    self.stats.activations += 1;
+                    self.open_row = Some(row);
+                    let pre = if had_open { t.t_rp } else { TimeDelta::ZERO };
+                    let to_data = pre + t.t_rcd + t.t_cl;
+                    let cycle = to_data + if is_write { t.t_wr } else { TimeDelta::ZERO };
+                    (to_data, cycle + burst_tail)
+                }
+            }
+        };
+        self.next_free = start + cycle;
+        BankAccess {
+            start,
+            data_at: start + to_data,
+            busy_until: self.next_free,
+        }
+    }
+}
+
+impl Default for Bank {
+    fn default() -> Self {
+        Bank::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> DramTiming {
+        DramTiming::default()
+    }
+
+    #[test]
+    fn closed_page_read_timing() {
+        let mut b = Bank::new();
+        let a = b.begin_read(Time::ZERO, 7, 1, &t(), PagePolicy::ClosedPage);
+        assert_eq!(a.start, Time::ZERO);
+        assert_eq!(a.data_at.as_ns_f64(), 50.0); // tRCD + tCL
+        assert_eq!(a.busy_until.as_ns_f64(), 128.0); // tRC
+        assert_eq!(b.stats().activations, 1);
+        assert_eq!(b.stats().reads, 1);
+        assert_eq!(b.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn closed_page_every_access_activates() {
+        let mut b = Bank::new();
+        let mut at = Time::ZERO;
+        for _ in 0..5 {
+            let a = b.begin_read(at, 3, 1, &t(), PagePolicy::ClosedPage);
+            at = a.busy_until;
+        }
+        // Same row every time, yet five activations: no row reuse.
+        assert_eq!(b.stats().activations, 5);
+        assert_eq!(at.as_ns_f64(), 5.0 * 128.0);
+    }
+
+    #[test]
+    fn open_page_row_hit_is_cheap() {
+        let mut b = Bank::new();
+        let a0 = b.begin_read(Time::ZERO, 3, 1, &t(), PagePolicy::OpenPage);
+        // First access: empty bank, no precharge needed.
+        assert_eq!(a0.data_at.as_ns_f64(), 50.0);
+        let a1 = b.begin_read(a0.busy_until, 3, 1, &t(), PagePolicy::OpenPage);
+        // Hit: CAS only.
+        assert_eq!(a1.data_at.since(a1.start).as_ns_f64(), 25.0);
+        assert_eq!(b.stats().row_hits, 1);
+        assert_eq!(b.stats().activations, 1);
+    }
+
+    #[test]
+    fn open_page_conflict_pays_precharge() {
+        let mut b = Bank::new();
+        let a0 = b.begin_read(Time::ZERO, 3, 1, &t(), PagePolicy::OpenPage);
+        let a1 = b.begin_read(a0.busy_until, 9, 1, &t(), PagePolicy::OpenPage);
+        // Miss with open row: tRP + tRCD + tCL = 88 ns to data.
+        assert_eq!(a1.data_at.since(a1.start).as_ns_f64(), 88.0);
+        assert_eq!(b.stats().activations, 2);
+        assert_eq!(b.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn write_timing_closed() {
+        let mut b = Bank::new();
+        let a = b.begin_write(Time::ZERO, 0, 1, &t(), PagePolicy::ClosedPage);
+        // Write cycle: max(tRC, tRCD + tWR + tRP) = max(128, 93) = 128 ns.
+        assert_eq!(a.busy_until.as_ns_f64(), 128.0);
+        assert_eq!(b.stats().writes, 1);
+    }
+
+    #[test]
+    fn hold_until_extends_and_closes_row() {
+        let mut b = Bank::new();
+        b.begin_read(Time::ZERO, 1, 1, &t(), PagePolicy::OpenPage);
+        b.hold_until(Time::from_ps(1_000_000));
+        assert_eq!(b.next_free(), Time::from_ps(1_000_000));
+        assert!(!b.is_free(Time::from_ps(999_999)));
+        // The previously open row was closed by the hold: next access to
+        // the same row activates again.
+        let a = b.begin_read(Time::from_ps(1_000_000), 1, 1, &t(), PagePolicy::OpenPage);
+        assert_eq!(a.data_at.since(a.start).as_ns_f64(), 50.0);
+        assert_eq!(b.stats().activations, 2);
+    }
+
+    #[test]
+    fn deferred_start_respects_busy() {
+        let mut b = Bank::new();
+        let a0 = b.begin_read(Time::ZERO, 1, 1, &t(), PagePolicy::ClosedPage);
+        // Ask to start later than busy_until: starts at the asked time.
+        let late = a0.busy_until + TimeDelta::from_ns(10);
+        let a1 = b.begin_read(late, 2, 1, &t(), PagePolicy::ClosedPage);
+        assert_eq!(a1.start, late);
+    }
+
+    #[test]
+    fn longer_bursts_extend_the_bank_cycle() {
+        // A 128 B access (4 beats) holds the bank 12 ns longer than a
+        // 32 B access (1 beat) — the size effect of Figure 16.
+        let mut small = Bank::new();
+        let a1 = small.begin_read(Time::ZERO, 0, 1, &t(), PagePolicy::ClosedPage);
+        assert_eq!(a1.busy_until.as_ns_f64(), 128.0);
+        let mut big = Bank::new();
+        let a4 = big.begin_read(Time::ZERO, 0, 4, &t(), PagePolicy::ClosedPage);
+        assert_eq!(a4.busy_until.as_ns_f64(), 140.0);
+        assert_eq!(a4.data_at, a1.data_at, "first data unaffected");
+    }
+}

@@ -1,0 +1,409 @@
+//! Device-side SerDes link layer.
+//!
+//! Each external link deserializes one request packet at a time (ingress)
+//! and serializes one response packet at a time (egress). Packet handling
+//! costs the raw wire time of the packet's flits plus a fixed per-packet
+//! processing overhead; posted write data additionally passes through a
+//! rate-limited drain into the cube (the calibration knob reproducing the
+//! paper's write-bandwidth ceiling — see DESIGN.md).
+
+use std::collections::VecDeque;
+
+use hmc_types::{LinkConfig, MemoryRequest, Time, TimeDelta};
+use sim_engine::{BoundedQueue, SplitMix64};
+
+use crate::config::LinkLayerConfig;
+
+/// A response packet travelling back toward the host: the original request
+/// plus the token read from the backing store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutPacket {
+    /// The request this packet answers.
+    pub req: MemoryRequest,
+    /// Read-back data token (zero for writes).
+    pub token: u64,
+}
+
+/// Cumulative traffic counters for one link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Bytes received from the host (request packets incl. overhead flit).
+    pub bytes_up: u64,
+    /// Bytes sent to the host (response packets incl. overhead flit).
+    pub bytes_down: u64,
+    /// Request packets received.
+    pub req_packets: u64,
+    /// Response packets sent.
+    pub resp_packets: u64,
+    /// Peak egress queue depth observed.
+    pub egress_peak: usize,
+    /// Link-level retries triggered by injected bit errors.
+    pub retries: u64,
+}
+
+/// One device-side external link.
+#[derive(Debug, Clone)]
+pub struct DeviceLink {
+    ingress: BoundedQueue<MemoryRequest>,
+    ingress_busy: bool,
+    blocked: Option<MemoryRequest>,
+    egress: VecDeque<OutPacket>,
+    egress_busy: bool,
+    wire: LinkConfig,
+    cfg: LinkLayerConfig,
+    rng: SplitMix64,
+    stats: LinkStats,
+}
+
+impl DeviceLink {
+    /// Creates an idle link.
+    pub fn new(wire: LinkConfig, cfg: LinkLayerConfig) -> Self {
+        Self::with_seed(wire, cfg, 0x11CE)
+    }
+
+    /// Creates an idle link with an explicit error-injection seed.
+    pub fn with_seed(wire: LinkConfig, cfg: LinkLayerConfig, seed: u64) -> Self {
+        DeviceLink {
+            ingress: BoundedQueue::new(cfg.ingress_queue_depth),
+            ingress_busy: false,
+            blocked: None,
+            egress: VecDeque::new(),
+            egress_busy: false,
+            wire,
+            cfg,
+            rng: SplitMix64::new(seed),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Serialization plus processing time of a packet of `bytes`.
+    fn packet_time(&self, bytes: u64) -> TimeDelta {
+        let raw = self.wire.serialize_ps(bytes) as f64 / self.cfg.efficiency;
+        let flits = bytes / hmc_types::packet::FLIT_BYTES;
+        TimeDelta::from_ps(raw as u64)
+            + self.cfg.packet_overhead
+            + self.cfg.per_flit_overhead.saturating_mul(flits)
+    }
+
+    /// Serialization time including any link-level retries the injected
+    /// bit-error rate produces: each failed attempt costs one full
+    /// serialization plus the retry round.
+    fn packet_time_with_retries(&mut self, bytes: u64) -> TimeDelta {
+        let base = self.packet_time(bytes);
+        if self.cfg.bit_error_rate <= 0.0 {
+            return base;
+        }
+        // P(packet corrupt) = 1 - (1 - BER)^bits.
+        let p_err = 1.0 - (1.0 - self.cfg.bit_error_rate).powi(bytes as i32 * 8);
+        let mut total = base;
+        while self.rng.next_f64() < p_err {
+            self.stats.retries += 1;
+            total += base + self.cfg.retry_penalty;
+        }
+        total
+    }
+
+    /// True if the host may transmit another request to this link.
+    pub fn can_accept(&self) -> bool {
+        !self.ingress.is_full()
+    }
+
+    /// Free ingress credits as the host flow control sees them.
+    pub fn ingress_free(&self) -> usize {
+        self.ingress.free()
+    }
+
+    /// Enqueues an arriving request packet.
+    pub fn enqueue_ingress(&mut self, req: MemoryRequest, now: Time) -> Result<(), MemoryRequest> {
+        self.ingress.try_push(req, now)
+    }
+
+    /// Starts processing the next queued request, if idle. Returns the
+    /// request and the instant its ingress completes; the caller schedules
+    /// the completion event.
+    pub fn start_ingress(&mut self, now: Time) -> Option<(Time, MemoryRequest)> {
+        if self.ingress_busy || self.blocked.is_some() {
+            return None;
+        }
+        let req = self.ingress.pop(now)?;
+        self.ingress_busy = true;
+        let wire_bytes = req.sizes().request_flits().bytes();
+        self.stats.bytes_up += wire_bytes;
+        self.stats.req_packets += 1;
+        let t = self.packet_time_with_retries(wire_bytes);
+        Some((now + t, req))
+    }
+
+    /// Marks the in-flight ingress packet as delivered downstream.
+    pub fn finish_ingress(&mut self) {
+        debug_assert!(self.ingress_busy);
+        self.ingress_busy = false;
+    }
+
+    /// Parks the processed packet because a downstream resource (target
+    /// vault input FIFO, or the posted-write buffer) has no space; the
+    /// link stalls (head-of-line) until [`take_blocked`] succeeds.
+    ///
+    /// [`take_blocked`]: DeviceLink::take_blocked
+    pub fn block_head(&mut self, req: MemoryRequest) {
+        debug_assert!(self.blocked.is_none());
+        self.blocked = Some(req);
+        self.ingress_busy = false;
+    }
+
+    /// The stalled packet's target, if the link is stalled.
+    pub fn blocked_request(&self) -> Option<&MemoryRequest> {
+        self.blocked.as_ref()
+    }
+
+    /// Removes and returns the stalled packet (the caller verified its
+    /// vault now has space).
+    pub fn take_blocked(&mut self) -> Option<MemoryRequest> {
+        self.blocked.take()
+    }
+
+    /// Queues a response packet for egress.
+    pub fn push_egress(&mut self, pkt: OutPacket) {
+        self.egress.push_back(pkt);
+        self.stats.egress_peak = self.stats.egress_peak.max(self.egress.len());
+    }
+
+    /// Starts serializing the next response, if idle. Returns the packet
+    /// and the instant it fully leaves the device.
+    pub fn start_egress(&mut self, now: Time) -> Option<(Time, OutPacket)> {
+        if self.egress_busy {
+            return None;
+        }
+        let pkt = self.egress.pop_front()?;
+        self.egress_busy = true;
+        let wire_bytes = pkt.req.sizes().response_flits().bytes();
+        self.stats.bytes_down += wire_bytes;
+        self.stats.resp_packets += 1;
+        let t = self.packet_time_with_retries(wire_bytes);
+        Some((now + t, pkt))
+    }
+
+    /// Marks the in-flight egress packet as sent.
+    pub fn finish_egress(&mut self) {
+        debug_assert!(self.egress_busy);
+        self.egress_busy = false;
+    }
+
+    /// Pending ingress requests (queued + in flight + blocked).
+    pub fn ingress_backlog(&self) -> usize {
+        self.ingress.len()
+            + usize::from(self.ingress_busy)
+            + usize::from(self.blocked.is_some())
+    }
+
+    /// Pending egress responses (queued + in flight).
+    pub fn egress_backlog(&self) -> usize {
+        self.egress.len() + usize::from(self.egress_busy)
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::packet::OpKind;
+    use hmc_types::{Address, PortId, RequestId, RequestSize, Tag};
+
+    fn link() -> DeviceLink {
+        DeviceLink::new(LinkConfig::ac510(), LinkLayerConfig::default())
+    }
+
+    fn req(op: OpKind, size: u64) -> MemoryRequest {
+        MemoryRequest {
+            id: RequestId::new(0),
+            port: PortId::new(0),
+            tag: Tag::new(0),
+            op,
+            size: RequestSize::new(size).unwrap(),
+            addr: Address::new(0),
+            issued_at: Time::ZERO,
+            data_token: 0,
+        }
+    }
+
+    #[test]
+    fn read_request_ingress_time() {
+        let mut l = link();
+        l.enqueue_ingress(req(OpKind::Read, 128), Time::ZERO).unwrap();
+        let (done, r) = l.start_ingress(Time::ZERO).unwrap();
+        assert_eq!(r.op, OpKind::Read);
+        // 16 B over 8 lanes @15 Gb/s = 1066 ps, plus 7 ns of processing
+        // overhead.
+        assert_eq!(done.as_ps(), 8_066);
+        assert_eq!(l.stats().bytes_up, 16);
+        // Busy until finished.
+        assert!(l.start_ingress(Time::ZERO).is_none());
+        l.finish_ingress();
+        assert!(l.start_ingress(done).is_none(), "queue now empty");
+    }
+
+    #[test]
+    fn write_ingress_is_wire_time_only() {
+        // The posted-write drain lives in the device, not the link: the
+        // link only pays the wire + processing time, so reads behind a
+        // write are not drain-stalled at the serializer.
+        let mut l = link();
+        l.enqueue_ingress(req(OpKind::Write, 128), Time::ZERO).unwrap();
+        let (done, _) = l.start_ingress(Time::ZERO).unwrap();
+        // 144 B wire = 9600 ps + 7000 ps = 16600 ps.
+        assert_eq!(done.as_ps(), 16_600);
+    }
+
+    #[test]
+    fn small_write_ingress_time() {
+        let mut l = link();
+        l.enqueue_ingress(req(OpKind::Write, 16), Time::ZERO).unwrap();
+        let (done, _) = l.start_ingress(Time::ZERO).unwrap();
+        // 32 B wire = 2133 ps + 7000 ps = 9133 ps.
+        assert_eq!(done.as_ps(), 9_133);
+    }
+
+    #[test]
+    fn ingress_credit_window() {
+        let mut l = link();
+        assert!(l.can_accept());
+        for _ in 0..32 {
+            l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO).unwrap();
+        }
+        assert!(!l.can_accept());
+        assert_eq!(l.ingress_free(), 0);
+        assert!(l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO).is_err());
+        assert_eq!(l.ingress_backlog(), 32);
+    }
+
+    #[test]
+    fn vault_blocking_stalls_ingress() {
+        let mut l = link();
+        l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO).unwrap();
+        l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO).unwrap();
+        let (_, r) = l.start_ingress(Time::ZERO).unwrap();
+        l.block_head(r);
+        assert!(l.blocked_request().is_some());
+        // Stalled: no further ingress.
+        assert!(l.start_ingress(Time::from_ps(1_000_000)).is_none());
+        let unblocked = l.take_blocked().unwrap();
+        assert_eq!(unblocked.op, OpKind::Read);
+        // Flow resumes.
+        assert!(l.start_ingress(Time::from_ps(1_000_000)).is_some());
+    }
+
+    #[test]
+    fn egress_serializes_responses() {
+        let mut l = link();
+        l.push_egress(OutPacket {
+            req: req(OpKind::Read, 128),
+            token: 5,
+        });
+        l.push_egress(OutPacket {
+            req: req(OpKind::Read, 128),
+            token: 6,
+        });
+        assert_eq!(l.egress_backlog(), 2);
+        let (done, p) = l.start_egress(Time::ZERO).unwrap();
+        assert_eq!(p.token, 5);
+        // 144 B response: 9600 ps wire + 7000 ps overhead.
+        assert_eq!(done.as_ps(), 16_600);
+        assert!(l.start_egress(Time::ZERO).is_none(), "busy");
+        l.finish_egress();
+        let (done2, p2) = l.start_egress(done).unwrap();
+        assert_eq!(p2.token, 6);
+        assert_eq!(done2.as_ps(), 33_200);
+        assert_eq!(l.stats().bytes_down, 288);
+        assert_eq!(l.stats().resp_packets, 2);
+        assert_eq!(l.stats().egress_peak, 2);
+    }
+
+    #[test]
+    fn zero_ber_never_retries() {
+        let mut l = link();
+        for i in 0..50 {
+            l.push_egress(OutPacket {
+                req: req(OpKind::Read, 128),
+                token: i,
+            });
+        }
+        let mut now = Time::ZERO;
+        while let Some((done, _)) = l.start_egress(now) {
+            now = done;
+            l.finish_egress();
+        }
+        assert_eq!(l.stats().retries, 0);
+    }
+
+    #[test]
+    fn high_ber_forces_retries_and_slows_packets() {
+        let cfg = LinkLayerConfig {
+            bit_error_rate: 1e-4, // ~11% per 144 B packet
+            ..LinkLayerConfig::default()
+        };
+        let mut noisy = DeviceLink::with_seed(LinkConfig::ac510(), cfg, 42);
+        let mut clean = link();
+        let mut t_noisy = Time::ZERO;
+        let mut t_clean = Time::ZERO;
+        for i in 0..500 {
+            let p = OutPacket {
+                req: req(OpKind::Read, 128),
+                token: i,
+            };
+            noisy.push_egress(p);
+            clean.push_egress(p);
+            let (dn, _) = noisy.start_egress(t_noisy).unwrap();
+            noisy.finish_egress();
+            t_noisy = dn;
+            let (dc, _) = clean.start_egress(t_clean).unwrap();
+            clean.finish_egress();
+            t_clean = dc;
+        }
+        assert!(noisy.stats().retries > 10, "{}", noisy.stats().retries);
+        assert!(t_noisy > t_clean, "retries cost time");
+    }
+
+    #[test]
+    fn retry_injection_is_deterministic() {
+        let run = |seed| {
+            let cfg = LinkLayerConfig {
+                bit_error_rate: 1e-4,
+                ..LinkLayerConfig::default()
+            };
+            let mut l = DeviceLink::with_seed(LinkConfig::ac510(), cfg, seed);
+            let mut t = Time::ZERO;
+            for i in 0..200 {
+                l.push_egress(OutPacket {
+                    req: req(OpKind::Read, 128),
+                    token: i,
+                });
+                let (d, _) = l.start_egress(t).unwrap();
+                l.finish_egress();
+                t = d;
+            }
+            (t, l.stats().retries)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7).1, run(8).1);
+    }
+
+    #[test]
+    fn efficiency_derates_wire_rate() {
+        let cfg = LinkLayerConfig {
+            efficiency: 0.5,
+            ..LinkLayerConfig::default()
+        };
+        let mut l = DeviceLink::new(LinkConfig::ac510(), cfg);
+        l.push_egress(OutPacket {
+            req: req(OpKind::Read, 128),
+            token: 0,
+        });
+        let (done, _) = l.start_egress(Time::ZERO).unwrap();
+        // Wire time doubles: 19200 + 7000.
+        assert_eq!(done.as_ps(), 26_200);
+    }
+}

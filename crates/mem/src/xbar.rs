@@ -1,0 +1,135 @@
+//! The quadrant crossbar: links attach to quadrants, and packets hop to
+//! other quadrants at extra latency (Section II-B of the paper).
+
+use hmc_types::{HmcSpec, LinkConfig, TimeDelta};
+
+use crate::config::XbarConfig;
+
+/// Routing statistics of the crossbar.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XbarStats {
+    /// Packets delivered within the link's own quadrant.
+    pub local_hops: u64,
+    /// Packets that crossed to another quadrant.
+    pub remote_hops: u64,
+}
+
+/// The switch connecting external links to vaults.
+#[derive(Debug, Clone)]
+pub struct Xbar {
+    cfg: XbarConfig,
+    /// Quadrant each link attaches to.
+    link_quadrant: Vec<u16>,
+    vaults_per_quadrant: u16,
+    stats: XbarStats,
+}
+
+impl Xbar {
+    /// Builds the switch for a device geometry and link arrangement. With
+    /// two links the attached quadrants are 0 and 2; with four links, all
+    /// four.
+    pub fn new(cfg: XbarConfig, spec: &HmcSpec, links: &LinkConfig) -> Self {
+        let n = links.num_links();
+        let stride = spec.num_quadrants() / n;
+        Xbar {
+            cfg,
+            link_quadrant: (0..n).map(|l| (l * stride) as u16).collect(),
+            vaults_per_quadrant: spec.vaults_per_quadrant() as u16,
+            stats: XbarStats::default(),
+        }
+    }
+
+    /// The quadrant link `link` attaches to.
+    pub fn quadrant_of_link(&self, link: usize) -> u16 {
+        self.link_quadrant[link]
+    }
+
+    /// True if `vault` is in `link`'s own quadrant.
+    pub fn is_local(&self, link: usize, vault: u16) -> bool {
+        vault / self.vaults_per_quadrant == self.link_quadrant[link]
+    }
+
+    /// Switch traversal latency from `link` to `vault` (or back), counting
+    /// the hop statistics.
+    pub fn delay(&mut self, link: usize, vault: u16) -> TimeDelta {
+        if self.is_local(link, vault) {
+            self.stats.local_hops += 1;
+            self.cfg.local_hop
+        } else {
+            self.stats.remote_hops += 1;
+            self.cfg.local_hop + self.cfg.remote_hop_extra
+        }
+    }
+
+    /// Switch traversal latency without recording a hop (for planning).
+    pub fn peek_delay(&self, link: usize, vault: u16) -> TimeDelta {
+        if self.is_local(link, vault) {
+            self.cfg.local_hop
+        } else {
+            self.cfg.local_hop + self.cfg.remote_hop_extra
+        }
+    }
+
+    /// Hop counts.
+    pub fn stats(&self) -> XbarStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::{HmcVersion, LinkSpeed, LinkWidth};
+
+    fn xbar() -> Xbar {
+        Xbar::new(
+            XbarConfig::default(),
+            &HmcSpec::of(HmcVersion::Gen2),
+            &LinkConfig::ac510(),
+        )
+    }
+
+    #[test]
+    fn two_links_attach_to_quadrants_0_and_2() {
+        let x = xbar();
+        assert_eq!(x.quadrant_of_link(0), 0);
+        assert_eq!(x.quadrant_of_link(1), 2);
+    }
+
+    #[test]
+    fn four_links_attach_everywhere() {
+        let x = Xbar::new(
+            XbarConfig::default(),
+            &HmcSpec::of(HmcVersion::Gen2),
+            &LinkConfig::new(4, LinkWidth::Full, LinkSpeed::G15).unwrap(),
+        );
+        assert_eq!(
+            (0..4).map(|l| x.quadrant_of_link(l)).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn local_access_is_faster() {
+        let mut x = xbar();
+        // Vaults 0-3 are quadrant 0 (local to link 0); vault 8 is
+        // quadrant 2 (local to link 1).
+        assert!(x.is_local(0, 3));
+        assert!(!x.is_local(0, 8));
+        assert!(x.is_local(1, 8));
+        let local = x.delay(0, 0);
+        let remote = x.delay(0, 15);
+        assert!(remote > local);
+        assert_eq!(local.as_ns_f64(), 4.0);
+        assert_eq!(remote.as_ns_f64(), 12.0);
+        assert_eq!(x.stats().local_hops, 1);
+        assert_eq!(x.stats().remote_hops, 1);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let x = xbar();
+        assert_eq!(x.peek_delay(0, 0).as_ns_f64(), 4.0);
+        assert_eq!(x.stats().local_hops, 0);
+    }
+}

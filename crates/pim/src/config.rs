@@ -1,0 +1,130 @@
+//! PIM fabric configuration.
+
+use hmc_types::{RequestSize, TimeDelta};
+
+/// What each PIM unit does per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PimOp {
+    /// GUPS-style atomic update: read a word, modify, write it back —
+    /// the instruction-level offload pattern of GraphPIM-class designs.
+    #[default]
+    Update,
+    /// Pure gather: reads only.
+    Gather,
+    /// Pure scatter: writes only.
+    Scatter,
+}
+
+impl PimOp {
+    /// Memory operations per logical PIM operation (update = 2).
+    pub const fn memory_ops(self) -> u64 {
+        match self {
+            PimOp::Update => 2,
+            PimOp::Gather | PimOp::Scatter => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for PimOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PimOp::Update => "update",
+            PimOp::Gather => "gather",
+            PimOp::Scatter => "scatter",
+        })
+    }
+}
+
+/// Where a PIM unit's addresses fall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PimLocality {
+    /// Each unit accesses only its own vault (the layout PIM designs
+    /// strive for: no crossings of the in-stack network).
+    #[default]
+    VaultLocal,
+    /// Uniform random across the whole cube.
+    Uniform,
+}
+
+/// Configuration of the logic-layer compute fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PimConfig {
+    /// Number of compute units (at most one per vault binds a unit to
+    /// that vault; more are dealt round-robin).
+    pub units: usize,
+    /// Pacing between operation issues per unit. Together with `units`
+    /// this is the offered PIM intensity.
+    pub issue_interval: TimeDelta,
+    /// Outstanding memory operations a unit tolerates before pausing.
+    pub outstanding_limit: usize,
+    /// Operation performed.
+    pub op: PimOp,
+    /// Access granularity (PIM updates are word-ish: 16 B default).
+    pub size: RequestSize,
+    /// Address locality.
+    pub locality: PimLocality,
+    /// Compute energy per logical operation, in nanojoules — dissipated
+    /// in the logic layer, i.e. inside the stack's thermal envelope.
+    pub op_energy_nj: f64,
+    /// Static power of the powered-on fabric, in watts.
+    pub static_w: f64,
+}
+
+impl Default for PimConfig {
+    fn default() -> Self {
+        PimConfig {
+            units: 16,
+            issue_interval: TimeDelta::from_ns(20),
+            outstanding_limit: 4,
+            op: PimOp::Update,
+            size: RequestSize::MIN,
+            locality: PimLocality::VaultLocal,
+            op_energy_nj: 0.5,
+            static_w: 1.0,
+        }
+    }
+}
+
+impl PimConfig {
+    /// Offered operation rate of the whole fabric, operations per second.
+    pub fn offered_ops_per_sec(&self) -> f64 {
+        self.units as f64 / self.issue_interval.as_secs_f64()
+    }
+
+    /// A fabric scaled to a fraction of the default intensity (used by
+    /// the thermal-envelope search).
+    pub fn with_interval(mut self, interval: TimeDelta) -> Self {
+        self.issue_interval = interval;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_vault_local_updates() {
+        let c = PimConfig::default();
+        assert_eq!(c.units, 16);
+        assert_eq!(c.op, PimOp::Update);
+        assert_eq!(c.locality, PimLocality::VaultLocal);
+        assert_eq!(c.size.bytes(), 16);
+        // 16 units at one op per 20 ns: 800 M ops/s offered.
+        assert!((c.offered_ops_per_sec() - 8e8).abs() < 1.0);
+    }
+
+    #[test]
+    fn op_memory_costs() {
+        assert_eq!(PimOp::Update.memory_ops(), 2);
+        assert_eq!(PimOp::Gather.memory_ops(), 1);
+        assert_eq!(PimOp::Scatter.memory_ops(), 1);
+        assert_eq!(PimOp::Update.to_string(), "update");
+    }
+
+    #[test]
+    fn with_interval_scales_offered_rate() {
+        let c = PimConfig::default().with_interval(TimeDelta::from_ns(40));
+        assert!((c.offered_ops_per_sec() - 4e8).abs() < 1.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! PIM projections: update throughput and the thermal envelope.
+//!
+//! These runnable experiments answer the question the paper's motivation
+//! poses: *how much near-memory compute can the stack thermally afford?*
+//! They combine the PIM fabric with the thermal/power models the paper's
+//! characterization calibrated.
+
+use hmc_mem::MemConfig;
+use hmc_power::{ActivityRates, PowerModel};
+use hmc_thermal::{CoolingConfig, FailurePolicy, ThermalParams};
+use hmc_types::TimeDelta;
+
+use crate::config::PimConfig;
+use crate::fabric::PimSystem;
+
+/// One measured PIM operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PimMeasurement {
+    /// Logical operations per second achieved.
+    pub ops_per_sec: f64,
+    /// Payload bytes per second at the banks.
+    pub data_gbs: f64,
+    /// Mean in-stack memory latency, ns.
+    pub mem_latency_ns: f64,
+    /// Admission rejections per second (vault backpressure).
+    pub rejections_per_sec: f64,
+    /// Total in-stack power (DRAM activity + PIM compute), W.
+    pub stack_power_w: f64,
+    /// Settled heatsink-surface temperature under the given cooling.
+    pub surface_c: f64,
+}
+
+/// Runs one PIM configuration to steady state and solves its thermal
+/// fixed point under `cooling`.
+pub fn measure_pim(
+    mem: &MemConfig,
+    pim: &PimConfig,
+    cooling: &CoolingConfig,
+    window: TimeDelta,
+) -> PimMeasurement {
+    let mut sys = PimSystem::new(mem.clone(), *pim);
+    // Warm up, then measure.
+    sys.run_for(window / 2);
+    sys.reset_stats();
+    let before = sys.device().stats();
+    sys.run_for(window);
+    let after = sys.device().stats();
+    let stats = sys.stats();
+    let w = sys.window();
+    let secs = w.as_secs_f64();
+    let ops = stats.ops_per_sec(w);
+
+    // Device-side activity (no link traffic by construction).
+    let rates = ActivityRates::from_deltas(
+        after.link_bytes() - before.link_bytes(),
+        after.data_read_bytes - before.data_read_bytes,
+        after.data_write_bytes - before.data_write_bytes,
+        after.bank_activations - before.bank_activations,
+        after.refreshes - before.refreshes,
+        w,
+    );
+    let power = PowerModel::default();
+    let params = ThermalParams::default();
+    let resistance = cooling.thermal_resistance();
+    // PIM compute dissipates inside the stack, on top of the DRAM side.
+    let pim_w = pim.static_w + ops * pim.op_energy_nj * 1e-9;
+    let mut surface = cooling.idle_temp_c;
+    let mut stack_power = 0.0;
+    for _ in 0..32 {
+        let junction = surface + params.surface_offset_c;
+        stack_power = power.local_power_w(&rates, junction) + pim_w;
+        let next = params.ambient_c + resistance * stack_power;
+        if (next - surface).abs() < 1e-6 {
+            surface = next;
+            break;
+        }
+        surface = next;
+    }
+    PimMeasurement {
+        ops_per_sec: ops,
+        data_gbs: (rates.read_bytes_per_sec + rates.write_bytes_per_sec) / 1e9,
+        mem_latency_ns: stats.mem_latency.mean().as_ns_f64(),
+        rejections_per_sec: stats.rejected as f64 / secs,
+        stack_power_w: stack_power,
+        surface_c: surface,
+    }
+}
+
+/// One row of the thermal-envelope table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnvelopeRow {
+    /// Cooling configuration name.
+    pub cooling: &'static str,
+    /// Highest sustainable operation rate (ops/s) below the write thermal
+    /// limit, or zero if even idle PIM is infeasible.
+    pub max_ops_per_sec: f64,
+    /// Surface temperature at that rate.
+    pub surface_c: f64,
+    /// True if the unconstrained fabric already fits (no throttling
+    /// needed).
+    pub unconstrained: bool,
+}
+
+/// Finds, for each cooling configuration, the highest PIM update rate the
+/// stack sustains without crossing the write thermal limit — by bisecting
+/// the issue interval.
+pub fn thermal_envelope(
+    mem: &MemConfig,
+    base: &PimConfig,
+    policy: &FailurePolicy,
+    window: TimeDelta,
+) -> Vec<EnvelopeRow> {
+    let limit = policy.limit_for(true);
+    CoolingConfig::all()
+        .into_iter()
+        .map(|cooling| {
+            // Fastest pacing first: if it fits, no search needed.
+            let full = measure_pim(mem, base, &cooling, window);
+            if full.surface_c < limit {
+                return EnvelopeRow {
+                    cooling: cooling.name,
+                    max_ops_per_sec: full.ops_per_sec,
+                    surface_c: full.surface_c,
+                    unconstrained: true,
+                };
+            }
+            // Bisect the issue interval between the base pacing and a
+            // 100x slower fabric.
+            let base_ps = base.issue_interval.as_ps();
+            let (mut lo, mut hi) = (base_ps, base_ps * 100);
+            let mut best = EnvelopeRow {
+                cooling: cooling.name,
+                max_ops_per_sec: 0.0,
+                surface_c: cooling.idle_temp_c,
+                unconstrained: false,
+            };
+            for _ in 0..8 {
+                let mid = lo.midpoint(hi);
+                let cfg = base.with_interval(TimeDelta::from_ps(mid));
+                let m = measure_pim(mem, &cfg, &cooling, window);
+                if m.surface_c < limit {
+                    best = EnvelopeRow {
+                        cooling: cooling.name,
+                        max_ops_per_sec: m.ops_per_sec,
+                        surface_c: m.surface_c,
+                        unconstrained: false,
+                    };
+                    hi = mid; // faster pacing = smaller interval: go left
+                } else {
+                    lo = mid;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> TimeDelta {
+        TimeDelta::from_us(80)
+    }
+
+    #[test]
+    fn pim_updates_beat_host_update_ceiling() {
+        // The host-side rw ceiling (over links) is ~84 M updates/s; the
+        // in-stack fabric at default pacing clears it comfortably.
+        let m = measure_pim(
+            &MemConfig::default(),
+            &PimConfig::default(),
+            &CoolingConfig::cfg1(),
+            window(),
+        );
+        assert!(
+            m.ops_per_sec > 120e6,
+            "PIM update rate {:.1} M/s",
+            m.ops_per_sec / 1e6
+        );
+        assert!(m.mem_latency_ns < 400.0, "{}", m.mem_latency_ns);
+    }
+
+    #[test]
+    fn pim_heats_the_stack() {
+        let idle_like = PimConfig {
+            units: 1,
+            issue_interval: TimeDelta::from_us(1),
+            ..PimConfig::default()
+        };
+        let hot = PimConfig {
+            units: 16,
+            issue_interval: TimeDelta::from_ns(10),
+            ..PimConfig::default()
+        };
+        let cool = measure_pim(&MemConfig::default(), &idle_like, &CoolingConfig::cfg2(), window());
+        let warm = measure_pim(&MemConfig::default(), &hot, &CoolingConfig::cfg2(), window());
+        assert!(
+            warm.surface_c > cool.surface_c + 1.0,
+            "{} vs {}",
+            warm.surface_c,
+            cool.surface_c
+        );
+        assert!(warm.stack_power_w > cool.stack_power_w);
+    }
+
+    #[test]
+    fn envelope_shrinks_with_weaker_cooling() {
+        let rows = thermal_envelope(
+            &MemConfig::default(),
+            &PimConfig::default(),
+            &FailurePolicy::default(),
+            window(),
+        );
+        assert_eq!(rows.len(), 4);
+        // Stronger cooling never sustains less than weaker cooling.
+        for pair in rows.windows(2) {
+            assert!(
+                pair[0].max_ops_per_sec >= pair[1].max_ops_per_sec * 0.95,
+                "{:?} vs {:?}",
+                pair[0],
+                pair[1]
+            );
+        }
+        // Every surviving row sits below the write limit.
+        for r in &rows {
+            assert!(r.surface_c < 75.0, "{:?}", r);
+        }
+    }
+}

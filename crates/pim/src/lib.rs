@@ -1,0 +1,39 @@
+//! Processing-in-memory (PIM) extension of the HMC model.
+//!
+//! The paper's motivation section singles out PIM as the configuration
+//! where its thermal findings bite hardest: "in PIM configurations, a
+//! sustained operation can eventually lead to failure by exceeding the
+//! operational temperature of HMC", and the related simulation studies it
+//! cites (Zhu et al., Eckert et al.) budget cooling for logic-layer
+//! compute. This crate makes those projections runnable:
+//!
+//! * [`config`] — PIM fabric configuration: unit count, issue pacing,
+//!   operation type (GUPS-style update, gather, scatter), locality, and
+//!   per-operation compute energy.
+//! * [`unit`](mod@unit) — one logic-layer compute unit: issues vault-local (or
+//!   uniform) accesses with a bounded outstanding window, performing
+//!   read-modify-write updates without ever touching the external links.
+//! * [`fabric`] — the assembled [`PimSystem`]: units + device co-driven
+//!   the same deterministic way the host model drives the cube.
+//! * [`experiments`] — host-vs-PIM update-rate comparison and the thermal
+//!   envelope: the highest sustainable PIM intensity under each cooling
+//!   configuration before the stack crosses its write thermal limit.
+//!
+//! # Example
+//!
+//! ```
+//! use hmc_pim::{PimConfig, PimSystem};
+//! use hmc_types::TimeDelta;
+//!
+//! let mut sys = PimSystem::new(Default::default(), PimConfig::default());
+//! sys.run_for(TimeDelta::from_us(50));
+//! assert!(sys.stats().updates_completed > 0);
+//! ```
+
+pub mod config;
+pub mod experiments;
+pub mod fabric;
+pub mod unit;
+
+pub use config::{PimConfig, PimLocality, PimOp};
+pub use fabric::{PimStats, PimSystem};

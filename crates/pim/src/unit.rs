@@ -1,0 +1,278 @@
+//! One logic-layer compute unit.
+
+use hmc_types::packet::OpKind;
+use hmc_types::{Address, AddressMapping, HmcSpec, MemoryRequest, PortId, RequestId, Tag, Time};
+use sim_engine::SplitMix64;
+
+use crate::config::{PimConfig, PimLocality, PimOp};
+
+/// Port-id offset distinguishing PIM traffic from host GUPS ports in
+/// request records.
+pub const PIM_PORT_BASE: u8 = 128;
+
+/// A PIM unit's activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitStats {
+    /// Logical operations completed (an update completes when its write
+    /// half is acknowledged).
+    pub ops_completed: u64,
+    /// Memory requests issued.
+    pub mem_issued: u64,
+    /// Issue attempts the vault FIFO rejected (admission backpressure).
+    pub rejected: u64,
+}
+
+/// One compute unit in the logic layer.
+#[derive(Debug, Clone)]
+pub struct PimUnit {
+    index: usize,
+    home_vault: u16,
+    outstanding: usize,
+    rng: SplitMix64,
+    stats: UnitStats,
+    /// Write-back halves of in-flight updates, by request id.
+    pending_writeback: Vec<(u64, Address)>,
+}
+
+impl PimUnit {
+    /// Creates unit `index`, homed on `home_vault`.
+    pub fn new(index: usize, home_vault: u16, seed: u64) -> Self {
+        PimUnit {
+            index,
+            home_vault,
+            outstanding: 0,
+            rng: SplitMix64::new(seed ^ (index as u64).wrapping_mul(0xA5A5_5A5A)),
+            stats: UnitStats::default(),
+            pending_writeback: Vec::new(),
+        }
+    }
+
+    /// The unit's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The vault this unit sits over.
+    pub fn home_vault(&self) -> u16 {
+        self.home_vault
+    }
+
+    /// In-flight memory operations.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> UnitStats {
+        self.stats
+    }
+
+    /// True if the unit may issue another memory operation.
+    pub fn can_issue(&self, cfg: &PimConfig) -> bool {
+        self.outstanding < cfg.outstanding_limit
+    }
+
+    /// Generates the unit's next memory request.
+    pub fn next_request(
+        &mut self,
+        id: RequestId,
+        cfg: &PimConfig,
+        mapping: AddressMapping,
+        spec: &HmcSpec,
+        now: Time,
+    ) -> MemoryRequest {
+        // Write-back halves of completed reads take priority.
+        if let Some((_, addr)) = self.pending_writeback.pop() {
+            self.outstanding += 1;
+            self.stats.mem_issued += 1;
+            return self.request(id, OpKind::Write, addr, cfg, now);
+        }
+        let addr = self.pick_address(cfg, mapping, spec);
+        let op = match cfg.op {
+            PimOp::Update | PimOp::Gather => OpKind::Read,
+            PimOp::Scatter => OpKind::Write,
+        };
+        self.outstanding += 1;
+        self.stats.mem_issued += 1;
+        self.request(id, op, addr, cfg, now)
+    }
+
+    fn request(
+        &mut self,
+        id: RequestId,
+        op: OpKind,
+        addr: Address,
+        cfg: &PimConfig,
+        now: Time,
+    ) -> MemoryRequest {
+        MemoryRequest {
+            id,
+            port: PortId::new(PIM_PORT_BASE + self.index as u8),
+            tag: Tag::new(0),
+            op,
+            size: cfg.size,
+            addr,
+            issued_at: now,
+            data_token: if op == OpKind::Write { id.value() } else { 0 },
+        }
+    }
+
+    fn pick_address(
+        &mut self,
+        cfg: &PimConfig,
+        mapping: AddressMapping,
+        spec: &HmcSpec,
+    ) -> Address {
+        match cfg.locality {
+            PimLocality::VaultLocal => {
+                // A random aligned location within the home vault: pick a
+                // random bank and row, encode, and add an aligned offset.
+                let bank = self.rng.next_below(spec.banks_per_vault() as u64) as u16;
+                let rows = spec.bank_bytes() / hmc_types::address::ROW_BYTES;
+                let row = self.rng.next_below(rows);
+                mapping.encode(
+                    hmc_types::address::VaultId::new(self.home_vault),
+                    hmc_types::address::BankId::new(bank),
+                    row,
+                    spec,
+                )
+            }
+            PimLocality::Uniform => {
+                let slots = spec.capacity_bytes() / cfg.size.bytes();
+                Address::new(self.rng.next_below(slots) * cfg.size.bytes())
+            }
+        }
+    }
+
+    /// Records that the vault rejected an admission attempt (the request
+    /// is retried later; the in-flight window shrinks back).
+    pub fn issue_rejected(&mut self, was_writeback: bool, addr: Address, id: RequestId) {
+        self.outstanding -= 1;
+        self.stats.mem_issued -= 1;
+        self.stats.rejected += 1;
+        if was_writeback {
+            self.pending_writeback.push((id.value(), addr));
+        }
+    }
+
+    /// Delivers a completed memory operation back to the unit. Returns
+    /// `true` if this completed a *logical* operation.
+    pub fn complete(&mut self, op: OpKind, addr: Address, id: RequestId, cfg: &PimConfig) -> bool {
+        self.outstanding -= 1;
+        match (cfg.op, op) {
+            (PimOp::Update, OpKind::Read) => {
+                // The read half returned: queue the modify-write half.
+                self.pending_writeback.push((id.value(), addr));
+                false
+            }
+            _ => {
+                self.stats.ops_completed += 1;
+                true
+            }
+        }
+    }
+
+    /// Write-back halves waiting to issue.
+    pub fn pending_writebacks(&self) -> usize {
+        self.pending_writeback.len()
+    }
+
+    /// Replaces the unit's counters (start of a measurement window).
+    pub fn reset_counters(&mut self, fresh: UnitStats) {
+        self.stats = fresh;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::HmcSpec;
+
+    fn setup() -> (PimUnit, PimConfig, AddressMapping, HmcSpec) {
+        (
+            PimUnit::new(3, 3, 99),
+            PimConfig::default(),
+            AddressMapping::default(),
+            HmcSpec::default(),
+        )
+    }
+
+    #[test]
+    fn vault_local_addresses_stay_home() {
+        let (mut u, cfg, map, spec) = setup();
+        for i in 0..200 {
+            let r = u.next_request(RequestId::new(i), &cfg, map, &spec, Time::ZERO);
+            let loc = map.decode(r.addr, &spec);
+            assert_eq!(loc.vault.index(), 3, "address {} left home", r.addr);
+            u.complete(r.op, r.addr, r.id, &cfg);
+            // Drain the write-back half so reads keep flowing.
+            if u.pending_writebacks() > 0 {
+                let wb = u.next_request(RequestId::new(1_000 + i), &cfg, map, &spec, Time::ZERO);
+                assert_eq!(wb.op, OpKind::Write);
+                u.complete(wb.op, wb.addr, wb.id, &cfg);
+            }
+        }
+        assert_eq!(u.stats().ops_completed, 200);
+    }
+
+    #[test]
+    fn update_completes_only_after_write_back() {
+        let (mut u, cfg, map, spec) = setup();
+        let read = u.next_request(RequestId::new(0), &cfg, map, &spec, Time::ZERO);
+        assert_eq!(read.op, OpKind::Read);
+        assert!(!u.complete(read.op, read.addr, read.id, &cfg));
+        assert_eq!(u.pending_writebacks(), 1);
+        let wb = u.next_request(RequestId::new(1), &cfg, map, &spec, Time::ZERO);
+        assert_eq!(wb.op, OpKind::Write);
+        assert_eq!(wb.addr, read.addr);
+        assert!(u.complete(wb.op, wb.addr, wb.id, &cfg));
+        assert_eq!(u.stats().ops_completed, 1);
+    }
+
+    #[test]
+    fn outstanding_window_gates_issue() {
+        let (mut u, cfg, map, spec) = setup();
+        for i in 0..cfg.outstanding_limit as u64 {
+            assert!(u.can_issue(&cfg));
+            u.next_request(RequestId::new(i), &cfg, map, &spec, Time::ZERO);
+        }
+        assert!(!u.can_issue(&cfg));
+        assert_eq!(u.outstanding(), cfg.outstanding_limit);
+    }
+
+    #[test]
+    fn rejection_rolls_back_accounting() {
+        let (mut u, cfg, map, spec) = setup();
+        let r = u.next_request(RequestId::new(0), &cfg, map, &spec, Time::ZERO);
+        u.issue_rejected(false, r.addr, r.id);
+        assert_eq!(u.outstanding(), 0);
+        assert_eq!(u.stats().mem_issued, 0);
+        assert_eq!(u.stats().rejected, 1);
+    }
+
+    #[test]
+    fn scatter_issues_writes() {
+        let (mut u, mut cfg, map, spec) = setup();
+        cfg.op = PimOp::Scatter;
+        let r = u.next_request(RequestId::new(0), &cfg, map, &spec, Time::ZERO);
+        assert_eq!(r.op, OpKind::Write);
+        assert!(u.complete(r.op, r.addr, r.id, &cfg));
+    }
+
+    #[test]
+    fn uniform_locality_spreads_vaults() {
+        let (mut u, mut cfg, map, spec) = setup();
+        cfg.locality = PimLocality::Uniform;
+        let mut vaults = std::collections::BTreeSet::new();
+        for i in 0..200 {
+            let r = u.next_request(RequestId::new(i), &cfg, map, &spec, Time::ZERO);
+            vaults.insert(map.decode(r.addr, &spec).vault.index());
+            u.complete(r.op, r.addr, r.id, &cfg);
+            while u.pending_writebacks() > 0 {
+                let wb = u.next_request(RequestId::new(9_000 + i), &cfg, map, &spec, Time::ZERO);
+                u.complete(wb.op, wb.addr, wb.id, &cfg);
+            }
+        }
+        assert!(vaults.len() > 8, "only reached {} vaults", vaults.len());
+    }
+}

@@ -1,0 +1,152 @@
+//! The four cooling configurations of Table III.
+//!
+//! Calibration: the ambient is 25 °C and the idle power dissipated in the
+//! HMC/FPGA heatsink region is taken as 20 W, so each configuration's
+//! thermal resistance is `(T_idle − 25) / 20` — making the model settle at
+//! exactly the measured idle (surface) temperature while reproducing the
+//! ~3 °C rise per 15 GB/s of Figure 11a. The cooling-power values are the
+//! ones the paper computes from the fan voltages/currents and distances.
+
+/// Ambient temperature assumed for calibration, in Celsius.
+pub const AMBIENT_C: f64 = 25.0;
+
+/// Idle power dissipated under the shared heatsink, in watts (FPGA idle +
+/// board + HMC static), used to calibrate thermal resistances from
+/// Table III. Chosen together with the power model's byte energies so the
+/// measured 3 °C rise from 5 to 20 GB/s (Figure 11a, Cfg2) falls out.
+pub const IDLE_LOCAL_POWER_W: f64 = 20.0;
+
+/// One cooling environment (a row of Table III).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoolingConfig {
+    /// Configuration name (Cfg1–Cfg4).
+    pub name: &'static str,
+    /// Backplane-fan DC supply voltage.
+    pub fan_voltage_v: f64,
+    /// Backplane-fan DC supply current.
+    pub fan_current_a: f64,
+    /// Distance of the 15 W external fan, in centimetres.
+    pub fan_distance_cm: f64,
+    /// Measured average idle HMC temperature (heatsink surface — what
+    /// the thermal camera sees).
+    pub idle_temp_c: f64,
+    /// Total cooling power the paper attributes to this configuration.
+    pub cooling_power_w: f64,
+}
+
+impl CoolingConfig {
+    /// Cfg1: strongest cooling (12 V fans, external fan at 45 cm).
+    pub fn cfg1() -> Self {
+        CoolingConfig {
+            name: "Cfg1",
+            fan_voltage_v: 12.0,
+            fan_current_a: 0.36,
+            fan_distance_cm: 45.0,
+            idle_temp_c: 43.1,
+            cooling_power_w: 19.32,
+        }
+    }
+
+    /// Cfg2: 10 V fans, external fan at 90 cm.
+    pub fn cfg2() -> Self {
+        CoolingConfig {
+            name: "Cfg2",
+            fan_voltage_v: 10.0,
+            fan_current_a: 0.29,
+            fan_distance_cm: 90.0,
+            idle_temp_c: 51.7,
+            cooling_power_w: 15.9,
+        }
+    }
+
+    /// Cfg3: 6.5 V fans, external fan at 90 cm.
+    pub fn cfg3() -> Self {
+        CoolingConfig {
+            name: "Cfg3",
+            fan_voltage_v: 6.5,
+            fan_current_a: 0.14,
+            fan_distance_cm: 90.0,
+            idle_temp_c: 62.3,
+            cooling_power_w: 13.9,
+        }
+    }
+
+    /// Cfg4: weakest cooling (6 V fans, external fan at 135 cm).
+    pub fn cfg4() -> Self {
+        CoolingConfig {
+            name: "Cfg4",
+            fan_voltage_v: 6.0,
+            fan_current_a: 0.13,
+            fan_distance_cm: 135.0,
+            idle_temp_c: 71.6,
+            cooling_power_w: 10.78,
+        }
+    }
+
+    /// All four configurations, strongest cooling first.
+    pub fn all() -> Vec<CoolingConfig> {
+        vec![Self::cfg1(), Self::cfg2(), Self::cfg3(), Self::cfg4()]
+    }
+
+    /// Thermal resistance from the heatsink region to ambient, in °C/W,
+    /// calibrated from the idle temperature.
+    pub fn thermal_resistance(&self) -> f64 {
+        (self.idle_temp_c - AMBIENT_C) / IDLE_LOCAL_POWER_W
+    }
+
+    /// Thermal conductance (1/R), in W/°C — roughly proportional to
+    /// airflow, and the quantity the cooling-power map is linear in.
+    pub fn conductance(&self) -> f64 {
+        1.0 / self.thermal_resistance()
+    }
+
+    /// Electrical power of the two backplane fans at this setting.
+    pub fn backplane_fan_power_w(&self) -> f64 {
+        self.fan_voltage_v * self.fan_current_a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_3_values() {
+        let all = CoolingConfig::all();
+        assert_eq!(all.len(), 4);
+        let idle: Vec<f64> = all.iter().map(|c| c.idle_temp_c).collect();
+        assert_eq!(idle, vec![43.1, 51.7, 62.3, 71.6]);
+        let cooling: Vec<f64> = all.iter().map(|c| c.cooling_power_w).collect();
+        assert_eq!(cooling, vec![19.32, 15.9, 13.9, 10.78]);
+        assert_eq!(all[0].name, "Cfg1");
+        assert_eq!(all[3].fan_distance_cm, 135.0);
+    }
+
+    #[test]
+    fn weaker_cooling_means_higher_resistance() {
+        let all = CoolingConfig::all();
+        for pair in all.windows(2) {
+            assert!(pair[0].thermal_resistance() < pair[1].thermal_resistance());
+            assert!(pair[0].conductance() > pair[1].conductance());
+        }
+    }
+
+    #[test]
+    fn resistance_reproduces_idle_temperature() {
+        for c in CoolingConfig::all() {
+            let t = AMBIENT_C + c.thermal_resistance() * IDLE_LOCAL_POWER_W;
+            assert!((t - c.idle_temp_c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_cooling_power_for_stronger_configs() {
+        let all = CoolingConfig::all();
+        for pair in all.windows(2) {
+            assert!(pair[0].cooling_power_w > pair[1].cooling_power_w);
+        }
+        // Backplane fans at 12 V draw 4.32 W (the paper measured ~4.5 W
+        // for the pair).
+        assert!((CoolingConfig::cfg1().backplane_fan_power_w() - 4.32).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,170 @@
+//! Thermal-failure behaviour and the recovery procedure.
+//!
+//! The paper's stress experiments found read-only workloads surviving to
+//! ≈80–85 °C while write-heavy (`wo`/`rw`) workloads shut down around
+//! 75 °C — about 10 °C earlier. A shutdown is signalled in-band (via
+//! response head/tail bits), stops the device, loses DRAM contents, and
+//! requires a cool-down / reset / re-initialization sequence.
+
+use std::fmt;
+
+use hmc_types::{HmcError, TimeDelta};
+
+/// Temperature limits by workload write-intensity. All thresholds apply
+/// to the measured (heatsink-surface) temperature, which is what the
+/// paper's camera reports and what its 85 °C / 75 °C figures refer to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailurePolicy {
+    /// Shutdown threshold for read-only workloads (≈85 °C, the commonly
+    /// assumed DRAM reliability bound).
+    pub read_limit_c: f64,
+    /// Shutdown threshold for workloads with significant write content
+    /// (≈75 °C per the paper's observations).
+    pub write_limit_c: f64,
+    /// Measured (surface) temperature above which the device doubles its
+    /// refresh rate.
+    pub refresh_boost_c: f64,
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy {
+            read_limit_c: 85.0,
+            write_limit_c: 75.0,
+            refresh_boost_c: 80.0,
+        }
+    }
+}
+
+impl FailurePolicy {
+    /// The shutdown threshold for a workload that does (`true`) or does
+    /// not (`false`) write.
+    pub fn limit_for(&self, writes: bool) -> f64 {
+        if writes {
+            self.write_limit_c
+        } else {
+            self.read_limit_c
+        }
+    }
+
+    /// Checks a junction temperature against the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HmcError::ThermalShutdown`] when the junction exceeds the
+    /// applicable limit.
+    pub fn check(&self, surface_c: f64, writes: bool) -> Result<ThermalEvent, HmcError> {
+        if surface_c >= self.limit_for(writes) {
+            return Err(HmcError::ThermalShutdown(surface_c));
+        }
+        if surface_c >= self.refresh_boost_c {
+            Ok(ThermalEvent::RefreshBoost)
+        } else {
+            Ok(ThermalEvent::Normal)
+        }
+    }
+}
+
+/// Non-fatal thermal states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThermalEvent {
+    /// Within normal operating range.
+    Normal,
+    /// Hot enough that the refresh rate doubles (more power, less
+    /// bandwidth).
+    RefreshBoost,
+}
+
+/// One step of the post-shutdown recovery sequence the paper describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryStep {
+    /// Wait for the stack to cool below the limit.
+    CoolDown,
+    /// Reset the HMC.
+    ResetHmc,
+    /// Reset the FPGA-side modules (transceivers).
+    ResetFpga,
+    /// Re-initialize HMC and FPGA; DRAM contents are gone.
+    Initialize,
+}
+
+impl RecoveryStep {
+    /// The full recovery sequence, in order.
+    pub fn sequence() -> [RecoveryStep; 4] {
+        [
+            RecoveryStep::CoolDown,
+            RecoveryStep::ResetHmc,
+            RecoveryStep::ResetFpga,
+            RecoveryStep::Initialize,
+        ]
+    }
+
+    /// A representative duration for the step (cool-down dominates; the
+    /// others are firmware-scale).
+    pub fn typical_duration(self) -> TimeDelta {
+        match self {
+            RecoveryStep::CoolDown => TimeDelta::from_secs(60),
+            RecoveryStep::ResetHmc => TimeDelta::from_ms(500),
+            RecoveryStep::ResetFpga => TimeDelta::from_ms(500),
+            RecoveryStep::Initialize => TimeDelta::from_secs(2),
+        }
+    }
+}
+
+impl fmt::Display for RecoveryStep {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecoveryStep::CoolDown => "cool down below the thermal limit",
+            RecoveryStep::ResetHmc => "reset the HMC",
+            RecoveryStep::ResetFpga => "reset FPGA transceivers",
+            RecoveryStep::Initialize => "re-initialize HMC and FPGA (data lost)",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_fail_ten_degrees_earlier() {
+        let p = FailurePolicy::default();
+        assert!((p.read_limit_c - p.write_limit_c - 10.0).abs() < 1e-9);
+        assert_eq!(p.limit_for(true), 75.0);
+        assert_eq!(p.limit_for(false), 85.0);
+    }
+
+    #[test]
+    fn read_only_survives_eighty_degrees() {
+        // The paper's Cfg1 read-only run reached 80 C without failing.
+        let p = FailurePolicy::default();
+        assert!(matches!(p.check(80.0, false), Ok(ThermalEvent::RefreshBoost)));
+        // The same temperature kills a write workload.
+        assert!(p.check(80.0, true).is_err());
+    }
+
+    #[test]
+    fn shutdown_carries_temperature() {
+        let p = FailurePolicy::default();
+        match p.check(86.0, false) {
+            Err(HmcError::ThermalShutdown(t)) => assert!((t - 86.0).abs() < 1e-9),
+            other => panic!("expected shutdown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normal_below_boost() {
+        let p = FailurePolicy::default();
+        assert_eq!(p.check(60.0, true).unwrap(), ThermalEvent::Normal);
+    }
+
+    #[test]
+    fn recovery_sequence_ordered_and_described() {
+        let seq = RecoveryStep::sequence();
+        assert_eq!(seq[0], RecoveryStep::CoolDown);
+        assert_eq!(seq[3], RecoveryStep::Initialize);
+        let total: TimeDelta = seq.iter().map(|s| s.typical_duration()).sum();
+        assert!(total.as_secs_f64() > 60.0);
+        assert!(seq[3].to_string().contains("data lost"));
+    }
+}

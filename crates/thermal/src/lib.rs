@@ -1,0 +1,39 @@
+//! Thermal model of the HMC stack under the paper's cooling environments.
+//!
+//! The paper's thermal apparatus — two backplane fans on a DC supply plus a
+//! 15 W commodity fan at 45/90/135 cm — becomes a first-order thermal RC
+//! network calibrated so each cooling configuration reproduces its measured
+//! idle temperature (Table III):
+//!
+//! * [`cooling`] — the four cooling configurations with their fan
+//!   settings, idle temperatures, calibrated thermal resistances, and the
+//!   cooling-power figures the paper derives (19.32/15.9/13.9/10.78 W).
+//! * [`model`] — the RC network itself: junction temperature follows
+//!   `T_ss = T_amb + R_th · P` with a first-order transient, and the
+//!   thermal camera reads the heatsink surface 5–10 °C below the junction.
+//! * [`failure`] — thermal shutdown behaviour: write-heavy workloads fail
+//!   around 75 °C, read-only workloads tolerate ≈85 °C, and recovery
+//!   requires the cool-down / reset / re-init sequence the paper describes
+//!   (with DRAM contents lost).
+//!
+//! # Example
+//!
+//! ```
+//! use hmc_thermal::{CoolingConfig, ThermalModel};
+//! use hmc_types::TimeDelta;
+//!
+//! let mut t = ThermalModel::new(CoolingConfig::cfg2());
+//! // Idle: settles at the Table III idle (surface) temperature.
+//! for _ in 0..600 {
+//!     t.step(20.0, TimeDelta::from_secs(1)); // 20 W idle local power
+//! }
+//! assert!((t.surface_c() - 51.7).abs() < 0.5);
+//! ```
+
+pub mod cooling;
+pub mod failure;
+pub mod model;
+
+pub use cooling::CoolingConfig;
+pub use failure::{FailurePolicy, RecoveryStep, ThermalEvent};
+pub use model::{CoolingPowerMap, ThermalModel, ThermalParams};

@@ -1,0 +1,244 @@
+//! The first-order thermal RC network.
+
+use hmc_types::TimeDelta;
+use sim_engine::LinearFit;
+
+use crate::cooling::{CoolingConfig, AMBIENT_C};
+
+/// Physical parameters of the RC network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalParams {
+    /// Ambient temperature in Celsius.
+    pub ambient_c: f64,
+    /// Thermal time constant in seconds. The paper observes temperatures
+    /// settle well within its 200 s experiment windows.
+    pub tau_s: f64,
+    /// How far below the junction the heatsink surface (what the thermal
+    /// camera sees) reads — the paper cites 5–10 °C.
+    pub surface_offset_c: f64,
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        ThermalParams {
+            ambient_c: AMBIENT_C,
+            tau_s: 30.0,
+            surface_offset_c: 7.5,
+        }
+    }
+}
+
+/// First-order thermal model of the HMC under one cooling configuration.
+///
+/// The model state is the **heatsink-surface temperature** — the quantity
+/// the paper measures with the thermal camera and calibrates Table III
+/// against. It relaxes toward `T_amb + R_th · P` with time constant τ;
+/// the junction runs `surface_offset_c` hotter.
+///
+/// ```
+/// use hmc_thermal::{CoolingConfig, ThermalModel};
+///
+/// let t = ThermalModel::new(CoolingConfig::cfg1());
+/// // Steady state under 12 W of local power.
+/// let ss = t.steady_state_c(12.0);
+/// assert!(ss > t.params().ambient_c);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThermalModel {
+    cooling: CoolingConfig,
+    params: ThermalParams,
+    surface_c: f64,
+}
+
+impl ThermalModel {
+    /// Creates a model starting at the configuration's idle temperature.
+    pub fn new(cooling: CoolingConfig) -> Self {
+        Self::with_params(cooling, ThermalParams::default())
+    }
+
+    /// Creates a model with explicit physical parameters.
+    pub fn with_params(cooling: CoolingConfig, params: ThermalParams) -> Self {
+        ThermalModel {
+            surface_c: cooling.idle_temp_c,
+            cooling,
+            params,
+        }
+    }
+
+    /// The cooling configuration in effect.
+    pub fn cooling(&self) -> &CoolingConfig {
+        &self.cooling
+    }
+
+    /// The physical parameters.
+    pub fn params(&self) -> &ThermalParams {
+        &self.params
+    }
+
+    /// What the thermal camera reads: the heatsink surface.
+    pub fn surface_c(&self) -> f64 {
+        self.surface_c
+    }
+
+    /// Current junction temperature (the surface plus the package's
+    /// thermal-resistance offset).
+    pub fn junction_c(&self) -> f64 {
+        self.surface_c + self.params.surface_offset_c
+    }
+
+    /// The surface temperature the stack would settle at under constant
+    /// `power_w` of local dissipation.
+    pub fn steady_state_c(&self, power_w: f64) -> f64 {
+        self.params.ambient_c + self.cooling.thermal_resistance() * power_w
+    }
+
+    /// Advances the state by `dt` under `power_w` of local dissipation
+    /// (exact first-order update, stable for any step size). Returns the
+    /// new surface temperature.
+    pub fn step(&mut self, power_w: f64, dt: TimeDelta) -> f64 {
+        let target = self.steady_state_c(power_w);
+        let alpha = 1.0 - (-dt.as_secs_f64() / self.params.tau_s).exp();
+        self.surface_c += (target - self.surface_c) * alpha;
+        self.surface_c
+    }
+
+    /// Resets to the idle temperature (used after a cool-down recovery).
+    pub fn reset(&mut self) {
+        self.surface_c = self.cooling.idle_temp_c;
+    }
+}
+
+/// Maps a required thermal conductance to the cooling power that buys it,
+/// fitted over the four calibrated configurations — the basis of the
+/// paper's Figure 12 ("cooling power required to maintain a temperature as
+/// bandwidth grows").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoolingPowerMap {
+    fit: LinearFit,
+}
+
+impl CoolingPowerMap {
+    /// Fits cooling power against conductance across the given
+    /// configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two configurations are provided.
+    pub fn fit(configs: &[CoolingConfig]) -> Self {
+        let pts: Vec<(f64, f64)> = configs
+            .iter()
+            .map(|c| (c.conductance(), c.cooling_power_w))
+            .collect();
+        CoolingPowerMap {
+            fit: LinearFit::fit(&pts).expect("need at least two cooling configs"),
+        }
+    }
+
+    /// The fitted line.
+    pub fn fit_line(&self) -> LinearFit {
+        self.fit
+    }
+
+    /// Cooling power needed to hold the junction at `target_c` while the
+    /// device dissipates `power_w` locally, under `ambient_c` ambient.
+    ///
+    /// Returns `None` when the target is at or below ambient (no finite
+    /// cooling achieves it).
+    pub fn required_cooling_w(&self, target_c: f64, power_w: f64, ambient_c: f64) -> Option<f64> {
+        let headroom = target_c - ambient_c;
+        if headroom <= 0.0 {
+            return None;
+        }
+        // T = amb + P/G  =>  G = P / (T - amb)
+        let conductance = power_w / headroom;
+        Some(self.fit.predict(conductance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settles_at_idle_temperature() {
+        for cfg in CoolingConfig::all() {
+            let idle = cfg.idle_temp_c;
+            let mut m = ThermalModel::new(cfg);
+            m.surface_c = 30.0; // perturb
+            for _ in 0..40 {
+                m.step(20.0, TimeDelta::from_secs(10));
+            }
+            assert!((m.surface_c() - idle).abs() < 0.01, "{}", m.surface_c());
+        }
+    }
+
+    #[test]
+    fn higher_power_raises_steady_state() {
+        let m = ThermalModel::new(CoolingConfig::cfg2());
+        let low = m.steady_state_c(10.0);
+        let high = m.steady_state_c(13.0);
+        // Cfg2 resistance is 2.67 C/W: +3 W -> +8 C.
+        assert!((high - low - 3.0 * m.cooling().thermal_resistance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transient_is_monotone_and_bounded() {
+        let mut m = ThermalModel::new(CoolingConfig::cfg1());
+        let target = m.steady_state_c(24.0);
+        let mut last = m.surface_c();
+        for _ in 0..100 {
+            let t = m.step(24.0, TimeDelta::from_secs(2));
+            assert!(t >= last - 1e-12);
+            assert!(t <= target + 1e-9);
+            last = t;
+        }
+        assert!((last - target).abs() < 0.05);
+    }
+
+    #[test]
+    fn two_hundred_seconds_settles() {
+        // The paper runs 200 s per thermal experiment; with tau = 30 s the
+        // transient is gone by then.
+        let mut m = ThermalModel::new(CoolingConfig::cfg4());
+        for _ in 0..200 {
+            m.step(23.0, TimeDelta::from_secs(1));
+        }
+        assert!((m.surface_c() - m.steady_state_c(23.0)).abs() < 0.05);
+    }
+
+    #[test]
+    fn surface_reads_below_junction() {
+        let m = ThermalModel::new(CoolingConfig::cfg3());
+        let gap = m.junction_c() - m.surface_c();
+        assert!((5.0..=10.0).contains(&gap));
+    }
+
+    #[test]
+    fn reset_returns_to_idle() {
+        let mut m = ThermalModel::new(CoolingConfig::cfg1());
+        m.step(32.0, TimeDelta::from_secs(300));
+        assert!(m.surface_c() > m.cooling().idle_temp_c + 5.0);
+        m.reset();
+        assert_eq!(m.surface_c(), m.cooling().idle_temp_c);
+    }
+
+    #[test]
+    fn cooling_power_map_monotone_in_bandwidth() {
+        let map = CoolingPowerMap::fit(&CoolingConfig::all());
+        // Holding 55 C: more device power needs more cooling power.
+        let lo = map.required_cooling_w(55.0, 20.0, AMBIENT_C).unwrap();
+        let hi = map.required_cooling_w(55.0, 24.0, AMBIENT_C).unwrap();
+        assert!(hi > lo, "{hi} vs {lo}");
+        // Holding a colder target at the same power needs more cooling.
+        let colder = map.required_cooling_w(50.0, 20.0, AMBIENT_C).unwrap();
+        assert!(colder > lo);
+        // Unreachable target.
+        assert!(map.required_cooling_w(20.0, 20.0, AMBIENT_C).is_none());
+    }
+
+    #[test]
+    fn cooling_map_fit_is_tight() {
+        let map = CoolingPowerMap::fit(&CoolingConfig::all());
+        assert!(map.fit_line().r_squared > 0.9, "{}", map.fit_line());
+    }
+}

@@ -1,0 +1,767 @@
+//! The HMC request address space and its low-order-interleaved mapping.
+//!
+//! HMC request headers carry a 34-bit address (16 GB addressable); on a 4 GB
+//! HMC 1.1 the two high-order bits are ignored. Addresses are interleaved
+//! across the structural hierarchy **atom → block → vault → bank → row**
+//! exactly as Figure 3 of the paper shows: the low four bits select a 16 B
+//! atom inside a block, the next bits select the atom's offset within the
+//! *maximum block* (configurable 16/32/64/128 B via the Address Mapping Mode
+//! Register), then four bits pick the vault (two of which are the quadrant),
+//! then four bits pick the bank inside the vault, and everything above falls
+//! into the 256 B DRAM row.
+
+use std::fmt;
+
+use crate::error::HmcError;
+use crate::spec::HmcSpec;
+
+/// Bytes per address atom: flits are 16 B and the mapping ignores the low
+/// four address bits.
+pub const ATOM_BYTES: u64 = 16;
+
+/// DRAM row (page) size in HMC: 256 B, notably smaller than DDR4's
+/// 512–2048 B.
+pub const ROW_BYTES: u64 = 256;
+
+/// Number of address bits carried in an HMC request header.
+pub const ADDRESS_BITS: u32 = 34;
+
+/// A physical address inside the HMC address space.
+///
+/// ```
+/// use hmc_types::address::Address;
+///
+/// let a = Address::new(0x1000);
+/// assert_eq!(a.as_u64(), 0x1000);
+/// assert_eq!((a + 0x40).as_u64(), 0x1040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Address(u64);
+
+impl Address {
+    /// Creates an address, keeping only the 34 bits a request header can
+    /// carry.
+    pub const fn new(raw: u64) -> Self {
+        Address(raw & ((1 << ADDRESS_BITS) - 1))
+    }
+
+    /// The raw address value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Extracts the bit field `[lo, lo+width)`.
+    pub const fn bits(self, lo: u32, width: u32) -> u64 {
+        (self.0 >> lo) & ((1 << width) - 1)
+    }
+
+    /// True if the address starts on a 32 B boundary — the granularity of
+    /// the DRAM data bus within a vault. The specification notes that
+    /// requests not aligned this way use the bus inefficiently.
+    pub const fn is_dram_bus_aligned(self) -> bool {
+        self.0.is_multiple_of(32)
+    }
+}
+
+impl std::ops::Add<u64> for Address {
+    type Output = Address;
+    fn add(self, rhs: u64) -> Address {
+        Address::new(self.0.wrapping_add(rhs))
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#011x}", self.0)
+    }
+}
+
+impl From<u64> for Address {
+    fn from(raw: u64) -> Self {
+        Address::new(raw)
+    }
+}
+
+/// The *maximum block size* configured in the Address Mapping Mode Register.
+///
+/// It controls how many low-order address bits stay contiguous inside one
+/// vault before the interleave moves to the next vault (Figure 3). The
+/// hardware default is 128 B (register value `0x2`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MaxBlockSize {
+    /// 16 B blocks: every consecutive atom lands in a different vault.
+    B16,
+    /// 32 B blocks.
+    B32,
+    /// 64 B blocks.
+    B64,
+    /// 128 B blocks — the device default.
+    #[default]
+    B128,
+}
+
+impl MaxBlockSize {
+    /// All supported settings, smallest first.
+    pub const ALL: [MaxBlockSize; 4] = [
+        MaxBlockSize::B16,
+        MaxBlockSize::B32,
+        MaxBlockSize::B64,
+        MaxBlockSize::B128,
+    ];
+
+    /// The block size in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MaxBlockSize::B16 => 16,
+            MaxBlockSize::B32 => 32,
+            MaxBlockSize::B64 => 64,
+            MaxBlockSize::B128 => 128,
+        }
+    }
+
+    /// Number of address bits that select an atom within a block
+    /// (`log2(bytes / 16)`).
+    pub const fn block_offset_bits(self) -> u32 {
+        match self {
+            MaxBlockSize::B16 => 0,
+            MaxBlockSize::B32 => 1,
+            MaxBlockSize::B64 => 2,
+            MaxBlockSize::B128 => 3,
+        }
+    }
+
+    /// Parses a byte count into a block size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HmcError::InvalidBlockSize`] for anything other than 16, 32,
+    /// 64, or 128.
+    pub fn from_bytes(bytes: u64) -> Result<Self, HmcError> {
+        match bytes {
+            16 => Ok(MaxBlockSize::B16),
+            32 => Ok(MaxBlockSize::B32),
+            64 => Ok(MaxBlockSize::B64),
+            128 => Ok(MaxBlockSize::B128),
+            other => Err(HmcError::InvalidBlockSize(other)),
+        }
+    }
+}
+
+impl fmt::Display for MaxBlockSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} B", self.bytes())
+    }
+}
+
+/// Identifies a vault within the cube (globally, 0..num_vaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VaultId(u16);
+
+impl VaultId {
+    /// Creates a vault id from a global index.
+    pub const fn new(index: u16) -> Self {
+        VaultId(index)
+    }
+
+    /// The global vault index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for VaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vault{}", self.0)
+    }
+}
+
+/// Identifies a bank within a vault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BankId(u16);
+
+impl BankId {
+    /// Creates a bank id from an index within its vault.
+    pub const fn new(index: u16) -> Self {
+        BankId(index)
+    }
+
+    /// The bank index within its vault.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+/// Identifies a quadrant (a group of vaults sharing one external link).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct QuadrantId(u16);
+
+impl QuadrantId {
+    /// Creates a quadrant id.
+    pub const fn new(index: u16) -> Self {
+        QuadrantId(index)
+    }
+
+    /// The quadrant index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for QuadrantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "quad{}", self.0)
+    }
+}
+
+/// The structural coordinates an address decodes to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Location {
+    /// Quadrant containing the vault.
+    pub quadrant: QuadrantId,
+    /// Global vault index.
+    pub vault: VaultId,
+    /// Bank within the vault.
+    pub bank: BankId,
+    /// DRAM row within the bank (256 B rows).
+    pub row: u64,
+    /// Byte offset of the address within its row.
+    pub row_offset: u64,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{} row {} +{}",
+            self.quadrant, self.vault, self.bank, self.row, self.row_offset
+        )
+    }
+}
+
+/// Order of the vault and bank fields in the interleave.
+///
+/// The HMC specification lets the user "fine-tune the address mapping
+/// scheme by changing bit positions used for vault and bank mapping"
+/// (Section II-C); these are the two meaningful orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InterleaveOrder {
+    /// Vault bits just above the block offset (the device default):
+    /// consecutive blocks spread across vaults first — maximum vault-level
+    /// parallelism for sequential streams.
+    #[default]
+    VaultThenBank,
+    /// Bank bits just above the block offset: consecutive blocks stay in
+    /// one vault, cycling its banks — an ablation showing why the default
+    /// matters (sequential streams pin to the 10 GB/s vault ceiling).
+    BankThenVault,
+}
+
+/// The low-order interleaved address mapping of Figure 3.
+///
+/// Field layout (low to high): 4 ignored atom bits, `block_offset_bits`,
+/// then the vault and bank fields in the configured [`InterleaveOrder`]
+/// (vault-first by default; the low part of the vault field selects the
+/// vault within its quadrant, the high part the quadrant), then the row.
+/// The field widths for the vault and bank levels come from the device
+/// [`HmcSpec`] at decode time, so the same mapping value works for Gen1,
+/// Gen2, and HMC 2.0 geometries.
+///
+/// ```
+/// use hmc_types::address::{Address, AddressMapping, MaxBlockSize};
+/// use hmc_types::spec::{HmcSpec, HmcVersion};
+///
+/// let spec = HmcSpec::of(HmcVersion::Gen2);
+/// let map = AddressMapping::new(MaxBlockSize::B128);
+/// // Consecutive 128 B blocks land in consecutive vaults.
+/// let a = map.decode(Address::new(0), &spec);
+/// let b = map.decode(Address::new(128), &spec);
+/// assert_eq!(a.vault.index(), 0);
+/// assert_eq!(b.vault.index(), 1);
+/// assert_eq!(a.bank, b.bank);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AddressMapping {
+    max_block: MaxBlockSize,
+    order: InterleaveOrder,
+}
+
+impl AddressMapping {
+    /// Number of always-ignored low-order bits (16 B atoms).
+    pub const ATOM_BITS: u32 = 4;
+
+    /// Creates a mapping with the given maximum block size and the
+    /// default vault-first interleave.
+    pub const fn new(max_block: MaxBlockSize) -> Self {
+        AddressMapping {
+            max_block,
+            order: InterleaveOrder::VaultThenBank,
+        }
+    }
+
+    /// Creates a mapping with an explicit field order (the mode-register
+    /// fine-tuning ablation).
+    pub const fn with_order(max_block: MaxBlockSize, order: InterleaveOrder) -> Self {
+        AddressMapping { max_block, order }
+    }
+
+    /// The configured maximum block size.
+    pub const fn max_block(self) -> MaxBlockSize {
+        self.max_block
+    }
+
+    /// The configured field order.
+    pub const fn order(self) -> InterleaveOrder {
+        self.order
+    }
+
+    /// Lowest bit above the block offset (start of the vault/bank
+    /// fields).
+    const fn fields_shift(self) -> u32 {
+        Self::ATOM_BITS + self.max_block.block_offset_bits()
+    }
+
+    /// Lowest bit of the vault id field.
+    pub fn vault_shift_for(self, spec: &HmcSpec) -> u32 {
+        match self.order {
+            InterleaveOrder::VaultThenBank => self.fields_shift(),
+            InterleaveOrder::BankThenVault => self.fields_shift() + spec.bank_bits(),
+        }
+    }
+
+    /// Lowest bit of the vault id field under the default geometry-
+    /// independent (vault-first) order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mapping uses [`InterleaveOrder::BankThenVault`],
+    /// whose vault position depends on the geometry — use
+    /// [`vault_shift_for`](AddressMapping::vault_shift_for) there.
+    pub fn vault_shift(self) -> u32 {
+        assert_eq!(
+            self.order,
+            InterleaveOrder::VaultThenBank,
+            "vault_shift() requires the default order; use vault_shift_for()"
+        );
+        self.fields_shift()
+    }
+
+    /// Lowest bit of the bank id field for the given device geometry.
+    pub fn bank_shift(self, spec: &HmcSpec) -> u32 {
+        match self.order {
+            InterleaveOrder::VaultThenBank => self.fields_shift() + spec.vault_bits(),
+            InterleaveOrder::BankThenVault => self.fields_shift(),
+        }
+    }
+
+    /// Lowest bit of the row field for the given device geometry.
+    pub fn row_shift(self, spec: &HmcSpec) -> u32 {
+        self.fields_shift() + spec.vault_bits() + spec.bank_bits()
+    }
+
+    /// Decodes an address into structural coordinates.
+    pub fn decode(self, addr: Address, spec: &HmcSpec) -> Location {
+        let vault_raw = addr.bits(self.vault_shift_for(spec), spec.vault_bits()) as u16;
+        let bank = addr.bits(self.bank_shift(spec), spec.bank_bits()) as u16;
+        let row = addr.as_u64() >> self.row_shift(spec);
+        // The quadrant is the high part of the vault field: vaults are
+        // numbered with the vault-in-quadrant bits low (Figure 3).
+        let vaults_per_quad_bits = spec.vault_bits() - spec.quadrant_bits();
+        let quadrant = vault_raw >> vaults_per_quad_bits;
+        Location {
+            quadrant: QuadrantId::new(quadrant),
+            vault: VaultId::new(vault_raw),
+            bank: BankId::new(bank),
+            row,
+            row_offset: addr.as_u64() % ROW_BYTES,
+        }
+    }
+
+    /// Builds the address whose decoded coordinates are the given vault,
+    /// bank, and row with a zero in-block offset. Inverse of [`decode`] for
+    /// aligned addresses.
+    ///
+    /// [`decode`]: AddressMapping::decode
+    pub fn encode(self, vault: VaultId, bank: BankId, row: u64, spec: &HmcSpec) -> Address {
+        debug_assert!((vault.index() as u32) < spec.num_vaults());
+        debug_assert!((bank.index() as u32) < spec.banks_per_vault());
+        let mut raw = 0u64;
+        raw |= (vault.index() as u64) << self.vault_shift_for(spec);
+        raw |= (bank.index() as u64) << self.bank_shift(spec);
+        raw |= row << self.row_shift(spec);
+        Address::new(raw)
+    }
+}
+
+/// The GUPS mask / anti-mask registers: force chosen address bits to zero
+/// (`zero_mask`) or one (`one_mask`), restricting a random address stream to
+/// a subset of quadrants, vaults, banks, or rows.
+///
+/// ```
+/// use hmc_types::address::{Address, AddressMask};
+///
+/// // Figure 6's "bits 7-14 forced to zero" mask: all traffic lands on
+/// // bank 0 of vault 0 in quadrant 0.
+/// let mask = AddressMask::zero_bits(7, 14);
+/// let a = mask.apply(Address::new(0x3FFF0));
+/// assert_eq!(a.as_u64() & 0x7F80, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AddressMask {
+    zero_mask: u64,
+    one_mask: u64,
+}
+
+impl AddressMask {
+    /// A mask that leaves addresses untouched.
+    pub const NONE: AddressMask = AddressMask {
+        zero_mask: 0,
+        one_mask: 0,
+    };
+
+    /// Creates a mask from raw bit masks. Bits set in `zero_mask` are forced
+    /// to zero; bits set in `one_mask` are forced to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bit appears in both masks.
+    pub fn new(zero_mask: u64, one_mask: u64) -> Self {
+        assert_eq!(
+            zero_mask & one_mask,
+            0,
+            "a bit cannot be forced to both zero and one"
+        );
+        AddressMask {
+            zero_mask,
+            one_mask,
+        }
+    }
+
+    /// Forces the inclusive bit range `[lo, hi]` to zero — the operation the
+    /// paper's Figure 6 sweeps across bit positions.
+    pub fn zero_bits(lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi && hi < 64, "invalid bit range {lo}-{hi}");
+        let width = hi - lo + 1;
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            ((1u64 << width) - 1) << lo
+        };
+        AddressMask {
+            zero_mask: mask,
+            one_mask: 0,
+        }
+    }
+
+    /// Adds another force-to-zero range to this mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps bits forced to one, or if the range is
+    /// invalid.
+    pub fn with_zero_bits(mut self, lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi && hi < 64, "invalid bit range {lo}-{hi}");
+        let mask = ((1u64 << (hi - lo + 1)) - 1) << lo;
+        assert_eq!(self.one_mask & mask, 0, "bit forced to both zero and one");
+        self.zero_mask |= mask;
+        self
+    }
+
+    /// Adds an anti-mask forcing the inclusive bit range `[lo, hi]` to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overlaps bits already forced to zero.
+    pub fn with_one_bits(mut self, lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi && hi < 64, "invalid bit range {lo}-{hi}");
+        let mask = ((1u64 << (hi - lo + 1)) - 1) << lo;
+        assert_eq!(self.zero_mask & mask, 0, "bit forced to both zero and one");
+        self.one_mask |= mask;
+        self
+    }
+
+    /// The raw force-to-zero mask.
+    pub const fn zero_mask(self) -> u64 {
+        self.zero_mask
+    }
+
+    /// The raw force-to-one mask.
+    pub const fn one_mask(self) -> u64 {
+        self.one_mask
+    }
+
+    /// Applies the mask to an address.
+    pub const fn apply(self, addr: Address) -> Address {
+        Address::new((addr.as_u64() & !self.zero_mask) | self.one_mask)
+    }
+
+    /// Number of distinct addresses the mask leaves reachable out of an
+    /// `address_bits`-wide space.
+    pub fn reachable_fraction(self, address_bits: u32) -> f64 {
+        let space = (1u64 << address_bits) - 1;
+        let forced = ((self.zero_mask | self.one_mask) & space).count_ones();
+        1.0 / (1u64 << forced) as f64
+    }
+}
+
+impl fmt::Display for AddressMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mask(zero={:#x}, one={:#x})",
+            self.zero_mask, self.one_mask
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{HmcSpec, HmcVersion};
+
+    fn gen2() -> HmcSpec {
+        HmcSpec::of(HmcVersion::Gen2)
+    }
+
+    #[test]
+    fn address_masks_to_34_bits() {
+        let a = Address::new(u64::MAX);
+        assert_eq!(a.as_u64(), (1 << 34) - 1);
+    }
+
+    #[test]
+    fn address_bit_extraction() {
+        let a = Address::new(0b1011_0000);
+        assert_eq!(a.bits(4, 4), 0b1011);
+        assert_eq!(a.bits(0, 4), 0);
+    }
+
+    #[test]
+    fn dram_bus_alignment() {
+        assert!(Address::new(64).is_dram_bus_aligned());
+        assert!(!Address::new(16).is_dram_bus_aligned());
+    }
+
+    #[test]
+    fn block_size_fields() {
+        assert_eq!(MaxBlockSize::B128.block_offset_bits(), 3);
+        assert_eq!(MaxBlockSize::B16.block_offset_bits(), 0);
+        assert_eq!(MaxBlockSize::from_bytes(64).unwrap(), MaxBlockSize::B64);
+        assert!(MaxBlockSize::from_bytes(48).is_err());
+    }
+
+    #[test]
+    fn default_mapping_matches_figure_3a() {
+        // 128 B max block: vault field at bits 7-10, bank at 11-14.
+        let map = AddressMapping::new(MaxBlockSize::B128);
+        let spec = gen2();
+        assert_eq!(map.vault_shift(), 7);
+        assert_eq!(map.bank_shift(&spec), 11);
+        assert_eq!(map.row_shift(&spec), 15);
+    }
+
+    #[test]
+    fn small_block_mapping_matches_figure_3c() {
+        // 32 B max block: vault at bits 5-8, bank at 9-12.
+        let map = AddressMapping::new(MaxBlockSize::B32);
+        let spec = gen2();
+        assert_eq!(map.vault_shift(), 5);
+        assert_eq!(map.bank_shift(&spec), 9);
+        assert_eq!(map.row_shift(&spec), 13);
+    }
+
+    #[test]
+    fn sequential_blocks_interleave_across_vaults_first() {
+        let map = AddressMapping::default();
+        let spec = gen2();
+        // 16 consecutive 128 B blocks cover all 16 vaults in bank 0.
+        let locs: Vec<Location> = (0..16)
+            .map(|i| map.decode(Address::new(i * 128), &spec))
+            .collect();
+        for (i, loc) in locs.iter().enumerate() {
+            assert_eq!(loc.vault.index() as usize, i);
+            assert_eq!(loc.bank.index(), 0);
+        }
+        // The 17th block wraps to vault 0, bank 1.
+        let wrap = map.decode(Address::new(16 * 128), &spec);
+        assert_eq!(wrap.vault.index(), 0);
+        assert_eq!(wrap.bank.index(), 1);
+    }
+
+    #[test]
+    fn os_page_spans_two_banks_per_vault() {
+        // Section II-C: a 4 KB OS page is allocated in two banks across all
+        // vaults with the default 128 B mapping.
+        let map = AddressMapping::default();
+        let spec = gen2();
+        let mut banks_by_vault = std::collections::BTreeMap::new();
+        for atom in (0..4096).step_by(16) {
+            let loc = map.decode(Address::new(atom), &spec);
+            banks_by_vault
+                .entry(loc.vault.index())
+                .or_insert_with(std::collections::BTreeSet::new)
+                .insert(loc.bank.index());
+        }
+        assert_eq!(banks_by_vault.len(), 16, "page spread over all vaults");
+        for banks in banks_by_vault.values() {
+            assert_eq!(banks.len(), 2, "two banks per vault");
+        }
+    }
+
+    #[test]
+    fn smaller_block_size_raises_page_blp() {
+        // Footnote 6: reducing the max block size increases the banks a
+        // single 4 KB page touches per vault.
+        let map = AddressMapping::new(MaxBlockSize::B32);
+        let spec = gen2();
+        let mut banks = std::collections::BTreeSet::new();
+        for atom in (0..4096).step_by(16) {
+            let loc = map.decode(Address::new(atom), &spec);
+            if loc.vault.index() == 0 {
+                banks.insert(loc.bank.index());
+            }
+        }
+        assert_eq!(banks.len(), 8, "32 B blocks give 8-bank BLP per vault");
+    }
+
+    #[test]
+    fn quadrant_is_high_vault_bits() {
+        let map = AddressMapping::default();
+        let spec = gen2();
+        for v in 0..16u64 {
+            let loc = map.decode(Address::new(v << 7), &spec);
+            assert_eq!(loc.vault.index() as u64, v);
+            assert_eq!(loc.quadrant.index() as u64, v / 4);
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let map = AddressMapping::default();
+        let spec = gen2();
+        for v in 0..16 {
+            for b in 0..16 {
+                let addr = map.encode(VaultId::new(v), BankId::new(b), 37, &spec);
+                let loc = map.decode(addr, &spec);
+                assert_eq!(loc.vault.index(), v);
+                assert_eq!(loc.bank.index(), b);
+                assert_eq!(loc.row, 37);
+            }
+        }
+    }
+
+    #[test]
+    fn bank_first_order_keeps_streams_in_one_vault() {
+        let spec = gen2();
+        let map = AddressMapping::with_order(MaxBlockSize::B128, InterleaveOrder::BankThenVault);
+        assert_eq!(map.order(), InterleaveOrder::BankThenVault);
+        // Bank field sits at bits 7-10, vault at 11-14.
+        assert_eq!(map.bank_shift(&spec), 7);
+        assert_eq!(map.vault_shift_for(&spec), 11);
+        assert_eq!(map.row_shift(&spec), 15);
+        // Sixteen consecutive 128 B blocks all land in vault 0, cycling
+        // its banks.
+        for i in 0..16u64 {
+            let loc = map.decode(Address::new(i * 128), &spec);
+            assert_eq!(loc.vault.index(), 0);
+            assert_eq!(loc.bank.index() as u64, i);
+        }
+        // The 17th moves to vault 1.
+        assert_eq!(map.decode(Address::new(16 * 128), &spec).vault.index(), 1);
+    }
+
+    #[test]
+    fn bank_first_encode_roundtrips() {
+        let spec = gen2();
+        let map = AddressMapping::with_order(MaxBlockSize::B64, InterleaveOrder::BankThenVault);
+        for v in [0u16, 5, 15] {
+            for b in [0u16, 7, 15] {
+                let a = map.encode(VaultId::new(v), BankId::new(b), 11, &spec);
+                let loc = map.decode(a, &spec);
+                assert_eq!((loc.vault.index(), loc.bank.index(), loc.row), (v, b, 11));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "default order")]
+    fn vault_shift_guards_order() {
+        let map = AddressMapping::with_order(MaxBlockSize::B128, InterleaveOrder::BankThenVault);
+        let _ = map.vault_shift();
+    }
+
+    #[test]
+    fn figure_6_one_bank_mask() {
+        // Mask 7-14 forces bank 0 of vault 0 in quadrant 0.
+        let map = AddressMapping::default();
+        let spec = gen2();
+        let mask = AddressMask::zero_bits(7, 14);
+        for raw in [0u64, 0xABCDE0, 0x3_FFFF_FFFFu64] {
+            let loc = map.decode(mask.apply(Address::new(raw)), &spec);
+            assert_eq!(loc.vault.index(), 0);
+            assert_eq!(loc.bank.index(), 0);
+            assert_eq!(loc.quadrant.index(), 0);
+        }
+    }
+
+    #[test]
+    fn figure_6_vault_count_per_mask() {
+        let map = AddressMapping::default();
+        let spec = gen2();
+        let cases = [
+            ((3u32, 10u32), 1usize), // one vault
+            ((2, 9), 2),             // two vaults
+            ((1, 8), 4),             // four vaults
+            ((0, 7), 8),             // eight vaults
+            ((24, 31), 16),          // row-only mask: all vaults
+        ];
+        for ((lo, hi), expected_vaults) in cases {
+            let mask = AddressMask::zero_bits(lo, hi);
+            let mut vaults = std::collections::BTreeSet::new();
+            for raw in 0..(1u64 << 16) {
+                let loc = map.decode(mask.apply(Address::new(raw << 4)), &spec);
+                vaults.insert(loc.vault.index());
+            }
+            assert_eq!(
+                vaults.len(),
+                expected_vaults,
+                "mask {lo}-{hi} should reach {expected_vaults} vaults"
+            );
+        }
+    }
+
+    #[test]
+    fn anti_mask_forces_ones() {
+        let mask = AddressMask::zero_bits(0, 3).with_one_bits(7, 8);
+        let a = mask.apply(Address::new(0));
+        assert_eq!(a.as_u64(), 0b1_1000_0000);
+    }
+
+    #[test]
+    #[should_panic(expected = "both zero and one")]
+    fn conflicting_mask_panics() {
+        let _ = AddressMask::zero_bits(0, 7).with_one_bits(4, 4);
+    }
+
+    #[test]
+    fn reachable_fraction() {
+        let mask = AddressMask::zero_bits(0, 7);
+        assert!((mask.reachable_fraction(32) - 1.0 / 256.0).abs() < 1e-12);
+        assert_eq!(AddressMask::NONE.reachable_fraction(32), 1.0);
+    }
+
+    #[test]
+    fn display_impls() {
+        let spec = gen2();
+        let loc = AddressMapping::default().decode(Address::new(0x1234560), &spec);
+        assert!(format!("{loc}").contains("vault"));
+        assert!(format!("{}", Address::new(0x10)).starts_with("0x"));
+        assert!(format!("{}", MaxBlockSize::B64).contains("64"));
+        assert!(format!("{}", AddressMask::zero_bits(0, 3)).contains("0xf"));
+    }
+}

@@ -1,0 +1,89 @@
+//! The workspace-wide error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while configuring or driving the modelled HMC system.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HmcError {
+    /// A request payload size was not a multiple of 16 in `16..=128`.
+    InvalidRequestSize(u64),
+    /// A maximum block size was not one of 16/32/64/128 B.
+    InvalidBlockSize(u64),
+    /// A link count other than 2 or 4 was requested.
+    InvalidLinkCount(u32),
+    /// A port index outside the available GUPS ports was referenced.
+    InvalidPort(u8),
+    /// An access-pattern parameter was out of range for the device
+    /// geometry (e.g. more banks than a vault has).
+    InvalidPattern(String),
+    /// The device shut down due to exceeding its thermal limit; the
+    /// payload is the junction temperature in Celsius at failure.
+    ThermalShutdown(f64),
+    /// A simulation was configured inconsistently.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for HmcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HmcError::InvalidRequestSize(b) => {
+                write!(f, "invalid request size {b} B (expected 16..=128 in 16 B steps)")
+            }
+            HmcError::InvalidBlockSize(b) => {
+                write!(f, "invalid max block size {b} B (expected 16, 32, 64, or 128)")
+            }
+            HmcError::InvalidLinkCount(n) => {
+                write!(f, "invalid link count {n} (HMC supports 2 or 4 links)")
+            }
+            HmcError::InvalidPort(p) => write!(f, "port {p} does not exist"),
+            HmcError::InvalidPattern(msg) => write!(f, "invalid access pattern: {msg}"),
+            HmcError::ThermalShutdown(t) => {
+                write!(f, "thermal shutdown at {t:.1} C junction temperature")
+            }
+            HmcError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for HmcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_informative() {
+        let cases: Vec<HmcError> = vec![
+            HmcError::InvalidRequestSize(24),
+            HmcError::InvalidBlockSize(48),
+            HmcError::InvalidLinkCount(3),
+            HmcError::InvalidPort(12),
+            HmcError::InvalidPattern("32 banks".into()),
+            HmcError::ThermalShutdown(86.2),
+            HmcError::InvalidConfig("zero duration".into()),
+        ];
+        for e in cases {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_: Box<dyn Error + Send + Sync>) {}
+        takes_err(Box::new(HmcError::InvalidPort(1)));
+    }
+
+    #[test]
+    fn thermal_shutdown_carries_temperature() {
+        if let HmcError::ThermalShutdown(t) = HmcError::ThermalShutdown(85.5) {
+            assert!((t - 85.5).abs() < 1e-12);
+        } else {
+            unreachable!();
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Core value types shared across the `hmcsim` workspace.
+//!
+//! This crate defines the vocabulary of the Hybrid Memory Cube (HMC)
+//! characterization laboratory:
+//!
+//! * [`time`] — picosecond-resolution simulation time ([`Time`], [`TimeDelta`])
+//!   and clock-domain helpers ([`Frequency`]).
+//! * [`address`] — the 34-bit HMC request address space, the low-order
+//!   interleaved [`AddressMapping`] of Figure 3 of the paper, and the GUPS
+//!   mask/anti-mask registers used to target quadrants, vaults, and banks.
+//! * [`packet`] — flit-granular packet sizes for each transaction type
+//!   (Table II of the paper) and request kinds (`ro`/`wo`/`rw`).
+//! * [`spec`] — structural properties of HMC 1.0 / 1.1 / 2.0 devices
+//!   (Table I) and the link peak-bandwidth law (Equation 2).
+//! * [`request`] — in-flight memory request/response records and identifiers.
+//!
+//! # Example
+//!
+//! ```
+//! use hmc_types::spec::{HmcSpec, HmcVersion};
+//! use hmc_types::address::{Address, AddressMapping, MaxBlockSize};
+//!
+//! let spec = HmcSpec::of(HmcVersion::Gen2);
+//! assert_eq!(spec.total_banks(), 256);
+//!
+//! let mapping = AddressMapping::new(MaxBlockSize::B128);
+//! let location = mapping.decode(Address::new(0x180), &spec);
+//! assert_eq!(location.vault.index(), 3);
+//! ```
+
+pub mod address;
+pub mod error;
+pub mod packet;
+pub mod request;
+pub mod spec;
+pub mod time;
+
+pub use address::{Address, AddressMapping, AddressMask, InterleaveOrder, Location, MaxBlockSize};
+pub use error::HmcError;
+pub use packet::{FlitCount, RequestKind, RequestSize, TransactionSizes, FLIT_BYTES};
+pub use request::{MemoryRequest, MemoryResponse, PortId, RequestId, Tag};
+pub use spec::{HmcSpec, HmcVersion, LinkConfig, LinkSpeed, LinkWidth};
+pub use time::{Frequency, Time, TimeDelta};

@@ -1,0 +1,393 @@
+//! Flit-granular packet sizing (Table II of the paper) and request kinds.
+//!
+//! HMC packets are built from 16 B *flits*. Data payloads span one to eight
+//! flits (16–128 B); every request and every response additionally carries
+//! an 8 B header and an 8 B tail — exactly one flit of overhead per packet.
+
+use std::fmt;
+
+use crate::error::HmcError;
+
+/// Bytes per flit.
+pub const FLIT_BYTES: u64 = 16;
+
+/// Packet overhead per request or response: one flit (8 B header + 8 B
+/// tail).
+pub const OVERHEAD_FLITS: u64 = 1;
+
+/// A count of flits.
+///
+/// ```
+/// use hmc_types::packet::FlitCount;
+///
+/// let payload = FlitCount::new(8);
+/// assert_eq!(payload.bytes(), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct FlitCount(u64);
+
+impl FlitCount {
+    /// Zero flits.
+    pub const ZERO: FlitCount = FlitCount(0);
+
+    /// Creates a flit count.
+    pub const fn new(flits: u64) -> Self {
+        FlitCount(flits)
+    }
+
+    /// The number of flits.
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+
+    /// The flits expressed in bytes.
+    pub const fn bytes(self) -> u64 {
+        self.0 * FLIT_BYTES
+    }
+}
+
+impl std::ops::Add for FlitCount {
+    type Output = FlitCount;
+    fn add(self, rhs: FlitCount) -> FlitCount {
+        FlitCount(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for FlitCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} flits", self.0)
+    }
+}
+
+/// Data payload size of a request: 16 B to 128 B in 16 B steps (footnote 11
+/// of the paper lists all eight).
+///
+/// ```
+/// use hmc_types::packet::RequestSize;
+///
+/// let s = RequestSize::new(128)?;
+/// assert_eq!(s.payload_flits().count(), 8);
+/// // 128 B of data per 144 B on the wire: 89% efficiency (Section IV-D).
+/// assert!((s.wire_efficiency() - 128.0 / 144.0).abs() < 1e-12);
+/// # Ok::<(), hmc_types::HmcError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestSize(u64);
+
+impl RequestSize {
+    /// The smallest payload: one flit.
+    pub const MIN: RequestSize = RequestSize(16);
+    /// The largest payload: eight flits.
+    pub const MAX: RequestSize = RequestSize(128);
+
+    /// All eight supported sizes, ascending.
+    pub const ALL: [RequestSize; 8] = [
+        RequestSize(16),
+        RequestSize(32),
+        RequestSize(48),
+        RequestSize(64),
+        RequestSize(80),
+        RequestSize(96),
+        RequestSize(112),
+        RequestSize(128),
+    ];
+
+    /// The sizes Figure 8 plots.
+    pub const FIG8: [RequestSize; 3] = [RequestSize(128), RequestSize(64), RequestSize(32)];
+
+    /// Creates a request size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HmcError::InvalidRequestSize`] unless `bytes` is a multiple
+    /// of 16 in `16..=128`.
+    pub const fn new(bytes: u64) -> Result<Self, HmcError> {
+        if bytes >= 16 && bytes <= 128 && bytes.is_multiple_of(16) {
+            Ok(RequestSize(bytes))
+        } else {
+            Err(HmcError::InvalidRequestSize(bytes))
+        }
+    }
+
+    /// Payload size in bytes.
+    pub const fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Payload size in flits.
+    pub const fn payload_flits(self) -> FlitCount {
+        FlitCount(self.0 / FLIT_BYTES)
+    }
+
+    /// Number of 32 B DRAM-bus beats the payload occupies inside a vault.
+    /// Sub-32 B payloads still cost a full beat (Section II-C).
+    pub const fn dram_beats(self) -> u64 {
+        self.0.div_ceil(32)
+    }
+
+    /// Fraction of wire bytes that are data: `data / (data + overhead)`.
+    pub fn wire_efficiency(self) -> f64 {
+        self.0 as f64 / (self.0 + FLIT_BYTES) as f64
+    }
+}
+
+impl fmt::Display for RequestSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} B", self.0)
+    }
+}
+
+impl TryFrom<u64> for RequestSize {
+    type Error = HmcError;
+    fn try_from(bytes: u64) -> Result<Self, HmcError> {
+        RequestSize::new(bytes)
+    }
+}
+
+/// GUPS port request kind: read-only, write-only, or read-modify-write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RequestKind {
+    /// `ro`: read requests only.
+    #[default]
+    ReadOnly,
+    /// `wo`: write requests only.
+    WriteOnly,
+    /// `rw`: each location is read and then written back.
+    ReadModifyWrite,
+}
+
+impl RequestKind {
+    /// The three kinds in the order the paper's figures present them.
+    pub const ALL: [RequestKind; 3] = [
+        RequestKind::ReadOnly,
+        RequestKind::ReadModifyWrite,
+        RequestKind::WriteOnly,
+    ];
+
+    /// The short name the paper uses (`ro`, `wo`, `rw`).
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            RequestKind::ReadOnly => "ro",
+            RequestKind::WriteOnly => "wo",
+            RequestKind::ReadModifyWrite => "rw",
+        }
+    }
+
+    /// True if the kind issues read requests.
+    pub const fn reads(self) -> bool {
+        matches!(self, RequestKind::ReadOnly | RequestKind::ReadModifyWrite)
+    }
+
+    /// True if the kind issues write requests.
+    pub const fn writes(self) -> bool {
+        matches!(self, RequestKind::WriteOnly | RequestKind::ReadModifyWrite)
+    }
+}
+
+impl fmt::Display for RequestKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// The direction of an elementary memory operation on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A read: empty request, data-carrying response.
+    Read,
+    /// A write: data-carrying request, empty response.
+    Write,
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+        })
+    }
+}
+
+/// Packet sizes for one transaction — the rows of Table II.
+///
+/// ```
+/// use hmc_types::packet::{OpKind, RequestSize, TransactionSizes};
+///
+/// let t = TransactionSizes::of(OpKind::Read, RequestSize::new(128)?);
+/// assert_eq!(t.request_flits().count(), 1); // empty request + overhead
+/// assert_eq!(t.response_flits().count(), 9); // 8 data + overhead
+/// assert_eq!(t.total_wire_bytes(), 160);
+/// # Ok::<(), hmc_types::HmcError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransactionSizes {
+    op: OpKind,
+    size: RequestSize,
+}
+
+impl TransactionSizes {
+    /// Table II sizes for an operation of the given payload size.
+    pub const fn of(op: OpKind, size: RequestSize) -> Self {
+        TransactionSizes { op, size }
+    }
+
+    /// The operation type.
+    pub const fn op(self) -> OpKind {
+        self.op
+    }
+
+    /// The payload size.
+    pub const fn size(self) -> RequestSize {
+        self.size
+    }
+
+    /// Request packet size (host → cube), including the overhead flit.
+    pub const fn request_flits(self) -> FlitCount {
+        match self.op {
+            OpKind::Read => FlitCount(OVERHEAD_FLITS),
+            OpKind::Write => FlitCount(self.size.payload_flits().count() + OVERHEAD_FLITS),
+        }
+    }
+
+    /// Response packet size (cube → host), including the overhead flit.
+    pub const fn response_flits(self) -> FlitCount {
+        match self.op {
+            OpKind::Read => FlitCount(self.size.payload_flits().count() + OVERHEAD_FLITS),
+            OpKind::Write => FlitCount(OVERHEAD_FLITS),
+        }
+    }
+
+    /// Total bytes the transaction moves on the wire in both directions —
+    /// the quantity the paper's bandwidth accounting multiplies by the
+    /// access count ("including header, tail and data payload").
+    pub const fn total_wire_bytes(self) -> u64 {
+        (self.request_flits().count() + self.response_flits().count()) * FLIT_BYTES
+    }
+}
+
+impl fmt::Display for TransactionSizes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}: req {} / resp {}",
+            self.op,
+            self.size,
+            self.request_flits(),
+            self.response_flits()
+        )
+    }
+}
+
+/// Wire bytes moved by one *logical access* of the given kind and size,
+/// counting every constituent request and response packet. A
+/// read-modify-write access is one read transaction plus one write
+/// transaction.
+pub fn wire_bytes_per_access(kind: RequestKind, size: RequestSize) -> u64 {
+    match kind {
+        RequestKind::ReadOnly => TransactionSizes::of(OpKind::Read, size).total_wire_bytes(),
+        RequestKind::WriteOnly => TransactionSizes::of(OpKind::Write, size).total_wire_bytes(),
+        RequestKind::ReadModifyWrite => {
+            TransactionSizes::of(OpKind::Read, size).total_wire_bytes()
+                + TransactionSizes::of(OpKind::Write, size).total_wire_bytes()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_count_bytes() {
+        assert_eq!(FlitCount::new(9).bytes(), 144);
+        assert_eq!((FlitCount::new(1) + FlitCount::new(8)).count(), 9);
+        assert_eq!(FlitCount::ZERO.bytes(), 0);
+    }
+
+    #[test]
+    fn request_size_validation() {
+        assert!(RequestSize::new(16).is_ok());
+        assert!(RequestSize::new(128).is_ok());
+        assert!(RequestSize::new(0).is_err());
+        assert!(RequestSize::new(24).is_err());
+        assert!(RequestSize::new(144).is_err());
+        assert_eq!(RequestSize::ALL.len(), 8);
+        assert!(RequestSize::ALL.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn dram_beats() {
+        assert_eq!(RequestSize::new(16).unwrap().dram_beats(), 1);
+        assert_eq!(RequestSize::new(32).unwrap().dram_beats(), 1);
+        assert_eq!(RequestSize::new(48).unwrap().dram_beats(), 2);
+        assert_eq!(RequestSize::new(128).unwrap().dram_beats(), 4);
+    }
+
+    #[test]
+    fn wire_efficiency_matches_section_4d() {
+        // 128 B requests: 128/(128+16) = 89%; 16 B requests: 50%.
+        let big = RequestSize::new(128).unwrap();
+        let small = RequestSize::new(16).unwrap();
+        assert!((big.wire_efficiency() - 0.8888).abs() < 1e-3);
+        assert!((small.wire_efficiency() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_2_read_sizes() {
+        for size in RequestSize::ALL {
+            let t = TransactionSizes::of(OpKind::Read, size);
+            assert_eq!(t.request_flits().count(), 1, "read request is 1 flit");
+            let expected = size.payload_flits().count() + 1;
+            assert_eq!(t.response_flits().count(), expected);
+            assert!((2..=9).contains(&t.response_flits().count()));
+        }
+    }
+
+    #[test]
+    fn table_2_write_sizes() {
+        for size in RequestSize::ALL {
+            let t = TransactionSizes::of(OpKind::Write, size);
+            assert_eq!(t.response_flits().count(), 1, "write response is 1 flit");
+            let expected = size.payload_flits().count() + 1;
+            assert_eq!(t.request_flits().count(), expected);
+        }
+    }
+
+    #[test]
+    fn wire_bytes_per_access_by_kind() {
+        let s = RequestSize::new(128).unwrap();
+        // ro: 1-flit request + 9-flit response = 160 B.
+        assert_eq!(wire_bytes_per_access(RequestKind::ReadOnly, s), 160);
+        // wo: 9-flit request + 1-flit response = 160 B.
+        assert_eq!(wire_bytes_per_access(RequestKind::WriteOnly, s), 160);
+        // rw: both transactions = 320 B.
+        assert_eq!(wire_bytes_per_access(RequestKind::ReadModifyWrite, s), 320);
+    }
+
+    #[test]
+    fn request_kind_properties() {
+        assert!(RequestKind::ReadOnly.reads());
+        assert!(!RequestKind::ReadOnly.writes());
+        assert!(RequestKind::WriteOnly.writes());
+        assert!(!RequestKind::WriteOnly.reads());
+        assert!(RequestKind::ReadModifyWrite.reads());
+        assert!(RequestKind::ReadModifyWrite.writes());
+        assert_eq!(RequestKind::ReadOnly.short_name(), "ro");
+    }
+
+    #[test]
+    fn try_from_u64() {
+        assert_eq!(RequestSize::try_from(64).unwrap().bytes(), 64);
+        assert!(RequestSize::try_from(7).is_err());
+    }
+
+    #[test]
+    fn display_impls() {
+        let t = TransactionSizes::of(OpKind::Read, RequestSize::MAX);
+        assert!(format!("{t}").contains("read"));
+        assert_eq!(format!("{}", RequestKind::ReadModifyWrite), "rw");
+        assert_eq!(format!("{}", RequestSize::MIN), "16 B");
+        assert_eq!(format!("{}", FlitCount::new(2)), "2 flits");
+        assert_eq!(format!("{}", OpKind::Write), "write");
+    }
+}

@@ -1,0 +1,418 @@
+//! Structural specifications of HMC device generations (Table I of the
+//! paper) and external-link configurations (Equation 2).
+
+use std::fmt;
+
+use crate::error::HmcError;
+
+/// The HMC generations the paper tabulates in Table I.
+///
+/// The characterized hardware is a 4 GB HMC 1.1 (Gen2) device; Gen1 and
+/// HMC 2.0 specs are included so the model can be re-geometried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HmcVersion {
+    /// HMC 1.0 (Gen1): 0.5 GB, 4 DRAM layers, 128 banks.
+    Gen1,
+    /// HMC 1.1 (Gen2): the 4 GB, 8-layer, 256-bank device under test.
+    #[default]
+    Gen2,
+    /// HMC 2.0: 32 vaults, up to 512 banks; hardware unavailable at the
+    /// time of the paper.
+    Hmc2,
+}
+
+impl fmt::Display for HmcVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HmcVersion::Gen1 => "HMC 1.0 (Gen1)",
+            HmcVersion::Gen2 => "HMC 1.1 (Gen2)",
+            HmcVersion::Hmc2 => "HMC 2.0",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Structural properties of one HMC device (one column of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HmcSpec {
+    version: HmcVersion,
+    /// Total capacity in bytes.
+    capacity_bytes: u64,
+    /// Number of stacked DRAM layers.
+    dram_layers: u32,
+    /// Capacity of one DRAM layer in bits.
+    layer_bits: u64,
+    /// Number of quadrants (always 4).
+    quadrants: u32,
+    /// Number of vaults.
+    vaults: u32,
+    /// Banks per vault.
+    banks_per_vault: u32,
+}
+
+impl HmcSpec {
+    /// The spec for a given generation, using the configuration the paper
+    /// reports for the four-link arrangement (and the 4 GB capacity point
+    /// where a generation offers two).
+    pub fn of(version: HmcVersion) -> Self {
+        match version {
+            HmcVersion::Gen1 => HmcSpec {
+                version,
+                capacity_bytes: 512 << 20,
+                dram_layers: 4,
+                layer_bits: 1 << 30,
+                quadrants: 4,
+                vaults: 16,
+                banks_per_vault: 8,
+            },
+            HmcVersion::Gen2 => HmcSpec {
+                version,
+                capacity_bytes: 4 << 30,
+                dram_layers: 8,
+                layer_bits: 4 << 30,
+                quadrants: 4,
+                vaults: 16,
+                banks_per_vault: 16,
+            },
+            HmcVersion::Hmc2 => HmcSpec {
+                version,
+                capacity_bytes: 8 << 30,
+                dram_layers: 8,
+                layer_bits: 4 << 30,
+                quadrants: 4,
+                vaults: 32,
+                banks_per_vault: 16,
+            },
+        }
+    }
+
+    /// The generation this spec describes.
+    pub const fn version(&self) -> HmcVersion {
+        self.version
+    }
+
+    /// Total device capacity in bytes.
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+
+    /// Number of stacked DRAM layers.
+    pub const fn dram_layers(&self) -> u32 {
+        self.dram_layers
+    }
+
+    /// Number of quadrants.
+    pub const fn num_quadrants(&self) -> u32 {
+        self.quadrants
+    }
+
+    /// Number of vaults.
+    pub const fn num_vaults(&self) -> u32 {
+        self.vaults
+    }
+
+    /// Vaults per quadrant.
+    pub const fn vaults_per_quadrant(&self) -> u32 {
+        self.vaults / self.quadrants
+    }
+
+    /// Banks per vault.
+    pub const fn banks_per_vault(&self) -> u32 {
+        self.banks_per_vault
+    }
+
+    /// Total banks in the device — Equation 1 of the paper
+    /// (`layers × partitions/layer × banks/partition`), which equals
+    /// `vaults × banks_per_vault`.
+    pub const fn total_banks(&self) -> u32 {
+        self.vaults * self.banks_per_vault
+    }
+
+    /// DRAM partitions per layer (one per vault).
+    pub const fn partitions_per_layer(&self) -> u32 {
+        self.vaults
+    }
+
+    /// Size of one bank in bytes.
+    pub const fn bank_bytes(&self) -> u64 {
+        self.capacity_bytes / self.total_banks() as u64
+    }
+
+    /// Size of one DRAM partition (a vault's share of one layer) in bytes.
+    pub const fn partition_bytes(&self) -> u64 {
+        self.capacity_bytes / (self.dram_layers * self.partitions_per_layer()) as u64
+    }
+
+    /// Address bits needed to select a vault.
+    pub const fn vault_bits(&self) -> u32 {
+        self.vaults.trailing_zeros()
+    }
+
+    /// Address bits needed to select a bank within a vault.
+    pub const fn bank_bits(&self) -> u32 {
+        self.banks_per_vault.trailing_zeros()
+    }
+
+    /// Address bits needed to select a quadrant.
+    pub const fn quadrant_bits(&self) -> u32 {
+        self.quadrants.trailing_zeros()
+    }
+}
+
+impl Default for HmcSpec {
+    fn default() -> Self {
+        HmcSpec::of(HmcVersion::Gen2)
+    }
+}
+
+impl fmt::Display for HmcSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} GB, {} layers, {} vaults x {} banks",
+            self.version,
+            self.capacity_bytes >> 30,
+            self.dram_layers,
+            self.vaults,
+            self.banks_per_vault
+        )
+    }
+}
+
+/// Lane count of one external link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LinkWidth {
+    /// Half-width: 8 lanes per direction (the AC-510 configuration).
+    #[default]
+    Half,
+    /// Full-width: 16 lanes per direction.
+    Full,
+}
+
+impl LinkWidth {
+    /// Lanes per direction.
+    pub const fn lanes(self) -> u32 {
+        match self {
+            LinkWidth::Half => 8,
+            LinkWidth::Full => 16,
+        }
+    }
+}
+
+/// Configurable per-lane signalling rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LinkSpeed {
+    /// 10 Gb/s per lane.
+    G10,
+    /// 12.5 Gb/s per lane.
+    G12_5,
+    /// 15 Gb/s per lane (the AC-510 configuration).
+    #[default]
+    G15,
+}
+
+impl LinkSpeed {
+    /// Signalling rate in bits per second per lane.
+    pub const fn bits_per_second(self) -> u64 {
+        match self {
+            LinkSpeed::G10 => 10_000_000_000,
+            LinkSpeed::G12_5 => 12_500_000_000,
+            LinkSpeed::G15 => 15_000_000_000,
+        }
+    }
+}
+
+/// An external link arrangement: how many SerDes links, their width, and
+/// their speed.
+///
+/// ```
+/// use hmc_types::spec::LinkConfig;
+///
+/// // Equation 2 of the paper: two half-width links at 15 Gb/s give a
+/// // bidirectional peak of 60 GB/s.
+/// let links = LinkConfig::ac510();
+/// assert_eq!(links.peak_bandwidth_bytes_per_sec(), 60_000_000_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkConfig {
+    num_links: u32,
+    width: LinkWidth,
+    speed: LinkSpeed,
+}
+
+impl LinkConfig {
+    /// Creates a link configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HmcError::InvalidLinkCount`] unless `num_links` is 2 or 4.
+    pub fn new(num_links: u32, width: LinkWidth, speed: LinkSpeed) -> Result<Self, HmcError> {
+        if num_links != 2 && num_links != 4 {
+            return Err(HmcError::InvalidLinkCount(num_links));
+        }
+        Ok(LinkConfig {
+            num_links,
+            width,
+            speed,
+        })
+    }
+
+    /// The AC-510 accelerator configuration: two half-width links at
+    /// 15 Gb/s.
+    pub fn ac510() -> Self {
+        LinkConfig {
+            num_links: 2,
+            width: LinkWidth::Half,
+            speed: LinkSpeed::G15,
+        }
+    }
+
+    /// Number of links.
+    pub const fn num_links(&self) -> u32 {
+        self.num_links
+    }
+
+    /// Per-link width.
+    pub const fn width(&self) -> LinkWidth {
+        self.width
+    }
+
+    /// Per-lane speed.
+    pub const fn speed(&self) -> LinkSpeed {
+        self.speed
+    }
+
+    /// Raw bandwidth of one link in one direction, in bytes per second.
+    pub const fn link_bytes_per_sec(&self) -> u64 {
+        self.width.lanes() as u64 * self.speed.bits_per_second() / 8
+    }
+
+    /// Equation 2: aggregate peak bandwidth counting both directions of
+    /// every link, in bytes per second.
+    pub const fn peak_bandwidth_bytes_per_sec(&self) -> u64 {
+        2 * self.num_links as u64 * self.link_bytes_per_sec()
+    }
+
+    /// Aggregate raw bandwidth in one direction across all links.
+    pub const fn directional_bandwidth_bytes_per_sec(&self) -> u64 {
+        self.num_links as u64 * self.link_bytes_per_sec()
+    }
+
+    /// Time to serialize `bytes` onto one link in one direction, in
+    /// picoseconds.
+    pub const fn serialize_ps(&self, bytes: u64) -> u64 {
+        // ps = bytes * 8 bits / (lanes * bps) * 1e12
+        bytes * 8 * 1_000_000_000_000 / (self.width.lanes() as u64 * self.speed.bits_per_second())
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::ac510()
+    }
+}
+
+impl fmt::Display for LinkConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} x {}-lane @ {} Gb/s",
+            self.num_links,
+            self.width.lanes(),
+            self.speed.bits_per_second() / 1_000_000_000
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_gen1() {
+        let s = HmcSpec::of(HmcVersion::Gen1);
+        assert_eq!(s.capacity_bytes(), 512 << 20);
+        assert_eq!(s.dram_layers(), 4);
+        assert_eq!(s.num_quadrants(), 4);
+        assert_eq!(s.num_vaults(), 16);
+        assert_eq!(s.vaults_per_quadrant(), 4);
+        assert_eq!(s.total_banks(), 128);
+        assert_eq!(s.banks_per_vault(), 8);
+        assert_eq!(s.bank_bytes(), 4 << 20);
+        assert_eq!(s.partition_bytes(), 8 << 20);
+    }
+
+    #[test]
+    fn table_1_gen2() {
+        let s = HmcSpec::of(HmcVersion::Gen2);
+        assert_eq!(s.capacity_bytes(), 4 << 30);
+        assert_eq!(s.dram_layers(), 8);
+        assert_eq!(s.num_vaults(), 16);
+        assert_eq!(s.vaults_per_quadrant(), 4);
+        // Equation 1: 8 layers x 16 partitions x 2 banks = 256 banks.
+        assert_eq!(s.total_banks(), 256);
+        assert_eq!(s.banks_per_vault(), 16);
+        assert_eq!(s.bank_bytes(), 16 << 20);
+        assert_eq!(s.partition_bytes(), 32 << 20);
+    }
+
+    #[test]
+    fn table_1_hmc2() {
+        let s = HmcSpec::of(HmcVersion::Hmc2);
+        assert_eq!(s.num_vaults(), 32);
+        assert_eq!(s.vaults_per_quadrant(), 8);
+        assert_eq!(s.total_banks(), 512);
+        assert_eq!(s.bank_bytes(), 16 << 20);
+    }
+
+    #[test]
+    fn field_widths() {
+        let s = HmcSpec::of(HmcVersion::Gen2);
+        assert_eq!(s.vault_bits(), 4);
+        assert_eq!(s.bank_bits(), 4);
+        assert_eq!(s.quadrant_bits(), 2);
+        let g1 = HmcSpec::of(HmcVersion::Gen1);
+        assert_eq!(g1.bank_bits(), 3);
+    }
+
+    #[test]
+    fn equation_2_peak_bandwidth() {
+        // 2 links x 8 lanes x 15 Gb/s x 2 (full duplex) = 480 Gb/s = 60 GB/s.
+        let l = LinkConfig::ac510();
+        assert_eq!(l.peak_bandwidth_bytes_per_sec(), 60_000_000_000);
+        assert_eq!(l.directional_bandwidth_bytes_per_sec(), 30_000_000_000);
+        assert_eq!(l.link_bytes_per_sec(), 15_000_000_000);
+    }
+
+    #[test]
+    fn four_full_links() {
+        let l = LinkConfig::new(4, LinkWidth::Full, LinkSpeed::G15).unwrap();
+        // 4 x 16 x 15 x 2 = 1920 Gb/s = 240 GB/s.
+        assert_eq!(l.peak_bandwidth_bytes_per_sec(), 240_000_000_000);
+    }
+
+    #[test]
+    fn invalid_link_count_rejected() {
+        assert!(matches!(
+            LinkConfig::new(3, LinkWidth::Half, LinkSpeed::G10),
+            Err(HmcError::InvalidLinkCount(3))
+        ));
+    }
+
+    #[test]
+    fn serialization_time() {
+        let l = LinkConfig::ac510();
+        // One 16 B flit over 8 lanes at 15 Gb/s: 128 bits / 120 Gb/s
+        // = 1066 ps (rounded down).
+        assert_eq!(l.serialize_ps(16), 1066);
+        // A 9-flit read response (144 B) takes 9x as long.
+        assert_eq!(l.serialize_ps(144), 9600);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert!(format!("{}", HmcSpec::default()).contains("HMC 1.1"));
+        assert!(format!("{}", LinkConfig::ac510()).contains("8-lane"));
+        assert!(format!("{}", HmcVersion::Hmc2).contains("2.0"));
+    }
+}

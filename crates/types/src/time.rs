@@ -1,0 +1,386 @@
+//! Picosecond-resolution simulation time.
+//!
+//! The whole workspace uses a single integer time base of **picoseconds** so
+//! that the three clock domains of the modelled system — the 187.5 MHz FPGA
+//! fabric, the 15 Gb/s SerDes lanes, and the internal DRAM timing — can be
+//! expressed exactly without floating-point drift.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute instant on the simulation timeline, in picoseconds since the
+/// start of the simulation.
+///
+/// ```
+/// use hmc_types::time::{Time, TimeDelta};
+///
+/// let t = Time::ZERO + TimeDelta::from_ns(5);
+/// assert_eq!(t.as_ps(), 5_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// A span of simulation time, in picoseconds.
+///
+/// ```
+/// use hmc_types::time::TimeDelta;
+///
+/// let d = TimeDelta::from_us(2) + TimeDelta::from_ns(500);
+/// assert_eq!(d.as_ns_f64(), 2_500.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TimeDelta(u64);
+
+impl Time {
+    /// The origin of the simulation timeline.
+    pub const ZERO: Time = Time(0);
+    /// A sentinel later than any reachable simulation instant.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Raw picosecond value.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in nanoseconds (lossy).
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This instant expressed in microseconds (lossy).
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This instant expressed in seconds (lossy).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is after `self`.
+    pub fn since(self, earlier: Time) -> TimeDelta {
+        debug_assert!(earlier.0 <= self.0, "since() called with a later instant");
+        TimeDelta(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating add that never wraps past [`Time::MAX`].
+    pub fn saturating_add(self, delta: TimeDelta) -> Time {
+        Time(self.0.saturating_add(delta.0))
+    }
+}
+
+impl TimeDelta {
+    /// A zero-length span.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Creates a span from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        TimeDelta(ps)
+    }
+
+    /// Creates a span from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        TimeDelta(ns * 1_000)
+    }
+
+    /// Creates a span from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        TimeDelta(us * 1_000_000)
+    }
+
+    /// Creates a span from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        TimeDelta(ms * 1_000_000_000)
+    }
+
+    /// Creates a span from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        TimeDelta(s * 1_000_000_000_000)
+    }
+
+    /// Creates a span from fractional seconds, rounding to the nearest
+    /// picosecond.
+    pub fn from_secs_f64(s: f64) -> Self {
+        TimeDelta((s * 1e12).round() as u64)
+    }
+
+    /// Raw picosecond value.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// This span in nanoseconds (lossy).
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This span in microseconds (lossy).
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// This span in seconds (lossy).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by an integer factor, saturating on overflow.
+    pub fn saturating_mul(self, factor: u64) -> TimeDelta {
+        TimeDelta(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<TimeDelta> for Time {
+    type Output = Time;
+    fn add(self, rhs: TimeDelta) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<TimeDelta> for Time {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<TimeDelta> for Time {
+    type Output = Time;
+    fn sub(self, rhs: TimeDelta) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub for Time {
+    type Output = TimeDelta;
+    fn sub(self, rhs: Time) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl Add for TimeDelta {
+    type Output = TimeDelta;
+    fn add(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimeDelta {
+    fn add_assign(&mut self, rhs: TimeDelta) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimeDelta {
+    type Output = TimeDelta;
+    fn sub(self, rhs: TimeDelta) -> TimeDelta {
+        TimeDelta(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for TimeDelta {
+    fn sub_assign(&mut self, rhs: TimeDelta) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for TimeDelta {
+    type Output = TimeDelta;
+    fn mul(self, rhs: u64) -> TimeDelta {
+        TimeDelta(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for TimeDelta {
+    type Output = TimeDelta;
+    fn div(self, rhs: u64) -> TimeDelta {
+        TimeDelta(self.0 / rhs)
+    }
+}
+
+impl Sum for TimeDelta {
+    fn sum<I: Iterator<Item = TimeDelta>>(iter: I) -> Self {
+        iter.fold(TimeDelta::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} ns", self.as_ns_f64())
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.as_us_f64())
+        } else {
+            write!(f, "{:.3} ns", self.as_ns_f64())
+        }
+    }
+}
+
+/// A clock frequency, stored as an exact period in picoseconds.
+///
+/// The modelled FPGA fabric runs at 187.5 MHz, whose period (5333.3 ps) does
+/// not divide evenly into picoseconds; [`Frequency::from_mhz_exact`] keeps a
+/// rational period so that cycle arithmetic stays deterministic.
+///
+/// ```
+/// use hmc_types::time::Frequency;
+///
+/// let fpga = Frequency::FPGA_187_5_MHZ;
+/// // Ten FPGA cycles are the paper's 53.3 ns FlitsToParallel latency.
+/// assert_eq!(fpga.cycles(10).as_ns_f64().round(), 53.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frequency {
+    /// Period numerator in picoseconds.
+    period_num: u64,
+    /// Period denominator.
+    period_den: u64,
+}
+
+impl Frequency {
+    /// The 187.5 MHz clock of the Kintex UltraScale GUPS design
+    /// (period = 16/3 ns).
+    pub const FPGA_187_5_MHZ: Frequency = Frequency {
+        period_num: 16_000,
+        period_den: 3,
+    };
+
+    /// Creates a frequency from megahertz with an exact rational period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero.
+    pub fn from_mhz_exact(mhz: u64) -> Self {
+        assert!(mhz > 0, "frequency must be non-zero");
+        // period = 1 / (mhz * 1e6) s = 1e6 / mhz ps
+        Frequency {
+            period_num: 1_000_000,
+            period_den: mhz,
+        }
+    }
+
+    /// The span covered by `n` whole cycles, rounded down to a picosecond.
+    pub fn cycles(self, n: u64) -> TimeDelta {
+        TimeDelta(self.period_num * n / self.period_den)
+    }
+
+    /// The period of one cycle, rounded down to a picosecond.
+    pub fn period(self) -> TimeDelta {
+        self.cycles(1)
+    }
+
+    /// The frequency in hertz (lossy).
+    pub fn as_hz_f64(self) -> f64 {
+        1e12 * self.period_den as f64 / self.period_num as f64
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} MHz", self.as_hz_f64() / 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_roundtrips_units() {
+        assert_eq!(TimeDelta::from_ns(1).as_ps(), 1_000);
+        assert_eq!(TimeDelta::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(TimeDelta::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(TimeDelta::from_secs(1).as_ps(), 1_000_000_000_000);
+        assert_eq!(TimeDelta::from_secs_f64(0.5).as_ps(), 500_000_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = Time::from_ps(100);
+        let t1 = t0 + TimeDelta::from_ps(50);
+        assert_eq!(t1.as_ps(), 150);
+        assert_eq!((t1 - t0).as_ps(), 50);
+        assert_eq!(t1.since(t0).as_ps(), 50);
+        let mut t = t0;
+        t += TimeDelta::from_ps(10);
+        assert_eq!(t.as_ps(), 110);
+        assert_eq!((t - TimeDelta::from_ps(10)).as_ps(), 100);
+    }
+
+    #[test]
+    fn delta_arithmetic() {
+        let a = TimeDelta::from_ns(3);
+        let b = TimeDelta::from_ns(2);
+        assert_eq!((a + b).as_ps(), 5_000);
+        assert_eq!((a - b).as_ps(), 1_000);
+        assert_eq!((a * 4).as_ps(), 12_000);
+        assert_eq!((a / 3).as_ps(), 1_000);
+        let sum: TimeDelta = vec![a, b, b].into_iter().sum();
+        assert_eq!(sum.as_ps(), 7_000);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Time::MAX.saturating_add(TimeDelta::from_ns(1)), Time::MAX);
+        assert_eq!(
+            TimeDelta::from_ps(u64::MAX).saturating_mul(2).as_ps(),
+            u64::MAX
+        );
+    }
+
+    #[test]
+    fn fpga_clock_is_exact() {
+        let f = Frequency::FPGA_187_5_MHZ;
+        // 3 cycles of 187.5 MHz are exactly 16 ns.
+        assert_eq!(f.cycles(3).as_ps(), 16_000);
+        // 10 cycles round down to 53.333 ns -> 53333 ps.
+        assert_eq!(f.cycles(10).as_ps(), 53_333);
+        assert!((f.as_hz_f64() - 187.5e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn from_mhz_exact_periods() {
+        let f = Frequency::from_mhz_exact(200);
+        assert_eq!(f.period().as_ps(), 5_000);
+        assert_eq!(f.cycles(4).as_ps(), 20_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_frequency_panics() {
+        let _ = Frequency::from_mhz_exact(0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", TimeDelta::from_ns(5)), "5.000 ns");
+        assert_eq!(format!("{}", TimeDelta::from_us(2)), "2.000 us");
+        assert_eq!(format!("{}", Time::from_ps(1500)), "1.500 ns");
+        assert_eq!(format!("{}", Frequency::from_mhz_exact(100)), "100.0 MHz");
+    }
+
+    #[test]
+    fn since_is_saturating_in_release() {
+        let t0 = Time::from_ps(10);
+        let t1 = Time::from_ps(30);
+        assert_eq!(t1.since(t0).as_ps(), 20);
+    }
+}

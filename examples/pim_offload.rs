@@ -1,0 +1,68 @@
+//! Processing-in-memory offload study.
+//!
+//! The paper's closing argument: 3D stacks invite near-memory compute,
+//! but temperature is the new budget. This example sizes a GUPS-style
+//! update kernel three ways — how fast the logic-layer fabric runs it,
+//! how much cooler it must run under each fan configuration, and what a
+//! software-visible in-stack access costs.
+//!
+//! Run with: `cargo run --release -p hmc-pim --example pim_offload`
+
+use hmc_pim::experiments::{measure_pim, thermal_envelope};
+use hmc_pim::{PimConfig, PimLocality, PimSystem};
+use hmc_thermal::{CoolingConfig, FailurePolicy};
+use hmc_types::TimeDelta;
+
+fn main() {
+    let mem = hmc_mem::MemConfig::default();
+    let window = TimeDelta::from_us(200);
+
+    // 1. Throughput and latency of the in-stack fabric.
+    println!("In-stack GUPS updates (16 units, vault-local):");
+    let m = measure_pim(&mem, &PimConfig::default(), &CoolingConfig::cfg1(), window);
+    println!("  updates          : {:.1} M/s", m.ops_per_sec / 1e6);
+    println!("  bank data moved  : {:.1} GB/s", m.data_gbs);
+    println!("  in-stack latency : {:.0} ns mean", m.mem_latency_ns);
+    println!("  stack power      : {:.1} W", m.stack_power_w);
+    println!("  surface (Cfg1)   : {:.1} C\n", m.surface_c);
+
+    // 2. Locality matters even inside the stack.
+    let uniform = PimConfig {
+        locality: PimLocality::Uniform,
+        ..PimConfig::default()
+    };
+    let mu = measure_pim(&mem, &uniform, &CoolingConfig::cfg1(), window);
+    println!(
+        "Uniform (cross-vault) addressing: {:.1} M/s at {:.0} ns — \
+         vault-local wins {:.2}x on latency.\n",
+        mu.ops_per_sec / 1e6,
+        mu.mem_latency_ns,
+        mu.mem_latency_ns / m.mem_latency_ns
+    );
+
+    // 3. The thermal envelope per cooling configuration.
+    println!("Thermal envelope (write limit {} C):", FailurePolicy::default().write_limit_c);
+    for row in thermal_envelope(&mem, &PimConfig::default(), &FailurePolicy::default(), window) {
+        println!(
+            "  {}: {:>7.1} M updates/s at {:.1} C{}",
+            row.cooling,
+            row.max_ops_per_sec / 1e6,
+            row.surface_c,
+            if row.unconstrained { "" } else { " (throttled)" }
+        );
+    }
+
+    // 4. Data integrity through the PIM path.
+    let tracked = hmc_mem::MemConfig {
+        track_data: true,
+        ..hmc_mem::MemConfig::default()
+    };
+    let mut sys = PimSystem::new(tracked, PimConfig::default());
+    sys.run_for(TimeDelta::from_us(100));
+    let store = sys.device().store().expect("tracking on");
+    println!(
+        "\nIntegrity: {} atoms written in-stack, {} reads served.",
+        store.atoms_written(),
+        store.read_count()
+    );
+}

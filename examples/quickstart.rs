@@ -1,0 +1,40 @@
+//! Quickstart: build the modelled AC-510 + HMC 1.1 system, drive it with
+//! full-scale GUPS, and print the headline numbers.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hmc_core::measure::{run_measurement, MeasureConfig};
+use hmc_core::{SystemConfig, Table};
+use hmc_host::Workload;
+use hmc_types::{RequestKind, RequestSize};
+
+fn main() {
+    let cfg = SystemConfig::default();
+    println!("Device : {}", cfg.mem.spec);
+    println!("Links  : {}", cfg.mem.links);
+    println!(
+        "Peak   : {} GB/s bidirectional (Equation 2)\n",
+        cfg.mem.links.peak_bandwidth_bytes_per_sec() / 1_000_000_000
+    );
+
+    let mc = MeasureConfig::standard();
+    let mut table = Table::new(
+        "Full-scale GUPS, 128 B random accesses over the whole cube",
+        &["kind", "bandwidth GB/s", "MRPS", "mean read latency ns"],
+    );
+    for kind in RequestKind::ALL {
+        let m = run_measurement(
+            &cfg,
+            &Workload::full_scale(kind, RequestSize::MAX),
+            &mc,
+        );
+        table.row(vec![
+            kind.to_string(),
+            format!("{:.1}", m.bandwidth_gbs),
+            format!("{:.1}", m.mrps),
+            format!("{:.0}", m.mean_latency_ns()),
+        ]);
+    }
+    println!("{table}");
+    println!("Expected shape (paper Fig. 7): rw > ro > wo, with rw ~ 2x wo.");
+}

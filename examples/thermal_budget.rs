@@ -1,0 +1,91 @@
+//! Thermal budgeting for a near-memory (PIM-style) deployment.
+//!
+//! The paper's motivation: putting compute next to a 3D stack raises its
+//! temperature, and write-heavy workloads hit the wall ~10 °C earlier.
+//! This example sweeps the four cooling environments for each request
+//! kind, reports which combinations thermally fail, and prices the
+//! cooling power needed to hold a safe temperature as bandwidth grows.
+//!
+//! Run with: `cargo run --release --example thermal_budget`
+
+use hmc_core::experiments::thermal::{figure12, thermal_operating_point};
+use hmc_core::measure::MeasureConfig;
+use hmc_core::{AccessPattern, SystemConfig, Table};
+use hmc_power::PowerModel;
+use hmc_thermal::{CoolingConfig, FailurePolicy, RecoveryStep};
+use hmc_types::RequestKind;
+
+fn main() {
+    let cfg = SystemConfig::default();
+    let mc = MeasureConfig::standard();
+    let power = PowerModel::default();
+    let policy = FailurePolicy::default();
+
+    let mut table = Table::new(
+        "Settled surface temperature (C) at full 16-vault load",
+        &["kind", "Cfg1", "Cfg2", "Cfg3", "Cfg4"],
+    );
+    let mut outcomes = Vec::new();
+    for kind in RequestKind::ALL {
+        let mut row = vec![kind.to_string()];
+        for cooling in CoolingConfig::all() {
+            let o = thermal_operating_point(
+                &cfg,
+                kind,
+                AccessPattern::Vaults(16),
+                &cooling,
+                &mc,
+                &power,
+                &policy,
+            );
+            row.push(match o.failure {
+                Some(t) => format!("FAIL@{t:.0}"),
+                None => format!(
+                    "{:.1}{}",
+                    o.surface_c,
+                    if o.refresh_boosted { "*" } else { "" }
+                ),
+            });
+            outcomes.push(o);
+        }
+        table.row(row);
+    }
+    println!("{table}");
+    println!("(* = hot regime: refresh rate doubled)\n");
+
+    // The cooling-power fit needs operating points spanning a bandwidth
+    // range, so add narrower patterns at Cfg2.
+    for pattern in [
+        AccessPattern::Vaults(1),
+        AccessPattern::Banks(4),
+        AccessPattern::Banks(1),
+    ] {
+        outcomes.push(thermal_operating_point(
+            &cfg,
+            RequestKind::ReadOnly,
+            pattern,
+            &CoolingConfig::cfg2(),
+            &mc,
+            &power,
+            &policy,
+        ));
+    }
+    println!("Cooling power to hold 55 C as read bandwidth grows (Fig. 12):");
+    for line in figure12(&outcomes, &[55.0]) {
+        if line.kind != RequestKind::ReadOnly {
+            continue;
+        }
+        for (bw, w) in &line.points {
+            println!("  {bw:5.1} GB/s -> {w:5.2} W of cooling");
+        }
+    }
+
+    println!("\nIf a write workload does trip the limit, recovery takes:");
+    for step in RecoveryStep::sequence() {
+        println!(
+            "  - {step} (~{:.1} s)",
+            step.typical_duration().as_secs_f64()
+        );
+    }
+    println!("and all DRAM contents are lost — checkpoint accordingly.");
+}

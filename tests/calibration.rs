@@ -1,0 +1,194 @@
+//! Calibration suite: the headline shape targets from the paper, checked
+//! end to end against the assembled system.
+//!
+//! These are the acceptance criteria of DESIGN.md §4 — not absolute-number
+//! matches (our substrate is a simulator, not the authors' testbed), but
+//! the orderings, ratios, and crossovers the paper reports.
+
+use hmc_core::measure::{run_measurement, run_stream, MeasureConfig};
+use hmc_core::{AccessPattern, SystemConfig};
+use hmc_host::controller::infrastructure_latency;
+use hmc_host::Workload;
+use hmc_types::{RequestKind, RequestSize, TimeDelta};
+
+fn mc() -> MeasureConfig {
+    MeasureConfig {
+        warmup: TimeDelta::from_us(50),
+        window: TimeDelta::from_us(300),
+    }
+}
+
+fn pattern_bw(kind: RequestKind, pattern: AccessPattern, size: u64) -> f64 {
+    let cfg = SystemConfig::default();
+    let mask = pattern.mask(cfg.mem.mapping, &cfg.mem.spec).unwrap();
+    run_measurement(
+        &cfg,
+        &Workload::masked(kind, RequestSize::new(size).unwrap(), mask),
+        &mc(),
+    )
+    .bandwidth_gbs
+}
+
+#[test]
+fn headline_read_bandwidth_near_21_gbs() {
+    let bw = pattern_bw(RequestKind::ReadOnly, AccessPattern::Vaults(16), 128);
+    assert!((17.0..24.0).contains(&bw), "ro 128 B 16 vaults: {bw} GB/s");
+}
+
+#[test]
+fn headline_kind_ordering_rw_ro_wo() {
+    let ro = pattern_bw(RequestKind::ReadOnly, AccessPattern::Vaults(16), 128);
+    let rw = pattern_bw(RequestKind::ReadModifyWrite, AccessPattern::Vaults(16), 128);
+    let wo = pattern_bw(RequestKind::WriteOnly, AccessPattern::Vaults(16), 128);
+    assert!(rw > ro && ro > wo, "ordering rw({rw}) > ro({ro}) > wo({wo})");
+    let ratio = rw / wo;
+    assert!((1.6..2.4).contains(&ratio), "rw ≈ 2·wo, got {ratio}");
+}
+
+#[test]
+fn headline_single_vault_ceiling_near_10_gbs() {
+    let bw = pattern_bw(RequestKind::ReadOnly, AccessPattern::Vaults(1), 128);
+    assert!((8.0..12.0).contains(&bw), "1-vault ceiling: {bw} GB/s");
+}
+
+#[test]
+fn headline_eight_banks_saturate_a_vault() {
+    let eight = pattern_bw(RequestKind::ReadOnly, AccessPattern::Banks(8), 128);
+    let one_vault = pattern_bw(RequestKind::ReadOnly, AccessPattern::Vaults(1), 128);
+    // "Accessing more than eight banks of a vault does not affect the
+    // bandwidth": 8 banks within ~20 % of the full vault.
+    assert!(
+        (eight - one_vault).abs() / one_vault < 0.2,
+        "8 banks {eight} vs 1 vault {one_vault}"
+    );
+    // And the sub-vault patterns scale with bank count.
+    let one = pattern_bw(RequestKind::ReadOnly, AccessPattern::Banks(1), 128);
+    let four = pattern_bw(RequestKind::ReadOnly, AccessPattern::Banks(4), 128);
+    assert!((3.0..5.0).contains(&(four / one)), "4-bank scaling {}", four / one);
+}
+
+#[test]
+fn headline_one_bank_bandwidth_near_1_3_gbs() {
+    // The paper's Little's-law numbers imply ≈1.25 GB/s counted for one
+    // bank (Fig 16: 24.2 µs at ≈190 outstanding 128 B requests).
+    let bw = pattern_bw(RequestKind::ReadOnly, AccessPattern::Banks(1), 128);
+    assert!((0.9..1.8).contains(&bw), "1-bank: {bw} GB/s");
+}
+
+#[test]
+fn headline_low_load_latency_splits() {
+    // Paper: minimum read round-trip ≈655 ns (16 B) to ≈711 ns (128 B),
+    // of which ≈547 ns is FPGA infrastructure, ≈125 ns in the cube.
+    let cfg = SystemConfig::default();
+    let min_of = |bytes: u64| {
+        let (h, _) = run_stream(
+            &cfg,
+            &Workload::read_stream(1, RequestSize::new(bytes).unwrap()),
+        );
+        h.min().unwrap().as_ns_f64()
+    };
+    let small = min_of(16);
+    let large = min_of(128);
+    assert!((520.0..800.0).contains(&small), "16 B min latency {small}");
+    assert!((560.0..850.0).contains(&large), "128 B min latency {large}");
+    assert!(large > small, "latency grows with size: {small} -> {large}");
+    assert!(
+        (20.0..110.0).contains(&(large - small)),
+        "size spread {} (paper: 56 ns)",
+        large - small
+    );
+    let infra = infrastructure_latency(
+        &cfg.host.tx,
+        &cfg.host.rx,
+        RequestSize::MAX,
+        cfg.host.frequency,
+    )
+    .as_ns_f64();
+    let in_cube = large - infra;
+    assert!(
+        (70.0..280.0).contains(&in_cube),
+        "in-cube share {in_cube} (paper: ≈125 ns average)"
+    );
+}
+
+#[test]
+fn headline_high_load_latency_is_order_of_magnitude_larger() {
+    // Paper: high-load average ≈12× the low-load average.
+    let cfg = SystemConfig::default();
+    let (low, _) = run_stream(&cfg, &Workload::read_stream(4, RequestSize::MAX));
+    let low_avg = low.mean().as_ns_f64();
+    let high = run_measurement(
+        &cfg,
+        &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+        &mc(),
+    );
+    let ratio = high.mean_latency_ns() / low_avg;
+    assert!((4.0..25.0).contains(&ratio), "high/low latency ratio {ratio}");
+}
+
+#[test]
+fn headline_one_bank_high_load_latency_tens_of_us() {
+    // Paper Figure 16: 24,233 ns for 128 B requests to a single bank.
+    let cfg = SystemConfig::default();
+    let mask = AccessPattern::Banks(1)
+        .mask(cfg.mem.mapping, &cfg.mem.spec)
+        .unwrap();
+    let m = run_measurement(
+        &cfg,
+        &Workload::masked(RequestKind::ReadOnly, RequestSize::MAX, mask),
+        &mc(),
+    );
+    let us = m.mean_latency_ns() / 1000.0;
+    assert!((12.0..40.0).contains(&us), "1-bank high-load latency {us} µs");
+}
+
+#[test]
+fn headline_sixteen_vault_high_load_latency_microseconds() {
+    // Paper Figure 16: 1,966 ns for 32 B across 16 vaults; a few µs at
+    // 128 B.
+    let m32 = run_measurement(
+        &SystemConfig::default(),
+        &Workload::full_scale(RequestKind::ReadOnly, RequestSize::new(32).unwrap()),
+        &mc(),
+    );
+    let ns32 = m32.mean_latency_ns();
+    assert!((1_200.0..4_500.0).contains(&ns32), "32 B 16-vault {ns32} ns");
+    let m128 = run_measurement(
+        &SystemConfig::default(),
+        &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+        &mc(),
+    );
+    assert!(
+        m128.mean_latency_ns() > ns32,
+        "128 B slower than 32 B under load"
+    );
+}
+
+#[test]
+fn headline_mrps_doubles_for_small_requests() {
+    // Paper Figure 8: at 16 vaults, 32 B requests complete roughly twice
+    // as many operations per second as 128 B requests.
+    let small = run_measurement(
+        &SystemConfig::default(),
+        &Workload::full_scale(RequestKind::ReadOnly, RequestSize::new(32).unwrap()),
+        &mc(),
+    );
+    let large = run_measurement(
+        &SystemConfig::default(),
+        &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+        &mc(),
+    );
+    let ratio = small.mrps / large.mrps;
+    assert!((1.4..2.4).contains(&ratio), "MRPS ratio {ratio}");
+}
+
+#[test]
+fn headline_peak_bandwidth_equation() {
+    // Equation 2: the configured link arrangement peaks at 60 GB/s; the
+    // measured read ceiling uses roughly a third of it (bidirectional
+    // counting, response-direction bound).
+    let cfg = SystemConfig::default();
+    assert_eq!(cfg.mem.links.peak_bandwidth_bytes_per_sec(), 60_000_000_000);
+    let bw = pattern_bw(RequestKind::ReadOnly, AccessPattern::Vaults(16), 128);
+    assert!(bw < 30.0, "counted bandwidth below directional raw capacity");
+}

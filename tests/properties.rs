@@ -1,0 +1,353 @@
+//! Property-based tests (proptest) over the core data structures and
+//! model invariants.
+
+use hmc_core::AccessPattern;
+use hmc_types::address::{Address, AddressMapping, AddressMask, MaxBlockSize};
+use hmc_types::packet::{wire_bytes_per_access, OpKind, RequestSize, TransactionSizes};
+use hmc_types::{HmcSpec, RequestKind, Time, TimeDelta};
+use proptest::prelude::*;
+use sim_engine::{BoundedQueue, EventQueue, Histogram, LinearFit, SplitMix64};
+
+fn arb_block() -> impl Strategy<Value = MaxBlockSize> {
+    prop_oneof![
+        Just(MaxBlockSize::B16),
+        Just(MaxBlockSize::B32),
+        Just(MaxBlockSize::B64),
+        Just(MaxBlockSize::B128),
+    ]
+}
+
+fn arb_size() -> impl Strategy<Value = RequestSize> {
+    (1u64..=8).prop_map(|f| RequestSize::new(f * 16).unwrap())
+}
+
+proptest! {
+    /// Decoding any address yields coordinates within the geometry, and
+    /// re-encoding the (vault, bank, row) triple round-trips.
+    #[test]
+    fn address_decode_in_range_and_roundtrips(
+        raw in 0u64..(1 << 34),
+        block in arb_block(),
+    ) {
+        let spec = HmcSpec::default();
+        let map = AddressMapping::new(block);
+        let loc = map.decode(Address::new(raw), &spec);
+        prop_assert!((loc.vault.index() as u32) < spec.num_vaults());
+        prop_assert!((loc.bank.index() as u32) < spec.banks_per_vault());
+        prop_assert!((loc.quadrant.index() as u32) < spec.num_quadrants());
+        prop_assert_eq!(
+            loc.quadrant.index(),
+            loc.vault.index() / spec.vaults_per_quadrant() as u16
+        );
+        let re = map.encode(loc.vault, loc.bank, loc.row, &spec);
+        let loc2 = map.decode(re, &spec);
+        prop_assert_eq!(loc.vault, loc2.vault);
+        prop_assert_eq!(loc.bank, loc2.bank);
+        prop_assert_eq!(loc.row, loc2.row);
+    }
+
+    /// Masking is idempotent and forced bits really are forced.
+    #[test]
+    fn mask_idempotent_and_forcing(
+        raw in any::<u64>(),
+        lo in 0u32..30,
+        width in 1u32..8,
+    ) {
+        let hi = lo + width - 1;
+        let mask = AddressMask::zero_bits(lo, hi);
+        let once = mask.apply(Address::new(raw));
+        let twice = mask.apply(once);
+        prop_assert_eq!(once, twice);
+        prop_assert_eq!(once.as_u64() & mask.zero_mask(), 0);
+    }
+
+    /// Consecutive blocks always land in different vaults until the vault
+    /// field wraps (low-order interleave).
+    #[test]
+    fn interleave_spreads_consecutive_blocks(start_block in 0u64..1_000_000) {
+        let spec = HmcSpec::default();
+        let map = AddressMapping::default();
+        let a = map.decode(Address::new(start_block * 128), &spec);
+        let b = map.decode(Address::new((start_block + 1) * 128), &spec);
+        let expected = (a.vault.index() + 1) % 16;
+        prop_assert_eq!(b.vault.index(), expected);
+    }
+
+    /// Table II arithmetic: total wire bytes are payload plus exactly one
+    /// overhead flit per packet, for every op and size.
+    #[test]
+    fn packet_overhead_is_one_flit_each_way(size in arb_size()) {
+        let read = TransactionSizes::of(OpKind::Read, size);
+        let write = TransactionSizes::of(OpKind::Write, size);
+        prop_assert_eq!(read.total_wire_bytes(), size.bytes() + 32);
+        prop_assert_eq!(write.total_wire_bytes(), size.bytes() + 32);
+        prop_assert_eq!(
+            wire_bytes_per_access(RequestKind::ReadModifyWrite, size),
+            2 * (size.bytes() + 32)
+        );
+    }
+
+    /// Every valid access pattern's mask confines traffic to exactly the
+    /// advertised number of banks.
+    #[test]
+    fn pattern_masks_reach_exactly_their_banks(
+        pow in 0u32..5,
+        vaults_not_banks in any::<bool>(),
+        samples in prop::collection::vec(0u64..(1 << 32), 64),
+    ) {
+        let n = 1 << pow;
+        let spec = HmcSpec::default();
+        let map = AddressMapping::default();
+        let pattern = if vaults_not_banks {
+            AccessPattern::Vaults(n)
+        } else {
+            AccessPattern::Banks(n)
+        };
+        let mask = pattern.mask(map, &spec).unwrap();
+        let mut banks = std::collections::BTreeSet::new();
+        for raw in samples {
+            let loc = map.decode(mask.apply(Address::new(raw & !0xF)), &spec);
+            banks.insert((loc.vault.index(), loc.bank.index()));
+            prop_assert!((loc.vault.index() as u32) < pattern.vault_count().max(1));
+        }
+        prop_assert!(banks.len() as u32 <= pattern.bank_count(&spec));
+    }
+
+    /// The event queue is a stable priority queue: pops are sorted by
+    /// time, ties by insertion order.
+    #[test]
+    fn event_queue_is_stable_sorted(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(Time::from_ps(t), i);
+        }
+        let mut last: Option<(Time, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t >= lt);
+                if t == lt {
+                    prop_assert!(i > li, "FIFO order for equal times");
+                }
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// A bounded queue never exceeds capacity and preserves FIFO order.
+    #[test]
+    fn bounded_queue_capacity_and_order(
+        cap in 1usize..32,
+        ops in prop::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut q = BoundedQueue::new(cap);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        let mut next = 0u32;
+        for (i, push) in ops.into_iter().enumerate() {
+            let now = Time::from_ps(i as u64);
+            if push {
+                let fits = model.len() < cap;
+                let r = q.try_push(next, now);
+                prop_assert_eq!(r.is_ok(), fits);
+                if fits {
+                    model.push_back(next);
+                }
+                next += 1;
+            } else {
+                prop_assert_eq!(q.pop(now), model.pop_front());
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert!(q.len() <= cap);
+        }
+    }
+
+    /// Histogram moments match a reference computation.
+    #[test]
+    fn histogram_matches_reference(samples in prop::collection::vec(1u64..10_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(TimeDelta::from_ps(s));
+        }
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        let mean = samples.iter().sum::<u64>() / samples.len() as u64;
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        prop_assert_eq!(h.min().unwrap().as_ps(), min);
+        prop_assert_eq!(h.max().unwrap().as_ps(), max);
+        prop_assert_eq!(h.mean().as_ps(), mean);
+        let q0 = h.quantile(0.0).unwrap().as_ps();
+        let q1 = h.quantile(1.0).unwrap().as_ps();
+        prop_assert_eq!(q0, min);
+        prop_assert_eq!(q1, max);
+    }
+
+    /// Linear regression recovers exact lines from noiseless samples.
+    #[test]
+    fn regression_recovers_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        xs in prop::collection::btree_set(-1000i32..1000, 2..50),
+    ) {
+        let pts: Vec<(f64, f64)> = xs
+            .into_iter()
+            .map(|x| (x as f64, slope * x as f64 + intercept))
+            .collect();
+        let fit = LinearFit::fit(&pts).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()) + 1e-4);
+    }
+
+    /// SplitMix64 bounded draws respect their bound for arbitrary seeds.
+    #[test]
+    fn rng_bounded(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut r = SplitMix64::new(seed);
+        for _ in 0..100 {
+            prop_assert!(r.next_below(bound) < bound);
+        }
+    }
+
+    /// DRAM-beat law: every size costs ceil(bytes/32) beats, at least 1.
+    #[test]
+    fn dram_beats_law(size in arb_size()) {
+        let beats = size.dram_beats();
+        prop_assert_eq!(beats, size.bytes().div_ceil(32));
+        prop_assert!((1..=4).contains(&beats));
+    }
+
+    /// A token bucket never over-grants: across any request pattern the
+    /// total granted is bounded by capacity + rate x elapsed.
+    #[test]
+    fn token_bucket_never_overgrants(
+        rate_khz in 1u64..1_000,
+        cap in 1u64..64,
+        asks in prop::collection::vec((1u64..8, 1u64..10_000), 1..100),
+    ) {
+        let rate = rate_khz as f64 * 1e3;
+        let mut b = sim_engine::TokenBucket::new(rate, cap);
+        let mut now = Time::ZERO;
+        let mut granted = 0u64;
+        for (n, dt_ns) in asks {
+            now = now + TimeDelta::from_ns(dt_ns);
+            if n <= cap && b.try_take(n, now) {
+                granted += n;
+            }
+        }
+        let bound = cap as f64 + rate * now.as_secs_f64() + 1.0;
+        prop_assert!((granted as f64) <= bound, "granted {granted} > bound {bound}");
+    }
+
+    /// Combined mask and anti-mask never disagree: forced-one bits are
+    /// one, forced-zero bits are zero, untouched bits pass through.
+    #[test]
+    fn anti_mask_respects_all_fields(
+        raw in any::<u64>(),
+        zero_lo in 0u32..12,
+        one_lo in 16u32..28,
+    ) {
+        let mask = AddressMask::zero_bits(zero_lo, zero_lo + 3)
+            .with_one_bits(one_lo, one_lo + 3);
+        let a = mask.apply(Address::new(raw)).as_u64();
+        prop_assert_eq!(a & mask.zero_mask(), 0);
+        prop_assert_eq!(a & mask.one_mask(), mask.one_mask());
+        let untouched = !(mask.zero_mask() | mask.one_mask()) & ((1 << 34) - 1);
+        prop_assert_eq!(a & untouched, raw & ((1 << 34) - 1) & untouched);
+    }
+}
+
+mod slow_properties {
+    use super::*;
+    use hmc_core::system::{System, SystemConfig};
+    use hmc_host::workload::{Addressing, PortWorkload};
+    use hmc_host::Workload;
+    use hmc_types::AddressMask;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// Conservation at the full system, for arbitrary workload shapes:
+        /// after generation stops and the system drains, every issued
+        /// request has exactly one response and host/device agree.
+        #[test]
+        fn system_conserves_requests(
+            kind_sel in 0u8..3,
+            size in arb_size(),
+            ports in 1usize..=9,
+            pow in 0u32..5,
+            linear in any::<bool>(),
+        ) {
+            let kind = RequestKind::ALL[kind_sel as usize];
+            let n = 1u32 << pow;
+            let cfg = SystemConfig::default();
+            let mask = AccessPattern::Vaults(n)
+                .mask(cfg.mem.mapping, &cfg.mem.spec)
+                .expect("valid");
+            let mut sys = System::new(cfg);
+            sys.host_mut().apply_workload(&Workload::Continuous {
+                port: PortWorkload {
+                    kind,
+                    size,
+                    addressing: if linear { Addressing::Linear } else { Addressing::Random },
+                    mask,
+                    read_fraction: None,
+                },
+                active_ports: ports,
+            });
+            sys.host_mut().start(Time::ZERO);
+            sys.run_for(TimeDelta::from_us(30));
+            sys.host_mut().stop_generation();
+            prop_assert!(sys.run_until_idle(TimeDelta::from_ms(20)), "drain stalled");
+            let h = sys.host().stats();
+            let d = sys.device().stats();
+            prop_assert_eq!(h.reads_completed, d.reads_completed);
+            prop_assert_eq!(h.writes_completed, d.writes_completed);
+            prop_assert_eq!(
+                h.reads_issued + h.writes_issued,
+                h.reads_completed + h.writes_completed
+            );
+            prop_assert_eq!(sys.host().outstanding(), 0);
+            prop_assert!(h.reads_completed + h.writes_completed > 0);
+        }
+
+        /// The same conservation holds with lane errors injected: retries
+        /// delay packets but never lose them.
+        #[test]
+        fn faulty_links_lose_nothing(seedish in 0u64..8) {
+            let mut cfg = SystemConfig::default();
+            cfg.mem.link_layer.bit_error_rate = 1e-5 * (seedish + 1) as f64;
+            let mut sys = System::new(cfg);
+            sys.host_mut().apply_workload(&Workload::full_scale(
+                RequestKind::ReadModifyWrite,
+                RequestSize::MAX,
+            ));
+            sys.host_mut().start(Time::ZERO);
+            sys.run_for(TimeDelta::from_us(30));
+            sys.host_mut().stop_generation();
+            prop_assert!(sys.run_until_idle(TimeDelta::from_ms(20)));
+            let h = sys.host().stats();
+            prop_assert_eq!(
+                h.reads_issued + h.writes_issued,
+                h.reads_completed + h.writes_completed
+            );
+            prop_assert!(sys.device().stats().link_retries > 0, "errors were injected");
+        }
+
+        /// PIM updates conserve: every completed update made exactly one
+        /// read and one write at the banks.
+        #[test]
+        fn pim_updates_conserve(units in 1usize..=16) {
+            let cfg = hmc_pim::PimConfig {
+                units,
+                ..hmc_pim::PimConfig::default()
+            };
+            let mut sys = hmc_pim::PimSystem::new(Default::default(), cfg);
+            sys.run_for(TimeDelta::from_us(40));
+            let d = sys.device().stats();
+            let s = sys.stats();
+            // Writes completed at the banks == updates completed at the
+            // units, modulo in-flight tails.
+            let diff = d.writes_completed.abs_diff(s.updates_completed);
+            prop_assert!(diff <= units as u64 * 8, "writes {} vs updates {}",
+                d.writes_completed, s.updates_completed);
+            prop_assert!(d.reads_completed >= d.writes_completed);
+        }
+    }
+}
