@@ -6,9 +6,9 @@
 use hmc_bench::{bench_mc, print_comparisons, sweep_mc, Comparison};
 use hmc_core::experiments::baseline::{baseline_table, compare, random_access_throughput};
 use hmc_core::experiments::latency::latency_bandwidth_curve;
+use hmc_core::hmc_host::Workload;
 use hmc_core::measure::run_measurement;
 use hmc_core::{AccessPattern, SystemConfig};
-use hmc_core::hmc_host::Workload;
 use hmc_types::{RequestKind, RequestSize, TimeDelta};
 
 fn main() {
@@ -22,7 +22,9 @@ fn main() {
         .collect();
     println!("{}", baseline_table(&rows));
     let (hmc_rand, ddr_rand) = random_access_throughput(&cfg, &mc);
-    println!("Random 128 B read data throughput: HMC {hmc_rand:.1} GB/s vs DDR {ddr_rand:.1} GB/s\n");
+    println!(
+        "Random 128 B read data throughput: HMC {hmc_rand:.1} GB/s vs DDR {ddr_rand:.1} GB/s\n"
+    );
 
     // --- Ablation: bank queue depth ------------------------------------
     println!("## Ablation: per-bank queue depth (4-bank pattern, 128 B)");
@@ -30,8 +32,13 @@ fn main() {
     for depth in [30usize, 60, 120, 240] {
         let mut c = cfg.clone();
         c.mem.vault.bank_queue_depth = depth;
-        let curve = latency_bandwidth_curve(&c, AccessPattern::Banks(4), RequestSize::MAX, &sweep_mc());
-        let o = curve.analysis.points.last().map_or(0.0, |p| p.outstanding());
+        let curve =
+            latency_bandwidth_curve(&c, AccessPattern::Banks(4), RequestSize::MAX, &sweep_mc());
+        let o = curve
+            .analysis
+            .points
+            .last()
+            .map_or(0.0, |p| p.outstanding());
         println!("  depth {depth:>3}: deepest-sweep outstanding {o:>6.0}");
         knee_outstanding.push(o);
     }
@@ -47,7 +54,10 @@ fn main() {
             &Workload::full_scale(RequestKind::WriteOnly, RequestSize::MAX),
             &mc,
         );
-        println!("  drain {gbs:>2} GB/s: wo counted bandwidth {:>5.1} GB/s", m.bandwidth_gbs);
+        println!(
+            "  drain {gbs:>2} GB/s: wo counted bandwidth {:>5.1} GB/s",
+            m.bandwidth_gbs
+        );
         wo_bw.push(m.bandwidth_gbs);
     }
 
@@ -62,7 +72,10 @@ fn main() {
             &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
             &mc,
         );
-        println!("  overhead {ns:>2} ns: ro counted bandwidth {:>5.1} GB/s", m.bandwidth_gbs);
+        println!(
+            "  overhead {ns:>2} ns: ro counted bandwidth {:>5.1} GB/s",
+            m.bandwidth_gbs
+        );
         ro_bw.push(m.bandwidth_gbs);
     }
 

@@ -75,7 +75,11 @@ fn main() {
         .expect("ro line exists");
     let span_bw = ro_line.points.last().unwrap().0 - ro_line.points.first().unwrap().0;
     let span_w = ro_line.points.last().unwrap().1 - ro_line.points.first().unwrap().1;
-    let cooling_per_16 = if span_bw > 0.0 { span_w / span_bw * 16.0 } else { 0.0 };
+    let cooling_per_16 = if span_bw > 0.0 {
+        span_w / span_bw * 16.0
+    } else {
+        0.0
+    };
 
     print_comparisons(
         "Figures 9-12 / Table III",

@@ -12,7 +12,10 @@ fn main() {
     let mc = sweep_mc();
 
     let f17 = figure17(&cfg, &mc);
-    println!("{}", curves_table("Figure 17: 4-bank and 2-bank sweeps", &f17));
+    println!(
+        "{}",
+        curves_table("Figure 17: 4-bank and 2-bank sweeps", &f17)
+    );
 
     // Figure 18 at two representative sizes (all nine patterns).
     let sizes = [RequestSize::new(32).expect("valid"), RequestSize::MAX];

@@ -5,11 +5,11 @@
 
 use hmc_bench::{bench_mc, print_comparisons, Comparison};
 use hmc_core::hmc_host::Workload;
+use hmc_core::hmc_thermal::{CoolingConfig, FailurePolicy};
 use hmc_core::measure::run_measurement;
 use hmc_core::{SystemConfig, Table};
 use hmc_pim::experiments::{measure_pim, thermal_envelope};
 use hmc_pim::PimConfig;
-use hmc_core::hmc_thermal::{CoolingConfig, FailurePolicy};
 use hmc_types::{RequestKind, RequestSize, TimeDelta};
 
 fn main() {
@@ -66,7 +66,11 @@ fn main() {
             r.cooling.to_string(),
             format!("{:.1}", r.max_ops_per_sec / 1e6),
             format!("{:.1}", r.surface_c),
-            if r.unconstrained { "no".into() } else { "yes".into() },
+            if r.unconstrained {
+                "no".into()
+            } else {
+                "yes".into()
+            },
         ]);
     }
     println!("{et}");

@@ -2,10 +2,12 @@
 //! experiments): how fast the event core, device, and full system run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use hmc_core::experiments::bandwidth;
 use hmc_core::hmc_host::Workload;
 use hmc_core::system::{System, SystemConfig};
+use hmc_core::MeasureConfig;
 use hmc_types::{RequestKind, RequestSize, Time, TimeDelta};
-use sim_engine::{EventQueue, SplitMix64};
+use sim_engine::{exec, EventQueue, SplitMix64};
 use std::hint::black_box;
 
 fn bench_event_queue(c: &mut Criterion) {
@@ -72,5 +74,29 @@ fn bench_full_system(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_event_queue, bench_full_system);
+/// Sweep throughput: the Figure 7 grid (27 independent measurement
+/// points) through the parallel executor, serial vs. all cores. The
+/// ratio of the two is the perf-regression headline for the executor;
+/// on a single-core host both report the same time.
+fn bench_sweep(c: &mut Criterion) {
+    let mc = MeasureConfig {
+        warmup: TimeDelta::from_us(20),
+        window: TimeDelta::from_us(60),
+    };
+    let cfg = SystemConfig::default();
+    let mut g = c.benchmark_group("sweep_fig7");
+    g.sample_size(3);
+    g.bench_function("serial", |b| {
+        exec::set_threads(1);
+        b.iter(|| black_box(bandwidth::figure7(&cfg, &mc).len()));
+    });
+    g.bench_function("all_cores", |b| {
+        exec::set_threads(0);
+        b.iter(|| black_box(bandwidth::figure7(&cfg, &mc).len()));
+    });
+    exec::set_threads(0);
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_queue, bench_full_system, bench_sweep);
 criterion_main!(benches);

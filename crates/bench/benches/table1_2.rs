@@ -10,9 +10,7 @@ use hmc_types::{HmcSpec, HmcVersion, LinkConfig, RequestSize};
 fn table1() -> Table {
     let mut t = Table::new(
         "Table I: properties of HMC versions",
-        &[
-            "property", "HMC 1.0", "HMC 1.1", "HMC 2.0",
-        ],
+        &["property", "HMC 1.0", "HMC 1.1", "HMC 2.0"],
     );
     let specs: Vec<HmcSpec> = [HmcVersion::Gen1, HmcVersion::Gen2, HmcVersion::Hmc2]
         .into_iter()
@@ -29,10 +27,14 @@ fn table1() -> Table {
     t.row(row("DRAM layers", &|s| s.dram_layers().to_string()));
     t.row(row("quadrants", &|s| s.num_quadrants().to_string()));
     t.row(row("vaults", &|s| s.num_vaults().to_string()));
-    t.row(row("vaults/quadrant", &|s| s.vaults_per_quadrant().to_string()));
+    t.row(row("vaults/quadrant", &|s| {
+        s.vaults_per_quadrant().to_string()
+    }));
     t.row(row("banks", &|s| s.total_banks().to_string()));
     t.row(row("banks/vault", &|s| s.banks_per_vault().to_string()));
-    t.row(row("bank size (MB)", &|s| (s.bank_bytes() >> 20).to_string()));
+    t.row(row("bank size (MB)", &|s| {
+        (s.bank_bytes() >> 20).to_string()
+    }));
     t.row(row("partition size (MB)", &|s| {
         (s.partition_bytes() >> 20).to_string()
     }));

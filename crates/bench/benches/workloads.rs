@@ -29,15 +29,11 @@ fn main() {
     let get = |k: Kernel| kernels.iter().find(|r| r.kernel == k).expect("present");
     let hot_default = mapping
         .iter()
-        .find(|p| {
-            p.order == InterleaveOrder::VaultThenBank && p.max_block.bytes() == 128
-        })
+        .find(|p| p.order == InterleaveOrder::VaultThenBank && p.max_block.bytes() == 128)
         .expect("present");
     let hot_bank_first = mapping
         .iter()
-        .find(|p| {
-            p.order == InterleaveOrder::BankThenVault && p.max_block.bytes() == 128
-        })
+        .find(|p| p.order == InterleaveOrder::BankThenVault && p.max_block.bytes() == 128)
         .expect("present");
     print_comparisons(
         "Kernels, mapping, faults, generations",

@@ -1,21 +1,32 @@
 //! `repro` — regenerate any table or figure of the paper on demand.
 //!
-//! Usage: `cargo run --release -p hmc-bench --bin repro -- <target>...`
+//! Usage: `cargo run --release -p hmc-bench --bin repro -- [options] <target>...`
 //! where `<target>` is one of: `table1`, `table2`, `table3`, `fig6`,
 //! `fig7`, `fig8`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13`, `fig14`,
 //! `fig15`, `fig16`, `fig17`, `fig18`, `baseline`, or `all`.
+//!
+//! Options:
+//!
+//! * `--threads N` — fan experiment sweeps across `N` OS threads
+//!   (default: all cores; results are bit-identical at any thread count).
+//! * `--figure <id>` — alias for a positional target; accepts `fig7`,
+//!   `7`, or `table1` forms.
+//! * `--perf-json` — measure simulation throughput (events/sec and
+//!   simulated-µs per wall-second) and write `BENCH_simperf.json`.
 //!
 //! (The `benches/` targets print the same tables plus paper-vs-measured
 //! verdicts; this binary is the quick interactive entry point.)
 
 use hmc_bench::{bench_mc, sweep_mc};
 use hmc_core::experiments::{
-    bandwidth, baseline, faults, generations, kernels, latency, mapping, page_policy,
-    read_ratio, thermal,
+    bandwidth, baseline, faults, generations, kernels, latency, mapping, page_policy, read_ratio,
+    thermal,
 };
-use hmc_core::SystemConfig;
+use hmc_core::hmc_host::Workload;
+use hmc_core::{System, SystemConfig};
 use hmc_types::packet::{OpKind, TransactionSizes};
-use hmc_types::{HmcSpec, HmcVersion, RequestKind, RequestSize};
+use hmc_types::{HmcSpec, HmcVersion, RequestKind, RequestSize, Time, TimeDelta};
+use sim_engine::exec;
 
 fn table1() {
     for v in [HmcVersion::Gen1, HmcVersion::Gen2, HmcVersion::Hmc2] {
@@ -148,19 +159,119 @@ fn run(target: &str, cfg: &SystemConfig) {
     }
 }
 
+/// Measures simulation throughput and writes `BENCH_simperf.json`:
+///
+/// * `event_core`: one full-scale rw `System` run — events per
+///   wall-second and simulated µs per wall-second of the event core;
+/// * `sweep`: the Figure 7 sweep at the configured thread count —
+///   simulated µs per wall-second across the whole fleet of points.
+fn perf_json(cfg: &SystemConfig) {
+    use std::time::Instant;
+
+    // Event-core throughput on a single saturated system.
+    let span = TimeDelta::from_us(400);
+    let mut sys = System::new(cfg.clone());
+    sys.host_mut().apply_workload(&Workload::full_scale(
+        RequestKind::ReadModifyWrite,
+        RequestSize::MAX,
+    ));
+    sys.host_mut().start(Time::ZERO);
+    let t0 = Instant::now();
+    sys.run_for(span);
+    let core_wall = t0.elapsed().as_secs_f64();
+    let events = sys.events_processed();
+
+    // Sweep throughput: the full Figure 7 grid (27 measurement points).
+    let mc = bench_mc();
+    let t1 = Instant::now();
+    let pts = bandwidth::figure7(cfg, &mc);
+    let sweep_wall = t1.elapsed().as_secs_f64();
+    let sim_us_per_point = (mc.warmup + mc.window).as_ns_f64() / 1e3;
+    let sweep_sim_us = pts.len() as f64 * sim_us_per_point;
+
+    let json = format!(
+        "{{\n  \"event_core\": {{\n    \"events_per_sec\": {:.0},\n    \
+         \"simulated_us_per_wall_sec\": {:.1}\n  }},\n  \"sweep\": {{\n    \
+         \"name\": \"fig7\",\n    \"points\": {},\n    \"threads\": {},\n    \
+         \"wall_sec\": {:.3},\n    \"simulated_us_per_wall_sec\": {:.1}\n  }}\n}}\n",
+        events as f64 / core_wall,
+        span.as_ns_f64() / 1e3 / core_wall,
+        pts.len(),
+        exec::threads(),
+        sweep_wall,
+        sweep_sim_us / sweep_wall,
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write("BENCH_simperf.json", &json) {
+        eprintln!("could not write BENCH_simperf.json: {e}");
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--threads N] [--figure <id>] [--perf-json] \
+         <table1|table2|table3|fig6..fig18|baseline|all>..."
+    );
+    std::process::exit(2);
+}
+
 fn main() {
     let cfg = SystemConfig::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        eprintln!("usage: repro <table1|table2|table3|fig6..fig18|baseline|all>...");
-        std::process::exit(2);
+    let mut targets: Vec<String> = Vec::new();
+    let mut perf = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                exec::set_threads(n);
+            }
+            "--figure" => {
+                let id = it.next().unwrap_or_else(|| usage());
+                // Accept both `--figure fig7` and `--figure 7`.
+                if id.chars().all(|c| c.is_ascii_digit()) {
+                    targets.push(format!("fig{id}"));
+                } else {
+                    targets.push(id.clone());
+                }
+            }
+            "--perf-json" => perf = true,
+            flag if flag.starts_with("--") => usage(),
+            target => targets.push(target.to_string()),
+        }
+    }
+    if targets.is_empty() && !perf {
+        usage();
     }
     let all = [
-        "table1", "table2", "table3", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-        "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "baseline", "readratio", "kernels",
-        "mapping", "faults", "generations",
+        "table1",
+        "table2",
+        "table3",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "baseline",
+        "readratio",
+        "kernels",
+        "mapping",
+        "faults",
+        "generations",
     ];
-    for arg in &args {
+    for arg in &targets {
         if arg == "all" {
             for t in all {
                 println!("\n########## {t} ##########");
@@ -169,5 +280,8 @@ fn main() {
         } else {
             run(arg, &cfg);
         }
+    }
+    if perf {
+        perf_json(&cfg);
     }
 }

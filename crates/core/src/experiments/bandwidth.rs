@@ -2,6 +2,7 @@
 
 use hmc_host::Workload;
 use hmc_types::{AddressMask, RequestKind, RequestSize};
+use sim_engine::exec;
 
 use crate::measure::{run_measurement, MeasureConfig};
 use crate::pattern::AccessPattern;
@@ -28,19 +29,19 @@ pub const FIG6_MASKS: [(u32, u32); 7] =
 /// each position, for `ro`, `rw`, and `wo`.
 pub fn figure6(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<MaskSweepPoint> {
     let size = RequestSize::MAX;
-    let mut out = Vec::new();
-    for (lo, hi) in FIG6_MASKS {
-        for kind in RequestKind::ALL {
-            let mask = AddressMask::zero_bits(lo, hi);
-            let m = run_measurement(cfg, &Workload::masked(kind, size, mask), mc);
-            out.push(MaskSweepPoint {
-                label: format!("{lo}-{hi}"),
-                kind,
-                bandwidth_gbs: m.bandwidth_gbs,
-            });
+    let points: Vec<_> = FIG6_MASKS
+        .into_iter()
+        .flat_map(|bits| RequestKind::ALL.into_iter().map(move |kind| (bits, kind)))
+        .collect();
+    exec::sweep(points, |((lo, hi), kind)| {
+        let mask = AddressMask::zero_bits(lo, hi);
+        let m = run_measurement(cfg, &Workload::masked(kind, size, mask), mc);
+        MaskSweepPoint {
+            label: format!("{lo}-{hi}"),
+            kind,
+            bandwidth_gbs: m.bandwidth_gbs,
         }
-    }
-    out
+    })
 }
 
 /// Renders Figure 6 as a table (rows = mask positions, columns = kinds).
@@ -84,19 +85,23 @@ pub fn figure7(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<PatternPoint> {
     let size = RequestSize::MAX;
     let mapping = cfg.mem.mapping;
     let spec = cfg.mem.spec;
-    let mut out = Vec::new();
-    for pattern in AccessPattern::paper_axis() {
+    let points: Vec<_> = AccessPattern::paper_axis()
+        .into_iter()
+        .flat_map(|pattern| {
+            RequestKind::ALL
+                .into_iter()
+                .map(move |kind| (pattern, kind))
+        })
+        .collect();
+    exec::sweep(points, |(pattern, kind)| {
         let mask = pattern.mask(mapping, &spec).expect("paper axis is valid");
-        for kind in RequestKind::ALL {
-            let m = run_measurement(cfg, &Workload::masked(kind, size, mask), mc);
-            out.push(PatternPoint {
-                pattern,
-                kind,
-                bandwidth_gbs: m.bandwidth_gbs,
-            });
+        let m = run_measurement(cfg, &Workload::masked(kind, size, mask), mc);
+        PatternPoint {
+            pattern,
+            kind,
+            bandwidth_gbs: m.bandwidth_gbs,
         }
-    }
-    out
+    })
 }
 
 /// Renders Figure 7.
@@ -141,24 +146,28 @@ pub struct SizePoint {
 pub fn figure8(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<SizePoint> {
     let mapping = cfg.mem.mapping;
     let spec = cfg.mem.spec;
-    let mut out = Vec::new();
-    for pattern in AccessPattern::paper_axis() {
+    let points: Vec<_> = AccessPattern::paper_axis()
+        .into_iter()
+        .flat_map(|pattern| {
+            RequestSize::FIG8
+                .into_iter()
+                .map(move |size| (pattern, size))
+        })
+        .collect();
+    exec::sweep(points, |(pattern, size)| {
         let mask = pattern.mask(mapping, &spec).expect("paper axis is valid");
-        for size in RequestSize::FIG8 {
-            let m = run_measurement(
-                cfg,
-                &Workload::masked(RequestKind::ReadOnly, size, mask),
-                mc,
-            );
-            out.push(SizePoint {
-                pattern,
-                size,
-                bandwidth_gbs: m.bandwidth_gbs,
-                mrps: m.mrps,
-            });
+        let m = run_measurement(
+            cfg,
+            &Workload::masked(RequestKind::ReadOnly, size, mask),
+            mc,
+        );
+        SizePoint {
+            pattern,
+            size,
+            bandwidth_gbs: m.bandwidth_gbs,
+            mrps: m.mrps,
         }
-    }
-    out
+    })
 }
 
 /// Renders Figure 8.
@@ -166,7 +175,13 @@ pub fn figure8_table(points: &[SizePoint]) -> Table {
     let mut t = Table::new(
         "Figure 8: read-only bandwidth and MRPS by request size",
         &[
-            "pattern", "128B GB/s", "64B GB/s", "32B GB/s", "128B MRPS", "64B MRPS", "32B MRPS",
+            "pattern",
+            "128B GB/s",
+            "64B GB/s",
+            "32B GB/s",
+            "128B MRPS",
+            "64B MRPS",
+            "32B MRPS",
         ],
     );
     for pattern in AccessPattern::paper_axis() {

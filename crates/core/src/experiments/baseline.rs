@@ -47,11 +47,7 @@ pub fn compare(cfg: &SystemConfig, size: RequestSize, mc: &MeasureConfig) -> Bas
     .as_ns_f64();
 
     // HMC loaded bandwidth.
-    let m = run_measurement(
-        cfg,
-        &Workload::full_scale(RequestKind::ReadOnly, size),
-        mc,
-    );
+    let m = run_measurement(cfg, &Workload::full_scale(RequestKind::ReadOnly, size), mc);
 
     // DDR unloaded latency: one random access on an idle DIMM.
     let mut dimm = DdrDimm::new(DdrConfig::ddr3_1600());

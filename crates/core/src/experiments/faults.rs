@@ -38,8 +38,7 @@ pub fn ber_sweep(cfg: &SystemConfig, bers: &[f64], mc: &MeasureConfig) -> Vec<Fa
                 &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
                 mc,
             );
-            let packets =
-                m.device_delta.reads_completed + m.device_delta.writes_completed;
+            let packets = m.device_delta.reads_completed + m.device_delta.writes_completed;
             FaultPoint {
                 ber,
                 bandwidth_gbs: m.bandwidth_gbs,

@@ -8,9 +8,8 @@
 //! the authors could not buy.
 
 use hmc_host::Workload;
-use hmc_types::{
-    HmcSpec, HmcVersion, LinkConfig, LinkSpeed, LinkWidth, RequestKind, RequestSize,
-};
+use hmc_types::{HmcSpec, HmcVersion, LinkConfig, LinkSpeed, LinkWidth, RequestKind, RequestSize};
+use sim_engine::exec;
 
 use crate::measure::{run_measurement, MeasureConfig};
 use crate::pattern::AccessPattern;
@@ -41,8 +40,7 @@ pub fn config_for(version: HmcVersion) -> SystemConfig {
     let mut cfg = SystemConfig::default();
     cfg.mem.spec = HmcSpec::of(version);
     if version == HmcVersion::Hmc2 {
-        cfg.mem.links = LinkConfig::new(4, LinkWidth::Half, LinkSpeed::G15)
-            .expect("4 links valid");
+        cfg.mem.links = LinkConfig::new(4, LinkWidth::Half, LinkSpeed::G15).expect("4 links valid");
         cfg.host.links = cfg.mem.links;
     }
     cfg.host.memory_capacity = cfg.mem.spec.capacity_bytes();
@@ -51,34 +49,38 @@ pub fn config_for(version: HmcVersion) -> SystemConfig {
 
 /// Measures the headline numbers of each generation.
 pub fn generation_sweep(mc: &MeasureConfig) -> Vec<GenerationPoint> {
-    [HmcVersion::Gen1, HmcVersion::Gen2, HmcVersion::Hmc2]
+    let versions = [HmcVersion::Gen1, HmcVersion::Gen2, HmcVersion::Hmc2];
+    // Three measurements per generation, flattened: (version, 0=ro,
+    // 1=rw, 2=single-vault).
+    let points: Vec<_> = versions
         .into_iter()
-        .map(|version| {
+        .flat_map(|version| (0..3).map(move |which| (version, which)))
+        .collect();
+    let measured = exec::sweep(points, |(version, which)| {
+        let cfg = config_for(version);
+        let workload = match which {
+            0 => Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+            1 => Workload::full_scale(RequestKind::ReadModifyWrite, RequestSize::MAX),
+            _ => {
+                let vault_mask = AccessPattern::Vaults(1)
+                    .mask(cfg.mem.mapping, &cfg.mem.spec)
+                    .expect("one vault always valid");
+                Workload::masked(RequestKind::ReadOnly, RequestSize::MAX, vault_mask)
+            }
+        };
+        run_measurement(&cfg, &workload, mc)
+    });
+    versions
+        .into_iter()
+        .zip(measured.chunks(3))
+        .map(|(version, m)| {
             let cfg = config_for(version);
-            let ro = run_measurement(
-                &cfg,
-                &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
-                mc,
-            );
-            let rw = run_measurement(
-                &cfg,
-                &Workload::full_scale(RequestKind::ReadModifyWrite, RequestSize::MAX),
-                mc,
-            );
-            let vault_mask = AccessPattern::Vaults(1)
-                .mask(cfg.mem.mapping, &cfg.mem.spec)
-                .expect("one vault always valid");
-            let vault = run_measurement(
-                &cfg,
-                &Workload::masked(RequestKind::ReadOnly, RequestSize::MAX, vault_mask),
-                mc,
-            );
             GenerationPoint {
                 version,
-                ro_gbs: ro.bandwidth_gbs,
-                rw_gbs: rw.bandwidth_gbs,
-                vault_gbs: vault.bandwidth_gbs,
-                latency_ns: ro.mean_latency_ns(),
+                ro_gbs: m[0].bandwidth_gbs,
+                rw_gbs: m[1].bandwidth_gbs,
+                vault_gbs: m[2].bandwidth_gbs,
+                latency_ns: m[0].mean_latency_ns(),
                 peak_gbs: cfg.mem.links.peak_bandwidth_bytes_per_sec() as f64 / 1e9,
             }
         })
@@ -89,7 +91,14 @@ pub fn generation_sweep(mc: &MeasureConfig) -> Vec<GenerationPoint> {
 pub fn generations_table(points: &[GenerationPoint]) -> Table {
     let mut t = Table::new(
         "Generations: headline numbers on each Table I geometry",
-        &["generation", "peak GB/s", "ro GB/s", "rw GB/s", "1 vault GB/s", "ro latency"],
+        &[
+            "generation",
+            "peak GB/s",
+            "ro GB/s",
+            "rw GB/s",
+            "1 vault GB/s",
+            "ro latency",
+        ],
     );
     for p in points {
         t.row(vec![
@@ -145,10 +154,7 @@ mod tests {
 
     #[test]
     fn config_for_scales_capacity() {
-        assert_eq!(
-            config_for(HmcVersion::Gen1).host.memory_capacity,
-            512 << 20
-        );
+        assert_eq!(config_for(HmcVersion::Gen1).host.memory_capacity, 512 << 20);
         assert_eq!(config_for(HmcVersion::Hmc2).mem.links.num_links(), 4);
         let t = generations_table(&[]);
         assert!(t.is_empty());

@@ -96,11 +96,8 @@ pub fn run_kernels(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<KernelResult> 
             Kernel::HotSpot => {
                 // 90 % of ports hammer the hot structure, one port roams.
                 let hot = AddressMask::zero_bits(11, 33);
-                let m = run_measurement(
-                    cfg,
-                    &Workload::masked(RequestKind::ReadOnly, size, hot),
-                    mc,
-                );
+                let m =
+                    run_measurement(cfg, &Workload::masked(RequestKind::ReadOnly, size, hot), mc);
                 KernelResult {
                     kernel,
                     bandwidth_gbs: m.bandwidth_gbs,
@@ -108,11 +105,8 @@ pub fn run_kernels(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<KernelResult> 
                 }
             }
             Kernel::Gather => {
-                let m = run_measurement(
-                    cfg,
-                    &Workload::full_scale(RequestKind::ReadOnly, size),
-                    mc,
-                );
+                let m =
+                    run_measurement(cfg, &Workload::full_scale(RequestKind::ReadOnly, size), mc);
                 KernelResult {
                     kernel,
                     bandwidth_gbs: m.bandwidth_gbs,

@@ -4,6 +4,7 @@ use hmc_host::controller::{infrastructure_latency, TxStage};
 use hmc_host::Workload;
 use hmc_types::packet::OpKind;
 use hmc_types::{RequestKind, RequestSize, TransactionSizes};
+use sim_engine::exec;
 
 use crate::analysis::{LoadPoint, SaturationAnalysis};
 use crate::measure::{run_measurement, run_stream, MeasureConfig};
@@ -77,7 +78,11 @@ pub fn figure14_table(d: &Deconstruction) -> Table {
     t.row(vec!["TX total".into(), "-".into(), f1(d.tx_ns)]);
     t.row(vec!["RX total".into(), "-".into(), f1(d.rx_ns)]);
     t.row(vec!["infrastructure".into(), "-".into(), f1(d.infra_ns)]);
-    t.row(vec!["measured round-trip".into(), "-".into(), f1(d.measured_ns)]);
+    t.row(vec![
+        "measured round-trip".into(),
+        "-".into(),
+        f1(d.measured_ns),
+    ]);
     t.row(vec!["in-cube".into(), "-".into(), f1(d.in_cube_ns)]);
     t
 }
@@ -104,22 +109,24 @@ pub const FIG15_SIZES: [u64; 4] = [16, 32, 64, 128];
 /// Figure 15: low-load latency of read streams of 2–28 requests for each
 /// size.
 pub fn figure15(cfg: &SystemConfig) -> Vec<StreamPoint> {
-    let mut out = Vec::new();
-    for bytes in FIG15_SIZES {
-        let size = RequestSize::new(bytes).expect("valid size");
-        for n in (2..=28).step_by(2) {
-            let (hist, fails) = run_stream(cfg, &Workload::read_stream(n, size));
-            debug_assert_eq!(fails, 0);
-            out.push(StreamPoint {
-                n,
-                size,
-                min_ns: hist.min().map_or(0.0, |d| d.as_ns_f64()),
-                avg_ns: hist.mean().as_ns_f64(),
-                max_ns: hist.max().map_or(0.0, |d| d.as_ns_f64()),
-            });
+    let points: Vec<_> = FIG15_SIZES
+        .into_iter()
+        .flat_map(|bytes| {
+            let size = RequestSize::new(bytes).expect("valid size");
+            (2..=28).step_by(2).map(move |n| (size, n))
+        })
+        .collect();
+    exec::sweep(points, |(size, n)| {
+        let (hist, fails) = run_stream(cfg, &Workload::read_stream(n, size));
+        debug_assert_eq!(fails, 0);
+        StreamPoint {
+            n,
+            size,
+            min_ns: hist.min().map_or(0.0, |d| d.as_ns_f64()),
+            avg_ns: hist.mean().as_ns_f64(),
+            max_ns: hist.max().map_or(0.0, |d| d.as_ns_f64()),
         }
-    }
-    out
+    })
 }
 
 /// Renders Figure 15 for one size.
@@ -155,26 +162,30 @@ pub struct HighLoadPoint {
 
 /// Figure 16: full-scale read-only latency across patterns and sizes.
 pub fn figure16(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<HighLoadPoint> {
-    let mut out = Vec::new();
-    for pattern in AccessPattern::paper_axis() {
+    let points: Vec<_> = AccessPattern::paper_axis()
+        .into_iter()
+        .flat_map(|pattern| {
+            RequestSize::FIG8
+                .into_iter()
+                .map(move |size| (pattern, size))
+        })
+        .collect();
+    exec::sweep(points, |(pattern, size)| {
         let mask = pattern
             .mask(cfg.mem.mapping, &cfg.mem.spec)
             .expect("paper axis valid");
-        for size in RequestSize::FIG8 {
-            let m = run_measurement(
-                cfg,
-                &Workload::masked(RequestKind::ReadOnly, size, mask),
-                mc,
-            );
-            out.push(HighLoadPoint {
-                pattern,
-                size,
-                bandwidth_gbs: m.bandwidth_gbs,
-                latency_ns: m.mean_latency_ns(),
-            });
+        let m = run_measurement(
+            cfg,
+            &Workload::masked(RequestKind::ReadOnly, size, mask),
+            mc,
+        );
+        HighLoadPoint {
+            pattern,
+            size,
+            bandwidth_gbs: m.bandwidth_gbs,
+            latency_ns: m.mean_latency_ns(),
         }
-    }
-    out
+    })
 }
 
 /// Renders Figure 16.
@@ -230,42 +241,64 @@ pub fn latency_bandwidth_curve(
     size: RequestSize,
     mc: &MeasureConfig,
 ) -> LatencyBandwidthCurve {
-    let mask = pattern
-        .mask(cfg.mem.mapping, &cfg.mem.spec)
-        .expect("pattern valid");
-    let mut points = Vec::new();
-    for ports in 1..=cfg.host.num_ports {
+    sweep_curves(cfg, vec![(pattern, size)], mc)
+        .pop()
+        .expect("one combo in, one curve out")
+}
+
+/// Measures a latency–bandwidth curve per `(pattern, size)` combination.
+/// The whole `combos × ports` grid is flattened into one sweep so every
+/// point parallelizes independently, then regrouped per combination.
+fn sweep_curves(
+    cfg: &SystemConfig,
+    combos: Vec<(AccessPattern, RequestSize)>,
+    mc: &MeasureConfig,
+) -> Vec<LatencyBandwidthCurve> {
+    let ports_axis = cfg.host.num_ports;
+    let points: Vec<_> = combos
+        .iter()
+        .flat_map(|&(pattern, size)| (1..=ports_axis).map(move |ports| (pattern, size, ports)))
+        .collect();
+    let measured = exec::sweep(points, |(pattern, size, ports)| {
+        let mask = pattern
+            .mask(cfg.mem.mapping, &cfg.mem.spec)
+            .expect("pattern valid");
         let m = run_measurement(
             cfg,
             &Workload::small_scale(RequestKind::ReadOnly, size, mask, ports),
             mc,
         );
-        let rps = (m.host.reads_completed + m.host.writes_completed) as f64
-            / m.window.as_secs_f64();
-        points.push(LoadPoint {
+        let rps =
+            (m.host.reads_completed + m.host.writes_completed) as f64 / m.window.as_secs_f64();
+        LoadPoint {
             bandwidth_gbs: m.bandwidth_gbs,
             latency_ns: m.mean_latency_ns(),
             requests_per_sec: rps,
-        });
-    }
-    LatencyBandwidthCurve {
-        pattern,
-        size,
-        analysis: SaturationAnalysis::analyse(points, 2.0),
-    }
+        }
+    });
+    combos
+        .into_iter()
+        .zip(measured.chunks(ports_axis))
+        .map(|((pattern, size), pts)| LatencyBandwidthCurve {
+            pattern,
+            size,
+            analysis: SaturationAnalysis::analyse(pts.to_vec(), 2.0),
+        })
+        .collect()
 }
 
 /// Figure 17: the 4-bank and 2-bank curves for every Figure 15 size, with
 /// the Little's-law outstanding analysis the paper performs.
 pub fn figure17(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<LatencyBandwidthCurve> {
-    let mut out = Vec::new();
-    for pattern in [AccessPattern::Banks(4), AccessPattern::Banks(2)] {
-        for bytes in FIG15_SIZES {
-            let size = RequestSize::new(bytes).expect("valid");
-            out.push(latency_bandwidth_curve(cfg, pattern, size, mc));
-        }
-    }
-    out
+    let combos: Vec<_> = [AccessPattern::Banks(4), AccessPattern::Banks(2)]
+        .into_iter()
+        .flat_map(|pattern| {
+            FIG15_SIZES
+                .into_iter()
+                .map(move |bytes| (pattern, RequestSize::new(bytes).expect("valid")))
+        })
+        .collect();
+    sweep_curves(cfg, combos, mc)
 }
 
 /// Figure 18: curves for every pattern at the given sizes.
@@ -274,20 +307,25 @@ pub fn figure18(
     sizes: &[RequestSize],
     mc: &MeasureConfig,
 ) -> Vec<LatencyBandwidthCurve> {
-    let mut out = Vec::new();
-    for pattern in AccessPattern::paper_axis() {
-        for &size in sizes {
-            out.push(latency_bandwidth_curve(cfg, pattern, size, mc));
-        }
-    }
-    out
+    let combos: Vec<_> = AccessPattern::paper_axis()
+        .into_iter()
+        .flat_map(|pattern| sizes.iter().map(move |&size| (pattern, size)))
+        .collect();
+    sweep_curves(cfg, combos, mc)
 }
 
 /// Renders a set of latency–bandwidth curves.
 pub fn curves_table(title: &str, curves: &[LatencyBandwidthCurve]) -> Table {
     let mut t = Table::new(
         title,
-        &["pattern", "size", "ports", "BW GB/s", "latency", "outstanding"],
+        &[
+            "pattern",
+            "size",
+            "ports",
+            "BW GB/s",
+            "latency",
+            "outstanding",
+        ],
     );
     for c in curves {
         for (i, p) in c.analysis.points.iter().enumerate() {
@@ -342,17 +380,11 @@ mod tests {
         let size = RequestSize::MAX;
         let short = {
             let (h, _) = run_stream(&cfg, &Workload::read_stream(2, size));
-            (
-                h.min().unwrap().as_ns_f64(),
-                h.max().unwrap().as_ns_f64(),
-            )
+            (h.min().unwrap().as_ns_f64(), h.max().unwrap().as_ns_f64())
         };
         let long = {
             let (h, _) = run_stream(&cfg, &Workload::read_stream(28, size));
-            (
-                h.min().unwrap().as_ns_f64(),
-                h.max().unwrap().as_ns_f64(),
-            )
+            (h.min().unwrap().as_ns_f64(), h.max().unwrap().as_ns_f64())
         };
         // Minimum roughly constant; maximum grows with stream length.
         assert!((long.0 - short.0).abs() < 100.0, "{short:?} vs {long:?}");
@@ -417,11 +449,7 @@ mod tests {
             .unwrap();
         let small = run_measurement(
             &cfg,
-            &Workload::masked(
-                RequestKind::ReadOnly,
-                RequestSize::new(32).unwrap(),
-                mask,
-            ),
+            &Workload::masked(RequestKind::ReadOnly, RequestSize::new(32).unwrap(), mask),
             &mc,
         );
         assert!(small.mean_latency_ns() < one_bank.mean_latency_ns());
@@ -431,18 +459,8 @@ mod tests {
     fn figure17_outstanding_scales_with_banks() {
         let cfg = SystemConfig::default();
         let mc = tiny();
-        let four = latency_bandwidth_curve(
-            &cfg,
-            AccessPattern::Banks(4),
-            RequestSize::MAX,
-            &mc,
-        );
-        let two = latency_bandwidth_curve(
-            &cfg,
-            AccessPattern::Banks(2),
-            RequestSize::MAX,
-            &mc,
-        );
+        let four = latency_bandwidth_curve(&cfg, AccessPattern::Banks(4), RequestSize::MAX, &mc);
+        let two = latency_bandwidth_curve(&cfg, AccessPattern::Banks(2), RequestSize::MAX, &mc);
         // Deepest-sweep outstanding: 4-bank should be ~2x 2-bank (the
         // paper's 375 vs 187 observation).
         let o4 = four.analysis.points.last().unwrap().outstanding();

@@ -11,8 +11,10 @@
 use hmc_host::workload::{Addressing, PortWorkload};
 use hmc_host::Workload;
 use hmc_types::{
-    AddressMask, AddressMapping, InterleaveOrder, MaxBlockSize, RequestKind, RequestSize,
+    AddressMapping, AddressMask, InterleaveOrder, MaxBlockSize, RequestKind, RequestSize,
 };
+
+use sim_engine::exec;
 
 use crate::measure::{run_measurement, MeasureConfig};
 use crate::report::{f1, Table};
@@ -68,33 +70,52 @@ fn hot_buffer_mask() -> AddressMask {
 
 /// Measures every order × block-size combination.
 pub fn mapping_ablation(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<MappingPoint> {
-    let mut out = Vec::new();
-    for order in [InterleaveOrder::VaultThenBank, InterleaveOrder::BankThenVault] {
-        for max_block in MaxBlockSize::ALL {
-            let mapping = AddressMapping::with_order(max_block, order);
-            let linear_gbs =
-                run_mapping(cfg, mapping, Addressing::Linear, AddressMask::NONE, mc);
-            let random_gbs =
-                run_mapping(cfg, mapping, Addressing::Random, AddressMask::NONE, mc);
-            let hot_buffer_gbs =
-                run_mapping(cfg, mapping, Addressing::Random, hot_buffer_mask(), mc);
-            out.push(MappingPoint {
-                order,
-                max_block,
-                linear_gbs,
-                random_gbs,
-                hot_buffer_gbs,
-            });
-        }
-    }
-    out
+    // Three workload modes per mapping variant, flattened into one grid so
+    // every single measurement parallelizes.
+    let modes = [
+        (Addressing::Linear, AddressMask::NONE),
+        (Addressing::Random, AddressMask::NONE),
+        (Addressing::Random, hot_buffer_mask()),
+    ];
+    let combos: Vec<_> = [
+        InterleaveOrder::VaultThenBank,
+        InterleaveOrder::BankThenVault,
+    ]
+    .into_iter()
+    .flat_map(|order| MaxBlockSize::ALL.into_iter().map(move |mb| (order, mb)))
+    .collect();
+    let points: Vec<_> = combos
+        .iter()
+        .flat_map(|&(order, max_block)| modes.map(move |(a, m)| (order, max_block, a, m)))
+        .collect();
+    let measured = exec::sweep(points, |(order, max_block, addressing, mask)| {
+        let mapping = AddressMapping::with_order(max_block, order);
+        run_mapping(cfg, mapping, addressing, mask, mc)
+    });
+    combos
+        .into_iter()
+        .zip(measured.chunks(modes.len()))
+        .map(|((order, max_block), bw)| MappingPoint {
+            order,
+            max_block,
+            linear_gbs: bw[0],
+            random_gbs: bw[1],
+            hot_buffer_gbs: bw[2],
+        })
+        .collect()
 }
 
 /// Renders the ablation.
 pub fn mapping_table(points: &[MappingPoint]) -> Table {
     let mut t = Table::new(
         "Address-mapping ablation: field order x max block size (128 B reads)",
-        &["order", "max block", "linear GB/s", "random GB/s", "2KB buffer GB/s"],
+        &[
+            "order",
+            "max block",
+            "linear GB/s",
+            "random GB/s",
+            "2KB buffer GB/s",
+        ],
     );
     for p in points {
         let order = match p.order {
@@ -154,10 +175,20 @@ mod tests {
         );
         assert!((8.0..12.0).contains(&hot_bank), "vault-capped: {hot_bank}");
         // Full-space random traffic is interleave-agnostic.
-        let rnd_default =
-            run_mapping(&cfg, default_map, Addressing::Random, AddressMask::NONE, &tiny());
-        let rnd_bank =
-            run_mapping(&cfg, bank_first, Addressing::Random, AddressMask::NONE, &tiny());
+        let rnd_default = run_mapping(
+            &cfg,
+            default_map,
+            Addressing::Random,
+            AddressMask::NONE,
+            &tiny(),
+        );
+        let rnd_bank = run_mapping(
+            &cfg,
+            bank_first,
+            Addressing::Random,
+            AddressMask::NONE,
+            &tiny(),
+        );
         let ratio = rnd_bank / rnd_default;
         assert!((0.9..1.1).contains(&ratio), "random ratio {ratio}");
     }

@@ -4,6 +4,7 @@ use hmc_host::workload::{Addressing, PortWorkload};
 use hmc_host::Workload;
 use hmc_mem::PagePolicy;
 use hmc_types::{RequestKind, RequestSize};
+use sim_engine::exec;
 
 use crate::measure::{run_measurement, MeasureConfig, Measurement};
 use crate::pattern::AccessPattern;
@@ -49,21 +50,27 @@ fn run_point(
 /// Figure 13: read-only bandwidth for linear and random addressing over
 /// 16 vaults and 1 vault, across all eight request sizes.
 pub fn figure13(cfg: &SystemConfig, mc: &MeasureConfig) -> Vec<PagePolicyPoint> {
-    let mut out = Vec::new();
-    for pattern in [AccessPattern::Vaults(16), AccessPattern::Vaults(1)] {
-        for addressing in [Addressing::Linear, Addressing::Random] {
-            for size in RequestSize::ALL {
-                let m = run_point(cfg, pattern, addressing, size, mc);
-                out.push(PagePolicyPoint {
-                    pattern,
-                    addressing,
-                    size,
-                    bandwidth_gbs: m.bandwidth_gbs,
-                });
-            }
+    let points: Vec<_> = [AccessPattern::Vaults(16), AccessPattern::Vaults(1)]
+        .into_iter()
+        .flat_map(|pattern| {
+            [Addressing::Linear, Addressing::Random]
+                .into_iter()
+                .flat_map(move |addressing| {
+                    RequestSize::ALL
+                        .into_iter()
+                        .map(move |size| (pattern, addressing, size))
+                })
+        })
+        .collect();
+    exec::sweep(points, |(pattern, addressing, size)| {
+        let m = run_point(cfg, pattern, addressing, size, mc);
+        PagePolicyPoint {
+            pattern,
+            addressing,
+            size,
+            bandwidth_gbs: m.bandwidth_gbs,
         }
-    }
-    out
+    })
 }
 
 /// Renders Figure 13.
@@ -71,7 +78,15 @@ pub fn figure13_table(points: &[PagePolicyPoint]) -> Table {
     let mut t = Table::new(
         "Figure 13: linear vs random read bandwidth by request size (GB/s)",
         &[
-            "scope/mode", "128B", "112B", "96B", "80B", "64B", "48B", "32B", "16B",
+            "scope/mode",
+            "128B",
+            "112B",
+            "96B",
+            "80B",
+            "64B",
+            "48B",
+            "32B",
+            "16B",
         ],
     );
     for pattern in [AccessPattern::Vaults(16), AccessPattern::Vaults(1)] {
@@ -111,13 +126,7 @@ pub struct PagePolicyAblation {
 /// open page would help most).
 pub fn page_policy_ablation(cfg: &SystemConfig, mc: &MeasureConfig) -> PagePolicyAblation {
     let size = RequestSize::MAX;
-    let closed = run_point(
-        cfg,
-        AccessPattern::Vaults(1),
-        Addressing::Linear,
-        size,
-        mc,
-    );
+    let closed = run_point(cfg, AccessPattern::Vaults(1), Addressing::Linear, size, mc);
     let mut open_cfg = cfg.clone();
     open_cfg.mem.page_policy = PagePolicy::OpenPage;
     let open = run_point(

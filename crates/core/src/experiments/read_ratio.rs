@@ -11,6 +11,7 @@
 
 use hmc_host::Workload;
 use hmc_types::RequestSize;
+use sim_engine::exec;
 
 use crate::measure::{run_measurement, MeasureConfig};
 use crate::report::{f1, Table};
@@ -37,19 +38,17 @@ pub fn read_ratio_sweep(
     steps: usize,
     mc: &MeasureConfig,
 ) -> Vec<ReadRatioPoint> {
-    (0..=steps)
-        .map(|i| {
-            let f = i as f64 / steps as f64;
-            let m = run_measurement(cfg, &Workload::mixed(size, f), mc);
-            let secs = m.window.as_secs_f64();
-            ReadRatioPoint {
-                read_fraction: f,
-                bandwidth_gbs: m.bandwidth_gbs,
-                up_gbs: m.device_delta.bytes_up as f64 / secs / 1e9,
-                down_gbs: m.device_delta.bytes_down as f64 / secs / 1e9,
-            }
-        })
-        .collect()
+    exec::sweep((0..=steps).collect(), |i| {
+        let f = i as f64 / steps as f64;
+        let m = run_measurement(cfg, &Workload::mixed(size, f), mc);
+        let secs = m.window.as_secs_f64();
+        ReadRatioPoint {
+            read_fraction: f,
+            bandwidth_gbs: m.bandwidth_gbs,
+            up_gbs: m.device_delta.bytes_up as f64 / secs / 1e9,
+            down_gbs: m.device_delta.bytes_down as f64 / secs / 1e9,
+        }
+    })
 }
 
 /// The sweep point with the highest counted bandwidth.

@@ -18,7 +18,7 @@
 use hmc_power::PowerModel;
 use hmc_thermal::{CoolingConfig, CoolingPowerMap, FailurePolicy, ThermalModel, ThermalParams};
 use hmc_types::{RequestKind, RequestSize, TimeDelta};
-use sim_engine::{LinearFit, TimeSeries};
+use sim_engine::{exec, LinearFit, TimeSeries};
 
 use crate::measure::{run_measurement_with, MeasureConfig, Measurement};
 use crate::pattern::AccessPattern;
@@ -129,15 +129,17 @@ pub fn figure9_10(
 ) -> Vec<ThermalOutcome> {
     let power = PowerModel::default();
     let policy = FailurePolicy::default();
-    let mut out = Vec::new();
-    for cooling in CoolingConfig::all() {
-        for pattern in AccessPattern::paper_axis() {
-            out.push(thermal_operating_point(
-                cfg, kind, pattern, &cooling, mc, &power, &policy,
-            ));
-        }
-    }
-    out
+    let points: Vec<_> = CoolingConfig::all()
+        .into_iter()
+        .flat_map(|cooling| {
+            AccessPattern::paper_axis()
+                .into_iter()
+                .map(move |pattern| (cooling.clone(), pattern))
+        })
+        .collect();
+    exec::sweep(points, |(cooling, pattern)| {
+        thermal_operating_point(cfg, kind, pattern, &cooling, mc, &power, &policy)
+    })
 }
 
 /// Renders the temperature table (Figure 9) for one kind.
@@ -246,11 +248,22 @@ pub fn figure11(outcomes: &[ThermalOutcome]) -> Figure11 {
 pub fn figure11_table(f: &Figure11) -> Table {
     let mut t = Table::new(
         "Figure 11: temperature & power vs bandwidth, linear fits (Cfg2)",
-        &["kind", "dT/dBW C/(GB/s)", "T @5GB/s", "T @20GB/s", "dP/dBW W/(GB/s)", "P rise 5->20 W"],
+        &[
+            "kind",
+            "dT/dBW C/(GB/s)",
+            "T @5GB/s",
+            "T @20GB/s",
+            "dP/dBW W/(GB/s)",
+            "P rise 5->20 W",
+        ],
     );
     for kind in RequestKind::ALL {
         let tf = f.temp_fits.iter().find(|(k, _)| *k == kind).map(|(_, f)| f);
-        let pf = f.power_fits.iter().find(|(k, _)| *k == kind).map(|(_, f)| f);
+        let pf = f
+            .power_fits
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, f)| f);
         t.row(vec![
             kind.to_string(),
             tf.map_or("-".into(), |f| f2(f.slope)),
@@ -318,7 +331,14 @@ pub fn figure12(outcomes: &[ThermalOutcome], targets_c: &[f64]) -> Vec<CoolingPo
 pub fn table3() -> Table {
     let mut t = Table::new(
         "Table III: cooling configurations",
-        &["name", "fan V", "fan A", "distance cm", "idle C (model)", "cooling W"],
+        &[
+            "name",
+            "fan V",
+            "fan A",
+            "distance cm",
+            "idle C (model)",
+            "cooling W",
+        ],
     );
     for c in CoolingConfig::all() {
         let model = ThermalModel::new(c.clone());
@@ -358,11 +378,7 @@ mod tests {
         }
     }
 
-    fn point(
-        kind: RequestKind,
-        pattern: AccessPattern,
-        cooling: CoolingConfig,
-    ) -> ThermalOutcome {
+    fn point(kind: RequestKind, pattern: AccessPattern, cooling: CoolingConfig) -> ThermalOutcome {
         thermal_operating_point(
             &SystemConfig::default(),
             kind,
@@ -503,7 +519,9 @@ mod tests {
         let last = trace.last().unwrap().1;
         assert!(last > first + 3.0);
         // Settled by 200 s.
-        let at150 = trace.sample_at(hmc_types::Time::from_ps(150_000_000_000_000)).unwrap();
+        let at150 = trace
+            .sample_at(hmc_types::Time::from_ps(150_000_000_000_000))
+            .unwrap();
         assert!((last - at150).abs() < 0.2);
     }
 }

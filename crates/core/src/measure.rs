@@ -131,8 +131,8 @@ pub fn run_measurement_with(
     let bandwidth_gbs = host.bandwidth_gbs(mc.window);
     let mrps = host.mrps(mc.window);
     let read_latency = host.read_latency.clone();
-    let completed_per_sec = (host.reads_completed + host.writes_completed) as f64
-        / mc.window.as_secs_f64();
+    let completed_per_sec =
+        (host.reads_completed + host.writes_completed) as f64 / mc.window.as_secs_f64();
     let outstanding = completed_per_sec * read_latency.mean().as_secs_f64();
     Measurement {
         bandwidth_gbs,

@@ -81,6 +81,12 @@ impl System {
         &mut self.device
     }
 
+    /// Total discrete events processed by the host and device queues —
+    /// the denominator of events-per-second throughput reporting.
+    pub fn events_processed(&self) -> u64 {
+        self.host.events_processed() + self.device.events_processed()
+    }
+
     /// The system clock (time of the last processed event).
     pub fn now(&self) -> Time {
         self.now

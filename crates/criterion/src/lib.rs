@@ -1,0 +1,262 @@
+//! A tiny, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! the real criterion cannot be fetched. This shim implements the subset of
+//! its API the `benches/` targets use — `Criterion`, `BenchmarkGroup`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple batched wall-clock measurement.
+//! Benchmarks report the median, minimum, and mean time per iteration, and
+//! can dump machine-readable results via [`Criterion::json_report`].
+//!
+//! The measurement protocol: each benchmark is warmed up for
+//! [`WARMUP_MS`] ms, then run in `sample_size` batches sized to take
+//! roughly [`BATCH_TARGET_MS`] ms each; the per-iteration time of each
+//! batch forms the sample distribution.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Warm-up budget per benchmark, in milliseconds.
+pub const WARMUP_MS: u64 = 300;
+/// Target wall-clock length of one measurement batch, in milliseconds.
+pub const BATCH_TARGET_MS: u64 = 25;
+
+/// One finished benchmark: its id and per-iteration statistics.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name` or bare `name`).
+    pub id: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Minimum time per iteration, nanoseconds.
+    pub min_ns: f64,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Total iterations measured (excluding warm-up).
+    pub iterations: u64,
+}
+
+/// The benchmark driver. Collects results so callers can render a JSON
+/// report after all groups ran.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+    results: Vec<BenchResult>,
+}
+
+/// The timing context handed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for this batch's iteration budget and records the elapsed
+    /// wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(id: &str, sample_size: usize, mut routine: impl FnMut(&mut Bencher)) -> BenchResult {
+    // Warm up and size the batches so one batch takes ~BATCH_TARGET_MS.
+    let warmup = Duration::from_millis(WARMUP_MS);
+    let start = Instant::now();
+    let mut warm_iters = 0u64;
+    let mut per_iter = Duration::from_millis(1);
+    while start.elapsed() < warmup {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1));
+        warm_iters += 1;
+    }
+    let batch_iters =
+        ((BATCH_TARGET_MS as f64 * 1e6 / per_iter.as_nanos() as f64).ceil() as u64).max(1);
+    let _ = warm_iters;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: batch_iters,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / batch_iters as f64);
+        total_iters += batch_iters;
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    let median_ns = samples_ns[samples_ns.len() / 2];
+    let min_ns = samples_ns[0];
+    let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    let r = BenchResult {
+        id: id.to_string(),
+        median_ns,
+        min_ns,
+        mean_ns,
+        iterations: total_iters,
+    };
+    println!(
+        "{:<44} time: [median {} | min {} | mean {}]  ({} iters)",
+        r.id,
+        fmt_ns(median_ns),
+        fmt_ns(min_ns),
+        fmt_ns(mean_ns),
+        total_iters
+    );
+    r
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl Criterion {
+    /// Accepted for source compatibility with real criterion; CLI arguments
+    /// (cargo bench passes `--bench`) are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the number of measurement batches per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Measures one benchmark function.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let n = self.sample_size.unwrap_or(20);
+        let r = run_bench(id, n, &mut f);
+        self.results.push(r);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Renders every measured benchmark as a JSON object keyed by id, with
+    /// `median_ns`/`min_ns`/`mean_ns` fields.
+    pub fn json_report(&self) -> String {
+        let mut s = String::from("{\n");
+        for (i, r) in self.results.iter().enumerate() {
+            s.push_str(&format!(
+                "  \"{}\": {{\"median_ns\": {:.1}, \"min_ns\": {:.1}, \"mean_ns\": {:.1}}}{}\n",
+                r.id,
+                r.median_ns,
+                r.min_ns,
+                r.mean_ns,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of measurement batches for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Measures one benchmark in the group (id `group/name`).
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let n = self.sample_size.or(self.parent.sample_size).unwrap_or(20);
+        let full = format!("{}/{}", self.name, id);
+        let r = run_bench(&full, n, &mut f);
+        self.parent.results.push(r);
+        self
+    }
+
+    /// Ends the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_result() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].id, "noop");
+        assert!(c.results()[0].median_ns >= 0.0);
+        let json = c.json_report();
+        assert!(json.contains("\"noop\""));
+        assert!(json.contains("median_ns"));
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("inner", |b| b.iter(|| black_box(7u64).wrapping_mul(3)));
+            g.finish();
+        }
+        assert_eq!(c.results()[0].id, "grp/inner");
+    }
+}

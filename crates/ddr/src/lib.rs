@@ -256,7 +256,11 @@ mod tests {
         let mut d = DdrDimm::new(DdrConfig::ddr3_1600());
         let done = d.access(0, false, 64, Time::ZERO);
         // 15 (ctrl) + 27.5 (tRCD+tCL) + 5 (burst) = 47.5 ns.
-        assert!((done.as_ns_f64() - 47.5).abs() < 0.1, "{}", done.as_ns_f64());
+        assert!(
+            (done.as_ns_f64() - 47.5).abs() < 0.1,
+            "{}",
+            done.as_ns_f64()
+        );
     }
 
     #[test]
@@ -319,10 +323,7 @@ mod tests {
     fn streaming_bandwidth_near_bus_peak() {
         let cfg = DdrConfig::ddr3_1600();
         let mut d = DdrDimm::new(cfg);
-        let span = d.run_paced(
-            (0..20_000u64).map(|i| (i * 64, false, 64)),
-            cfg.burst_time,
-        );
+        let span = d.run_paced((0..20_000u64).map(|i| (i * 64, false, 64)), cfg.burst_time);
         let gbs = d.stats().data_bytes as f64 / span.as_secs_f64() / 1e9;
         let peak = cfg.peak_bandwidth_bytes_per_sec() / 1e9;
         assert!(gbs > 0.85 * peak, "streaming {gbs} GB/s of peak {peak}");

@@ -1,9 +1,34 @@
 //! A time-ordered, FIFO-stable event queue.
+//!
+//! Internally this is a hierarchical timing wheel rather than a plain
+//! binary heap: the common case in a memory-system simulation is a dense
+//! cloud of events within the next few hundred nanoseconds (link flits,
+//! DRAM timing edges, queue retries) plus a sparse far tail (refresh every
+//! 7.8 µs, thermal ticks). Near-future events are bucketed by coarse time
+//! into a fixed ring of [`BUCKETS`] slots of `2^`[`SHIFT`]` ps` each
+//! (≈ 1 ns buckets, ≈ 1 µs horizon), so push is O(1) and pop amortizes to
+//! a word-scan plus a tiny in-bucket sort instead of a `log n` chain of
+//! tuple comparisons. Far-future events overflow into a small heap and
+//! migrate into the wheel as simulated time approaches them.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use hmc_types::Time;
+
+/// Log2 of the bucket width in picoseconds (2^10 ps ≈ 1 ns).
+pub const SHIFT: u32 = 10;
+/// Number of wheel slots; horizon = `BUCKETS << SHIFT` ps ≈ 1.05 µs.
+pub const BUCKETS: usize = 1024;
+
+const MASK: u64 = (BUCKETS - 1) as u64;
+const WORDS: usize = BUCKETS / 64;
+
+/// Peek-cache sentinel: earliest time unknown, recompute on demand.
+const DIRTY: u64 = u64::MAX;
+/// Peek-cache sentinel: the queue is empty.
+const EMPTY: u64 = u64::MAX - 1;
 
 /// A discrete-event queue: events pop in non-decreasing time order, and
 /// events scheduled for the same instant pop in insertion order
@@ -22,8 +47,27 @@ use hmc_types::Time;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    /// Events already extracted into exact `(time, seq)` order; always the
+    /// earliest region of the queue. Refilled from the wheel one bucket at
+    /// a time.
+    now_buf: VecDeque<(Time, u64, E)>,
+    /// The ring of near-future buckets; slot `abs & MASK` holds events
+    /// whose coarse bucket index `abs` lies in
+    /// `(active_abs, active_abs + BUCKETS]`.
+    wheel: Vec<Vec<(Time, u64, E)>>,
+    /// One bit per wheel slot: set iff the slot's bucket is non-empty.
+    occupied: [u64; WORDS],
+    /// Coarse bucket index of the most recently materialized bucket; the
+    /// wheel window starts just past it. Only ever advances.
+    active_abs: u64,
+    /// Far-future events (beyond the wheel horizon at push time).
+    overflow: BinaryHeap<Entry<E>>,
     seq: u64,
+    len: usize,
+    popped: u64,
+    /// Cached earliest-event time in ps, or [`DIRTY`]/[`EMPTY`]. Lets
+    /// `peek_time(&self)` stay O(1) on the hot path while remaining `Sync`.
+    cached_peek: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -49,20 +93,30 @@ impl<E> Ord for Entry<E> {
     }
 }
 
+#[inline]
+fn bucket_of(at: Time) -> u64 {
+    at.as_ps() >> SHIFT
+}
+
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            seq: 0,
-        }
+        Self::with_capacity(0)
     }
 
-    /// Creates an empty queue with pre-allocated capacity.
+    /// Creates an empty queue with pre-allocated capacity for the
+    /// in-order staging buffer and the far-future overflow.
     pub fn with_capacity(cap: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
+            now_buf: VecDeque::with_capacity(cap.min(4096)),
+            wheel: (0..BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            active_abs: 0,
+            overflow: BinaryHeap::with_capacity(cap.min(64)),
             seq: 0,
+            len: 0,
+            popped: 0,
+            cached_peek: AtomicU64::new(EMPTY),
         }
     }
 
@@ -70,40 +124,193 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, at: Time, event: E) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Entry {
-            key: Reverse((at, seq)),
-            event,
-        });
+        self.len += 1;
+        let abs = bucket_of(at);
+        if abs <= self.active_abs {
+            // The bucket was already materialized: insert in exact order.
+            // `seq` is larger than every resident entry, so placing the
+            // event after all entries at `<= at` preserves FIFO stability.
+            let idx = self.now_buf.partition_point(|e| e.0 <= at);
+            self.now_buf.insert(idx, (at, seq, event));
+        } else if abs - self.active_abs <= BUCKETS as u64 {
+            let slot = (abs & MASK) as usize;
+            self.wheel[slot].push((at, seq, event));
+            self.occupied[slot / 64] |= 1 << (slot % 64);
+        } else {
+            self.overflow.push(Entry {
+                key: Reverse((at, seq)),
+                event,
+            });
+        }
+        let cached = self.cached_peek.load(Ordering::Relaxed);
+        if cached != DIRTY && at.as_ps() < cached {
+            self.cached_peek.store(at.as_ps(), Ordering::Relaxed);
+        }
     }
 
     /// Removes and returns the earliest event with its scheduled time.
     pub fn pop(&mut self) -> Option<(Time, E)> {
-        self.heap.pop().map(|e| (e.key.0 .0, e.event))
+        self.pop_before(Time::MAX)
+    }
+
+    /// Removes and returns the earliest event if it is scheduled at or
+    /// before `limit`; otherwise leaves the queue untouched. This is the
+    /// simulation loop's fast path: one call replaces a
+    /// `peek_time`-then-`pop` pair.
+    pub fn pop_before(&mut self, limit: Time) -> Option<(Time, E)> {
+        if self.now_buf.is_empty() {
+            if self.len == 0 {
+                return None;
+            }
+            self.refill();
+        }
+        if self.now_buf.front().map(|e| e.0 <= limit) != Some(true) {
+            return None;
+        }
+        let (t, _, event) = self.now_buf.pop_front().expect("refilled non-empty");
+        self.len -= 1;
+        self.popped += 1;
+        let next = match self.now_buf.front() {
+            Some(e) => e.0.as_ps(),
+            None if self.len == 0 => EMPTY,
+            None => DIRTY,
+        };
+        self.cached_peek.store(next, Ordering::Relaxed);
+        Some((t, event))
+    }
+
+    /// Advances `active_abs` to the next non-empty bucket (pulling any
+    /// overflow events that fall inside the window on the way) and
+    /// materializes that bucket into `now_buf` in `(time, seq)` order.
+    fn refill(&mut self) {
+        debug_assert!(self.now_buf.is_empty() && self.len > 0);
+        loop {
+            // Overflow events the advancing window now covers belong in
+            // the wheel, where they merge with same-bucket residents.
+            while let Some(top) = self.overflow.peek() {
+                let abs = bucket_of(top.key.0 .0);
+                if abs > self.active_abs + BUCKETS as u64 {
+                    break;
+                }
+                let e = self.overflow.pop().expect("peeked");
+                let slot = (abs & MASK) as usize;
+                self.wheel[slot].push((e.key.0 .0, e.key.0 .1, e.event));
+                self.occupied[slot / 64] |= 1 << (slot % 64);
+            }
+            if let Some(abs) = self.next_occupied_abs() {
+                let slot = (abs & MASK) as usize;
+                self.occupied[slot / 64] &= !(1 << (slot % 64));
+                // (time, seq) keys are unique, so an unstable sort yields
+                // the same order a stable one would.
+                self.wheel[slot].sort_unstable_by_key(|e| (e.0, e.1));
+                self.now_buf.extend(self.wheel[slot].drain(..));
+                self.active_abs = abs;
+                return;
+            }
+            // The whole window is empty: jump to just before the earliest
+            // far-future event and let the migration above pull it in.
+            let top = self.overflow.peek().expect("len > 0 but queue drained");
+            self.active_abs = bucket_of(top.key.0 .0) - 1;
+        }
+    }
+
+    /// Finds the smallest bucket index in `(active_abs, active_abs +
+    /// BUCKETS]` whose slot is occupied, by scanning the occupancy bitmap
+    /// word-by-word from the slot after `active_abs`.
+    fn next_occupied_abs(&self) -> Option<u64> {
+        let base = self.active_abs + 1;
+        let start_slot = (base & MASK) as usize;
+        let mut word = start_slot / 64;
+        let mut mask = !0u64 << (start_slot % 64);
+        for _ in 0..=WORDS {
+            let bits = self.occupied[word] & mask;
+            if bits != 0 {
+                let slot = word * 64 + bits.trailing_zeros() as usize;
+                let dist = (slot + BUCKETS - start_slot) as u64 & MASK;
+                return Some(base + dist);
+            }
+            word = (word + 1) % WORDS;
+            mask = !0;
+        }
+        None
     }
 
     /// The time of the earliest scheduled event, if any.
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.key.0 .0)
+        match self.cached_peek.load(Ordering::Relaxed) {
+            EMPTY => None,
+            DIRTY => {
+                let t = self.scan_min_time();
+                self.cached_peek
+                    .store(t.map_or(EMPTY, Time::as_ps), Ordering::Relaxed);
+                t
+            }
+            ps => Some(Time::from_ps(ps)),
+        }
+    }
+
+    /// Recomputes the earliest event time without mutating the queue: the
+    /// staging buffer front if present, else the minimum over the first
+    /// occupied wheel bucket and the overflow top (overflow may hold
+    /// events the window has since grown over, so both must be checked).
+    fn scan_min_time(&self) -> Option<Time> {
+        if let Some(e) = self.now_buf.front() {
+            return Some(e.0);
+        }
+        let wheel_min = self.next_occupied_abs().and_then(|abs| {
+            let slot = (abs & MASK) as usize;
+            self.wheel[slot].iter().map(|e| e.0).min()
+        });
+        let over_min = self.overflow.peek().map(|e| e.key.0 .0);
+        match (wheel_min, over_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Total events this queue has ever popped (throughput accounting).
+    pub fn total_popped(&self) -> u64 {
+        self.popped
     }
 
     /// Drops all pending events.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.now_buf.clear();
+        for w in 0..WORDS {
+            let mut bits = self.occupied[w];
+            while bits != 0 {
+                let slot = w * 64 + bits.trailing_zeros() as usize;
+                self.wheel[slot].clear();
+                bits &= bits - 1;
+            }
+            self.occupied[w] = 0;
+        }
+        self.overflow.clear();
+        self.len = 0;
+        self.cached_peek.store(EMPTY, Ordering::Relaxed);
     }
 
     /// Iterates over pending events in arbitrary order (diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = (Time, &E)> {
-        self.heap.iter().map(|e| (e.key.0 .0, &e.event))
+        self.now_buf
+            .iter()
+            .map(|e| (e.0, &e.2))
+            .chain(
+                self.wheel
+                    .iter()
+                    .flat_map(|b| b.iter().map(|e| (e.0, &e.2))),
+            )
+            .chain(self.overflow.iter().map(|e| (e.key.0 .0, &e.event)))
     }
 }
 
@@ -116,6 +323,7 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SplitMix64;
 
     #[test]
     fn pops_in_time_order() {
@@ -166,9 +374,11 @@ mod tests {
         let mut q = EventQueue::with_capacity(8);
         q.push(Time::ZERO, 1);
         q.push(Time::ZERO, 2);
+        q.push(Time::from_ps(50_000_000), 3); // parked in overflow
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.peek_time(), None);
+        assert!(q.pop().is_none());
     }
 
     #[test]
@@ -176,5 +386,127 @@ mod tests {
         let q: EventQueue<u8> = EventQueue::default();
         assert!(q.is_empty());
         assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn far_future_overflow_migrates_in_order() {
+        let mut q = EventQueue::new();
+        // Refresh-style far events, beyond the ~1 µs wheel horizon.
+        for i in 0..4u64 {
+            q.push(Time::from_ps(7_800_000 * (i + 1)), i + 100);
+        }
+        // Near-future cloud.
+        q.push(Time::from_ps(500), 1);
+        q.push(Time::from_ps(900_000), 2);
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 100, 101, 102, 103]);
+    }
+
+    #[test]
+    fn same_instant_fifo_across_wheel_and_overflow() {
+        let mut q = EventQueue::new();
+        let far = Time::from_ps(9_000_000);
+        q.push(far, 0); // overflow (beyond horizon from active_abs = 0)
+        q.push(Time::from_ps(100), 99);
+        assert_eq!(q.pop(), Some((Time::from_ps(100), 99)));
+        // Window has advanced only slightly; `far` is still in overflow.
+        q.push(far, 1); // still beyond horizon → overflow too
+        q.push(far, 2);
+        assert_eq!(q.pop(), Some((far, 0)));
+        assert_eq!(q.pop(), Some((far, 1)));
+        assert_eq!(q.pop(), Some((far, 2)));
+    }
+
+    #[test]
+    fn push_earlier_than_materialized_bucket() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(2048), "late");
+        assert_eq!(q.pop().unwrap().1, "late");
+        // active_abs now covers bucket 2; a push into an earlier bucket
+        // must still pop before later events.
+        q.push(Time::from_ps(5000), "later");
+        q.push(Time::from_ps(100), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        assert_eq!(q.pop().unwrap().1, "later");
+    }
+
+    #[test]
+    fn pop_before_respects_limit() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(10), 'a');
+        q.push(Time::from_ps(3000), 'b');
+        assert_eq!(q.pop_before(Time::from_ps(5)), None);
+        assert_eq!(
+            q.pop_before(Time::from_ps(10)),
+            Some((Time::from_ps(10), 'a'))
+        );
+        assert_eq!(q.pop_before(Time::from_ps(2999)), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_before(Time::MAX), Some((Time::from_ps(3000), 'b')));
+        assert_eq!(q.pop_before(Time::MAX), None);
+    }
+
+    #[test]
+    fn total_popped_accumulates() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(Time::from_ps(i), i);
+        }
+        while q.pop().is_some() {}
+        q.push(Time::ZERO, 0);
+        q.pop();
+        assert_eq!(q.total_popped(), 11);
+    }
+
+    #[test]
+    fn peek_recomputes_after_bucket_drains() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_ps(100), 1);
+        q.push(Time::from_ps(300_000), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        // now_buf is empty and the cache is dirty: peek must scan the wheel.
+        assert_eq!(q.peek_time(), Some(Time::from_ps(300_000)));
+        assert_eq!(q.peek_time(), Some(Time::from_ps(300_000)));
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn matches_heap_reference_under_random_load() {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let mut rng = SplitMix64::new(0xC0FFEE);
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut base = 0u64;
+        for _ in 0..5000 {
+            if rng.next_below(3) < 2 {
+                let t = base
+                    + if rng.next_below(10) == 0 {
+                        7_800_000 + rng.next_below(10_000_000)
+                    } else {
+                        rng.next_below(100_000)
+                    };
+                q.push(Time::from_ps(t), seq);
+                model.push(Reverse((t, seq)));
+                seq += 1;
+            } else {
+                let got = q.pop();
+                let want = model.pop().map(|Reverse((t, s))| (Time::from_ps(t), s));
+                assert_eq!(got, want);
+                if let Some((t, _)) = got {
+                    base = t.as_ps();
+                }
+            }
+            assert_eq!(
+                q.peek_time().map(Time::as_ps),
+                model.peek().map(|Reverse((t, _))| *t)
+            );
+        }
+        while let Some(Reverse((t, s))) = model.pop() {
+            assert_eq!(q.pop(), Some((Time::from_ps(t), s)));
+        }
+        assert!(q.pop().is_none());
     }
 }

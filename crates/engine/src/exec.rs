@@ -1,0 +1,140 @@
+//! A deterministic scoped-thread sweep executor.
+//!
+//! Paper figures are sweeps of mutually independent simulation points
+//! (workload × configuration × seed), each of which builds its own
+//! `System` and runs single-threaded. This module fans those points out
+//! across OS threads with [`std::thread::scope`] — no runtime
+//! dependencies — and returns results **in input order**, so a sweep's
+//! output is bit-identical at any thread count: parallelism changes only
+//! which core runs a point, never what the point computes or where its
+//! result lands.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Sweep-wide thread-count override; 0 means "use all available cores".
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the thread count used by [`sweep`]: `0` restores the default of
+/// one thread per available core. Typically driven by a `--threads` CLI
+/// flag.
+pub fn set_threads(n: usize) {
+    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The effective thread count [`sweep`] will use.
+pub fn threads() -> usize {
+    match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Applies `f` to every item, fanning the calls across the configured
+/// number of threads (see [`set_threads`]), and returns the results in
+/// the items' input order.
+pub fn sweep<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    sweep_with(threads(), items, f)
+}
+
+/// [`sweep`] with an explicit thread count (used directly by tests so the
+/// global setting cannot race between concurrently running test threads).
+///
+/// Threads claim items off a shared atomic cursor, so a slow point does
+/// not stall the others; each worker tags results with their input index
+/// and the merged output is sorted by that index before returning.
+pub fn sweep_with<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let cursor = AtomicUsize::new(0);
+    let (work, cursor, f) = (&work, &cursor, &f);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= work.len() {
+                            break;
+                        }
+                        let item = work[i].lock().expect("work slot poisoned").take();
+                        out.push((i, f(item.expect("each slot is claimed once"))));
+                    }
+                    out
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .flat_map(|w| w.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        for threads in [1, 2, 3, 8, 33] {
+            let items: Vec<u64> = (0..100).collect();
+            let out = sweep_with(threads, items, |i| i * 3);
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * 3).collect::<Vec<_>>(),
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_singleton() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(sweep_with(4, empty, |x| x).is_empty());
+        assert_eq!(sweep_with(4, vec![9], |x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // A mildly stateful computation per item: results must not depend
+        // on scheduling.
+        let run = |threads| {
+            sweep_with(threads, (0..64u64).collect(), |i| {
+                let mut rng = crate::rng::SplitMix64::new(i);
+                (0..100).map(|_| rng.next_below(1000)).sum::<u64>()
+            })
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn set_threads_round_trips() {
+        let before = GLOBAL_THREADS.load(Ordering::Relaxed);
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert!(threads() >= 1);
+        GLOBAL_THREADS.store(before, Ordering::Relaxed);
+    }
+}

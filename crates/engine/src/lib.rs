@@ -16,6 +16,9 @@
 //!   Figure 11/12 regressions.
 //! * [`rng::SplitMix64`] — a tiny deterministic PRNG so every experiment is
 //!   exactly reproducible from its seed.
+//! * [`exec`] — a scoped-thread sweep executor that fans independent
+//!   simulation points across cores while keeping results in input order,
+//!   so sweeps stay bit-identical at any thread count.
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@
 //! ```
 
 pub mod event;
+pub mod exec;
 pub mod queue;
 pub mod regress;
 pub mod rng;

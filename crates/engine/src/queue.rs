@@ -42,7 +42,10 @@ impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "queue capacity must be non-zero");
         BoundedQueue {
-            items: VecDeque::with_capacity(capacity.min(1024)),
+            // Full pre-allocation: a bounded queue can never outgrow its
+            // capacity, so reserving it up front eliminates every
+            // warm-up reallocation.
+            items: VecDeque::with_capacity(capacity),
             capacity,
             occupancy_integral: 0.0,
             last_change: Time::ZERO,

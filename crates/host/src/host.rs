@@ -112,6 +112,11 @@ impl Host {
         let nodes = (0..cfg.links.num_links() as usize)
             .map(|l| TxNode::new(l, cfg.node_queue_depth))
             .collect();
+        // Every in-flight request and queued node packet owns at most one
+        // pending event, so this bound avoids warm-up reallocations.
+        let event_capacity = cfg.num_ports * cfg.tag_pool_depth
+            + cfg.links.num_links() as usize * cfg.node_queue_depth
+            + 64;
         Host {
             ports,
             nodes,
@@ -120,7 +125,7 @@ impl Host {
             issue_pending: vec![false; cfg.num_ports],
             node_kick_at: vec![None; cfg.links.num_links() as usize],
             node_kick_seq: vec![0; cfg.links.num_links() as usize],
-            events: EventQueue::with_capacity(1024),
+            events: EventQueue::with_capacity(event_capacity),
             next_id: RequestId::new(0),
             now: Time::ZERO,
             total_issued: 0,
@@ -199,15 +204,16 @@ impl Host {
     /// Processes every host event at or before `until`, transmitting into
     /// `sink`.
     pub fn advance<S: LinkSink>(&mut self, until: Time, sink: &mut S) {
-        while let Some(t) = self.events.peek_time() {
-            if t > until {
-                break;
-            }
-            let (t, ev) = self.events.pop().expect("peeked");
+        while let Some((t, ev)) = self.events.pop_before(until) {
             self.now = self.now.max(t);
             self.handle(ev, t, sink);
         }
         self.now = self.now.max(until);
+    }
+
+    /// Total host events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events.total_popped()
     }
 
     /// Accepts a response that left the device at `at`; it reaches its
@@ -275,7 +281,10 @@ impl Host {
 
     /// Per-port read-latency histograms (the per-port monitoring units).
     pub fn port_latencies(&self) -> Vec<&Histogram> {
-        self.ports.iter().map(|p| &p.monitor().read_latency).collect()
+        self.ports
+            .iter()
+            .map(|p| &p.monitor().read_latency)
+            .collect()
     }
 
     // ------------------------------------------------------------------
@@ -355,13 +364,15 @@ impl Host {
                     + TxStages::transmit_cycles(req.sizes().request_flits()),
             )
         };
-        let wire =
-            |req: &MemoryRequest| TimeDelta::from_ps(links.serialize_ps(req.sizes().request_flits().bytes()));
+        let wire = |req: &MemoryRequest| {
+            TimeDelta::from_ps(links.serialize_ps(req.sizes().request_flits().bytes()))
+        };
         let (result, started) = self.nodes[n].try_start(now, free, pipe, wire);
         match result {
             TxStart::Started(arrival, wire_free) => {
                 let req = started.expect("started implies a request");
-                self.events.push(arrival, HostEvent::NodeTxDone { node: n, req });
+                self.events
+                    .push(arrival, HostEvent::NodeTxDone { node: n, req });
                 self.kick_node(n, wire_free);
                 self.wake_node_ports(n, now);
             }
@@ -479,7 +490,7 @@ mod tests {
         host.start(Time::ZERO);
         let mut sink = EchoSink::new(64);
         host.advance(Time::from_ps(10_000_000), &mut sink); // 10 us
-        // Nine ports x 64 tags, all issued, none returned.
+                                                            // Nine ports x 64 tags, all issued, none returned.
         assert_eq!(host.total_issued(), 9 * 64);
         assert_eq!(host.outstanding(), 9 * 64);
         assert_eq!(sink.submitted.len(), 9 * 64);

@@ -329,7 +329,6 @@ impl GupsPort {
         }
         unblocked
     }
-
 }
 
 #[cfg(test)]

@@ -240,8 +240,6 @@ impl Default for MemConfig {
     }
 }
 
-
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -129,7 +129,13 @@ impl HmcDevice {
             .collect();
         let vaults = (0..n_vaults).map(|v| Vault::new(v as u16, &cfg)).collect();
         let xbar = Xbar::new(cfg.xbar, &cfg.spec, &cfg.links);
-        let mut events = EventQueue::with_capacity(1024);
+        // Bound pending events by what can be in flight at once: each
+        // vault-FIFO slot, each link-ingress slot, and one refresh per
+        // vault own at most one scheduled event each.
+        let event_capacity = n_vaults * (cfg.vault.input_fifo_depth + 1)
+            + n_links * (cfg.link_layer.ingress_queue_depth + cfg.link_layer.write_buffer_depth)
+            + 64;
+        let mut events = EventQueue::with_capacity(event_capacity);
         if cfg.refresh.enabled {
             // Stagger vault refreshes across the interval (none at t = 0,
             // so cold-start accesses are not refresh-delayed).
@@ -252,15 +258,16 @@ impl HmcDevice {
     /// Processes every internal event scheduled at or before `until`,
     /// appending responses that left the device to `out`.
     pub fn advance(&mut self, until: Time, out: &mut Vec<DeviceOutput>) {
-        while let Some(t) = self.events.peek_time() {
-            if t > until {
-                break;
-            }
-            let (t, ev) = self.events.pop().expect("peeked");
+        while let Some((t, ev)) = self.events.pop_before(until) {
             self.now = self.now.max(t);
             self.handle(ev, t, out);
         }
         self.now = self.now.max(until);
+    }
+
+    /// Total device events processed since construction.
+    pub fn events_processed(&self) -> u64 {
+        self.events.total_popped()
     }
 
     /// Current refresh-rate multiplier (≥ 1; 2 in the high-temperature
@@ -424,13 +431,15 @@ impl HmcDevice {
     /// packets.
     fn kick_ingress(&mut self, link: usize, now: Time) {
         if let Some((done, req)) = self.links[link].start_ingress(now) {
-            self.events.push(done, DeviceEvent::IngressDone { link, req });
+            self.events
+                .push(done, DeviceEvent::IngressDone { link, req });
         }
     }
 
     fn kick_egress(&mut self, link: usize, now: Time) {
         if let Some((done, pkt)) = self.links[link].start_egress(now) {
-            self.events.push(done, DeviceEvent::EgressDone { link, pkt });
+            self.events
+                .push(done, DeviceEvent::EgressDone { link, pkt });
         }
     }
 
@@ -441,11 +450,12 @@ impl HmcDevice {
             return false;
         }
         self.write_buf_used += 1;
-        let payload_ps = req.size.bytes() * 1_000_000_000_000
-            / self.cfg.link_layer.write_drain_bytes_per_sec;
+        let payload_ps =
+            req.size.bytes() * 1_000_000_000_000 / self.cfg.link_layer.write_drain_bytes_per_sec;
         let end = now.max(self.drain_free_at) + TimeDelta::from_ps(payload_ps);
         self.drain_free_at = end;
-        self.events.push(end, DeviceEvent::WriteDrained { link, req });
+        self.events
+            .push(end, DeviceEvent::WriteDrained { link, req });
         true
     }
 
@@ -510,9 +520,7 @@ impl HmcDevice {
             let token = match op.req.op {
                 OpKind::Read => {
                     self.data_read_bytes += op.req.size.bytes();
-                    self.store
-                        .as_mut()
-                        .map_or(0, |s| s.read(op.req.addr))
+                    self.store.as_mut().map_or(0, |s| s.read(op.req.addr))
                 }
                 OpKind::Write => {
                     self.data_write_bytes += op.req.size.bytes();
@@ -693,7 +701,10 @@ mod tests {
         let out2 = run_to_idle(&mut dev, t1 + TimeDelta::from_us(1));
         assert_eq!(out2.len(), 1);
         assert_eq!(out2[0].resp.data_token, 0xABCD);
-        assert!(dev.store().unwrap().verify(Address::new(0x400), 128, 0xABCD));
+        assert!(dev
+            .store()
+            .unwrap()
+            .verify(Address::new(0x400), 128, 0xABCD));
     }
 
     #[test]
@@ -713,7 +724,8 @@ mod tests {
         dev.submit(0, read_req(0, 0, 128), Time::ZERO).unwrap();
         let local = run_to_idle(&mut dev, Time::from_ps(1_000_000))[0].at;
         let mut dev2 = HmcDevice::new(cfg);
-        dev2.submit(0, read_req(0, 8 << 7, 128), Time::ZERO).unwrap();
+        dev2.submit(0, read_req(0, 8 << 7, 128), Time::ZERO)
+            .unwrap();
         let remote = run_to_idle(&mut dev2, Time::from_ps(1_000_000))[0].at;
         // Two crossings, 8 ns extra each.
         assert_eq!(remote.since(local).as_ns_f64(), 16.0);
@@ -737,9 +749,7 @@ mod tests {
         // The queue holds 32; one more is in flight after the first kick.
         assert!((32..=34).contains(&accepted), "accepted {accepted}");
         assert!(!dev.can_accept(0));
-        assert!(dev
-            .submit(0, read_req(999, 0, 128), Time::ZERO)
-            .is_err());
+        assert!(dev.submit(0, read_req(999, 0, 128), Time::ZERO).is_err());
     }
 
     #[test]

@@ -191,9 +191,7 @@ impl DeviceLink {
 
     /// Pending ingress requests (queued + in flight + blocked).
     pub fn ingress_backlog(&self) -> usize {
-        self.ingress.len()
-            + usize::from(self.ingress_busy)
-            + usize::from(self.blocked.is_some())
+        self.ingress.len() + usize::from(self.ingress_busy) + usize::from(self.blocked.is_some())
     }
 
     /// Pending egress responses (queued + in flight).
@@ -233,7 +231,8 @@ mod tests {
     #[test]
     fn read_request_ingress_time() {
         let mut l = link();
-        l.enqueue_ingress(req(OpKind::Read, 128), Time::ZERO).unwrap();
+        l.enqueue_ingress(req(OpKind::Read, 128), Time::ZERO)
+            .unwrap();
         let (done, r) = l.start_ingress(Time::ZERO).unwrap();
         assert_eq!(r.op, OpKind::Read);
         // 16 B over 8 lanes @15 Gb/s = 1066 ps, plus 7 ns of processing
@@ -252,7 +251,8 @@ mod tests {
         // link only pays the wire + processing time, so reads behind a
         // write are not drain-stalled at the serializer.
         let mut l = link();
-        l.enqueue_ingress(req(OpKind::Write, 128), Time::ZERO).unwrap();
+        l.enqueue_ingress(req(OpKind::Write, 128), Time::ZERO)
+            .unwrap();
         let (done, _) = l.start_ingress(Time::ZERO).unwrap();
         // 144 B wire = 9600 ps + 7000 ps = 16600 ps.
         assert_eq!(done.as_ps(), 16_600);
@@ -261,7 +261,8 @@ mod tests {
     #[test]
     fn small_write_ingress_time() {
         let mut l = link();
-        l.enqueue_ingress(req(OpKind::Write, 16), Time::ZERO).unwrap();
+        l.enqueue_ingress(req(OpKind::Write, 16), Time::ZERO)
+            .unwrap();
         let (done, _) = l.start_ingress(Time::ZERO).unwrap();
         // 32 B wire = 2133 ps + 7000 ps = 9133 ps.
         assert_eq!(done.as_ps(), 9_133);
@@ -272,19 +273,24 @@ mod tests {
         let mut l = link();
         assert!(l.can_accept());
         for _ in 0..32 {
-            l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO).unwrap();
+            l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO)
+                .unwrap();
         }
         assert!(!l.can_accept());
         assert_eq!(l.ingress_free(), 0);
-        assert!(l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO).is_err());
+        assert!(l
+            .enqueue_ingress(req(OpKind::Read, 16), Time::ZERO)
+            .is_err());
         assert_eq!(l.ingress_backlog(), 32);
     }
 
     #[test]
     fn vault_blocking_stalls_ingress() {
         let mut l = link();
-        l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO).unwrap();
-        l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO).unwrap();
+        l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO)
+            .unwrap();
+        l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO)
+            .unwrap();
         let (_, r) = l.start_ingress(Time::ZERO).unwrap();
         l.block_head(r);
         assert!(l.blocked_request().is_some());

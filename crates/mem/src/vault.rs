@@ -251,7 +251,8 @@ mod tests {
     #[test]
     fn single_read_timing() {
         let mut v = Vault::new(0, &config());
-        v.accept(read_req(0, addr_for(0, 0), 128), Time::ZERO).unwrap();
+        v.accept(read_req(0, addr_for(0, 0), 128), Time::ZERO)
+            .unwrap();
         assert_eq!(v.drain_input(Time::ZERO), 1);
         let mut out = Vec::new();
         v.start_ready(Time::ZERO, &mut out);
@@ -267,7 +268,8 @@ mod tests {
     #[test]
     fn write_ack_after_bus_transfer() {
         let mut v = Vault::new(0, &config());
-        v.accept(write_req(0, addr_for(0, 0), 128), Time::ZERO).unwrap();
+        v.accept(write_req(0, addr_for(0, 0), 128), Time::ZERO)
+            .unwrap();
         v.drain_input(Time::ZERO);
         let mut out = Vec::new();
         v.start_ready(Time::ZERO, &mut out);
@@ -280,7 +282,8 @@ mod tests {
     fn same_bank_requests_serialize_at_trc() {
         let mut v = Vault::new(0, &config());
         for i in 0..3 {
-            v.accept(read_req(i, addr_for(0, i), 128), Time::ZERO).unwrap();
+            v.accept(read_req(i, addr_for(0, i), 128), Time::ZERO)
+                .unwrap();
         }
         v.drain_input(Time::ZERO);
         let mut out = Vec::new();
@@ -290,14 +293,18 @@ mod tests {
         let mut out2 = Vec::new();
         v.start_ready(free, &mut out2);
         assert_eq!(out2.len(), 1);
-        assert_eq!(out2[0].response_at.since(out[0].response_at).as_ns_f64(), 140.0);
+        assert_eq!(
+            out2[0].response_at.since(out[0].response_at).as_ns_f64(),
+            140.0
+        );
     }
 
     #[test]
     fn different_banks_run_in_parallel() {
         let mut v = Vault::new(0, &config());
         for b in 0..4 {
-            v.accept(read_req(b, addr_for(b, 0), 128), Time::ZERO).unwrap();
+            v.accept(read_req(b, addr_for(b, 0), 128), Time::ZERO)
+                .unwrap();
         }
         v.drain_input(Time::ZERO);
         let mut out = Vec::new();
@@ -371,12 +378,14 @@ mod tests {
         // Five to bank 0: two fill the queue, rest jam the FIFO even
         // though bank 1's queue is empty.
         for i in 0..4 {
-            v.accept(read_req(i, addr_for(0, i), 128), Time::ZERO).unwrap();
+            v.accept(read_req(i, addr_for(0, i), 128), Time::ZERO)
+                .unwrap();
         }
         assert_eq!(v.drain_input(Time::ZERO), 2);
         assert_eq!(v.queued(), 4);
         // A bank-1 request behind the jam cannot be reached (HOL).
-        v.accept(read_req(9, addr_for(1, 0), 128), Time::ZERO).unwrap();
+        v.accept(read_req(9, addr_for(1, 0), 128), Time::ZERO)
+            .unwrap();
         assert_eq!(v.drain_input(Time::ZERO), 0);
     }
 
@@ -396,7 +405,8 @@ mod tests {
     #[test]
     fn refresh_holds_everything() {
         let mut v = Vault::new(0, &config());
-        v.accept(read_req(0, addr_for(0, 0), 128), Time::ZERO).unwrap();
+        v.accept(read_req(0, addr_for(0, 0), 128), Time::ZERO)
+            .unwrap();
         v.drain_input(Time::ZERO);
         v.hold_all(Time::from_ps(350_000));
         let mut out = Vec::new();
@@ -411,7 +421,8 @@ mod tests {
     fn activations_counted_for_power_model() {
         let mut v = Vault::new(0, &config());
         for i in 0..3 {
-            v.accept(read_req(i, addr_for(i, 0), 128), Time::ZERO).unwrap();
+            v.accept(read_req(i, addr_for(i, 0), 128), Time::ZERO)
+                .unwrap();
         }
         v.drain_input(Time::ZERO);
         let mut out = Vec::new();
@@ -423,7 +434,8 @@ mod tests {
     #[test]
     fn small_requests_use_one_beat() {
         let mut v = Vault::new(0, &config());
-        v.accept(read_req(0, addr_for(0, 0), 16), Time::ZERO).unwrap();
+        v.accept(read_req(0, addr_for(0, 0), 16), Time::ZERO)
+            .unwrap();
         v.drain_input(Time::ZERO);
         let mut out = Vec::new();
         v.start_ready(Time::ZERO, &mut out);

@@ -193,8 +193,18 @@ mod tests {
             issue_interval: TimeDelta::from_ns(10),
             ..PimConfig::default()
         };
-        let cool = measure_pim(&MemConfig::default(), &idle_like, &CoolingConfig::cfg2(), window());
-        let warm = measure_pim(&MemConfig::default(), &hot, &CoolingConfig::cfg2(), window());
+        let cool = measure_pim(
+            &MemConfig::default(),
+            &idle_like,
+            &CoolingConfig::cfg2(),
+            window(),
+        );
+        let warm = measure_pim(
+            &MemConfig::default(),
+            &hot,
+            &CoolingConfig::cfg2(),
+            window(),
+        );
         assert!(
             warm.surface_c > cool.surface_c + 1.0,
             "{} vs {}",

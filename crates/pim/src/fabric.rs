@@ -149,10 +149,8 @@ impl PimSystem {
 
     fn issue(&mut self, u: usize, now: Time) {
         // Always re-arm the pacing tick.
-        self.events.push(
-            now + self.cfg.issue_interval,
-            PimEvent::Issue { unit: u },
-        );
+        self.events
+            .push(now + self.cfg.issue_interval, PimEvent::Issue { unit: u });
         if !self.units[u].can_issue(&self.cfg) {
             return;
         }
@@ -253,10 +251,7 @@ mod tests {
         };
         let four = rate(4);
         let sixteen = rate(16);
-        assert!(
-            sixteen > 3.0 * four,
-            "16 units {sixteen} vs 4 units {four}"
-        );
+        assert!(sixteen > 3.0 * four, "16 units {sixteen} vs 4 units {four}");
     }
 
     #[test]

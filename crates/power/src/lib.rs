@@ -190,8 +190,7 @@ impl PowerModel {
         // The 13.5 W board/FPGA-idle share is calibrated so the idle
         // point dissipates ~20 W locally, matching the thermal
         // calibration constant `IDLE_LOCAL_POWER_W`.
-        13.5 + self.params.fpga_active_w
-            + self.device_power(rates, junction_c).device_total_w()
+        13.5 + self.params.fpga_active_w + self.device_power(rates, junction_c).device_total_w()
     }
 
     /// What the wall-power analyzer reads for the whole machine.
@@ -276,9 +275,7 @@ mod tests {
             write_bytes_per_sec: 10e9,
             ..ActivityRates::default()
         };
-        assert!(
-            m.device_power(&writes, 50.0).dram_w > m.device_power(&reads, 50.0).dram_w
-        );
+        assert!(m.device_power(&writes, 50.0).dram_w > m.device_power(&reads, 50.0).dram_w);
     }
 
     #[test]

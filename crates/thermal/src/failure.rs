@@ -138,7 +138,10 @@ mod tests {
     fn read_only_survives_eighty_degrees() {
         // The paper's Cfg1 read-only run reached 80 C without failing.
         let p = FailurePolicy::default();
-        assert!(matches!(p.check(80.0, false), Ok(ThermalEvent::RefreshBoost)));
+        assert!(matches!(
+            p.check(80.0, false),
+            Ok(ThermalEvent::RefreshBoost)
+        ));
         // The same temperature kills a write workload.
         assert!(p.check(80.0, true).is_err());
     }

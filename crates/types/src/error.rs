@@ -29,10 +29,16 @@ impl fmt::Display for HmcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HmcError::InvalidRequestSize(b) => {
-                write!(f, "invalid request size {b} B (expected 16..=128 in 16 B steps)")
+                write!(
+                    f,
+                    "invalid request size {b} B (expected 16..=128 in 16 B steps)"
+                )
             }
             HmcError::InvalidBlockSize(b) => {
-                write!(f, "invalid max block size {b} B (expected 16, 32, 64, or 128)")
+                write!(
+                    f,
+                    "invalid max block size {b} B (expected 16, 32, 64, or 128)"
+                )
             }
             HmcError::InvalidLinkCount(n) => {
                 write!(f, "invalid link count {n} (HMC supports 2 or 4 links)")

@@ -41,14 +41,26 @@ fn main() {
     );
 
     // 3. The thermal envelope per cooling configuration.
-    println!("Thermal envelope (write limit {} C):", FailurePolicy::default().write_limit_c);
-    for row in thermal_envelope(&mem, &PimConfig::default(), &FailurePolicy::default(), window) {
+    println!(
+        "Thermal envelope (write limit {} C):",
+        FailurePolicy::default().write_limit_c
+    );
+    for row in thermal_envelope(
+        &mem,
+        &PimConfig::default(),
+        &FailurePolicy::default(),
+        window,
+    ) {
         println!(
             "  {}: {:>7.1} M updates/s at {:.1} C{}",
             row.cooling,
             row.max_ops_per_sec / 1e6,
             row.surface_c,
-            if row.unconstrained { "" } else { " (throttled)" }
+            if row.unconstrained {
+                ""
+            } else {
+                " (throttled)"
+            }
         );
     }
 

@@ -23,11 +23,7 @@ fn main() {
         &["kind", "bandwidth GB/s", "MRPS", "mean read latency ns"],
     );
     for kind in RequestKind::ALL {
-        let m = run_measurement(
-            &cfg,
-            &Workload::full_scale(kind, RequestSize::MAX),
-            &mc,
-        );
+        let m = run_measurement(&cfg, &Workload::full_scale(kind, RequestSize::MAX), &mc);
         table.row(vec![
             kind.to_string(),
             format!("{:.1}", m.bandwidth_gbs),

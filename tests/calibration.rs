@@ -40,7 +40,10 @@ fn headline_kind_ordering_rw_ro_wo() {
     let ro = pattern_bw(RequestKind::ReadOnly, AccessPattern::Vaults(16), 128);
     let rw = pattern_bw(RequestKind::ReadModifyWrite, AccessPattern::Vaults(16), 128);
     let wo = pattern_bw(RequestKind::WriteOnly, AccessPattern::Vaults(16), 128);
-    assert!(rw > ro && ro > wo, "ordering rw({rw}) > ro({ro}) > wo({wo})");
+    assert!(
+        rw > ro && ro > wo,
+        "ordering rw({rw}) > ro({ro}) > wo({wo})"
+    );
     let ratio = rw / wo;
     assert!((1.6..2.4).contains(&ratio), "rw ≈ 2·wo, got {ratio}");
 }
@@ -64,7 +67,11 @@ fn headline_eight_banks_saturate_a_vault() {
     // And the sub-vault patterns scale with bank count.
     let one = pattern_bw(RequestKind::ReadOnly, AccessPattern::Banks(1), 128);
     let four = pattern_bw(RequestKind::ReadOnly, AccessPattern::Banks(4), 128);
-    assert!((3.0..5.0).contains(&(four / one)), "4-bank scaling {}", four / one);
+    assert!(
+        (3.0..5.0).contains(&(four / one)),
+        "4-bank scaling {}",
+        four / one
+    );
 }
 
 #[test]
@@ -123,7 +130,10 @@ fn headline_high_load_latency_is_order_of_magnitude_larger() {
         &mc(),
     );
     let ratio = high.mean_latency_ns() / low_avg;
-    assert!((4.0..25.0).contains(&ratio), "high/low latency ratio {ratio}");
+    assert!(
+        (4.0..25.0).contains(&ratio),
+        "high/low latency ratio {ratio}"
+    );
 }
 
 #[test]
@@ -139,7 +149,10 @@ fn headline_one_bank_high_load_latency_tens_of_us() {
         &mc(),
     );
     let us = m.mean_latency_ns() / 1000.0;
-    assert!((12.0..40.0).contains(&us), "1-bank high-load latency {us} µs");
+    assert!(
+        (12.0..40.0).contains(&us),
+        "1-bank high-load latency {us} µs"
+    );
 }
 
 #[test]
@@ -152,7 +165,10 @@ fn headline_sixteen_vault_high_load_latency_microseconds() {
         &mc(),
     );
     let ns32 = m32.mean_latency_ns();
-    assert!((1_200.0..4_500.0).contains(&ns32), "32 B 16-vault {ns32} ns");
+    assert!(
+        (1_200.0..4_500.0).contains(&ns32),
+        "32 B 16-vault {ns32} ns"
+    );
     let m128 = run_measurement(
         &SystemConfig::default(),
         &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
@@ -190,5 +206,8 @@ fn headline_peak_bandwidth_equation() {
     let cfg = SystemConfig::default();
     assert_eq!(cfg.mem.links.peak_bandwidth_bytes_per_sec(), 60_000_000_000);
     let bw = pattern_bw(RequestKind::ReadOnly, AccessPattern::Vaults(16), 128);
-    assert!(bw < 30.0, "counted bandwidth below directional raw capacity");
+    assert!(
+        bw < 30.0,
+        "counted bandwidth below directional raw capacity"
+    );
 }

@@ -102,18 +102,27 @@ fn thermal_shutdown_wipes_data() {
     let mut cfg = SystemConfig::default();
     cfg.mem.track_data = true;
     let mut sys = System::new(cfg);
-    sys.host_mut().apply_workload(&Workload::Stream(vec![StreamOp {
-        op: OpKind::Write,
-        addr: Address::new(0),
-        size: RequestSize::MAX,
-        token: 99,
-    }]));
+    sys.host_mut()
+        .apply_workload(&Workload::Stream(vec![StreamOp {
+            op: OpKind::Write,
+            addr: Address::new(0),
+            size: RequestSize::MAX,
+            token: 99,
+        }]));
     sys.host_mut().start(Time::ZERO);
     assert!(sys.run_until_idle(TimeDelta::from_ms(1)));
-    assert!(sys.device().store().unwrap().verify(Address::new(0), 128, 99));
+    assert!(sys
+        .device()
+        .store()
+        .unwrap()
+        .verify(Address::new(0), 128, 99));
     // A thermal failure loses DRAM contents.
     sys.device_mut().wipe_data();
-    assert!(!sys.device().store().unwrap().verify(Address::new(0), 128, 99));
+    assert!(!sys
+        .device()
+        .store()
+        .unwrap()
+        .verify(Address::new(0), 128, 99));
 }
 
 #[test]

@@ -1,101 +1,137 @@
-//! Property-based tests (proptest) over the core data structures and
-//! model invariants.
+//! Property-based tests over the core data structures and model
+//! invariants.
+//!
+//! The build environment has no crates.io access, so instead of proptest
+//! these properties are driven by the workspace's own deterministic
+//! [`SplitMix64`] stream: every test runs a fixed number of random cases
+//! from a fixed seed, so failures are exactly reproducible. The assertion
+//! messages include the drawn inputs, which replaces proptest's shrinking
+//! with direct diagnosability.
 
 use hmc_core::AccessPattern;
 use hmc_types::address::{Address, AddressMapping, AddressMask, MaxBlockSize};
 use hmc_types::packet::{wire_bytes_per_access, OpKind, RequestSize, TransactionSizes};
 use hmc_types::{HmcSpec, RequestKind, Time, TimeDelta};
-use proptest::prelude::*;
 use sim_engine::{BoundedQueue, EventQueue, Histogram, LinearFit, SplitMix64};
 
-fn arb_block() -> impl Strategy<Value = MaxBlockSize> {
-    prop_oneof![
-        Just(MaxBlockSize::B16),
-        Just(MaxBlockSize::B32),
-        Just(MaxBlockSize::B64),
-        Just(MaxBlockSize::B128),
-    ]
+/// Runs `f` for `n` independently seeded random cases.
+fn cases(n: u64, seed: u64, mut f: impl FnMut(&mut SplitMix64)) {
+    for case in 0..n {
+        // Distinct, widely spaced seeds per case; `case` itself is mixed
+        // through SplitMix64 so streams are uncorrelated.
+        let mut rng = SplitMix64::new(seed ^ SplitMix64::new(case).next_u64());
+        f(&mut rng);
+    }
 }
 
-fn arb_size() -> impl Strategy<Value = RequestSize> {
-    (1u64..=8).prop_map(|f| RequestSize::new(f * 16).unwrap())
+fn any_block(rng: &mut SplitMix64) -> MaxBlockSize {
+    [
+        MaxBlockSize::B16,
+        MaxBlockSize::B32,
+        MaxBlockSize::B64,
+        MaxBlockSize::B128,
+    ][rng.next_below(4) as usize]
 }
 
-proptest! {
-    /// Decoding any address yields coordinates within the geometry, and
-    /// re-encoding the (vault, bank, row) triple round-trips.
-    #[test]
-    fn address_decode_in_range_and_roundtrips(
-        raw in 0u64..(1 << 34),
-        block in arb_block(),
-    ) {
+fn any_size(rng: &mut SplitMix64) -> RequestSize {
+    RequestSize::new((rng.next_below(8) + 1) * 16).unwrap()
+}
+
+/// Decoding any address yields coordinates within the geometry, and
+/// re-encoding the (vault, bank, row) triple round-trips.
+#[test]
+fn address_decode_in_range_and_roundtrips() {
+    cases(256, 0xA11, |rng| {
+        let raw = rng.next_below(1 << 34);
+        let block = any_block(rng);
         let spec = HmcSpec::default();
         let map = AddressMapping::new(block);
         let loc = map.decode(Address::new(raw), &spec);
-        prop_assert!((loc.vault.index() as u32) < spec.num_vaults());
-        prop_assert!((loc.bank.index() as u32) < spec.banks_per_vault());
-        prop_assert!((loc.quadrant.index() as u32) < spec.num_quadrants());
-        prop_assert_eq!(
+        assert!(
+            (loc.vault.index() as u32) < spec.num_vaults(),
+            "raw {raw:#x}"
+        );
+        assert!(
+            (loc.bank.index() as u32) < spec.banks_per_vault(),
+            "raw {raw:#x}"
+        );
+        assert!(
+            (loc.quadrant.index() as u32) < spec.num_quadrants(),
+            "raw {raw:#x}"
+        );
+        assert_eq!(
             loc.quadrant.index(),
-            loc.vault.index() / spec.vaults_per_quadrant() as u16
+            loc.vault.index() / spec.vaults_per_quadrant() as u16,
+            "raw {raw:#x}"
         );
         let re = map.encode(loc.vault, loc.bank, loc.row, &spec);
         let loc2 = map.decode(re, &spec);
-        prop_assert_eq!(loc.vault, loc2.vault);
-        prop_assert_eq!(loc.bank, loc2.bank);
-        prop_assert_eq!(loc.row, loc2.row);
-    }
+        assert_eq!(loc.vault, loc2.vault, "raw {raw:#x} block {block}");
+        assert_eq!(loc.bank, loc2.bank, "raw {raw:#x} block {block}");
+        assert_eq!(loc.row, loc2.row, "raw {raw:#x} block {block}");
+    });
+}
 
-    /// Masking is idempotent and forced bits really are forced.
-    #[test]
-    fn mask_idempotent_and_forcing(
-        raw in any::<u64>(),
-        lo in 0u32..30,
-        width in 1u32..8,
-    ) {
+/// Masking is idempotent and forced bits really are forced.
+#[test]
+fn mask_idempotent_and_forcing() {
+    cases(256, 0xA12, |rng| {
+        let raw = rng.next_u64();
+        let lo = rng.next_below(30) as u32;
+        let width = rng.next_below(7) as u32 + 1;
         let hi = lo + width - 1;
         let mask = AddressMask::zero_bits(lo, hi);
         let once = mask.apply(Address::new(raw));
         let twice = mask.apply(once);
-        prop_assert_eq!(once, twice);
-        prop_assert_eq!(once.as_u64() & mask.zero_mask(), 0);
-    }
+        assert_eq!(once, twice, "raw {raw:#x} bits {lo}-{hi}");
+        assert_eq!(
+            once.as_u64() & mask.zero_mask(),
+            0,
+            "raw {raw:#x} bits {lo}-{hi}"
+        );
+    });
+}
 
-    /// Consecutive blocks always land in different vaults until the vault
-    /// field wraps (low-order interleave).
-    #[test]
-    fn interleave_spreads_consecutive_blocks(start_block in 0u64..1_000_000) {
+/// Consecutive blocks always land in different vaults until the vault
+/// field wraps (low-order interleave).
+#[test]
+fn interleave_spreads_consecutive_blocks() {
+    cases(256, 0xA13, |rng| {
+        let start_block = rng.next_below(1_000_000);
         let spec = HmcSpec::default();
         let map = AddressMapping::default();
         let a = map.decode(Address::new(start_block * 128), &spec);
         let b = map.decode(Address::new((start_block + 1) * 128), &spec);
         let expected = (a.vault.index() + 1) % 16;
-        prop_assert_eq!(b.vault.index(), expected);
-    }
+        assert_eq!(b.vault.index(), expected, "start block {start_block}");
+    });
+}
 
-    /// Table II arithmetic: total wire bytes are payload plus exactly one
-    /// overhead flit per packet, for every op and size.
-    #[test]
-    fn packet_overhead_is_one_flit_each_way(size in arb_size()) {
+/// Table II arithmetic: total wire bytes are payload plus exactly one
+/// overhead flit per packet, for every op and size.
+#[test]
+fn packet_overhead_is_one_flit_each_way() {
+    cases(32, 0xA14, |rng| {
+        let size = any_size(rng);
         let read = TransactionSizes::of(OpKind::Read, size);
         let write = TransactionSizes::of(OpKind::Write, size);
-        prop_assert_eq!(read.total_wire_bytes(), size.bytes() + 32);
-        prop_assert_eq!(write.total_wire_bytes(), size.bytes() + 32);
-        prop_assert_eq!(
+        assert_eq!(read.total_wire_bytes(), size.bytes() + 32, "{size}");
+        assert_eq!(write.total_wire_bytes(), size.bytes() + 32, "{size}");
+        assert_eq!(
             wire_bytes_per_access(RequestKind::ReadModifyWrite, size),
-            2 * (size.bytes() + 32)
+            2 * (size.bytes() + 32),
+            "{size}"
         );
-    }
+    });
+}
 
-    /// Every valid access pattern's mask confines traffic to exactly the
-    /// advertised number of banks.
-    #[test]
-    fn pattern_masks_reach_exactly_their_banks(
-        pow in 0u32..5,
-        vaults_not_banks in any::<bool>(),
-        samples in prop::collection::vec(0u64..(1 << 32), 64),
-    ) {
-        let n = 1 << pow;
+/// Every valid access pattern's mask confines traffic to exactly the
+/// advertised number of banks.
+#[test]
+fn pattern_masks_reach_exactly_their_banks() {
+    cases(64, 0xA15, |rng| {
+        let n = 1u32 << rng.next_below(5);
+        let vaults_not_banks = rng.next_below(2) == 0;
         let spec = HmcSpec::default();
         let map = AddressMapping::default();
         let pattern = if vaults_not_banks {
@@ -105,64 +141,143 @@ proptest! {
         };
         let mask = pattern.mask(map, &spec).unwrap();
         let mut banks = std::collections::BTreeSet::new();
-        for raw in samples {
+        for _ in 0..64 {
+            let raw = rng.next_below(1 << 32);
             let loc = map.decode(mask.apply(Address::new(raw & !0xF)), &spec);
             banks.insert((loc.vault.index(), loc.bank.index()));
-            prop_assert!((loc.vault.index() as u32) < pattern.vault_count().max(1));
+            assert!(
+                (loc.vault.index() as u32) < pattern.vault_count().max(1),
+                "{pattern}: vault {} out of scope",
+                loc.vault.index()
+            );
         }
-        prop_assert!(banks.len() as u32 <= pattern.bank_count(&spec));
-    }
+        assert!(banks.len() as u32 <= pattern.bank_count(&spec), "{pattern}");
+    });
+}
 
-    /// The event queue is a stable priority queue: pops are sorted by
-    /// time, ties by insertion order.
-    #[test]
-    fn event_queue_is_stable_sorted(times in prop::collection::vec(0u64..1000, 1..200)) {
+/// The event queue is a stable priority queue: pops are sorted by time,
+/// ties by insertion order.
+#[test]
+fn event_queue_is_stable_sorted() {
+    cases(64, 0xA16, |rng| {
+        let len = rng.next_below(199) + 1;
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.push(Time::from_ps(t), i);
+        for i in 0..len {
+            q.push(Time::from_ps(rng.next_below(1000)), i as usize);
         }
         let mut last: Option<(Time, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t >= lt);
+                assert!(t >= lt, "time order violated at {i}");
                 if t == lt {
-                    prop_assert!(i > li, "FIFO order for equal times");
+                    assert!(i > li, "FIFO order for equal times ({li} then {i})");
                 }
             }
             last = Some((t, i));
         }
-    }
+    });
+}
 
-    /// A bounded queue never exceeds capacity and preserves FIFO order.
-    #[test]
-    fn bounded_queue_capacity_and_order(
-        cap in 1usize..32,
-        ops in prop::collection::vec(any::<bool>(), 1..200),
-    ) {
+/// Random interleaved push/pop sequences on the timing-wheel queue
+/// produce exactly the `(time, seq)` pop order of a reference
+/// `BinaryHeap` model — including pathological cases that cross the
+/// wheel horizon (refresh-scale far-future events) and same-instant
+/// FIFO runs.
+#[test]
+fn event_queue_matches_heap_reference_model() {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    cases(48, 0xA17, |rng| {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut model: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut t_base = 0u64;
+        let ops = 400 + rng.next_below(400);
+        for _ in 0..ops {
+            match rng.next_below(10) {
+                // Push near-future (common case: within a few buckets).
+                0..=4 => {
+                    let t = t_base + rng.next_below(50_000);
+                    q.push(Time::from_ps(t), seq);
+                    model.push(Reverse((t, seq)));
+                    seq += 1;
+                }
+                // Push far-future (overflow horizon: refresh, thermal).
+                5 => {
+                    let t = t_base + 1_000_000 + rng.next_below(20_000_000);
+                    q.push(Time::from_ps(t), seq);
+                    model.push(Reverse((t, seq)));
+                    seq += 1;
+                }
+                // Same-instant FIFO burst.
+                6 => {
+                    let t = t_base + rng.next_below(10_000);
+                    for _ in 0..rng.next_below(6) + 2 {
+                        q.push(Time::from_ps(t), seq);
+                        model.push(Reverse((t, seq)));
+                        seq += 1;
+                    }
+                }
+                // Pop and advance the base time, like a simulation loop.
+                _ => {
+                    let got = q.pop();
+                    let want = model.pop().map(|Reverse((t, s))| (Time::from_ps(t), s));
+                    assert_eq!(got, want, "pop diverged after {seq} pushes");
+                    if let Some((t, _)) = got {
+                        t_base = t.as_ps();
+                    }
+                }
+            }
+            assert_eq!(q.len(), model.len());
+            assert_eq!(
+                q.peek_time().map(Time::as_ps),
+                model.peek().map(|Reverse((t, _))| *t),
+                "peek diverged after {seq} pushes"
+            );
+        }
+        // Drain both completely.
+        while let Some(want) = model.pop() {
+            let Reverse((t, s)) = want;
+            assert_eq!(q.pop(), Some((Time::from_ps(t), s)), "drain diverged");
+        }
+        assert!(q.pop().is_none());
+    });
+}
+
+/// A bounded queue never exceeds capacity and preserves FIFO order.
+#[test]
+fn bounded_queue_capacity_and_order() {
+    cases(64, 0xA18, |rng| {
+        let cap = rng.next_below(31) as usize + 1;
+        let ops = rng.next_below(199) + 1;
         let mut q = BoundedQueue::new(cap);
         let mut model: std::collections::VecDeque<u32> = Default::default();
         let mut next = 0u32;
-        for (i, push) in ops.into_iter().enumerate() {
-            let now = Time::from_ps(i as u64);
-            if push {
+        for i in 0..ops {
+            let now = Time::from_ps(i);
+            if rng.next_below(2) == 0 {
                 let fits = model.len() < cap;
                 let r = q.try_push(next, now);
-                prop_assert_eq!(r.is_ok(), fits);
+                assert_eq!(r.is_ok(), fits, "cap {cap} at op {i}");
                 if fits {
                     model.push_back(next);
                 }
                 next += 1;
             } else {
-                prop_assert_eq!(q.pop(now), model.pop_front());
+                assert_eq!(q.pop(now), model.pop_front(), "cap {cap} at op {i}");
             }
-            prop_assert_eq!(q.len(), model.len());
-            prop_assert!(q.len() <= cap);
+            assert_eq!(q.len(), model.len());
+            assert!(q.len() <= cap);
         }
-    }
+    });
+}
 
-    /// Histogram moments match a reference computation.
-    #[test]
-    fn histogram_matches_reference(samples in prop::collection::vec(1u64..10_000_000, 1..500)) {
+/// Histogram moments match a reference computation.
+#[test]
+fn histogram_matches_reference() {
+    cases(64, 0xA19, |rng| {
+        let len = rng.next_below(499) + 1;
+        let samples: Vec<u64> = (0..len).map(|_| rng.next_below(9_999_999) + 1).collect();
         let mut h = Histogram::new();
         for &s in &samples {
             h.record(TimeDelta::from_ps(s));
@@ -170,87 +285,140 @@ proptest! {
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
         let mean = samples.iter().sum::<u64>() / samples.len() as u64;
-        prop_assert_eq!(h.count(), samples.len() as u64);
-        prop_assert_eq!(h.min().unwrap().as_ps(), min);
-        prop_assert_eq!(h.max().unwrap().as_ps(), max);
-        prop_assert_eq!(h.mean().as_ps(), mean);
-        let q0 = h.quantile(0.0).unwrap().as_ps();
-        let q1 = h.quantile(1.0).unwrap().as_ps();
-        prop_assert_eq!(q0, min);
-        prop_assert_eq!(q1, max);
-    }
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.min().unwrap().as_ps(), min);
+        assert_eq!(h.max().unwrap().as_ps(), max);
+        assert_eq!(h.mean().as_ps(), mean);
+        assert_eq!(h.quantile(0.0).unwrap().as_ps(), min);
+        assert_eq!(h.quantile(1.0).unwrap().as_ps(), max);
+    });
+}
 
-    /// Linear regression recovers exact lines from noiseless samples.
-    #[test]
-    fn regression_recovers_lines(
-        slope in -100.0f64..100.0,
-        intercept in -100.0f64..100.0,
-        xs in prop::collection::btree_set(-1000i32..1000, 2..50),
-    ) {
+/// Linear regression recovers exact lines from noiseless samples.
+#[test]
+fn regression_recovers_lines() {
+    cases(64, 0xA1A, |rng| {
+        let slope = rng.next_f64() * 200.0 - 100.0;
+        let intercept = rng.next_f64() * 200.0 - 100.0;
+        let mut xs = std::collections::BTreeSet::new();
+        for _ in 0..rng.next_below(48) + 2 {
+            xs.insert(rng.next_below(2000) as i64 - 1000);
+        }
+        if xs.len() < 2 {
+            xs.insert(-1001);
+        }
         let pts: Vec<(f64, f64)> = xs
             .into_iter()
             .map(|x| (x as f64, slope * x as f64 + intercept))
             .collect();
         let fit = LinearFit::fit(&pts).unwrap();
-        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
-        prop_assert!((fit.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()) + 1e-4);
-    }
+        assert!(
+            (fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()),
+            "slope {slope} fit {}",
+            fit.slope
+        );
+        assert!(
+            (fit.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()) + 1e-4,
+            "intercept {intercept} fit {}",
+            fit.intercept
+        );
+    });
+}
 
-    /// SplitMix64 bounded draws respect their bound for arbitrary seeds.
-    #[test]
-    fn rng_bounded(seed in any::<u64>(), bound in 1u64..1_000_000) {
+/// SplitMix64 bounded draws respect their bound for arbitrary seeds.
+#[test]
+fn rng_bounded() {
+    cases(64, 0xA1B, |rng| {
+        let seed = rng.next_u64();
+        let bound = rng.next_below(999_999) + 1;
         let mut r = SplitMix64::new(seed);
         for _ in 0..100 {
-            prop_assert!(r.next_below(bound) < bound);
+            assert!(r.next_below(bound) < bound, "seed {seed} bound {bound}");
         }
-    }
+    });
+}
 
-    /// DRAM-beat law: every size costs ceil(bytes/32) beats, at least 1.
-    #[test]
-    fn dram_beats_law(size in arb_size()) {
+/// DRAM-beat law: every size costs ceil(bytes/32) beats, at least 1.
+#[test]
+fn dram_beats_law() {
+    cases(32, 0xA1C, |rng| {
+        let size = any_size(rng);
         let beats = size.dram_beats();
-        prop_assert_eq!(beats, size.bytes().div_ceil(32));
-        prop_assert!((1..=4).contains(&beats));
-    }
+        assert_eq!(beats, size.bytes().div_ceil(32), "{size}");
+        assert!((1..=4).contains(&beats), "{size}");
+    });
+}
 
-    /// A token bucket never over-grants: across any request pattern the
-    /// total granted is bounded by capacity + rate x elapsed.
-    #[test]
-    fn token_bucket_never_overgrants(
-        rate_khz in 1u64..1_000,
-        cap in 1u64..64,
-        asks in prop::collection::vec((1u64..8, 1u64..10_000), 1..100),
-    ) {
-        let rate = rate_khz as f64 * 1e3;
+/// A token bucket never over-grants: across any request pattern the total
+/// granted is bounded by capacity + rate x elapsed.
+#[test]
+fn token_bucket_never_overgrants() {
+    cases(64, 0xA1D, |rng| {
+        let rate = (rng.next_below(999) + 1) as f64 * 1e3;
+        let cap = rng.next_below(63) + 1;
+        let asks = rng.next_below(99) + 1;
         let mut b = sim_engine::TokenBucket::new(rate, cap);
         let mut now = Time::ZERO;
         let mut granted = 0u64;
-        for (n, dt_ns) in asks {
-            now = now + TimeDelta::from_ns(dt_ns);
+        for _ in 0..asks {
+            let n = rng.next_below(7) + 1;
+            let dt_ns = rng.next_below(9_999) + 1;
+            now += TimeDelta::from_ns(dt_ns);
             if n <= cap && b.try_take(n, now) {
                 granted += n;
             }
         }
         let bound = cap as f64 + rate * now.as_secs_f64() + 1.0;
-        prop_assert!((granted as f64) <= bound, "granted {granted} > bound {bound}");
-    }
+        assert!(
+            (granted as f64) <= bound,
+            "granted {granted} > bound {bound}"
+        );
+    });
+}
 
-    /// Combined mask and anti-mask never disagree: forced-one bits are
-    /// one, forced-zero bits are zero, untouched bits pass through.
-    #[test]
-    fn anti_mask_respects_all_fields(
-        raw in any::<u64>(),
-        zero_lo in 0u32..12,
-        one_lo in 16u32..28,
-    ) {
-        let mask = AddressMask::zero_bits(zero_lo, zero_lo + 3)
-            .with_one_bits(one_lo, one_lo + 3);
+/// Combined mask and anti-mask never disagree: forced-one bits are one,
+/// forced-zero bits are zero, untouched bits pass through.
+#[test]
+fn anti_mask_respects_all_fields() {
+    cases(256, 0xA1E, |rng| {
+        let raw = rng.next_u64();
+        let zero_lo = rng.next_below(12) as u32;
+        let one_lo = rng.next_below(12) as u32 + 16;
+        let mask = AddressMask::zero_bits(zero_lo, zero_lo + 3).with_one_bits(one_lo, one_lo + 3);
         let a = mask.apply(Address::new(raw)).as_u64();
-        prop_assert_eq!(a & mask.zero_mask(), 0);
-        prop_assert_eq!(a & mask.one_mask(), mask.one_mask());
+        assert_eq!(a & mask.zero_mask(), 0, "raw {raw:#x}");
+        assert_eq!(a & mask.one_mask(), mask.one_mask(), "raw {raw:#x}");
         let untouched = !(mask.zero_mask() | mask.one_mask()) & ((1 << 34) - 1);
-        prop_assert_eq!(a & untouched, raw & ((1 << 34) - 1) & untouched);
-    }
+        assert_eq!(
+            a & untouched,
+            raw & ((1 << 34) - 1) & untouched,
+            "raw {raw:#x}"
+        );
+    });
+}
+
+/// Parallel sweeps are scheduling-independent: the rendered Figure 7
+/// report is byte-identical at 2 and 8 threads (each point simulates in
+/// its own deterministic `System`; the executor only re-orders which core
+/// runs it, never its result or its output position).
+#[test]
+fn fig7_report_identical_across_thread_counts() {
+    use hmc_core::experiments::bandwidth;
+    use hmc_core::{MeasureConfig, SystemConfig};
+    let cfg = SystemConfig::default();
+    let mc = MeasureConfig {
+        warmup: TimeDelta::from_us(10),
+        window: TimeDelta::from_us(40),
+    };
+    let report_at = |threads: usize| {
+        sim_engine::exec::set_threads(threads);
+        let table = bandwidth::figure7_table(&bandwidth::figure7(&cfg, &mc)).to_string();
+        sim_engine::exec::set_threads(0);
+        table
+    };
+    let two = report_at(2);
+    let eight = report_at(8);
+    assert_eq!(two, eight, "fig7 report depends on thread count");
 }
 
 mod slow_properties {
@@ -258,24 +426,18 @@ mod slow_properties {
     use hmc_core::system::{System, SystemConfig};
     use hmc_host::workload::{Addressing, PortWorkload};
     use hmc_host::Workload;
-    use hmc_types::AddressMask;
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(12))]
-
-        /// Conservation at the full system, for arbitrary workload shapes:
-        /// after generation stops and the system drains, every issued
-        /// request has exactly one response and host/device agree.
-        #[test]
-        fn system_conserves_requests(
-            kind_sel in 0u8..3,
-            size in arb_size(),
-            ports in 1usize..=9,
-            pow in 0u32..5,
-            linear in any::<bool>(),
-        ) {
-            let kind = RequestKind::ALL[kind_sel as usize];
-            let n = 1u32 << pow;
+    /// Conservation at the full system, for arbitrary workload shapes:
+    /// after generation stops and the system drains, every issued request
+    /// has exactly one response and host/device agree.
+    #[test]
+    fn system_conserves_requests() {
+        cases(12, 0xB01, |rng| {
+            let kind = RequestKind::ALL[rng.next_below(3) as usize];
+            let size = any_size(rng);
+            let ports = rng.next_below(9) as usize + 1;
+            let n = 1u32 << rng.next_below(5);
+            let linear = rng.next_below(2) == 0;
             let cfg = SystemConfig::default();
             let mask = AccessPattern::Vaults(n)
                 .mask(cfg.mem.mapping, &cfg.mem.spec)
@@ -285,7 +447,11 @@ mod slow_properties {
                 port: PortWorkload {
                     kind,
                     size,
-                    addressing: if linear { Addressing::Linear } else { Addressing::Random },
+                    addressing: if linear {
+                        Addressing::Linear
+                    } else {
+                        Addressing::Random
+                    },
                     mask,
                     read_fraction: None,
                 },
@@ -294,23 +460,33 @@ mod slow_properties {
             sys.host_mut().start(Time::ZERO);
             sys.run_for(TimeDelta::from_us(30));
             sys.host_mut().stop_generation();
-            prop_assert!(sys.run_until_idle(TimeDelta::from_ms(20)), "drain stalled");
+            assert!(sys.run_until_idle(TimeDelta::from_ms(20)), "drain stalled");
             let h = sys.host().stats();
             let d = sys.device().stats();
-            prop_assert_eq!(h.reads_completed, d.reads_completed);
-            prop_assert_eq!(h.writes_completed, d.writes_completed);
-            prop_assert_eq!(
-                h.reads_issued + h.writes_issued,
-                h.reads_completed + h.writes_completed
+            assert_eq!(
+                h.reads_completed, d.reads_completed,
+                "{kind} {size} x{ports}"
             );
-            prop_assert_eq!(sys.host().outstanding(), 0);
-            prop_assert!(h.reads_completed + h.writes_completed > 0);
-        }
+            assert_eq!(
+                h.writes_completed, d.writes_completed,
+                "{kind} {size} x{ports}"
+            );
+            assert_eq!(
+                h.reads_issued + h.writes_issued,
+                h.reads_completed + h.writes_completed,
+                "{kind} {size} x{ports}"
+            );
+            assert_eq!(sys.host().outstanding(), 0);
+            assert!(h.reads_completed + h.writes_completed > 0);
+        });
+    }
 
-        /// The same conservation holds with lane errors injected: retries
-        /// delay packets but never lose them.
-        #[test]
-        fn faulty_links_lose_nothing(seedish in 0u64..8) {
+    /// The same conservation holds with lane errors injected: retries
+    /// delay packets but never lose them.
+    #[test]
+    fn faulty_links_lose_nothing() {
+        cases(4, 0xB02, |rng| {
+            let seedish = rng.next_below(8);
             let mut cfg = SystemConfig::default();
             cfg.mem.link_layer.bit_error_rate = 1e-5 * (seedish + 1) as f64;
             let mut sys = System::new(cfg);
@@ -321,19 +497,25 @@ mod slow_properties {
             sys.host_mut().start(Time::ZERO);
             sys.run_for(TimeDelta::from_us(30));
             sys.host_mut().stop_generation();
-            prop_assert!(sys.run_until_idle(TimeDelta::from_ms(20)));
+            assert!(sys.run_until_idle(TimeDelta::from_ms(20)));
             let h = sys.host().stats();
-            prop_assert_eq!(
+            assert_eq!(
                 h.reads_issued + h.writes_issued,
                 h.reads_completed + h.writes_completed
             );
-            prop_assert!(sys.device().stats().link_retries > 0, "errors were injected");
-        }
+            assert!(
+                sys.device().stats().link_retries > 0,
+                "errors were injected"
+            );
+        });
+    }
 
-        /// PIM updates conserve: every completed update made exactly one
-        /// read and one write at the banks.
-        #[test]
-        fn pim_updates_conserve(units in 1usize..=16) {
+    /// PIM updates conserve: every completed update made exactly one read
+    /// and one write at the banks.
+    #[test]
+    fn pim_updates_conserve() {
+        cases(6, 0xB03, |rng| {
+            let units = rng.next_below(16) as usize + 1;
             let cfg = hmc_pim::PimConfig {
                 units,
                 ..hmc_pim::PimConfig::default()
@@ -345,9 +527,13 @@ mod slow_properties {
             // Writes completed at the banks == updates completed at the
             // units, modulo in-flight tails.
             let diff = d.writes_completed.abs_diff(s.updates_completed);
-            prop_assert!(diff <= units as u64 * 8, "writes {} vs updates {}",
-                d.writes_completed, s.updates_completed);
-            prop_assert!(d.reads_completed >= d.writes_completed);
-        }
+            assert!(
+                diff <= units as u64 * 8,
+                "writes {} vs updates {}",
+                d.writes_completed,
+                s.updates_completed
+            );
+            assert!(d.reads_completed >= d.writes_completed);
+        });
     }
 }
