@@ -1,0 +1,41 @@
+//! Benchmarks the cost of lifecycle tracing: the same full-scale window
+//! with the tracer disabled (the default — every record call is one
+//! predictable branch), fully enabled, and enabled with sparse event-log
+//! sampling. The disabled case is the one that must stay within a few
+//! percent of a build without any instrumentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hmc_core::hmc_host::Workload;
+use hmc_core::system::{System, SystemConfig};
+use hmc_types::{RequestKind, RequestSize, Time, TimeDelta};
+use std::hint::black_box;
+
+fn run_window(trace: Option<u64>) -> u64 {
+    let mut sys = System::new(SystemConfig::default());
+    if let Some(sample_every) = trace {
+        sys.enable_tracing(sample_every);
+    }
+    sys.host_mut().apply_workload(&Workload::full_scale(
+        RequestKind::ReadModifyWrite,
+        RequestSize::new(64).expect("valid"),
+    ));
+    sys.host_mut().start(Time::ZERO);
+    sys.run_for(TimeDelta::from_us(50));
+    sys.host().total_issued()
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(10);
+    g.bench_function("disabled", |b| b.iter(|| black_box(run_window(None))));
+    g.bench_function("enabled_sample_all", |b| {
+        b.iter(|| black_box(run_window(Some(1))))
+    });
+    g.bench_function("enabled_sample_1_in_128", |b| {
+        b.iter(|| black_box(run_window(Some(128))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

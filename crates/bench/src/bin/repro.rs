@@ -13,6 +13,12 @@
 //!   `7`, or `table1` forms.
 //! * `--perf-json` — measure simulation throughput (events/sec and
 //!   simulated-µs per wall-second) and write `BENCH_simperf.json`.
+//! * `--breakdown` — with `fig14`: also print the traced per-stage
+//!   latency attribution (stages sum exactly to the measured latency).
+//! * `--trace <out.json>` — capture a traced full-scale window and write
+//!   Chrome trace-event JSON (open in Perfetto / `chrome://tracing`).
+//! * `--metrics-json <out.json>` — write the same window's sampled
+//!   gauges (queue depths, credits, bank occupancy) as JSON series.
 //!
 //! (The `benches/` targets print the same tables plus paper-vs-measured
 //! verdicts; this binary is the quick interactive entry point.)
@@ -23,6 +29,7 @@ use hmc_core::experiments::{
     thermal,
 };
 use hmc_core::hmc_host::Workload;
+use hmc_core::observe::{metrics_json, run_window_observed};
 use hmc_core::{System, SystemConfig};
 use hmc_types::packet::{OpKind, TransactionSizes};
 use hmc_types::{HmcSpec, HmcVersion, RequestKind, RequestSize, Time, TimeDelta};
@@ -59,7 +66,14 @@ fn table2() {
     }
 }
 
-fn run(target: &str, cfg: &SystemConfig) {
+/// Output options shared by every target.
+#[derive(Debug, Clone, Copy, Default)]
+struct Opts {
+    /// Print the traced per-stage attribution alongside `fig14`.
+    breakdown: bool,
+}
+
+fn run(target: &str, cfg: &SystemConfig, opts: Opts) {
     let mc = bench_mc();
     match target {
         "table1" => table1(),
@@ -103,10 +117,19 @@ fn run(target: &str, cfg: &SystemConfig) {
             "{}",
             page_policy::figure13_table(&page_policy::figure13(cfg, &mc))
         ),
-        "fig14" => println!(
-            "{}",
-            latency::figure14_table(&latency::figure14(cfg, RequestSize::MAX))
-        ),
+        "fig14" => {
+            println!(
+                "{}",
+                latency::figure14_table(&latency::figure14(cfg, RequestSize::MAX))
+            );
+            if opts.breakdown {
+                let obs = latency::figure14_breakdown(cfg, RequestSize::MAX);
+                println!(
+                    "{}",
+                    latency::figure14_breakdown_table(&obs, RequestSize::MAX)
+                );
+            }
+        }
         "fig15" => {
             let pts = latency::figure15(cfg);
             for bytes in latency::FIG15_SIZES {
@@ -207,9 +230,46 @@ fn perf_json(cfg: &SystemConfig) {
     }
 }
 
+/// Runs a traced full-scale window and writes the requested exports:
+/// Chrome trace-event JSON (`--trace`) and/or the sampled gauge series
+/// (`--metrics-json`).
+fn capture_observed(cfg: &SystemConfig, trace_out: Option<&str>, metrics_out: Option<&str>) {
+    let obs = run_window_observed(
+        cfg,
+        &Workload::full_scale(
+            RequestKind::ReadModifyWrite,
+            RequestSize::new(64).expect("valid"),
+        ),
+        TimeDelta::from_us(50),
+        101,
+        TimeDelta::from_us(1),
+    );
+    if let Some(path) = trace_out {
+        let json = obs.report.chrome_json();
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!(
+                "wrote {} trace events to {path} (load in Perfetto or chrome://tracing)",
+                obs.report.events().len()
+            ),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    if let Some(path) = metrics_out {
+        let json = metrics_json(&obs.metrics);
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!(
+                "wrote {} metric series to {path}",
+                obs.metrics.series().len()
+            ),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--threads N] [--figure <id>] [--perf-json] \
+        "usage: repro [--threads N] [--figure <id>] [--perf-json] [--breakdown] \
+         [--trace <out.json>] [--metrics-json <out.json>] \
          <table1|table2|table3|fig6..fig18|baseline|all>..."
     );
     std::process::exit(2);
@@ -220,6 +280,9 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut targets: Vec<String> = Vec::new();
     let mut perf = false;
+    let mut opts = Opts::default();
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -240,11 +303,18 @@ fn main() {
                 }
             }
             "--perf-json" => perf = true,
+            "--breakdown" => opts.breakdown = true,
+            "--trace" => {
+                trace_out = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
+            "--metrics-json" => {
+                metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
             flag if flag.starts_with("--") => usage(),
             target => targets.push(target.to_string()),
         }
     }
-    if targets.is_empty() && !perf {
+    if targets.is_empty() && !perf && trace_out.is_none() && metrics_out.is_none() {
         usage();
     }
     let all = [
@@ -275,11 +345,14 @@ fn main() {
         if arg == "all" {
             for t in all {
                 println!("\n########## {t} ##########");
-                run(t, &cfg);
+                run(t, &cfg, opts);
             }
         } else {
-            run(arg, &cfg);
+            run(arg, &cfg, opts);
         }
+    }
+    if trace_out.is_some() || metrics_out.is_some() {
+        capture_observed(&cfg, trace_out.as_deref(), metrics_out.as_deref());
     }
     if perf {
         perf_json(&cfg);

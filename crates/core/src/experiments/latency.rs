@@ -8,6 +8,7 @@ use sim_engine::exec;
 
 use crate::analysis::{LoadPoint, SaturationAnalysis};
 use crate::measure::{run_measurement, run_stream, MeasureConfig};
+use crate::observe::{run_stream_observed, ObservedStream};
 use crate::pattern::AccessPattern;
 use crate::report::{f1, ns, Table};
 use crate::system::SystemConfig;
@@ -85,6 +86,23 @@ pub fn figure14_table(d: &Deconstruction) -> Table {
     ]);
     t.row(vec!["in-cube".into(), "-".into(), f1(d.in_cube_ns)]);
     t
+}
+
+/// Figure 14, measured per-stage: traces a short read stream and
+/// attributes every picosecond of end-to-end latency to a pipeline
+/// stage. Unlike [`figure14`] (which combines an analytical stage budget
+/// with one measured round trip), this attribution is exact — the traced
+/// stage spans telescope to the measured latency with zero residue.
+pub fn figure14_breakdown(cfg: &SystemConfig, size: RequestSize) -> ObservedStream {
+    run_stream_observed(cfg, &Workload::read_stream(16, size), 1)
+}
+
+/// Renders the measured stage attribution of [`figure14_breakdown`].
+pub fn figure14_breakdown_table(obs: &ObservedStream, size: RequestSize) -> Table {
+    obs.report.attribution_table(
+        format!("Figure 14: measured stage attribution ({size} reads)"),
+        &obs.latency,
+    )
 }
 
 /// One point of Figure 15: a stream length and the latency statistics it
@@ -372,6 +390,29 @@ mod tests {
         assert_eq!(d.tx_stages.len(), 7);
         let table = figure14_table(&d);
         assert!(table.len() >= 12);
+    }
+
+    #[test]
+    fn figure14_breakdown_attributes_all_latency() {
+        let cfg = SystemConfig::default();
+        let obs = figure14_breakdown(&cfg, RequestSize::MAX);
+        let sum = obs.report.stage_sum_ns(obs.latency.count());
+        let e2e = obs.latency.mean().as_ns_f64();
+        // Acceptance bound is 1%; the trace telescopes so the actual
+        // residue is sub-picosecond rounding.
+        assert!(
+            ((sum - e2e) / e2e).abs() < 0.01,
+            "stage sum {sum} ns vs end-to-end {e2e} ns"
+        );
+        let table = figure14_breakdown_table(&obs, RequestSize::MAX);
+        let rendered = table.to_string();
+        assert!(rendered.contains("dram"));
+        assert!(rendered.contains("link_tx"));
+        // The DRAM access is a real but minority share of the unloaded
+        // round trip (the paper's infrastructure-dominates observation).
+        let dram = obs.report.stage(hmc_types::trace::Stage::Dram);
+        assert!(dram.mean().as_ns_f64() > 10.0);
+        assert!(dram.mean().as_ns_f64() < e2e / 2.0);
     }
 
     #[test]

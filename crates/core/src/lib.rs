@@ -16,6 +16,9 @@
 //!   and power sweeps (Figs 9–12, Table III), page-policy contrasts
 //!   (Fig 13), latency deconstruction and load studies (Figs 14–18), and
 //!   the DDR baseline comparison.
+//! * [`observe`] — observed runs: merged host+device lifecycle traces
+//!   ([`TraceReport`]), exact latency attribution tables, Chrome
+//!   trace-event export, and metrics-series JSON.
 //! * [`analysis`] — Little's-law readings and saturation-knee detection.
 //! * [`report`] — plain-text table rendering for the benchmark harness.
 //!
@@ -39,11 +42,13 @@
 pub mod analysis;
 pub mod experiments;
 pub mod measure;
+pub mod observe;
 pub mod pattern;
 pub mod report;
 pub mod system;
 
 pub use measure::{MeasureConfig, Measurement};
+pub use observe::{ObservedStream, ObservedWindow, TraceReport};
 pub use pattern::AccessPattern;
 pub use report::Table;
 pub use system::{System, SystemConfig};

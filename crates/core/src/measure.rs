@@ -87,23 +87,6 @@ impl Measurement {
     }
 }
 
-fn stats_delta(after: DeviceStats, before: DeviceStats) -> DeviceStats {
-    DeviceStats {
-        reads_completed: after.reads_completed - before.reads_completed,
-        writes_completed: after.writes_completed - before.writes_completed,
-        bytes_up: after.bytes_up - before.bytes_up,
-        bytes_down: after.bytes_down - before.bytes_down,
-        data_read_bytes: after.data_read_bytes - before.data_read_bytes,
-        data_write_bytes: after.data_write_bytes - before.data_write_bytes,
-        bank_activations: after.bank_activations - before.bank_activations,
-        row_hits: after.row_hits - before.row_hits,
-        refreshes: after.refreshes - before.refreshes,
-        local_hops: after.local_hops - before.local_hops,
-        remote_hops: after.remote_hops - before.remote_hops,
-        link_retries: after.link_retries - before.link_retries,
-    }
-}
-
 /// Runs `workload` on a fresh system and measures one window.
 pub fn run_measurement(cfg: &SystemConfig, workload: &Workload, mc: &MeasureConfig) -> Measurement {
     run_measurement_with(cfg, workload, mc, |_| {})
@@ -138,7 +121,7 @@ pub fn run_measurement_with(
         bandwidth_gbs,
         mrps,
         read_latency,
-        device_delta: stats_delta(after, before),
+        device_delta: after - before,
         host,
         window: mc.window,
         outstanding,
@@ -152,7 +135,15 @@ pub fn run_stream(cfg: &SystemConfig, workload: &Workload) -> (Histogram, u64) {
     sys.host_mut().apply_workload(workload);
     sys.host_mut().start(Time::ZERO);
     let drained = sys.run_until_idle(TimeDelta::from_ms(100));
-    debug_assert!(drained, "stream did not drain");
+    assert!(
+        drained,
+        "stream did not drain: {} outstanding, host next event {:?}, \
+         device next event {:?} at t={} ns",
+        sys.host().outstanding(),
+        sys.host().next_time(),
+        sys.device().next_time(),
+        sys.now().as_ns_f64(),
+    );
     let stats = sys.host().stats();
     (stats.read_latency.clone(), stats.integrity_failures)
 }
@@ -198,6 +189,30 @@ mod tests {
         );
         assert!(r.read_bytes_per_sec > 0.0);
         assert_eq!(r.write_bytes_per_sec, 0.0);
+    }
+
+    #[test]
+    fn device_stats_subtraction_is_field_wise() {
+        let before = DeviceStats {
+            reads_completed: 10,
+            bytes_up: 1_000,
+            bank_activations: 7,
+            ..DeviceStats::default()
+        };
+        let after = DeviceStats {
+            reads_completed: 25,
+            bytes_up: 4_000,
+            row_hits: 3,
+            ..before
+        };
+        let delta = after - before;
+        assert_eq!(delta.reads_completed, 15);
+        assert_eq!(delta.bytes_up, 3_000);
+        assert_eq!(delta.bank_activations, 0);
+        assert_eq!(delta.row_hits, 3);
+        assert_eq!(delta.writes_completed, 0);
+        // Subtracting a window from itself zeroes every counter.
+        assert_eq!(after - after, DeviceStats::default());
     }
 
     #[test]

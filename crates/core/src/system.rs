@@ -4,6 +4,7 @@
 use hmc_host::{Host, HostConfig, LinkSink};
 use hmc_mem::{DeviceOutput, HmcDevice, MemConfig};
 use hmc_types::{MemoryRequest, Time, TimeDelta};
+use sim_engine::MetricsSampler;
 
 /// Configuration of the whole modelled system.
 #[derive(Debug, Clone, Default)]
@@ -49,6 +50,7 @@ pub struct System {
     host: Host,
     device: HmcDevice,
     now: Time,
+    sampler: Option<MetricsSampler>,
 }
 
 impl System {
@@ -58,7 +60,28 @@ impl System {
             host: Host::new(cfg.host),
             device: HmcDevice::new(cfg.mem),
             now: Time::ZERO,
+            sampler: None,
         }
+    }
+
+    /// Turns on lifecycle tracing on both the host and device tracers.
+    /// Every traced request feeds the per-stage histograms; one in
+    /// `sample_every` also lands in the exportable event log.
+    pub fn enable_tracing(&mut self, sample_every: u64) {
+        self.host.tracer_mut().enable(sample_every);
+        self.device.tracer_mut().enable(sample_every);
+    }
+
+    /// Installs a periodic gauge sampler with the given period. Samples
+    /// are taken deterministically at each period boundary as simulated
+    /// time advances through [`System::step_until`].
+    pub fn enable_metrics(&mut self, period: TimeDelta) {
+        self.sampler = Some(MetricsSampler::new(period));
+    }
+
+    /// The gauge sampler, if [`System::enable_metrics`] installed one.
+    pub fn metrics(&self) -> Option<&MetricsSampler> {
+        self.sampler.as_ref()
     }
 
     /// The host model.
@@ -126,6 +149,14 @@ impl System {
                         self.host.notify_credit(l, free, t);
                     }
                 }
+            }
+            if let Some(mut s) = self.sampler.take() {
+                while let Some(due) = s.due_before(t) {
+                    self.host.sample_metrics(due, &mut s);
+                    self.device.sample_metrics(due, &mut s);
+                    s.advance();
+                }
+                self.sampler = Some(s);
             }
             self.now = t;
         }

@@ -19,6 +19,11 @@
 //! * [`exec`] — a scoped-thread sweep executor that fans independent
 //!   simulation points across cores while keeping results in input order,
 //!   so sweeps stay bit-identical at any thread count.
+//! * [`trace`] — always-compiled, zero-overhead-when-disabled lifecycle
+//!   tracing: per-stage span histograms plus a sampled event log with a
+//!   Chrome trace-event (Perfetto) exporter.
+//! * [`metrics`] — a named-gauge registry with a deterministic periodic
+//!   sampler producing aligned time series.
 //!
 //! # Example
 //!
@@ -35,17 +40,21 @@
 
 pub mod event;
 pub mod exec;
+pub mod metrics;
 pub mod queue;
 pub mod regress;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod token;
+pub mod trace;
 
 pub use event::EventQueue;
+pub use metrics::MetricsSampler;
 pub use queue::BoundedQueue;
 pub use regress::LinearFit;
 pub use rng::SplitMix64;
 pub use series::TimeSeries;
 pub use stats::{BandwidthMeter, Counter, Histogram, TimeWeighted};
 pub use token::TokenBucket;
+pub use trace::{chrome_trace_json, TraceEvent, Tracer};

@@ -392,6 +392,69 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_quantiles_all_collapse() {
+        let mut h = Histogram::new();
+        h.record(TimeDelta::from_ns(42));
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_eq!(h.quantile(q).unwrap().as_ns_f64(), 42.0, "q={q}");
+        }
+        assert_eq!(h.min(), h.max());
+        assert_eq!(h.mean().as_ns_f64(), 42.0);
+        assert_eq!(h.std_dev_ps(), 0.0);
+    }
+
+    #[test]
+    fn merge_into_empty_copies_everything() {
+        let mut src = Histogram::new();
+        for ns in [5u64, 15, 25] {
+            src.record(TimeDelta::from_ns(ns));
+        }
+        let mut dst = Histogram::new();
+        dst.merge(&src);
+        assert_eq!(dst.count(), 3);
+        assert_eq!(dst.mean().as_ns_f64(), 15.0);
+        assert_eq!(dst.min().unwrap().as_ns_f64(), 5.0);
+        assert_eq!(dst.max().unwrap().as_ns_f64(), 25.0);
+        assert_eq!(dst.quantile(0.5).unwrap().as_ns_f64(), 15.0);
+        assert_eq!(dst.total(), src.total());
+    }
+
+    #[test]
+    fn merge_empty_into_populated_is_identity() {
+        let mut a = Histogram::new();
+        a.record(TimeDelta::from_ns(10));
+        let before = (a.count(), a.min(), a.max(), a.total());
+        a.merge(&Histogram::new());
+        assert_eq!((a.count(), a.min(), a.max(), a.total()), before);
+    }
+
+    #[test]
+    fn merge_two_empties_stays_empty() {
+        let mut a = Histogram::new();
+        a.merge(&Histogram::new());
+        assert!(a.is_empty());
+        assert_eq!(a.min(), None);
+        assert_eq!(a.max(), None);
+        assert_eq!(a.quantile(0.0), None);
+        assert_eq!(a.quantile(1.0), None);
+        assert_eq!(a.mean(), TimeDelta::ZERO);
+    }
+
+    #[test]
+    fn quantile_extremes_bracket_after_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for i in 1..=50u64 {
+            a.record(TimeDelta::from_ns(i));
+            b.record(TimeDelta::from_ns(100 + i));
+        }
+        a.merge(&b);
+        assert_eq!(a.quantile(0.0).unwrap().as_ns_f64(), 1.0);
+        assert_eq!(a.quantile(1.0).unwrap().as_ns_f64(), 150.0);
+        assert_eq!(a.count(), 100);
+    }
+
+    #[test]
     fn histogram_merge() {
         let mut a = Histogram::new();
         let mut b = Histogram::new();

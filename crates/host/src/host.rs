@@ -2,8 +2,9 @@
 //! the event loop driving requests into a [`LinkSink`].
 
 use hmc_types::packet::FlitCount;
+use hmc_types::trace::Stage;
 use hmc_types::{MemoryRequest, MemoryResponse, PortId, RequestId, Time, TimeDelta};
-use sim_engine::{EventQueue, Histogram};
+use sim_engine::{EventQueue, Histogram, MetricsSampler, Tracer};
 
 use crate::config::HostConfig;
 use crate::controller::TxStages;
@@ -94,6 +95,7 @@ pub struct Host {
     now: Time,
     total_issued: u64,
     total_completed: u64,
+    tracer: Tracer,
 }
 
 impl Host {
@@ -130,6 +132,7 @@ impl Host {
             now: Time::ZERO,
             total_issued: 0,
             total_completed: 0,
+            tracer: Tracer::new(&Stage::NAMES),
             cfg,
         }
     }
@@ -221,6 +224,9 @@ impl Host {
     pub fn receive_response(&mut self, resp: MemoryResponse, at: Time) {
         let flits = FlitCount::new(resp.size.payload_flits().count() + 1);
         let deliver = at + self.cfg.rx.latency(flits, self.cfg.frequency);
+        // The device's tracer accounted for everything since LinkTx; take
+        // the trace back for the RX pipeline.
+        self.tracer.rebase(resp.trace_id(), at);
         self.events.push(deliver, HostEvent::RxDeliver { resp });
     }
 
@@ -287,6 +293,25 @@ impl Host {
             .collect()
     }
 
+    /// The host-side lifecycle tracer (disabled unless
+    /// [`tracer_mut`](Host::tracer_mut) enabled it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access (enable tracing before starting a run).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Records the host's gauges into a metrics sampler at instant `at`.
+    pub fn sample_metrics(&self, at: Time, s: &mut MetricsSampler) {
+        s.record("host.outstanding", at, self.outstanding() as f64);
+        let queued: usize = self.nodes.iter().map(|n| n.queue_len()).sum();
+        s.record("host.tx_queue", at, queued as f64);
+        s.record("host.pending_events", at, self.events.len() as f64);
+    }
+
     // ------------------------------------------------------------------
 
     fn handle<S: LinkSink>(&mut self, ev: HostEvent, now: Time, sink: &mut S) {
@@ -312,6 +337,7 @@ impl Host {
             }
             HostEvent::RxDeliver { mut resp } => {
                 resp.completed_at = now;
+                self.tracer.finish(resp.trace_id(), Stage::Rx.index(), now);
                 let p = resp.port.index() as usize;
                 self.total_completed += 1;
                 let unblocked = self.ports[p].deliver(&resp);
@@ -335,6 +361,9 @@ impl Host {
                 self.next_id = self.next_id.next();
                 self.total_issued += 1;
                 let ready = now + self.cfg.frequency.cycles(self.cfg.tx.flits_to_parallel);
+                self.tracer.begin(req.trace_id(), now);
+                self.tracer
+                    .transition(req.trace_id(), Stage::TxFlits.index(), ready);
                 self.nodes[node_idx].enqueue(ready, req);
                 self.kick_node(node_idx, ready);
                 if self.ports[p].is_active() {
@@ -371,6 +400,15 @@ impl Host {
         match result {
             TxStart::Started(arrival, wire_free) => {
                 let req = started.expect("started implies a request");
+                if self.tracer.is_enabled() {
+                    // The queue span ends now; the pipeline and wire
+                    // boundaries are already known, so record them ahead.
+                    let id = req.trace_id();
+                    self.tracer.transition(id, Stage::TxQueue.index(), now);
+                    self.tracer
+                        .transition(id, Stage::TxPipe.index(), now + pipe(&req));
+                    self.tracer.transition(id, Stage::LinkTx.index(), arrival);
+                }
                 self.events
                     .push(arrival, HostEvent::NodeTxDone { node: n, req });
                 self.kick_node(n, wire_free);

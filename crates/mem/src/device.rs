@@ -4,8 +4,9 @@
 use std::collections::{HashMap, VecDeque};
 
 use hmc_types::packet::OpKind;
+use hmc_types::trace::Stage;
 use hmc_types::{MemoryRequest, MemoryResponse, Time, TimeDelta};
-use sim_engine::EventQueue;
+use sim_engine::{EventQueue, MetricsSampler, Tracer};
 
 use crate::config::MemConfig;
 use crate::link::{DeviceLink, OutPacket};
@@ -26,33 +27,66 @@ pub struct DeviceOutput {
     pub at: Time,
 }
 
-/// Aggregated activity counters of the whole device.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct DeviceStats {
-    /// Read operations completed by the DRAM banks.
-    pub reads_completed: u64,
-    /// Write operations completed by the DRAM banks.
-    pub writes_completed: u64,
-    /// Request-packet bytes received across all links.
-    pub bytes_up: u64,
-    /// Response-packet bytes sent across all links.
-    pub bytes_down: u64,
-    /// Payload bytes read from DRAM.
-    pub data_read_bytes: u64,
-    /// Payload bytes written to DRAM.
-    pub data_write_bytes: u64,
-    /// Row activations across all banks.
-    pub bank_activations: u64,
-    /// Open-page row hits (ablation mode only).
-    pub row_hits: u64,
-    /// Refresh operations performed.
-    pub refreshes: u64,
-    /// Crossbar local-quadrant deliveries.
-    pub local_hops: u64,
-    /// Crossbar remote-quadrant deliveries.
-    pub remote_hops: u64,
-    /// Link-level retries (injected bit errors caught by CRC).
-    pub link_retries: u64,
+/// Declares a plain counter struct plus its field-wise [`Sub`] — the
+/// single source of truth for window deltas. Adding a counter here makes
+/// it flow through `after - before` automatically instead of silently
+/// dropping out of a hand-written delta.
+///
+/// [`Sub`]: std::ops::Sub
+macro_rules! counter_stats {
+    (
+        $(#[$meta:meta])*
+        pub struct $name:ident {
+            $($(#[$fmeta:meta])* pub $field:ident: u64,)+
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct $name {
+            $($(#[$fmeta])* pub $field: u64,)+
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = $name;
+
+            /// Field-wise delta: the activity between two snapshots.
+            fn sub(self, before: $name) -> $name {
+                $name {
+                    $($field: self.$field - before.$field,)+
+                }
+            }
+        }
+    };
+}
+
+counter_stats! {
+    /// Aggregated activity counters of the whole device.
+    pub struct DeviceStats {
+        /// Read operations completed by the DRAM banks.
+        pub reads_completed: u64,
+        /// Write operations completed by the DRAM banks.
+        pub writes_completed: u64,
+        /// Request-packet bytes received across all links.
+        pub bytes_up: u64,
+        /// Response-packet bytes sent across all links.
+        pub bytes_down: u64,
+        /// Payload bytes read from DRAM.
+        pub data_read_bytes: u64,
+        /// Payload bytes written to DRAM.
+        pub data_write_bytes: u64,
+        /// Row activations across all banks.
+        pub bank_activations: u64,
+        /// Open-page row hits (ablation mode only).
+        pub row_hits: u64,
+        /// Refresh operations performed.
+        pub refreshes: u64,
+        /// Crossbar local-quadrant deliveries.
+        pub local_hops: u64,
+        /// Crossbar remote-quadrant deliveries.
+        pub remote_hops: u64,
+        /// Link-level retries (injected bit errors caught by CRC).
+        pub link_retries: u64,
+    }
 }
 
 impl DeviceStats {
@@ -117,6 +151,7 @@ pub struct HmcDevice {
     data_read_bytes: u64,
     data_write_bytes: u64,
     now: Time,
+    tracer: Tracer,
 }
 
 impl HmcDevice {
@@ -165,6 +200,7 @@ impl HmcDevice {
             data_read_bytes: 0,
             data_write_bytes: 0,
             now: Time::ZERO,
+            tracer: Tracer::new(&Stage::NAMES),
             cfg,
         }
     }
@@ -200,6 +236,7 @@ impl HmcDevice {
     ) -> Result<(), MemoryRequest> {
         debug_assert!(now >= self.now, "submit in the past");
         self.links[link].enqueue_ingress(req, now)?;
+        self.tracer.begin(req.trace_id(), now);
         self.kick_ingress(link, now);
         Ok(())
     }
@@ -223,6 +260,7 @@ impl HmcDevice {
         }
         self.vault_reserved[v] += 1;
         self.arrival_link.insert(req.id.value(), PIM_LINK);
+        self.tracer.begin(req.trace_id(), now);
         self.events.push(
             now + self.cfg.xbar.local_hop,
             DeviceEvent::VaultArrive {
@@ -333,6 +371,31 @@ impl HmcDevice {
         s
     }
 
+    /// The device-side lifecycle tracer (disabled unless
+    /// [`tracer_mut`](HmcDevice::tracer_mut) enabled it).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Mutable tracer access (enable tracing before submitting work).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Records the device's gauges into a metrics sampler at instant
+    /// `at`: vault queue depth, posted-write buffer fill, busy banks, and
+    /// the link-level ingress-credit / egress-backlog levels.
+    pub fn sample_metrics(&self, at: Time, s: &mut MetricsSampler) {
+        s.record("device.vault_queued", at, self.total_queued() as f64);
+        s.record("device.write_buf", at, self.write_buf_used as f64);
+        let busy: usize = self.vaults.iter().map(|v| v.busy_banks(at)).sum();
+        s.record("device.busy_banks", at, busy as f64);
+        let credits: usize = self.links.iter().map(|l| l.ingress_free()).sum();
+        s.record("device.ingress_credits", at, credits as f64);
+        let egress: usize = self.links.iter().map(|l| l.egress_backlog()).sum();
+        s.record("device.egress_backlog", at, egress as f64);
+    }
+
     // ------------------------------------------------------------------
     // internals
     // ------------------------------------------------------------------
@@ -340,6 +403,8 @@ impl HmcDevice {
     fn handle(&mut self, ev: DeviceEvent, now: Time, out: &mut Vec<DeviceOutput>) {
         match ev {
             DeviceEvent::IngressDone { link, req } => {
+                self.tracer
+                    .transition(req.trace_id(), Stage::LinkIngress.index(), now);
                 let accepted = match req.op {
                     OpKind::Read => self.route_request(link, req, now),
                     OpKind::Write => self.try_drain(link, req, now),
@@ -352,6 +417,8 @@ impl HmcDevice {
                 }
             }
             DeviceEvent::VaultArrive { vault, req } => {
+                self.tracer
+                    .transition(req.trace_id(), Stage::XbarReq.index(), now);
                 self.vaults[vault as usize]
                     .accept(req, now)
                     .expect("input FIFO slot was reserved");
@@ -365,11 +432,15 @@ impl HmcDevice {
                 self.pump_vault(vault as usize, now, out);
             }
             DeviceEvent::ResponseAtLink { link, pkt } => {
+                self.tracer
+                    .transition(pkt.req.trace_id(), Stage::XbarResp.index(), now);
                 self.links[link].push_egress(pkt);
                 self.kick_egress(link, now);
             }
             DeviceEvent::EgressDone { link, pkt } => {
                 self.links[link].finish_egress();
+                self.tracer
+                    .finish(pkt.req.trace_id(), Stage::LinkEgress.index(), now);
                 out.push(DeviceOutput {
                     resp: MemoryResponse {
                         id: pkt.req.id,
@@ -388,6 +459,8 @@ impl HmcDevice {
                 self.kick_egress(link, now);
             }
             DeviceEvent::PimReturn { pkt } => {
+                self.tracer
+                    .finish(pkt.req.trace_id(), Stage::XbarResp.index(), now);
                 out.push(DeviceOutput {
                     resp: MemoryResponse {
                         id: pkt.req.id,
@@ -405,6 +478,8 @@ impl HmcDevice {
                 });
             }
             DeviceEvent::WriteDrained { link, req } => {
+                self.tracer
+                    .transition(req.trace_id(), Stage::WriteDrain.index(), now);
                 // The buffer slot stays held until the write lands in its
                 // vault's input FIFO — otherwise the posted-write path
                 // would admit writes far faster than a congested vault
@@ -450,6 +525,8 @@ impl HmcDevice {
             return false;
         }
         self.write_buf_used += 1;
+        self.tracer
+            .transition(req.trace_id(), Stage::WriteStall.index(), now);
         let payload_ps =
             req.size.bytes() * 1_000_000_000_000 / self.cfg.link_layer.write_drain_bytes_per_sec;
         let end = now.max(self.drain_free_at) + TimeDelta::from_ps(payload_ps);
@@ -489,6 +566,8 @@ impl HmcDevice {
         }
         self.vault_reserved[v] += 1;
         self.arrival_link.insert(req.id.value(), link);
+        self.tracer
+            .transition(req.trace_id(), Stage::VaultStall.index(), now);
         let delay = self.xbar.delay(link, loc.vault.index()) + self.cfg.xbar.ingress_latency;
         self.events.push(
             now + delay,
@@ -517,6 +596,14 @@ impl HmcDevice {
         }
         self.vault_reserved[v] -= freed;
         for op in started {
+            if self.tracer.is_enabled() {
+                // The bank access starts at the pump instant and the
+                // vault has already committed its completion time.
+                let id = op.req.trace_id();
+                self.tracer.transition(id, Stage::VaultQueue.index(), now);
+                self.tracer
+                    .transition(id, Stage::Dram.index(), op.response_at);
+            }
             let token = match op.req.op {
                 OpKind::Read => {
                     self.data_read_bytes += op.req.size.bytes();

@@ -193,6 +193,12 @@ impl Vault {
         self.input.len() + self.bank_queues.iter().map(|q| q.len()).sum::<usize>()
     }
 
+    /// Banks busy with an access (or held by refresh) at `now` — the
+    /// bank-occupancy gauge the metrics sampler reports.
+    pub fn busy_banks(&self, now: Time) -> usize {
+        self.banks.iter().filter(|b| !b.is_free(now)).count()
+    }
+
     /// Activity counters.
     pub fn stats(&self) -> VaultStats {
         self.stats

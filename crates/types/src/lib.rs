@@ -13,6 +13,8 @@
 //! * [`spec`] — structural properties of HMC 1.0 / 1.1 / 2.0 devices
 //!   (Table I) and the link peak-bandwidth law (Equation 2).
 //! * [`request`] — in-flight memory request/response records and identifiers.
+//! * [`trace`] — the request-lifecycle [`Stage`] vocabulary the
+//!   observability layer attributes latency to.
 //!
 //! # Example
 //!
@@ -34,6 +36,7 @@ pub mod packet;
 pub mod request;
 pub mod spec;
 pub mod time;
+pub mod trace;
 
 pub use address::{Address, AddressMapping, AddressMask, InterleaveOrder, Location, MaxBlockSize};
 pub use error::HmcError;
@@ -41,3 +44,4 @@ pub use packet::{FlitCount, RequestKind, RequestSize, TransactionSizes, FLIT_BYT
 pub use request::{MemoryRequest, MemoryResponse, PortId, RequestId, Tag};
 pub use spec::{HmcSpec, HmcVersion, LinkConfig, LinkSpeed, LinkWidth};
 pub use time::{Frequency, Time, TimeDelta};
+pub use trace::{Stage, TraceId};

@@ -113,6 +113,12 @@ impl MemoryRequest {
     pub fn sizes(&self) -> TransactionSizes {
         TransactionSizes::of(self.op, self.size)
     }
+
+    /// The trace identifier the observability layer files lifecycle spans
+    /// under — the globally unique request sequence number.
+    pub const fn trace_id(&self) -> crate::trace::TraceId {
+        self.id.value()
+    }
 }
 
 impl fmt::Display for MemoryRequest {
@@ -154,6 +160,11 @@ impl MemoryResponse {
     /// Round-trip latency as the GUPS monitoring unit measures it.
     pub fn latency(&self) -> crate::time::TimeDelta {
         self.completed_at.since(self.issued_at)
+    }
+
+    /// The trace identifier of the request this response answers.
+    pub const fn trace_id(&self) -> crate::trace::TraceId {
+        self.id.value()
     }
 }
 

@@ -1,0 +1,181 @@
+//! The request-lifecycle stage vocabulary of the tracing subsystem.
+//!
+//! A request's round trip decomposes into consecutive, non-overlapping
+//! stages whose spans telescope exactly to `completed_at - issued_at`:
+//! each stage ends where the next begins, so summing per-stage histograms
+//! over a fully drained read stream reproduces the end-to-end latency to
+//! the picosecond. The stage boundaries correspond to the observable
+//! hand-off instants of the model (event timestamps), mirroring the
+//! paper's Figure 14 deconstruction.
+//!
+//! The generic tracer in `sim_engine::trace` is policy-free and indexes
+//! stages by `usize`; this module is the one place the domain meaning of
+//! those indices is defined.
+
+use std::fmt;
+
+/// One stage of a request's lifecycle, in round-trip order.
+///
+/// Host-side TX stages run from issue to the last flit crossing the wire;
+/// device-side stages run from wire arrival to the response leaving over
+/// SerDes; the final RX stage covers the host's receive pipeline. The
+/// `WriteStall`/`WriteDrain` stages only appear on posted writes — read
+/// paths record zero samples there, which is why [`Stage::read_path`]
+/// excludes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(usize)]
+pub enum Stage {
+    /// Port issue to FlitsToParallel completion (fixed 10 cycles).
+    TxFlits = 0,
+    /// Waiting in the transmit node's queue (arbitration + backlog).
+    TxQueue = 1,
+    /// The fixed TX pipeline: arbiter, AddSeq, FlowControl, AddCRC,
+    /// SerDes conversion, and the transmit stage.
+    TxPipe = 2,
+    /// Request-packet serialization onto the wire.
+    LinkTx = 3,
+    /// Device link ingress: queueing plus deserialization/processing.
+    LinkIngress = 4,
+    /// Posted write waiting for a write-buffer slot (writes only).
+    WriteStall = 5,
+    /// Posted write passing through the rate-limited drain (writes only).
+    WriteDrain = 6,
+    /// Waiting at the link head for a free vault input-FIFO slot.
+    VaultStall = 7,
+    /// Crossbar hop from link to vault (ingress direction).
+    XbarReq = 8,
+    /// Queued inside the vault (input FIFO + bank queue) until a bank
+    /// starts the access.
+    VaultQueue = 9,
+    /// The DRAM access itself: ACT/CAS timing plus TSV bus beats.
+    Dram = 10,
+    /// Crossbar hop from vault back to the link (egress direction).
+    XbarResp = 11,
+    /// Device link egress: response queueing plus serialization.
+    LinkEgress = 12,
+    /// Host RX pipeline from wire exit to the port's monitoring unit.
+    Rx = 13,
+}
+
+impl Stage {
+    /// Number of stages (the length every per-stage histogram vector
+    /// must have).
+    pub const COUNT: usize = 14;
+
+    /// Every stage, in round-trip order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::TxFlits,
+        Stage::TxQueue,
+        Stage::TxPipe,
+        Stage::LinkTx,
+        Stage::LinkIngress,
+        Stage::WriteStall,
+        Stage::WriteDrain,
+        Stage::VaultStall,
+        Stage::XbarReq,
+        Stage::VaultQueue,
+        Stage::Dram,
+        Stage::XbarResp,
+        Stage::LinkEgress,
+        Stage::Rx,
+    ];
+
+    /// Stage display names, indexed by [`Stage::index`]. This is the
+    /// vocabulary handed to the engine's generic tracer.
+    pub const NAMES: [&'static str; Stage::COUNT] = [
+        "tx_flits",
+        "tx_queue",
+        "tx_pipe",
+        "link_tx",
+        "link_ingress",
+        "write_stall",
+        "write_drain",
+        "vault_stall",
+        "xbar_req",
+        "vault_queue",
+        "dram",
+        "xbar_resp",
+        "link_egress",
+        "rx",
+    ];
+
+    /// The stages a read traverses; their spans telescope exactly to the
+    /// end-to-end latency of a read.
+    pub const fn read_path() -> [Stage; 12] {
+        [
+            Stage::TxFlits,
+            Stage::TxQueue,
+            Stage::TxPipe,
+            Stage::LinkTx,
+            Stage::LinkIngress,
+            Stage::VaultStall,
+            Stage::XbarReq,
+            Stage::VaultQueue,
+            Stage::Dram,
+            Stage::XbarResp,
+            Stage::LinkEgress,
+            Stage::Rx,
+        ]
+    }
+
+    /// The stage's histogram index.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The stage's display name.
+    pub const fn name(self) -> &'static str {
+        Stage::NAMES[self as usize]
+    }
+
+    /// True for the posted-write-only stages.
+    pub const fn write_only(self) -> bool {
+        matches!(self, Stage::WriteStall | Stage::WriteDrain)
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A trace identifier: the globally unique [`RequestId`] sequence number
+/// of the request being traced.
+///
+/// [`RequestId`]: crate::request::RequestId
+pub type TraceId = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_match_positions() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+            assert_eq!(s.name(), Stage::NAMES[i]);
+        }
+        assert_eq!(Stage::ALL.len(), Stage::COUNT);
+        assert_eq!(Stage::NAMES.len(), Stage::COUNT);
+    }
+
+    #[test]
+    fn read_path_skips_write_stages() {
+        let rp = Stage::read_path();
+        assert!(rp.iter().all(|s| !s.write_only()));
+        assert_eq!(rp.len(), Stage::COUNT - 2);
+        // Round-trip order is preserved.
+        for w in rp.windows(2) {
+            assert!(w[0].index() < w[1].index());
+        }
+    }
+
+    #[test]
+    fn display_uses_names() {
+        assert_eq!(Stage::Dram.to_string(), "dram");
+        assert_eq!(Stage::TxFlits.to_string(), "tx_flits");
+        assert!(Stage::WriteStall.write_only());
+        assert!(!Stage::Dram.write_only());
+    }
+}
