@@ -19,6 +19,11 @@
 //!   Chrome trace-event JSON (open in Perfetto / `chrome://tracing`).
 //! * `--metrics-json <out.json>` — write the same window's sampled
 //!   gauges (queue depths, credits, bank occupancy) as JSON series.
+//! * `--sanitize` — run the Figure 9 bandwidth subset with the protocol
+//!   sanitizer armed, verify it is bit-identical to the plain run, and
+//!   print the invariant-check report (nonzero exit on any violation).
+//! * `--sanitize-json <out.json>` — with `--sanitize`: also write the
+//!   merged `SanitizerReport` as JSON.
 //!
 //! (The `benches/` targets print the same tables plus paper-vs-measured
 //! verdicts; this binary is the quick interactive entry point.)
@@ -266,10 +271,35 @@ fn capture_observed(cfg: &SystemConfig, trace_out: Option<&str>, metrics_out: Op
     }
 }
 
+/// Runs the Figure 9 subset twice — plain and sanitized — checks the
+/// figures match to the bit, and prints the sanitizer's findings.
+/// Returns `false` if any invariant was violated or the runs diverged.
+fn run_sanitize(cfg: &SystemConfig, json_out: Option<&str>) -> bool {
+    let mc = bench_mc();
+    let plain = hmc_core::sanitize::fig9_bandwidth_subset(cfg, &mc, false);
+    let sane = hmc_core::sanitize::fig9_bandwidth_subset(cfg, &mc, true);
+    println!("{}", sane.table());
+    println!("{}", sane.report);
+    let identical = plain.fingerprint() == sane.fingerprint();
+    if identical {
+        println!("bit-identity: sanitized figures match the plain run exactly");
+    } else {
+        eprintln!("bit-identity FAILED: sanitized figures diverge from the plain run");
+    }
+    if let Some(path) = json_out {
+        match std::fs::write(path, sane.report.to_json()) {
+            Ok(()) => eprintln!("wrote sanitizer report to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    sane.report.is_clean() && identical
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--threads N] [--figure <id>] [--perf-json] [--breakdown] \
          [--trace <out.json>] [--metrics-json <out.json>] \
+         [--sanitize] [--sanitize-json <out.json>] \
          <table1|table2|table3|fig6..fig18|baseline|all>..."
     );
     std::process::exit(2);
@@ -283,6 +313,8 @@ fn main() {
     let mut opts = Opts::default();
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut sanitize = false;
+    let mut sanitize_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -310,11 +342,16 @@ fn main() {
             "--metrics-json" => {
                 metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone());
             }
+            "--sanitize" => sanitize = true,
+            "--sanitize-json" => {
+                sanitize = true;
+                sanitize_out = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
             flag if flag.starts_with("--") => usage(),
             target => targets.push(target.to_string()),
         }
     }
-    if targets.is_empty() && !perf && trace_out.is_none() && metrics_out.is_none() {
+    if targets.is_empty() && !perf && !sanitize && trace_out.is_none() && metrics_out.is_none() {
         usage();
     }
     let all = [
@@ -356,5 +393,8 @@ fn main() {
     }
     if perf {
         perf_json(&cfg);
+    }
+    if sanitize && !run_sanitize(&cfg, sanitize_out.as_deref()) {
+        std::process::exit(1);
     }
 }

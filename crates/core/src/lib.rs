@@ -20,6 +20,8 @@
 //!   ([`TraceReport`]), exact latency attribution tables, Chrome
 //!   trace-event export, and metrics-series JSON.
 //! * [`analysis`] — Little's-law readings and saturation-knee detection.
+//! * [`sanitize`] — sanitized runs: the Figure 9 bandwidth subset under
+//!   the runtime protocol sanitizer, with bit-identity fingerprints.
 //! * [`report`] — plain-text table rendering for the benchmark harness.
 //!
 //! # Quickstart
@@ -45,12 +47,14 @@ pub mod measure;
 pub mod observe;
 pub mod pattern;
 pub mod report;
+pub mod sanitize;
 pub mod system;
 
 pub use measure::{MeasureConfig, Measurement};
 pub use observe::{ObservedStream, ObservedWindow, TraceReport};
 pub use pattern::AccessPattern;
 pub use report::Table;
+pub use sanitize::{SanitizedPoint, SanitizedRun};
 pub use system::{System, SystemConfig};
 
 // Re-export the substrate crates so downstream users need only hmc-core.

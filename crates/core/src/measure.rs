@@ -101,6 +101,18 @@ pub fn run_measurement_with(
     mc: &MeasureConfig,
     setup: impl FnOnce(&mut System),
 ) -> Measurement {
+    run_measurement_system(cfg, workload, mc, setup).0
+}
+
+/// Like [`run_measurement_with`], additionally returning the finished
+/// [`System`] so callers can inspect component state after the window —
+/// the sanitized runs read the merged `SanitizerReport` from it.
+pub fn run_measurement_system(
+    cfg: &SystemConfig,
+    workload: &Workload,
+    mc: &MeasureConfig,
+    setup: impl FnOnce(&mut System),
+) -> (Measurement, System) {
     let mut sys = System::new(cfg.clone());
     setup(&mut sys);
     sys.host_mut().apply_workload(workload);
@@ -117,7 +129,7 @@ pub fn run_measurement_with(
     let completed_per_sec =
         (host.reads_completed + host.writes_completed) as f64 / mc.window.as_secs_f64();
     let outstanding = completed_per_sec * read_latency.mean().as_secs_f64();
-    Measurement {
+    let m = Measurement {
         bandwidth_gbs,
         mrps,
         read_latency,
@@ -125,7 +137,8 @@ pub fn run_measurement_with(
         host,
         window: mc.window,
         outstanding,
-    }
+    };
+    (m, sys)
 }
 
 /// Runs a [`Workload::Stream`] to completion on a fresh system and

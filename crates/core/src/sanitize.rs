@@ -1,0 +1,142 @@
+//! Sanitized experiment runs: the Figure 9 bandwidth subset executed with
+//! the protocol sanitizer armed.
+//!
+//! The sanitizer is pure observation — it never changes scheduling — so a
+//! sanitized sweep must be **bit-identical** to the unsanitized one while
+//! additionally reporting every invariant check it performed. `repro
+//! --sanitize` runs [`fig9_bandwidth_subset`] both ways, verifies the
+//! figures match to the bit, and prints (or exports as JSON) the merged
+//! [`SanitizerReport`].
+
+use hmc_host::Workload;
+use hmc_types::{RequestKind, RequestSize};
+use sim_engine::SanitizerReport;
+
+use crate::measure::{run_measurement_system, MeasureConfig};
+use crate::pattern::AccessPattern;
+use crate::report::Table;
+use crate::system::SystemConfig;
+
+/// One pattern point of the sanitized bandwidth sweep.
+#[derive(Debug, Clone)]
+pub struct SanitizedPoint {
+    /// The access pattern of this point.
+    pub pattern: AccessPattern,
+    /// Counted read bandwidth, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Completed requests, millions per second.
+    pub mrps: f64,
+}
+
+/// A full sanitized (or plain) sweep: the figures plus the merged
+/// sanitizer outcome across every point's run.
+#[derive(Debug, Clone)]
+pub struct SanitizedRun {
+    /// One point per [`AccessPattern::paper_axis`] entry.
+    pub points: Vec<SanitizedPoint>,
+    /// Merged sanitizer report (all-zero checks when run unsanitized).
+    pub report: SanitizerReport,
+}
+
+impl SanitizedRun {
+    /// The figures as a stable fingerprint: every f64 by exact bit
+    /// pattern, so "bit-identical" is checkable without float tolerance.
+    pub fn fingerprint(&self) -> Vec<u64> {
+        self.points
+            .iter()
+            .flat_map(|p| [p.bandwidth_gbs.to_bits(), p.mrps.to_bits()])
+            .collect()
+    }
+
+    /// Renders the sweep as the harness's text table.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(
+            "Figure 9 subset: ro 128 B bandwidth by pattern (sanitized)",
+            &["pattern", "GB/s", "MRPS"],
+        );
+        for p in &self.points {
+            t.row(vec![
+                p.pattern.to_string(),
+                format!("{:.2}", p.bandwidth_gbs),
+                format!("{:.2}", p.mrps),
+            ]);
+        }
+        t
+    }
+}
+
+/// Runs the Figure 9 bandwidth subset — read-only 128 B traffic over the
+/// paper's pattern axis — with the sanitizer armed (or not, for the
+/// bit-identity baseline). Each pattern point runs on a fresh system;
+/// reports merge in axis order.
+///
+/// # Panics
+///
+/// Panics if a paper-axis pattern is invalid for the configured geometry
+/// (cannot happen with the default spec).
+pub fn fig9_bandwidth_subset(
+    cfg: &SystemConfig,
+    mc: &MeasureConfig,
+    sanitize: bool,
+) -> SanitizedRun {
+    let mut points = Vec::new();
+    let mut report = SanitizerReport::default();
+    for pattern in AccessPattern::paper_axis() {
+        let mask = pattern
+            .mask(cfg.mem.mapping, &cfg.mem.spec)
+            .expect("paper axis patterns fit the default geometry");
+        let workload = Workload::masked(RequestKind::ReadOnly, RequestSize::MAX, mask);
+        let (m, sys) = run_measurement_system(cfg, &workload, mc, |sys| {
+            if sanitize {
+                sys.enable_sanitizer();
+            }
+        });
+        report.merge(&sys.sanitizer_report());
+        points.push(SanitizedPoint {
+            pattern,
+            bandwidth_gbs: m.bandwidth_gbs,
+            mrps: m.mrps,
+        });
+    }
+    SanitizedRun { points, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hmc_types::TimeDelta;
+
+    fn tiny() -> MeasureConfig {
+        MeasureConfig {
+            warmup: TimeDelta::from_us(20),
+            window: TimeDelta::from_us(60),
+        }
+    }
+
+    #[test]
+    fn sanitized_sweep_is_clean_and_counts_checks() {
+        let run = fig9_bandwidth_subset(&SystemConfig::default(), &tiny(), true);
+        assert_eq!(run.points.len(), 9);
+        assert!(run.report.is_clean(), "{}", run.report);
+        assert!(run.report.total_checks() > 0, "sanitizer actually ran");
+        assert!(run.report.injected() > 0);
+        let t = run.table();
+        assert_eq!(t.len(), 9);
+    }
+
+    #[test]
+    fn sanitizer_does_not_perturb_figures() {
+        let plain = fig9_bandwidth_subset(&SystemConfig::default(), &tiny(), false);
+        let sane = fig9_bandwidth_subset(&SystemConfig::default(), &tiny(), true);
+        assert_eq!(
+            plain.fingerprint(),
+            sane.fingerprint(),
+            "sanitized run must be bit-identical"
+        );
+        assert_eq!(
+            plain.report.total_checks(),
+            0,
+            "disabled sanitizer is inert"
+        );
+    }
+}

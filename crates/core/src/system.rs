@@ -4,7 +4,7 @@
 use hmc_host::{Host, HostConfig, LinkSink};
 use hmc_mem::{DeviceOutput, HmcDevice, MemConfig};
 use hmc_types::{MemoryRequest, Time, TimeDelta};
-use sim_engine::MetricsSampler;
+use sim_engine::{MetricsSampler, SanitizerReport, ViolationClass};
 
 /// Configuration of the whole modelled system.
 #[derive(Debug, Clone, Default)]
@@ -51,6 +51,22 @@ pub struct System {
     device: HmcDevice,
     now: Time,
     sampler: Option<MetricsSampler>,
+    watchdog: Option<Watchdog>,
+}
+
+/// Forward-progress watchdog state: outstanding requests with no
+/// retirement for [`Watchdog::span`] of simulated time means the system
+/// wedged (deadlock or livelock) and a diagnostic dump is recorded.
+#[derive(Debug, Clone, Copy)]
+struct Watchdog {
+    /// Simulated time without a retirement before the watchdog trips.
+    span: TimeDelta,
+    /// Completion count at the last observed progress.
+    last_completed: u64,
+    /// Instant of the last observed progress.
+    last_progress: Time,
+    /// Set once tripped so the report carries one dump, not thousands.
+    tripped: bool,
 }
 
 impl System {
@@ -61,6 +77,7 @@ impl System {
             device: HmcDevice::new(cfg.mem),
             now: Time::ZERO,
             sampler: None,
+            watchdog: None,
         }
     }
 
@@ -82,6 +99,100 @@ impl System {
     /// The gauge sampler, if [`System::enable_metrics`] installed one.
     pub fn metrics(&self) -> Option<&MetricsSampler> {
         self.sampler.as_ref()
+    }
+
+    /// Arms the protocol sanitizer on both components plus the
+    /// forward-progress watchdog (default span). Enable before starting a
+    /// run; the merged outcome comes from
+    /// [`sanitizer_report`](System::sanitizer_report).
+    pub fn enable_sanitizer(&mut self) {
+        // Worst legal retirement gap: one fully-loaded bank queue
+        // (120 deep) serializing at tRC ≈ 15 µs; 200 µs means wedged.
+        self.enable_sanitizer_with_span(TimeDelta::from_us(200));
+    }
+
+    /// [`enable_sanitizer`](System::enable_sanitizer) with an explicit
+    /// watchdog span (simulated time without a retirement while requests
+    /// are outstanding before the run is declared wedged).
+    pub fn enable_sanitizer_with_span(&mut self, span: TimeDelta) {
+        self.host.enable_sanitizer();
+        self.device.enable_sanitizer();
+        self.watchdog = Some(Watchdog {
+            span,
+            last_completed: self.completed(),
+            last_progress: self.now,
+            tripped: false,
+        });
+    }
+
+    /// True once [`enable_sanitizer`](System::enable_sanitizer) armed the
+    /// checks.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.host.sanitizer().is_enabled()
+    }
+
+    /// The merged sanitizer outcome of both components (host first, so
+    /// violation order is deterministic).
+    pub fn sanitizer_report(&self) -> SanitizerReport {
+        let mut r = self.host.sanitizer().report();
+        r.merge(&self.device.sanitizer().report());
+        r
+    }
+
+    /// Asserts the request-conservation ledger is empty — call once the
+    /// run has drained (no outstanding requests expected).
+    pub fn sanitize_check_drained(&mut self) {
+        let now = self.now;
+        self.host.sanitizer_mut().check_drained(now);
+    }
+
+    /// Deterministic dump of both components' occupancies, credit counts,
+    /// and clock — the body of the watchdog's diagnostic report.
+    pub fn diagnostic_dump(&self) -> String {
+        let mut s = format!("system wedged at {}\n", self.now);
+        s.push_str(&self.host.diagnostic_dump(self.now));
+        s.push_str(&self.device.diagnostic_dump(self.now));
+        let in_use = self.device.sanitizer().credits_in_use();
+        if !in_use.is_empty() {
+            s.push_str("credits in use per link: ");
+            for (l, c) in in_use.iter().enumerate() {
+                if l > 0 {
+                    s.push_str(", ");
+                }
+                s.push_str(&format!("link {l}={c}"));
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    fn completed(&self) -> u64 {
+        self.host.total_issued() - self.host.outstanding()
+    }
+
+    /// Feeds the watchdog: records progress, and trips it (once) with a
+    /// diagnostic dump when outstanding requests stop retiring.
+    fn watchdog_check(&mut self, now: Time) {
+        let Some(mut wd) = self.watchdog else {
+            return;
+        };
+        let completed = self.completed();
+        if completed != wd.last_completed || self.host.outstanding() == 0 {
+            wd.last_completed = completed;
+            wd.last_progress = now;
+        } else if !wd.tripped && now >= wd.last_progress && now.since(wd.last_progress) >= wd.span {
+            wd.tripped = true;
+            let detail = format!(
+                "no retirement for {} with {} outstanding\n{}",
+                now.since(wd.last_progress),
+                self.host.outstanding(),
+                self.diagnostic_dump(),
+            );
+            self.host
+                .sanitizer_mut()
+                .note_violation(ViolationClass::Watchdog, now, detail);
+        }
+        self.watchdog = Some(wd);
     }
 
     /// The host model.
@@ -159,8 +270,14 @@ impl System {
                 self.sampler = Some(s);
             }
             self.now = t;
+            self.watchdog_check(t);
         }
         self.now = self.now.max(end);
+        // A wedged system can drain both event queues while requests are
+        // still outstanding (e.g. a link that never grants credit): the
+        // loop above exits immediately, so the watchdog must also see the
+        // end-of-step instant.
+        self.watchdog_check(self.now);
     }
 
     /// Runs until the host has no outstanding work (stream drained) or

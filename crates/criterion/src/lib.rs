@@ -215,6 +215,7 @@ impl BenchmarkGroup<'_> {
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
+        /// Generated benchmark group entry point.
         pub fn $name() {
             let mut c = $crate::Criterion::default().configure_from_args();
             $( $target(&mut c); )+

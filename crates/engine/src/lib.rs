@@ -24,6 +24,10 @@
 //!   Chrome trace-event (Perfetto) exporter.
 //! * [`metrics`] — a named-gauge registry with a deterministic periodic
 //!   sampler producing aligned time series.
+//! * [`sanitize`] — a runtime protocol sanitizer (DRAM timing FSM, credit
+//!   and request conservation ledgers, event-order and queue-bound checks,
+//!   watchdog reporting) with the same zero-cost-when-disabled contract as
+//!   [`trace`].
 //!
 //! # Example
 //!
@@ -44,6 +48,7 @@ pub mod metrics;
 pub mod queue;
 pub mod regress;
 pub mod rng;
+pub mod sanitize;
 pub mod series;
 pub mod stats;
 pub mod token;
@@ -54,6 +59,7 @@ pub use metrics::MetricsSampler;
 pub use queue::BoundedQueue;
 pub use regress::LinearFit;
 pub use rng::SplitMix64;
+pub use sanitize::{BankOp, Sanitizer, SanitizerReport, Violation, ViolationClass};
 pub use series::TimeSeries;
 pub use stats::{BandwidthMeter, Counter, Histogram, TimeWeighted};
 pub use token::TokenBucket;

@@ -8,7 +8,7 @@
 //! keeps runs deterministic: the same simulation produces the same series
 //! at any host speed or thread count.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hmc_types::{Time, TimeDelta};
 
@@ -21,7 +21,7 @@ pub struct MetricsSampler {
     period: TimeDelta,
     next_due: Time,
     series: Vec<TimeSeries>,
-    index: HashMap<String, usize>,
+    index: BTreeMap<String, usize>,
 }
 
 impl MetricsSampler {
@@ -37,7 +37,7 @@ impl MetricsSampler {
             period,
             next_due: Time::ZERO + period,
             series: Vec::new(),
-            index: HashMap::new(),
+            index: BTreeMap::new(),
         }
     }
 

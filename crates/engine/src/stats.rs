@@ -177,6 +177,8 @@ impl Histogram {
         let mut sorted = self.samples.clone();
         sorted.sort_unstable();
         let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        // The float picks an *index*; the sample itself is integer ps.
+        // hmc-lint: allow(float-time)
         Some(TimeDelta::from_ps(sorted[idx]))
     }
 

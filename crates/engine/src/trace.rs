@@ -17,7 +17,7 @@
 //! another actor (with its own tracer) accounted for the interval in
 //! between.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use hmc_types::{Time, TimeDelta};
@@ -53,7 +53,7 @@ pub struct Tracer {
     sample_every: u64,
     names: &'static [&'static str],
     /// Open traces: id → instant of the last recorded boundary.
-    open: HashMap<u64, Time>,
+    open: BTreeMap<u64, Time>,
     stages: Vec<Histogram>,
     events: Vec<TraceEvent>,
 }
@@ -65,7 +65,7 @@ impl Tracer {
             enabled: false,
             sample_every: 1,
             names,
-            open: HashMap::new(),
+            open: BTreeMap::new(),
             stages: vec![Histogram::new(); names.len()],
             events: Vec::new(),
         }

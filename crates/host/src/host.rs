@@ -4,7 +4,7 @@
 use hmc_types::packet::FlitCount;
 use hmc_types::trace::Stage;
 use hmc_types::{MemoryRequest, MemoryResponse, PortId, RequestId, Time, TimeDelta};
-use sim_engine::{EventQueue, Histogram, MetricsSampler, Tracer};
+use sim_engine::{EventQueue, Histogram, MetricsSampler, Sanitizer, Tracer};
 
 use crate::config::HostConfig;
 use crate::controller::TxStages;
@@ -91,11 +91,15 @@ pub struct Host {
     /// Sequence number of the live kick; stale events are dropped.
     node_kick_seq: Vec<u64>,
     events: EventQueue<HostEvent>,
+    /// Structural bound on pending events (with slack) the sanitizer's
+    /// queue check uses.
+    event_bound: usize,
     next_id: RequestId,
     now: Time,
     total_issued: u64,
     total_completed: u64,
     tracer: Tracer,
+    sanitizer: Sanitizer,
 }
 
 impl Host {
@@ -128,11 +132,15 @@ impl Host {
             node_kick_at: vec![None; cfg.links.num_links() as usize],
             node_kick_seq: vec![0; cfg.links.num_links() as usize],
             events: EventQueue::with_capacity(event_capacity),
+            // Plus per-port issue attempts and per-node kicks beyond the
+            // ownership accounting above.
+            event_bound: event_capacity + 2 * cfg.num_ports + 64,
             next_id: RequestId::new(0),
             now: Time::ZERO,
             total_issued: 0,
             total_completed: 0,
             tracer: Tracer::new(&Stage::NAMES),
+            sanitizer: Sanitizer::new(),
             cfg,
         }
     }
@@ -207,7 +215,10 @@ impl Host {
     /// Processes every host event at or before `until`, transmitting into
     /// `sink`.
     pub fn advance<S: LinkSink>(&mut self, until: Time, sink: &mut S) {
+        self.sanitizer
+            .check_queue_bound("host events", self.events.len(), self.event_bound, until);
         while let Some((t, ev)) = self.events.pop_before(until) {
+            self.sanitizer.check_event_time(t);
             self.now = self.now.max(t);
             self.handle(ev, t, sink);
         }
@@ -304,6 +315,70 @@ impl Host {
         &mut self.tracer
     }
 
+    /// Arms the host-side protocol sanitizer: the request conservation
+    /// ledger (every issued request retired exactly once) and the
+    /// event-order/queue-bound checks. Enable before starting a run.
+    pub fn enable_sanitizer(&mut self) {
+        // The host schedules no bank accesses, so no timing floor here.
+        self.sanitizer.enable(None);
+    }
+
+    /// The host-side sanitizer (disabled unless
+    /// [`enable_sanitizer`](Host::enable_sanitizer) armed it).
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.sanitizer
+    }
+
+    /// Mutable sanitizer access (drain checks, watchdog reporting).
+    pub fn sanitizer_mut(&mut self) -> &mut Sanitizer {
+        &mut self.sanitizer
+    }
+
+    /// Deterministic snapshot of the host's internal occupancies — the
+    /// body of the watchdog's diagnostic dump.
+    pub fn diagnostic_dump(&self, at: Time) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        writeln!(
+            s,
+            "host @ {at}: {} pending events, {} outstanding ({} issued, {} completed)",
+            self.events.len(),
+            self.outstanding(),
+            self.total_issued,
+            self.total_completed,
+        )
+        .expect("writing to a String cannot fail");
+        for (n, node) in self.nodes.iter().enumerate() {
+            writeln!(
+                s,
+                "  node {n}: queue={} in_flight={} waiting_credit={} stop={}",
+                node.queue_len(),
+                node.in_flight(),
+                node.waiting_credit(),
+                node.stop_asserted(),
+            )
+            .expect("writing to a String cannot fail");
+        }
+        for (p, port) in self.ports.iter().enumerate() {
+            let m = port.monitor();
+            let in_flight = (m.reads_issued + m.writes_issued)
+                .saturating_sub(m.reads_completed + m.writes_completed);
+            if in_flight == 0 && !port.is_active() {
+                continue;
+            }
+            writeln!(
+                s,
+                "  port {p}: active={} in_flight={in_flight} parked_no_tags={} \
+                 parked_node_full={}",
+                port.is_active(),
+                self.parked_no_tags[p],
+                self.parked_node_full[p],
+            )
+            .expect("writing to a String cannot fail");
+        }
+        s
+    }
+
     /// Records the host's gauges into a metrics sampler at instant `at`.
     pub fn sample_metrics(&self, at: Time, s: &mut MetricsSampler) {
         s.record("host.outstanding", at, self.outstanding() as f64);
@@ -326,8 +401,13 @@ impl Host {
             }
             HostEvent::NodeTxDone { node, req } => {
                 let link = self.nodes[node].link();
-                sink.submit(link, req, now)
-                    .unwrap_or_else(|_| panic!("credit was reserved for link {link}"));
+                sink.submit(link, req, now).unwrap_or_else(|r| {
+                    panic!(
+                        "credit was reserved for link {link} but the sink refused \
+                         request {} at {now}",
+                        r.id.value()
+                    )
+                });
                 self.nodes[node].arrived();
                 // The wire is free and our in-flight count just dropped;
                 // try the next queued packet.
@@ -340,6 +420,7 @@ impl Host {
                 self.tracer.finish(resp.trace_id(), Stage::Rx.index(), now);
                 let p = resp.port.index() as usize;
                 self.total_completed += 1;
+                self.sanitizer.note_retire(resp.id.value(), now);
                 let unblocked = self.ports[p].deliver(&resp);
                 if unblocked && (self.parked_no_tags[p] || self.ports[p].is_active()) {
                     self.parked_no_tags[p] = false;
@@ -360,6 +441,7 @@ impl Host {
             Ok(req) => {
                 self.next_id = self.next_id.next();
                 self.total_issued += 1;
+                self.sanitizer.note_inject(req.id.value(), now);
                 let ready = now + self.cfg.frequency.cycles(self.cfg.tx.flits_to_parallel);
                 self.tracer.begin(req.trace_id(), now);
                 self.tracer

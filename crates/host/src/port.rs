@@ -1,7 +1,7 @@
 //! One GUPS port: address generation, the read tag pool, the pending-write
 //! queue for `rw` mode, and the latency monitoring unit.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use hmc_types::packet::{wire_bytes_per_access, OpKind};
 use hmc_types::{
@@ -65,7 +65,7 @@ pub struct GupsPort {
     /// Writes waiting to be issued because their `rw` read returned.
     pending_writes: VecDeque<(Address, RequestSize, u64)>,
     /// Expected read tokens for stream integrity checking, by request id.
-    expected: HashMap<u64, u64>,
+    expected: BTreeMap<u64, u64>,
     monitor: PortMonitor,
     rng: SplitMix64,
     linear_cursor: u64,
@@ -82,7 +82,7 @@ impl GupsPort {
             generator: Generator::Idle,
             free_tags: (0..tag_pool_depth as u16).rev().map(Tag::new).collect(),
             pending_writes: VecDeque::new(),
-            expected: HashMap::new(),
+            expected: BTreeMap::new(),
             monitor: PortMonitor::default(),
             rng: SplitMix64::new(seed ^ (id.index() as u64).wrapping_mul(0x9E37)),
             linear_cursor: id.index() as u64 * (capacity / 16),

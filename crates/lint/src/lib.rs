@@ -1,0 +1,437 @@
+//! `hmc-lint` — a zero-dependency static lint for the simulation crates.
+//!
+//! The simulator's headline guarantee is *determinism*: the same config
+//! and workload must produce bit-identical figures on any machine, any
+//! thread count, any run. A handful of Rust idioms silently break that
+//! guarantee (or the reproducibility of failures), so this tool bans
+//! them from the simulation crates (`types`, `engine`, `mem`, `host`,
+//! `core`) with a line-level scan that needs no network, no `syn`, and
+//! no nightly:
+//!
+//! * **`wall-clock`** — `std::time::Instant` / `SystemTime` read host
+//!   time; simulation code must only ever consult simulated [`Time`].
+//! * **`hash-collections`** — `HashMap` / `HashSet` iterate in
+//!   randomized order (SipHash seeding), which leaks into event order
+//!   and diagnostics; use `BTreeMap` / `BTreeSet`.
+//! * **`float-time`** — constructing a sim time (`from_ps`, `from_ns`,
+//!   …) from float arithmetic rounds differently across platforms and
+//!   optimization levels; time math must stay in integer picoseconds.
+//! * **`unwrap`** — bare `.unwrap()` in library code panics without
+//!   simulation context; use typed errors or `expect` with a message
+//!   that names the sim-time invariant being asserted.
+//!
+//! Test code (`#[cfg(test)]` modules) and comments/strings are exempt.
+//! A justified exception is annotated at the site with
+//! `// hmc-lint: allow(<rule>)` on the offending line or the line
+//! above, which this scanner honors and `findings` reports skip.
+//!
+//! [`Time`]: https://docs.rs/hmc-types
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The crates whose `src/` trees the lint scans. The bench/criterion
+/// harnesses legitimately use wall-clock time (they measure simulator
+/// throughput) and are deliberately excluded.
+pub const SIMULATION_CRATES: [&str; 5] = ["types", "engine", "mem", "host", "core"];
+
+/// How many preceding code lines the `float-time` rule inspects for a
+/// float token when it sees a sim-time constructor.
+const FLOAT_TIME_WINDOW: usize = 3;
+
+/// One rule violation at a specific source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path of the offending file, relative to the repo root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (kebab-case, matches the allow-marker spelling).
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.excerpt
+        )
+    }
+}
+
+/// Strips comments and literal contents from source lines, keeping
+/// byte positions roughly aligned (stripped spans become spaces so
+/// token adjacency cannot be created by removal).
+#[derive(Debug, Default)]
+struct Stripper {
+    /// Nesting depth of `/* */` block comments carried across lines.
+    block_depth: usize,
+    /// Inside a (possibly raw) string literal carried across lines;
+    /// holds the number of `#`s that close it (0 for plain strings,
+    /// `usize::MAX` sentinel is never used).
+    string_hashes: Option<usize>,
+    /// Plain strings honor backslash escapes; raw strings do not.
+    string_raw: bool,
+}
+
+impl Stripper {
+    /// Returns `line` with comment and string/char interiors blanked.
+    fn strip(&mut self, line: &str) -> String {
+        let b = line.as_bytes();
+        let mut out = Vec::with_capacity(b.len());
+        let mut i = 0;
+        while i < b.len() {
+            if self.block_depth > 0 {
+                if b[i..].starts_with(b"*/") {
+                    self.block_depth -= 1;
+                    i += 2;
+                } else if b[i..].starts_with(b"/*") {
+                    self.block_depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if let Some(hashes) = self.string_hashes {
+                if !self.string_raw && b[i] == b'\\' {
+                    i += 2; // skip the escaped byte (may run past EOL; fine)
+                } else if b[i] == b'"' && closes_raw(&b[i + 1..], hashes) {
+                    self.string_hashes = None;
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match b[i] {
+                b'/' if b[i..].starts_with(b"//") => break, // line comment
+                b'/' if b[i..].starts_with(b"/*") => {
+                    self.block_depth = 1;
+                    i += 2;
+                }
+                b'"' => {
+                    out.push(b'"');
+                    self.string_hashes = Some(0);
+                    self.string_raw = false;
+                    i += 1;
+                }
+                b'r' if raw_string_start(&b[i..]) => {
+                    let hashes = b[i + 1..].iter().take_while(|&&c| c == b'#').count();
+                    out.push(b'"');
+                    self.string_hashes = Some(hashes);
+                    self.string_raw = true;
+                    i += 2 + hashes;
+                }
+                b'\'' if char_literal_len(&b[i..]) > 0 => {
+                    i += char_literal_len(&b[i..]); // skip 'x' / '\n' etc.
+                }
+                c => {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+        }
+        String::from_utf8_lossy(&out).into_owned()
+    }
+}
+
+/// Is `rest` (the bytes after a `"`) followed by `hashes` pound signs?
+fn closes_raw(rest: &[u8], hashes: usize) -> bool {
+    rest.len() >= hashes && rest[..hashes].iter().all(|&c| c == b'#')
+}
+
+/// Does this position start a raw string (`r"` / `r#"`)? Requires that
+/// the previous byte was not an identifier char, which the caller
+/// guarantees by only probing at `r`.
+fn raw_string_start(b: &[u8]) -> bool {
+    if !b.starts_with(b"r") {
+        return false;
+    }
+    let hashes = b[1..].iter().take_while(|&&c| c == b'#').count();
+    b.get(1 + hashes) == Some(&b'"')
+}
+
+/// Length of a char literal at the start of `b` (`'x'`, `'\\''`, …),
+/// or 0 if this `'` is a lifetime.
+fn char_literal_len(b: &[u8]) -> usize {
+    if b.len() >= 3 && b[1] == b'\\' {
+        // '\n', '\'', '\\', '\u{...}': find the closing quote.
+        for (j, &c) in b.iter().enumerate().skip(2) {
+            if c == b'\'' {
+                return j + 1;
+            }
+        }
+        0
+    } else if b.len() >= 3 && b[2] == b'\'' && b[1] != b'\'' {
+        3
+    } else {
+        0
+    }
+}
+
+/// True if `hay` contains `needle` as a standalone token (no
+/// identifier characters on either side).
+fn has_token(hay: &str, needle: &str) -> bool {
+    let bytes = hay.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let left_ok = start == 0 || !is_ident(bytes[start - 1]);
+        let right_ok = end == bytes.len() || !is_ident(bytes[end]);
+        if left_ok && right_ok {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+fn is_ident(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Parses `// hmc-lint: allow(rule, rule2)` markers from a raw line.
+fn allow_marker(raw: &str) -> Vec<&str> {
+    let Some(pos) = raw.find("hmc-lint: allow(") else {
+        return Vec::new();
+    };
+    let rest = &raw[pos + "hmc-lint: allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..close].split(',').map(str::trim).collect()
+}
+
+/// Sim-time constructor names watched by the `float-time` rule.
+const TIME_CTORS: [&str; 4] = ["from_ps", "from_ns", "from_us", "from_ms"];
+
+/// Lints one file's contents. `label` is the path reported in findings.
+pub fn lint_file(label: &str, source: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut stripper = Stripper::default();
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let stripped: Vec<String> = raw_lines.iter().map(|l| stripper.strip(l)).collect();
+
+    // Brace-depth bookkeeping to skip `#[cfg(test)]` items entirely.
+    let mut depth: i32 = 0;
+    let mut skip_above: Option<i32> = None; // skip while depth > this
+    let mut test_attr_armed = false;
+
+    // Code lines feeding the float-time look-back window (test code and
+    // blank lines excluded so attributes don't stretch the window).
+    let mut window: Vec<(usize, String)> = Vec::new();
+
+    for (idx, code) in stripped.iter().enumerate() {
+        let lineno = idx + 1;
+        let raw = raw_lines[idx];
+        let opens = code.matches('{').count() as i32;
+        let closes = code.matches('}').count() as i32;
+
+        let mut in_test = skip_above.is_some();
+        if !in_test && test_attr_armed && opens > 0 {
+            // The item under the `#[cfg(test)]` attribute starts here.
+            skip_above = Some(depth);
+            test_attr_armed = false;
+            in_test = true;
+        }
+        if !in_test && code.contains("#[cfg(test)]") {
+            test_attr_armed = true;
+            if opens > 0 {
+                skip_above = Some(depth);
+                in_test = true;
+            }
+        }
+
+        depth += opens - closes;
+        if let Some(floor) = skip_above {
+            if depth <= floor {
+                skip_above = None; // the test item closed on this line
+            }
+        }
+        if in_test {
+            continue;
+        }
+
+        let mut allowed = allow_marker(raw);
+        if idx > 0 {
+            allowed.extend(allow_marker(raw_lines[idx - 1]));
+        }
+        let mut push = |rule: &'static str| {
+            if !allowed.contains(&rule) {
+                findings.push(Finding {
+                    file: label.to_string(),
+                    line: lineno,
+                    rule,
+                    excerpt: raw.trim().to_string(),
+                });
+            }
+        };
+
+        if has_token(code, "Instant") || has_token(code, "SystemTime") {
+            push("wall-clock");
+        }
+        if has_token(code, "HashMap") || has_token(code, "HashSet") {
+            push("hash-collections");
+        }
+        if code.contains(".unwrap()") {
+            push("unwrap");
+        }
+        if TIME_CTORS.iter().any(|c| code.contains(&format!("{c}("))) {
+            let float_here = has_token(code, "f64") || has_token(code, "f32");
+            let float_near = window
+                .iter()
+                .rev()
+                .take(FLOAT_TIME_WINDOW)
+                .any(|(_, w)| has_token(w, "f64") || has_token(w, "f32"));
+            if float_here || float_near {
+                push("float-time");
+            }
+        }
+        if !code.trim().is_empty() {
+            window.push((lineno, code.clone()));
+        }
+    }
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic report order.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<io::Result<_>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every simulation crate under `root` (the repo root). Returns
+/// findings plus the number of files scanned.
+pub fn lint_root(root: &Path) -> io::Result<(Vec<Finding>, usize)> {
+    let mut findings = Vec::new();
+    let mut scanned = 0;
+    for krate in SIMULATION_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        rust_files(&src, &mut files)?;
+        for file in files {
+            let source = fs::read_to_string(&file)?;
+            let label = file
+                .strip_prefix(root)
+                .unwrap_or(&file)
+                .display()
+                .to_string();
+            findings.extend(lint_file(&label, &source));
+            scanned += 1;
+        }
+    }
+    Ok((findings, scanned))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        lint_file("t.rs", src).iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn flags_wall_clock_and_hash_collections() {
+        assert_eq!(
+            rules("let t = std::time::Instant::now();"),
+            vec!["wall-clock"]
+        );
+        assert_eq!(rules("use std::time::SystemTime;"), vec!["wall-clock"]);
+        assert_eq!(
+            rules("let m: HashMap<u64, u64> = HashMap::new();"),
+            vec!["hash-collections"]
+        );
+        assert_eq!(
+            rules("let s = HashSet::from([1]);"),
+            vec!["hash-collections"]
+        );
+        // Token boundaries: identifiers merely containing the words pass.
+        assert!(rules("let my_instant_count = 3; let xHashMapx = 1;").is_empty());
+    }
+
+    #[test]
+    fn flags_bare_unwrap_but_not_variants() {
+        assert_eq!(rules("let x = maybe.unwrap();"), vec!["unwrap"]);
+        assert!(rules("let x = maybe.unwrap_or(0);").is_empty());
+        assert!(rules("let x = maybe.unwrap_or_else(|| 0);").is_empty());
+        assert!(rules("let x = maybe.expect(\"invariant\");").is_empty());
+    }
+
+    #[test]
+    fn flags_float_fed_time_constructors() {
+        assert_eq!(
+            rules("let t = TimeDelta::from_ps((x as f64 * 1.5) as u64);"),
+            vec!["float-time"]
+        );
+        // Float arithmetic a few lines above the constructor still trips.
+        let src = "let raw = bytes as f64 / eff;\nlet r2 = raw.ceil();\nlet t = TimeDelta::from_ps(raw as u64);";
+        assert_eq!(rules(src), vec!["float-time"]);
+        // Pure integer construction is fine.
+        assert!(rules("let t = TimeDelta::from_ps(x * 1_000);").is_empty());
+        // Floats far above the constructor are out of the window.
+        let far = format!(
+            "let f = 1.0_f64;\n{}let t = Time::from_ps(10);",
+            "let a = 1;\n".repeat(FLOAT_TIME_WINDOW + 1)
+        );
+        assert!(rules(&far).is_empty());
+    }
+
+    #[test]
+    fn comments_strings_and_doctests_are_exempt() {
+        assert!(rules("// let t = Instant::now();").is_empty());
+        assert!(rules("/// assert_eq!(h.min().unwrap(), 1);").is_empty());
+        assert!(rules("/* HashMap inside\n a block comment */ let x = 1;").is_empty());
+        assert!(rules("let s = \"call .unwrap() on HashMap\";").is_empty());
+        assert!(rules("let s = r#\"Instant \"quoted\" inside raw\"#; let y = 2;").is_empty());
+        // Char literals and lifetimes don't derail string tracking.
+        assert_eq!(
+            rules("fn f<'a>(c: char) -> bool { c == '\"' && \"x\".unwrap() }"),
+            vec!["unwrap"]
+        );
+    }
+
+    #[test]
+    fn cfg_test_modules_are_skipped() {
+        let src = "\
+fn real() { maybe.unwrap(); }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+    fn helper() { x.unwrap(); }
+}
+fn also_real() { other.unwrap(); }
+";
+        let found = lint_file("t.rs", src);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[1].line, 7);
+    }
+
+    #[test]
+    fn allow_marker_suppresses_named_rule_only() {
+        let same = "let t = q.recv().unwrap(); // hmc-lint: allow(unwrap)";
+        assert!(rules(same).is_empty());
+        let above = "// hmc-lint: allow(float-time)\nlet t = TimeDelta::from_ps(x as f64 as u64);";
+        assert!(rules(above).is_empty());
+        let wrong = "let m = HashMap::new(); // hmc-lint: allow(unwrap)";
+        assert_eq!(rules(wrong), vec!["hash-collections"]);
+    }
+}

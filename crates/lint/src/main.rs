@@ -1,0 +1,40 @@
+//! CLI entry point: `cargo run -p hmc-lint [-- <repo-root>]`.
+//!
+//! Scans the simulation crates for determinism hazards and exits
+//! nonzero if any rule fires. See the library docs for the rule set.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // crates/lint/../.. = the repo root, wherever the tool is built.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        });
+    let (findings, scanned) = match hmc_lint::lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("hmc-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        println!(
+            "hmc-lint: {scanned} files across {} crates clean",
+            hmc_lint::SIMULATION_CRATES.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+        println!(
+            "hmc-lint: {} finding(s) in {scanned} files — see rule docs in crates/lint/src/lib.rs",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

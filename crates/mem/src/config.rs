@@ -68,14 +68,19 @@ impl DramTiming {
 }
 
 impl Default for DramTiming {
+    /// The calibrated timing sits exactly on the protocol floor of
+    /// [`HmcSpec::timing_floor`] — the sanitizer validates scheduled
+    /// accesses against the floor, so deriving the default from it keeps
+    /// a single source of truth.
     fn default() -> Self {
+        let f = HmcSpec::default().timing_floor();
         DramTiming {
-            t_rcd: TimeDelta::from_ns(25),
-            t_cl: TimeDelta::from_ns(25),
-            t_rp: TimeDelta::from_ns(38),
-            t_ras: TimeDelta::from_ns(90),
-            t_wr: TimeDelta::from_ns(30),
-            bus_beat: TimeDelta::from_ns(4),
+            t_rcd: f.t_rcd,
+            t_cl: f.t_cl,
+            t_rp: f.t_rp,
+            t_ras: f.t_ras,
+            t_wr: f.t_wr,
+            bus_beat: f.t_ccd,
         }
     }
 }
@@ -253,6 +258,19 @@ mod tests {
         assert_eq!(t.read_access().as_ns_f64(), 50.0);
         // 32 B per 4 ns = 8 GB/s vault data bus.
         assert_eq!(t.bus_beat.as_ns_f64(), 4.0);
+    }
+
+    #[test]
+    fn default_timing_sits_on_the_spec_floor() {
+        let t = DramTiming::default();
+        let f = HmcSpec::default().timing_floor();
+        assert_eq!(t.t_rcd, f.t_rcd);
+        assert_eq!(t.t_cl, f.t_cl);
+        assert_eq!(t.t_rp, f.t_rp);
+        assert_eq!(t.t_ras, f.t_ras);
+        assert_eq!(t.t_wr, f.t_wr);
+        assert_eq!(t.bus_beat, f.t_ccd);
+        assert_eq!(t.t_rc(), f.t_rc());
     }
 
     #[test]

@@ -1,14 +1,14 @@
 //! The assembled HMC device: links, crossbar, vaults, refresh, and the
 //! event loop tying them together.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use hmc_types::packet::OpKind;
 use hmc_types::trace::Stage;
 use hmc_types::{MemoryRequest, MemoryResponse, Time, TimeDelta};
-use sim_engine::{EventQueue, MetricsSampler, Tracer};
+use sim_engine::{EventQueue, MetricsSampler, Sanitizer, Tracer};
 
-use crate::config::MemConfig;
+use crate::config::{MemConfig, PagePolicy};
 use crate::link::{DeviceLink, OutPacket};
 use crate::store::SparseStore;
 use crate::vault::Vault;
@@ -144,14 +144,20 @@ pub struct HmcDevice {
     drain_free_at: Time,
     /// Drained writes waiting for a vault input slot.
     drained_waiting: VecDeque<(usize, MemoryRequest)>,
-    arrival_link: HashMap<u64, usize>,
+    /// Link each in-flight request arrived on (keyed by request id;
+    /// ordered map so any state-affecting iteration stays deterministic).
+    arrival_link: BTreeMap<u64, usize>,
     events: EventQueue<DeviceEvent>,
+    /// Structural bound on pending events (with slack) the sanitizer's
+    /// queue check uses.
+    event_bound: usize,
     refresh_multiplier: u32,
     refreshes: u64,
     data_read_bytes: u64,
     data_write_bytes: u64,
     now: Time,
     tracer: Tracer,
+    sanitizer: Sanitizer,
 }
 
 impl HmcDevice {
@@ -169,6 +175,13 @@ impl HmcDevice {
         // vault own at most one scheduled event each.
         let event_capacity = n_vaults * (cfg.vault.input_fifo_depth + 1)
             + n_links * (cfg.link_layer.ingress_queue_depth + cfg.link_layer.write_buffer_depth)
+            + 64;
+        // Queue-bound invariant: the capacity accounting above, plus one
+        // possible ResponseAtLink/PimReturn per bank and per reserved
+        // vault slot, plus slack — exceeding this means an event leak.
+        let event_bound = event_capacity
+            + cfg.spec.total_banks() as usize
+            + n_vaults * cfg.vault.input_fifo_depth
             + 64;
         let mut events = EventQueue::with_capacity(event_capacity);
         if cfg.refresh.enabled {
@@ -193,14 +206,16 @@ impl HmcDevice {
             write_buf_used: 0,
             drain_free_at: Time::ZERO,
             drained_waiting: VecDeque::new(),
-            arrival_link: HashMap::new(),
+            arrival_link: BTreeMap::new(),
             events,
+            event_bound,
             refresh_multiplier: 1,
             refreshes: 0,
             data_read_bytes: 0,
             data_write_bytes: 0,
             now: Time::ZERO,
             tracer: Tracer::new(&Stage::NAMES),
+            sanitizer: Sanitizer::new(),
             cfg,
         }
     }
@@ -236,6 +251,9 @@ impl HmcDevice {
     ) -> Result<(), MemoryRequest> {
         debug_assert!(now >= self.now, "submit in the past");
         self.links[link].enqueue_ingress(req, now)?;
+        // A request accepted into the ingress window holds one credit
+        // until ingress processing pops it (see kick_ingress).
+        self.sanitizer.credit_acquire(link, now);
         self.tracer.begin(req.trace_id(), now);
         self.kick_ingress(link, now);
         Ok(())
@@ -296,7 +314,14 @@ impl HmcDevice {
     /// Processes every internal event scheduled at or before `until`,
     /// appending responses that left the device to `out`.
     pub fn advance(&mut self, until: Time, out: &mut Vec<DeviceOutput>) {
+        self.sanitizer.check_queue_bound(
+            "device events",
+            self.events.len(),
+            self.event_bound,
+            until,
+        );
         while let Some((t, ev)) = self.events.pop_before(until) {
+            self.sanitizer.check_event_time(t);
             self.now = self.now.max(t);
             self.handle(ev, t, out);
         }
@@ -380,6 +405,76 @@ impl HmcDevice {
     /// Mutable tracer access (enable tracing before submitting work).
     pub fn tracer_mut(&mut self) -> &mut Tracer {
         &mut self.tracer
+    }
+
+    /// Arms the protocol sanitizer: the per-bank DRAM timing FSM (only
+    /// under the closed-page policy — open-page row hits legally undercut
+    /// the closed-page floor), the per-link ingress credit ledger, and the
+    /// event-order/queue-bound checks. Enable before submitting work.
+    pub fn enable_sanitizer(&mut self) {
+        let floor = match self.cfg.page_policy {
+            PagePolicy::ClosedPage => Some(self.cfg.spec.timing_floor()),
+            PagePolicy::OpenPage => None,
+        };
+        self.sanitizer.enable(floor);
+        let pools = vec![self.cfg.link_layer.ingress_queue_depth; self.links.len()];
+        self.sanitizer.set_credit_pools(&pools);
+    }
+
+    /// The device-side sanitizer (disabled unless
+    /// [`enable_sanitizer`](HmcDevice::enable_sanitizer) armed it).
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.sanitizer
+    }
+
+    /// Mutable sanitizer access (drain checks, watchdog reporting).
+    pub fn sanitizer_mut(&mut self) -> &mut Sanitizer {
+        &mut self.sanitizer
+    }
+
+    /// Deterministic snapshot of the device's internal occupancies — the
+    /// body of the watchdog's diagnostic dump.
+    pub fn diagnostic_dump(&self, at: Time) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        writeln!(s, "device @ {at}: {} pending events", self.events.len())
+            .expect("writing to a String cannot fail");
+        for (l, link) in self.links.iter().enumerate() {
+            writeln!(
+                s,
+                "  link {l}: ingress_free={} ingress_backlog={} egress_backlog={} blocked={}",
+                link.ingress_free(),
+                link.ingress_backlog(),
+                link.egress_backlog(),
+                link.blocked_request().is_some(),
+            )
+            .expect("writing to a String cannot fail");
+        }
+        writeln!(
+            s,
+            "  write_buf={}/{} drained_waiting={}",
+            self.write_buf_used,
+            self.cfg.link_layer.write_buffer_depth,
+            self.drained_waiting.len()
+        )
+        .expect("writing to a String cannot fail");
+        for (v, vault) in self.vaults.iter().enumerate() {
+            let queued = vault.queued();
+            if queued == 0 && self.vault_reserved[v] == 0 {
+                continue;
+            }
+            writeln!(
+                s,
+                "  vault {v}: queued={queued} reserved={} busy_banks={} next_ready={}",
+                self.vault_reserved[v],
+                vault.busy_banks(at),
+                vault
+                    .next_bank_ready()
+                    .map_or("-".to_string(), |t| t.to_string()),
+            )
+            .expect("writing to a String cannot fail");
+        }
+        s
     }
 
     /// Records the device's gauges into a metrics sampler at instant
@@ -506,6 +601,7 @@ impl HmcDevice {
     /// packets.
     fn kick_ingress(&mut self, link: usize, now: Time) {
         if let Some((done, req)) = self.links[link].start_ingress(now) {
+            self.sanitizer.credit_release(link, now);
             self.events
                 .push(done, DeviceEvent::IngressDone { link, req });
         }
@@ -589,7 +685,7 @@ impl HmcDevice {
             let moved = self.vaults[v].drain_input(now);
             freed += moved;
             let before = started.len();
-            self.vaults[v].start_ready(now, &mut started);
+            self.vaults[v].start_ready_checked(now, &mut started, &mut self.sanitizer);
             if moved == 0 && started.len() == before {
                 break;
             }

@@ -80,6 +80,10 @@ impl DeviceLink {
     fn packet_time(&self, bytes: u64) -> TimeDelta {
         let raw = self.wire.serialize_ps(bytes) as f64 / self.cfg.efficiency;
         let flits = bytes / hmc_types::packet::FLIT_BYTES;
+        // Efficiency derating is a float config knob; the one division
+        // truncates back to integer ps immediately, and identical inputs
+        // give identical IEEE-754 quotients, so determinism holds.
+        // hmc-lint: allow(float-time)
         TimeDelta::from_ps(raw as u64)
             + self.cfg.packet_overhead
             + self.cfg.per_flit_overhead.saturating_mul(flits)

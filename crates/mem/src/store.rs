@@ -1,7 +1,7 @@
 //! A sparse backing store tracking write tokens per 16 B atom, so that the
 //! stream-GUPS data-integrity check can verify reads end to end.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use hmc_types::address::ATOM_BYTES;
 use hmc_types::Address;
@@ -12,7 +12,7 @@ use hmc_types::Address;
 /// "never written in this run").
 #[derive(Debug, Clone, Default)]
 pub struct SparseStore {
-    atoms: HashMap<u64, u64>,
+    atoms: BTreeMap<u64, u64>,
     writes: u64,
     reads: u64,
 }

@@ -3,7 +3,7 @@
 
 use hmc_types::packet::OpKind;
 use hmc_types::{AddressMapping, HmcSpec, MemoryRequest, Time};
-use sim_engine::BoundedQueue;
+use sim_engine::{BankOp, BoundedQueue, Sanitizer};
 
 use crate::config::{DramTiming, MemConfig, PagePolicy};
 use crate::dram::Bank;
@@ -118,6 +118,19 @@ impl Vault {
     /// Starts an access on every bank that is free at `now` and has queued
     /// work, appending the committed operations to `out`.
     pub fn start_ready(&mut self, now: Time, out: &mut Vec<StartedOp>) {
+        // A disabled sanitizer is allocation-free and every check is an
+        // inlined early return, so the unchecked path costs nothing.
+        self.start_ready_checked(now, out, &mut Sanitizer::new());
+    }
+
+    /// [`start_ready`](Vault::start_ready) with every committed bank
+    /// access validated against the protocol sanitizer's timing FSM.
+    pub fn start_ready_checked(
+        &mut self,
+        now: Time,
+        out: &mut Vec<StartedOp>,
+        sanitizer: &mut Sanitizer,
+    ) {
         for bank_idx in 0..self.banks.len() {
             if !self.banks[bank_idx].is_free(now) || self.bank_queues[bank_idx].is_empty() {
                 continue;
@@ -125,19 +138,35 @@ impl Vault {
             let req = self.bank_queues[bank_idx]
                 .pop(now)
                 .expect("checked non-empty");
-            let op = self.run_on_bank(bank_idx, req, now);
+            let op = self.run_on_bank(bank_idx, req, now, sanitizer);
             out.push(op);
         }
     }
 
-    fn run_on_bank(&mut self, bank_idx: usize, req: MemoryRequest, now: Time) -> StartedOp {
+    fn run_on_bank(
+        &mut self,
+        bank_idx: usize,
+        req: MemoryRequest,
+        now: Time,
+        sanitizer: &mut Sanitizer,
+    ) -> StartedOp {
         let row = self.mapping.decode(req.addr, &self.spec).row;
         let beats = req.size.dram_beats();
         let bus_time = self.timing.bus_beat.saturating_mul(beats);
         let bank = &mut self.banks[bank_idx];
+        // Sanitizer bank ids are device-global so one FSM table covers
+        // every vault.
+        let global_bank = self.id as u32 * self.spec.banks_per_vault() + bank_idx as u32;
         let response_at = match req.op {
             OpKind::Read => {
                 let access = bank.begin_read(now, row, beats, &self.timing, self.policy);
+                sanitizer.check_bank_access(
+                    global_bank,
+                    BankOp::Read,
+                    access.start,
+                    access.data_at,
+                    access.busy_until,
+                );
                 // Data leaves the sense amps onto the shared bus.
                 let bus_start = access.data_at.max(self.bus_free_at);
                 let bus_end = bus_start + bus_time;
@@ -148,6 +177,13 @@ impl Vault {
             }
             OpKind::Write => {
                 let access = bank.begin_write(now, row, beats, &self.timing, self.policy);
+                sanitizer.check_bank_access(
+                    global_bank,
+                    BankOp::Write,
+                    access.start,
+                    access.data_at,
+                    access.busy_until,
+                );
                 // Data flows from the link buffer over the bus into the
                 // bank; the write is acknowledged once absorbed.
                 let bus_start = access.start.max(self.bus_free_at);

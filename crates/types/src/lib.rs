@@ -42,6 +42,6 @@ pub use address::{Address, AddressMapping, AddressMask, InterleaveOrder, Locatio
 pub use error::HmcError;
 pub use packet::{FlitCount, RequestKind, RequestSize, TransactionSizes, FLIT_BYTES};
 pub use request::{MemoryRequest, MemoryResponse, PortId, RequestId, Tag};
-pub use spec::{HmcSpec, HmcVersion, LinkConfig, LinkSpeed, LinkWidth};
+pub use spec::{DramTimingFloor, HmcSpec, HmcVersion, LinkConfig, LinkSpeed, LinkWidth};
 pub use time::{Frequency, Time, TimeDelta};
 pub use trace::{Stage, TraceId};

@@ -4,6 +4,7 @@
 use std::fmt;
 
 use crate::error::HmcError;
+use crate::time::TimeDelta;
 
 /// The HMC generations the paper tabulates in Table I.
 ///
@@ -156,6 +157,63 @@ impl HmcSpec {
     /// Address bits needed to select a quadrant.
     pub const fn quadrant_bits(&self) -> u32 {
         self.quadrants.trailing_zeros()
+    }
+
+    /// The closed-page DRAM timing floor of this device — the protocol
+    /// minimums (Section II-C) a legal bank-access schedule can never go
+    /// below. The device model's calibrated `DramTiming` defaults equal
+    /// these values; the runtime sanitizer checks every scheduled access
+    /// against them, so a corrupted or ablated timing config is caught
+    /// rather than silently producing illegal schedules.
+    pub const fn timing_floor(&self) -> DramTimingFloor {
+        // 3D-stacked DRAM runs at a lower internal frequency than
+        // contemporary DDR (footnote 13 of the paper); the floor is the
+        // paper-calibrated Gen2 timing, shared by all generations here.
+        DramTimingFloor {
+            t_rcd: TimeDelta::from_ns(25),
+            t_cl: TimeDelta::from_ns(25),
+            t_rp: TimeDelta::from_ns(38),
+            t_ras: TimeDelta::from_ns(90),
+            t_wr: TimeDelta::from_ns(30),
+            t_ccd: TimeDelta::from_ns(4),
+        }
+    }
+}
+
+/// Minimum legal closed-page DRAM timing parameters of a device — the
+/// reference values the protocol sanitizer validates scheduled bank
+/// accesses against (ACT→RD/WR→PRE ordering and spacing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramTimingFloor {
+    /// Minimum activate-to-CAS delay.
+    pub t_rcd: TimeDelta,
+    /// Minimum CAS latency.
+    pub t_cl: TimeDelta,
+    /// Minimum precharge time.
+    pub t_rp: TimeDelta,
+    /// Minimum row-active time.
+    pub t_ras: TimeDelta,
+    /// Minimum write recovery time.
+    pub t_wr: TimeDelta,
+    /// Minimum column-command spacing (one TSV bus beat).
+    pub t_ccd: TimeDelta,
+}
+
+impl DramTimingFloor {
+    /// Minimum activate-to-activate spacing on one bank (`tRAS + tRP`).
+    pub const fn t_rc(&self) -> TimeDelta {
+        TimeDelta::from_ps(self.t_ras.as_ps() + self.t_rp.as_ps())
+    }
+
+    /// Minimum activate-to-data delay of a closed-page access
+    /// (`tRCD + tCL`).
+    pub const fn read_access(&self) -> TimeDelta {
+        TimeDelta::from_ps(self.t_rcd.as_ps() + self.t_cl.as_ps())
+    }
+
+    /// Minimum full cycle of a closed-page write (`tRCD + tWR + tRP`).
+    pub const fn write_cycle(&self) -> TimeDelta {
+        TimeDelta::from_ps(self.t_rcd.as_ps() + self.t_wr.as_ps() + self.t_rp.as_ps())
     }
 }
 
@@ -373,6 +431,18 @@ mod tests {
         assert_eq!(s.quadrant_bits(), 2);
         let g1 = HmcSpec::of(HmcVersion::Gen1);
         assert_eq!(g1.bank_bits(), 3);
+    }
+
+    #[test]
+    fn timing_floor_composite_minimums() {
+        let f = HmcSpec::default().timing_floor();
+        assert_eq!(f.t_rc().as_ps(), 128_000, "tRC = tRAS + tRP = 128 ns");
+        assert_eq!(f.read_access().as_ps(), 50_000, "tRCD + tCL = 50 ns");
+        assert_eq!(f.write_cycle().as_ps(), 93_000, "tRCD + tWR + tRP");
+        assert!(f.t_ccd.as_ps() > 0);
+        // All generations share the paper-calibrated floor.
+        assert_eq!(HmcSpec::of(HmcVersion::Gen1).timing_floor(), f);
+        assert_eq!(HmcSpec::of(HmcVersion::Hmc2).timing_floor(), f);
     }
 
     #[test]
