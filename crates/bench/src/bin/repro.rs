@@ -24,6 +24,12 @@
 //!   print the invariant-check report (nonzero exit on any violation).
 //! * `--sanitize-json <out.json>` — with `--sanitize`: also write the
 //!   merged `SanitizerReport` as JSON.
+//! * `--faults <scenario>` — run a built-in fault scenario (or `all`)
+//!   with the host robustness layer on and the sanitizer armed, and
+//!   print the degraded-mode characterization (nonzero exit on any
+//!   sanitizer violation or a run that failed to drain).
+//! * `--faults-json <out.json>` — with `--faults`: also write the
+//!   scenario outcomes as JSON (the CI smoke matrix's artifact).
 //!
 //! (The `benches/` targets print the same tables plus paper-vs-measured
 //! verdicts; this binary is the quick interactive entry point.)
@@ -295,11 +301,57 @@ fn run_sanitize(cfg: &SystemConfig, json_out: Option<&str>) -> bool {
     sane.report.is_clean() && identical
 }
 
+/// Runs one built-in fault scenario (or all of them) with the sanitizer
+/// armed and prints the degraded-mode table plus each sanitizer report.
+/// Returns `false` if any scenario saw a violation or failed to drain.
+fn run_faults(cfg: &SystemConfig, which: &str, json_out: Option<&str>) -> bool {
+    use sim_engine::FaultScenario;
+    let mc = bench_mc();
+    let names: Vec<&str> = if which == "all" {
+        FaultScenario::builtin_names().to_vec()
+    } else if FaultScenario::builtin(which).is_some() {
+        vec![which]
+    } else {
+        eprintln!(
+            "unknown scenario '{which}' (built-ins: {}, or 'all')",
+            FaultScenario::builtin_names().join(", ")
+        );
+        return false;
+    };
+    let outcomes: Vec<_> = names
+        .iter()
+        .map(|n| faults::run_builtin(cfg, n, &mc).expect("name came from the built-in list"))
+        .collect();
+    println!("{}", faults::scenario_table(&outcomes));
+    let mut ok = true;
+    for o in &outcomes {
+        if !o.report.is_clean() {
+            eprintln!("scenario '{}' sanitizer violations:\n{}", o.name, o.report);
+            ok = false;
+        }
+        if !o.drained {
+            eprintln!(
+                "scenario '{}' failed to drain: recovery hung or a request was lost",
+                o.name
+            );
+            ok = false;
+        }
+    }
+    if let Some(path) = json_out {
+        match std::fs::write(path, faults::scenarios_json(&outcomes)) {
+            Ok(()) => eprintln!("wrote {} scenario outcomes to {path}", outcomes.len()),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    ok
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--threads N] [--figure <id>] [--perf-json] [--breakdown] \
          [--trace <out.json>] [--metrics-json <out.json>] \
          [--sanitize] [--sanitize-json <out.json>] \
+         [--faults <scenario|all>] [--faults-json <out.json>] \
          <table1|table2|table3|fig6..fig18|baseline|all>..."
     );
     std::process::exit(2);
@@ -315,6 +367,8 @@ fn main() {
     let mut metrics_out: Option<String> = None;
     let mut sanitize = false;
     let mut sanitize_out: Option<String> = None;
+    let mut faults_which: Option<String> = None;
+    let mut faults_out: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -347,11 +401,27 @@ fn main() {
                 sanitize = true;
                 sanitize_out = Some(it.next().unwrap_or_else(|| usage()).clone());
             }
+            "--faults" => {
+                faults_which = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
+            "--faults-json" => {
+                faults_out = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
             flag if flag.starts_with("--") => usage(),
             target => targets.push(target.to_string()),
         }
     }
-    if targets.is_empty() && !perf && !sanitize && trace_out.is_none() && metrics_out.is_none() {
+    if targets.is_empty()
+        && !perf
+        && !sanitize
+        && faults_which.is_none()
+        && trace_out.is_none()
+        && metrics_out.is_none()
+    {
+        usage();
+    }
+    if faults_which.is_none() && faults_out.is_some() {
+        eprintln!("--faults-json requires --faults");
         usage();
     }
     let all = [
@@ -396,5 +466,10 @@ fn main() {
     }
     if sanitize && !run_sanitize(&cfg, sanitize_out.as_deref()) {
         std::process::exit(1);
+    }
+    if let Some(which) = &faults_which {
+        if !run_faults(&cfg, which, faults_out.as_deref()) {
+            std::process::exit(1);
+        }
     }
 }

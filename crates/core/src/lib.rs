@@ -55,7 +55,7 @@ pub use observe::{ObservedStream, ObservedWindow, TraceReport};
 pub use pattern::AccessPattern;
 pub use report::Table;
 pub use sanitize::{SanitizedPoint, SanitizedRun};
-pub use system::{System, SystemConfig};
+pub use system::{RecoveryRecord, System, SystemConfig};
 
 // Re-export the substrate crates so downstream users need only hmc-core.
 pub use ddr_baseline;

@@ -295,6 +295,19 @@ mod tests {
     }
 
     #[test]
+    fn noisy_links_surface_the_retry_stage_in_attribution() {
+        let mut cfg = SystemConfig::default();
+        cfg.mem.link_layer.bit_error_rate = 1e-4;
+        let obs = run_stream_observed(&cfg, &Workload::read_stream(64, RequestSize::MAX), 1);
+        let t = obs.report.attribution_table("noisy links", &obs.latency);
+        let rendered = t.to_string();
+        assert!(rendered.contains("link_retry"), "{rendered}");
+        // Telescoping attribution stays exact even when retries reshuffle
+        // the stage boundaries.
+        assert_eq!(t.cell(t.len() - 1, 3), "0.0");
+    }
+
+    #[test]
     fn window_capture_exports_valid_trace_and_metrics() {
         let obs = run_window_observed(
             &SystemConfig::default(),
@@ -314,6 +327,7 @@ mod tests {
             "device.vault_queued",
             "device.busy_banks",
             "device.ingress_credits",
+            "device.link_retries",
         ] {
             let s = obs.metrics.get(name).unwrap_or_else(|| panic!("{name}"));
             assert!(s.len() >= 15, "{name} has {} samples", s.len());

@@ -1,10 +1,18 @@
 //! The full-system co-simulation: host and device advanced in lockstep
 //! with deterministic event interleaving.
+//!
+//! Installed [`FaultScenario`]s flow through here: device-level faults
+//! become device events at install time, while thermal spikes act as time
+//! barriers in [`System::step_until`] — the system advances exactly to
+//! the spike, evaluates the [`FailurePolicy`] against the live workload's
+//! write content, and on shutdown executes the timed
+//! [`RecoveryStep`] sequence (DRAM lost, host in-flight window replayed).
 
 use hmc_host::{Host, HostConfig, LinkSink};
 use hmc_mem::{DeviceOutput, HmcDevice, MemConfig};
+use hmc_thermal::{FailurePolicy, RecoveryStep, ThermalEvent};
 use hmc_types::{MemoryRequest, Time, TimeDelta};
-use sim_engine::{MetricsSampler, SanitizerReport, ViolationClass};
+use sim_engine::{FaultKind, FaultScenario, MetricsSampler, SanitizerReport, ViolationClass};
 
 /// Configuration of the whole modelled system.
 #[derive(Debug, Clone, Default)]
@@ -52,6 +60,35 @@ pub struct System {
     now: Time,
     sampler: Option<MetricsSampler>,
     watchdog: Option<Watchdog>,
+    /// Pending thermal spikes (sorted ascending); each acts as a time
+    /// barrier in [`System::step_until`].
+    thermal_spikes: Vec<(Time, f64)>,
+    /// Thermal limits evaluated at each spike.
+    policy: FailurePolicy,
+    /// Every shutdown/recovery cycle executed so far.
+    recoveries: Vec<RecoveryRecord>,
+}
+
+/// One thermal shutdown and its timed recovery, as executed live.
+#[derive(Debug, Clone)]
+pub struct RecoveryRecord {
+    /// Instant the spike crossed the policy limit and the device halted.
+    pub shutdown_at: Time,
+    /// The offending surface temperature, °C.
+    pub surface_c: f64,
+    /// The recovery sequence with the duration charged per step.
+    pub steps: Vec<(RecoveryStep, TimeDelta)>,
+    /// Instant the device accepted traffic again.
+    pub resume_at: Time,
+    /// In-flight requests the host replayed from `resume_at`.
+    pub replayed: usize,
+}
+
+impl RecoveryRecord {
+    /// Total dead time of the cycle.
+    pub fn outage(&self) -> TimeDelta {
+        self.resume_at.since(self.shutdown_at)
+    }
 }
 
 /// Forward-progress watchdog state: outstanding requests with no
@@ -78,7 +115,38 @@ impl System {
             now: Time::ZERO,
             sampler: None,
             watchdog: None,
+            thermal_spikes: Vec::new(),
+            policy: FailurePolicy::default(),
+            recoveries: Vec::new(),
         }
+    }
+
+    /// Installs a fault scenario: device-level faults are translated into
+    /// device events immediately; thermal spikes are queued as time
+    /// barriers for [`System::step_until`]. Scenarios compose — calling
+    /// this twice merges the schedules.
+    pub fn install_faults(&mut self, scenario: &FaultScenario) {
+        for ev in &scenario.events {
+            match ev.kind {
+                FaultKind::ThermalSpike { surface_c } => {
+                    self.thermal_spikes.push((ev.at, surface_c));
+                }
+                kind => self.device.schedule_fault(ev.at, kind),
+            }
+        }
+        self.thermal_spikes
+            .sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    }
+
+    /// Replaces the thermal limits evaluated at spikes (defaults follow
+    /// the paper: 85 °C read / 75 °C write / 80 °C refresh boost).
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.policy = policy;
+    }
+
+    /// Every thermal shutdown/recovery cycle executed so far.
+    pub fn recoveries(&self) -> &[RecoveryRecord] {
+        &self.recoveries
     }
 
     /// Turns on lifecycle tracing on both the host and device tracers.
@@ -227,9 +295,65 @@ impl System {
     }
 
     /// Advances both components until no event at or before `end`
-    /// remains. Device responses feed back into the host, and freed
-    /// ingress credits un-stall the host's transmit nodes.
+    /// remains. Installed thermal spikes act as barriers: the system
+    /// advances exactly to each spike, evaluates the failure policy, and
+    /// (on shutdown) executes the recovery cycle before continuing.
     pub fn step_until(&mut self, end: Time) {
+        while let Some(&(at, surface_c)) = self.thermal_spikes.first() {
+            if at > end {
+                break;
+            }
+            self.step_events_until(at);
+            self.thermal_spikes.remove(0);
+            self.apply_thermal_spike(at, surface_c);
+        }
+        self.step_events_until(end);
+    }
+
+    /// Evaluates one thermal spike against the failure policy. The
+    /// write limit applies as soon as the run has completed any write —
+    /// the paper's ~10 °C earlier write-workload shutdowns.
+    fn apply_thermal_spike(&mut self, at: Time, surface_c: f64) {
+        let writes = self.device.stats().writes_completed > 0;
+        match self.policy.check(surface_c, writes) {
+            Ok(ThermalEvent::Normal) => {}
+            Ok(ThermalEvent::RefreshBoost) => self.device.set_refresh_multiplier(2),
+            Err(_) => self.thermal_shutdown(at, surface_c),
+        }
+    }
+
+    /// Executes a live shutdown/recovery cycle: the device halts and
+    /// forgets everything (in-flight packets, queue contents, DRAM data),
+    /// the timed recovery sequence elapses, and the host replays its
+    /// in-flight window from the resume instant.
+    fn thermal_shutdown(&mut self, at: Time, surface_c: f64) {
+        let mut steps = Vec::new();
+        let mut resume = at;
+        for step in RecoveryStep::sequence() {
+            let d = step.typical_duration();
+            steps.push((step, d));
+            resume += d;
+        }
+        self.device.reset_after_shutdown(resume);
+        let replayed = self.host.reset_for_recovery(resume);
+        // The outage is legal dead time, not a wedge: restart the
+        // forward-progress clock at the resume instant.
+        if let Some(wd) = &mut self.watchdog {
+            wd.last_progress = resume;
+        }
+        self.now = self.now.max(at);
+        self.recoveries.push(RecoveryRecord {
+            shutdown_at: at,
+            surface_c,
+            steps,
+            resume_at: resume,
+            replayed,
+        });
+    }
+
+    /// The event-pump core of [`System::step_until`] (no thermal
+    /// barriers).
+    fn step_events_until(&mut self, end: Time) {
         let links = self.device.config().links.num_links() as usize;
         let mut outputs: Vec<DeviceOutput> = Vec::new();
         loop {
@@ -291,11 +415,13 @@ impl System {
             if !self.host.is_busy() {
                 return true;
             }
-            let next = match (self.host.next_time(), self.device.next_time()) {
-                (Some(h), Some(d)) => h.min(d),
-                (Some(h), None) => h,
-                (None, Some(d)) => d,
-                (None, None) => return !self.host.is_busy(),
+            let spike = self.thermal_spikes.first().map(|&(t, _)| t);
+            let next = [self.host.next_time(), self.device.next_time(), spike]
+                .into_iter()
+                .flatten()
+                .min();
+            let Some(next) = next else {
+                return !self.host.is_busy();
             };
             if next > deadline {
                 break;

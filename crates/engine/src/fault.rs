@@ -1,0 +1,265 @@
+//! Seeded fault-scenario model: a deterministic schedule of typed faults.
+//!
+//! A [`FaultScenario`] is a named, seeded schedule of [`FaultEvent`]s.
+//! Each event carries a trigger time and a [`FaultKind`]; the simulation
+//! layers (device, host, system) translate them into ordinary simulation
+//! events at install time, so a faulted run is exactly as deterministic
+//! as a clean one. Per-packet effects (flit corruption) do not enumerate
+//! packets here — they arm a bit-error rate on a link, and the link draws
+//! per-packet corruption from its own seeded PRNG.
+//!
+//! The module is policy-free: it knows nothing about links, vaults, or
+//! hosts beyond their indices. Composition into the built-in named
+//! scenarios lives here so every consumer (CLI, tests, CI) agrees on
+//! what, say, `link-death` means.
+
+use std::fmt;
+
+use hmc_types::{Time, TimeDelta};
+
+/// One typed fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Arm a bit-error rate on one external link; every packet transfer
+    /// on that link thereafter draws corruption from the link's seeded
+    /// PRNG and re-serializes through the retry protocol on failure.
+    FlitCorruption {
+        /// External link index.
+        link: usize,
+        /// Probability of a single bit flipping in transit.
+        ber: f64,
+    },
+    /// Leak ingress tokens on one link: the device stops advertising
+    /// `count` credits to the host, permanently shrinking the usable
+    /// flow-control window.
+    CreditLeak {
+        /// External link index.
+        link: usize,
+        /// Credits that disappear from the advertised window.
+        count: usize,
+    },
+    /// Stall one link's serializers (both directions) for a duration:
+    /// in-progress transfers finish, but no new transfer starts until
+    /// the stall lifts. A duration longer than the run models link
+    /// death.
+    LinkStall {
+        /// External link index.
+        link: usize,
+        /// How long the link stays silent.
+        duration: TimeDelta,
+    },
+    /// Wedge one vault: its banks accept no new DRAM access until the
+    /// hold lifts (queued requests wait; upstream backpressure applies).
+    VaultWedge {
+        /// Vault index.
+        vault: usize,
+        /// How long the vault stays wedged.
+        duration: TimeDelta,
+    },
+    /// Force the cube's surface temperature to a value at the trigger
+    /// instant. If it crosses the `FailurePolicy` limit for the active
+    /// workload the device performs an in-band thermal shutdown and the
+    /// timed recovery sequence.
+    ThermalSpike {
+        /// Forced surface temperature in degrees Celsius.
+        surface_c: f64,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultKind::FlitCorruption { link, ber } => {
+                write!(f, "flit-corruption(link {link}, ber {ber:.1e})")
+            }
+            FaultKind::CreditLeak { link, count } => {
+                write!(f, "credit-leak(link {link}, {count} tokens)")
+            }
+            FaultKind::LinkStall { link, duration } => {
+                write!(f, "link-stall(link {link}, {} ns)", duration.as_ns_f64())
+            }
+            FaultKind::VaultWedge { vault, duration } => {
+                write!(f, "vault-wedge(vault {vault}, {} ns)", duration.as_ns_f64())
+            }
+            FaultKind::ThermalSpike { surface_c } => {
+                write!(f, "thermal-spike({surface_c:.1} C)")
+            }
+        }
+    }
+}
+
+/// A fault with its deterministic trigger time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Simulated instant the fault triggers.
+    pub at: Time,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A named, seeded, composable schedule of faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultScenario {
+    /// Scenario name (built-in scenarios use stable names the CLI and CI
+    /// refer to).
+    pub name: String,
+    /// Seed mixed into per-packet draws (the link PRNGs), so two
+    /// scenarios with the same schedule but different seeds corrupt
+    /// different packets.
+    pub seed: u64,
+    /// The schedule, sorted by trigger time at construction.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultScenario {
+    /// Creates an empty scenario.
+    pub fn new(name: &str, seed: u64) -> Self {
+        FaultScenario {
+            name: name.to_string(),
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds a fault at `at`, keeping the schedule sorted by trigger
+    /// time (stable for equal times).
+    pub fn with(mut self, at: Time, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, kind });
+        self.events.sort_by_key(|e| e.at);
+        self
+    }
+
+    /// True if the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The names of the built-in scenarios, in presentation order.
+    pub fn builtin_names() -> &'static [&'static str] {
+        &[
+            "noisy-link",
+            "credit-leak",
+            "link-stall",
+            "link-death",
+            "vault-wedge",
+            "thermal-throttle",
+            "thermal-runaway",
+        ]
+    }
+
+    /// Looks up a built-in scenario by name.
+    ///
+    /// * `noisy-link` — BER 1e-6 on both links from t=0: every packet
+    ///   pays the CRC/retry stage, a few percent re-serialize.
+    /// * `credit-leak` — link 0 silently loses 24 of its 32 ingress
+    ///   tokens at 200 us, throttling one link's flow-control window.
+    /// * `link-stall` — link 1 goes silent for 60 us at 300 us, long
+    ///   enough for host deadlines to fire and duplicate-response
+    ///   handling to engage when the link comes back.
+    /// * `link-death` — link 1 goes permanently silent at 200 us; after
+    ///   N consecutive timeouts the host declares it dead and degrades
+    ///   to the surviving link.
+    /// * `vault-wedge` — vault 5 accepts no DRAM access for 40 us at
+    ///   250 us; upstream backpressure and recovery are observable.
+    /// * `thermal-throttle` — an 82 C spike at 300 us: below the read
+    ///   shutdown limit but above the refresh-boost threshold, so the
+    ///   device doubles its refresh rate (and a write-heavy workload
+    ///   shuts down instead).
+    /// * `thermal-runaway` — a 92 C spike at 400 us: above every limit,
+    ///   forcing shutdown, DRAM loss, the timed recovery sequence, and
+    ///   a host replay of its in-flight window.
+    pub fn builtin(name: &str) -> Option<Self> {
+        let us = |n: u64| Time::from_ps(n * 1_000_000);
+        let scenario = match name {
+            "noisy-link" => FaultScenario::new(name, 0xFA_0711)
+                .with(Time::ZERO, FaultKind::FlitCorruption { link: 0, ber: 1e-6 })
+                .with(Time::ZERO, FaultKind::FlitCorruption { link: 1, ber: 1e-6 }),
+            "credit-leak" => FaultScenario::new(name, 0xFA_0712)
+                .with(us(200), FaultKind::CreditLeak { link: 0, count: 24 }),
+            "link-stall" => FaultScenario::new(name, 0xFA_0713).with(
+                us(300),
+                FaultKind::LinkStall {
+                    link: 1,
+                    duration: TimeDelta::from_ns(60_000),
+                },
+            ),
+            "link-death" => FaultScenario::new(name, 0xFA_0714).with(
+                us(200),
+                FaultKind::LinkStall {
+                    link: 1,
+                    // Far longer than any run: the link never comes back.
+                    duration: TimeDelta::from_ns(3_600_000_000_000),
+                },
+            ),
+            "vault-wedge" => FaultScenario::new(name, 0xFA_0715).with(
+                us(250),
+                FaultKind::VaultWedge {
+                    vault: 5,
+                    duration: TimeDelta::from_ns(40_000),
+                },
+            ),
+            "thermal-throttle" => FaultScenario::new(name, 0xFA_0716)
+                .with(us(300), FaultKind::ThermalSpike { surface_c: 82.0 }),
+            "thermal-runaway" => FaultScenario::new(name, 0xFA_0717)
+                .with(us(400), FaultKind::ThermalSpike { surface_c: 92.0 }),
+            _ => return None,
+        };
+        Some(scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_stays_sorted() {
+        let s = FaultScenario::new("x", 1)
+            .with(
+                Time::from_ps(500),
+                FaultKind::ThermalSpike { surface_c: 90.0 },
+            )
+            .with(
+                Time::from_ps(100),
+                FaultKind::CreditLeak { link: 0, count: 2 },
+            )
+            .with(
+                Time::from_ps(300),
+                FaultKind::LinkStall {
+                    link: 1,
+                    duration: TimeDelta::from_ns(10),
+                },
+            );
+        let times: Vec<u64> = s.events.iter().map(|e| e.at.as_ps()).collect();
+        assert_eq!(times, vec![100, 300, 500]);
+    }
+
+    #[test]
+    fn every_builtin_resolves() {
+        for name in FaultScenario::builtin_names() {
+            let s = FaultScenario::builtin(name).expect("builtin must resolve");
+            assert_eq!(s.name, *name);
+            assert!(!s.is_empty(), "{name} has an empty schedule");
+        }
+        assert!(FaultScenario::builtin("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn builtin_seeds_are_distinct() {
+        let mut seeds: Vec<u64> = FaultScenario::builtin_names()
+            .iter()
+            .map(|n| FaultScenario::builtin(n).expect("resolves").seed)
+            .collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), FaultScenario::builtin_names().len());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let k = FaultKind::FlitCorruption { link: 1, ber: 1e-6 };
+        assert_eq!(k.to_string(), "flit-corruption(link 1, ber 1.0e-6)");
+        let k = FaultKind::ThermalSpike { surface_c: 92.0 };
+        assert_eq!(k.to_string(), "thermal-spike(92.0 C)");
+    }
+}

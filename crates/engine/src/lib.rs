@@ -28,6 +28,9 @@
 //!   and request conservation ledgers, event-order and queue-bound checks,
 //!   watchdog reporting) with the same zero-cost-when-disabled contract as
 //!   [`trace`].
+//! * [`fault`] — a seeded fault-scenario model: deterministic schedules of
+//!   typed faults (flit corruption, credit leaks, link stalls, vault
+//!   wedges, thermal spikes) composable into named scenarios.
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@
 
 pub mod event;
 pub mod exec;
+pub mod fault;
 pub mod metrics;
 pub mod queue;
 pub mod regress;
@@ -55,6 +59,7 @@ pub mod token;
 pub mod trace;
 
 pub use event::EventQueue;
+pub use fault::{FaultEvent, FaultKind, FaultScenario};
 pub use metrics::MetricsSampler;
 pub use queue::BoundedQueue;
 pub use regress::LinearFit;

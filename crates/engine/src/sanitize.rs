@@ -259,6 +259,15 @@ impl Sanitizer {
         &self.credit_in_use
     }
 
+    /// Forgets all credits in use without a violation: the ingress
+    /// windows were legitimately emptied outside the normal release path
+    /// (a shutdown dropped the queues on the floor).
+    pub fn credit_forget_all(&mut self) {
+        for c in &mut self.credit_in_use {
+            *c = 0;
+        }
+    }
+
     // ---------------------------------------------------------------
     // DRAM timing FSM
     // ---------------------------------------------------------------
@@ -645,9 +654,9 @@ fn json_escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\t' => out.push_str("\\t"),
             '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
+            c if u32::from(c) < 0x20 => {
                 use std::fmt::Write as _;
-                write!(out, "\\u{:04x}", c as u32).expect("writing to a String cannot fail");
+                write!(out, "\\u{:04x}", u32::from(c)).expect("writing to a String cannot fail");
             }
             c => out.push(c),
         }

@@ -4,6 +4,45 @@ use hmc_types::{Frequency, LinkConfig, TimeDelta};
 
 use crate::controller::{RxPath, TxStages};
 
+/// Host-side fault-robustness layer: per-request deadlines, bounded
+/// retransmission with exponential backoff, and link-death degradation.
+///
+/// Disabled by default — with `enabled = false` the host performs no
+/// deadline bookkeeping, schedules no timeout events, and is bit-identical
+/// to a host built without the layer. Enable it when running fault
+/// scenarios (`repro --faults`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobustnessConfig {
+    /// Master enable. Off = zero behavioural and allocation change.
+    pub enabled: bool,
+    /// Deadline per transmission attempt, measured from the moment the
+    /// request enters (or re-enters) a transmit node. Must exceed the
+    /// worst-case loaded round trip (~25 µs at full scale, Figure 16) or
+    /// healthy traffic is retransmitted.
+    pub request_timeout: TimeDelta,
+    /// Retransmission attempts after the original before the host gives
+    /// up and force-completes the request (counted as abandoned).
+    pub max_retries: u32,
+    /// First retry backoff; attempt `k` waits `backoff_base << (k-1)`.
+    pub backoff_base: TimeDelta,
+    /// Consecutive timeouts on one link before the host declares it dead
+    /// and reroutes its traffic onto the surviving links (never kills the
+    /// last live link).
+    pub link_death_threshold: u32,
+}
+
+impl Default for RobustnessConfig {
+    fn default() -> Self {
+        RobustnessConfig {
+            enabled: false,
+            request_timeout: TimeDelta::from_us(50),
+            max_retries: 4,
+            backoff_base: TimeDelta::from_us(1),
+            link_death_threshold: 16,
+        }
+    }
+}
+
 /// Configuration of the FPGA-side controller and GUPS design.
 ///
 /// Defaults follow the AC-510 infrastructure: a 187.5 MHz fabric, nine
@@ -28,6 +67,9 @@ pub struct HostConfig {
     pub rx: RxPath,
     /// Addressable memory size the generators draw from (4 GB device).
     pub memory_capacity: u64,
+    /// Fault-robustness layer (timeouts, retries, link death). Off by
+    /// default.
+    pub robust: RobustnessConfig,
 }
 
 impl Default for HostConfig {
@@ -41,6 +83,7 @@ impl Default for HostConfig {
             tx: TxStages::default(),
             rx: RxPath::default(),
             memory_capacity: 4 << 30,
+            robust: RobustnessConfig::default(),
         }
     }
 }
@@ -71,6 +114,16 @@ mod tests {
         assert_eq!(c.tag_pool_depth, 64);
         assert_eq!(c.links.num_links(), 2);
         assert_eq!(c.cycle().as_ps(), 5_333);
+    }
+
+    #[test]
+    fn robustness_defaults_off() {
+        let r = RobustnessConfig::default();
+        assert!(!r.enabled, "robustness must not perturb clean runs");
+        assert!(r.request_timeout > TimeDelta::from_us(25));
+        assert!(r.max_retries > 0);
+        assert!(r.link_death_threshold > 0);
+        assert_eq!(HostConfig::default().robust, r);
     }
 
     #[test]

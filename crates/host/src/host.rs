@@ -1,5 +1,16 @@
 //! The assembled host: GUPS ports, transmit nodes, the RX pipeline, and
 //! the event loop driving requests into a [`LinkSink`].
+//!
+//! With [`RobustnessConfig::enabled`](crate::config::RobustnessConfig) the
+//! host additionally runs the fault-robustness layer: every in-flight
+//! request carries a deadline, expired requests are retransmitted with
+//! exponential backoff, late duplicate responses are dropped as poisoned,
+//! a link accumulating consecutive timeouts is declared dead (its traffic
+//! reroutes onto the survivors), and after a device thermal shutdown the
+//! whole in-flight window can be replayed. Disabled, none of that
+//! bookkeeping exists and the host is bit-identical to earlier revisions.
+
+use std::collections::BTreeMap;
 
 use hmc_types::packet::FlitCount;
 use hmc_types::trace::Stage;
@@ -68,12 +79,79 @@ impl HostStats {
     }
 }
 
+/// Robustness-layer counters, cumulative since construction. Snapshot and
+/// subtract ([`std::ops::Sub`]) to measure one window.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RobustStats {
+    /// Deadline expirations observed (one per attempt that timed out).
+    pub timeouts: u64,
+    /// Retransmissions actually issued.
+    pub retries: u64,
+    /// Responses dropped because their request was no longer outstanding
+    /// (late duplicates, or responses to abandoned requests).
+    pub poisoned_responses: u64,
+    /// Requests force-completed after exhausting every retry.
+    pub abandoned: u64,
+    /// Links declared dead and drained onto the survivors.
+    pub links_degraded: u64,
+    /// Requests re-enqueued by a post-shutdown replay.
+    pub replayed: u64,
+}
+
+impl std::ops::Sub for RobustStats {
+    type Output = RobustStats;
+    fn sub(self, rhs: RobustStats) -> RobustStats {
+        RobustStats {
+            timeouts: self.timeouts - rhs.timeouts,
+            retries: self.retries - rhs.retries,
+            poisoned_responses: self.poisoned_responses - rhs.poisoned_responses,
+            abandoned: self.abandoned - rhs.abandoned,
+            links_degraded: self.links_degraded - rhs.links_degraded,
+            replayed: self.replayed - rhs.replayed,
+        }
+    }
+}
+
+/// Deadline-tracking record for one in-flight request (robustness layer).
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    req: MemoryRequest,
+    /// Transmit node the live attempt went through.
+    node: usize,
+    /// Transmission attempt count (1 = original).
+    attempt: u32,
+    /// When the live attempt expires (`None` while a backoff is pending
+    /// — the entry has no armed deadline until the retransmission).
+    deadline: Option<Time>,
+}
+
 #[derive(Debug, Clone)]
 enum HostEvent {
-    PortIssue { port: usize },
-    NodeKick { node: usize, seq: u64 },
-    NodeTxDone { node: usize, req: MemoryRequest },
-    RxDeliver { resp: MemoryResponse },
+    PortIssue {
+        port: usize,
+    },
+    NodeKick {
+        node: usize,
+        seq: u64,
+    },
+    NodeTxDone {
+        node: usize,
+        req: MemoryRequest,
+    },
+    RxDeliver {
+        resp: MemoryResponse,
+    },
+    /// The single armed deadline check: fires at the minimum in-flight
+    /// deadline and processes every entry that expired by then. Deadlines
+    /// only ever move later (each new one is `now + request_timeout`), so
+    /// one pending sweep is always enough and never needs rescheduling
+    /// earlier — this keeps the event queue structurally bounded where a
+    /// timeout event per request would pile up stale entries.
+    DeadlineSweep,
+    /// Backoff expired: retransmit `id` now.
+    RetryIssue {
+        id: u64,
+    },
 }
 
 /// The FPGA-side model: nine GUPS ports feeding two transmit nodes, with
@@ -98,6 +176,17 @@ pub struct Host {
     now: Time,
     total_issued: u64,
     total_completed: u64,
+    /// Robustness layer: deadline record per in-flight request id. Empty
+    /// (and never touched) when the layer is disabled.
+    in_flight: BTreeMap<u64, InFlight>,
+    /// Consecutive timeouts per link since its last successful response.
+    consecutive_timeouts: Vec<u32>,
+    /// Links declared dead by the degradation policy (permanent for the
+    /// run).
+    link_dead: Vec<bool>,
+    /// Instant of the pending [`HostEvent::DeadlineSweep`], if armed.
+    sweep_at: Option<Time>,
+    robust_stats: RobustStats,
     tracer: Tracer,
     sanitizer: Sanitizer,
 }
@@ -108,7 +197,7 @@ impl Host {
         let ports = (0..cfg.num_ports)
             .map(|p| {
                 GupsPort::new(
-                    PortId::new(p as u8),
+                    PortId::new(u8::try_from(p).expect("port index fits u8")),
                     cfg.tag_pool_depth,
                     cfg.memory_capacity,
                     0xC0FFEE ^ p as u64,
@@ -119,9 +208,17 @@ impl Host {
             .map(|l| TxNode::new(l, cfg.node_queue_depth))
             .collect();
         // Every in-flight request and queued node packet owns at most one
-        // pending event, so this bound avoids warm-up reallocations.
+        // pending event, so this bound avoids warm-up reallocations. The
+        // robustness layer adds at most one backoff event per in-flight
+        // request plus the single armed deadline sweep.
+        let robust_slack = if cfg.robust.enabled {
+            2 * cfg.num_ports * cfg.tag_pool_depth
+        } else {
+            0
+        };
         let event_capacity = cfg.num_ports * cfg.tag_pool_depth
             + cfg.links.num_links() as usize * cfg.node_queue_depth
+            + robust_slack
             + 64;
         Host {
             ports,
@@ -139,6 +236,11 @@ impl Host {
             now: Time::ZERO,
             total_issued: 0,
             total_completed: 0,
+            in_flight: BTreeMap::new(),
+            consecutive_timeouts: vec![0; cfg.links.num_links() as usize],
+            link_dead: vec![false; cfg.links.num_links() as usize],
+            sweep_at: None,
+            robust_stats: RobustStats::default(),
             tracer: Tracer::new(&Stage::NAMES),
             sanitizer: Sanitizer::new(),
             cfg,
@@ -296,6 +398,96 @@ impl Host {
         }
     }
 
+    /// Cumulative robustness-layer counters (all zero when the layer is
+    /// disabled). Subtract snapshots to measure a window — the counters
+    /// are not cleared by [`reset_stats`](Host::reset_stats).
+    pub fn robust_stats(&self) -> RobustStats {
+        self.robust_stats
+    }
+
+    /// True if the degradation policy declared `link` dead.
+    pub fn link_is_dead(&self, link: usize) -> bool {
+        self.link_dead[link]
+    }
+
+    /// Links still alive.
+    pub fn live_links(&self) -> usize {
+        self.link_dead.iter().filter(|d| !**d).count()
+    }
+
+    /// In-flight requests currently tracked by the robustness layer.
+    pub fn tracked_in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Rebuilds the host's transport state after a device thermal
+    /// shutdown and replays the entire in-flight window from `resume`:
+    /// pending events are dropped, node queues and credit accounting are
+    /// reset, and every tracked request is re-enqueued (staggered one
+    /// cycle apart) with a fresh deadline and attempt count. Returns the
+    /// number of requests replayed.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the robustness layer is disabled — without deadline
+    /// tracking the in-flight window is unknown and a shutdown would
+    /// silently lose requests.
+    pub fn reset_for_recovery(&mut self, resume: Time) -> usize {
+        assert!(
+            self.cfg.robust.enabled,
+            "thermal-shutdown replay requires HostConfig::robust.enabled"
+        );
+        self.events.clear();
+        for n in &mut self.nodes {
+            n.reset_transport();
+        }
+        for f in &mut self.parked_no_tags {
+            *f = false;
+        }
+        for f in &mut self.parked_node_full {
+            *f = false;
+        }
+        for f in &mut self.issue_pending {
+            *f = false;
+        }
+        for k in &mut self.node_kick_at {
+            *k = None;
+        }
+        for c in &mut self.consecutive_timeouts {
+            *c = 0;
+        }
+        self.now = self.now.max(resume);
+        self.sweep_at = None;
+        let ids: Vec<u64> = self.in_flight.keys().copied().collect();
+        for (i, id) in ids.iter().enumerate() {
+            let entry = self.in_flight.get_mut(id).expect("key just listed");
+            entry.attempt = 1;
+            let home = self.cfg.node_of_port(entry.req.port.index() as usize);
+            let ready = resume + self.cfg.cycle() * i as u64;
+            let deadline = ready + self.cfg.robust.request_timeout;
+            let req = entry.req;
+            let node = self.live_node_for(home);
+            let entry = self.in_flight.get_mut(id).expect("key just listed");
+            entry.node = node;
+            entry.deadline = Some(deadline);
+            self.nodes[node].enqueue(ready, req);
+            // The first replayed request carries the minimum deadline.
+            self.arm_sweep(deadline);
+        }
+        self.robust_stats.replayed += ids.len() as u64;
+        for n in 0..self.nodes.len() {
+            if !self.link_dead[n] {
+                self.kick_node(n, resume);
+            }
+        }
+        for p in 0..self.ports.len() {
+            if self.ports[p].is_active() {
+                self.schedule_issue(p, resume);
+            }
+        }
+        ids.len()
+    }
+
     /// Per-port read-latency histograms (the per-port monitoring units).
     pub fn port_latencies(&self) -> Vec<&Histogram> {
         self.ports
@@ -351,11 +543,28 @@ impl Host {
         for (n, node) in self.nodes.iter().enumerate() {
             writeln!(
                 s,
-                "  node {n}: queue={} in_flight={} waiting_credit={} stop={}",
+                "  node {n}: queue={} in_flight={} waiting_credit={} stop={} dead={}",
                 node.queue_len(),
                 node.in_flight(),
                 node.waiting_credit(),
                 node.stop_asserted(),
+                self.link_dead[n],
+            )
+            .expect("writing to a String cannot fail");
+        }
+        if self.cfg.robust.enabled {
+            let r = self.robust_stats;
+            writeln!(
+                s,
+                "  robust: tracked={} timeouts={} retries={} poisoned={} abandoned={} \
+                 degraded={} replayed={}",
+                self.in_flight.len(),
+                r.timeouts,
+                r.retries,
+                r.poisoned_responses,
+                r.abandoned,
+                r.links_degraded,
+                r.replayed,
             )
             .expect("writing to a String cannot fail");
         }
@@ -385,6 +594,13 @@ impl Host {
         let queued: usize = self.nodes.iter().map(|n| n.queue_len()).sum();
         s.record("host.tx_queue", at, queued as f64);
         s.record("host.pending_events", at, self.events.len() as f64);
+        if self.cfg.robust.enabled {
+            let r = self.robust_stats;
+            s.record("host.timeouts", at, r.timeouts as f64);
+            s.record("host.retries", at, r.retries as f64);
+            s.record("host.poisoned", at, r.poisoned_responses as f64);
+            s.record("host.links_dead", at, (r.links_degraded) as f64);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -417,22 +633,188 @@ impl Host {
             }
             HostEvent::RxDeliver { mut resp } => {
                 resp.completed_at = now;
-                self.tracer.finish(resp.trace_id(), Stage::Rx.index(), now);
-                let p = resp.port.index() as usize;
-                self.total_completed += 1;
-                self.sanitizer.note_retire(resp.id.value(), now);
-                let unblocked = self.ports[p].deliver(&resp);
-                if unblocked && (self.parked_no_tags[p] || self.ports[p].is_active()) {
-                    self.parked_no_tags[p] = false;
-                    self.schedule_issue(p, now);
+                if self.cfg.robust.enabled {
+                    match self.in_flight.remove(&resp.id.value()) {
+                        Some(entry) => {
+                            // First response wins; clear the link's
+                            // consecutive-timeout streak and recall any
+                            // stale retransmission still queued.
+                            self.consecutive_timeouts[self.nodes[entry.node].link()] = 0;
+                            let _ = self.nodes[entry.node].remove_by_id(resp.id.value());
+                        }
+                        None => {
+                            // Late duplicate (or response to an abandoned
+                            // request): the tag was already released, so
+                            // delivering would corrupt the pool. Drop it.
+                            self.robust_stats.poisoned_responses += 1;
+                            return;
+                        }
+                    }
                 }
+                self.complete(resp, now);
             }
+            HostEvent::DeadlineSweep => self.deadline_sweep(now),
+            HostEvent::RetryIssue { id } => self.retransmit(id, now),
         }
+    }
+
+    /// Delivers a response to its port, retiring the request exactly once.
+    fn complete(&mut self, resp: MemoryResponse, now: Time) {
+        self.tracer.finish(resp.trace_id(), Stage::Rx.index(), now);
+        let p = resp.port.index() as usize;
+        self.total_completed += 1;
+        self.sanitizer.note_retire(resp.id.value(), now);
+        let unblocked = self.ports[p].deliver(&resp);
+        if unblocked && (self.parked_no_tags[p] || self.ports[p].is_active()) {
+            self.parked_no_tags[p] = false;
+            self.schedule_issue(p, now);
+        }
+    }
+
+    /// Arms the deadline sweep at `deadline` unless one is already
+    /// pending (which is necessarily no later — deadlines only grow).
+    fn arm_sweep(&mut self, deadline: Time) {
+        if self.sweep_at.is_none() {
+            self.sweep_at = Some(deadline);
+            self.events.push(deadline, HostEvent::DeadlineSweep);
+        }
+    }
+
+    /// The armed deadline sweep fired: expire every attempt whose
+    /// deadline passed, then re-arm at the next pending deadline. A sweep
+    /// whose originating entry already resolved finds nothing expired and
+    /// simply re-arms — the one tolerated no-op.
+    fn deadline_sweep(&mut self, now: Time) {
+        self.sweep_at = None;
+        let expired: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, e)| e.deadline.is_some_and(|d| d <= now))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in expired {
+            self.deadline_expired(id, now);
+        }
+        if let Some(next) = self.in_flight.values().filter_map(|e| e.deadline).min() {
+            self.arm_sweep(next);
+        }
+    }
+
+    /// One transmission attempt's deadline fired.
+    fn deadline_expired(&mut self, id: u64, now: Time) {
+        let Some(entry) = self.in_flight.get_mut(&id) else {
+            return;
+        };
+        entry.deadline = None;
+        let attempt = entry.attempt;
+        let link = self.nodes[entry.node].link();
+        self.robust_stats.timeouts += 1;
+        self.consecutive_timeouts[link] = self.consecutive_timeouts[link].saturating_add(1);
+        if self.consecutive_timeouts[link] >= self.cfg.robust.link_death_threshold {
+            self.declare_link_dead(link, now);
+        }
+        if attempt > self.cfg.robust.max_retries {
+            self.abandon(id, now);
+        } else {
+            // Deterministic exponential backoff: attempt k waits
+            // base << (k-1) before retransmitting.
+            let shift = (attempt - 1).min(16);
+            let wait = self.cfg.robust.backoff_base * (1u64 << shift);
+            self.events.push(now + wait, HostEvent::RetryIssue { id });
+        }
+    }
+
+    /// Backoff expired: retransmit `id` through a live node with a fresh
+    /// deadline.
+    fn retransmit(&mut self, id: u64, now: Time) {
+        let Some(entry) = self.in_flight.get(&id) else {
+            return; // resolved while backing off
+        };
+        let old_node = entry.node;
+        let home = self.cfg.node_of_port(entry.req.port.index() as usize);
+        let req = entry.req;
+        // Recall the stale copy if it is still waiting in a queue (a dead
+        // node's backlog, for instance) so only one copy is in a queue at
+        // a time. Copies already past the wire are deduplicated by the
+        // device and, failing that, by the poisoned-response check.
+        let _ = self.nodes[old_node].remove_by_id(id);
+        let node = self.live_node_for(home);
+        let deadline = now + self.cfg.robust.request_timeout;
+        let entry = self.in_flight.get_mut(&id).expect("checked above");
+        entry.node = node;
+        entry.attempt += 1;
+        entry.deadline = Some(deadline);
+        self.robust_stats.retries += 1;
+        self.nodes[node].enqueue(now, req);
+        self.kick_node(node, now);
+        self.arm_sweep(deadline);
+    }
+
+    /// Exhausted every retry: force-complete the request so its tag and
+    /// conservation-ledger entry are released, and count it abandoned.
+    fn abandon(&mut self, id: u64, now: Time) {
+        let Some(entry) = self.in_flight.remove(&id) else {
+            return;
+        };
+        let _ = self.nodes[entry.node].remove_by_id(id);
+        self.robust_stats.abandoned += 1;
+        let resp = MemoryResponse {
+            id: entry.req.id,
+            port: entry.req.port,
+            tag: entry.req.tag,
+            op: entry.req.op,
+            size: entry.req.size,
+            addr: entry.req.addr,
+            issued_at: entry.req.issued_at,
+            completed_at: now,
+            data_token: 0,
+        };
+        self.complete(resp, now);
+    }
+
+    /// Permanently marks `link` dead and reroutes its node's backlog onto
+    /// a surviving node. The last live link is never killed — degradation
+    /// must not become total blackout on the host's own initiative.
+    fn declare_link_dead(&mut self, link: usize, now: Time) {
+        if self.link_dead[link] || self.live_links() <= 1 {
+            return;
+        }
+        self.link_dead[link] = true;
+        self.robust_stats.links_degraded += 1;
+        let node = link; // nodes are indexed by the link they drive
+        let backlog = self.nodes[node].drain_queue();
+        let target = self.live_node_for(node);
+        for (ready, req) in backlog {
+            if let Some(entry) = self.in_flight.get_mut(&req.id.value()) {
+                entry.node = target;
+            }
+            self.nodes[target].enqueue(ready.max(now), req);
+        }
+        self.kick_node(target, now);
+        self.wake_node_ports(target, now);
+    }
+
+    /// `preferred` if alive, else the first live node (or `preferred`
+    /// when every link is dead — unreachable while the last-link guard in
+    /// [`declare_link_dead`](Host::declare_link_dead) holds).
+    fn live_node_for(&self, preferred: usize) -> usize {
+        if !self.link_dead[preferred] {
+            return preferred;
+        }
+        (0..self.nodes.len())
+            .find(|&n| !self.link_dead[n])
+            .unwrap_or(preferred)
+    }
+
+    /// The node `port`'s traffic currently routes through (its home node,
+    /// unless degraded away).
+    fn route_node(&self, port: usize) -> usize {
+        self.live_node_for(self.cfg.node_of_port(port))
     }
 
     fn port_issue(&mut self, p: usize, now: Time) {
         self.issue_pending[p] = false;
-        let node_idx = self.cfg.node_of_port(p);
+        let node_idx = self.route_node(p);
         if self.nodes[node_idx].stop_asserted() {
             self.parked_node_full[p] = true;
             return;
@@ -446,6 +828,19 @@ impl Host {
                 self.tracer.begin(req.trace_id(), now);
                 self.tracer
                     .transition(req.trace_id(), Stage::TxFlits.index(), ready);
+                if self.cfg.robust.enabled {
+                    let deadline = ready + self.cfg.robust.request_timeout;
+                    self.in_flight.insert(
+                        req.id.value(),
+                        InFlight {
+                            req,
+                            node: node_idx,
+                            attempt: 1,
+                            deadline: Some(deadline),
+                        },
+                    );
+                    self.arm_sweep(deadline);
+                }
                 self.nodes[node_idx].enqueue(ready, req);
                 self.kick_node(node_idx, ready);
                 if self.ports[p].is_active() {
@@ -506,7 +901,7 @@ impl Host {
             return;
         }
         for p in 0..self.ports.len() {
-            if self.parked_node_full[p] && self.cfg.node_of_port(p) == n {
+            if self.parked_node_full[p] && self.route_node(p) == n {
                 self.parked_node_full[p] = false;
                 self.schedule_issue(p, now);
             }
@@ -756,6 +1151,125 @@ mod tests {
         host.reset_stats();
         assert_eq!(host.stats().reads_issued, 0);
         assert_eq!(host.stats().counted_bytes, 0);
+    }
+
+    fn robust_cfg() -> HostConfig {
+        HostConfig {
+            robust: crate::config::RobustnessConfig {
+                enabled: true,
+                request_timeout: TimeDelta::from_us(1),
+                max_retries: 2,
+                backoff_base: TimeDelta::from_ns(100),
+                link_death_threshold: 4,
+            },
+            ..HostConfig::default()
+        }
+    }
+
+    #[test]
+    fn unanswered_requests_retry_then_abandon() {
+        let mut host = Host::new(robust_cfg());
+        host.apply_workload(&Workload::small_scale(
+            RequestKind::ReadOnly,
+            RequestSize::MAX,
+            hmc_types::AddressMask::NONE,
+            1,
+        ));
+        host.enable_sanitizer();
+        host.start(Time::ZERO);
+        // A black hole: accepts every request, never answers.
+        let mut sink = EchoSink::new(1024);
+        host.advance(Time::from_ps(50_000_000), &mut sink);
+        let r = host.robust_stats();
+        assert!(r.timeouts > 0, "deadlines must expire");
+        assert!(r.retries > 0, "expired attempts must retransmit");
+        assert!(r.abandoned > 0, "exhausted retries must abandon");
+        // Abandonment releases tags: the port issues well past one pool.
+        assert!(host.total_issued() > 64, "issued {}", host.total_issued());
+        // Every abandonment retired its request exactly once.
+        host.stop_generation();
+        host.advance(Time::from_ps(200_000_000), &mut sink);
+        assert_eq!(host.outstanding(), 0);
+        assert_eq!(host.tracked_in_flight(), 0);
+        assert!(host.sanitizer().violations().is_empty());
+    }
+
+    #[test]
+    fn duplicate_response_is_poisoned_not_delivered() {
+        let mut host = Host::new(robust_cfg());
+        host.apply_workload(&Workload::read_stream(1, RequestSize::MIN));
+        host.start(Time::ZERO);
+        let mut sink = EchoSink::new(64);
+        host.advance(Time::from_ps(900_000), &mut sink);
+        assert_eq!(sink.submitted.len(), 1);
+        let (_, req, at) = sink.submitted[0];
+        // The device answers twice (a retransmission raced the original).
+        host.receive_response(echo(&req, at, 100), at + TimeDelta::from_ns(100));
+        host.receive_response(echo(&req, at, 150), at + TimeDelta::from_ns(150));
+        host.advance(host.now() + TimeDelta::from_us(5), &mut sink);
+        assert_eq!(host.stats().reads_completed, 1, "first response wins");
+        assert_eq!(host.robust_stats().poisoned_responses, 1);
+        assert_eq!(host.tracked_in_flight(), 0);
+    }
+
+    #[test]
+    fn consecutive_timeouts_kill_a_link_but_never_the_last() {
+        let mut host = Host::new(robust_cfg());
+        host.apply_workload(&Workload::full_scale(
+            RequestKind::ReadOnly,
+            RequestSize::MAX,
+        ));
+        host.start(Time::ZERO);
+        let mut sink = EchoSink::new(1024);
+        host.advance(Time::from_ps(100_000_000), &mut sink);
+        let r = host.robust_stats();
+        assert_eq!(r.links_degraded, 1, "one link dies, the survivor holds");
+        assert_eq!(host.live_links(), 1);
+        // After degradation, retransmissions route via the surviving link.
+        let survivor = (0..2).find(|&l| !host.link_is_dead(l)).unwrap();
+        let tail: Vec<usize> = sink
+            .submitted
+            .iter()
+            .rev()
+            .take(20)
+            .map(|(l, _, _)| *l)
+            .collect();
+        assert!(tail.iter().all(|&l| l == survivor));
+    }
+
+    #[test]
+    fn recovery_replays_the_in_flight_window() {
+        let mut host = Host::new(robust_cfg());
+        host.apply_workload(&Workload::small_scale(
+            RequestKind::ReadOnly,
+            RequestSize::MAX,
+            hmc_types::AddressMask::NONE,
+            1,
+        ));
+        host.start(Time::ZERO);
+        let mut sink = EchoSink::new(1024);
+        host.advance(Time::from_ps(600_000), &mut sink);
+        let window = host.tracked_in_flight();
+        assert_eq!(window, 64, "one tag pool in flight");
+        let first_ids: std::collections::BTreeSet<u64> = sink
+            .submitted
+            .iter()
+            .map(|(_, r, _)| r.id.value())
+            .collect();
+        // Thermal shutdown: the device forgot everything; replay.
+        sink.submitted.clear();
+        let replayed = host.reset_for_recovery(Time::from_ps(100_000_000));
+        assert_eq!(replayed, window);
+        assert_eq!(host.robust_stats().replayed, 64);
+        // Stop before the replayed deadlines (resume + 1 us) expire, so
+        // the capture holds exactly the replayed window.
+        host.advance(Time::from_ps(100_900_000), &mut sink);
+        let replay_ids: std::collections::BTreeSet<u64> = sink
+            .submitted
+            .iter()
+            .map(|(_, r, _)| r.id.value())
+            .collect();
+        assert_eq!(replay_ids, first_ids, "same window, same ids");
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub mod node;
 pub mod port;
 pub mod workload;
 
-pub use config::HostConfig;
+pub use config::{HostConfig, RobustnessConfig};
 pub use controller::{RxPath, TxStage, TxStages};
-pub use host::{Host, HostStats, LinkSink};
+pub use host::{Host, HostStats, LinkSink, RobustStats};
 pub use workload::{Addressing, PortWorkload, StreamOp, Workload};

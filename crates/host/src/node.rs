@@ -138,6 +138,30 @@ impl TxNode {
         debug_assert!(self.in_flight > 0);
         self.in_flight -= 1;
     }
+
+    /// Pulls a queued request back out by id (a retransmission supersedes
+    /// the stale copy still waiting in a dead node's queue). Packets
+    /// already on the wire cannot be recalled.
+    pub fn remove_by_id(&mut self, id: u64) -> Option<MemoryRequest> {
+        let pos = self.queue.iter().position(|(_, r)| r.id.value() == id)?;
+        self.queue.remove(pos).map(|(_, r)| r)
+    }
+
+    /// Empties the queue, handing back every waiting request in FIFO order
+    /// (rerouting traffic off a link declared dead).
+    pub fn drain_queue(&mut self) -> Vec<(Time, MemoryRequest)> {
+        self.queue.drain(..).collect()
+    }
+
+    /// Forgets all transport state — queued packets, in-flight credit
+    /// accounting, the credit stall, and wire occupancy — after a device
+    /// shutdown invalidated it. Sent counters survive.
+    pub fn reset_transport(&mut self) {
+        self.queue.clear();
+        self.in_flight = 0;
+        self.waiting_credit = false;
+        self.wire_free_at = Time::ZERO;
+    }
 }
 
 #[cfg(test)]
@@ -232,6 +256,39 @@ mod tests {
         n.enqueue(Time::ZERO, req(1));
         assert!(n.stop_asserted());
         assert_eq!(n.queue_len(), 2);
+    }
+
+    #[test]
+    fn remove_and_drain_give_back_queued_requests() {
+        let mut n = TxNode::new(0, 16);
+        n.enqueue(Time::ZERO, req(3));
+        n.enqueue(Time::ZERO, req(4));
+        n.enqueue(Time::ZERO, req(5));
+        assert_eq!(n.remove_by_id(4).unwrap().id.value(), 4);
+        assert!(n.remove_by_id(4).is_none());
+        let rest: Vec<u64> = n
+            .drain_queue()
+            .into_iter()
+            .map(|(_, r)| r.id.value())
+            .collect();
+        assert_eq!(rest, vec![3, 5]);
+        assert_eq!(n.queue_len(), 0);
+    }
+
+    #[test]
+    fn reset_transport_clears_state_keeps_counters() {
+        let mut n = TxNode::new(0, 16);
+        n.enqueue(Time::ZERO, req(0));
+        n.enqueue(Time::ZERO, req(1));
+        let (r, _) = n.try_start(Time::ZERO, 1, pipe, wire);
+        assert!(matches!(r, TxStart::Started(_, _)));
+        let (r, _) = n.try_start(Time::from_ps(2_000), 1, pipe, wire);
+        assert_eq!(r, TxStart::NeedCredit);
+        n.reset_transport();
+        assert_eq!(n.queue_len(), 0);
+        assert_eq!(n.in_flight(), 0);
+        assert!(!n.waiting_credit());
+        assert_eq!(n.sent().0, 1, "sent counter survives the reset");
     }
 
     #[test]

@@ -80,7 +80,10 @@ impl GupsPort {
         GupsPort {
             id,
             generator: Generator::Idle,
-            free_tags: (0..tag_pool_depth as u16).rev().map(Tag::new).collect(),
+            free_tags: (0..u16::try_from(tag_pool_depth).expect("tag pool depth fits u16"))
+                .rev()
+                .map(Tag::new)
+                .collect(),
             pending_writes: VecDeque::new(),
             expected: BTreeMap::new(),
             monitor: PortMonitor::default(),

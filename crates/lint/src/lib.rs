@@ -19,6 +19,11 @@
 //! * **`unwrap`** — bare `.unwrap()` in library code panics without
 //!   simulation context; use typed errors or `expect` with a message
 //!   that names the sim-time invariant being asserted.
+//! * **`lossy-cast`** — `as u8`/`u16`/`u32`/`i8`/`i16`/`i32` silently
+//!   truncates: an id, credit count, or packet field that outgrows the
+//!   target width wraps instead of failing, corrupting results without
+//!   a diagnostic. Use `try_from` with an `expect` naming the
+//!   invariant, or a widening `From`.
 //!
 //! Test code (`#[cfg(test)]` modules) and comments/strings are exempt.
 //! A justified exception is annotated at the site with
@@ -212,6 +217,28 @@ fn allow_marker(raw: &str) -> Vec<&str> {
 /// Sim-time constructor names watched by the `float-time` rule.
 const TIME_CTORS: [&str; 4] = ["from_ps", "from_ns", "from_us", "from_ms"];
 
+/// Narrowing integer cast targets the `lossy-cast` rule bans. Widening
+/// casts (`u64`, `u128`) and platform-size `usize` (the simulator
+/// requires a 64-bit host) stay legal, as do float conversions.
+const NARROW_CASTS: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// True if `code` contains an `as`-cast to a narrow integer type.
+fn has_lossy_cast(code: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(" as ") {
+        let start = from + pos;
+        let rest = code[start + 4..].trim_start();
+        let narrowing = NARROW_CASTS.iter().any(|t| {
+            rest.starts_with(t) && !rest.as_bytes().get(t.len()).copied().is_some_and(is_ident)
+        });
+        if narrowing {
+            return true;
+        }
+        from = start + 4;
+    }
+    false
+}
+
 /// Lints one file's contents. `label` is the path reported in findings.
 pub fn lint_file(label: &str, source: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -282,6 +309,9 @@ pub fn lint_file(label: &str, source: &str) -> Vec<Finding> {
         }
         if code.contains(".unwrap()") {
             push("unwrap");
+        }
+        if has_lossy_cast(code) {
+            push("lossy-cast");
         }
         if TIME_CTORS.iter().any(|c| code.contains(&format!("{c}("))) {
             let float_here = has_token(code, "f64") || has_token(code, "f32");
@@ -373,6 +403,20 @@ mod tests {
         assert!(rules("let x = maybe.unwrap_or(0);").is_empty());
         assert!(rules("let x = maybe.unwrap_or_else(|| 0);").is_empty());
         assert!(rules("let x = maybe.expect(\"invariant\");").is_empty());
+    }
+
+    #[test]
+    fn flags_narrowing_casts_only() {
+        assert_eq!(rules("let v = idx as u16;"), vec!["lossy-cast"]);
+        assert_eq!(rules("let p = (port as u8).into();"), vec!["lossy-cast"]);
+        assert_eq!(rules("let d = (a - b) as i32;"), vec!["lossy-cast"]);
+        // Widening, platform-size, and float casts stay legal.
+        assert!(rules("let w = x as u64; let z = y as usize;").is_empty());
+        assert!(rules("let f = count as f64;").is_empty());
+        // Identifiers that merely start with a narrow type name pass.
+        assert!(rules("let t = x as u32x4;").is_empty());
+        // The allow marker names this rule like any other.
+        assert!(rules("let v = idx as u16; // hmc-lint: allow(lossy-cast)").is_empty());
     }
 
     #[test]

@@ -138,6 +138,11 @@ pub struct LinkLayerConfig {
     /// the receiver, retry-pointer return, replay from the retry
     /// buffer).
     pub retry_penalty: TimeDelta,
+    /// Packets the link-level retry buffer can hold awaiting
+    /// acknowledgement (per direction). The HMC spec keeps every
+    /// transmitted packet in the transmitter's retry buffer until the
+    /// receiver's retry pointer passes its sequence number.
+    pub retry_buffer_depth: usize,
 }
 
 impl Default for LinkLayerConfig {
@@ -151,6 +156,7 @@ impl Default for LinkLayerConfig {
             write_buffer_depth: 16,
             bit_error_rate: 0.0,
             retry_penalty: TimeDelta::from_ns(120),
+            retry_buffer_depth: 8,
         }
     }
 }

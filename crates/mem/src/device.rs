@@ -6,10 +6,11 @@ use std::collections::{BTreeMap, VecDeque};
 use hmc_types::packet::OpKind;
 use hmc_types::trace::Stage;
 use hmc_types::{MemoryRequest, MemoryResponse, Time, TimeDelta};
+use sim_engine::fault::FaultKind;
 use sim_engine::{EventQueue, MetricsSampler, Sanitizer, Tracer};
 
 use crate::config::{MemConfig, PagePolicy};
-use crate::link::{DeviceLink, OutPacket};
+use crate::link::{DeviceLink, OutPacket, Transfer};
 use crate::store::SparseStore;
 use crate::vault::Vault;
 use crate::xbar::Xbar;
@@ -86,6 +87,16 @@ counter_stats! {
         pub remote_hops: u64,
         /// Link-level retries (injected bit errors caught by CRC).
         pub link_retries: u64,
+        /// Injected link-stall fault activations across all links.
+        pub link_stalls: u64,
+        /// Ingress credits lost to injected token leaks.
+        pub credits_leaked: u64,
+        /// Requests that arrived while a copy with the same id was
+        /// already routed (host timeout-driven retransmissions).
+        pub duplicate_requests: u64,
+        /// Responses dropped because their request id was already
+        /// answered by an earlier copy.
+        pub dropped_responses: u64,
     }
 }
 
@@ -98,14 +109,62 @@ impl DeviceStats {
 
 #[derive(Debug, Clone)]
 enum DeviceEvent {
-    IngressDone { link: usize, req: MemoryRequest },
-    VaultArrive { vault: u16, req: MemoryRequest },
-    BankWake { vault: u16, seq: u64 },
-    ResponseAtLink { link: usize, pkt: OutPacket },
-    EgressDone { link: usize, pkt: OutPacket },
-    WriteDrained { link: usize, req: MemoryRequest },
-    PimReturn { pkt: OutPacket },
-    Refresh { vault: u16 },
+    /// An ingress transfer attempt completes; the packet sits in the
+    /// link's retry buffer until the CRC outcome acknowledges it.
+    IngressAttempt {
+        link: usize,
+    },
+    VaultArrive {
+        vault: u16,
+        req: MemoryRequest,
+    },
+    BankWake {
+        vault: u16,
+        seq: u64,
+    },
+    ResponseAtLink {
+        link: usize,
+        pkt: OutPacket,
+    },
+    /// An egress transfer attempt completes (same retry contract as
+    /// ingress).
+    EgressAttempt {
+        link: usize,
+    },
+    WriteDrained {
+        link: usize,
+        req: MemoryRequest,
+    },
+    PimReturn {
+        pkt: OutPacket,
+    },
+    Refresh {
+        vault: u16,
+    },
+    /// Injected fault: arm a bit-error rate on a link.
+    FaultBer {
+        link: usize,
+        ber: f64,
+    },
+    /// Injected fault: leak ingress credits on a link.
+    FaultLeak {
+        link: usize,
+        count: usize,
+    },
+    /// Injected fault: stall a link's serializers for a duration.
+    FaultStall {
+        link: usize,
+        duration: TimeDelta,
+    },
+    /// A link stall expired; restart both serializers.
+    LinkWake {
+        link: usize,
+    },
+    /// Injected fault: wedge a vault's banks for a duration.
+    FaultWedge {
+        vault: u16,
+        duration: TimeDelta,
+    },
 }
 
 /// The pseudo-link id marking requests injected by logic-layer (PIM)
@@ -155,6 +214,11 @@ pub struct HmcDevice {
     refreshes: u64,
     data_read_bytes: u64,
     data_write_bytes: u64,
+    /// Routed requests whose id was already in flight (host
+    /// retransmissions overtaking their originals).
+    duplicate_requests: u64,
+    /// Completed responses dropped because an earlier copy answered.
+    dropped_responses: u64,
     now: Time,
     tracer: Tracer,
     sanitizer: Sanitizer,
@@ -168,7 +232,9 @@ impl HmcDevice {
         let links = (0..n_links)
             .map(|l| DeviceLink::with_seed(cfg.links, cfg.link_layer, 0x11CE ^ l as u64))
             .collect();
-        let vaults = (0..n_vaults).map(|v| Vault::new(v as u16, &cfg)).collect();
+        let vaults = (0..n_vaults)
+            .map(|v| Vault::new(u16::try_from(v).expect("vault index fits u16"), &cfg))
+            .collect();
         let xbar = Xbar::new(cfg.xbar, &cfg.spec, &cfg.links);
         // Bound pending events by what can be in flight at once: each
         // vault-FIFO slot, each link-ingress slot, and one refresh per
@@ -191,7 +257,9 @@ impl HmcDevice {
             for v in 0..n_vaults {
                 events.push(
                     Time::ZERO + step * (v as u64 + 1),
-                    DeviceEvent::Refresh { vault: v as u16 },
+                    DeviceEvent::Refresh {
+                        vault: u16::try_from(v).expect("vault index fits u16"),
+                    },
                 );
             }
         }
@@ -213,6 +281,8 @@ impl HmcDevice {
             refreshes: 0,
             data_read_bytes: 0,
             data_write_bytes: 0,
+            duplicate_requests: 0,
+            dropped_responses: 0,
             now: Time::ZERO,
             tracer: Tracer::new(&Stage::NAMES),
             sanitizer: Sanitizer::new(),
@@ -353,6 +423,61 @@ impl HmcDevice {
         }
     }
 
+    /// Schedules a device-level fault from a fault scenario as an
+    /// ordinary simulation event at `at`. Thermal spikes are
+    /// system-level (the thermal model and recovery sequence live above
+    /// the device) and are ignored here.
+    pub fn schedule_fault(&mut self, at: Time, kind: FaultKind) {
+        let ev = match kind {
+            FaultKind::FlitCorruption { link, ber } => DeviceEvent::FaultBer { link, ber },
+            FaultKind::CreditLeak { link, count } => DeviceEvent::FaultLeak { link, count },
+            FaultKind::LinkStall { link, duration } => DeviceEvent::FaultStall { link, duration },
+            FaultKind::VaultWedge { vault, duration } => DeviceEvent::FaultWedge {
+                vault: u16::try_from(vault).expect("vault index fits u16"),
+                duration,
+            },
+            FaultKind::ThermalSpike { .. } => return,
+        };
+        self.events.push(at, ev);
+    }
+
+    /// Thermal shutdown: drops every in-flight request, queued packet,
+    /// pending event, and the DRAM contents, then re-initializes the
+    /// device so it resumes service at `resume`. Traffic counters, the
+    /// lifecycle tracer, and the sanitizer survive; ingress credits held
+    /// by dropped requests are forgotten (the host replays from its own
+    /// in-flight window).
+    pub fn reset_after_shutdown(&mut self, resume: Time) {
+        self.events.clear();
+        for l in &mut self.links {
+            l.reset_transport(resume);
+        }
+        self.sanitizer.credit_forget_all();
+        for v in 0..self.vaults.len() {
+            self.vaults[v].reset_state(resume);
+            self.vault_reserved[v] = 0;
+            self.wake_at[v] = None;
+        }
+        self.write_buf_used = 0;
+        self.drain_free_at = resume;
+        self.drained_waiting.clear();
+        self.arrival_link.clear();
+        self.wipe_data();
+        if self.cfg.refresh.enabled {
+            let n_vaults = self.vaults.len();
+            let step = self.cfg.refresh.interval / n_vaults as u64;
+            for v in 0..n_vaults {
+                self.events.push(
+                    resume + step * (v as u64 + 1),
+                    DeviceEvent::Refresh {
+                        vault: u16::try_from(v).expect("vault index fits u16"),
+                    },
+                );
+            }
+        }
+        self.now = self.now.max(resume);
+    }
+
     /// Read-only access to the backing store (when `track_data` is on).
     pub fn store(&self) -> Option<&SparseStore> {
         self.store.as_ref()
@@ -375,6 +500,8 @@ impl HmcDevice {
             refreshes: self.refreshes,
             data_read_bytes: self.data_read_bytes,
             data_write_bytes: self.data_write_bytes,
+            duplicate_requests: self.duplicate_requests,
+            dropped_responses: self.dropped_responses,
             ..DeviceStats::default()
         };
         for v in &self.vaults {
@@ -389,6 +516,8 @@ impl HmcDevice {
             s.bytes_up += ls.bytes_up;
             s.bytes_down += ls.bytes_down;
             s.link_retries += ls.retries;
+            s.link_stalls += ls.stall_events;
+            s.credits_leaked += ls.leaked_credits;
         }
         let xs = self.xbar.stats();
         s.local_hops = xs.local_hops;
@@ -489,6 +618,8 @@ impl HmcDevice {
         s.record("device.ingress_credits", at, credits as f64);
         let egress: usize = self.links.iter().map(|l| l.egress_backlog()).sum();
         s.record("device.egress_backlog", at, egress as f64);
+        let retries: u64 = self.links.iter().map(|l| l.stats().retries).sum();
+        s.record("device.link_retries", at, retries as f64);
     }
 
     // ------------------------------------------------------------------
@@ -497,20 +628,42 @@ impl HmcDevice {
 
     fn handle(&mut self, ev: DeviceEvent, now: Time, out: &mut Vec<DeviceOutput>) {
         match ev {
-            DeviceEvent::IngressDone { link, req } => {
-                self.tracer
-                    .transition(req.trace_id(), Stage::LinkIngress.index(), now);
-                let accepted = match req.op {
-                    OpKind::Read => self.route_request(link, req, now),
-                    OpKind::Write => self.try_drain(link, req, now),
-                };
-                if accepted {
-                    self.links[link].finish_ingress();
-                    self.kick_ingress(link, now);
-                } else {
-                    self.links[link].block_head(req);
+            DeviceEvent::IngressAttempt { link } => match self.links[link].complete_ingress(now) {
+                Transfer::Retry {
+                    next_done,
+                    id,
+                    failures,
+                } => {
+                    // Close the normal ingress span at the first CRC
+                    // failure; everything after is the retry stage.
+                    if failures == 1 {
+                        self.tracer.transition(id, Stage::LinkIngress.index(), now);
+                    }
+                    self.events
+                        .push(next_done, DeviceEvent::IngressAttempt { link });
                 }
-            }
+                Transfer::Delivered {
+                    payload: req,
+                    retried,
+                } => {
+                    let stage = if retried {
+                        Stage::LinkRetry
+                    } else {
+                        Stage::LinkIngress
+                    };
+                    self.tracer.transition(req.trace_id(), stage.index(), now);
+                    let accepted = match req.op {
+                        OpKind::Read => self.route_request(link, req, now),
+                        OpKind::Write => self.try_drain(link, req, now),
+                    };
+                    if accepted {
+                        self.links[link].finish_ingress();
+                        self.kick_ingress(link, now);
+                    } else {
+                        self.links[link].block_head(req);
+                    }
+                }
+            },
             DeviceEvent::VaultArrive { vault, req } => {
                 self.tracer
                     .transition(req.trace_id(), Stage::XbarReq.index(), now);
@@ -532,27 +685,47 @@ impl HmcDevice {
                 self.links[link].push_egress(pkt);
                 self.kick_egress(link, now);
             }
-            DeviceEvent::EgressDone { link, pkt } => {
-                self.links[link].finish_egress();
-                self.tracer
-                    .finish(pkt.req.trace_id(), Stage::LinkEgress.index(), now);
-                out.push(DeviceOutput {
-                    resp: MemoryResponse {
-                        id: pkt.req.id,
-                        port: pkt.req.port,
-                        tag: pkt.req.tag,
-                        op: pkt.req.op,
-                        size: pkt.req.size,
-                        addr: pkt.req.addr,
-                        issued_at: pkt.req.issued_at,
-                        completed_at: now,
-                        data_token: pkt.token,
-                    },
-                    link,
-                    at: now,
-                });
-                self.kick_egress(link, now);
-            }
+            DeviceEvent::EgressAttempt { link } => match self.links[link].complete_egress(now) {
+                Transfer::Retry {
+                    next_done,
+                    id,
+                    failures,
+                } => {
+                    if failures == 1 {
+                        self.tracer.transition(id, Stage::LinkEgress.index(), now);
+                    }
+                    self.events
+                        .push(next_done, DeviceEvent::EgressAttempt { link });
+                }
+                Transfer::Delivered {
+                    payload: pkt,
+                    retried,
+                } => {
+                    self.links[link].finish_egress();
+                    let stage = if retried {
+                        Stage::LinkRetry
+                    } else {
+                        Stage::LinkEgress
+                    };
+                    self.tracer.finish(pkt.req.trace_id(), stage.index(), now);
+                    out.push(DeviceOutput {
+                        resp: MemoryResponse {
+                            id: pkt.req.id,
+                            port: pkt.req.port,
+                            tag: pkt.req.tag,
+                            op: pkt.req.op,
+                            size: pkt.req.size,
+                            addr: pkt.req.addr,
+                            issued_at: pkt.req.issued_at,
+                            completed_at: now,
+                            data_token: pkt.token,
+                        },
+                        link,
+                        at: now,
+                    });
+                    self.kick_egress(link, now);
+                }
+            },
             DeviceEvent::PimReturn { pkt } => {
                 self.tracer
                     .finish(pkt.req.trace_id(), Stage::XbarResp.index(), now);
@@ -594,23 +767,41 @@ impl HmcDevice {
                 self.events.push(next, DeviceEvent::Refresh { vault });
                 self.arm_wake(v, now);
             }
+            DeviceEvent::FaultBer { link, ber } => {
+                self.links[link].set_bit_error_rate(ber);
+            }
+            DeviceEvent::FaultLeak { link, count } => {
+                self.links[link].leak_credits(count);
+            }
+            DeviceEvent::FaultStall { link, duration } => {
+                let until = now + duration;
+                self.links[link].stall_until(until);
+                self.events.push(until, DeviceEvent::LinkWake { link });
+            }
+            DeviceEvent::LinkWake { link } => {
+                self.kick_ingress(link, now);
+                self.kick_egress(link, now);
+            }
+            DeviceEvent::FaultWedge { vault, duration } => {
+                let v = vault as usize;
+                self.vaults[v].hold_all(now + duration);
+                self.arm_wake(v, now);
+            }
         }
     }
 
     /// Starts ingress processing on `link` if it is idle and has queued
     /// packets.
     fn kick_ingress(&mut self, link: usize, now: Time) {
-        if let Some((done, req)) = self.links[link].start_ingress(now) {
+        if let Some(done) = self.links[link].start_ingress(now) {
             self.sanitizer.credit_release(link, now);
-            self.events
-                .push(done, DeviceEvent::IngressDone { link, req });
+            self.events.push(done, DeviceEvent::IngressAttempt { link });
         }
     }
 
     fn kick_egress(&mut self, link: usize, now: Time) {
-        if let Some((done, pkt)) = self.links[link].start_egress(now) {
-            self.events
-                .push(done, DeviceEvent::EgressDone { link, pkt });
+        if let Some(done) = self.links[link].start_egress(now) {
+            self.events.push(done, DeviceEvent::EgressAttempt { link });
         }
     }
 
@@ -661,7 +852,13 @@ impl HmcDevice {
             return false;
         }
         self.vault_reserved[v] += 1;
-        self.arrival_link.insert(req.id.value(), link);
+        if self.arrival_link.insert(req.id.value(), link).is_some() {
+            // A host retransmission overtook its original (the first
+            // copy is still in flight): remember the newer arrival link
+            // and count the duplicate. Whichever copy completes first
+            // answers; the other's response is dropped in pump_vault.
+            self.duplicate_requests += 1;
+        }
         self.tracer
             .transition(req.trace_id(), Stage::VaultStall.index(), now);
         let delay = self.xbar.delay(link, loc.vault.index()) + self.cfg.xbar.ingress_latency;
@@ -713,10 +910,13 @@ impl HmcDevice {
                     0
                 }
             };
-            let link = self
-                .arrival_link
-                .remove(&op.req.id.value())
-                .expect("response for unknown request");
+            let Some(link) = self.arrival_link.remove(&op.req.id.value()) else {
+                // The second copy of a duplicated request: an earlier
+                // copy already consumed the routing entry and will (or
+                // did) answer the host. Absorb this response.
+                self.dropped_responses += 1;
+                continue;
+            };
             if link == PIM_LINK {
                 // Logic-layer consumers get their data after the in-stack
                 // hop, skipping the SerDes egress entirely.
@@ -810,7 +1010,7 @@ impl HmcDevice {
         self.events.push(
             t,
             DeviceEvent::BankWake {
-                vault: v as u16,
+                vault: u16::try_from(v).expect("vault index fits u16"),
                 seq: self.wake_seq[v],
             },
         );

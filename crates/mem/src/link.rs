@@ -1,4 +1,4 @@
-//! Device-side SerDes link layer.
+//! Device-side SerDes link layer with the HMC link-level retry protocol.
 //!
 //! Each external link deserializes one request packet at a time (ingress)
 //! and serializes one response packet at a time (egress). Packet handling
@@ -6,6 +6,15 @@
 //! processing overhead; posted write data additionally passes through a
 //! rate-limited drain into the cube (the calibration knob reproducing the
 //! paper's write-bandwidth ceiling — see DESIGN.md).
+//!
+//! Transfers run the spec's retry protocol structurally: every packet
+//! entering a serializer is assigned a sequence number and parked in a
+//! bounded retry buffer until the receiver acknowledges it. A transfer
+//! whose CRC check fails (per-packet seeded draw against the armed
+//! bit-error rate) is *re-serialized as a later simulation event* — the
+//! receiver's retry pointer stays put, the transmitter replays from the
+//! retry buffer after [`LinkLayerConfig::retry_penalty`], and only a clean
+//! transfer advances the pointer and releases the buffer slot.
 
 use std::collections::VecDeque;
 
@@ -37,8 +46,102 @@ pub struct LinkStats {
     pub resp_packets: u64,
     /// Peak egress queue depth observed.
     pub egress_peak: usize,
-    /// Link-level retries triggered by injected bit errors.
+    /// Link-level retries: transfers whose CRC failed and that were
+    /// re-serialized from the retry buffer.
     pub retries: u64,
+    /// Times the link's serializers were stalled by an injected fault.
+    pub stall_events: u64,
+    /// Ingress credits lost to injected token leaks.
+    pub leaked_credits: u64,
+}
+
+/// Outcome of a transfer attempt completing on a link direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Transfer<T> {
+    /// The receiver's CRC check passed: its retry pointer advanced past
+    /// the packet's sequence number and the retry-buffer slot is free.
+    /// `retried` is true if any earlier attempt for this packet failed.
+    Delivered {
+        /// The acknowledged payload, out of the retry buffer.
+        payload: T,
+        /// True if this packet needed at least one retry round.
+        retried: bool,
+    },
+    /// The CRC check failed: the packet stays in the retry buffer and
+    /// re-serializes, completing at `next_done`.
+    Retry {
+        /// When the replayed transfer completes.
+        next_done: Time,
+        /// Request id of the packet being replayed (for tracing).
+        id: u64,
+        /// Failed attempts so far for this packet (1 = first failure).
+        failures: u64,
+    },
+}
+
+/// The transmit-side retry state of one link direction: a bounded buffer
+/// of unacknowledged packets with the spec's sequence numbers and the
+/// receiver's retry pointer.
+#[derive(Debug, Clone)]
+struct RetryBuffer<T> {
+    capacity: usize,
+    /// Unacknowledged packets, oldest first, tagged with their sequence
+    /// numbers.
+    entries: VecDeque<(u64, T)>,
+    /// Sequence number the next transmitted packet gets.
+    next_seq: u64,
+    /// The receiver's retry pointer: every packet with a sequence number
+    /// below it has been acknowledged.
+    retry_ptr: u64,
+    /// Failed attempts of the packet currently in service.
+    failures: u64,
+}
+
+impl<T> RetryBuffer<T> {
+    fn new(capacity: usize) -> Self {
+        RetryBuffer {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            next_seq: 0,
+            retry_ptr: 0,
+            failures: 0,
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Admits a packet for transmission, assigning its sequence number.
+    fn push(&mut self, payload: T) -> u64 {
+        debug_assert!(!self.is_full(), "retry buffer overflow");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push_back((seq, payload));
+        seq
+    }
+
+    /// Acknowledges the oldest packet: the retry pointer moves past its
+    /// sequence number and the slot frees up.
+    fn ack_head(&mut self) -> (u64, T) {
+        let (seq, payload) = self
+            .entries
+            .pop_front()
+            .expect("ack with empty retry buffer");
+        self.retry_ptr = seq + 1;
+        self.failures = 0;
+        (seq, payload)
+    }
+
+    fn head(&self) -> Option<&(u64, T)> {
+        self.entries.front()
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.retry_ptr = self.next_seq;
+        self.failures = 0;
+    }
 }
 
 /// One device-side external link.
@@ -46,9 +149,15 @@ pub struct LinkStats {
 pub struct DeviceLink {
     ingress: BoundedQueue<MemoryRequest>,
     ingress_busy: bool,
+    ingress_retry: RetryBuffer<MemoryRequest>,
     blocked: Option<MemoryRequest>,
     egress: VecDeque<OutPacket>,
     egress_busy: bool,
+    egress_retry: RetryBuffer<OutPacket>,
+    /// Injected fault: serializers start no new transfer before this.
+    stalled_until: Time,
+    /// Injected fault: ingress credits the device no longer advertises.
+    leaked: usize,
     wire: LinkConfig,
     cfg: LinkLayerConfig,
     rng: SplitMix64,
@@ -66,9 +175,13 @@ impl DeviceLink {
         DeviceLink {
             ingress: BoundedQueue::new(cfg.ingress_queue_depth),
             ingress_busy: false,
+            ingress_retry: RetryBuffer::new(cfg.retry_buffer_depth),
             blocked: None,
             egress: VecDeque::new(),
             egress_busy: false,
+            egress_retry: RetryBuffer::new(cfg.retry_buffer_depth),
+            stalled_until: Time::ZERO,
+            leaked: 0,
             wire,
             cfg,
             rng: SplitMix64::new(seed),
@@ -89,22 +202,46 @@ impl DeviceLink {
             + self.cfg.per_flit_overhead.saturating_mul(flits)
     }
 
-    /// Serialization time including any link-level retries the injected
-    /// bit-error rate produces: each failed attempt costs one full
-    /// serialization plus the retry round.
-    fn packet_time_with_retries(&mut self, bytes: u64) -> TimeDelta {
-        let base = self.packet_time(bytes);
+    /// Probability the receiver's CRC rejects a packet of `bytes`:
+    /// `1 - (1 - BER)^bits`.
+    fn corruption_probability(&self, bytes: u64) -> f64 {
+        let bits = i32::try_from(bytes * 8).expect("packet bit count fits i32");
+        1.0 - (1.0 - self.cfg.bit_error_rate).powi(bits)
+    }
+
+    /// Draws the CRC outcome for a transfer of `bytes`. No PRNG state is
+    /// touched on a clean link, so runs with faults disabled stay
+    /// bit-identical.
+    fn transfer_corrupted(&mut self, bytes: u64) -> bool {
         if self.cfg.bit_error_rate <= 0.0 {
-            return base;
+            return false;
         }
-        // P(packet corrupt) = 1 - (1 - BER)^bits.
-        let p_err = 1.0 - (1.0 - self.cfg.bit_error_rate).powi(bytes as i32 * 8);
-        let mut total = base;
-        while self.rng.next_f64() < p_err {
-            self.stats.retries += 1;
-            total += base + self.cfg.retry_penalty;
-        }
-        total
+        let p_err = self.corruption_probability(bytes);
+        self.rng.next_f64() < p_err
+    }
+
+    /// Arms a new bit-error rate (injected `flit-corruption` fault).
+    pub fn set_bit_error_rate(&mut self, ber: f64) {
+        self.cfg.bit_error_rate = ber;
+    }
+
+    /// Stalls both serializers until `until` (injected `link-stall`
+    /// fault). In-progress transfers complete; new ones wait.
+    pub fn stall_until(&mut self, until: Time) {
+        self.stalled_until = self.stalled_until.max(until);
+        self.stats.stall_events += 1;
+    }
+
+    /// True while an injected stall is holding the serializers.
+    pub fn is_stalled(&self, now: Time) -> bool {
+        now < self.stalled_until
+    }
+
+    /// Leaks `count` ingress credits (injected `credit-leak` fault): the
+    /// host-visible window shrinks, the physical queue does not.
+    pub fn leak_credits(&mut self, count: usize) {
+        self.leaked += count;
+        self.stats.leaked_credits += count as u64;
     }
 
     /// True if the host may transmit another request to this link.
@@ -112,9 +249,10 @@ impl DeviceLink {
         !self.ingress.is_full()
     }
 
-    /// Free ingress credits as the host flow control sees them.
+    /// Free ingress credits as the host flow control sees them (leaked
+    /// tokens are never re-advertised).
     pub fn ingress_free(&self) -> usize {
-        self.ingress.free()
+        self.ingress.free().saturating_sub(self.leaked)
     }
 
     /// Enqueues an arriving request packet.
@@ -122,11 +260,19 @@ impl DeviceLink {
         self.ingress.try_push(req, now)
     }
 
-    /// Starts processing the next queued request, if idle. Returns the
-    /// request and the instant its ingress completes; the caller schedules
-    /// the completion event.
-    pub fn start_ingress(&mut self, now: Time) -> Option<(Time, MemoryRequest)> {
-        if self.ingress_busy || self.blocked.is_some() {
+    /// Starts deserializing the next queued request, if idle: the packet
+    /// takes a sequence number and a retry-buffer slot, and the first
+    /// transfer attempt completes at the returned instant. The packet
+    /// itself stays in the retry buffer until the attempt is
+    /// acknowledged via [`complete_ingress`].
+    ///
+    /// [`complete_ingress`]: DeviceLink::complete_ingress
+    pub fn start_ingress(&mut self, now: Time) -> Option<Time> {
+        if self.ingress_busy
+            || self.blocked.is_some()
+            || self.is_stalled(now)
+            || self.ingress_retry.is_full()
+        {
             return None;
         }
         let req = self.ingress.pop(now)?;
@@ -134,8 +280,36 @@ impl DeviceLink {
         let wire_bytes = req.sizes().request_flits().bytes();
         self.stats.bytes_up += wire_bytes;
         self.stats.req_packets += 1;
-        let t = self.packet_time_with_retries(wire_bytes);
-        Some((now + t, req))
+        self.ingress_retry.push(req);
+        Some(now + self.packet_time(wire_bytes))
+    }
+
+    /// Resolves an ingress transfer attempt at `now`: either the packet
+    /// is delivered (CRC clean, retry pointer advances) or it replays
+    /// from the retry buffer.
+    pub fn complete_ingress(&mut self, now: Time) -> Transfer<MemoryRequest> {
+        debug_assert!(self.ingress_busy);
+        let &(_, req) = self
+            .ingress_retry
+            .head()
+            .expect("ingress attempt without packet");
+        let wire_bytes = req.sizes().request_flits().bytes();
+        if self.transfer_corrupted(wire_bytes) {
+            self.stats.retries += 1;
+            self.ingress_retry.failures += 1;
+            Transfer::Retry {
+                next_done: now + self.cfg.retry_penalty + self.packet_time(wire_bytes),
+                id: req.id.value(),
+                failures: self.ingress_retry.failures,
+            }
+        } else {
+            let retried = self.ingress_retry.failures > 0;
+            let (_, req) = self.ingress_retry.ack_head();
+            Transfer::Delivered {
+                payload: req,
+                retried,
+            }
+        }
     }
 
     /// Marks the in-flight ingress packet as delivered downstream.
@@ -172,10 +346,12 @@ impl DeviceLink {
         self.stats.egress_peak = self.stats.egress_peak.max(self.egress.len());
     }
 
-    /// Starts serializing the next response, if idle. Returns the packet
-    /// and the instant it fully leaves the device.
-    pub fn start_egress(&mut self, now: Time) -> Option<(Time, OutPacket)> {
-        if self.egress_busy {
+    /// Starts serializing the next response, if idle; same retry-buffer
+    /// contract as [`start_ingress`].
+    ///
+    /// [`start_ingress`]: DeviceLink::start_ingress
+    pub fn start_egress(&mut self, now: Time) -> Option<Time> {
+        if self.egress_busy || self.is_stalled(now) || self.egress_retry.is_full() {
             return None;
         }
         let pkt = self.egress.pop_front()?;
@@ -183,8 +359,34 @@ impl DeviceLink {
         let wire_bytes = pkt.req.sizes().response_flits().bytes();
         self.stats.bytes_down += wire_bytes;
         self.stats.resp_packets += 1;
-        let t = self.packet_time_with_retries(wire_bytes);
-        Some((now + t, pkt))
+        self.egress_retry.push(pkt);
+        Some(now + self.packet_time(wire_bytes))
+    }
+
+    /// Resolves an egress transfer attempt at `now`.
+    pub fn complete_egress(&mut self, now: Time) -> Transfer<OutPacket> {
+        debug_assert!(self.egress_busy);
+        let &(_, pkt) = self
+            .egress_retry
+            .head()
+            .expect("egress attempt without packet");
+        let wire_bytes = pkt.req.sizes().response_flits().bytes();
+        if self.transfer_corrupted(wire_bytes) {
+            self.stats.retries += 1;
+            self.egress_retry.failures += 1;
+            Transfer::Retry {
+                next_done: now + self.cfg.retry_penalty + self.packet_time(wire_bytes),
+                id: pkt.req.id.value(),
+                failures: self.egress_retry.failures,
+            }
+        } else {
+            let retried = self.egress_retry.failures > 0;
+            let (_, pkt) = self.egress_retry.ack_head();
+            Transfer::Delivered {
+                payload: pkt,
+                retried,
+            }
+        }
     }
 
     /// Marks the in-flight egress packet as sent.
@@ -201,6 +403,40 @@ impl DeviceLink {
     /// Pending egress responses (queued + in flight).
     pub fn egress_backlog(&self) -> usize {
         self.egress.len() + usize::from(self.egress_busy)
+    }
+
+    /// Sequence number the next transmitted ingress packet would get
+    /// (equals the count of packets ever admitted).
+    pub fn ingress_seq(&self) -> u64 {
+        self.ingress_retry.next_seq
+    }
+
+    /// The ingress receiver's retry pointer (first unacknowledged
+    /// sequence number).
+    pub fn ingress_retry_ptr(&self) -> u64 {
+        self.ingress_retry.retry_ptr
+    }
+
+    /// Drops all queued and in-flight transport state (a shutdown lost
+    /// the link): queues, busy flags, retry buffers, and injected faults
+    /// are cleared; traffic counters and the error-injection PRNG
+    /// survive. Returns how many ingress-window requests were dropped,
+    /// so the caller can reconcile its credit accounting.
+    pub fn reset_transport(&mut self, now: Time) -> usize {
+        let mut dropped = self.ingress.len();
+        while self.ingress.pop(now).is_some() {}
+        dropped += usize::from(self.blocked.is_some());
+        self.blocked = None;
+        self.ingress_busy = false;
+        self.egress_busy = false;
+        // In-service packets sit in the retry buffers, not the queues.
+        dropped += self.ingress_retry.entries.len();
+        self.ingress_retry.clear();
+        self.egress_retry.clear();
+        self.egress.clear();
+        self.stalled_until = Time::ZERO;
+        self.leaked = 0;
+        dropped
     }
 
     /// Traffic counters.
@@ -232,17 +468,36 @@ mod tests {
         }
     }
 
+    /// Drives one egress packet through all its retry rounds, returning
+    /// the delivery instant and the packet.
+    fn pump_egress(l: &mut DeviceLink, now: Time) -> (Time, OutPacket) {
+        let mut done = l.start_egress(now).expect("egress idle");
+        loop {
+            match l.complete_egress(done) {
+                Transfer::Delivered { payload, .. } => {
+                    l.finish_egress();
+                    return (done, payload);
+                }
+                Transfer::Retry { next_done, .. } => done = next_done,
+            }
+        }
+    }
+
     #[test]
     fn read_request_ingress_time() {
         let mut l = link();
         l.enqueue_ingress(req(OpKind::Read, 128), Time::ZERO)
             .unwrap();
-        let (done, r) = l.start_ingress(Time::ZERO).unwrap();
-        assert_eq!(r.op, OpKind::Read);
+        let done = l.start_ingress(Time::ZERO).unwrap();
         // 16 B over 8 lanes @15 Gb/s = 1066 ps, plus 7 ns of processing
         // overhead.
         assert_eq!(done.as_ps(), 8_066);
         assert_eq!(l.stats().bytes_up, 16);
+        let Transfer::Delivered { payload, retried } = l.complete_ingress(done) else {
+            panic!("clean link never retries");
+        };
+        assert_eq!(payload.op, OpKind::Read);
+        assert!(!retried);
         // Busy until finished.
         assert!(l.start_ingress(Time::ZERO).is_none());
         l.finish_ingress();
@@ -257,7 +512,7 @@ mod tests {
         let mut l = link();
         l.enqueue_ingress(req(OpKind::Write, 128), Time::ZERO)
             .unwrap();
-        let (done, _) = l.start_ingress(Time::ZERO).unwrap();
+        let done = l.start_ingress(Time::ZERO).unwrap();
         // 144 B wire = 9600 ps + 7000 ps = 16600 ps.
         assert_eq!(done.as_ps(), 16_600);
     }
@@ -267,7 +522,7 @@ mod tests {
         let mut l = link();
         l.enqueue_ingress(req(OpKind::Write, 16), Time::ZERO)
             .unwrap();
-        let (done, _) = l.start_ingress(Time::ZERO).unwrap();
+        let done = l.start_ingress(Time::ZERO).unwrap();
         // 32 B wire = 2133 ps + 7000 ps = 9133 ps.
         assert_eq!(done.as_ps(), 9_133);
     }
@@ -295,8 +550,11 @@ mod tests {
             .unwrap();
         l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO)
             .unwrap();
-        let (_, r) = l.start_ingress(Time::ZERO).unwrap();
-        l.block_head(r);
+        let done = l.start_ingress(Time::ZERO).unwrap();
+        let Transfer::Delivered { payload, .. } = l.complete_ingress(done) else {
+            panic!("clean link");
+        };
+        l.block_head(payload);
         assert!(l.blocked_request().is_some());
         // Stalled: no further ingress.
         assert!(l.start_ingress(Time::from_ps(1_000_000)).is_none());
@@ -318,13 +576,11 @@ mod tests {
             token: 6,
         });
         assert_eq!(l.egress_backlog(), 2);
-        let (done, p) = l.start_egress(Time::ZERO).unwrap();
+        let (done, p) = pump_egress(&mut l, Time::ZERO);
         assert_eq!(p.token, 5);
         // 144 B response: 9600 ps wire + 7000 ps overhead.
         assert_eq!(done.as_ps(), 16_600);
-        assert!(l.start_egress(Time::ZERO).is_none(), "busy");
-        l.finish_egress();
-        let (done2, p2) = l.start_egress(done).unwrap();
+        let (done2, p2) = pump_egress(&mut l, done);
         assert_eq!(p2.token, 6);
         assert_eq!(done2.as_ps(), 33_200);
         assert_eq!(l.stats().bytes_down, 288);
@@ -333,18 +589,101 @@ mod tests {
     }
 
     #[test]
+    fn egress_busy_between_start_and_finish() {
+        let mut l = link();
+        l.push_egress(OutPacket {
+            req: req(OpKind::Read, 128),
+            token: 0,
+        });
+        let done = l.start_egress(Time::ZERO).unwrap();
+        assert!(l.start_egress(Time::ZERO).is_none(), "busy");
+        let Transfer::Delivered { .. } = l.complete_egress(done) else {
+            panic!("clean link");
+        };
+        assert!(l.start_egress(done).is_none(), "still busy until finish");
+        l.finish_egress();
+    }
+
+    #[test]
+    fn sequence_numbers_and_retry_pointer_track_acks() {
+        let mut l = link();
+        assert_eq!(l.ingress_seq(), 0);
+        assert_eq!(l.ingress_retry_ptr(), 0);
+        l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO)
+            .unwrap();
+        let done = l.start_ingress(Time::ZERO).unwrap();
+        // Admitted: sequence advanced, not yet acknowledged.
+        assert_eq!(l.ingress_seq(), 1);
+        assert_eq!(l.ingress_retry_ptr(), 0);
+        let Transfer::Delivered { .. } = l.complete_ingress(done) else {
+            panic!("clean link");
+        };
+        // Acknowledged: the retry pointer passed the packet.
+        assert_eq!(l.ingress_retry_ptr(), 1);
+        l.finish_ingress();
+    }
+
+    #[test]
+    fn corrupted_transfer_replays_as_later_event() {
+        // BER high enough that corruption happens within a few packets.
+        let cfg = LinkLayerConfig {
+            bit_error_rate: 1e-3,
+            ..LinkLayerConfig::default()
+        };
+        let mut l = DeviceLink::with_seed(LinkConfig::ac510(), cfg, 42);
+        let mut now = Time::ZERO;
+        let mut total_rounds = 0u64;
+        for i in 0..20 {
+            l.push_egress(OutPacket {
+                req: req(OpKind::Read, 128),
+                token: i,
+            });
+            let mut done = l.start_egress(now).unwrap();
+            let mut rounds = 0u64;
+            let pkt = loop {
+                match l.complete_egress(done) {
+                    Transfer::Delivered { payload, retried } => {
+                        assert_eq!(retried, rounds > 0);
+                        break payload;
+                    }
+                    Transfer::Retry {
+                        next_done,
+                        id,
+                        failures,
+                    } => {
+                        rounds += 1;
+                        assert_eq!(id, 0);
+                        assert_eq!(failures, rounds);
+                        // Replay is a genuinely later event: one retry
+                        // round plus a full re-serialization.
+                        assert_eq!(next_done.as_ps(), done.as_ps() + 120_000 + 16_600);
+                        done = next_done;
+                    }
+                }
+            };
+            l.finish_egress();
+            assert_eq!(pkt.token, i);
+            total_rounds += rounds;
+            now = done;
+        }
+        assert_eq!(l.stats().retries, total_rounds);
+        assert!(
+            total_rounds > 0,
+            "seed 42 at BER 1e-3 must corrupt something in 20 packets"
+        );
+    }
+
+    #[test]
     fn zero_ber_never_retries() {
         let mut l = link();
+        let mut now = Time::ZERO;
         for i in 0..50 {
             l.push_egress(OutPacket {
                 req: req(OpKind::Read, 128),
                 token: i,
             });
-        }
-        let mut now = Time::ZERO;
-        while let Some((done, _)) = l.start_egress(now) {
+            let (done, _) = pump_egress(&mut l, now);
             now = done;
-            l.finish_egress();
         }
         assert_eq!(l.stats().retries, 0);
     }
@@ -366,12 +705,8 @@ mod tests {
             };
             noisy.push_egress(p);
             clean.push_egress(p);
-            let (dn, _) = noisy.start_egress(t_noisy).unwrap();
-            noisy.finish_egress();
-            t_noisy = dn;
-            let (dc, _) = clean.start_egress(t_clean).unwrap();
-            clean.finish_egress();
-            t_clean = dc;
+            t_noisy = pump_egress(&mut noisy, t_noisy).0;
+            t_clean = pump_egress(&mut clean, t_clean).0;
         }
         assert!(noisy.stats().retries > 10, "{}", noisy.stats().retries);
         assert!(t_noisy > t_clean, "retries cost time");
@@ -391,9 +726,7 @@ mod tests {
                     req: req(OpKind::Read, 128),
                     token: i,
                 });
-                let (d, _) = l.start_egress(t).unwrap();
-                l.finish_egress();
-                t = d;
+                t = pump_egress(&mut l, t).0;
             }
             (t, l.stats().retries)
         };
@@ -412,8 +745,70 @@ mod tests {
             req: req(OpKind::Read, 128),
             token: 0,
         });
-        let (done, _) = l.start_egress(Time::ZERO).unwrap();
+        let (done, _) = pump_egress(&mut l, Time::ZERO);
         // Wire time doubles: 19200 + 7000.
         assert_eq!(done.as_ps(), 26_200);
+    }
+
+    #[test]
+    fn stall_holds_serializers_then_releases() {
+        let mut l = link();
+        l.stall_until(Time::from_ps(50_000));
+        l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO)
+            .unwrap();
+        l.push_egress(OutPacket {
+            req: req(OpKind::Read, 128),
+            token: 0,
+        });
+        assert!(l.start_ingress(Time::ZERO).is_none());
+        assert!(l.start_egress(Time::from_ps(49_999)).is_none());
+        assert!(l.is_stalled(Time::from_ps(10_000)));
+        // Stall expires: both directions flow again.
+        assert!(!l.is_stalled(Time::from_ps(50_000)));
+        assert!(l.start_ingress(Time::from_ps(50_000)).is_some());
+        assert!(l.start_egress(Time::from_ps(50_000)).is_some());
+        assert_eq!(l.stats().stall_events, 1);
+    }
+
+    #[test]
+    fn leaked_credits_shrink_advertised_window_only() {
+        let mut l = link();
+        assert_eq!(l.ingress_free(), 32);
+        l.leak_credits(24);
+        assert_eq!(l.ingress_free(), 8);
+        // The physical queue still accepts packets already in flight.
+        for _ in 0..32 {
+            l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO)
+                .unwrap();
+        }
+        assert_eq!(l.ingress_free(), 0);
+        assert_eq!(l.stats().leaked_credits, 24);
+    }
+
+    #[test]
+    fn reset_transport_drops_state_keeps_counters() {
+        let mut l = link();
+        for _ in 0..4 {
+            l.enqueue_ingress(req(OpKind::Read, 16), Time::ZERO)
+                .unwrap();
+        }
+        let done = l.start_ingress(Time::ZERO).unwrap();
+        let _ = done;
+        l.push_egress(OutPacket {
+            req: req(OpKind::Read, 128),
+            token: 1,
+        });
+        let before = l.stats();
+        // 3 still queued + 1 in the retry buffer awaiting ack.
+        let dropped = l.reset_transport(Time::from_ps(100_000));
+        assert_eq!(dropped, 4);
+        assert_eq!(l.ingress_backlog(), 0);
+        assert_eq!(l.egress_backlog(), 0);
+        assert_eq!(l.ingress_retry_ptr(), l.ingress_seq());
+        assert_eq!(l.stats(), before, "counters survive the reset");
+        // The link is immediately usable again.
+        l.enqueue_ingress(req(OpKind::Read, 16), Time::from_ps(100_000))
+            .unwrap();
+        assert!(l.start_ingress(Time::from_ps(100_000)).is_some());
     }
 }

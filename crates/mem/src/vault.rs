@@ -156,7 +156,8 @@ impl Vault {
         let bank = &mut self.banks[bank_idx];
         // Sanitizer bank ids are device-global so one FSM table covers
         // every vault.
-        let global_bank = self.id as u32 * self.spec.banks_per_vault() + bank_idx as u32;
+        let global_bank = u32::from(self.id) * self.spec.banks_per_vault()
+            + u32::try_from(bank_idx).expect("bank index fits u32");
         let response_at = match req.op {
             OpKind::Read => {
                 let access = bank.begin_read(now, row, beats, &self.timing, self.policy);
@@ -210,6 +211,17 @@ impl Vault {
             bank.hold_until(until);
         }
         self.bus_free_at = self.bus_free_at.max(until);
+    }
+
+    /// Drops all queued work (a shutdown emptied the controller) and
+    /// closes every row; bank timing state and activity counters
+    /// survive.
+    pub fn reset_state(&mut self, now: Time) {
+        while self.input.pop(now).is_some() {}
+        for q in &mut self.bank_queues {
+            while q.pop(now).is_some() {}
+        }
+        self.hold_all(now);
     }
 
     /// Earliest instant any bank with queued work becomes free, if any —

@@ -33,8 +33,11 @@ impl Xbar {
         let stride = spec.num_quadrants() / n;
         Xbar {
             cfg,
-            link_quadrant: (0..n).map(|l| (l * stride) as u16).collect(),
-            vaults_per_quadrant: spec.vaults_per_quadrant() as u16,
+            link_quadrant: (0..n)
+                .map(|l| u16::try_from(l * stride).expect("quadrant index fits u16"))
+                .collect(),
+            vaults_per_quadrant: u16::try_from(spec.vaults_per_quadrant())
+                .expect("vaults per quadrant fits u16"),
             stats: XbarStats::default(),
         }
     }

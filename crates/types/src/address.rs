@@ -366,8 +366,10 @@ impl AddressMapping {
 
     /// Decodes an address into structural coordinates.
     pub fn decode(self, addr: Address, spec: &HmcSpec) -> Location {
-        let vault_raw = addr.bits(self.vault_shift_for(spec), spec.vault_bits()) as u16;
-        let bank = addr.bits(self.bank_shift(spec), spec.bank_bits()) as u16;
+        let vault_raw = u16::try_from(addr.bits(self.vault_shift_for(spec), spec.vault_bits()))
+            .expect("vault field fits u16");
+        let bank = u16::try_from(addr.bits(self.bank_shift(spec), spec.bank_bits()))
+            .expect("bank field fits u16");
         let row = addr.as_u64() >> self.row_shift(spec);
         // The quadrant is the high part of the vault field: vaults are
         // numbered with the vault-in-quadrant bits low (Figure 3).
@@ -388,8 +390,8 @@ impl AddressMapping {
     ///
     /// [`decode`]: AddressMapping::decode
     pub fn encode(self, vault: VaultId, bank: BankId, row: u64, spec: &HmcSpec) -> Address {
-        debug_assert!((vault.index() as u32) < spec.num_vaults());
-        debug_assert!((bank.index() as u32) < spec.banks_per_vault());
+        debug_assert!(u32::from(vault.index()) < spec.num_vaults());
+        debug_assert!(u32::from(bank.index()) < spec.banks_per_vault());
         let mut raw = 0u64;
         raw |= (vault.index() as u64) << self.vault_shift_for(spec);
         raw |= (bank.index() as u64) << self.bank_shift(spec);

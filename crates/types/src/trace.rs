@@ -55,12 +55,15 @@ pub enum Stage {
     LinkEgress = 12,
     /// Host RX pipeline from wire exit to the port's monitoring unit.
     Rx = 13,
+    /// Link-layer retry: re-serialization attempts after a CRC-failed
+    /// transfer, in either direction. Zero samples on clean links.
+    LinkRetry = 14,
 }
 
 impl Stage {
     /// Number of stages (the length every per-stage histogram vector
     /// must have).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 15;
 
     /// Every stage, in round-trip order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -78,6 +81,7 @@ impl Stage {
         Stage::XbarResp,
         Stage::LinkEgress,
         Stage::Rx,
+        Stage::LinkRetry,
     ];
 
     /// Stage display names, indexed by [`Stage::index`]. This is the
@@ -97,6 +101,7 @@ impl Stage {
         "xbar_resp",
         "link_egress",
         "rx",
+        "link_retry",
     ];
 
     /// The stages a read traverses; their spans telescope exactly to the
@@ -132,6 +137,13 @@ impl Stage {
     pub const fn write_only(self) -> bool {
         matches!(self, Stage::WriteStall | Stage::WriteDrain)
     }
+
+    /// True for stages that only appear under injected faults; clean runs
+    /// record zero samples there, which is why [`Stage::read_path`]
+    /// excludes them.
+    pub const fn fault_only(self) -> bool {
+        matches!(self, Stage::LinkRetry)
+    }
 }
 
 impl fmt::Display for Stage {
@@ -164,7 +176,8 @@ mod tests {
     fn read_path_skips_write_stages() {
         let rp = Stage::read_path();
         assert!(rp.iter().all(|s| !s.write_only()));
-        assert_eq!(rp.len(), Stage::COUNT - 2);
+        assert!(rp.iter().all(|s| !s.fault_only()));
+        assert_eq!(rp.len(), Stage::COUNT - 3);
         // Round-trip order is preserved.
         for w in rp.windows(2) {
             assert!(w[0].index() < w[1].index());
