@@ -1,47 +1,48 @@
 //! `repro` — regenerate any table or figure of the paper on demand.
 //!
-//! Usage: `cargo run --release -p hmc-bench --bin repro -- [options] <target>...`
-//! where `<target>` is one of: `table1`, `table2`, `table3`, `fig6`,
-//! `fig7`, `fig8`, `fig9`, `fig10`, `fig11`, `fig12`, `fig13`, `fig14`,
-//! `fig15`, `fig16`, `fig17`, `fig18`, `baseline`, or `all`.
+//! Usage: `cargo run --release -p hmc-bench --bin repro -- <command> ...`
 //!
-//! Options:
+//! Commands (each accepts `--threads N` to fan sweeps across OS threads
+//! and `--json PATH` to export its artifact as JSON):
 //!
-//! * `--threads N` — fan experiment sweeps across `N` OS threads
-//!   (default: all cores; results are bit-identical at any thread count).
-//! * `--figure <id>` — alias for a positional target; accepts `fig7`,
-//!   `7`, or `table1` forms.
-//! * `--perf-json` — measure simulation throughput (events/sec and
-//!   simulated-µs per wall-second) and write `BENCH_simperf.json`.
-//! * `--breakdown` — with `fig14`: also print the traced per-stage
-//!   latency attribution (stages sum exactly to the measured latency).
-//! * `--trace <out.json>` — capture a traced full-scale window and write
-//!   Chrome trace-event JSON (open in Perfetto / `chrome://tracing`).
-//! * `--metrics-json <out.json>` — write the same window's sampled
-//!   gauges (queue depths, credits, bank occupancy) as JSON series.
-//! * `--sanitize` — run the Figure 9 bandwidth subset with the protocol
-//!   sanitizer armed, verify it is bit-identical to the plain run, and
+//! * `figure <id>...` — print paper tables/figures: `table1`, `table2`,
+//!   `table3`, `fig6`..`fig18`, `baseline`, `readratio`, `kernels`,
+//!   `mapping`, `faults`, `generations`, or `all`. `--breakdown` adds the
+//!   traced per-stage attribution to `fig14`.
+//! * `sweep <trace|metrics|perf>` — observability captures: a traced
+//!   full-scale window as Chrome trace-event JSON (Perfetto-loadable),
+//!   the same window's sampled gauge series, or simulation-throughput
+//!   measurements (`perf` defaults to `BENCH_simperf.json`).
+//! * `sanitize` — run the Figure 9 bandwidth subset with the protocol
+//!   sanitizer armed, verify bit-identity against the plain run, and
 //!   print the invariant-check report (nonzero exit on any violation).
-//! * `--sanitize-json <out.json>` — with `--sanitize`: also write the
-//!   merged `SanitizerReport` as JSON.
-//! * `--faults <scenario>` — run a built-in fault scenario (or `all`)
-//!   with the host robustness layer on and the sanitizer armed, and
-//!   print the degraded-mode characterization (nonzero exit on any
-//!   sanitizer violation or a run that failed to drain).
-//! * `--faults-json <out.json>` — with `--faults`: also write the
-//!   scenario outcomes as JSON (the CI smoke matrix's artifact).
+//! * `faults [scenario|all]` — run built-in fault scenarios with the
+//!   host robustness layer on and the sanitizer armed, and print the
+//!   degraded-mode characterization (nonzero exit on violations or a
+//!   run that failed to drain).
+//! * `chain [--cubes N] [--star] [--interleave cube|vault]` — multi-cube
+//!   chain characterization: aggregate bandwidth vs chain length, the
+//!   per-hop latency ladder, and near/far asymmetry, with the shape
+//!   checks asserted (two cubes >= 1.8x one cube; ladder rungs on the
+//!   modeled pass-through adder).
+//!
+//! The pre-subcommand flags (`--figure`, `--perf-json`, `--trace`,
+//! `--metrics-json`, `--sanitize[-json]`, `--faults[-json]`) still work
+//! as aliases and print a deprecation note on stderr.
 //!
 //! (The `benches/` targets print the same tables plus paper-vs-measured
 //! verdicts; this binary is the quick interactive entry point.)
 
 use hmc_bench::{bench_mc, sweep_mc};
 use hmc_core::experiments::{
-    bandwidth, baseline, faults, generations, kernels, latency, mapping, page_policy, read_ratio,
-    thermal,
+    bandwidth, baseline, chain, faults, generations, kernels, latency, mapping, page_policy,
+    read_ratio, thermal,
 };
 use hmc_core::hmc_host::Workload;
-use hmc_core::observe::{metrics_json, run_window_observed};
-use hmc_core::{System, SystemConfig};
+use hmc_core::hmc_types::CubeInterleave;
+use hmc_core::observe::run_window_observed;
+use hmc_core::topology::Topology;
+use hmc_core::{JsonReport, System, SystemConfig};
 use hmc_types::packet::{OpKind, TransactionSizes};
 use hmc_types::{HmcSpec, HmcVersion, RequestKind, RequestSize, Time, TimeDelta};
 use sim_engine::exec;
@@ -241,6 +242,14 @@ fn perf_json(cfg: &SystemConfig) {
     }
 }
 
+/// Writes a [`JsonReport`] artifact to `path` with a stderr note.
+fn write_artifact<R: JsonReport + ?Sized>(report: &R, path: &str) {
+    match report.write_json(std::path::Path::new(path)) {
+        Ok(()) => eprintln!("wrote {} artifact to {path}", report.kind()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 /// Runs a traced full-scale window and writes the requested exports:
 /// Chrome trace-event JSON (`--trace`) and/or the sampled gauge series
 /// (`--metrics-json`).
@@ -256,24 +265,10 @@ fn capture_observed(cfg: &SystemConfig, trace_out: Option<&str>, metrics_out: Op
         TimeDelta::from_us(1),
     );
     if let Some(path) = trace_out {
-        let json = obs.report.chrome_json();
-        match std::fs::write(path, &json) {
-            Ok(()) => eprintln!(
-                "wrote {} trace events to {path} (load in Perfetto or chrome://tracing)",
-                obs.report.events().len()
-            ),
-            Err(e) => eprintln!("could not write {path}: {e}"),
-        }
+        write_artifact(&obs.report, path);
     }
     if let Some(path) = metrics_out {
-        let json = metrics_json(&obs.metrics);
-        match std::fs::write(path, &json) {
-            Ok(()) => eprintln!(
-                "wrote {} metric series to {path}",
-                obs.metrics.series().len()
-            ),
-            Err(e) => eprintln!("could not write {path}: {e}"),
-        }
+        write_artifact(&obs.metrics, path);
     }
 }
 
@@ -293,10 +288,7 @@ fn run_sanitize(cfg: &SystemConfig, json_out: Option<&str>) -> bool {
         eprintln!("bit-identity FAILED: sanitized figures diverge from the plain run");
     }
     if let Some(path) = json_out {
-        match std::fs::write(path, sane.report.to_json()) {
-            Ok(()) => eprintln!("wrote sanitizer report to {path}"),
-            Err(e) => eprintln!("could not write {path}: {e}"),
-        }
+        write_artifact(&sane.report, path);
     }
     sane.report.is_clean() && identical
 }
@@ -338,28 +330,199 @@ fn run_faults(cfg: &SystemConfig, which: &str, json_out: Option<&str>) -> bool {
         }
     }
     if let Some(path) = json_out {
-        match std::fs::write(path, faults::scenarios_json(&outcomes)) {
-            Ok(()) => eprintln!("wrote {} scenario outcomes to {path}", outcomes.len()),
-            Err(e) => eprintln!("could not write {path}: {e}"),
-        }
+        write_artifact(outcomes.as_slice(), path);
     }
     ok
 }
 
+/// Runs the multi-cube chain characterization and prints its three
+/// tables. The shape checks (aggregate scaling, exact ladder adders,
+/// near/far asymmetry) are asserted inside `characterize`.
+fn run_chain(
+    cfg: &SystemConfig,
+    cubes: u8,
+    star: bool,
+    interleave: CubeInterleave,
+    json_out: Option<&str>,
+) {
+    let topo = if star {
+        Topology::star(cubes)
+    } else {
+        Topology::chain(cubes)
+    }
+    .with_interleave(interleave);
+    let mc = bench_mc();
+    let report = chain::characterize(cfg, topo, &mc);
+    println!("{}", report.scaling_table());
+    println!("{}", report.ladder_table());
+    println!("{}", report.near_far_table());
+    if let Some(path) = json_out {
+        write_artifact(&report, path);
+    }
+}
+
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--threads N] [--figure <id>] [--perf-json] [--breakdown] \
-         [--trace <out.json>] [--metrics-json <out.json>] \
-         [--sanitize] [--sanitize-json <out.json>] \
-         [--faults <scenario|all>] [--faults-json <out.json>] \
-         <table1|table2|table3|fig6..fig18|baseline|all>..."
+        "usage: repro <command> [--threads N] [--json PATH]\n\
+         commands:\n\
+         \x20 figure <table1|table2|table3|fig6..fig18|baseline|readratio|kernels|mapping|faults|generations|all>... [--breakdown]\n\
+         \x20 sweep <trace|metrics|perf>\n\
+         \x20 sanitize\n\
+         \x20 faults [scenario|all]\n\
+         \x20 chain [--cubes N] [--star] [--interleave cube|vault]\n\
+         (legacy flag forms still work; see --help text in the module docs)"
     );
     std::process::exit(2);
+}
+
+/// Shared option extraction: pulls `--threads N` and `--json PATH` out of
+/// a subcommand's argument list, returning the remaining arguments.
+fn take_common(args: &[String]) -> (Vec<String>, Option<String>) {
+    let mut rest = Vec::new();
+    let mut json: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                exec::set_threads(n);
+            }
+            "--json" => json = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            other => rest.push(other.to_string()),
+        }
+    }
+    (rest, json)
+}
+
+const ALL_TARGETS: [&str; 22] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "baseline",
+    "readratio",
+    "kernels",
+    "mapping",
+    "faults",
+    "generations",
+];
+
+fn cmd_figure(cfg: &SystemConfig, args: &[String]) {
+    let (rest, _json) = take_common(args);
+    let mut opts = Opts::default();
+    let mut targets: Vec<String> = Vec::new();
+    for arg in &rest {
+        match arg.as_str() {
+            "--breakdown" => opts.breakdown = true,
+            flag if flag.starts_with("--") => usage(),
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage();
+    }
+    for arg in &targets {
+        if arg == "all" {
+            for t in ALL_TARGETS {
+                println!("\n########## {t} ##########");
+                run(t, cfg, opts);
+            }
+        } else {
+            run(arg, cfg, opts);
+        }
+    }
+}
+
+fn cmd_sweep(cfg: &SystemConfig, args: &[String]) {
+    let (rest, json) = take_common(args);
+    match rest.first().map(String::as_str) {
+        Some("trace") => capture_observed(cfg, Some(json.as_deref().unwrap_or("trace.json")), None),
+        Some("metrics") => {
+            capture_observed(cfg, None, Some(json.as_deref().unwrap_or("metrics.json")));
+        }
+        Some("perf") => perf_json(cfg),
+        _ => usage(),
+    }
+}
+
+fn cmd_chain(cfg: &SystemConfig, args: &[String]) {
+    let (rest, json) = take_common(args);
+    let mut cubes: u8 = 2;
+    let mut star = false;
+    let mut interleave = CubeInterleave::CubeFirst;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--cubes" => {
+                cubes = it
+                    .next()
+                    .and_then(|v| v.parse::<u8>().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--star" => star = true,
+            "--interleave" => {
+                interleave = match it.next().map(String::as_str) {
+                    Some("cube") => CubeInterleave::CubeFirst,
+                    Some("vault") => CubeInterleave::VaultFirst,
+                    _ => usage(),
+                };
+            }
+            _ => usage(),
+        }
+    }
+    if !(2..=8).contains(&cubes) {
+        eprintln!("--cubes must be in 2..=8 (the CUB field addresses 8 cubes)");
+        std::process::exit(2);
+    }
+    run_chain(cfg, cubes, star, interleave, json.as_deref());
 }
 
 fn main() {
     let cfg = SystemConfig::default();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("figure") => cmd_figure(&cfg, &args[1..]),
+        Some("sweep") => cmd_sweep(&cfg, &args[1..]),
+        Some("sanitize") => {
+            let (_, json) = take_common(&args[1..]);
+            if !run_sanitize(&cfg, json.as_deref()) {
+                std::process::exit(1);
+            }
+        }
+        Some("faults") => {
+            let (rest, json) = take_common(&args[1..]);
+            let which = rest.first().map(String::as_str).unwrap_or("all");
+            if !run_faults(&cfg, which, json.as_deref()) {
+                std::process::exit(1);
+            }
+        }
+        Some("chain") => cmd_chain(&cfg, &args[1..]),
+        Some(_) => legacy_main(&cfg, &args),
+        None => usage(),
+    }
+}
+
+/// The pre-subcommand flag interface, kept as aliases. Every accepted
+/// legacy flag prints a deprecation note pointing at its subcommand.
+fn legacy_main(cfg: &SystemConfig, args: &[String]) {
+    fn deprecated(old: &str, new: &str) {
+        eprintln!("note: '{old}' is deprecated; use 'repro {new}' instead");
+    }
     let mut targets: Vec<String> = Vec::new();
     let mut perf = false;
     let mut opts = Opts::default();
@@ -380,6 +543,7 @@ fn main() {
                 exec::set_threads(n);
             }
             "--figure" => {
+                deprecated("--figure", "figure <id>");
                 let id = it.next().unwrap_or_else(|| usage());
                 // Accept both `--figure fig7` and `--figure 7`.
                 if id.chars().all(|c| c.is_ascii_digit()) {
@@ -388,23 +552,34 @@ fn main() {
                     targets.push(id.clone());
                 }
             }
-            "--perf-json" => perf = true,
+            "--perf-json" => {
+                deprecated("--perf-json", "sweep perf");
+                perf = true;
+            }
             "--breakdown" => opts.breakdown = true,
             "--trace" => {
+                deprecated("--trace", "sweep trace --json <out.json>");
                 trace_out = Some(it.next().unwrap_or_else(|| usage()).clone());
             }
             "--metrics-json" => {
+                deprecated("--metrics-json", "sweep metrics --json <out.json>");
                 metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone());
             }
-            "--sanitize" => sanitize = true,
+            "--sanitize" => {
+                deprecated("--sanitize", "sanitize");
+                sanitize = true;
+            }
             "--sanitize-json" => {
+                deprecated("--sanitize-json", "sanitize --json <out.json>");
                 sanitize = true;
                 sanitize_out = Some(it.next().unwrap_or_else(|| usage()).clone());
             }
             "--faults" => {
+                deprecated("--faults", "faults <scenario|all>");
                 faults_which = Some(it.next().unwrap_or_else(|| usage()).clone());
             }
             "--faults-json" => {
+                deprecated("--faults-json", "faults ... --json <out.json>");
                 faults_out = Some(it.next().unwrap_or_else(|| usage()).clone());
             }
             flag if flag.starts_with("--") => usage(),
@@ -424,51 +599,27 @@ fn main() {
         eprintln!("--faults-json requires --faults");
         usage();
     }
-    let all = [
-        "table1",
-        "table2",
-        "table3",
-        "fig6",
-        "fig7",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11",
-        "fig12",
-        "fig13",
-        "fig14",
-        "fig15",
-        "fig16",
-        "fig17",
-        "fig18",
-        "baseline",
-        "readratio",
-        "kernels",
-        "mapping",
-        "faults",
-        "generations",
-    ];
     for arg in &targets {
         if arg == "all" {
-            for t in all {
+            for t in ALL_TARGETS {
                 println!("\n########## {t} ##########");
-                run(t, &cfg, opts);
+                run(t, cfg, opts);
             }
         } else {
-            run(arg, &cfg, opts);
+            run(arg, cfg, opts);
         }
     }
     if trace_out.is_some() || metrics_out.is_some() {
-        capture_observed(&cfg, trace_out.as_deref(), metrics_out.as_deref());
+        capture_observed(cfg, trace_out.as_deref(), metrics_out.as_deref());
     }
     if perf {
-        perf_json(&cfg);
+        perf_json(cfg);
     }
-    if sanitize && !run_sanitize(&cfg, sanitize_out.as_deref()) {
+    if sanitize && !run_sanitize(cfg, sanitize_out.as_deref()) {
         std::process::exit(1);
     }
     if let Some(which) = &faults_which {
-        if !run_faults(&cfg, which, faults_out.as_deref()) {
+        if !run_faults(cfg, which, faults_out.as_deref()) {
             std::process::exit(1);
         }
     }

@@ -1,0 +1,239 @@
+//! The single construction path for simulated systems.
+//!
+//! Historically every runner wired its own sequence of `System::new` plus
+//! `enable_*` mutator calls, and each new observability feature (tracing,
+//! metrics, sanitizer, faults, failure policies, now topologies) grew the
+//! permutations. [`SystemBuilder`] consolidates them: declare everything
+//! up front, then [`build`](SystemBuilder::build) a single-cube
+//! [`System`] or [`build_chain`](SystemBuilder::build_chain) a multi-cube
+//! [`ChainSystem`] with identical semantics.
+//!
+//! ```
+//! use hmc_core::builder::SystemBuilder;
+//! use hmc_core::topology::Topology;
+//! use hmc_core::SystemConfig;
+//! use hmc_types::TimeDelta;
+//!
+//! // A sanitized, metric-sampled two-cube chain in one expression.
+//! let chain = SystemBuilder::new(SystemConfig::default())
+//!     .metrics(TimeDelta::from_us(10))
+//!     .sanitizer()
+//!     .topology(Topology::chain(2))
+//!     .build_chain();
+//! assert_eq!(chain.cubes(), 2);
+//! assert!(chain.sanitizer_enabled());
+//! ```
+
+use hmc_thermal::FailurePolicy;
+use hmc_types::TimeDelta;
+use sim_engine::FaultScenario;
+
+use crate::system::{System, SystemConfig};
+use crate::topology::{ChainSystem, Topology};
+
+/// Declarative constructor for [`System`] and [`ChainSystem`].
+///
+/// Every observability and fault knob that used to require a post-`new`
+/// `enable_*` call is a chainable method here; the two `build` variants
+/// apply them in one fixed order (policy, tracing, metrics, sanitizer,
+/// faults), so all construction paths behave identically.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    cfg: SystemConfig,
+    topo: Topology,
+    tracing: Option<u64>,
+    metrics: Option<TimeDelta>,
+    /// `Some(None)` = default watchdog span, `Some(Some(d))` = explicit.
+    sanitizer: Option<Option<TimeDelta>>,
+    /// Scenarios to install: `None` cube = every cube of the topology.
+    faults: Vec<(Option<usize>, FaultScenario)>,
+    policy: Option<FailurePolicy>,
+}
+
+impl SystemBuilder {
+    /// Starts a builder from a system configuration.
+    pub fn new(cfg: SystemConfig) -> Self {
+        SystemBuilder {
+            cfg,
+            topo: Topology::single(),
+            tracing: None,
+            metrics: None,
+            sanitizer: None,
+            faults: Vec::new(),
+            policy: None,
+        }
+    }
+
+    /// Enables lifecycle tracing; one request in `sample_every` lands in
+    /// the exportable event log.
+    pub fn tracing(mut self, sample_every: u64) -> Self {
+        self.tracing = Some(sample_every);
+        self
+    }
+
+    /// Installs a periodic gauge sampler (one per cube in a chain).
+    pub fn metrics(mut self, period: TimeDelta) -> Self {
+        self.metrics = Some(period);
+        self
+    }
+
+    /// Arms the protocol sanitizer and forward-progress watchdog with the
+    /// default span.
+    pub fn sanitizer(mut self) -> Self {
+        self.sanitizer = Some(None);
+        self
+    }
+
+    /// [`sanitizer`](SystemBuilder::sanitizer) with an explicit watchdog
+    /// span.
+    pub fn sanitizer_span(mut self, span: TimeDelta) -> Self {
+        self.sanitizer = Some(Some(span));
+        self
+    }
+
+    /// Installs a fault scenario — on the single system, or on *every*
+    /// cube of a chain (matching how a chain shares one workload).
+    /// Scenarios compose; call repeatedly to merge schedules.
+    pub fn faults(mut self, scenario: &FaultScenario) -> Self {
+        self.faults.push((None, scenario.clone()));
+        self
+    }
+
+    /// Installs a fault scenario on one specific cube of a chain.
+    pub fn faults_on(mut self, cube: usize, scenario: &FaultScenario) -> Self {
+        self.faults.push((Some(cube), scenario.clone()));
+        self
+    }
+
+    /// Replaces the thermal limits evaluated at spikes.
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Enables the host fault-robustness layer (per-request deadlines,
+    /// bounded retransmission, link-death rerouting) with its configured
+    /// parameters.
+    pub fn robust(mut self) -> Self {
+        self.cfg.host.robust.enabled = true;
+        self
+    }
+
+    /// Selects the cube topology ([`Topology::single`] by default).
+    /// Multi-cube topologies require [`build_chain`](Self::build_chain).
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topo = topo;
+        self
+    }
+
+    /// Builds a single-cube [`System`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a multi-cube [`topology`](SystemBuilder::topology) was
+    /// selected — use [`build_chain`](SystemBuilder::build_chain).
+    pub fn build(self) -> System {
+        assert_eq!(
+            self.topo.cubes(),
+            1,
+            "multi-cube topology requires build_chain()"
+        );
+        let mut sys = System::new(self.cfg);
+        if let Some(policy) = self.policy {
+            sys.set_failure_policy(policy);
+        }
+        if let Some(sample_every) = self.tracing {
+            sys.enable_tracing(sample_every);
+        }
+        if let Some(period) = self.metrics {
+            sys.enable_metrics(period);
+        }
+        match self.sanitizer {
+            Some(Some(span)) => sys.enable_sanitizer_with_span(span),
+            Some(None) => sys.enable_sanitizer(),
+            None => {}
+        }
+        for (_, scenario) in &self.faults {
+            sys.install_faults(scenario);
+        }
+        sys
+    }
+
+    /// Builds a [`ChainSystem`] of the selected topology (any cube count,
+    /// including the single-cube identity topology).
+    pub fn build_chain(self) -> ChainSystem {
+        let mut sys = ChainSystem::new(self.cfg, self.topo);
+        if let Some(policy) = self.policy {
+            sys.set_failure_policy(policy);
+        }
+        if let Some(sample_every) = self.tracing {
+            sys.enable_tracing(sample_every);
+        }
+        if let Some(period) = self.metrics {
+            sys.enable_metrics(period);
+        }
+        match self.sanitizer {
+            Some(Some(span)) => sys.enable_sanitizer_with_span(span),
+            Some(None) => sys.enable_sanitizer(),
+            None => {}
+        }
+        for (cube, scenario) in &self.faults {
+            match cube {
+                Some(c) => sys.install_faults(*c, scenario),
+                None => {
+                    for c in 0..sys.cubes() {
+                        sys.install_faults(c, scenario);
+                    }
+                }
+            }
+        }
+        sys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_matches_mutator_path() {
+        let built = SystemBuilder::new(SystemConfig::default())
+            .tracing(8)
+            .metrics(TimeDelta::from_us(10))
+            .sanitizer()
+            .build();
+        let mut mutated = System::new(SystemConfig::default());
+        mutated.enable_tracing(8);
+        mutated.enable_metrics(TimeDelta::from_us(10));
+        mutated.enable_sanitizer();
+        assert_eq!(built.sanitizer_enabled(), mutated.sanitizer_enabled());
+        assert_eq!(built.metrics().is_some(), mutated.metrics().is_some());
+    }
+
+    #[test]
+    fn builder_installs_faults_on_every_cube() {
+        let scenario = FaultScenario::builtin("noisy-link").expect("builtin");
+        let chain = SystemBuilder::new(SystemConfig::default())
+            .faults(&scenario)
+            .topology(Topology::chain(2))
+            .build_chain();
+        assert_eq!(chain.cubes(), 2);
+    }
+
+    #[test]
+    fn robust_flag_reaches_the_hosts() {
+        let chain = SystemBuilder::new(SystemConfig::default())
+            .robust()
+            .topology(Topology::chain(2))
+            .build_chain();
+        assert_eq!(chain.cubes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "build_chain")]
+    fn build_rejects_multi_cube_topologies() {
+        let _ = SystemBuilder::new(SystemConfig::default())
+            .topology(Topology::chain(2))
+            .build();
+    }
+}

@@ -21,7 +21,7 @@ use sim_engine::{FaultScenario, SanitizerReport};
 
 use crate::measure::{run_measurement, MeasureConfig};
 use crate::report::{f1, ns, Table};
-use crate::system::{System, SystemConfig};
+use crate::system::SystemConfig;
 
 /// One point of the bit-error-rate sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -173,11 +173,11 @@ pub fn run_scenario(
     scenario: &FaultScenario,
     mc: &MeasureConfig,
 ) -> ScenarioOutcome {
-    let mut c = cfg.clone();
-    c.host.robust.enabled = true;
-    let mut sys = System::new(c);
-    sys.enable_sanitizer();
-    sys.install_faults(scenario);
+    let mut sys = crate::builder::SystemBuilder::new(cfg.clone())
+        .robust()
+        .sanitizer()
+        .faults(scenario)
+        .build();
     sys.host_mut().apply_workload(&Workload::full_scale(
         RequestKind::ReadOnly,
         RequestSize::MAX,
@@ -308,6 +308,16 @@ pub fn scenarios_json(outcomes: &[ScenarioOutcome]) -> String {
     }
     s.push_str("]}");
     s
+}
+
+impl crate::report::JsonReport for [ScenarioOutcome] {
+    fn kind(&self) -> &'static str {
+        "faults"
+    }
+
+    fn json(&self) -> String {
+        scenarios_json(self)
+    }
 }
 
 #[cfg(test)]

@@ -13,9 +13,11 @@
 //! | [`kernels`] | the application building blocks the paper's intro motivates (scan/hot-spot/chase/gather) |
 //! | [`faults`] | link bit-error injection: the cost of the packet-integrity machinery doing work |
 //! | [`generations`] | the Table I geometries re-measured, including the then-unreleased HMC 2.0 |
+//! | [`chain`] | multi-cube chains: aggregate scaling, per-hop latency adders, near/far asymmetry |
 
 pub mod bandwidth;
 pub mod baseline;
+pub mod chain;
 pub mod faults;
 pub mod generations;
 pub mod kernels;

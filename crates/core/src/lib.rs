@@ -42,6 +42,7 @@
 //! ```
 
 pub mod analysis;
+pub mod builder;
 pub mod experiments;
 pub mod measure;
 pub mod observe;
@@ -49,13 +50,16 @@ pub mod pattern;
 pub mod report;
 pub mod sanitize;
 pub mod system;
+pub mod topology;
 
+pub use builder::SystemBuilder;
 pub use measure::{MeasureConfig, Measurement};
 pub use observe::{ObservedStream, ObservedWindow, TraceReport};
 pub use pattern::AccessPattern;
-pub use report::Table;
+pub use report::{JsonReport, Table};
 pub use sanitize::{SanitizedPoint, SanitizedRun};
 pub use system::{RecoveryRecord, System, SystemConfig};
+pub use topology::{Arrangement, ChainSystem, Topology};
 
 // Re-export the substrate crates so downstream users need only hmc-core.
 pub use ddr_baseline;

@@ -12,6 +12,7 @@ use hmc_power::ActivityRates;
 use hmc_types::{Time, TimeDelta};
 use sim_engine::Histogram;
 
+use crate::builder::SystemBuilder;
 use crate::system::{System, SystemConfig};
 
 /// Measurement-window parameters.
@@ -113,8 +114,19 @@ pub fn run_measurement_system(
     mc: &MeasureConfig,
     setup: impl FnOnce(&mut System),
 ) -> (Measurement, System) {
-    let mut sys = System::new(cfg.clone());
+    let mut sys = SystemBuilder::new(cfg.clone()).build();
     setup(&mut sys);
+    run_measurement_built(sys, workload, mc)
+}
+
+/// Measures one window on a system the caller already constructed —
+/// the [`SystemBuilder`] entry point: declare observability up front,
+/// build, then hand the system here.
+pub fn run_measurement_built(
+    mut sys: System,
+    workload: &Workload,
+    mc: &MeasureConfig,
+) -> (Measurement, System) {
     sys.host_mut().apply_workload(workload);
     sys.host_mut().start(Time::ZERO);
     sys.step_until(Time::ZERO + mc.warmup);
@@ -144,7 +156,7 @@ pub fn run_measurement_system(
 /// Runs a [`Workload::Stream`] to completion on a fresh system and
 /// returns the latency histogram plus integrity-failure count.
 pub fn run_stream(cfg: &SystemConfig, workload: &Workload) -> (Histogram, u64) {
-    let mut sys = System::new(cfg.clone());
+    let mut sys = SystemBuilder::new(cfg.clone()).build();
     sys.host_mut().apply_workload(workload);
     sys.host_mut().start(Time::ZERO);
     let drained = sys.run_until_idle(TimeDelta::from_ms(100));

@@ -14,6 +14,7 @@ use sim_engine::stats::Histogram;
 use sim_engine::trace::{chrome_trace_json, TraceEvent};
 use sim_engine::MetricsSampler;
 
+use crate::builder::SystemBuilder;
 use crate::report::{f1, Table};
 use crate::system::{System, SystemConfig};
 
@@ -125,6 +126,16 @@ impl TraceReport {
     }
 }
 
+impl crate::report::JsonReport for TraceReport {
+    fn kind(&self) -> &'static str {
+        "trace"
+    }
+
+    fn json(&self) -> String {
+        self.chrome_json()
+    }
+}
+
 /// A drained stream run with tracing enabled.
 #[derive(Debug, Clone)]
 pub struct ObservedStream {
@@ -147,8 +158,9 @@ pub fn run_stream_observed(
     workload: &Workload,
     sample_every: u64,
 ) -> ObservedStream {
-    let mut sys = System::new(cfg.clone());
-    sys.enable_tracing(sample_every);
+    let mut sys = SystemBuilder::new(cfg.clone())
+        .tracing(sample_every)
+        .build();
     sys.host_mut().apply_workload(workload);
     sys.host_mut().start(Time::ZERO);
     let drained = sys.run_until_idle(TimeDelta::from_ms(100));
@@ -179,8 +191,8 @@ pub struct ObservedWindow {
 
 /// Runs a continuous workload for `span` with lifecycle tracing (one
 /// request in `sample_every` kept in the event log) and periodic gauge
-/// sampling every `metrics_period`. This is what `repro --trace` and
-/// `--metrics-json` capture.
+/// sampling every `metrics_period`. This is what `repro sweep trace` and
+/// `repro sweep metrics` capture.
 pub fn run_window_observed(
     cfg: &SystemConfig,
     workload: &Workload,
@@ -188,9 +200,10 @@ pub fn run_window_observed(
     sample_every: u64,
     metrics_period: TimeDelta,
 ) -> ObservedWindow {
-    let mut sys = System::new(cfg.clone());
-    sys.enable_tracing(sample_every);
-    sys.enable_metrics(metrics_period);
+    let mut sys = SystemBuilder::new(cfg.clone())
+        .tracing(sample_every)
+        .metrics(metrics_period)
+        .build();
     sys.host_mut().apply_workload(workload);
     sys.host_mut().start(Time::ZERO);
     sys.run_for(span);

@@ -1,7 +1,61 @@
-//! Plain-text table rendering for the benchmark harness: each experiment
-//! prints the same rows/series its paper table or figure reports.
+//! Plain-text table rendering and the unified JSON-export surface of the
+//! benchmark harness: each experiment prints the same rows/series its
+//! paper table or figure reports, and every exportable artifact implements
+//! [`JsonReport`].
 
 use std::fmt;
+use std::io;
+use std::path::Path;
+
+use sim_engine::{MetricsSampler, SanitizerReport};
+
+/// A JSON-exportable artifact.
+///
+/// The harness historically grew four bespoke exporters — the Chrome
+/// trace (`TraceReport::chrome_json`), the gauge series
+/// ([`crate::observe::metrics_json`]), the sanitizer outcome
+/// (`SanitizerReport::to_json`), and the fault characterization
+/// ([`crate::experiments::faults::scenarios_json`]) — each wired to its
+/// own `--*-json` flag. They all implement this trait now, so the `repro`
+/// subcommands share one `--json PATH` path and tests can treat any
+/// artifact uniformly.
+pub trait JsonReport {
+    /// Short artifact-kind tag (`"trace"`, `"metrics"`, `"sanitizer"`,
+    /// `"faults"`, `"chain"`), embeddable in file names and manifests.
+    fn kind(&self) -> &'static str;
+
+    /// Renders the artifact as a self-contained JSON document.
+    fn json(&self) -> String;
+
+    /// Writes [`json`](JsonReport::json) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn write_json(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.json())
+    }
+}
+
+impl JsonReport for SanitizerReport {
+    fn kind(&self) -> &'static str {
+        "sanitizer"
+    }
+
+    fn json(&self) -> String {
+        self.to_json()
+    }
+}
+
+impl JsonReport for MetricsSampler {
+    fn kind(&self) -> &'static str {
+        "metrics"
+    }
+
+    fn json(&self) -> String {
+        crate::observe::metrics_json(self)
+    }
+}
 
 /// A simple aligned text table.
 ///

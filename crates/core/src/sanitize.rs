@@ -12,7 +12,8 @@ use hmc_host::Workload;
 use hmc_types::{RequestKind, RequestSize};
 use sim_engine::SanitizerReport;
 
-use crate::measure::{run_measurement_system, MeasureConfig};
+use crate::builder::SystemBuilder;
+use crate::measure::{run_measurement_built, MeasureConfig};
 use crate::pattern::AccessPattern;
 use crate::report::Table;
 use crate::system::SystemConfig;
@@ -86,11 +87,11 @@ pub fn fig9_bandwidth_subset(
             .mask(cfg.mem.mapping, &cfg.mem.spec)
             .expect("paper axis patterns fit the default geometry");
         let workload = Workload::masked(RequestKind::ReadOnly, RequestSize::MAX, mask);
-        let (m, sys) = run_measurement_system(cfg, &workload, mc, |sys| {
-            if sanitize {
-                sys.enable_sanitizer();
-            }
-        });
+        let mut builder = SystemBuilder::new(cfg.clone());
+        if sanitize {
+            builder = builder.sanitizer();
+        }
+        let (m, sys) = run_measurement_built(builder.build(), &workload, mc);
         report.merge(&sys.sanitizer_report());
         points.push(SanitizedPoint {
             pattern,

@@ -94,16 +94,18 @@ impl RecoveryRecord {
 /// Forward-progress watchdog state: outstanding requests with no
 /// retirement for [`Watchdog::span`] of simulated time means the system
 /// wedged (deadlock or livelock) and a diagnostic dump is recorded.
+/// Shared with the chain topology, whose pump runs the same check over
+/// the fleet-wide completion count.
 #[derive(Debug, Clone, Copy)]
-struct Watchdog {
+pub(crate) struct Watchdog {
     /// Simulated time without a retirement before the watchdog trips.
-    span: TimeDelta,
+    pub(crate) span: TimeDelta,
     /// Completion count at the last observed progress.
-    last_completed: u64,
+    pub(crate) last_completed: u64,
     /// Instant of the last observed progress.
-    last_progress: Time,
+    pub(crate) last_progress: Time,
     /// Set once tripped so the report carries one dump, not thousands.
-    tripped: bool,
+    pub(crate) tripped: bool,
 }
 
 impl System {
@@ -125,6 +127,10 @@ impl System {
     /// device events immediately; thermal spikes are queued as time
     /// barriers for [`System::step_until`]. Scenarios compose — calling
     /// this twice merges the schedules.
+    ///
+    /// Deprecated construction path: prefer
+    /// [`SystemBuilder::faults`](crate::SystemBuilder::faults) when the
+    /// scenario is known up front.
     pub fn install_faults(&mut self, scenario: &FaultScenario) {
         for ev in &scenario.events {
             match ev.kind {
@@ -152,6 +158,11 @@ impl System {
     /// Turns on lifecycle tracing on both the host and device tracers.
     /// Every traced request feeds the per-stage histograms; one in
     /// `sample_every` also lands in the exportable event log.
+    ///
+    /// Deprecated construction path: prefer
+    /// [`SystemBuilder::tracing`](crate::SystemBuilder::tracing), which
+    /// declares the same thing before the system exists. Kept as a thin
+    /// wrapper for existing callers.
     pub fn enable_tracing(&mut self, sample_every: u64) {
         self.host.tracer_mut().enable(sample_every);
         self.device.tracer_mut().enable(sample_every);
@@ -160,6 +171,9 @@ impl System {
     /// Installs a periodic gauge sampler with the given period. Samples
     /// are taken deterministically at each period boundary as simulated
     /// time advances through [`System::step_until`].
+    ///
+    /// Deprecated construction path: prefer
+    /// [`SystemBuilder::metrics`](crate::SystemBuilder::metrics).
     pub fn enable_metrics(&mut self, period: TimeDelta) {
         self.sampler = Some(MetricsSampler::new(period));
     }
@@ -173,6 +187,9 @@ impl System {
     /// forward-progress watchdog (default span). Enable before starting a
     /// run; the merged outcome comes from
     /// [`sanitizer_report`](System::sanitizer_report).
+    ///
+    /// Deprecated construction path: prefer
+    /// [`SystemBuilder::sanitizer`](crate::SystemBuilder::sanitizer).
     pub fn enable_sanitizer(&mut self) {
         // Worst legal retirement gap: one fully-loaded bank queue
         // (120 deep) serializing at tRC ≈ 15 µs; 200 µs means wedged.

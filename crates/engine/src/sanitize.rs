@@ -573,7 +573,7 @@ impl SanitizerReport {
         self.in_flight
     }
 
-    /// Deterministic JSON export (`repro --sanitize` writes this).
+    /// Deterministic JSON export (`repro sanitize` writes this).
     pub fn to_json(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();

@@ -1,6 +1,6 @@
 //! Host controller configuration.
 
-use hmc_types::{Frequency, LinkConfig, TimeDelta};
+use hmc_types::{ChainShard, Frequency, LinkConfig, TimeDelta};
 
 use crate::controller::{RxPath, TxStages};
 
@@ -10,7 +10,7 @@ use crate::controller::{RxPath, TxStages};
 /// Disabled by default — with `enabled = false` the host performs no
 /// deadline bookkeeping, schedules no timeout events, and is bit-identical
 /// to a host built without the layer. Enable it when running fault
-/// scenarios (`repro --faults`).
+/// scenarios (`repro faults`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RobustnessConfig {
     /// Master enable. Off = zero behavioural and allocation change.
@@ -66,10 +66,23 @@ pub struct HostConfig {
     /// RX pipeline budget.
     pub rx: RxPath,
     /// Addressable memory size the generators draw from (4 GB device).
+    /// In a chain this is the capacity of **one** cube; the global space
+    /// the generators cover is `memory_capacity × shard.cubes()`.
     pub memory_capacity: u64,
     /// Fault-robustness layer (timeouts, retries, link death). Off by
     /// default.
     pub robust: RobustnessConfig,
+    /// Cube shard applied to generated addresses. The single-cube identity
+    /// shard by default (no behavioural change outside chain topologies).
+    pub shard: ChainShard,
+    /// First request sequence number this host hands out. Chain topologies
+    /// give each sharded host a disjoint id range so device-side ledgers
+    /// keyed by request id never collide; zero for single hosts.
+    pub request_id_base: u64,
+    /// Extra entropy folded into every port generator seed. Zero (inert)
+    /// for single hosts; chain topologies salt each sharded host so the
+    /// hosts draw decorrelated address streams.
+    pub rng_salt: u64,
 }
 
 impl Default for HostConfig {
@@ -84,6 +97,9 @@ impl Default for HostConfig {
             rx: RxPath::default(),
             memory_capacity: 4 << 30,
             robust: RobustnessConfig::default(),
+            shard: ChainShard::SINGLE,
+            request_id_base: 0,
+            rng_salt: 0,
         }
     }
 }

@@ -196,12 +196,14 @@ impl Host {
     pub fn new(cfg: HostConfig) -> Self {
         let ports = (0..cfg.num_ports)
             .map(|p| {
-                GupsPort::new(
+                let mut port = GupsPort::new(
                     PortId::new(u8::try_from(p).expect("port index fits u8")),
                     cfg.tag_pool_depth,
                     cfg.memory_capacity,
-                    0xC0FFEE ^ p as u64,
-                )
+                    0xC0FFEE ^ p as u64 ^ cfg.rng_salt,
+                );
+                port.set_shard(cfg.shard);
+                port
             })
             .collect();
         let nodes = (0..cfg.links.num_links() as usize)
@@ -232,7 +234,7 @@ impl Host {
             // Plus per-port issue attempts and per-node kicks beyond the
             // ownership accounting above.
             event_bound: event_capacity + 2 * cfg.num_ports + 64,
-            next_id: RequestId::new(0),
+            next_id: RequestId::new(cfg.request_id_base),
             now: Time::ZERO,
             total_issued: 0,
             total_completed: 0,
@@ -277,6 +279,14 @@ impl Host {
                     p.set_idle();
                 }
             }
+        }
+    }
+
+    /// Pins (or unpins) every port's generated addresses to one cube —
+    /// the near/far chain experiments steer traffic with this.
+    pub fn set_cube_pin(&mut self, pin: Option<hmc_types::CubeId>) {
+        for p in &mut self.ports {
+            p.set_cube_pin(pin);
         }
     }
 
@@ -764,6 +774,7 @@ impl Host {
             tag: entry.req.tag,
             op: entry.req.op,
             size: entry.req.size,
+            cube: entry.req.cube,
             addr: entry.req.addr,
             issued_at: entry.req.issued_at,
             completed_at: now,
@@ -988,6 +999,7 @@ mod tests {
             tag: req.tag,
             op: req.op,
             size: req.size,
+            cube: req.cube,
             addr: req.addr,
             issued_at: req.issued_at,
             completed_at: at + TimeDelta::from_ns(delay_ns),

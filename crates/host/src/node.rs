@@ -177,6 +177,7 @@ mod tests {
             tag: Tag::new(0),
             op: OpKind::Read,
             size: RequestSize::MAX,
+            cube: hmc_types::CubeId::new(0),
             addr: Address::new(0),
             issued_at: Time::ZERO,
             data_token: 0,

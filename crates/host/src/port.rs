@@ -5,7 +5,8 @@ use std::collections::{BTreeMap, VecDeque};
 
 use hmc_types::packet::{wire_bytes_per_access, OpKind};
 use hmc_types::{
-    Address, MemoryRequest, MemoryResponse, PortId, RequestId, RequestKind, RequestSize, Tag, Time,
+    Address, ChainShard, CubeId, MemoryRequest, MemoryResponse, PortId, RequestId, RequestKind,
+    RequestSize, Tag, Time,
 };
 use sim_engine::{Histogram, SplitMix64};
 
@@ -62,14 +63,23 @@ pub struct GupsPort {
     id: PortId,
     generator: Generator,
     free_tags: Vec<Tag>,
-    /// Writes waiting to be issued because their `rw` read returned.
-    pending_writes: VecDeque<(Address, RequestSize, u64)>,
+    /// Writes waiting to be issued because their `rw` read returned. The
+    /// stored cube/address pair is the one the read resolved to, so the
+    /// write-back never re-applies the shard split to a local address.
+    pending_writes: VecDeque<(CubeId, Address, RequestSize, u64)>,
     /// Expected read tokens for stream integrity checking, by request id.
     expected: BTreeMap<u64, u64>,
     monitor: PortMonitor,
     rng: SplitMix64,
     linear_cursor: u64,
+    /// Per-cube byte capacity (the local address space of one device).
     capacity: u64,
+    /// Global byte capacity the generators draw from (`capacity × cubes`).
+    total_capacity: u64,
+    shard: ChainShard,
+    /// When set, every generated address targets this cube (`global mod
+    /// capacity` becomes the local address) — used by near/far experiments.
+    cube_pin: Option<CubeId>,
     kind: RequestKind,
     last_issue: Option<Time>,
 }
@@ -90,6 +100,9 @@ impl GupsPort {
             rng: SplitMix64::new(seed ^ (id.index() as u64).wrapping_mul(0x9E37)),
             linear_cursor: id.index() as u64 * (capacity / 16),
             capacity,
+            total_capacity: capacity,
+            shard: ChainShard::SINGLE,
+            cube_pin: None,
             kind: RequestKind::ReadOnly,
             last_issue: None,
         }
@@ -98,6 +111,32 @@ impl GupsPort {
     /// The port's id.
     pub fn id(&self) -> PortId {
         self.id
+    }
+
+    /// Installs the cube shard the port's generated addresses are split
+    /// with. The global space grows to `capacity × cubes`; the linear
+    /// cursor is re-derived so ports stay evenly spread over it.
+    pub fn set_shard(&mut self, shard: ChainShard) {
+        self.shard = shard;
+        self.total_capacity = self.capacity * shard.cubes() as u64;
+        self.linear_cursor = self.id.index() as u64 * (self.total_capacity / 16);
+    }
+
+    /// Pins every generated address to one cube (or clears the pin). The
+    /// generator's global stream is unchanged; each address maps to
+    /// `global mod capacity` on the pinned cube, so the same seed produces
+    /// the same local sequence regardless of the pin target.
+    pub fn set_cube_pin(&mut self, pin: Option<CubeId>) {
+        self.cube_pin = pin;
+    }
+
+    /// Splits a generated global address into its target cube and local
+    /// address, honouring the cube pin.
+    fn route(&self, global: u64) -> (CubeId, Address) {
+        match self.cube_pin {
+            Some(pin) => (pin, Address::new(global % self.capacity)),
+            None => self.shard.split(global, self.capacity),
+        }
     }
 
     /// Installs a continuous generator.
@@ -165,7 +204,7 @@ impl GupsPort {
     ///
     /// Returns the blocking reason when nothing can be issued.
     pub fn try_issue(&mut self, id: RequestId, now: Time) -> Result<MemoryRequest, IssueBlock> {
-        if let Some((addr, size, token)) = self.pending_writes.pop_front() {
+        if let Some((cube, addr, size, token)) = self.pending_writes.pop_front() {
             self.monitor.writes_issued += 1;
             self.last_issue = Some(now);
             return Ok(MemoryRequest {
@@ -174,6 +213,7 @@ impl GupsPort {
                 tag: Tag::new(0),
                 op: OpKind::Write,
                 size,
+                cube,
                 addr,
                 issued_at: now,
                 data_token: token,
@@ -199,12 +239,14 @@ impl GupsPort {
                 let tag = self.free_tags.pop().expect("chain uses one tag");
                 self.monitor.reads_issued += 1;
                 self.last_issue = Some(now);
+                let (cube, addr) = self.route(addr.as_u64());
                 Ok(MemoryRequest {
                     id,
                     port: self.id,
                     tag,
                     op: OpKind::Read,
                     size,
+                    cube,
                     addr,
                     issued_at: now,
                     data_token: 0,
@@ -232,13 +274,15 @@ impl GupsPort {
                     OpKind::Write => self.monitor.writes_issued += 1,
                 }
                 self.last_issue = Some(now);
+                let (cube, addr) = self.route(op.addr.as_u64());
                 Ok(MemoryRequest {
                     id,
                     port: self.id,
                     tag,
                     op: op.op,
                     size: op.size,
-                    addr: op.addr,
+                    cube,
+                    addr,
                     issued_at: now,
                     data_token: if op.op == OpKind::Write { op.token } else { 0 },
                 })
@@ -257,19 +301,21 @@ impl GupsPort {
                 } else {
                     Tag::new(0)
                 };
-                let addr = self.next_address(&w);
+                let global = self.next_address(&w);
                 let op = if is_read { OpKind::Read } else { OpKind::Write };
                 match op {
                     OpKind::Read => self.monitor.reads_issued += 1,
                     OpKind::Write => self.monitor.writes_issued += 1,
                 }
                 self.last_issue = Some(now);
+                let (cube, addr) = self.route(global.as_u64());
                 Ok(MemoryRequest {
                     id,
                     port: self.id,
                     tag,
                     op,
                     size: w.size,
+                    cube,
                     addr,
                     issued_at: now,
                     data_token: if op == OpKind::Write { id.value() } else { 0 },
@@ -278,15 +324,18 @@ impl GupsPort {
         }
     }
 
+    /// Draws the next *global* address for a continuous generator. The
+    /// mask/anti-mask registers apply to the global address; with a
+    /// single-cube shard that is exactly the device-local address.
     fn next_address(&mut self, w: &PortWorkload) -> Address {
         let raw = match w.addressing {
             Addressing::Random => {
-                let aligned_slots = self.capacity / w.size.bytes();
+                let aligned_slots = self.total_capacity / w.size.bytes();
                 self.rng.next_below(aligned_slots) * w.size.bytes()
             }
             Addressing::Linear => {
                 let a = self.linear_cursor;
-                self.linear_cursor = (self.linear_cursor + w.size.bytes()) % self.capacity;
+                self.linear_cursor = (self.linear_cursor + w.size.bytes()) % self.total_capacity;
                 a
             }
         };
@@ -317,6 +366,7 @@ impl GupsPort {
                     // The modify-write half reuses the read's location; the
                     // token is the response's token plus one ("update").
                     self.pending_writes.push_back((
+                        resp.cube,
                         resp.addr,
                         resp.size,
                         resp.data_token.wrapping_add(1),
@@ -351,6 +401,7 @@ mod tests {
             tag: req.tag,
             op: req.op,
             size: req.size,
+            cube: req.cube,
             addr: req.addr,
             issued_at: req.issued_at,
             completed_at: req.issued_at + TimeDelta::from_ns(lat_ns),
@@ -540,6 +591,72 @@ mod tests {
         }
         let frac = reads as f64 / 400.0;
         assert!((0.5..0.7).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn sharded_port_splits_across_cubes() {
+        use hmc_types::CubeInterleave;
+        let mut p = port();
+        p.set_shard(ChainShard::new(2, CubeInterleave::CubeFirst));
+        p.set_continuous(PortWorkload {
+            kind: RequestKind::ReadOnly,
+            size: RequestSize::MAX,
+            addressing: Addressing::Linear,
+            mask: AddressMask::NONE,
+            read_fraction: None,
+        });
+        // Port 0's linear cursor starts at 0: consecutive 128 B blocks
+        // alternate cubes while the local address advances every other
+        // request.
+        let r0 = p.try_issue(RequestId::new(0), Time::ZERO).unwrap();
+        let r1 = p.try_issue(RequestId::new(1), Time::ZERO).unwrap();
+        let r2 = p.try_issue(RequestId::new(2), Time::ZERO).unwrap();
+        assert_eq!(r0.cube.index(), 0);
+        assert_eq!(r1.cube.index(), 1);
+        assert_eq!(r2.cube.index(), 0);
+        assert_eq!(r0.addr.as_u64(), 0);
+        assert_eq!(r1.addr.as_u64(), 0);
+        assert_eq!(r2.addr.as_u64(), 128);
+        for r in [&r0, &r1, &r2] {
+            p.deliver(&respond(r, 100));
+        }
+    }
+
+    #[test]
+    fn pinned_port_targets_one_cube() {
+        let mut p = port();
+        p.set_shard(ChainShard::new(4, hmc_types::CubeInterleave::CubeFirst));
+        p.set_cube_pin(Some(CubeId::new(3)));
+        p.set_continuous(PortWorkload::random_reads(RequestSize::MAX));
+        for i in 0..16 {
+            let r = p.try_issue(RequestId::new(i), Time::ZERO).unwrap();
+            assert_eq!(r.cube.index(), 3);
+            assert!(r.addr.as_u64() < 4 << 30);
+            p.deliver(&respond(&r, 100));
+        }
+    }
+
+    #[test]
+    fn rw_write_back_keeps_read_cube() {
+        let mut p = port();
+        p.set_shard(ChainShard::new(2, hmc_types::CubeInterleave::CubeFirst));
+        p.set_continuous(PortWorkload {
+            kind: RequestKind::ReadModifyWrite,
+            size: RequestSize::MAX,
+            addressing: Addressing::Linear,
+            mask: AddressMask::NONE,
+            read_fraction: None,
+        });
+        let r0 = p.try_issue(RequestId::new(0), Time::ZERO).unwrap();
+        let r1 = p.try_issue(RequestId::new(1), Time::ZERO).unwrap();
+        p.deliver(&respond(&r1, 100));
+        // The write-back reuses r1's cube and *local* address verbatim —
+        // no double application of the shard split.
+        let wb = p.try_issue(RequestId::new(2), Time::ZERO).unwrap();
+        assert_eq!(wb.op, OpKind::Write);
+        assert_eq!(wb.cube, r1.cube);
+        assert_eq!(wb.addr, r1.addr);
+        let _ = r0;
     }
 
     #[test]

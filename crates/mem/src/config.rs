@@ -232,6 +232,10 @@ pub struct MemConfig {
     /// Track written data tokens for integrity checking (costs memory in
     /// long random-write runs; stream experiments enable it).
     pub track_data: bool,
+    /// Base seed for the per-link BER draw streams (link `l` uses
+    /// `link_seed ^ l`). The historical default; chain topologies give each
+    /// cube a distinct base so fault injection decorrelates across cubes.
+    pub link_seed: u64,
 }
 
 impl Default for MemConfig {
@@ -247,6 +251,7 @@ impl Default for MemConfig {
             xbar: XbarConfig::default(),
             refresh: RefreshConfig::default(),
             track_data: false,
+            link_seed: 0x11CE,
         }
     }
 }

@@ -230,7 +230,7 @@ impl HmcDevice {
         let n_vaults = cfg.spec.num_vaults() as usize;
         let n_links = cfg.links.num_links() as usize;
         let links = (0..n_links)
-            .map(|l| DeviceLink::with_seed(cfg.links, cfg.link_layer, 0x11CE ^ l as u64))
+            .map(|l| DeviceLink::with_seed(cfg.links, cfg.link_layer, cfg.link_seed ^ l as u64))
             .collect();
         let vaults = (0..n_vaults)
             .map(|v| Vault::new(u16::try_from(v).expect("vault index fits u16"), &cfg))
@@ -715,6 +715,7 @@ impl HmcDevice {
                             tag: pkt.req.tag,
                             op: pkt.req.op,
                             size: pkt.req.size,
+                            cube: pkt.req.cube,
                             addr: pkt.req.addr,
                             issued_at: pkt.req.issued_at,
                             completed_at: now,
@@ -736,6 +737,7 @@ impl HmcDevice {
                         tag: pkt.req.tag,
                         op: pkt.req.op,
                         size: pkt.req.size,
+                        cube: pkt.req.cube,
                         addr: pkt.req.addr,
                         issued_at: pkt.req.issued_at,
                         completed_at: now,
@@ -1029,6 +1031,7 @@ mod tests {
             tag: Tag::new((id % 64) as u16),
             op: OpKind::Read,
             size: RequestSize::new(size).unwrap(),
+            cube: hmc_types::CubeId::new(0),
             addr: Address::new(addr),
             issued_at: Time::ZERO,
             data_token: 0,

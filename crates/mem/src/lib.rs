@@ -23,7 +23,7 @@
 //!
 //! ```
 //! use hmc_mem::{HmcDevice, MemConfig};
-//! use hmc_types::{Address, MemoryRequest, PortId, RequestId, RequestSize, Tag, Time};
+//! use hmc_types::{Address, CubeId, MemoryRequest, PortId, RequestId, RequestSize, Tag, Time};
 //! use hmc_types::packet::OpKind;
 //!
 //! let mut dev = HmcDevice::new(MemConfig::default());
@@ -33,6 +33,7 @@
 //!     tag: Tag::new(0),
 //!     op: OpKind::Read,
 //!     size: RequestSize::new(128)?,
+//!     cube: CubeId::new(0),
 //!     addr: Address::new(0),
 //!     issued_at: Time::ZERO,
 //!     data_token: 0,

@@ -189,6 +189,14 @@ impl DeviceLink {
         }
     }
 
+    /// Serialization plus processing time of a packet of `bytes` — the
+    /// per-hop SerDes cost a pass-through (chained) cube pays again for
+    /// every forwarded packet. Exposed so the chain topology can report
+    /// the modeled hop adder its latency experiments must reproduce.
+    pub fn transfer_time(&self, bytes: u64) -> TimeDelta {
+        self.packet_time(bytes)
+    }
+
     /// Serialization plus processing time of a packet of `bytes`.
     fn packet_time(&self, bytes: u64) -> TimeDelta {
         let raw = self.wire.serialize_ps(bytes) as f64 / self.cfg.efficiency;
@@ -462,6 +470,7 @@ mod tests {
             tag: Tag::new(0),
             op,
             size: RequestSize::new(size).unwrap(),
+            cube: hmc_types::CubeId::new(0),
             addr: Address::new(0),
             issued_at: Time::ZERO,
             data_token: 0,

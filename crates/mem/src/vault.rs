@@ -283,6 +283,7 @@ mod tests {
             tag: Tag::new(0),
             op: OpKind::Read,
             size: RequestSize::new(size).unwrap(),
+            cube: hmc_types::CubeId::new(0),
             addr: Address::new(addr),
             issued_at: Time::ZERO,
             data_token: 0,

@@ -111,6 +111,9 @@ impl PimUnit {
             tag: Tag::new(0),
             op,
             size: cfg.size,
+            // PIM units live inside their own cube and never cross the
+            // chain; their requests always target the local cube.
+            cube: hmc_types::CubeId::new(0),
             addr,
             issued_at: now,
             data_token: if op == OpKind::Write { id.value() } else { 0 },

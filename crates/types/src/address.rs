@@ -26,6 +26,16 @@ pub const ROW_BYTES: u64 = 256;
 /// Number of address bits carried in an HMC request header.
 pub const ADDRESS_BITS: u32 = 34;
 
+/// Number of CUB (cube id) routing bits a chained configuration adds above
+/// the in-cube address: HMC 1.1 request headers reserve a 3-bit cube field,
+/// so a processor can shard a *global* address space across up to eight
+/// chained cubes.
+pub const CUB_BITS: u32 = 3;
+
+/// Maximum number of cubes a chain or star topology may contain
+/// (`2^CUB_BITS`).
+pub const MAX_CUBES: u8 = 1 << CUB_BITS;
+
 /// A physical address inside the HMC address space.
 ///
 /// ```
@@ -39,10 +49,12 @@ pub const ADDRESS_BITS: u32 = 34;
 pub struct Address(u64);
 
 impl Address {
-    /// Creates an address, keeping only the 34 bits a request header can
-    /// carry.
+    /// Creates an address, keeping only the bits a request header can carry:
+    /// the 34 in-cube address bits plus the [`CUB_BITS`] routing field a
+    /// chained global address may occupy above them. Single-cube callers
+    /// never produce values past bit 33, so the wider mask is inert there.
     pub const fn new(raw: u64) -> Self {
-        Address(raw & ((1 << ADDRESS_BITS) - 1))
+        Address(raw & ((1 << (ADDRESS_BITS + CUB_BITS)) - 1))
     }
 
     /// The raw address value.
@@ -216,6 +228,180 @@ impl QuadrantId {
 impl fmt::Display for QuadrantId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "quad{}", self.0)
+    }
+}
+
+/// Identifies a cube within a chained (multi-cube) topology — the CUB
+/// routing field of a request header. Single-cube systems use cube 0
+/// everywhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CubeId(u8);
+
+impl CubeId {
+    /// Creates a cube id from a chain position.
+    pub const fn new(index: u8) -> Self {
+        CubeId(index)
+    }
+
+    /// The cube's position in the chain (0 = host-adjacent cube).
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for CubeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cube{}", self.0)
+    }
+}
+
+/// How a sharded host spreads its global address space across the cubes of
+/// a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CubeInterleave {
+    /// Consecutive blocks rotate across cubes first (block `b` lands on cube
+    /// `b mod N`), then interleave vaults *within* each cube as usual. This
+    /// spreads even a small sequential window over every cube — the
+    /// chain-level analogue of the vault-first interleave of Figure 3.
+    #[default]
+    CubeFirst,
+    /// Each cube owns one contiguous capacity-sized slice of the global
+    /// space (cube = `addr / capacity`): vault-level interleave stays
+    /// intact inside a cube, but a working set smaller than one cube never
+    /// leaves it.
+    VaultFirst,
+}
+
+impl fmt::Display for CubeInterleave {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CubeInterleave::CubeFirst => write!(f, "cube-first"),
+            CubeInterleave::VaultFirst => write!(f, "vault-first"),
+        }
+    }
+}
+
+/// The cube-sharding function: splits a *global* address into the cube that
+/// owns it and the *local* in-cube address the device decodes.
+///
+/// With `cubes == 1` both interleaves are the identity (`split` returns
+/// cube 0 and the unchanged address), which is what keeps single-cube
+/// topology runs bit-identical to the plain `System` path.
+///
+/// ```
+/// use hmc_types::address::{ChainShard, CubeInterleave};
+///
+/// let shard = ChainShard::new(2, CubeInterleave::CubeFirst);
+/// let cap = 4 << 30; // 4 GB per cube
+/// let (c0, a0) = shard.split(0, cap);
+/// let (c1, a1) = shard.split(128, cap);
+/// assert_eq!((c0.index(), a0.as_u64()), (0, 0));
+/// assert_eq!((c1.index(), a1.as_u64()), (1, 0));
+/// assert_eq!(shard.compose(c1, a1.as_u64(), cap), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChainShard {
+    cubes: u8,
+    interleave: CubeInterleave,
+    block: u64,
+}
+
+impl ChainShard {
+    /// The single-cube identity shard.
+    pub const SINGLE: ChainShard = ChainShard {
+        cubes: 1,
+        interleave: CubeInterleave::CubeFirst,
+        block: 128,
+    };
+
+    /// Creates a shard over `cubes` cubes with 128 B interleave blocks (the
+    /// device's default maximum block size, so cube rotation and vault
+    /// rotation advance in lockstep).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= cubes <= MAX_CUBES`.
+    pub fn new(cubes: u8, interleave: CubeInterleave) -> Self {
+        assert!(
+            (1..=MAX_CUBES).contains(&cubes),
+            "chain must have 1..={MAX_CUBES} cubes, got {cubes}"
+        );
+        ChainShard {
+            cubes,
+            interleave,
+            block: 128,
+        }
+    }
+
+    /// Number of cubes in the shard.
+    pub const fn cubes(self) -> u8 {
+        self.cubes
+    }
+
+    /// The configured interleave order.
+    pub const fn interleave(self) -> CubeInterleave {
+        self.interleave
+    }
+
+    /// The interleave block size in bytes.
+    pub const fn block(self) -> u64 {
+        self.block
+    }
+
+    /// Splits a global byte address into `(owning cube, local address)`.
+    /// `cube_capacity` is the byte capacity of one cube.
+    pub fn split(self, global: u64, cube_capacity: u64) -> (CubeId, Address) {
+        let cubes = self.cubes as u64;
+        if cubes == 1 {
+            return (CubeId::new(0), Address::new(global));
+        }
+        match self.interleave {
+            CubeInterleave::CubeFirst => {
+                let block = global / self.block;
+                let cube = block % cubes;
+                let local = (block / cubes) * self.block + global % self.block;
+                // `cube < cubes <= MAX_CUBES = 8`, so the narrowing is exact.
+                // hmc-lint: allow(lossy-cast)
+                (CubeId::new(cube as u8), Address::new(local % cube_capacity))
+            }
+            CubeInterleave::VaultFirst => {
+                let cube = (global / cube_capacity) % cubes;
+                (
+                    // `cube < cubes <= MAX_CUBES = 8`, so the narrowing is exact.
+                    // hmc-lint: allow(lossy-cast)
+                    CubeId::new(cube as u8),
+                    Address::new(global % cube_capacity),
+                )
+            }
+        }
+    }
+
+    /// Rebuilds the global address a `(cube, local)` pair came from —
+    /// inverse of [`split`](ChainShard::split) for in-range locals.
+    pub fn compose(self, cube: CubeId, local: u64, cube_capacity: u64) -> u64 {
+        let cubes = self.cubes as u64;
+        if cubes == 1 {
+            return local;
+        }
+        match self.interleave {
+            CubeInterleave::CubeFirst => {
+                let block = local / self.block;
+                (block * cubes + cube.index() as u64) * self.block + local % self.block
+            }
+            CubeInterleave::VaultFirst => cube.index() as u64 * cube_capacity + local,
+        }
+    }
+}
+
+impl Default for ChainShard {
+    fn default() -> Self {
+        ChainShard::SINGLE
+    }
+}
+
+impl fmt::Display for ChainShard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cube(s), {}", self.cubes, self.interleave)
     }
 }
 
@@ -531,9 +717,71 @@ mod tests {
     }
 
     #[test]
-    fn address_masks_to_34_bits() {
+    fn address_masks_to_header_bits() {
+        // 34 in-cube bits plus the 3-bit CUB routing field.
         let a = Address::new(u64::MAX);
-        assert_eq!(a.as_u64(), (1 << 34) - 1);
+        assert_eq!(a.as_u64(), (1 << (34 + 3)) - 1);
+    }
+
+    #[test]
+    fn single_cube_shard_is_identity() {
+        let shard = ChainShard::SINGLE;
+        let cap = 4u64 << 30;
+        for raw in [0u64, 0x80, 0x1234_5670, (1 << 34) - 16] {
+            let (cube, local) = shard.split(raw, cap);
+            assert_eq!(cube.index(), 0);
+            assert_eq!(local.as_u64(), raw);
+            assert_eq!(shard.compose(cube, local.as_u64(), cap), raw);
+        }
+        assert_eq!(ChainShard::default(), ChainShard::SINGLE);
+    }
+
+    #[test]
+    fn cube_first_rotates_blocks_across_cubes() {
+        let shard = ChainShard::new(4, CubeInterleave::CubeFirst);
+        let cap = 4u64 << 30;
+        // Sixteen consecutive 128 B blocks visit the four cubes round-robin.
+        for b in 0..16u64 {
+            let (cube, local) = shard.split(b * 128, cap);
+            assert_eq!(cube.index() as u64, b % 4);
+            assert_eq!(local.as_u64(), (b / 4) * 128);
+        }
+        // Offsets within a block stay with the block.
+        let (cube, local) = shard.split(5 * 128 + 48, cap);
+        assert_eq!(cube.index(), 1);
+        assert_eq!(local.as_u64(), 128 + 48);
+    }
+
+    #[test]
+    fn vault_first_gives_contiguous_slices() {
+        let shard = ChainShard::new(2, CubeInterleave::VaultFirst);
+        let cap = 4u64 << 30;
+        let (c0, a0) = shard.split(cap - 16, cap);
+        let (c1, a1) = shard.split(cap + 32, cap);
+        assert_eq!((c0.index(), a0.as_u64()), (0, cap - 16));
+        assert_eq!((c1.index(), a1.as_u64()), (1, 32));
+    }
+
+    #[test]
+    fn shard_split_compose_roundtrip() {
+        let cap = 1u64 << 20;
+        for cubes in [2u8, 3, 8] {
+            for il in [CubeInterleave::CubeFirst, CubeInterleave::VaultFirst] {
+                let shard = ChainShard::new(cubes, il);
+                for raw in (0..cubes as u64 * cap).step_by((cap / 7) as usize + 16) {
+                    let (cube, local) = shard.split(raw, cap);
+                    assert!(cube.index() < cubes);
+                    assert!(local.as_u64() < cap);
+                    assert_eq!(shard.compose(cube, local.as_u64(), cap), raw);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cubes")]
+    fn shard_rejects_zero_cubes() {
+        let _ = ChainShard::new(0, CubeInterleave::CubeFirst);
     }
 
     #[test]
@@ -765,5 +1013,9 @@ mod tests {
         assert!(format!("{}", Address::new(0x10)).starts_with("0x"));
         assert!(format!("{}", MaxBlockSize::B64).contains("64"));
         assert!(format!("{}", AddressMask::zero_bits(0, 3)).contains("0xf"));
+        assert_eq!(format!("{}", CubeId::new(3)), "cube3");
+        assert!(
+            format!("{}", ChainShard::new(2, CubeInterleave::VaultFirst)).contains("vault-first")
+        );
     }
 }

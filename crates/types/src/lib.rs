@@ -38,7 +38,10 @@ pub mod spec;
 pub mod time;
 pub mod trace;
 
-pub use address::{Address, AddressMapping, AddressMask, InterleaveOrder, Location, MaxBlockSize};
+pub use address::{
+    Address, AddressMapping, AddressMask, ChainShard, CubeId, CubeInterleave, InterleaveOrder,
+    Location, MaxBlockSize, MAX_CUBES,
+};
 pub use error::HmcError;
 pub use packet::{FlitCount, RequestKind, RequestSize, TransactionSizes, FLIT_BYTES};
 pub use request::{MemoryRequest, MemoryResponse, PortId, RequestId, Tag};

@@ -8,7 +8,7 @@
 
 use std::fmt;
 
-use crate::address::Address;
+use crate::address::{Address, CubeId};
 use crate::packet::{OpKind, RequestSize, TransactionSizes};
 use crate::time::Time;
 
@@ -97,7 +97,12 @@ pub struct MemoryRequest {
     pub op: OpKind,
     /// Payload size.
     pub size: RequestSize,
-    /// Target address (after mask/anti-mask application).
+    /// Target cube — the CUB routing field. Cube 0 in single-cube systems;
+    /// in a chain, intermediate cubes forward mismatching requests toward
+    /// this cube over their pass-through links.
+    pub cube: CubeId,
+    /// Target address within the owning cube (after cube sharding and
+    /// mask/anti-mask application).
     pub addr: Address,
     /// Instant the port submitted the request to the HMC controller —
     /// the paper's latency measurements start here.
@@ -144,6 +149,9 @@ pub struct MemoryResponse {
     pub op: OpKind,
     /// Payload size of the original request.
     pub size: RequestSize,
+    /// Cube that served the request (echoed CUB field, used to route the
+    /// response back through the chain and by write-back address reuse).
+    pub cube: CubeId,
     /// Address of the original request (real responses are tag-matched;
     /// the host controller keeps the per-tag address table this models).
     pub addr: Address,
@@ -186,6 +194,7 @@ mod tests {
             tag: Tag::new(5),
             op: OpKind::Read,
             size: RequestSize::new(64).unwrap(),
+            cube: CubeId::new(0),
             addr: Address::new(0x80),
             issued_at: Time::from_ps(1_000),
             data_token: 0,
@@ -208,6 +217,7 @@ mod tests {
             tag: r.tag,
             op: r.op,
             size: r.size,
+            cube: r.cube,
             addr: r.addr,
             issued_at: r.issued_at,
             completed_at: r.issued_at + TimeDelta::from_ns(700),
@@ -235,6 +245,7 @@ mod tests {
             tag: r.tag,
             op: r.op,
             size: r.size,
+            cube: r.cube,
             addr: r.addr,
             issued_at: r.issued_at,
             completed_at: r.issued_at + TimeDelta::from_ns(1),
