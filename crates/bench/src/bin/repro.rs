@@ -20,11 +20,13 @@
 //!   host robustness layer on and the sanitizer armed, and print the
 //!   degraded-mode characterization (nonzero exit on violations or a
 //!   run that failed to drain).
-//! * `chain [--cubes N] [--star] [--interleave cube|vault]` — multi-cube
-//!   chain characterization: aggregate bandwidth vs chain length, the
-//!   per-hop latency ladder, and near/far asymmetry, with the shape
-//!   checks asserted (two cubes >= 1.8x one cube; ladder rungs on the
-//!   modeled pass-through adder).
+//! * `chain [--cubes N] [--star] [--interleave cube|vault] [--shards N]`
+//!   — multi-cube chain characterization: aggregate bandwidth vs chain
+//!   length, the per-hop latency ladder, and near/far asymmetry, with
+//!   the shape checks asserted (two cubes >= 1.8x one cube; ladder rungs
+//!   on the modeled pass-through adder). `--shards N` pumps the cubes on
+//!   `N` conservative-PDES worker threads — bit-identical results,
+//!   different wall clock.
 //!
 //! The pre-subcommand flags (`--figure`, `--perf-json`, `--trace`,
 //! `--metrics-json`, `--sanitize[-json]`, `--faults[-json]`) still work
@@ -42,7 +44,7 @@ use hmc_core::hmc_host::Workload;
 use hmc_core::hmc_types::CubeInterleave;
 use hmc_core::observe::run_window_observed;
 use hmc_core::topology::Topology;
-use hmc_core::{JsonReport, System, SystemConfig};
+use hmc_core::{JsonReport, System, SystemBuilder, SystemConfig};
 use hmc_types::packet::{OpKind, TransactionSizes};
 use hmc_types::{HmcSpec, HmcVersion, RequestKind, RequestSize, Time, TimeDelta};
 use sim_engine::exec;
@@ -194,12 +196,34 @@ fn run(target: &str, cfg: &SystemConfig, opts: Opts) {
     }
 }
 
+/// Measures the conservative-PDES chain scheduler's throughput at one
+/// `(cubes, workers)` point: a saturated full-scale read run over `span`,
+/// returning `(events, wall_sec)`.
+fn chain_perf_point(cfg: &SystemConfig, cubes: u8, shards: usize, span: TimeDelta) -> (u64, f64) {
+    use std::time::Instant;
+    let mut sys = SystemBuilder::new(cfg.clone())
+        .parallel_shards(shards)
+        .topology(Topology::chain(cubes))
+        .build_chain();
+    sys.apply_workload(&Workload::full_scale(
+        RequestKind::ReadOnly,
+        RequestSize::MAX,
+    ));
+    sys.start(Time::ZERO);
+    let t0 = Instant::now();
+    sys.run_for(span);
+    (sys.events_processed(), t0.elapsed().as_secs_f64())
+}
+
 /// Measures simulation throughput and writes `BENCH_simperf.json`:
 ///
 /// * `event_core`: one full-scale rw `System` run — events per
 ///   wall-second and simulated µs per wall-second of the event core;
 /// * `sweep`: the Figure 7 sweep at the configured thread count —
-///   simulated µs per wall-second across the whole fleet of points.
+///   simulated µs per wall-second across the whole fleet of points;
+/// * `parallel_chain`: the epoch scheduler's events per wall-second over
+///   the cubes x epoch-worker grid {1,2,4,8} x {1,2,4,8} (every cell is
+///   bit-identical in results; only the wall clock moves).
 fn perf_json(cfg: &SystemConfig) {
     use std::time::Instant;
 
@@ -224,17 +248,42 @@ fn perf_json(cfg: &SystemConfig) {
     let sim_us_per_point = (mc.warmup + mc.window).as_ns_f64() / 1e3;
     let sweep_sim_us = pts.len() as f64 * sim_us_per_point;
 
+    // The conservative-PDES chain grid. Single-core hosts show flat (or
+    // slightly negative) scaling here — the numbers record what this
+    // machine actually did, not an aspiration.
+    let chain_span = TimeDelta::from_us(100);
+    let mut chain_cells = String::new();
+    for cubes in [1u8, 2, 4, 8] {
+        for shards in [1usize, 2, 4, 8] {
+            let (ev, wall) = chain_perf_point(cfg, cubes, shards, chain_span);
+            if !chain_cells.is_empty() {
+                chain_cells.push_str(",\n");
+            }
+            chain_cells.push_str(&format!(
+                "      {{\"cubes\": {cubes}, \"shards\": {shards}, \
+                 \"events\": {ev}, \"wall_sec\": {wall:.3}, \
+                 \"events_per_sec\": {:.0}}}",
+                ev as f64 / wall
+            ));
+        }
+    }
+
     let json = format!(
         "{{\n  \"event_core\": {{\n    \"events_per_sec\": {:.0},\n    \
          \"simulated_us_per_wall_sec\": {:.1}\n  }},\n  \"sweep\": {{\n    \
          \"name\": \"fig7\",\n    \"points\": {},\n    \"threads\": {},\n    \
-         \"wall_sec\": {:.3},\n    \"simulated_us_per_wall_sec\": {:.1}\n  }}\n}}\n",
+         \"wall_sec\": {:.3},\n    \"simulated_us_per_wall_sec\": {:.1}\n  }},\n  \
+         \"parallel_chain\": {{\n    \"span_us\": {:.0},\n    \
+         \"host_cores\": {},\n    \"points\": [\n{}\n    ]\n  }}\n}}\n",
         events as f64 / core_wall,
         span.as_ns_f64() / 1e3 / core_wall,
         pts.len(),
         exec::threads(),
         sweep_wall,
         sweep_sim_us / sweep_wall,
+        chain_span.as_ns_f64() / 1e3,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        chain_cells,
     );
     print!("{json}");
     if let Err(e) = std::fs::write("BENCH_simperf.json", &json) {
@@ -343,6 +392,7 @@ fn run_chain(
     cubes: u8,
     star: bool,
     interleave: CubeInterleave,
+    shards: usize,
     json_out: Option<&str>,
 ) {
     let topo = if star {
@@ -352,7 +402,7 @@ fn run_chain(
     }
     .with_interleave(interleave);
     let mc = bench_mc();
-    let report = chain::characterize(cfg, topo, &mc);
+    let report = chain::characterize_sharded(cfg, topo, &mc, shards);
     println!("{}", report.scaling_table());
     println!("{}", report.ladder_table());
     println!("{}", report.near_far_table());
@@ -369,7 +419,7 @@ fn usage() -> ! {
          \x20 sweep <trace|metrics|perf>\n\
          \x20 sanitize\n\
          \x20 faults [scenario|all]\n\
-         \x20 chain [--cubes N] [--star] [--interleave cube|vault]\n\
+         \x20 chain [--cubes N] [--star] [--interleave cube|vault] [--shards N]\n\
          (legacy flag forms still work; see --help text in the module docs)"
     );
     std::process::exit(2);
@@ -465,6 +515,7 @@ fn cmd_chain(cfg: &SystemConfig, args: &[String]) {
     let mut cubes: u8 = 2;
     let mut star = false;
     let mut interleave = CubeInterleave::CubeFirst;
+    let mut shards: usize = 1;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -472,6 +523,12 @@ fn cmd_chain(cfg: &SystemConfig, args: &[String]) {
                 cubes = it
                     .next()
                     .and_then(|v| v.parse::<u8>().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
                     .unwrap_or_else(|| usage());
             }
             "--star" => star = true,
@@ -489,7 +546,7 @@ fn cmd_chain(cfg: &SystemConfig, args: &[String]) {
         eprintln!("--cubes must be in 2..=8 (the CUB field addresses 8 cubes)");
         std::process::exit(2);
     }
-    run_chain(cfg, cubes, star, interleave, json.as_deref());
+    run_chain(cfg, cubes, star, interleave, shards, json.as_deref());
 }
 
 fn main() {

@@ -48,6 +48,7 @@ pub struct SystemBuilder {
     /// Scenarios to install: `None` cube = every cube of the topology.
     faults: Vec<(Option<usize>, FaultScenario)>,
     policy: Option<FailurePolicy>,
+    shards: Option<usize>,
 }
 
 impl SystemBuilder {
@@ -61,7 +62,18 @@ impl SystemBuilder {
             sanitizer: None,
             faults: Vec::new(),
             policy: None,
+            shards: None,
         }
+    }
+
+    /// Pumps chain epochs on `workers` threads instead of sequentially.
+    /// Purely a wall-clock knob: results are bit-identical at every
+    /// setting (see [`ChainSystem::set_parallel_shards`]). Ignored by
+    /// [`build`](Self::build) and by single-cube chains, which always run
+    /// the exact serial interleaving.
+    pub fn parallel_shards(mut self, workers: usize) -> Self {
+        self.shards = Some(workers);
+        self
     }
 
     /// Enables lifecycle tracing; one request in `sample_every` lands in
@@ -163,6 +175,9 @@ impl SystemBuilder {
     /// including the single-cube identity topology).
     pub fn build_chain(self) -> ChainSystem {
         let mut sys = ChainSystem::new(self.cfg, self.topo);
+        if let Some(workers) = self.shards {
+            sys.set_parallel_shards(workers);
+        }
         if let Some(policy) = self.policy {
             sys.set_failure_policy(policy);
         }
@@ -227,6 +242,21 @@ mod tests {
             .topology(Topology::chain(2))
             .build_chain();
         assert_eq!(chain.cubes(), 2);
+    }
+
+    #[test]
+    fn parallel_shards_reach_the_chain() {
+        let chain = SystemBuilder::new(SystemConfig::default())
+            .parallel_shards(4)
+            .topology(Topology::chain(2))
+            .build_chain();
+        assert_eq!(chain.parallel_shards(), 4);
+        // Requesting zero workers clamps to the serial scheduler.
+        let serial = SystemBuilder::new(SystemConfig::default())
+            .parallel_shards(0)
+            .topology(Topology::chain(2))
+            .build_chain();
+        assert_eq!(serial.parallel_shards(), 1);
     }
 
     #[test]

@@ -387,10 +387,10 @@ impl System {
             // whose clock has not passed t yet.
             {
                 let mut sink = DeviceSink(&mut self.device);
-                self.host.advance(t, &mut sink);
+                self.host.advance_instant(t, &mut sink);
             }
             outputs.clear();
-            self.device.advance(t, &mut outputs);
+            self.device.advance_instant(t, &mut outputs);
             for o in &outputs {
                 self.host.receive_response(o.resp, o.at);
             }

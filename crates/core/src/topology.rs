@@ -13,28 +13,52 @@
 //!   address space with a [`hmc_types::ChainShard`] (cube-first or
 //!   vault-first interleave);
 //! * adjacent cubes are joined by pass-through [`hmc_mem::link::DeviceLink`]
-//!   pairs, so a forwarded packet pays the full SerDes serialization plus
-//!   retry-protocol cost **again on every hop** — the modeled remote-access
-//!   adder is `transfer_time(request) + transfer_time(response)` per hop;
+//!   serializers, so a forwarded packet pays the full SerDes serialization
+//!   plus retry-protocol cost **again on every hop** — the modeled
+//!   remote-access adder is `transfer_time(request) +
+//!   transfer_time(response)` per hop;
 //! * tracing, metrics, the sanitizer's credit/conservation ledgers, and
 //!   fault scenarios all remain per-cube, and a fleet-wide forward-progress
 //!   watchdog spans the whole chain.
 //!
+//! # Conservative parallel execution
+//!
+//! The chain is organized as one [`CubeShard`] per cube: host, device,
+//! hop-link serializers, and metrics sampler bundled behind a private
+//! event pump that touches no other cube's state. Cross-cube traffic —
+//! request arrivals, response arrivals, and flow-control credits — moves
+//! as timestamped [`sim_engine::pdes::Envelope`]s whose delivery times
+//! carry at least the per-edge SerDes floor (one 16-byte flit through a
+//! pass-through link). That floor is the conservative *lookahead*: shards
+//! advance in lockstep epoch windows no wider than the minimum lookahead,
+//! exchanging envelopes only at epoch boundaries through per-shard
+//! [`sim_engine::pdes::Mailbox`]es drained in total `(at, edge, dir, seq)`
+//! order. Because every shard consumes its events and messages in a
+//! fixed total order that is independent of *where* each epoch executes,
+//! running the shards on [`SystemBuilder::parallel_shards`] worker
+//! threads is bit-identical to running them sequentially — at every cube
+//! count and every worker count. See DESIGN.md §10 for the protocol.
+//!
 //! A single-cube [`ChainSystem`] executes the exact event interleaving of
 //! [`crate::System`] — bit-identical measurements — because the shard is
-//! the identity function, all seeds collapse to their single-system values,
-//! and the pump degenerates to the same host→device→credits→sampler order.
+//! the identity function, all seeds collapse to their single-system
+//! values, and the pump degenerates to the same
+//! host→device→credits→sampler order.
+//!
+//! [`SystemBuilder::parallel_shards`]: crate::SystemBuilder::parallel_shards
 
+use std::collections::VecDeque;
 use std::fmt;
 
 use hmc_host::{Host, HostStats, LinkSink, Workload};
 use hmc_mem::link::{DeviceLink, OutPacket, Transfer};
 use hmc_mem::{DeviceOutput, HmcDevice};
 use hmc_thermal::{FailurePolicy, RecoveryStep, ThermalEvent};
-use hmc_types::packet::{OpKind, TransactionSizes};
+use hmc_types::packet::{OpKind, TransactionSizes, FLIT_BYTES};
 use hmc_types::{
     ChainShard, CubeInterleave, MemoryRequest, MemoryResponse, RequestSize, Time, TimeDelta,
 };
+use sim_engine::pdes::{Envelope, EpochShard, LookaheadTable, Mailbox, MsgKey, ShardPool};
 use sim_engine::{FaultKind, FaultScenario, MetricsSampler, SanitizerReport, ViolationClass};
 
 use crate::system::{RecoveryRecord, SystemConfig, Watchdog};
@@ -142,14 +166,6 @@ impl Topology {
         self.cubes as usize - 1
     }
 
-    /// The `(lo, hi)` cube pair edge `e` joins.
-    fn edge_ends(&self, e: usize) -> (usize, usize) {
-        match self.arrangement {
-            Arrangement::Chain => (e, e + 1),
-            Arrangement::Star => (0, e + 1),
-        }
-    }
-
     /// Hop count between two cubes.
     pub fn hops(&self, from: u8, to: u8) -> u32 {
         match self.arrangement {
@@ -229,88 +245,6 @@ impl fmt::Display for Topology {
     }
 }
 
-/// One direction of one cube-to-cube sub-link: a full [`DeviceLink`] (so
-/// forwarded packets pay the same SerDes serialization, CRC/retry, and
-/// flow-control costs as host traffic) plus the completion bookkeeping the
-/// chain pump drives in place of a device event queue. Requests travel the
-/// hop's direction on the ingress half; responses travel the opposite way
-/// on the egress half.
-#[derive(Debug)]
-struct HopLink {
-    link: DeviceLink,
-    /// Completion instant of the in-flight ingress (request) transfer.
-    ingress_done: Option<Time>,
-    /// Completion instant of the in-flight egress (response) transfer.
-    egress_done: Option<Time>,
-}
-
-impl HopLink {
-    fn new(link: DeviceLink) -> Self {
-        HopLink {
-            link,
-            ingress_done: None,
-            egress_done: None,
-        }
-    }
-
-    /// Starts any transfer the serializers are free for.
-    fn kick(&mut self, now: Time) {
-        if self.ingress_done.is_none() {
-            self.ingress_done = self.link.start_ingress(now);
-        }
-        if self.egress_done.is_none() {
-            self.egress_done = self.link.start_egress(now);
-        }
-    }
-
-    /// Earliest pending completion on this hop.
-    fn next_time(&self) -> Option<Time> {
-        match (self.ingress_done, self.egress_done) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
-    }
-}
-
-/// A cube-to-cube edge: one [`HopLink`] per external sub-link in each
-/// direction, mirroring the host-facing link arrangement so per-hop
-/// bandwidth matches the host-to-cube wires.
-#[derive(Debug)]
-struct Edge {
-    lo: usize,
-    hi: usize,
-    /// Requests lo→hi, responses hi→lo.
-    up: Vec<HopLink>,
-    /// Requests hi→lo, responses lo→hi.
-    down: Vec<HopLink>,
-}
-
-impl Edge {
-    fn hop(&self, up: bool, l: usize) -> &HopLink {
-        if up {
-            &self.up[l]
-        } else {
-            &self.down[l]
-        }
-    }
-
-    fn hop_mut(&mut self, up: bool, l: usize) -> &mut HopLink {
-        if up {
-            &mut self.up[l]
-        } else {
-            &mut self.down[l]
-        }
-    }
-
-    fn next_time(&self) -> Option<Time> {
-        self.up
-            .iter()
-            .chain(&self.down)
-            .filter_map(HopLink::next_time)
-            .min()
-    }
-}
-
 /// The origin cube a request id encodes (the issuing host's shard).
 fn origin_of(id: u64) -> usize {
     (id >> ORIGIN_SHIFT) as usize
@@ -351,24 +285,154 @@ fn repack(resp: &MemoryResponse) -> OutPacket {
     }
 }
 
-/// The transmit sink one sharded host sees: local requests go straight to
-/// the home cube's device; remote requests enter the first pass-through
-/// hop toward their target. Host flow control sees the *tightest* window
-/// along the local fan-out (device ingress and every adjacent outgoing
-/// hop), which is conservative but never over-commits a queue.
-struct ChainSink<'a> {
-    shard: usize,
-    topo: &'a Topology,
-    devices: &'a mut [HmcDevice],
-    edges: &'a mut [Edge],
+/// A cross-shard hop-link message. Delivery times always carry at least
+/// the per-edge lookahead, which is what lets shards advance a whole
+/// epoch without hearing from their neighbours.
+#[derive(Debug, Clone)]
+enum HopMsg {
+    /// A request finished its hop serialization and arrives on sub-link
+    /// `l` of the destination's port for the edge in the key.
+    Req { l: usize, req: MemoryRequest },
+    /// A response finished its hop and arrives on sub-link `l`.
+    Resp { l: usize, pkt: OutPacket },
+    /// Flow-control credit: the receiver handed one of our requests
+    /// downstream, freeing a slot on sub-link `l`.
+    Credit { l: usize },
 }
 
-impl LinkSink for ChainSink<'_> {
+/// The request-transmit half of one hop sub-link, owned by the sending
+/// shard: a full [`DeviceLink`] (so forwarded packets pay the same SerDes
+/// serialization and CRC/retry costs as host traffic — its ingress queue
+/// is the hop's admission window) plus credit-based flow control toward
+/// the receiver's bounded arrival queue.
+#[derive(Debug)]
+struct ReqTx {
+    link: DeviceLink,
+    /// Completion instant of the transfer occupying the serializer.
+    busy_until: Time,
+    /// Remaining receive-queue slots at the far end.
+    credits: usize,
+}
+
+impl ReqTx {
+    /// Starts the next queued transfer at `now` if the serializer is free
+    /// and the receiver has room, resolving the whole CRC/retry exchange
+    /// eagerly: the returned instant is the final delivery time (each
+    /// retry adds the penalty plus a reserialization, exactly as the
+    /// incremental model would), so the arrival can ship as one message.
+    fn try_start(&mut self, now: Time) -> Option<(Time, MemoryRequest)> {
+        if self.credits == 0 || self.busy_until > now {
+            return None;
+        }
+        let mut done = self.link.start_ingress(now)?;
+        let req = loop {
+            match self.link.complete_ingress(done) {
+                Transfer::Retry { next_done, .. } => done = next_done,
+                Transfer::Delivered { payload, .. } => {
+                    self.link.finish_ingress();
+                    break payload;
+                }
+            }
+        };
+        self.credits -= 1;
+        self.busy_until = done;
+        Some((done, req))
+    }
+}
+
+/// The response-transmit half of one hop sub-link, owned by the shard
+/// that forwards responses across the edge. Responses are never
+/// backpressured (matching the unbounded egress path of the host-facing
+/// wires), so there is no credit state.
+#[derive(Debug)]
+struct RespTx {
+    link: DeviceLink,
+    busy_until: Time,
+}
+
+impl RespTx {
+    /// Starts the next queued response transfer at `now` if the
+    /// serializer is free, resolving retries eagerly as
+    /// [`ReqTx::try_start`] does.
+    fn try_start(&mut self, now: Time) -> Option<(Time, OutPacket)> {
+        if self.busy_until > now {
+            return None;
+        }
+        let mut done = self.link.start_egress(now)?;
+        let pkt = loop {
+            match self.link.complete_egress(done) {
+                Transfer::Retry { next_done, .. } => done = next_done,
+                Transfer::Delivered { payload, .. } => {
+                    self.link.finish_egress();
+                    break payload;
+                }
+            }
+        };
+        self.busy_until = done;
+        Some((done, pkt))
+    }
+}
+
+/// One shard's endpoint of one cube-to-cube edge: transmit serializers
+/// toward the peer and arrival queues from it, one of each per external
+/// sub-link.
+#[derive(Debug)]
+struct Port {
+    /// Global edge index (the mailbox ordering key's second field).
+    edge: usize,
+    /// Direction this shard sends in on the edge (0 = lo→hi).
+    dir: u8,
+    /// The adjacent shard.
+    peer: usize,
+    /// Minimum message latency across this edge (the credit delay).
+    lookahead: TimeDelta,
+    /// Next sequence number for messages sent on `(edge, dir)`.
+    seq: u64,
+    req_tx: Vec<ReqTx>,
+    resp_tx: Vec<RespTx>,
+    /// Arrived requests per sub-link; the head parks when the next stage
+    /// is full (head-of-line blocking, as a wire cannot reorder).
+    req_rx: Vec<VecDeque<(Time, MemoryRequest)>>,
+    /// Arrived responses per sub-link; never backpressured.
+    resp_rx: Vec<VecDeque<(Time, OutPacket)>>,
+}
+
+/// Emits a message through `port`, stamping the next `(edge, dir, seq)`
+/// ordering key. Free function so callers can borrow the port and the
+/// outbox from the same shard simultaneously.
+fn send_via(port: &mut Port, outbox: &mut Vec<Envelope<HopMsg>>, at: Time, msg: HopMsg) {
+    let key = MsgKey {
+        at,
+        edge: u32::try_from(port.edge).expect("at most 7 edges in an 8-cube topology"),
+        dir: port.dir,
+        seq: port.seq,
+    };
+    port.seq += 1;
+    outbox.push(Envelope {
+        to: port.peer,
+        key,
+        msg,
+    });
+}
+
+/// The transmit sink one sharded host sees: local requests go straight to
+/// the home cube's device; remote requests enter the request serializer
+/// toward their target. Host flow control sees the *tightest* window
+/// along the local fan-out (device ingress and every adjacent outgoing
+/// hop queue), which is conservative but never over-commits a queue.
+struct ShardSink<'a> {
+    shard: usize,
+    topo: &'a Topology,
+    device: &'a mut HmcDevice,
+    ports: &'a mut [Port],
+    outbox: &'a mut Vec<Envelope<HopMsg>>,
+}
+
+impl LinkSink for ShardSink<'_> {
     fn free_slots(&self, link: usize) -> usize {
-        let mut free = self.devices[self.shard].ingress_free(link);
-        for b in self.topo.neighbors(self.shard) {
-            let (e, up) = self.topo.hop_between(self.shard, b);
-            free = free.min(self.edges[e].hop(up, link).link.ingress_free());
+        let mut free = self.device.ingress_free(link);
+        for p in self.ports.iter() {
+            free = free.min(p.req_tx[link].link.ingress_free());
         }
         free
     }
@@ -376,20 +440,306 @@ impl LinkSink for ChainSink<'_> {
     fn submit(&mut self, link: usize, req: MemoryRequest, now: Time) -> Result<(), MemoryRequest> {
         let dst = req.cube.index() as usize;
         if dst == self.shard {
-            return self.devices[self.shard].submit(link, req, now);
+            return self.device.submit(link, req, now);
         }
         let next = self.topo.next_shard(self.shard, dst);
-        let (e, up) = self.topo.hop_between(self.shard, next);
-        let hop = self.edges[e].hop_mut(up, link);
-        hop.link.enqueue_ingress(req, now)?;
-        hop.kick(now);
+        let port = self
+            .ports
+            .iter_mut()
+            .find(|p| p.peer == next)
+            .expect("route leads to an adjacent port");
+        port.req_tx[link].link.enqueue_ingress(req, now)?;
+        if let Some((done, r)) = port.req_tx[link].try_start(now) {
+            send_via(port, self.outbox, done, HopMsg::Req { l: link, req: r });
+        }
         Ok(())
+    }
+}
+
+/// One cube of the chain, self-contained for epoch execution: its host,
+/// device, metrics sampler, and every hop-link endpoint it drives. The
+/// pump consumes local events and mailbox messages in one deterministic
+/// total order, so the shard computes the same states no matter which
+/// thread (or how many) runs its epochs.
+#[derive(Debug)]
+struct CubeShard {
+    idx: usize,
+    topo: Topology,
+    links: usize,
+    host: Host,
+    device: HmcDevice,
+    sampler: Option<MetricsSampler>,
+    ports: Vec<Port>,
+    inbox: Mailbox<HopMsg>,
+    outbox: Vec<Envelope<HopMsg>>,
+    /// Local clock: the last instant this shard pumped.
+    local_now: Time,
+    /// Scratch buffer for device outputs.
+    outputs: Vec<DeviceOutput>,
+}
+
+impl CubeShard {
+    /// Index of the port facing adjacent shard `peer`.
+    fn port_toward(&self, peer: usize) -> usize {
+        self.ports
+            .iter()
+            .position(|p| p.peer == peer)
+            .expect("route leads to an adjacent port")
+    }
+
+    /// Earliest instant at which this shard has work: a host or device
+    /// event, an undelivered mailbox message, a pending transmit start,
+    /// or a metrics sample. Parked request heads are deliberately
+    /// excluded — they retry when the event that frees their next stage
+    /// fires. Used only on the multi-cube path (the single-cube pump
+    /// mirrors [`crate::System`] exactly, sampler excluded).
+    fn next_time(&self) -> Option<Time> {
+        let mut next: Option<Time> = None;
+        let mut fold = |c: Option<Time>| {
+            if let Some(c) = c {
+                next = Some(next.map_or(c, |n: Time| n.min(c)));
+            }
+        };
+        fold(self.host.next_time());
+        fold(self.device.next_time());
+        fold(self.inbox.peek_at());
+        fold(self.sampler.as_ref().and_then(|s| s.due_before(Time::MAX)));
+        for p in &self.ports {
+            for l in 0..self.links {
+                let tx = &p.req_tx[l];
+                if tx.credits > 0 && tx.link.ingress_backlog() > 0 {
+                    fold(Some(tx.busy_until));
+                }
+                let rtx = &p.resp_tx[l];
+                if rtx.link.egress_backlog() > 0 {
+                    fold(Some(rtx.busy_until));
+                }
+            }
+        }
+        next
+    }
+
+    /// Processes one instant `t` of this shard's timeline: mailbox
+    /// deliveries, host events, device events, hop-link progress, stall
+    /// credits, and metrics samples — the same order per instant as the
+    /// serial chain pump always used.
+    fn pump_instant(&mut self, t: Time) {
+        // 1. Cross-shard messages due by now, in total (at, edge, dir,
+        //    seq) order. Credits open transmit windows; arrivals queue on
+        //    their port and move downstream in step 4.
+        while let Some((key, msg)) = self.inbox.pop_before(t) {
+            let pi = self
+                .ports
+                .iter()
+                .position(|p| p.edge == key.edge as usize)
+                .expect("message addressed to an owned edge");
+            match msg {
+                HopMsg::Req { l, req } => self.ports[pi].req_rx[l].push_back((key.at, req)),
+                HopMsg::Resp { l, pkt } => self.ports[pi].resp_rx[l].push_back((key.at, pkt)),
+                HopMsg::Credit { l } => self.ports[pi].req_tx[l].credits += 1,
+            }
+        }
+        // 2. Host first: its submissions at instants <= t reach a device
+        //    (or hop serializer) whose clock has not passed t yet.
+        {
+            let CubeShard {
+                idx,
+                topo,
+                host,
+                device,
+                ports,
+                outbox,
+                ..
+            } = self;
+            let mut sink = ShardSink {
+                shard: *idx,
+                topo,
+                device,
+                ports,
+                outbox,
+            };
+            host.advance_instant(t, &mut sink);
+        }
+        // 3. Device events; responses route to the local host or back
+        //    into the chain toward their origin cube.
+        let mut outputs = std::mem::take(&mut self.outputs);
+        outputs.clear();
+        self.device.advance_instant(t, &mut outputs);
+        for o in &outputs {
+            self.route_device_output(o);
+        }
+        self.outputs = outputs;
+        // 4. Hop progress: drain arrivals and restart serializers until a
+        //    full sweep makes no progress, so same-instant head-of-line
+        //    unblocking is observed deterministically in port order.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for pi in 0..self.ports.len() {
+                for l in 0..self.links {
+                    // Arrived requests: hand each to the device or the
+                    // next hop; the head parks on downstream-full and the
+                    // sender's credit returns one lookahead later.
+                    while let Some(&(_, req)) = self.ports[pi].req_rx[l].front() {
+                        if self.try_deliver_request(l, req, t).is_err() {
+                            break;
+                        }
+                        self.ports[pi].req_rx[l].pop_front();
+                        let la = self.ports[pi].lookahead;
+                        send_via(
+                            &mut self.ports[pi],
+                            &mut self.outbox,
+                            t + la,
+                            HopMsg::Credit { l },
+                        );
+                        progress = true;
+                    }
+                    // Arrived responses: deliver to the local host or
+                    // re-serialize toward the origin. Never blocks.
+                    while let Some((at, pkt)) = self.ports[pi].resp_rx[l].pop_front() {
+                        self.deliver_response(l, pkt, at);
+                        progress = true;
+                    }
+                    // Restart any serializer freed this instant.
+                    if let Some((done, r)) = self.ports[pi].req_tx[l].try_start(t) {
+                        send_via(
+                            &mut self.ports[pi],
+                            &mut self.outbox,
+                            done,
+                            HopMsg::Req { l, req: r },
+                        );
+                        progress = true;
+                    }
+                    if let Some((done, p)) = self.ports[pi].resp_tx[l].try_start(t) {
+                        send_via(
+                            &mut self.ports[pi],
+                            &mut self.outbox,
+                            done,
+                            HopMsg::Resp { l, pkt: p },
+                        );
+                        progress = true;
+                    }
+                }
+            }
+        }
+        // 5. Wake a stalled host if any fan-out window opened.
+        if self.host.any_node_stalled() {
+            for l in 0..self.links {
+                let mut free = self.device.ingress_free(l);
+                for p in &self.ports {
+                    free = free.min(p.req_tx[l].link.ingress_free());
+                }
+                if free > 0 {
+                    self.host.notify_credit(l, free, t);
+                }
+            }
+        }
+        // 6. Metrics samples due by this instant.
+        if let Some(mut smp) = self.sampler.take() {
+            while let Some(due) = smp.due_before(t) {
+                self.host.sample_metrics(due, &mut smp);
+                self.device.sample_metrics(due, &mut smp);
+                smp.advance();
+            }
+            self.sampler = Some(smp);
+        }
+        self.local_now = self.local_now.max(t);
+    }
+
+    /// Routes one device output: responses to locally-issued requests go
+    /// to the local host (exactly the single-system path); responses to
+    /// forwarded requests re-enter the chain toward their origin cube,
+    /// paying another serialization per hop.
+    fn route_device_output(&mut self, o: &DeviceOutput) {
+        let owner = origin_of(o.resp.id.value());
+        if owner == self.idx || owner >= self.topo.cubes() as usize || o.link >= self.links {
+            // Local traffic — and PIM returns, whose pseudo-link is out of
+            // range — deliver straight to the local host.
+            self.host.receive_response(o.resp, o.at);
+            return;
+        }
+        let next = self.topo.next_shard(self.idx, owner);
+        let pi = self.port_toward(next);
+        self.ports[pi].resp_tx[o.link]
+            .link
+            .push_egress(repack(&o.resp));
+        if let Some((done, pkt)) = self.ports[pi].resp_tx[o.link].try_start(o.at) {
+            send_via(
+                &mut self.ports[pi],
+                &mut self.outbox,
+                done,
+                HopMsg::Resp { l: o.link, pkt },
+            );
+        }
+    }
+
+    /// Attempts to move an arrived request into its next stage (the local
+    /// device, or the next hop toward its cube). `Err` means
+    /// downstream-full: the caller leaves it parked head-of-line.
+    fn try_deliver_request(&mut self, l: usize, req: MemoryRequest, now: Time) -> Result<(), ()> {
+        let dst = req.cube.index() as usize;
+        if dst == self.idx {
+            return self.device.submit(l, req, now).map_err(|_| ());
+        }
+        let next = self.topo.next_shard(self.idx, dst);
+        let pi = self.port_toward(next);
+        self.ports[pi].req_tx[l]
+            .link
+            .enqueue_ingress(req, now)
+            .map_err(|_| ())?;
+        if let Some((done, r)) = self.ports[pi].req_tx[l].try_start(now) {
+            send_via(
+                &mut self.ports[pi],
+                &mut self.outbox,
+                done,
+                HopMsg::Req { l, req: r },
+            );
+        }
+        Ok(())
+    }
+
+    /// Delivers an arrived response: at its origin cube it reaches the
+    /// host (stamped with its wire arrival instant); otherwise it
+    /// re-enters the next hop's response serializer.
+    fn deliver_response(&mut self, l: usize, pkt: OutPacket, at: Time) {
+        let owner = origin_of(pkt.req.id.value());
+        if owner == self.idx || owner >= self.topo.cubes() as usize {
+            self.host.receive_response(response_from(&pkt, at), at);
+            return;
+        }
+        let next = self.topo.next_shard(self.idx, owner);
+        let pi = self.port_toward(next);
+        self.ports[pi].resp_tx[l].link.push_egress(pkt);
+        if let Some((done, p)) = self.ports[pi].resp_tx[l].try_start(at) {
+            send_via(
+                &mut self.ports[pi],
+                &mut self.outbox,
+                done,
+                HopMsg::Resp { l, pkt: p },
+            );
+        }
+    }
+}
+
+impl EpochShard for CubeShard {
+    /// Pumps every instant strictly before `end` — the epoch window is
+    /// half-open, so a message timestamped exactly `end` lands in the
+    /// next epoch on every shard alike.
+    fn pump_epoch(&mut self, end: Time) {
+        while let Some(t) = self.next_time() {
+            if t >= end {
+                break;
+            }
+            self.pump_instant(t);
+        }
     }
 }
 
 /// A chained (or starred) multi-cube system: N sharded hosts, N cubes,
 /// pass-through links between adjacent cubes. With one cube this executes
-/// the exact [`crate::System`] event interleaving.
+/// the exact [`crate::System`] event interleaving; with more, the cubes
+/// advance as conservative-PDES shards (see the module docs) either
+/// serially or on a worker pool — bit-identically.
 ///
 /// ```
 /// use hmc_core::topology::{ChainSystem, Topology};
@@ -408,12 +758,16 @@ impl LinkSink for ChainSink<'_> {
 pub struct ChainSystem {
     cfg: SystemConfig,
     topo: Topology,
-    hosts: Vec<Host>,
-    devices: Vec<HmcDevice>,
-    edges: Vec<Edge>,
+    shards: Vec<CubeShard>,
+    /// Per-edge conservative lookahead (`None` for a single cube, which
+    /// has no edges and no epochs).
+    lookahead: Option<LookaheadTable>,
+    /// Requested epoch worker count (1 = pump shards sequentially).
+    workers: usize,
+    /// Lazily-spawned persistent worker pool (only when `workers > 1` and
+    /// the topology is multi-cube).
+    pool: Option<ShardPool<CubeShard>>,
     now: Time,
-    /// One gauge sampler per cube (series names stay unambiguous).
-    samplers: Vec<Option<MetricsSampler>>,
     watchdog: Option<Watchdog>,
     /// Pending thermal spikes `(at, °C, cube)`, sorted ascending.
     thermal_spikes: Vec<(Time, f64, usize)>,
@@ -430,53 +784,91 @@ impl ChainSystem {
     ///   topology draws the exact single-system streams);
     /// * a device whose link-fault seeds are salted per cube (base seed
     ///   unchanged for cube 0);
-    /// * pass-through hop links toward its neighbors, one per external
-    ///   sub-link per direction.
+    /// * pass-through hop serializers toward its neighbors, one per
+    ///   external sub-link per direction, with credit windows sized to
+    ///   the link layer's retry-buffer depth.
+    ///
+    /// The per-edge lookahead table is fixed here: one 16-byte flit
+    /// through a pass-through link (serialization at wire efficiency plus
+    /// the packet and per-flit overheads) is the smallest latency any
+    /// cross-shard message can carry, and therefore the conservative
+    /// epoch bound.
     pub fn new(cfg: SystemConfig, topo: Topology) -> Self {
         let n = topo.cubes() as usize;
         let shard = topo.shard();
-        let mut hosts = Vec::with_capacity(n);
-        let mut devices = Vec::with_capacity(n);
+        let links = cfg.mem.links.num_links() as usize;
+        let probe = DeviceLink::new(cfg.mem.links, cfg.mem.link_layer);
+        let hop_floor = probe.transfer_time(FLIT_BYTES);
+        let credit_window = cfg.mem.link_layer.retry_buffer_depth;
+        let mut shards = Vec::with_capacity(n);
         for s in 0..n {
             let mut hc = cfg.host.clone();
             hc.shard = shard;
             hc.request_id_base = (s as u64) << ORIGIN_SHIFT;
             hc.rng_salt = (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            hosts.push(Host::new(hc));
+            let host = Host::new(hc);
             let mut mc = cfg.mem.clone();
             mc.link_seed = cfg.mem.link_seed ^ ((s as u64) << 8);
-            devices.push(HmcDevice::new(mc));
-        }
-        let links = cfg.mem.links.num_links() as usize;
-        let mut edges = Vec::with_capacity(topo.edge_count());
-        for e in 0..topo.edge_count() {
-            let (lo, hi) = topo.edge_ends(e);
-            let mk = |dir: u64| -> Vec<HopLink> {
-                (0..links)
-                    .map(|l| {
-                        HopLink::new(DeviceLink::with_seed(
-                            cfg.mem.links,
-                            cfg.mem.link_layer,
-                            0xED6E ^ ((e as u64) << 12) ^ (dir << 8) ^ l as u64,
-                        ))
-                    })
-                    .collect()
-            };
-            edges.push(Edge {
-                lo,
-                hi,
-                up: mk(0),
-                down: mk(1),
+            let device = HmcDevice::new(mc);
+            let mut ports = Vec::new();
+            for b in topo.neighbors(s) {
+                let (e, up) = topo.hop_between(s, b);
+                let dir: u8 = if up { 0 } else { 1 };
+                ports.push(Port {
+                    edge: e,
+                    dir,
+                    peer: b,
+                    lookahead: hop_floor,
+                    seq: 0,
+                    req_tx: (0..links)
+                        .map(|l| ReqTx {
+                            link: DeviceLink::with_seed(
+                                cfg.mem.links,
+                                cfg.mem.link_layer,
+                                0xED6E ^ ((e as u64) << 12) ^ (u64::from(dir) << 8) ^ l as u64,
+                            ),
+                            busy_until: Time::ZERO,
+                            credits: credit_window,
+                        })
+                        .collect(),
+                    resp_tx: (0..links)
+                        .map(|l| RespTx {
+                            link: DeviceLink::with_seed(
+                                cfg.mem.links,
+                                cfg.mem.link_layer,
+                                0xC4E5 ^ ((e as u64) << 12) ^ (u64::from(dir) << 8) ^ l as u64,
+                            ),
+                            busy_until: Time::ZERO,
+                        })
+                        .collect(),
+                    req_rx: (0..links).map(|_| VecDeque::new()).collect(),
+                    resp_rx: (0..links).map(|_| VecDeque::new()).collect(),
+                });
+            }
+            shards.push(CubeShard {
+                idx: s,
+                topo,
+                links,
+                host,
+                device,
+                sampler: None,
+                ports,
+                inbox: Mailbox::new(),
+                outbox: Vec::new(),
+                local_now: Time::ZERO,
+                outputs: Vec::new(),
             });
         }
+        let lookahead = (topo.edge_count() > 0)
+            .then(|| LookaheadTable::new(vec![hop_floor; topo.edge_count()]));
         ChainSystem {
             cfg,
             topo,
-            hosts,
-            devices,
-            edges,
+            shards,
+            lookahead,
+            workers: 1,
+            pool: None,
             now: Time::ZERO,
-            samplers: (0..n).map(|_| None).collect(),
             watchdog: None,
             thermal_spikes: Vec::new(),
             policy: FailurePolicy::default(),
@@ -491,62 +883,85 @@ impl ChainSystem {
 
     /// Number of cubes.
     pub fn cubes(&self) -> usize {
-        self.hosts.len()
+        self.shards.len()
     }
 
     /// The host of cube `s`.
     pub fn host(&self, s: usize) -> &Host {
-        &self.hosts[s]
+        &self.shards[s].host
     }
 
     /// Mutable host access (workload installation, stat windows).
     pub fn host_mut(&mut self, s: usize) -> &mut Host {
-        &mut self.hosts[s]
+        &mut self.shards[s].host
     }
 
     /// The device of cube `s`.
     pub fn device(&self, s: usize) -> &HmcDevice {
-        &self.devices[s]
+        &self.shards[s].device
     }
 
     /// Mutable device access.
     pub fn device_mut(&mut self, s: usize) -> &mut HmcDevice {
-        &mut self.devices[s]
+        &mut self.shards[s].device
+    }
+
+    /// Sets how many worker threads pump shard epochs: `<= 1` keeps the
+    /// serial scheduler; more spread the cubes over a persistent pool.
+    /// Results are bit-identical at every setting (the pool changes only
+    /// where an epoch runs, never what it computes), so this is purely a
+    /// wall-clock knob. A single-cube system always runs serially.
+    pub fn set_parallel_shards(&mut self, workers: usize) {
+        let workers = workers.max(1);
+        if workers != self.workers {
+            self.workers = workers;
+            self.pool = None;
+        }
+    }
+
+    /// The configured epoch worker count.
+    pub fn parallel_shards(&self) -> usize {
+        self.workers
+    }
+
+    /// The conservative lookahead table (`None` for a single cube).
+    pub fn lookahead(&self) -> Option<&LookaheadTable> {
+        self.lookahead.as_ref()
     }
 
     /// Installs the same workload on every sharded host.
     pub fn apply_workload(&mut self, w: &Workload) {
-        for h in &mut self.hosts {
-            h.apply_workload(w);
+        for sh in &mut self.shards {
+            sh.host.apply_workload(w);
         }
     }
 
     /// Starts every host's generators at `now`.
     pub fn start(&mut self, now: Time) {
-        for h in &mut self.hosts {
-            h.start(now);
+        for sh in &mut self.shards {
+            sh.host.start(now);
         }
     }
 
     /// Stops every host's generators (outstanding responses still drain).
     pub fn stop_generation(&mut self) {
-        for h in &mut self.hosts {
-            h.stop_generation();
+        for sh in &mut self.shards {
+            sh.host.stop_generation();
         }
     }
 
     /// Clears every host's measurement window.
     pub fn reset_stats(&mut self) {
-        for h in &mut self.hosts {
-            h.reset_stats();
+        for sh in &mut self.shards {
+            sh.host.reset_stats();
         }
     }
 
     /// Merged measurement window across all hosts.
     pub fn host_stats(&self) -> HostStats {
         let mut agg = HostStats::default();
-        for h in &self.hosts {
-            let s = h.stats();
+        for sh in &self.shards {
+            let s = sh.host.stats();
             agg.reads_issued += s.reads_issued;
             agg.writes_issued += s.writes_issued;
             agg.reads_completed += s.reads_completed;
@@ -572,24 +987,22 @@ impl ChainSystem {
 
     /// Turns on lifecycle tracing on every host and device tracer.
     pub fn enable_tracing(&mut self, sample_every: u64) {
-        for h in &mut self.hosts {
-            h.tracer_mut().enable(sample_every);
-        }
-        for d in &mut self.devices {
-            d.tracer_mut().enable(sample_every);
+        for sh in &mut self.shards {
+            sh.host.tracer_mut().enable(sample_every);
+            sh.device.tracer_mut().enable(sample_every);
         }
     }
 
     /// Installs one periodic gauge sampler per cube.
     pub fn enable_metrics(&mut self, period: TimeDelta) {
-        for s in &mut self.samplers {
-            *s = Some(MetricsSampler::new(period));
+        for sh in &mut self.shards {
+            sh.sampler = Some(MetricsSampler::new(period));
         }
     }
 
     /// Cube `s`'s gauge sampler, if metrics are enabled.
     pub fn metrics(&self, s: usize) -> Option<&MetricsSampler> {
-        self.samplers[s].as_ref()
+        self.shards[s].sampler.as_ref()
     }
 
     /// Arms the protocol sanitizer on every host and device plus the
@@ -602,11 +1015,9 @@ impl ChainSystem {
     /// [`enable_sanitizer`](ChainSystem::enable_sanitizer) with an
     /// explicit watchdog span.
     pub fn enable_sanitizer_with_span(&mut self, span: TimeDelta) {
-        for h in &mut self.hosts {
-            h.enable_sanitizer();
-        }
-        for d in &mut self.devices {
-            d.enable_sanitizer();
+        for sh in &mut self.shards {
+            sh.host.enable_sanitizer();
+            sh.device.enable_sanitizer();
         }
         self.watchdog = Some(Watchdog {
             span,
@@ -618,19 +1029,19 @@ impl ChainSystem {
 
     /// True once the sanitizer is armed.
     pub fn sanitizer_enabled(&self) -> bool {
-        self.hosts[0].sanitizer().is_enabled()
+        self.shards[0].host.sanitizer().is_enabled()
     }
 
     /// The merged sanitizer outcome: hosts in cube order first, then
     /// devices — deterministic violation order, and the cube-0 pair comes
     /// out exactly as [`crate::System::sanitizer_report`] for one cube.
     pub fn sanitizer_report(&self) -> SanitizerReport {
-        let mut r = self.hosts[0].sanitizer().report();
-        for h in &self.hosts[1..] {
-            r.merge(&h.sanitizer().report());
+        let mut r = self.shards[0].host.sanitizer().report();
+        for sh in &self.shards[1..] {
+            r.merge(&sh.host.sanitizer().report());
         }
-        for d in &self.devices {
-            r.merge(&d.sanitizer().report());
+        for sh in &self.shards {
+            r.merge(&sh.device.sanitizer().report());
         }
         r
     }
@@ -639,8 +1050,8 @@ impl ChainSystem {
     /// once the run has drained.
     pub fn sanitize_check_drained(&mut self) {
         let now = self.now;
-        for h in &mut self.hosts {
-            h.sanitizer_mut().check_drained(now);
+        for sh in &mut self.shards {
+            sh.host.sanitizer_mut().check_drained(now);
         }
     }
 
@@ -656,20 +1067,27 @@ impl ChainSystem {
                 FaultKind::ThermalSpike { surface_c } => {
                     self.thermal_spikes.push((ev.at, surface_c, cube));
                 }
-                kind => self.devices[cube].schedule_fault(ev.at, kind),
+                kind => self.shards[cube].device.schedule_fault(ev.at, kind),
             }
         }
         self.thermal_spikes
             .sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)).then(a.2.cmp(&b.2)));
     }
 
-    /// Arms a bit-error rate on every sub-link of cube-to-cube edge `e`
-    /// (both directions) — the hop-level analogue of the `noisy-link`
-    /// scenario.
+    /// Arms a bit-error rate on every hop serializer of cube-to-cube edge
+    /// `e` (both directions, requests and responses) — the hop-level
+    /// analogue of the `noisy-link` scenario.
     pub fn set_hop_bit_error_rate(&mut self, e: usize, ber: f64) {
-        let edge = &mut self.edges[e];
-        for hop in edge.up.iter_mut().chain(edge.down.iter_mut()) {
-            hop.link.set_bit_error_rate(ber);
+        for sh in &mut self.shards {
+            for p in &mut sh.ports {
+                if p.edge != e {
+                    continue;
+                }
+                for l in 0..sh.links {
+                    p.req_tx[l].link.set_bit_error_rate(ber);
+                    p.resp_tx[l].link.set_bit_error_rate(ber);
+                }
+            }
         }
     }
 
@@ -685,12 +1103,10 @@ impl ChainSystem {
 
     /// Total discrete events processed across all hosts and devices.
     pub fn events_processed(&self) -> u64 {
-        self.hosts.iter().map(Host::events_processed).sum::<u64>()
-            + self
-                .devices
-                .iter()
-                .map(HmcDevice::events_processed)
-                .sum::<u64>()
+        self.shards
+            .iter()
+            .map(|sh| sh.host.events_processed() + sh.device.events_processed())
+            .sum()
     }
 
     /// The system clock.
@@ -700,53 +1116,55 @@ impl ChainSystem {
 
     /// True while any host has outstanding work.
     pub fn is_busy(&self) -> bool {
-        self.hosts.iter().any(Host::is_busy)
+        self.shards.iter().any(|sh| sh.host.is_busy())
     }
 
-    /// Deterministic dump of every cube's occupancies plus hop-link
+    /// Deterministic dump of every cube's occupancies plus hop-port
     /// backlogs — the watchdog's diagnostic body.
     pub fn diagnostic_dump(&self) -> String {
         let mut s = format!("chain wedged at {} ({})\n", self.now, self.topo);
-        for (i, (h, d)) in self.hosts.iter().zip(&self.devices).enumerate() {
-            s.push_str(&format!("-- cube {i}\n"));
-            s.push_str(&h.diagnostic_dump(self.now));
-            s.push_str(&d.diagnostic_dump(self.now));
-        }
-        for (e, edge) in self.edges.iter().enumerate() {
-            let up: usize = edge
-                .up
-                .iter()
-                .map(|h| h.link.ingress_backlog() + h.link.egress_backlog())
-                .sum();
-            let down: usize = edge
-                .down
-                .iter()
-                .map(|h| h.link.ingress_backlog() + h.link.egress_backlog())
-                .sum();
-            s.push_str(&format!(
-                "edge {e} ({}<->{}): up backlog {up}, down backlog {down}\n",
-                edge.lo, edge.hi
-            ));
+        for sh in &self.shards {
+            s.push_str(&format!("-- cube {}\n", sh.idx));
+            s.push_str(&sh.host.diagnostic_dump(self.now));
+            s.push_str(&sh.device.diagnostic_dump(self.now));
+            for p in &sh.ports {
+                let tx: usize = (0..sh.links)
+                    .map(|l| {
+                        p.req_tx[l].link.ingress_backlog() + p.resp_tx[l].link.egress_backlog()
+                    })
+                    .sum();
+                let rx: usize = (0..sh.links)
+                    .map(|l| p.req_rx[l].len() + p.resp_rx[l].len())
+                    .sum();
+                let credits: usize = (0..sh.links).map(|l| p.req_tx[l].credits).sum();
+                s.push_str(&format!(
+                    "port ->{} (edge {}): tx backlog {tx}, rx queued {rx}, credits {credits}\n",
+                    p.peer, p.edge
+                ));
+            }
+            if !sh.inbox.is_empty() {
+                s.push_str(&format!("inbox pending {}\n", sh.inbox.len()));
+            }
         }
         s
     }
 
     fn completed(&self) -> u64 {
-        self.hosts
+        self.shards
             .iter()
-            .map(|h| h.total_issued() - h.outstanding())
+            .map(|sh| sh.host.total_issued() - sh.host.outstanding())
             .sum()
     }
 
     fn outstanding(&self) -> u64 {
-        self.hosts.iter().map(Host::outstanding).sum()
+        self.shards.iter().map(|sh| sh.host.outstanding()).sum()
     }
 
     /// Fleet-wide forward-progress check (same contract as the
     /// single-system watchdog; the violation lands on cube 0's host
     /// sanitizer so the merged report carries exactly one dump).
     fn watchdog_check(&mut self, now: Time) {
-        let Some(mut wd) = self.watchdog else {
+        let Some(mut wd) = self.watchdog.take() else {
             return;
         };
         let completed = self.completed();
@@ -761,9 +1179,11 @@ impl ChainSystem {
                 self.outstanding(),
                 self.diagnostic_dump(),
             );
-            self.hosts[0]
-                .sanitizer_mut()
-                .note_violation(ViolationClass::Watchdog, now, detail);
+            self.shards[0].host.sanitizer_mut().note_violation(
+                ViolationClass::Watchdog,
+                now,
+                detail,
+            );
         }
         self.watchdog = Some(wd);
     }
@@ -784,10 +1204,10 @@ impl ChainSystem {
     }
 
     fn apply_thermal_spike(&mut self, cube: usize, at: Time, surface_c: f64) {
-        let writes = self.devices[cube].stats().writes_completed > 0;
+        let writes = self.shards[cube].device.stats().writes_completed > 0;
         match self.policy.check(surface_c, writes) {
             Ok(ThermalEvent::Normal) => {}
-            Ok(ThermalEvent::RefreshBoost) => self.devices[cube].set_refresh_multiplier(2),
+            Ok(ThermalEvent::RefreshBoost) => self.shards[cube].device.set_refresh_multiplier(2),
             Err(_) => self.thermal_shutdown(cube, at, surface_c),
         }
     }
@@ -803,8 +1223,8 @@ impl ChainSystem {
             steps.push((step, d));
             resume += d;
         }
-        self.devices[cube].reset_after_shutdown(resume);
-        let replayed = self.hosts[cube].reset_for_recovery(resume);
+        self.shards[cube].device.reset_after_shutdown(resume);
+        let replayed = self.shards[cube].host.reset_for_recovery(resume);
         if let Some(wd) = &mut self.watchdog {
             wd.last_progress = resume;
         }
@@ -821,236 +1241,135 @@ impl ChainSystem {
         ));
     }
 
-    /// Conservative free-window computation host `s` flow control sees on
-    /// sub-link `l` (device ingress min'd with every adjacent outgoing
-    /// hop).
-    fn free_slots_for(&self, s: usize, l: usize) -> usize {
-        let mut free = self.devices[s].ingress_free(l);
-        for b in self.topo.neighbors(s) {
-            let (e, up) = self.topo.hop_between(s, b);
-            free = free.min(self.edges[e].hop(up, l).link.ingress_free());
+    /// The event-pump core. One cube runs the exact [`crate::System`]
+    /// loop; more cubes run the conservative epoch scheduler, serially or
+    /// on the worker pool — all three paths compute bit-identical states.
+    fn step_events_until(&mut self, end: Time) {
+        if self.shards.len() == 1 {
+            self.step_single_until(end);
+        } else {
+            self.step_epochs_until(end);
         }
-        free
     }
 
-    /// The event-pump core. With one cube this is statement-for-statement
-    /// the [`crate::System::step_events_until`] loop (the edge set is
-    /// empty), which is what makes single-cube runs bit-identical.
-    fn step_events_until(&mut self, end: Time) {
-        let links = self.cfg.mem.links.num_links() as usize;
-        let mut outputs: Vec<DeviceOutput> = Vec::new();
+    /// The single-cube pump: statement for statement the
+    /// [`crate::System::step_events_until`] loop (there are no ports),
+    /// which is what makes single-cube runs bit-identical.
+    fn step_single_until(&mut self, end: Time) {
         loop {
-            let mut next: Option<Time> = None;
-            for c in self
-                .hosts
-                .iter()
-                .map(Host::next_time)
-                .chain(self.devices.iter().map(HmcDevice::next_time))
-                .chain(self.edges.iter().map(Edge::next_time))
-                .flatten()
-            {
-                next = Some(next.map_or(c, |n: Time| n.min(c)));
-            }
-            let Some(t) = next else { break };
+            let sh = &mut self.shards[0];
+            let t = match (sh.host.next_time(), sh.device.next_time()) {
+                (Some(h), Some(d)) => h.min(d),
+                (Some(h), None) => h,
+                (None, Some(d)) => d,
+                (None, None) => break,
+            };
             if t > end {
                 break;
             }
-            // Hosts first: submissions at instants <= t reach devices and
-            // hops whose clocks have not passed t yet.
+            // Host first: its submissions at instants <= t reach a device
+            // whose clock has not passed t yet.
             {
-                let ChainSystem {
+                let CubeShard {
+                    idx,
                     topo,
-                    hosts,
-                    devices,
-                    edges,
+                    host,
+                    device,
+                    ports,
+                    outbox,
                     ..
-                } = self;
-                for (s, host) in hosts.iter_mut().enumerate() {
-                    let mut sink = ChainSink {
-                        shard: s,
-                        topo,
-                        devices,
-                        edges,
-                    };
-                    host.advance(t, &mut sink);
-                }
+                } = sh;
+                let mut sink = ShardSink {
+                    shard: *idx,
+                    topo,
+                    device,
+                    ports,
+                    outbox,
+                };
+                host.advance_instant(t, &mut sink);
             }
-            for s in 0..self.devices.len() {
-                outputs.clear();
-                self.devices[s].advance(t, &mut outputs);
-                for o in &outputs {
-                    self.route_device_output(s, o, links);
-                }
+            let mut outputs = std::mem::take(&mut sh.outputs);
+            outputs.clear();
+            sh.device.advance_instant(t, &mut outputs);
+            for o in &outputs {
+                sh.host.receive_response(o.resp, o.at);
             }
-            self.pump_edges(t, links);
-            for s in 0..self.hosts.len() {
-                if self.hosts[s].any_node_stalled() {
-                    for l in 0..links {
-                        let free = self.free_slots_for(s, l);
-                        if free > 0 {
-                            self.hosts[s].notify_credit(l, free, t);
-                        }
+            sh.outputs = outputs;
+            if sh.host.any_node_stalled() {
+                for l in 0..sh.links {
+                    let free = sh.device.ingress_free(l);
+                    if free > 0 {
+                        sh.host.notify_credit(l, free, t);
                     }
                 }
             }
-            for s in 0..self.samplers.len() {
-                if let Some(mut smp) = self.samplers[s].take() {
-                    while let Some(due) = smp.due_before(t) {
-                        self.hosts[s].sample_metrics(due, &mut smp);
-                        self.devices[s].sample_metrics(due, &mut smp);
-                        smp.advance();
-                    }
-                    self.samplers[s] = Some(smp);
+            if let Some(mut smp) = sh.sampler.take() {
+                while let Some(due) = smp.due_before(t) {
+                    sh.host.sample_metrics(due, &mut smp);
+                    sh.device.sample_metrics(due, &mut smp);
+                    smp.advance();
                 }
+                sh.sampler = Some(smp);
             }
+            sh.local_now = t;
             self.now = t;
             self.watchdog_check(t);
+        }
+        self.now = self.now.max(end);
+        // A wedged system can drain both event queues while requests are
+        // still outstanding: the loop above exits immediately, so the
+        // watchdog must also see the end-of-step instant.
+        self.watchdog_check(self.now);
+    }
+
+    /// The multi-cube pump: lockstep epochs bounded by the global
+    /// lookahead, with deterministic mailbox exchange at every barrier.
+    fn step_epochs_until(&mut self, end: Time) {
+        let delta = self
+            .lookahead
+            .as_ref()
+            .expect("multi-cube topologies have edges")
+            .global();
+        // Epoch windows are half-open, so covering every event at or
+        // before `end` means capping windows at `end + 1 ps`.
+        let cap = Time::from_ps(end.as_ps().saturating_add(1));
+        if self.workers > 1 && self.pool.is_none() {
+            self.pool = Some(ShardPool::new(self.workers.min(self.shards.len())));
+        }
+        while let Some(next) = self.shards.iter().filter_map(CubeShard::next_time).min() {
+            if next >= cap {
+                break;
+            }
+            // No shard has work before `next`, so every message emitted
+            // in this window is timestamped >= next + delta: the window
+            // [next, next + delta) is conservative.
+            let window = (next + delta).min(cap);
+            if let Some(pool) = (self.workers > 1).then_some(self.pool.as_mut()).flatten() {
+                let owned: Vec<(usize, CubeShard)> = self.shards.drain(..).enumerate().collect();
+                let back = pool.run_epoch(owned, window);
+                self.shards.extend(back.into_iter().map(|(_, sh)| sh));
+            } else {
+                for sh in &mut self.shards {
+                    sh.pump_epoch(window);
+                }
+            }
+            self.exchange();
+            self.now = self.now.max(next);
+            self.watchdog_check(self.now);
         }
         self.now = self.now.max(end);
         self.watchdog_check(self.now);
     }
 
-    /// Routes one device output: responses to locally-issued requests go
-    /// to the local host (exactly the single-system path); responses to
-    /// forwarded requests re-enter the chain toward their origin cube,
-    /// paying another serialization per hop.
-    fn route_device_output(&mut self, s: usize, o: &DeviceOutput, links: usize) {
-        let owner = origin_of(o.resp.id.value());
-        if owner == s || owner >= self.cubes() || o.link >= links {
-            // Local traffic — and PIM returns, whose pseudo-link is out of
-            // range — deliver straight to the local host.
-            self.hosts[s].receive_response(o.resp, o.at);
-            return;
-        }
-        let next = self.topo.next_shard(s, owner);
-        // A response from `s` toward `next` rides the egress half of the
-        // hop whose request direction is `next -> s`.
-        let (e, up) = self.topo.hop_between(next, s);
-        let hop = self.edges[e].hop_mut(up, o.link);
-        hop.link.push_egress(repack(&o.resp));
-        hop.kick(o.at);
-    }
-
-    /// Attempts to move a request that finished a hop into its next stage
-    /// (the local device, or the next hop toward its cube). Returns the
-    /// request back on downstream-full, so the hop can park it head-of-line
-    /// blocked.
-    fn try_deliver_request(
-        &mut self,
-        arrival: usize,
-        l: usize,
-        req: MemoryRequest,
-        now: Time,
-    ) -> Result<(), MemoryRequest> {
-        let dst = req.cube.index() as usize;
-        if dst == arrival {
-            return self.devices[arrival].submit(l, req, now);
-        }
-        let next = self.topo.next_shard(arrival, dst);
-        let (e, up) = self.topo.hop_between(arrival, next);
-        let hop = self.edges[e].hop_mut(up, l);
-        hop.link.enqueue_ingress(req, now)?;
-        hop.kick(now);
-        Ok(())
-    }
-
-    /// Delivers a response that finished a hop: at its origin cube it
-    /// reaches the host; otherwise it re-enters the next hop's egress.
-    fn deliver_response(&mut self, arrival: usize, l: usize, pkt: OutPacket, now: Time) {
-        let owner = origin_of(pkt.req.id.value());
-        if owner == arrival || owner >= self.cubes() {
-            self.hosts[arrival].receive_response(response_from(&pkt, now), now);
-            return;
-        }
-        let next = self.topo.next_shard(arrival, owner);
-        let (e, up) = self.topo.hop_between(next, arrival);
-        let hop = self.edges[e].hop_mut(up, l);
-        hop.link.push_egress(pkt);
-        hop.kick(now);
-    }
-
-    /// Drains every hop completion at or before `t` and restarts idle
-    /// serializers. Passes repeat until a full sweep makes no progress, so
-    /// same-instant head-of-line unblocking (a device freeing a slot this
-    /// very instant) is observed deterministically in edge order.
-    fn pump_edges(&mut self, t: Time, links: usize) {
-        let mut progress = true;
-        while progress {
-            progress = false;
-            for e in 0..self.edges.len() {
-                for up in [true, false] {
-                    for l in 0..links {
-                        // Retry a head-of-line blocked request first: the
-                        // downstream queue may have freed since last pass.
-                        if self.edges[e].hop(up, l).link.blocked_request().is_some() {
-                            let req = self.edges[e]
-                                .hop_mut(up, l)
-                                .link
-                                .take_blocked()
-                                .expect("blocked head checked above");
-                            let arrival = self.edge_arrival(e, up);
-                            match self.try_deliver_request(arrival, l, req, t) {
-                                Ok(()) => progress = true,
-                                Err(back) => self.edges[e].hop_mut(up, l).link.block_head(back),
-                            }
-                        }
-                        // Ingress (request) completions.
-                        while let Some(done) = self.edges[e].hop(up, l).ingress_done {
-                            if done > t {
-                                break;
-                            }
-                            match self.edges[e].hop_mut(up, l).link.complete_ingress(done) {
-                                Transfer::Retry { next_done, .. } => {
-                                    self.edges[e].hop_mut(up, l).ingress_done = Some(next_done);
-                                }
-                                Transfer::Delivered { payload: req, .. } => {
-                                    let hop = self.edges[e].hop_mut(up, l);
-                                    hop.link.finish_ingress();
-                                    hop.ingress_done = None;
-                                    let arrival = self.edge_arrival(e, up);
-                                    if let Err(back) = self.try_deliver_request(arrival, l, req, t)
-                                    {
-                                        self.edges[e].hop_mut(up, l).link.block_head(back);
-                                    }
-                                    progress = true;
-                                }
-                            }
-                        }
-                        // Egress (response) completions.
-                        while let Some(done) = self.edges[e].hop(up, l).egress_done {
-                            if done > t {
-                                break;
-                            }
-                            match self.edges[e].hop_mut(up, l).link.complete_egress(done) {
-                                Transfer::Retry { next_done, .. } => {
-                                    self.edges[e].hop_mut(up, l).egress_done = Some(next_done);
-                                }
-                                Transfer::Delivered { payload: pkt, .. } => {
-                                    let hop = self.edges[e].hop_mut(up, l);
-                                    hop.link.finish_egress();
-                                    hop.egress_done = None;
-                                    // Egress travels opposite to the hop
-                                    // direction.
-                                    let arrival = self.edge_arrival(e, !up);
-                                    self.deliver_response(arrival, l, pkt, done);
-                                    progress = true;
-                                }
-                            }
-                        }
-                        self.edges[e].hop_mut(up, l).kick(t);
-                    }
-                }
+    /// Routes every envelope emitted during the last epoch into its
+    /// destination shard's mailbox. Arrival order is irrelevant: the
+    /// mailbox pops in total key order.
+    fn exchange(&mut self) {
+        for i in 0..self.shards.len() {
+            let envs = std::mem::take(&mut self.shards[i].outbox);
+            for env in envs {
+                self.shards[env.to].inbox.push(env.key, env.msg);
             }
-        }
-    }
-
-    /// The cube a transfer moving in direction `up` on edge `e` arrives
-    /// at.
-    fn edge_arrival(&self, e: usize, up: bool) -> usize {
-        if up {
-            self.edges[e].hi
-        } else {
-            self.edges[e].lo
         }
     }
 
@@ -1063,15 +1382,20 @@ impl ChainSystem {
                 return true;
             }
             let spike = self.thermal_spikes.first().map(|&(t, _, _)| t);
-            let next = self
-                .hosts
-                .iter()
-                .map(Host::next_time)
-                .chain(self.devices.iter().map(HmcDevice::next_time))
-                .chain(self.edges.iter().map(Edge::next_time))
-                .chain([spike])
-                .flatten()
-                .min();
+            let next = if self.shards.len() == 1 {
+                // The exact single-system jump computation.
+                let sh = &self.shards[0];
+                [sh.host.next_time(), sh.device.next_time(), spike]
+                    .into_iter()
+                    .flatten()
+                    .min()
+            } else {
+                self.shards
+                    .iter()
+                    .filter_map(CubeShard::next_time)
+                    .chain(spike)
+                    .min()
+            };
             let Some(next) = next else {
                 return !self.is_busy();
             };
@@ -1214,5 +1538,18 @@ mod tests {
         sys.sanitize_check_drained();
         let report = sys.sanitizer_report();
         assert!(report.is_clean(), "{}", report.to_json());
+    }
+
+    #[test]
+    fn lookahead_is_the_single_flit_floor() {
+        let sys = ChainSystem::new(SystemConfig::default(), Topology::chain(3));
+        let la = sys.lookahead().expect("multi-cube lookahead");
+        assert_eq!(la.edges(), 2);
+        let probe = DeviceLink::new(sys.cfg.mem.links, sys.cfg.mem.link_layer);
+        assert_eq!(la.global(), probe.transfer_time(FLIT_BYTES));
+        assert!(la.global() > TimeDelta::ZERO);
+        // Single cube: no edges, no epochs, no table.
+        let solo = ChainSystem::new(SystemConfig::default(), Topology::single());
+        assert!(solo.lookahead().is_none());
     }
 }

@@ -5,10 +5,13 @@
 //! iteration-order dependence: a randomized container in a simulation
 //! path shows up here as a flaky byte-level mismatch.
 
-use hmc_core::hmc_types::TimeDelta;
+use hmc_core::hmc_types::{RequestKind, RequestSize, Time, TimeDelta};
 use hmc_core::measure::MeasureConfig;
 use hmc_core::sanitize::fig9_bandwidth_subset;
-use hmc_core::SystemConfig;
+use hmc_core::topology::Topology;
+use hmc_core::{SystemBuilder, SystemConfig};
+use hmc_host::Workload;
+use sim_engine::FaultScenario;
 
 fn tiny() -> MeasureConfig {
     MeasureConfig {
@@ -41,4 +44,65 @@ fn sanitized_reruns_agree_including_reports() {
     // order, so the JSON reports are byte-identical too.
     assert_eq!(a.report.to_json(), b.report.to_json());
     assert_eq!(a.report.to_string(), b.report.to_string());
+}
+
+/// Runs an eight-cube chain under the noisy-link scenario on every cube
+/// (sanitizer armed) on `workers` epoch threads and returns the full
+/// serialized surface: the sanitizer's `JsonReport` plus a flattened
+/// stats line.
+fn noisy_octet(workers: usize) -> String {
+    let scenario = FaultScenario::builtin("noisy-link").expect("builtin scenario");
+    let mut sys = SystemBuilder::new(SystemConfig::default())
+        .sanitizer()
+        .faults(&scenario)
+        .parallel_shards(workers)
+        .topology(Topology::chain(8))
+        .build_chain();
+    sys.apply_workload(&Workload::full_scale(
+        RequestKind::ReadOnly,
+        RequestSize::new(128).expect("size"),
+    ));
+    sys.start(Time::ZERO);
+    sys.run_for(TimeDelta::from_us(5));
+    sys.stop_generation();
+    assert!(
+        sys.run_until_idle(TimeDelta::from_ms(10)),
+        "noisy 8-cube chain on {workers} workers failed to drain"
+    );
+    sys.sanitize_check_drained();
+    let report = sys.sanitizer_report();
+    let s = sys.host_stats();
+    let retries: u64 = (0..sys.cubes())
+        .map(|c| sys.device(c).stats().link_retries)
+        .sum();
+    format!(
+        "{}\nreads={} bytes={} lat_mean={} retries={} events={} now={}",
+        report.to_json(),
+        s.reads_completed,
+        s.counted_bytes,
+        s.read_latency.mean().as_ps(),
+        retries,
+        sys.events_processed(),
+        sys.now().as_ps(),
+    )
+}
+
+#[test]
+fn noisy_chain_json_report_is_identical_across_shard_counts() {
+    // The parallel epoch scheduler must not perturb a single byte of the
+    // serialized report, even with link-retry randomness live on all
+    // eight cubes' host links.
+    let serial = noisy_octet(1);
+    assert!(
+        serial.contains("\"clean\":true"),
+        "noisy chain must sanitize clean: {serial}"
+    );
+    assert!(serial.contains("retries="), "fingerprint missing stats");
+    for workers in [2, 4, 8] {
+        assert_eq!(
+            serial,
+            noisy_octet(workers),
+            "JsonReport diverged at {workers} epoch workers"
+        );
+    }
 }

@@ -169,6 +169,75 @@ fn run_noisy_pair() -> (String, u64, u64, u64) {
     )
 }
 
+/// Runs a `cubes`-cube chain with the sanitizer armed on `workers` epoch
+/// workers and flattens every observable surface — merged host window,
+/// per-cube device counters, event totals, final clock, and the full
+/// sanitizer report — into one comparable string.
+fn run_sharded(cubes: u8, workers: usize) -> String {
+    let mut sys = ChainSystem::new(SystemConfig::default(), Topology::chain(cubes));
+    sys.set_parallel_shards(workers);
+    sys.enable_sanitizer();
+    sys.apply_workload(&Workload::full_scale(
+        RequestKind::ReadOnly,
+        RequestSize::new(128).expect("size"),
+    ));
+    sys.start(Time::ZERO);
+    sys.run_for(TimeDelta::from_us(5));
+    sys.stop_generation();
+    assert!(
+        sys.run_until_idle(TimeDelta::from_ms(10)),
+        "{cubes}-cube chain on {workers} workers failed to drain"
+    );
+    sys.sanitize_check_drained();
+    let s = sys.host_stats();
+    let mut out = format!(
+        "reads={} writes={} bytes={} lat_n={} lat_mean={} events={} now={}\n",
+        s.reads_completed,
+        s.writes_completed,
+        s.counted_bytes,
+        s.read_latency.count(),
+        s.read_latency.mean().as_ps(),
+        sys.events_processed(),
+        sys.now().as_ps(),
+    );
+    for c in 0..sys.cubes() {
+        let d = sys.device(c).stats();
+        out.push_str(&format!(
+            "cube{c}: reads={} writes={} down={} up={} acts={} retries={}\n",
+            d.reads_completed,
+            d.writes_completed,
+            d.bytes_down,
+            d.bytes_up,
+            d.bank_activations,
+            d.link_retries,
+        ));
+    }
+    out.push_str(&sys.sanitizer_report().to_json());
+    out
+}
+
+#[test]
+fn parallel_shards_are_bit_identical_to_serial() {
+    // The tentpole claim: the epoch scheduler computes the same states no
+    // matter how many worker threads pump the shards — at every cube
+    // count. Serial (1 worker) is the reference; 2/4/8 workers must agree
+    // byte for byte, sanitizer report included.
+    for cubes in 1..=8u8 {
+        let serial = run_sharded(cubes, 1);
+        for workers in [2, 4, 8] {
+            let parallel = run_sharded(cubes, workers);
+            assert_eq!(
+                serial, parallel,
+                "{cubes} cubes diverged on {workers} workers"
+            );
+        }
+        assert!(
+            serial.contains("\"clean\":true"),
+            "sanitizer flagged the {cubes}-cube run: {serial}"
+        );
+    }
+}
+
 #[test]
 fn noisy_two_cube_chain_drains_deterministically() {
     let a = run_noisy_pair();

@@ -179,6 +179,42 @@ impl<E> EventQueue<E> {
         Some((t, event))
     }
 
+    /// Drains every event scheduled at or before `limit` into `out`, in
+    /// the same `(time, seq)` order a `pop_before` loop would produce,
+    /// and returns how many events were appended. This is the epoch
+    /// advance primitive: one call replaces a peek/pop loop and amortizes
+    /// the staging-buffer bookkeeping over the whole batch.
+    pub fn pop_until(&mut self, limit: Time, out: &mut Vec<(Time, E)>) -> usize {
+        let before = out.len();
+        loop {
+            if self.now_buf.is_empty() {
+                if self.len == 0 {
+                    break;
+                }
+                self.refill();
+            }
+            let n = self.now_buf.partition_point(|e| e.0 <= limit);
+            if n == 0 {
+                break;
+            }
+            out.extend(self.now_buf.drain(..n).map(|(t, _, e)| (t, e)));
+            self.len -= n;
+            self.popped += n as u64;
+            if !self.now_buf.is_empty() || self.len == 0 {
+                break;
+            }
+            // The staging buffer drained completely below `limit`; later
+            // buckets (or overflow) may still hold in-bound events.
+        }
+        let next = match self.now_buf.front() {
+            Some(e) => e.0.as_ps(),
+            None if self.len == 0 => EMPTY,
+            None => DIRTY,
+        };
+        self.cached_peek.store(next, Ordering::Relaxed);
+        out.len() - before
+    }
+
     /// Advances `active_abs` to the next non-empty bucket (pulling any
     /// overflow events that fall inside the window on the way) and
     /// materializes that bucket into `now_buf` in `(time, seq)` order.
@@ -444,6 +480,101 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop_before(Time::MAX), Some((Time::from_ps(3000), 'b')));
         assert_eq!(q.pop_before(Time::MAX), None);
+    }
+
+    #[test]
+    fn pop_until_drains_in_pop_order() {
+        // Reference check: pop_until(limit) must produce exactly the same
+        // sequence a pop_before(limit) loop would, across random loads.
+        let mut rng = SplitMix64::new(0xBEEF);
+        let mut a: EventQueue<u64> = EventQueue::new();
+        let mut b: EventQueue<u64> = EventQueue::new();
+        let mut seq = 0u64;
+        let mut base = 0u64;
+        let mut batch = Vec::new();
+        for round in 0..200 {
+            for _ in 0..rng.next_below(20) {
+                let t = base
+                    + if rng.next_below(8) == 0 {
+                        2_000_000 + rng.next_below(9_000_000)
+                    } else {
+                        rng.next_below(50_000)
+                    };
+                a.push(Time::from_ps(t), seq);
+                b.push(Time::from_ps(t), seq);
+                seq += 1;
+            }
+            let limit = Time::from_ps(base + rng.next_below(4_000_000));
+            batch.clear();
+            let n = a.pop_until(limit, &mut batch);
+            assert_eq!(n, batch.len());
+            for want in &batch {
+                assert_eq!(b.pop_before(limit).as_ref(), Some(want));
+            }
+            assert_eq!(b.pop_before(limit), None, "round {round}");
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.total_popped(), b.total_popped());
+            assert_eq!(a.peek_time(), b.peek_time());
+            if let Some((t, _)) = batch.last() {
+                base = t.as_ps();
+            }
+        }
+    }
+
+    #[test]
+    fn pop_until_spans_bucket_boundaries() {
+        let mut q = EventQueue::new();
+        // One event per wheel bucket across several buckets, plus events
+        // sitting exactly on bucket edges (at = k << SHIFT).
+        let w = 1u64 << SHIFT;
+        for k in 0..6u64 {
+            q.push(Time::from_ps(k * w), k * 10); // exact bucket boundary
+            q.push(Time::from_ps(k * w + 7), k * 10 + 1); // interior
+        }
+        // Limit on a boundary: events at exactly `3*w` are included, the
+        // interior event just after it is not.
+        let mut out = Vec::new();
+        let n = q.pop_until(Time::from_ps(3 * w), &mut out);
+        assert_eq!(n, 7);
+        assert_eq!(
+            out.iter().map(|e| e.1).collect::<Vec<_>>(),
+            vec![0, 1, 10, 11, 20, 21, 30]
+        );
+        assert_eq!(q.peek_time(), Some(Time::from_ps(3 * w + 7)));
+        // Drain the rest with a generous bound.
+        out.clear();
+        assert_eq!(q.pop_until(Time::MAX, &mut out), 5);
+        assert_eq!(
+            out.iter().map(|e| e.1).collect::<Vec<_>>(),
+            vec![31, 40, 41, 50, 51]
+        );
+        assert!(q.is_empty());
+        assert_eq!(q.pop_until(Time::MAX, &mut out), 0);
+    }
+
+    #[test]
+    fn pop_until_migrates_heap_overflow() {
+        let mut q = EventQueue::new();
+        // Far-future events beyond the ~1 µs horizon live in the overflow
+        // heap; pop_until must migrate them through the wheel in order.
+        for i in 0..4u64 {
+            q.push(Time::from_ps(7_800_000 * (i + 1)), 100 + i);
+        }
+        q.push(Time::from_ps(500), 1);
+        let mut out = Vec::new();
+        // Bound between the second and third refresh ticks: two overflow
+        // events migrate and drain, two stay parked.
+        let n = q.pop_until(Time::from_ps(16_000_000), &mut out);
+        assert_eq!(n, 3);
+        assert_eq!(
+            out.iter().map(|e| e.1).collect::<Vec<_>>(),
+            vec![1, 100, 101]
+        );
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_ps(7_800_000 * 3)));
+        out.clear();
+        q.pop_until(Time::MAX, &mut out);
+        assert_eq!(out.iter().map(|e| e.1).collect::<Vec<_>>(), vec![102, 103]);
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub fn set_threads(n: usize) {
 /// The effective thread count [`sweep`] will use.
 pub fn threads() -> usize {
     match GLOBAL_THREADS.load(Ordering::Relaxed) {
+        // hmc-lint: allow(thread)
         0 => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -63,6 +64,7 @@ where
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
     let cursor = AtomicUsize::new(0);
     let (work, cursor, f) = (&work, &cursor, &f);
+    // hmc-lint: allow(thread)
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {

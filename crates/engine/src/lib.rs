@@ -19,6 +19,9 @@
 //! * [`exec`] — a scoped-thread sweep executor that fans independent
 //!   simulation points across cores while keeping results in input order,
 //!   so sweeps stay bit-identical at any thread count.
+//! * [`pdes`] — conservative parallel-DES scaffolding: per-edge lookahead
+//!   tables, deterministic cross-shard mailboxes drained in total
+//!   `(at, edge, dir, seq)` order, and a persistent epoch worker pool.
 //! * [`trace`] — always-compiled, zero-overhead-when-disabled lifecycle
 //!   tracing: per-stage span histograms plus a sampled event log with a
 //!   Chrome trace-event (Perfetto) exporter.
@@ -49,6 +52,7 @@ pub mod event;
 pub mod exec;
 pub mod fault;
 pub mod metrics;
+pub mod pdes;
 pub mod queue;
 pub mod regress;
 pub mod rng;

@@ -1,0 +1,414 @@
+//! Conservative parallel discrete-event scaffolding: epoch scheduling,
+//! deterministic mailboxes, and a persistent shard worker pool.
+//!
+//! The engine stays policy-free: this module knows nothing about cubes,
+//! links, or packets. It provides the three mechanisms a conservative
+//! (lookahead-based) PDES driver needs, and the simulation crate supplies
+//! the physics:
+//!
+//! * [`LookaheadTable`] — per-channel minimum cross-shard latencies fixed
+//!   at build time. Any message a shard emits during the half-open window
+//!   `[a, b)` carries a timestamp `>= b` as long as `b − a` never exceeds
+//!   the global lookahead, so shards can advance a whole epoch without
+//!   hearing from their neighbours.
+//! * [`Mailbox`] — a timestamped inbox drained in total [`MsgKey`] order
+//!   `(at, edge, dir, seq)`. Because the key order is total and identical
+//!   however messages arrive, delivery order — and therefore simulation
+//!   state — is independent of which thread produced each message, which
+//!   is what makes parallel runs bit-identical to serial ones.
+//! * [`ShardPool`] — a persistent pool of worker threads that shards are
+//!   *moved* through each epoch: the coordinator sends owned shard chunks
+//!   down a channel, workers call [`EpochShard::pump_epoch`], and the
+//!   shards come back. Between epochs the coordinator owns every shard
+//!   outright, so cross-shard exchange needs no locks or atomics.
+//!
+//! The pool is deliberately rendezvous-style rather than work-stealing:
+//! determinism comes from the mailbox order and the epoch barrier, and a
+//! fixed round-robin shard→worker assignment keeps scheduling noise out
+//! of profiles.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+
+use hmc_types::{Time, TimeDelta};
+
+/// Total ordering key for cross-shard messages: timestamp first, then the
+/// originating edge, direction (`0` = toward the higher-numbered cube,
+/// `1` = toward the lower), and a per-(edge, direction) sequence number.
+/// Every message in one simulation has a distinct key, so draining a
+/// [`Mailbox`] in key order is a deterministic total order regardless of
+/// arrival interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MsgKey {
+    /// Simulated instant at which the message takes effect at the receiver.
+    pub at: Time,
+    /// Index of the topology edge the message travelled.
+    pub edge: u32,
+    /// Direction along the edge (0 = up, 1 = down).
+    pub dir: u8,
+    /// Monotonic sequence number within `(edge, dir)`.
+    pub seq: u64,
+}
+
+/// An addressed cross-shard message: destination shard plus its ordering
+/// key and payload.
+#[derive(Debug, Clone)]
+pub struct Envelope<M> {
+    /// Destination shard index.
+    pub to: usize,
+    /// Total-order delivery key.
+    pub key: MsgKey,
+    /// Payload (request/response/credit — the simulation crate decides).
+    pub msg: M,
+}
+
+#[derive(Debug)]
+struct Item<M> {
+    key: MsgKey,
+    msg: M,
+}
+
+impl<M> PartialEq for Item<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for Item<M> {}
+impl<M> PartialOrd for Item<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Item<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A deterministic timestamped inbox: messages pop in [`MsgKey`] order no
+/// matter the order they were pushed. One per shard; the coordinator
+/// routes [`Envelope`]s into it at epoch boundaries.
+#[derive(Debug)]
+pub struct Mailbox<M> {
+    heap: BinaryHeap<Reverse<Item<M>>>,
+}
+
+impl<M> Mailbox<M> {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        Mailbox {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Deposits a message under its delivery key.
+    pub fn push(&mut self, key: MsgKey, msg: M) {
+        self.heap.push(Reverse(Item { key, msg }));
+    }
+
+    /// Removes and returns the first message (in key order) due at or
+    /// before `limit`, if any.
+    pub fn pop_before(&mut self, limit: Time) -> Option<(MsgKey, M)> {
+        if self.heap.peek().map(|e| e.0.key.at <= limit) != Some(true) {
+            return None;
+        }
+        let Reverse(item) = self.heap.pop().expect("peeked non-empty");
+        Some((item.key, item.msg))
+    }
+
+    /// Delivery time of the earliest pending message, if any.
+    pub fn peek_at(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.0.key.at)
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no messages are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops all pending messages.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<M> Default for Mailbox<M> {
+    fn default() -> Self {
+        Mailbox::new()
+    }
+}
+
+/// Per-channel minimum cross-shard message latencies, fixed at topology
+/// build time. The conservative epoch bound is [`LookaheadTable::global`]:
+/// a shard at local time `a` may safely advance to `a + global()` because
+/// no in-flight message can take effect earlier than that.
+#[derive(Debug, Clone)]
+pub struct LookaheadTable {
+    per_edge: Vec<TimeDelta>,
+    global: TimeDelta,
+}
+
+impl LookaheadTable {
+    /// Builds the table from per-edge minimum latencies. Every entry must
+    /// be strictly positive — a zero-latency channel has no conservative
+    /// lookahead and would stall the epoch scheduler.
+    pub fn new(per_edge: Vec<TimeDelta>) -> Self {
+        assert!(!per_edge.is_empty(), "lookahead table needs >= 1 edge");
+        let global = per_edge.iter().copied().min().expect("non-empty");
+        assert!(
+            global > TimeDelta::ZERO,
+            "conservative PDES requires strictly positive lookahead"
+        );
+        LookaheadTable { per_edge, global }
+    }
+
+    /// Minimum message latency across edge `e`.
+    pub fn per_edge(&self, e: usize) -> TimeDelta {
+        self.per_edge[e]
+    }
+
+    /// The global lookahead: the minimum over all edges, i.e. the widest
+    /// epoch window that is still conservative for every shard.
+    pub fn global(&self) -> TimeDelta {
+        self.global
+    }
+
+    /// Number of edges in the table.
+    pub fn edges(&self) -> usize {
+        self.per_edge.len()
+    }
+}
+
+/// One unit of parallel work: a shard that can advance itself to an epoch
+/// boundary using only state it owns. Messages for other shards are
+/// buffered inside the shard and collected by the coordinator after the
+/// epoch (the engine never sees them in flight).
+pub trait EpochShard: Send + 'static {
+    /// Processes every local event and already-delivered message strictly
+    /// before `end` (the epoch window is half-open, so a message
+    /// timestamped exactly `end` lands in the next epoch on every shard
+    /// alike).
+    fn pump_epoch(&mut self, end: Time);
+}
+
+type Chunk<S> = Vec<(usize, S)>;
+
+struct Worker<S> {
+    job_tx: mpsc::Sender<(Chunk<S>, Time)>,
+    done_rx: mpsc::Receiver<Chunk<S>>,
+    // hmc-lint: allow(thread)
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// A persistent pool of epoch workers. Shards are moved to workers for
+/// the duration of one epoch and moved back; the coordinator owns all
+/// shards between epochs, so exchange logic is plain single-threaded code.
+///
+/// Determinism note: the pool affects *where* a shard's epoch runs, never
+/// *what* it computes — shard↔worker assignment is a fixed round-robin of
+/// the (already sorted) shard list, and results are re-sorted by shard
+/// index before they are returned.
+pub struct ShardPool<S: EpochShard> {
+    workers: Vec<Worker<S>>,
+}
+
+impl<S: EpochShard> ShardPool<S> {
+    /// Spawns `n` persistent worker threads (`n >= 1`).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        let workers = (0..n)
+            .map(|i| {
+                let (job_tx, job_rx) = mpsc::channel::<(Chunk<S>, Time)>();
+                let (done_tx, done_rx) = mpsc::channel::<Chunk<S>>();
+                // hmc-lint: allow(thread)
+                let handle = std::thread::Builder::new()
+                    .name(format!("pdes-shard-{i}"))
+                    .spawn(move || {
+                        while let Ok((mut chunk, end)) = job_rx.recv() {
+                            for (_, shard) in &mut chunk {
+                                shard.pump_epoch(end);
+                            }
+                            if done_tx.send(chunk).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn pdes worker");
+                Worker {
+                    job_tx,
+                    done_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        ShardPool { workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs one epoch: every shard advances to `end` on some worker, and
+    /// the full shard list comes back sorted by shard index.
+    pub fn run_epoch(&mut self, shards: Chunk<S>, end: Time) -> Chunk<S> {
+        let n = self.workers.len();
+        let mut chunks: Vec<Chunk<S>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, shard) in shards.into_iter().enumerate() {
+            chunks[i % n].push(shard);
+        }
+        let mut active = Vec::with_capacity(n);
+        for (w, chunk) in chunks.into_iter().enumerate() {
+            if chunk.is_empty() {
+                continue;
+            }
+            self.workers[w]
+                .job_tx
+                .send((chunk, end))
+                .expect("pdes worker alive");
+            active.push(w);
+        }
+        let mut out: Chunk<S> = Vec::new();
+        for w in active {
+            out.extend(self.workers[w].done_rx.recv().expect("pdes worker alive"));
+        }
+        out.sort_by_key(|(idx, _)| *idx);
+        out
+    }
+}
+
+impl<S: EpochShard> Drop for ShardPool<S> {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // Dropping the sender ends the worker's recv loop.
+            let (dead_tx, _) = mpsc::channel();
+            w.job_tx = dead_tx;
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl<S: EpochShard> std::fmt::Debug for ShardPool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mailbox_pops_in_total_key_order() {
+        let mut mb = Mailbox::new();
+        let k = |at: u64, edge: u32, dir: u8, seq: u64| MsgKey {
+            at: Time::from_ps(at),
+            edge,
+            dir,
+            seq,
+        };
+        // Pushed in scrambled order, including same-instant collisions
+        // that must resolve by (edge, dir, seq).
+        mb.push(k(50, 1, 0, 2), "e");
+        mb.push(k(10, 3, 1, 0), "b");
+        mb.push(k(50, 0, 1, 9), "d");
+        mb.push(k(10, 2, 0, 7), "a");
+        mb.push(k(50, 1, 1, 0), "f");
+        mb.push(k(20, 0, 0, 1), "c");
+        let mut got = Vec::new();
+        while let Some((_, m)) = mb.pop_before(Time::from_ps(49)) {
+            got.push(m);
+        }
+        assert_eq!(got, vec!["a", "b", "c"]);
+        assert_eq!(mb.peek_at(), Some(Time::from_ps(50)));
+        while let Some((_, m)) = mb.pop_before(Time::MAX) {
+            got.push(m);
+        }
+        assert_eq!(got, vec!["a", "b", "c", "d", "e", "f"]);
+        assert!(mb.is_empty());
+    }
+
+    #[test]
+    fn lookahead_global_is_min_edge() {
+        let t = LookaheadTable::new(vec![
+            TimeDelta::from_ps(9_000),
+            TimeDelta::from_ps(8_000),
+            TimeDelta::from_ps(12_000),
+        ]);
+        assert_eq!(t.global(), TimeDelta::from_ps(8_000));
+        assert_eq!(t.per_edge(2), TimeDelta::from_ps(12_000));
+        assert_eq!(t.edges(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn lookahead_rejects_zero_latency_edge() {
+        let _ = LookaheadTable::new(vec![TimeDelta::from_ps(100), TimeDelta::ZERO]);
+    }
+
+    struct Counter {
+        id: usize,
+        log: Vec<u64>,
+    }
+    impl EpochShard for Counter {
+        fn pump_epoch(&mut self, end: Time) {
+            self.log.push(end.as_ps() + self.id as u64);
+        }
+    }
+
+    #[test]
+    fn pool_round_trips_shards_in_index_order() {
+        for workers in [1, 2, 3, 8] {
+            let mut pool: ShardPool<Counter> = ShardPool::new(workers);
+            assert_eq!(pool.workers(), workers);
+            let mut shards: Vec<(usize, Counter)> = (0..5)
+                .map(|i| {
+                    (
+                        i,
+                        Counter {
+                            id: i,
+                            log: Vec::new(),
+                        },
+                    )
+                })
+                .collect();
+            for epoch in 1..=4u64 {
+                shards = pool.run_epoch(shards, Time::from_ps(epoch * 100));
+                assert_eq!(
+                    shards.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+                    vec![0, 1, 2, 3, 4],
+                    "{workers} workers, epoch {epoch}"
+                );
+            }
+            for (i, c) in &shards {
+                let want: Vec<u64> = (1..=4).map(|e| e * 100 + *i as u64).collect();
+                assert_eq!(c.log, want, "shard {i} saw every epoch in order");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_handles_more_workers_than_shards() {
+        let mut pool: ShardPool<Counter> = ShardPool::new(8);
+        let shards = vec![(
+            0,
+            Counter {
+                id: 0,
+                log: Vec::new(),
+            },
+        )];
+        let shards = pool.run_epoch(shards, Time::from_ps(7));
+        assert_eq!(shards.len(), 1);
+        assert_eq!(shards[0].1.log, vec![7]);
+    }
+}

@@ -187,6 +187,8 @@ pub struct Host {
     /// Instant of the pending [`HostEvent::DeadlineSweep`], if armed.
     sweep_at: Option<Time>,
     robust_stats: RobustStats,
+    /// Reusable drain buffer for [`Host::advance_instant`].
+    scratch: Vec<(Time, HostEvent)>,
     tracer: Tracer,
     sanitizer: Sanitizer,
 }
@@ -243,6 +245,7 @@ impl Host {
             link_dead: vec![false; cfg.links.num_links() as usize],
             sweep_at: None,
             robust_stats: RobustStats::default(),
+            scratch: Vec::new(),
             tracer: Tracer::new(&Stage::NAMES),
             sanitizer: Sanitizer::new(),
             cfg,
@@ -335,6 +338,33 @@ impl Host {
             self.handle(ev, t, sink);
         }
         self.now = self.now.max(until);
+    }
+
+    /// [`advance`](Host::advance) specialized to the simulation loop's hot
+    /// path: `t` must be the exact next-event instant (so every pending
+    /// event at or before `t` sits at exactly `t`). The whole instant
+    /// drains in one [`EventQueue::pop_until`] batch; events a handler
+    /// schedules at `t` itself join a follow-up batch, which preserves the
+    /// pop-one-at-a-time order because their sequence numbers are larger
+    /// than every drained event's.
+    pub fn advance_instant<S: LinkSink>(&mut self, t: Time, sink: &mut S) {
+        self.sanitizer
+            .check_queue_bound("host events", self.events.len(), self.event_bound, t);
+        let mut batch = std::mem::take(&mut self.scratch);
+        loop {
+            batch.clear();
+            if self.events.pop_until(t, &mut batch) == 0 {
+                break;
+            }
+            for (at, ev) in batch.drain(..) {
+                debug_assert_eq!(at, t, "advance_instant needs the exact next-event time");
+                self.sanitizer.check_event_time(at);
+                self.now = self.now.max(at);
+                self.handle(ev, at, sink);
+            }
+        }
+        self.scratch = batch;
+        self.now = self.now.max(t);
     }
 
     /// Total host events processed since construction.

@@ -24,6 +24,13 @@
 //!   target width wraps instead of failing, corrupting results without
 //!   a diagnostic. Use `try_from` with an `expect` naming the
 //!   invariant, or a widening `From`.
+//! * **`thread`** — `std::thread` primitives (`spawn`, `scope`,
+//!   `Builder`, `sleep`). Ad-hoc threading is how scheduling
+//!   nondeterminism leaks into event order. All parallelism must flow
+//!   through the two audited engine schedulers — the sweep executor
+//!   (`engine/src/exec.rs`) and the conservative-PDES pool
+//!   (`engine/src/pdes.rs`) — which are the *only* files where the
+//!   allow marker for this rule is honored; elsewhere the ban is hard.
 //!
 //! Test code (`#[cfg(test)]` modules) and comments/strings are exempt.
 //! A justified exception is annotated at the site with
@@ -239,6 +246,22 @@ fn has_lossy_cast(code: &str) -> bool {
     false
 }
 
+/// Threading tokens the `thread` rule bans outside the sanctioned engine
+/// schedulers.
+const THREAD_TOKENS: [&str; 5] = [
+    "std::thread",
+    "thread::spawn",
+    "thread::scope",
+    "thread::Builder",
+    "thread::sleep",
+];
+
+/// The only files where a `// hmc-lint: allow(thread)` marker is
+/// honored: the audited sweep executor and conservative-PDES pool.
+fn thread_sanctioned(label: &str) -> bool {
+    label.ends_with("engine/src/exec.rs") || label.ends_with("engine/src/pdes.rs")
+}
+
 /// Lints one file's contents. `label` is the path reported in findings.
 pub fn lint_file(label: &str, source: &str) -> Vec<Finding> {
     let mut findings = Vec::new();
@@ -289,6 +312,19 @@ pub fn lint_file(label: &str, source: &str) -> Vec<Finding> {
         let mut allowed = allow_marker(raw);
         if idx > 0 {
             allowed.extend(allow_marker(raw_lines[idx - 1]));
+        }
+        // The thread ban is hard outside the sanctioned schedulers: an
+        // allow marker anywhere else is ignored, so the rule cannot be
+        // waived file by file as the codebase grows.
+        if THREAD_TOKENS.iter().any(|t| code.contains(t))
+            && !(thread_sanctioned(label) && allowed.contains(&"thread"))
+        {
+            findings.push(Finding {
+                file: label.to_string(),
+                line: lineno,
+                rule: "thread",
+                excerpt: raw.trim().to_string(),
+            });
         }
         let mut push = |rule: &'static str| {
             if !allowed.contains(&rule) {
@@ -467,6 +503,27 @@ fn also_real() { other.unwrap(); }
         assert_eq!(found.len(), 2);
         assert_eq!(found[0].line, 1);
         assert_eq!(found[1].line, 7);
+    }
+
+    #[test]
+    fn thread_rule_is_path_scoped() {
+        let marked = "let h = std::thread::spawn(f); // hmc-lint: allow(thread)";
+        // The marker is honored only inside the two audited schedulers.
+        assert!(lint_file("crates/engine/src/exec.rs", marked).is_empty());
+        assert!(lint_file("crates/engine/src/pdes.rs", marked).is_empty());
+        let elsewhere = lint_file("crates/mem/src/device.rs", marked);
+        assert_eq!(elsewhere.len(), 1);
+        assert_eq!(elsewhere[0].rule, "thread");
+        // Without the marker even the sanctioned files flag it.
+        let bare = "let s = std::thread::scope(|s| run(s));";
+        assert_eq!(lint_file("crates/engine/src/exec.rs", bare).len(), 1);
+        // Bare `thread::` forms through a `use` are caught too.
+        assert_eq!(
+            lint_file("crates/core/src/system.rs", "thread::sleep(d);")[0].rule,
+            "thread"
+        );
+        // Prose and identifiers that merely contain the word pass.
+        assert!(lint_file("t.rs", "let threads = cfg.threads + 1;").is_empty());
     }
 
     #[test]

@@ -220,6 +220,8 @@ pub struct HmcDevice {
     /// Completed responses dropped because an earlier copy answered.
     dropped_responses: u64,
     now: Time,
+    /// Reusable drain buffer for [`HmcDevice::advance_instant`].
+    scratch: Vec<(Time, DeviceEvent)>,
     tracer: Tracer,
     sanitizer: Sanitizer,
 }
@@ -284,6 +286,7 @@ impl HmcDevice {
             duplicate_requests: 0,
             dropped_responses: 0,
             now: Time::ZERO,
+            scratch: Vec::new(),
             tracer: Tracer::new(&Stage::NAMES),
             sanitizer: Sanitizer::new(),
             cfg,
@@ -396,6 +399,33 @@ impl HmcDevice {
             self.handle(ev, t, out);
         }
         self.now = self.now.max(until);
+    }
+
+    /// [`advance`](HmcDevice::advance) specialized to the simulation
+    /// loop's hot path: `t` must be the exact next-event instant (so every
+    /// pending event at or before `t` sits at exactly `t`). The whole
+    /// instant drains in one [`EventQueue::pop_until`] batch; events a
+    /// handler schedules at `t` itself join a follow-up batch, which
+    /// preserves the pop-one-at-a-time order because their sequence
+    /// numbers are larger than every drained event's.
+    pub fn advance_instant(&mut self, t: Time, out: &mut Vec<DeviceOutput>) {
+        self.sanitizer
+            .check_queue_bound("device events", self.events.len(), self.event_bound, t);
+        let mut batch = std::mem::take(&mut self.scratch);
+        loop {
+            batch.clear();
+            if self.events.pop_until(t, &mut batch) == 0 {
+                break;
+            }
+            for (at, ev) in batch.drain(..) {
+                debug_assert_eq!(at, t, "advance_instant needs the exact next-event time");
+                self.sanitizer.check_event_time(at);
+                self.now = self.now.max(at);
+                self.handle(ev, at, out);
+            }
+        }
+        self.scratch = batch;
+        self.now = self.now.max(t);
     }
 
     /// Total device events processed since construction.
