@@ -26,7 +26,20 @@
 //!   the shape checks asserted (two cubes >= 1.8x one cube; ladder rungs
 //!   on the modeled pass-through adder). `--shards N` pumps the cubes on
 //!   `N` conservative-PDES worker threads — bit-identical results,
-//!   different wall clock.
+//!   different wall clock. Observability add-ons:
+//!   * `--breakdown` — run a traced stream and print the chain-wide
+//!     latency attribution (includes the `hop_link` stage; telescopes
+//!     with zero residue).
+//!   * `--trace-json PATH` — Perfetto export of the traced run with one
+//!     epoch track per PDES shard.
+//!   * `--metrics-json PATH` — the merged cube-prefixed gauge stream.
+//!   * `--profile-json PATH` — the deterministic epoch profile.
+//!   * `--dashboard` / `--dashboard-headless` — stream gauge frames
+//!     through a fixed ring buffer into a live ANSI panel, or simulate
+//!     silently and dump the final ring as JSON (stdout, plus `--json
+//!     PATH`). Tune with `--frames N` (ring capacity), `--frame-us N`
+//!     (simulated time per frame), `--span-us N` (total simulated time),
+//!     `--refresh-ms N` (live repaint pacing).
 //!
 //! The pre-subcommand flags (`--figure`, `--perf-json`, `--trace`,
 //! `--metrics-json`, `--sanitize[-json]`, `--faults[-json]`) still work
@@ -198,13 +211,27 @@ fn run(target: &str, cfg: &SystemConfig, opts: Opts) {
 
 /// Measures the conservative-PDES chain scheduler's throughput at one
 /// `(cubes, workers)` point: a saturated full-scale read run over `span`,
-/// returning `(events, wall_sec)`.
-fn chain_perf_point(cfg: &SystemConfig, cubes: u8, shards: usize, span: TimeDelta) -> (u64, f64) {
+/// returning `(events, wall_sec)`. With `armed` the full observability
+/// surface rides along (tracer, per-cube gauges, epoch profiler) so the
+/// armed-vs-unarmed delta is the overhead of watching.
+fn chain_perf_point(
+    cfg: &SystemConfig,
+    cubes: u8,
+    shards: usize,
+    span: TimeDelta,
+    armed: bool,
+) -> (u64, f64) {
     use std::time::Instant;
-    let mut sys = SystemBuilder::new(cfg.clone())
+    let mut b = SystemBuilder::new(cfg.clone())
         .parallel_shards(shards)
-        .topology(Topology::chain(cubes))
-        .build_chain();
+        .topology(Topology::chain(cubes));
+    if armed {
+        b = b
+            .tracing(64)
+            .metrics(TimeDelta::from_us(1))
+            .epoch_profiler();
+    }
+    let mut sys = b.build_chain();
     sys.apply_workload(&Workload::full_scale(
         RequestKind::ReadOnly,
         RequestSize::MAX,
@@ -223,7 +250,10 @@ fn chain_perf_point(cfg: &SystemConfig, cubes: u8, shards: usize, span: TimeDelt
 ///   simulated µs per wall-second across the whole fleet of points;
 /// * `parallel_chain`: the epoch scheduler's events per wall-second over
 ///   the cubes x epoch-worker grid {1,2,4,8} x {1,2,4,8} (every cell is
-///   bit-identical in results; only the wall clock moves).
+///   bit-identical in results; only the wall clock moves);
+/// * `observability`: armed-vs-unarmed throughput on a {2,4,8} x {1,4}
+///   chain grid — the wall-clock cost of tracer + per-cube gauges +
+///   epoch profiler (the event counts are asserted identical).
 fn perf_json(cfg: &SystemConfig) {
     use std::time::Instant;
 
@@ -255,7 +285,7 @@ fn perf_json(cfg: &SystemConfig) {
     let mut chain_cells = String::new();
     for cubes in [1u8, 2, 4, 8] {
         for shards in [1usize, 2, 4, 8] {
-            let (ev, wall) = chain_perf_point(cfg, cubes, shards, chain_span);
+            let (ev, wall) = chain_perf_point(cfg, cubes, shards, chain_span, false);
             if !chain_cells.is_empty() {
                 chain_cells.push_str(",\n");
             }
@@ -268,13 +298,45 @@ fn perf_json(cfg: &SystemConfig) {
         }
     }
 
+    // Observability overhead: the same chain grid (smaller, to keep the
+    // run short) measured bare and with tracer + gauges + epoch profiler
+    // armed. The events counts are bit-identical by construction; only
+    // the wall clock moves.
+    let mut obs_cells = String::new();
+    for cubes in [2u8, 4, 8] {
+        for shards in [1usize, 4] {
+            let (ev_bare, wall_bare) = chain_perf_point(cfg, cubes, shards, chain_span, false);
+            let (ev_armed, wall_armed) = chain_perf_point(cfg, cubes, shards, chain_span, true);
+            assert_eq!(
+                ev_bare, ev_armed,
+                "armed observability must not change the event count"
+            );
+            if !obs_cells.is_empty() {
+                obs_cells.push_str(",\n");
+            }
+            obs_cells.push_str(&format!(
+                "      {{\"cubes\": {cubes}, \"shards\": {shards}, \
+                 \"events\": {ev_bare}, \
+                 \"unarmed_events_per_sec\": {:.0}, \
+                 \"armed_events_per_sec\": {:.0}, \
+                 \"overhead_pct\": {:.1}}}",
+                ev_bare as f64 / wall_bare,
+                ev_armed as f64 / wall_armed,
+                (wall_armed / wall_bare - 1.0) * 100.0
+            ));
+        }
+    }
+
     let json = format!(
         "{{\n  \"event_core\": {{\n    \"events_per_sec\": {:.0},\n    \
          \"simulated_us_per_wall_sec\": {:.1}\n  }},\n  \"sweep\": {{\n    \
          \"name\": \"fig7\",\n    \"points\": {},\n    \"threads\": {},\n    \
          \"wall_sec\": {:.3},\n    \"simulated_us_per_wall_sec\": {:.1}\n  }},\n  \
          \"parallel_chain\": {{\n    \"span_us\": {:.0},\n    \
-         \"host_cores\": {},\n    \"points\": [\n{}\n    ]\n  }}\n}}\n",
+         \"host_cores\": {},\n    \"points\": [\n{}\n    ]\n  }},\n  \
+         \"observability\": {{\n    \"span_us\": {:.0},\n    \
+         \"armed\": \"tracer + per-cube gauges + epoch profiler\",\n    \
+         \"points\": [\n{}\n    ]\n  }}\n}}\n",
         events as f64 / core_wall,
         span.as_ns_f64() / 1e3 / core_wall,
         pts.len(),
@@ -284,6 +346,8 @@ fn perf_json(cfg: &SystemConfig) {
         chain_span.as_ns_f64() / 1e3,
         std::thread::available_parallelism().map_or(1, |n| n.get()),
         chain_cells,
+        chain_span.as_ns_f64() / 1e3,
+        obs_cells,
     );
     print!("{json}");
     if let Err(e) = std::fs::write("BENCH_simperf.json", &json) {
@@ -420,6 +484,9 @@ fn usage() -> ! {
          \x20 sanitize\n\
          \x20 faults [scenario|all]\n\
          \x20 chain [--cubes N] [--star] [--interleave cube|vault] [--shards N]\n\
+         \x20       [--breakdown] [--trace-json P] [--metrics-json P] [--profile-json P]\n\
+         \x20       [--dashboard | --dashboard-headless] [--frames N] [--frame-us N]\n\
+         \x20       [--span-us N] [--refresh-ms N]\n\
          (legacy flag forms still work; see --help text in the module docs)"
     );
     std::process::exit(2);
@@ -510,27 +577,127 @@ fn cmd_sweep(cfg: &SystemConfig, args: &[String]) {
     }
 }
 
+/// Parsed observability add-ons of the `chain` subcommand.
+#[derive(Debug, Clone, Default)]
+struct ChainObs {
+    breakdown: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    profile_out: Option<String>,
+    dashboard: bool,
+    headless: bool,
+    frames: usize,
+    frame_us: u64,
+    span_us: u64,
+    refresh_ms: u64,
+}
+
+/// Runs the chain observability captures requested alongside (or instead
+/// of) the characterization tables.
+fn run_chain_obs(
+    cfg: &SystemConfig,
+    topo: Topology,
+    shards: usize,
+    o: &ChainObs,
+    json: Option<&str>,
+) {
+    use hmc_bench::dashboard::{run_dashboard, DashboardMode, DashboardRun};
+    use hmc_core::observe::run_chain_observed;
+
+    let workload =
+        Workload::full_scale(RequestKind::ReadOnly, RequestSize::new(64).expect("valid"));
+    if o.breakdown || o.trace_out.is_some() || o.metrics_out.is_some() || o.profile_out.is_some() {
+        let obs = run_chain_observed(
+            cfg,
+            topo,
+            &Workload::read_stream(256, RequestSize::new(64).expect("valid")),
+            None,
+            8,
+            Some(TimeDelta::from_us(1)),
+            shards,
+        );
+        if o.breakdown {
+            println!(
+                "{}",
+                obs.report
+                    .attribution_table("chain latency attribution", &obs.latency)
+            );
+        }
+        if let Some(path) = &o.trace_out {
+            let json = obs.report.chrome_json_with_profile(Some(&obs.profile));
+            match std::fs::write(path, &json) {
+                Ok(()) => eprintln!("wrote trace artifact to {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
+        if let Some(path) = &o.metrics_out {
+            if let Some(m) = &obs.metrics {
+                write_artifact(m, path);
+            }
+        }
+        if let Some(path) = &o.profile_out {
+            write_artifact(&obs.profile, path);
+        }
+    }
+    if o.dashboard || o.headless {
+        let mode = if o.headless {
+            DashboardMode::Headless
+        } else {
+            DashboardMode::Live {
+                refresh_ms: o.refresh_ms,
+            }
+        };
+        let (dash, sys) = run_dashboard(
+            cfg,
+            topo,
+            &workload,
+            shards,
+            DashboardRun {
+                total: TimeDelta::from_us(o.span_us),
+                frame_span: TimeDelta::from_us(o.frame_us),
+                capacity: o.frames,
+                mode,
+            },
+        );
+        if o.headless {
+            let dump = dash.to_json();
+            print!("{dump}");
+            if let Some(path) = json {
+                match std::fs::write(path, &dump) {
+                    Ok(()) => eprintln!("wrote dashboard artifact to {path}"),
+                    Err(e) => eprintln!("could not write {path}: {e}"),
+                }
+            }
+        } else {
+            // Leave the final panel on screen with a wall-clock summary.
+            print!("{}", dash.render(&sys));
+        }
+    }
+}
+
 fn cmd_chain(cfg: &SystemConfig, args: &[String]) {
     let (rest, json) = take_common(args);
     let mut cubes: u8 = 2;
     let mut star = false;
     let mut interleave = CubeInterleave::CubeFirst;
     let mut shards: usize = 1;
+    let mut obs = ChainObs {
+        frames: 64,
+        frame_us: 5,
+        span_us: 500,
+        refresh_ms: 100,
+        ..ChainObs::default()
+    };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
+        let num = |it: &mut std::slice::Iter<String>| -> u64 {
+            it.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| usage())
+        };
         match arg.as_str() {
-            "--cubes" => {
-                cubes = it
-                    .next()
-                    .and_then(|v| v.parse::<u8>().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--shards" => {
-                shards = it
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .unwrap_or_else(|| usage());
-            }
+            "--cubes" => cubes = u8::try_from(num(&mut it)).unwrap_or_else(|_| usage()),
+            "--shards" => shards = num(&mut it) as usize,
             "--star" => star = true,
             "--interleave" => {
                 interleave = match it.next().map(String::as_str) {
@@ -539,6 +706,20 @@ fn cmd_chain(cfg: &SystemConfig, args: &[String]) {
                     _ => usage(),
                 };
             }
+            "--breakdown" => obs.breakdown = true,
+            "--trace-json" => obs.trace_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--metrics-json" => {
+                obs.metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
+            "--profile-json" => {
+                obs.profile_out = Some(it.next().unwrap_or_else(|| usage()).clone());
+            }
+            "--dashboard" => obs.dashboard = true,
+            "--dashboard-headless" => obs.headless = true,
+            "--frames" => obs.frames = num(&mut it) as usize,
+            "--frame-us" => obs.frame_us = num(&mut it),
+            "--span-us" => obs.span_us = num(&mut it),
+            "--refresh-ms" => obs.refresh_ms = num(&mut it),
             _ => usage(),
         }
     }
@@ -546,7 +727,23 @@ fn cmd_chain(cfg: &SystemConfig, args: &[String]) {
         eprintln!("--cubes must be in 2..=8 (the CUB field addresses 8 cubes)");
         std::process::exit(2);
     }
-    run_chain(cfg, cubes, star, interleave, shards, json.as_deref());
+    let topo = if star {
+        Topology::star(cubes)
+    } else {
+        Topology::chain(cubes)
+    }
+    .with_interleave(interleave);
+    let observing = obs.breakdown
+        || obs.dashboard
+        || obs.headless
+        || obs.trace_out.is_some()
+        || obs.metrics_out.is_some()
+        || obs.profile_out.is_some();
+    if observing {
+        run_chain_obs(cfg, topo, shards, &obs, json.as_deref());
+    } else {
+        run_chain(cfg, cubes, star, interleave, shards, json.as_deref());
+    }
 }
 
 fn main() {

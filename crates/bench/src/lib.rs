@@ -9,6 +9,7 @@
 use hmc_core::measure::MeasureConfig;
 use hmc_types::TimeDelta;
 
+pub mod dashboard;
 pub mod paper;
 
 /// The measurement window benches use. Set `HMC_BENCH_FAST=1` to shrink it

@@ -49,6 +49,7 @@ pub struct SystemBuilder {
     faults: Vec<(Option<usize>, FaultScenario)>,
     policy: Option<FailurePolicy>,
     shards: Option<usize>,
+    profiler: bool,
 }
 
 impl SystemBuilder {
@@ -63,6 +64,7 @@ impl SystemBuilder {
             faults: Vec::new(),
             policy: None,
             shards: None,
+            profiler: false,
         }
     }
 
@@ -80,6 +82,14 @@ impl SystemBuilder {
     /// the exportable event log.
     pub fn tracing(mut self, sample_every: u64) -> Self {
         self.tracing = Some(sample_every);
+        self
+    }
+
+    /// Arms the deterministic PDES epoch profiler (see
+    /// [`ChainSystem::enable_epoch_profiler`]). Chain-only: ignored by
+    /// [`build`](Self::build), which has no epoch loop to profile.
+    pub fn epoch_profiler(mut self) -> Self {
+        self.profiler = true;
         self
     }
 
@@ -186,6 +196,9 @@ impl SystemBuilder {
         }
         if let Some(period) = self.metrics {
             sys.enable_metrics(period);
+        }
+        if self.profiler {
+            sys.enable_epoch_profiler();
         }
         match self.sanitizer {
             Some(Some(span)) => sys.enable_sanitizer_with_span(span),

@@ -54,7 +54,7 @@ pub mod topology;
 
 pub use builder::SystemBuilder;
 pub use measure::{MeasureConfig, Measurement};
-pub use observe::{ObservedStream, ObservedWindow, TraceReport};
+pub use observe::{ObservedChain, ObservedStream, ObservedWindow, TraceReport};
 pub use pattern::AccessPattern;
 pub use report::{JsonReport, Table};
 pub use sanitize::{SanitizedPoint, SanitizedRun};

@@ -6,17 +6,29 @@
 //! histograms telescope — for a drained read stream the stage spans sum
 //! *exactly* (in integer picoseconds) to the end-to-end read latency, so
 //! the Figure 14 breakdown is an attribution, not an estimate.
+//!
+//! Multi-cube chains add a third tracer per cube (the hop tracer, stage
+//! [`Stage::HopLink`]) covering cube-to-cube traversal, so the same
+//! zero-residue telescoping holds end-to-end across a chain.
+//! [`TraceReport::from_chain`] merges all `3 × cubes` tracers, and
+//! [`run_chain_observed`] is the chain counterpart of
+//! [`run_stream_observed`] / [`run_window_observed`], additionally
+//! capturing the merged cube-prefixed gauge stream and the deterministic
+//! PDES epoch profile.
+
+use std::fmt::Write as _;
 
 use hmc_host::Workload;
 use hmc_types::trace::Stage;
 use hmc_types::{Time, TimeDelta};
 use sim_engine::stats::Histogram;
-use sim_engine::trace::{chrome_trace_json, TraceEvent};
-use sim_engine::MetricsSampler;
+use sim_engine::trace::{chrome_trace_events, chrome_trace_json, TraceEvent};
+use sim_engine::{EpochProfiler, MetricsSampler};
 
 use crate::builder::SystemBuilder;
 use crate::report::{f1, Table};
 use crate::system::{System, SystemConfig};
+use crate::topology::{ChainSystem, Topology};
 
 /// The merged host + device lifecycle trace of one run.
 #[derive(Debug, Clone)]
@@ -38,6 +50,29 @@ impl TraceReport {
         }
         let mut events: Vec<TraceEvent> = sys.host().tracer().events().to_vec();
         events.extend_from_slice(sys.device().tracer().events());
+        TraceReport { stages, events }
+    }
+
+    /// Merges every tracer of a chain — each cube's host and device
+    /// tracer plus each shard's hop tracer (stage
+    /// [`Stage::HopLink`]) — into one report. On a single-cube chain the
+    /// hop tracers are empty and this reduces to
+    /// [`from_system`](TraceReport::from_system) semantics.
+    pub fn from_chain(sys: &ChainSystem) -> Self {
+        let mut stages = vec![Histogram::new(); Stage::COUNT];
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for s in 0..sys.cubes() {
+            for t in [
+                sys.host(s).tracer(),
+                sys.device(s).tracer(),
+                sys.hop_tracer(s),
+            ] {
+                for (mine, theirs) in stages.iter_mut().zip(t.stage_histograms()) {
+                    mine.merge(theirs);
+                }
+                events.extend_from_slice(t.events());
+            }
+        }
         TraceReport { stages, events }
     }
 
@@ -123,6 +158,49 @@ impl TraceReport {
     /// The event log as Chrome trace-event JSON (Perfetto-loadable).
     pub fn chrome_json(&self) -> String {
         chrome_trace_json(&self.events, &Stage::NAMES)
+    }
+
+    /// Like [`chrome_json`](TraceReport::chrome_json), with one extra
+    /// Perfetto track per PDES shard carrying its epoch spans (process 1,
+    /// thread = shard index; the request spans stay on process 0). Each
+    /// epoch event's `args` records the events processed and envelopes
+    /// sent inside that window.
+    pub fn chrome_json_with_profile(&self, profile: Option<&EpochProfiler>) -> String {
+        let mut out = String::with_capacity(64 + self.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        chrome_trace_events(&self.events, &Stage::NAMES, &mut out);
+        if let Some(p) = profile {
+            if !out.ends_with('[') {
+                out.push(',');
+            }
+            out.push_str(
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+                 \"args\":{\"name\":\"pdes shards\"}}",
+            );
+            for (s, sp) in p.shards().iter().enumerate() {
+                write!(
+                    out,
+                    ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
+                     \"tid\":{s},\"args\":{{\"name\":\"shard {s}\"}}}}"
+                )
+                .expect("writing to a String cannot fail");
+                for e in &sp.spans {
+                    write!(
+                        out,
+                        ",{{\"name\":\"epoch\",\"cat\":\"pdes\",\"ph\":\"X\",\
+                         \"ts\":{:.6},\"dur\":{:.6},\"pid\":1,\"tid\":{s},\
+                         \"args\":{{\"events\":{},\"sent\":{}}}}}",
+                        e.start.as_ps() as f64 / 1e6,
+                        e.end.since(e.start).as_ps() as f64 / 1e6,
+                        e.events,
+                        e.sent,
+                    )
+                    .expect("writing to a String cannot fail");
+                }
+            }
+        }
+        out.push_str("]}\n");
+        out
     }
 }
 
@@ -212,6 +290,83 @@ pub fn run_window_observed(
         latency: sys.host().stats().read_latency.clone(),
         report: TraceReport::from_system(&sys),
         metrics,
+    }
+}
+
+/// A fully-observed chain run: merged lifecycle trace (host + device +
+/// hop tracers of every cube), merged cube-prefixed gauge stream, and the
+/// deterministic PDES epoch profile.
+#[derive(Debug, Clone)]
+pub struct ObservedChain {
+    /// End-to-end read-latency histogram aggregated over all cubes.
+    pub latency: Histogram,
+    /// Data-integrity failures (must be zero).
+    pub integrity_failures: u64,
+    /// The merged lifecycle trace across every tracer of the chain.
+    pub report: TraceReport,
+    /// Merged gauge sampler with `cube{i}.`-prefixed series, if metrics
+    /// were requested (`metrics_period` was `Some`).
+    pub metrics: Option<MetricsSampler>,
+    /// The deterministic per-shard epoch profile.
+    pub profile: EpochProfiler,
+}
+
+/// Runs a workload on a chain with full observability armed: lifecycle
+/// tracing (one request in `sample_every` kept in the event log), the
+/// PDES epoch profiler, and — when `metrics_period` is `Some` — per-cube
+/// gauge sampling merged into one cube-prefixed stream.
+///
+/// With `span = None` the workload runs to completion (a drained
+/// stream); with `span = Some(d)` it runs continuously for `d`.
+/// `shards > 1` pumps epochs on that many worker threads — every
+/// artifact except the wall-clock pool utilization is bit-identical at
+/// any setting.
+///
+/// # Panics
+///
+/// Panics if `span` is `None` and the stream does not drain within
+/// 100 ms of simulated time.
+pub fn run_chain_observed(
+    cfg: &SystemConfig,
+    topo: Topology,
+    workload: &Workload,
+    span: Option<TimeDelta>,
+    sample_every: u64,
+    metrics_period: Option<TimeDelta>,
+    shards: usize,
+) -> ObservedChain {
+    let mut b = SystemBuilder::new(cfg.clone())
+        .topology(topo)
+        .tracing(sample_every)
+        .epoch_profiler()
+        .parallel_shards(shards);
+    if let Some(period) = metrics_period {
+        b = b.metrics(period);
+    }
+    let mut sys = b.build_chain();
+    sys.apply_workload(workload);
+    sys.start(Time::ZERO);
+    match span {
+        Some(d) => sys.run_for(d),
+        None => {
+            let drained = sys.run_until_idle(TimeDelta::from_ms(100));
+            assert!(
+                drained,
+                "observed chain stream did not drain by t={} ns",
+                sys.now().as_ns_f64(),
+            );
+        }
+    }
+    let stats = sys.host_stats();
+    ObservedChain {
+        latency: stats.read_latency.clone(),
+        integrity_failures: stats.integrity_failures,
+        report: TraceReport::from_chain(&sys),
+        metrics: sys.merged_metrics(),
+        profile: sys
+            .epoch_profile()
+            .expect("epoch profiler was enabled")
+            .clone(),
     }
 }
 
@@ -318,6 +473,107 @@ mod tests {
         // Telescoping attribution stays exact even when retries reshuffle
         // the stage boundaries.
         assert_eq!(t.cell(t.len() - 1, 3), "0.0");
+    }
+
+    #[test]
+    fn chain_attribution_telescopes_with_zero_residue() {
+        // The hop_link stage closes the chain attribution gap: for 1-,
+        // 2-, and 4-cube chains the stage spans must sum exactly (in
+        // integer picoseconds) to the measured end-to-end latency.
+        for cubes in [1u8, 2, 4] {
+            let obs = run_chain_observed(
+                &SystemConfig::default(),
+                Topology::chain(cubes),
+                &Workload::read_stream(32, RequestSize::new(64).unwrap()),
+                None,
+                1,
+                None,
+                1,
+            );
+            // Each cube's sharded host issues the full stream.
+            assert_eq!(obs.latency.count(), 32 * u64::from(cubes), "{cubes} cubes");
+            assert_eq!(obs.integrity_failures, 0);
+            let stage_sum_ps: u64 = Stage::ALL
+                .iter()
+                .map(|s| obs.report.stage(*s).total().as_ps())
+                .sum();
+            assert_eq!(
+                stage_sum_ps,
+                obs.latency.total().as_ps(),
+                "chain attribution must telescope exactly ({cubes} cubes)"
+            );
+            let hops = obs.report.stage(Stage::HopLink).count();
+            if cubes == 1 {
+                assert_eq!(hops, 0, "no hop spans on a single cube");
+            } else {
+                assert!(hops > 0, "{cubes}-cube chain must record hop spans");
+            }
+            let t = obs
+                .report
+                .attribution_table("chain breakdown", &obs.latency);
+            assert_eq!(t.cell(t.len() - 1, 3), "0.0", "{cubes} cubes");
+            if cubes > 1 {
+                assert!(t.to_string().contains("hop_link"));
+            }
+        }
+    }
+
+    #[test]
+    fn chain_export_carries_one_epoch_track_per_shard() {
+        let obs = run_chain_observed(
+            &SystemConfig::default(),
+            Topology::chain(4),
+            &Workload::read_stream(64, RequestSize::new(64).unwrap()),
+            None,
+            8,
+            None,
+            4,
+        );
+        assert_eq!(obs.profile.shards().len(), 4);
+        assert!(obs.profile.epochs() > 0, "multi-cube runs pump epochs");
+        let json = obs.report.chrome_json_with_profile(Some(&obs.profile));
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        for s in 0..4 {
+            assert!(
+                json.contains(&format!("\"args\":{{\"name\":\"shard {s}\"}}")),
+                "missing thread_name track for shard {s}"
+            );
+        }
+        assert!(json.contains("\"name\":\"epoch\""));
+        assert!(json.contains("\"cat\":\"pdes\""));
+        // Profile JSON is a valid artifact too.
+        let pjson = obs.profile.to_json();
+        assert!(pjson.contains("\"window_utilization\""));
+        assert!(pjson.contains("\"parked_ps\""));
+    }
+
+    #[test]
+    fn chain_window_capture_merges_cube_prefixed_gauges() {
+        let obs = run_chain_observed(
+            &SystemConfig::default(),
+            Topology::chain(2),
+            &Workload::full_scale(RequestKind::ReadOnly, RequestSize::new(64).unwrap()),
+            Some(TimeDelta::from_us(20)),
+            8,
+            Some(TimeDelta::from_us(1)),
+            1,
+        );
+        let m = obs.metrics.expect("metrics were enabled");
+        for name in [
+            "cube0.host.outstanding",
+            "cube0.device.vault_queued",
+            "cube0.device.link_stalls",
+            "cube0.device.credits_leaked",
+            "cube0.hop.edge0.tx_backlog",
+            "cube0.chain.mailbox",
+            "cube1.device.busy_banks",
+            "cube1.hop.edge0.credits",
+        ] {
+            let s = m.get(name).unwrap_or_else(|| panic!("{name}"));
+            assert!(s.len() >= 15, "{name} has {} samples", s.len());
+        }
+        let json = metrics_json(&m);
+        assert!(json.contains("cube1.hop.edge0.rx_queued"));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::fmt;
 use std::io;
 use std::path::Path;
 
-use sim_engine::{MetricsSampler, SanitizerReport};
+use sim_engine::{EpochProfiler, MetricsSampler, SanitizerReport};
 
 /// A JSON-exportable artifact.
 ///
@@ -21,7 +21,8 @@ use sim_engine::{MetricsSampler, SanitizerReport};
 /// artifact uniformly.
 pub trait JsonReport {
     /// Short artifact-kind tag (`"trace"`, `"metrics"`, `"sanitizer"`,
-    /// `"faults"`, `"chain"`), embeddable in file names and manifests.
+    /// `"faults"`, `"chain"`, `"profile"`), embeddable in file names and
+    /// manifests.
     fn kind(&self) -> &'static str;
 
     /// Renders the artifact as a self-contained JSON document.
@@ -54,6 +55,16 @@ impl JsonReport for MetricsSampler {
 
     fn json(&self) -> String {
         crate::observe::metrics_json(self)
+    }
+}
+
+impl JsonReport for EpochProfiler {
+    fn kind(&self) -> &'static str {
+        "profile"
+    }
+
+    fn json(&self) -> String {
+        self.to_json()
     }
 }
 

@@ -55,11 +55,17 @@ use hmc_mem::link::{DeviceLink, OutPacket, Transfer};
 use hmc_mem::{DeviceOutput, HmcDevice};
 use hmc_thermal::{FailurePolicy, RecoveryStep, ThermalEvent};
 use hmc_types::packet::{OpKind, TransactionSizes, FLIT_BYTES};
+use hmc_types::trace::Stage;
 use hmc_types::{
     ChainShard, CubeInterleave, MemoryRequest, MemoryResponse, RequestSize, Time, TimeDelta,
 };
-use sim_engine::pdes::{Envelope, EpochShard, LookaheadTable, Mailbox, MsgKey, ShardPool};
-use sim_engine::{FaultKind, FaultScenario, MetricsSampler, SanitizerReport, ViolationClass};
+use sim_engine::pdes::{
+    Envelope, EpochProfiler, EpochSample, EpochShard, LookaheadTable, Mailbox, MsgKey,
+    PoolUtilization, ShardPool,
+};
+use sim_engine::{
+    FaultKind, FaultScenario, MetricsSampler, SanitizerReport, Tracer, ViolationClass,
+};
 
 use crate::system::{RecoveryRecord, SystemConfig, Watchdog};
 
@@ -426,6 +432,7 @@ struct ShardSink<'a> {
     device: &'a mut HmcDevice,
     ports: &'a mut [Port],
     outbox: &'a mut Vec<Envelope<HopMsg>>,
+    hop_tracer: &'a mut Tracer,
 }
 
 impl LinkSink for ShardSink<'_> {
@@ -442,6 +449,7 @@ impl LinkSink for ShardSink<'_> {
         if dst == self.shard {
             return self.device.submit(link, req, now);
         }
+        let id = req.id.value();
         let next = self.topo.next_shard(self.shard, dst);
         let port = self
             .ports
@@ -449,7 +457,12 @@ impl LinkSink for ShardSink<'_> {
             .find(|p| p.peer == next)
             .expect("route leads to an adjacent port");
         port.req_tx[link].link.enqueue_ingress(req, now)?;
+        // The host's LinkTx span ended at `now`; the hop stage owns the
+        // request from here until its serialized arrival at the peer.
+        self.hop_tracer.begin(id, now);
         if let Some((done, r)) = port.req_tx[link].try_start(now) {
+            self.hop_tracer
+                .finish(r.id.value(), Stage::HopLink.index(), done);
             send_via(port, self.outbox, done, HopMsg::Req { l: link, req: r });
         }
         Ok(())
@@ -476,6 +489,16 @@ struct CubeShard {
     local_now: Time,
     /// Scratch buffer for device outputs.
     outputs: Vec<DeviceOutput>,
+    /// Lifecycle tracer for hop-link traversal (the chain-only
+    /// [`Stage::HopLink`] spans): opened when a packet enters a hop
+    /// serializer or arrives over an edge, closed when it leaves for the
+    /// next shard or reaches its next local stage. Disabled by default,
+    /// like the host and device tracers.
+    hop_tracer: Tracer,
+    /// Total head-of-line parking time: arrival→delivery gaps of
+    /// requests that waited at this shard because their next stage was
+    /// full. Plain accounting — never feeds back into simulation state.
+    hol_parked: TimeDelta,
 }
 
 impl CubeShard {
@@ -534,7 +557,12 @@ impl CubeShard {
                 .position(|p| p.edge == key.edge as usize)
                 .expect("message addressed to an owned edge");
             match msg {
-                HopMsg::Req { l, req } => self.ports[pi].req_rx[l].push_back((key.at, req)),
+                HopMsg::Req { l, req } => {
+                    // The hop stage keeps owning the request while it
+                    // waits (possibly parked) for its next local stage.
+                    self.hop_tracer.begin(req.id.value(), key.at);
+                    self.ports[pi].req_rx[l].push_back((key.at, req));
+                }
                 HopMsg::Resp { l, pkt } => self.ports[pi].resp_rx[l].push_back((key.at, pkt)),
                 HopMsg::Credit { l } => self.ports[pi].req_tx[l].credits += 1,
             }
@@ -549,6 +577,7 @@ impl CubeShard {
                 device,
                 ports,
                 outbox,
+                hop_tracer,
                 ..
             } = self;
             let mut sink = ShardSink {
@@ -557,6 +586,7 @@ impl CubeShard {
                 device,
                 ports,
                 outbox,
+                hop_tracer,
             };
             host.advance_instant(t, &mut sink);
         }
@@ -580,10 +610,11 @@ impl CubeShard {
                     // Arrived requests: hand each to the device or the
                     // next hop; the head parks on downstream-full and the
                     // sender's credit returns one lookahead later.
-                    while let Some(&(_, req)) = self.ports[pi].req_rx[l].front() {
+                    while let Some(&(at, req)) = self.ports[pi].req_rx[l].front() {
                         if self.try_deliver_request(l, req, t).is_err() {
                             break;
                         }
+                        self.hol_parked += t.since(at);
                         self.ports[pi].req_rx[l].pop_front();
                         let la = self.ports[pi].lookahead;
                         send_via(
@@ -602,6 +633,8 @@ impl CubeShard {
                     }
                     // Restart any serializer freed this instant.
                     if let Some((done, r)) = self.ports[pi].req_tx[l].try_start(t) {
+                        self.hop_tracer
+                            .finish(r.id.value(), Stage::HopLink.index(), done);
                         send_via(
                             &mut self.ports[pi],
                             &mut self.outbox,
@@ -611,6 +644,8 @@ impl CubeShard {
                         progress = true;
                     }
                     if let Some((done, p)) = self.ports[pi].resp_tx[l].try_start(t) {
+                        self.hop_tracer
+                            .finish(p.req.id.value(), Stage::HopLink.index(), done);
                         send_via(
                             &mut self.ports[pi],
                             &mut self.outbox,
@@ -634,16 +669,42 @@ impl CubeShard {
                 }
             }
         }
-        // 6. Metrics samples due by this instant.
+        // 6. Metrics samples due by this instant. Hop gauges ride the
+        //    same per-cube sampler as the host and device gauges (the
+        //    single-cube pump has no ports, so its gauge stream stays
+        //    byte-identical to the single-system one).
         if let Some(mut smp) = self.sampler.take() {
             while let Some(due) = smp.due_before(t) {
                 self.host.sample_metrics(due, &mut smp);
                 self.device.sample_metrics(due, &mut smp);
+                self.sample_hop_metrics(due, &mut smp);
                 smp.advance();
             }
             self.sampler = Some(smp);
         }
         self.local_now = self.local_now.max(t);
+    }
+
+    /// Records the chain-level gauges of this shard: per-edge hop-link
+    /// occupancy (transmit backlog, arrival queue, remaining credit
+    /// window) plus the cross-shard mailbox depth. Read-only over the
+    /// port state, so an armed sampler stays bit-inert.
+    fn sample_hop_metrics(&self, due: Time, smp: &mut MetricsSampler) {
+        for p in &self.ports {
+            let mut tx = 0usize;
+            let mut rx = 0usize;
+            let mut credits = 0usize;
+            for l in 0..self.links {
+                tx += p.req_tx[l].link.ingress_backlog() + p.resp_tx[l].link.egress_backlog();
+                rx += p.req_rx[l].len() + p.resp_rx[l].len();
+                credits += p.req_tx[l].credits;
+            }
+            let e = p.edge;
+            smp.record(&format!("hop.edge{e}.tx_backlog"), due, tx as f64);
+            smp.record(&format!("hop.edge{e}.rx_queued"), due, rx as f64);
+            smp.record(&format!("hop.edge{e}.credits"), due, credits as f64);
+        }
+        smp.record("chain.mailbox", due, self.inbox.len() as f64);
     }
 
     /// Routes one device output: responses to locally-issued requests go
@@ -660,10 +721,15 @@ impl CubeShard {
         }
         let next = self.topo.next_shard(self.idx, owner);
         let pi = self.port_toward(next);
+        // The device tracer's LinkEgress span ended at `o.at`; the hop
+        // stage owns the response from here until its wire arrival.
+        self.hop_tracer.begin(o.resp.id.value(), o.at);
         self.ports[pi].resp_tx[o.link]
             .link
             .push_egress(repack(&o.resp));
         if let Some((done, pkt)) = self.ports[pi].resp_tx[o.link].try_start(o.at) {
+            self.hop_tracer
+                .finish(pkt.req.id.value(), Stage::HopLink.index(), done);
             send_via(
                 &mut self.ports[pi],
                 &mut self.outbox,
@@ -679,7 +745,12 @@ impl CubeShard {
     fn try_deliver_request(&mut self, l: usize, req: MemoryRequest, now: Time) -> Result<(), ()> {
         let dst = req.cube.index() as usize;
         if dst == self.idx {
-            return self.device.submit(l, req, now).map_err(|_| ());
+            self.device.submit(l, req, now).map_err(|_| ())?;
+            // Close the hop span opened at wire arrival: it covered the
+            // head-of-line wait; the device tracer takes over at `now`.
+            self.hop_tracer
+                .finish(req.id.value(), Stage::HopLink.index(), now);
+            return Ok(());
         }
         let next = self.topo.next_shard(self.idx, dst);
         let pi = self.port_toward(next);
@@ -688,6 +759,8 @@ impl CubeShard {
             .enqueue_ingress(req, now)
             .map_err(|_| ())?;
         if let Some((done, r)) = self.ports[pi].req_tx[l].try_start(now) {
+            self.hop_tracer
+                .finish(r.id.value(), Stage::HopLink.index(), done);
             send_via(
                 &mut self.ports[pi],
                 &mut self.outbox,
@@ -704,13 +777,20 @@ impl CubeShard {
     fn deliver_response(&mut self, l: usize, pkt: OutPacket, at: Time) {
         let owner = origin_of(pkt.req.id.value());
         if owner == self.idx || owner >= self.topo.cubes() as usize {
+            // `at` is the previous hop's serialized arrival instant, so
+            // the host's RX rebase leaves no unattributed gap.
             self.host.receive_response(response_from(&pkt, at), at);
             return;
         }
         let next = self.topo.next_shard(self.idx, owner);
         let pi = self.port_toward(next);
+        // Pass-through forward: the hop stage owns the response from its
+        // arrival here until it finishes the next serialization.
+        self.hop_tracer.begin(pkt.req.id.value(), at);
         self.ports[pi].resp_tx[l].link.push_egress(pkt);
         if let Some((done, p)) = self.ports[pi].resp_tx[l].try_start(at) {
+            self.hop_tracer
+                .finish(p.req.id.value(), Stage::HopLink.index(), done);
             send_via(
                 &mut self.ports[pi],
                 &mut self.outbox,
@@ -773,6 +853,14 @@ pub struct ChainSystem {
     thermal_spikes: Vec<(Time, f64, usize)>,
     policy: FailurePolicy,
     recoveries: Vec<(usize, RecoveryRecord)>,
+    /// Deterministic per-shard epoch profiler (armed on demand; the
+    /// coordinator feeds it after every epoch barrier).
+    profiler: Option<EpochProfiler>,
+    /// Per-shard `(events, parked)` totals at the last recorded epoch,
+    /// so the profiler sees per-epoch deltas.
+    prof_prev: Vec<(u64, TimeDelta)>,
+    /// Envelopes delivered to each shard at the last exchange.
+    recv_counts: Vec<u64>,
 }
 
 impl ChainSystem {
@@ -857,6 +945,8 @@ impl ChainSystem {
                 outbox: Vec::new(),
                 local_now: Time::ZERO,
                 outputs: Vec::new(),
+                hop_tracer: Tracer::new(&Stage::NAMES),
+                hol_parked: TimeDelta::ZERO,
             });
         }
         let lookahead = (topo.edge_count() > 0)
@@ -873,6 +963,9 @@ impl ChainSystem {
             thermal_spikes: Vec::new(),
             policy: FailurePolicy::default(),
             recoveries: Vec::new(),
+            profiler: None,
+            prof_prev: vec![(0, TimeDelta::ZERO); n],
+            recv_counts: vec![0; n],
         }
     }
 
@@ -985,11 +1078,13 @@ impl ChainSystem {
             + probe.transfer_time(sizes.response_flits().bytes())
     }
 
-    /// Turns on lifecycle tracing on every host and device tracer.
+    /// Turns on lifecycle tracing on every host, device, and hop-link
+    /// tracer, so chain attribution tables telescope end to end.
     pub fn enable_tracing(&mut self, sample_every: u64) {
         for sh in &mut self.shards {
             sh.host.tracer_mut().enable(sample_every);
             sh.device.tracer_mut().enable(sample_every);
+            sh.hop_tracer.enable(sample_every);
         }
     }
 
@@ -1003,6 +1098,58 @@ impl ChainSystem {
     /// Cube `s`'s gauge sampler, if metrics are enabled.
     pub fn metrics(&self, s: usize) -> Option<&MetricsSampler> {
         self.shards[s].sampler.as_ref()
+    }
+
+    /// Cube `s`'s hop-link tracer (the chain-only `hop_link` spans).
+    pub fn hop_tracer(&self, s: usize) -> &Tracer {
+        &self.shards[s].hop_tracer
+    }
+
+    /// All per-cube gauge series merged into one sampler under
+    /// `cube{N}.`-prefixed names, in cube order — the chain's exportable
+    /// metrics surface. `None` unless metrics are enabled.
+    pub fn merged_metrics(&self) -> Option<MetricsSampler> {
+        let period = self.shards[0].sampler.as_ref()?.period();
+        let mut merged = MetricsSampler::new(period);
+        for sh in &self.shards {
+            let smp = sh.sampler.as_ref()?;
+            for series in smp.series() {
+                let name = format!("cube{}.{}", sh.idx, series.name());
+                for &(t, v) in series.points() {
+                    merged.record(&name, t, v);
+                }
+            }
+        }
+        Some(merged)
+    }
+
+    /// Arms the deterministic per-shard epoch profiler. Sim-time only:
+    /// the coordinator records each epoch's per-shard event counts,
+    /// envelope traffic, window utilization, and head-of-line parking
+    /// after the barrier, so profiles are bit-identical at every worker
+    /// count and the armed profiler never perturbs simulation state.
+    /// A single-cube system has no epochs and records nothing.
+    pub fn enable_epoch_profiler(&mut self) {
+        self.profiler = Some(EpochProfiler::new(self.shards.len()));
+        for (prev, sh) in self.prof_prev.iter_mut().zip(&self.shards) {
+            *prev = (
+                sh.host.events_processed() + sh.device.events_processed(),
+                sh.hol_parked,
+            );
+        }
+    }
+
+    /// The epoch profile recorded so far, if the profiler is armed.
+    pub fn epoch_profile(&self) -> Option<&EpochProfiler> {
+        self.profiler.as_ref()
+    }
+
+    /// The wall-clock worker-utilization summary of the shard pool
+    /// (busy vs. barrier-wait per worker). `None` until a parallel
+    /// multi-cube run has spawned the pool. Non-deterministic by nature;
+    /// never fold it into a fingerprint.
+    pub fn shard_utilization(&self) -> Option<&PoolUtilization> {
+        self.pool.as_ref().map(|p| p.utilization())
     }
 
     /// Arms the protocol sanitizer on every host and device plus the
@@ -1277,6 +1424,7 @@ impl ChainSystem {
                     device,
                     ports,
                     outbox,
+                    hop_tracer,
                     ..
                 } = sh;
                 let mut sink = ShardSink {
@@ -1285,6 +1433,7 @@ impl ChainSystem {
                     device,
                     ports,
                     outbox,
+                    hop_tracer,
                 };
                 host.advance_instant(t, &mut sink);
             }
@@ -1353,7 +1502,33 @@ impl ChainSystem {
                     sh.pump_epoch(window);
                 }
             }
+            // Envelope counts must be read at the barrier: the outbox
+            // drains during exchange, which in turn fills recv_counts.
+            let sent: Option<Vec<u64>> = self.profiler.is_some().then(|| {
+                self.shards
+                    .iter()
+                    .map(|sh| sh.outbox.len() as u64)
+                    .collect()
+            });
             self.exchange();
+            if let Some(prof) = &mut self.profiler {
+                let sent = sent.expect("captured before exchange");
+                let mut samples = Vec::with_capacity(self.shards.len());
+                for (i, sh) in self.shards.iter().enumerate() {
+                    let events = sh.host.events_processed() + sh.device.events_processed();
+                    let parked = sh.hol_parked;
+                    let prev = &mut self.prof_prev[i];
+                    samples.push(EpochSample {
+                        events: events - prev.0,
+                        sent: sent[i],
+                        received: self.recv_counts[i],
+                        advanced_to: sh.local_now,
+                        parked: TimeDelta::from_ps(parked.as_ps() - prev.1.as_ps()),
+                    });
+                    *prev = (events, parked);
+                }
+                prof.record_epoch(next, window, &samples);
+            }
             self.now = self.now.max(next);
             self.watchdog_check(self.now);
         }
@@ -1365,9 +1540,11 @@ impl ChainSystem {
     /// destination shard's mailbox. Arrival order is irrelevant: the
     /// mailbox pops in total key order.
     fn exchange(&mut self) {
+        self.recv_counts.fill(0);
         for i in 0..self.shards.len() {
             let envs = std::mem::take(&mut self.shards[i].outbox);
             for env in envs {
+                self.recv_counts[env.to] += 1;
                 self.shards[env.to].inbox.push(env.key, env.msg);
             }
         }

@@ -21,7 +21,9 @@
 //!   so sweeps stay bit-identical at any thread count.
 //! * [`pdes`] — conservative parallel-DES scaffolding: per-edge lookahead
 //!   tables, deterministic cross-shard mailboxes drained in total
-//!   `(at, edge, dir, seq)` order, and a persistent epoch worker pool.
+//!   `(at, edge, dir, seq)` order, a persistent epoch worker pool, and a
+//!   deterministic sim-time [`pdes::EpochProfiler`] (plus a wall-clock
+//!   worker-utilization summary confined to the pool).
 //! * [`trace`] — always-compiled, zero-overhead-when-disabled lifecycle
 //!   tracing: per-stage span histograms plus a sampled event log with a
 //!   Chrome trace-event (Perfetto) exporter.
@@ -65,6 +67,7 @@ pub mod trace;
 pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultKind, FaultScenario};
 pub use metrics::MetricsSampler;
+pub use pdes::{EpochProfiler, EpochSample, PoolUtilization};
 pub use queue::BoundedQueue;
 pub use regress::LinearFit;
 pub use rng::SplitMix64;
@@ -72,4 +75,4 @@ pub use sanitize::{BankOp, Sanitizer, SanitizerReport, Violation, ViolationClass
 pub use series::TimeSeries;
 pub use stats::{BandwidthMeter, Counter, Histogram, TimeWeighted};
 pub use token::TokenBucket;
-pub use trace::{chrome_trace_json, TraceEvent, Tracer};
+pub use trace::{chrome_trace_events, chrome_trace_json, TraceEvent, Tracer};

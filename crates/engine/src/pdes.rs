@@ -197,11 +197,210 @@ pub trait EpochShard: Send + 'static {
     fn pump_epoch(&mut self, end: Time);
 }
 
+/// Maximum retained epoch spans per shard in the profiler. Busy epochs
+/// past the cap are still counted in the aggregates but drop out of the
+/// Perfetto track; the drop count is reported so truncation is visible.
+const EPOCH_SPAN_CAP: usize = 4096;
+
+/// One recorded epoch on one shard's Perfetto track.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochSpan {
+    /// Epoch window start (inclusive).
+    pub start: Time,
+    /// Epoch window end (exclusive).
+    pub end: Time,
+    /// Events the shard processed inside the window.
+    pub events: u64,
+    /// Cross-shard envelopes the shard emitted during the window.
+    pub sent: u64,
+}
+
+/// What one shard did during one epoch, as observed by the coordinator.
+/// All fields are deltas over the epoch, derived purely from simulation
+/// state — no wall clock is involved, so profiles are bit-identical
+/// across worker counts.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochSample {
+    /// Events processed this epoch (host + device + deliveries).
+    pub events: u64,
+    /// Cross-shard envelopes emitted this epoch.
+    pub sent: u64,
+    /// Cross-shard envelopes delivered into the shard's mailbox at the
+    /// end of this epoch.
+    pub received: u64,
+    /// The shard's local clock after the epoch (last instant pumped).
+    pub advanced_to: Time,
+    /// Head-of-line parking time accrued this epoch (arrival→delivery
+    /// gaps of messages that had to wait at the receiving shard).
+    pub parked: TimeDelta,
+}
+
+/// The accumulated deterministic profile of one shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardEpochProfile {
+    /// Epochs the shard participated in.
+    pub epochs: u64,
+    /// Epochs in which the shard processed at least one event.
+    pub busy_epochs: u64,
+    /// Total events processed.
+    pub events: u64,
+    /// Total cross-shard envelopes emitted.
+    pub sent: u64,
+    /// Total cross-shard envelopes received.
+    pub received: u64,
+    /// Sum over busy epochs of how far into the lookahead window the
+    /// shard's local clock actually advanced; divided by the summed
+    /// window widths this is the lookahead-window utilization.
+    pub occupied: TimeDelta,
+    /// Total head-of-line parking time.
+    pub parked: TimeDelta,
+    /// Retained busy-epoch spans (capped at [`EPOCH_SPAN_CAP`]).
+    pub spans: Vec<EpochSpan>,
+    /// Busy epochs whose spans were dropped once the cap was reached.
+    pub dropped_spans: u64,
+}
+
+/// A deterministic, sim-time profiler for the conservative epoch
+/// scheduler. The *coordinator* feeds it one [`EpochSample`] per shard
+/// after each epoch, so the profiler never runs on worker threads and
+/// its output is independent of the worker count — armed or not, it
+/// reads simulation state without mutating it (bit-inert).
+#[derive(Debug, Clone)]
+pub struct EpochProfiler {
+    shards: Vec<ShardEpochProfile>,
+    epochs: u64,
+    window_total: TimeDelta,
+}
+
+impl EpochProfiler {
+    /// Creates a profiler for `n` shards.
+    pub fn new(n: usize) -> Self {
+        EpochProfiler {
+            shards: vec![ShardEpochProfile::default(); n],
+            epochs: 0,
+            window_total: TimeDelta::ZERO,
+        }
+    }
+
+    /// Records one epoch `[start, end)`; `samples` holds one entry per
+    /// shard, in shard-index order.
+    pub fn record_epoch(&mut self, start: Time, end: Time, samples: &[EpochSample]) {
+        assert_eq!(samples.len(), self.shards.len(), "one sample per shard");
+        self.epochs += 1;
+        self.window_total += end.since(start);
+        for (p, s) in self.shards.iter_mut().zip(samples) {
+            p.epochs += 1;
+            p.events += s.events;
+            p.sent += s.sent;
+            p.received += s.received;
+            p.parked += s.parked;
+            if s.events == 0 {
+                continue;
+            }
+            p.busy_epochs += 1;
+            if s.advanced_to > start {
+                p.occupied += s.advanced_to.min(end).since(start);
+            }
+            if p.spans.len() < EPOCH_SPAN_CAP {
+                p.spans.push(EpochSpan {
+                    start,
+                    end,
+                    events: s.events,
+                    sent: s.sent,
+                });
+            } else {
+                p.dropped_spans += 1;
+            }
+        }
+    }
+
+    /// Epochs recorded so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Sum of all epoch window widths.
+    pub fn window_total(&self) -> TimeDelta {
+        self.window_total
+    }
+
+    /// Per-shard profiles, in shard-index order.
+    pub fn shards(&self) -> &[ShardEpochProfile] {
+        &self.shards
+    }
+
+    /// Renders the profile as JSON: per-shard aggregates plus the span
+    /// retention counts. Spans themselves go to the Perfetto export.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let w = self.window_total.as_ps().max(1) as f64;
+        write!(
+            out,
+            "{{\"epochs\":{},\"window_total_ps\":{},\"shards\":[",
+            self.epochs,
+            self.window_total.as_ps()
+        )
+        .expect("writing to a String cannot fail");
+        for (i, p) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let util = p.occupied.as_ps() as f64 / w;
+            write!(
+                out,
+                "{{\"shard\":{i},\"epochs\":{},\"busy_epochs\":{},\"events\":{},\
+                 \"sent\":{},\"received\":{},\"occupied_ps\":{},\"parked_ps\":{},\
+                 \"window_utilization\":{util:.6},\"spans\":{},\"dropped_spans\":{}}}",
+                p.epochs,
+                p.busy_epochs,
+                p.events,
+                p.sent,
+                p.received,
+                p.occupied.as_ps(),
+                p.parked.as_ps(),
+                p.spans.len(),
+                p.dropped_spans,
+            )
+            .expect("writing to a String cannot fail");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Wall-clock utilization summary of a [`ShardPool`]: how much host time
+/// each worker spent pumping shards vs. waiting at the epoch barrier.
+///
+/// This is the *only* non-deterministic observable in the PDES layer —
+/// it explains `BENCH_simperf.json` speedups but must never feed back
+/// into simulation state or deterministic fingerprints.
+#[derive(Debug, Clone, Default)]
+pub struct PoolUtilization {
+    /// Nanoseconds each worker spent executing `pump_epoch` calls.
+    pub busy_ns: Vec<u64>,
+    /// Nanoseconds the coordinator spent inside `run_epoch` overall
+    /// (dispatch + worker execution + barrier collection).
+    pub wall_ns: u64,
+    /// Epochs dispatched through the pool.
+    pub epochs: u64,
+}
+
+impl PoolUtilization {
+    /// Busy fraction of one worker (0.0 when nothing ran).
+    pub fn busy_fraction(&self, worker: usize) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.busy_ns[worker] as f64 / self.wall_ns as f64
+    }
+}
+
 type Chunk<S> = Vec<(usize, S)>;
 
 struct Worker<S> {
     job_tx: mpsc::Sender<(Chunk<S>, Time)>,
-    done_rx: mpsc::Receiver<Chunk<S>>,
+    done_rx: mpsc::Receiver<(Chunk<S>, u64)>,
     // hmc-lint: allow(thread)
     handle: Option<std::thread::JoinHandle<()>>,
 }
@@ -216,6 +415,7 @@ struct Worker<S> {
 /// index before they are returned.
 pub struct ShardPool<S: EpochShard> {
     workers: Vec<Worker<S>>,
+    utilization: PoolUtilization,
 }
 
 impl<S: EpochShard> ShardPool<S> {
@@ -225,16 +425,22 @@ impl<S: EpochShard> ShardPool<S> {
         let workers = (0..n)
             .map(|i| {
                 let (job_tx, job_rx) = mpsc::channel::<(Chunk<S>, Time)>();
-                let (done_tx, done_rx) = mpsc::channel::<Chunk<S>>();
+                let (done_tx, done_rx) = mpsc::channel::<(Chunk<S>, u64)>();
                 // hmc-lint: allow(thread)
                 let handle = std::thread::Builder::new()
                     .name(format!("pdes-shard-{i}"))
                     .spawn(move || {
                         while let Ok((mut chunk, end)) = job_rx.recv() {
+                            // Busy time is wall-clock by definition (it
+                            // explains speedups); it rides back on the
+                            // done channel and never touches the shards.
+                            // hmc-lint: allow(wall-clock)
+                            let t0 = std::time::Instant::now();
                             for (_, shard) in &mut chunk {
                                 shard.pump_epoch(end);
                             }
-                            if done_tx.send(chunk).is_err() {
+                            let busy = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                            if done_tx.send((chunk, busy)).is_err() {
                                 break;
                             }
                         }
@@ -247,7 +453,14 @@ impl<S: EpochShard> ShardPool<S> {
                 }
             })
             .collect();
-        ShardPool { workers }
+        ShardPool {
+            workers,
+            utilization: PoolUtilization {
+                busy_ns: vec![0; n],
+                wall_ns: 0,
+                epochs: 0,
+            },
+        }
     }
 
     /// Number of worker threads.
@@ -255,9 +468,18 @@ impl<S: EpochShard> ShardPool<S> {
         self.workers.len()
     }
 
+    /// The accumulated wall-clock utilization summary (busy vs. barrier
+    /// wait per worker). Non-deterministic; never fold this into a
+    /// simulation fingerprint.
+    pub fn utilization(&self) -> &PoolUtilization {
+        &self.utilization
+    }
+
     /// Runs one epoch: every shard advances to `end` on some worker, and
     /// the full shard list comes back sorted by shard index.
     pub fn run_epoch(&mut self, shards: Chunk<S>, end: Time) -> Chunk<S> {
+        // hmc-lint: allow(wall-clock)
+        let wall0 = std::time::Instant::now();
         let n = self.workers.len();
         let mut chunks: Vec<Chunk<S>> = (0..n).map(|_| Vec::new()).collect();
         for (i, shard) in shards.into_iter().enumerate() {
@@ -276,9 +498,16 @@ impl<S: EpochShard> ShardPool<S> {
         }
         let mut out: Chunk<S> = Vec::new();
         for w in active {
-            out.extend(self.workers[w].done_rx.recv().expect("pdes worker alive"));
+            let (chunk, busy) = self.workers[w].done_rx.recv().expect("pdes worker alive");
+            self.utilization.busy_ns[w] = self.utilization.busy_ns[w].saturating_add(busy);
+            out.extend(chunk);
         }
         out.sort_by_key(|(idx, _)| *idx);
+        self.utilization.epochs += 1;
+        self.utilization.wall_ns = self
+            .utilization
+            .wall_ns
+            .saturating_add(u64::try_from(wall0.elapsed().as_nanos()).unwrap_or(u64::MAX));
         out
     }
 }
@@ -395,6 +624,92 @@ mod tests {
                 assert_eq!(c.log, want, "shard {i} saw every epoch in order");
             }
         }
+    }
+
+    #[test]
+    fn epoch_profiler_accumulates_per_shard() {
+        let mut p = EpochProfiler::new(2);
+        let d = TimeDelta::from_ps(1_000);
+        let s = |events, sent, adv: u64| EpochSample {
+            events,
+            sent,
+            received: sent,
+            advanced_to: Time::from_ps(adv),
+            parked: TimeDelta::from_ps(if events > 0 { 10 } else { 0 }),
+        };
+        // Epoch [0, 1000): shard 0 busy to 600, shard 1 idle.
+        p.record_epoch(Time::ZERO, Time::ZERO + d, &[s(4, 2, 600), s(0, 0, 0)]);
+        // Epoch [1000, 2000): both busy; shard 1 overshoots the window
+        // end (clamped to the window for utilization).
+        p.record_epoch(
+            Time::from_ps(1_000),
+            Time::from_ps(2_000),
+            &[s(1, 0, 1_500), s(8, 3, 2_500)],
+        );
+        assert_eq!(p.epochs(), 2);
+        assert_eq!(p.window_total(), TimeDelta::from_ps(2_000));
+        let sh = p.shards();
+        assert_eq!(sh[0].events, 5);
+        assert_eq!(sh[0].busy_epochs, 2);
+        assert_eq!(sh[0].occupied, TimeDelta::from_ps(600 + 500));
+        assert_eq!(sh[0].parked, TimeDelta::from_ps(20));
+        assert_eq!(sh[0].spans.len(), 2);
+        assert_eq!(sh[1].busy_epochs, 1);
+        assert_eq!(sh[1].occupied, TimeDelta::from_ps(1_000));
+        assert_eq!(sh[1].sent, 3);
+        assert_eq!(sh[1].spans.len(), 1);
+        assert_eq!(sh[1].spans[0].events, 8);
+        let json = p.to_json();
+        assert!(json.contains("\"epochs\":2"));
+        assert!(json.contains("\"window_utilization\""));
+        assert!(json.contains("\"shard\":1"));
+    }
+
+    #[test]
+    fn epoch_profiler_caps_spans_and_counts_drops() {
+        let mut p = EpochProfiler::new(1);
+        for e in 0..(EPOCH_SPAN_CAP as u64 + 10) {
+            let start = Time::from_ps(e * 100);
+            let end = Time::from_ps(e * 100 + 100);
+            p.record_epoch(
+                start,
+                end,
+                &[EpochSample {
+                    events: 1,
+                    sent: 0,
+                    received: 0,
+                    advanced_to: end,
+                    parked: TimeDelta::ZERO,
+                }],
+            );
+        }
+        assert_eq!(p.shards()[0].spans.len(), EPOCH_SPAN_CAP);
+        assert_eq!(p.shards()[0].dropped_spans, 10);
+        assert!(p.to_json().contains("\"dropped_spans\":10"));
+    }
+
+    #[test]
+    fn pool_reports_utilization() {
+        let mut pool: ShardPool<Counter> = ShardPool::new(2);
+        let mut shards: Vec<(usize, Counter)> = (0..4)
+            .map(|i| {
+                (
+                    i,
+                    Counter {
+                        id: i,
+                        log: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+        for e in 1..=3u64 {
+            shards = pool.run_epoch(shards, Time::from_ps(e * 10));
+        }
+        let u = pool.utilization();
+        assert_eq!(u.epochs, 3);
+        assert_eq!(u.busy_ns.len(), 2);
+        assert!(u.wall_ns > 0, "coordinator wall time must accumulate");
+        assert!(u.busy_fraction(0) <= 1.0 + f64::EPSILON);
     }
 
     #[test]

@@ -171,10 +171,22 @@ impl Tracer {
 /// sorted for deterministic output; each traced request becomes one
 /// `tid` track carrying its stage spans as complete (`"ph":"X"`) events.
 pub fn chrome_trace_json(events: &[TraceEvent], names: &[&str]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    chrome_trace_events(events, names, &mut out);
+    out.push_str("]}\n");
+    out
+}
+
+/// Serializes request events as a comma-separated fragment of Chrome
+/// trace-event objects (no surrounding array), appended to `out`.
+/// Callers composing a larger export (e.g. adding per-shard epoch
+/// tracks) use this and supply their own wrapper. Events are sorted for
+/// deterministic output; each traced request becomes one `pid:0` /
+/// `tid:trace_id` track.
+pub fn chrome_trace_events(events: &[TraceEvent], names: &[&str], out: &mut String) {
     let mut sorted: Vec<&TraceEvent> = events.iter().collect();
     sorted.sort_by_key(|e| (e.start, e.trace_id, e.stage));
-    let mut out = String::with_capacity(64 + sorted.len() * 96);
-    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
     for (i, e) in sorted.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -193,8 +205,6 @@ pub fn chrome_trace_json(events: &[TraceEvent], names: &[&str]) -> String {
         )
         .expect("writing to a String cannot fail");
     }
-    out.push_str("]}\n");
-    out
 }
 
 #[cfg(test)]

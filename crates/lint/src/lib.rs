@@ -10,6 +10,10 @@
 //!
 //! * **`wall-clock`** — `std::time::Instant` / `SystemTime` read host
 //!   time; simulation code must only ever consult simulated [`Time`].
+//!   The only sanctioned exceptions are the two audited engine
+//!   schedulers (`engine/src/exec.rs`, `engine/src/pdes.rs`), which may
+//!   measure worker busy/wait time for utilization profiling under an
+//!   allow marker; the marker is ignored everywhere else.
 //! * **`hash-collections`** — `HashMap` / `HashSet` iterate in
 //!   randomized order (SipHash seeding), which leaks into event order
 //!   and diagnostics; use `BTreeMap` / `BTreeSet`.
@@ -256,9 +260,12 @@ const THREAD_TOKENS: [&str; 5] = [
     "thread::sleep",
 ];
 
-/// The only files where a `// hmc-lint: allow(thread)` marker is
-/// honored: the audited sweep executor and conservative-PDES pool.
-fn thread_sanctioned(label: &str) -> bool {
+/// The only files where `// hmc-lint: allow(thread)` and
+/// `// hmc-lint: allow(wall-clock)` markers are honored: the audited
+/// sweep executor and conservative-PDES pool. Threading *and* host-time
+/// reads (worker utilization probes) are confined to these two
+/// schedulers; elsewhere both bans are hard.
+fn sanctioned_scheduler(label: &str) -> bool {
     label.ends_with("engine/src/exec.rs") || label.ends_with("engine/src/pdes.rs")
 }
 
@@ -317,12 +324,25 @@ pub fn lint_file(label: &str, source: &str) -> Vec<Finding> {
         // allow marker anywhere else is ignored, so the rule cannot be
         // waived file by file as the codebase grows.
         if THREAD_TOKENS.iter().any(|t| code.contains(t))
-            && !(thread_sanctioned(label) && allowed.contains(&"thread"))
+            && !(sanctioned_scheduler(label) && allowed.contains(&"thread"))
         {
             findings.push(Finding {
                 file: label.to_string(),
                 line: lineno,
                 rule: "thread",
+                excerpt: raw.trim().to_string(),
+            });
+        }
+        // The wall-clock ban is path-scoped the same way: only the
+        // audited schedulers may read host time, and only under a
+        // marker, so utilization probes cannot creep into model code.
+        if (has_token(code, "Instant") || has_token(code, "SystemTime"))
+            && !(sanctioned_scheduler(label) && allowed.contains(&"wall-clock"))
+        {
+            findings.push(Finding {
+                file: label.to_string(),
+                line: lineno,
+                rule: "wall-clock",
                 excerpt: raw.trim().to_string(),
             });
         }
@@ -336,10 +356,6 @@ pub fn lint_file(label: &str, source: &str) -> Vec<Finding> {
                 });
             }
         };
-
-        if has_token(code, "Instant") || has_token(code, "SystemTime") {
-            push("wall-clock");
-        }
         if has_token(code, "HashMap") || has_token(code, "HashSet") {
             push("hash-collections");
         }
@@ -524,6 +540,20 @@ fn also_real() { other.unwrap(); }
         );
         // Prose and identifiers that merely contain the word pass.
         assert!(lint_file("t.rs", "let threads = cfg.threads + 1;").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_rule_is_path_scoped() {
+        let marked = "let t0 = std::time::Instant::now(); // hmc-lint: allow(wall-clock)";
+        // Honored only inside the two audited schedulers.
+        assert!(lint_file("crates/engine/src/exec.rs", marked).is_empty());
+        assert!(lint_file("crates/engine/src/pdes.rs", marked).is_empty());
+        let elsewhere = lint_file("crates/host/src/host.rs", marked);
+        assert_eq!(elsewhere.len(), 1);
+        assert_eq!(elsewhere[0].rule, "wall-clock");
+        // Without the marker even the sanctioned files flag it.
+        let bare = "let t0 = std::time::Instant::now();";
+        assert_eq!(lint_file("crates/engine/src/pdes.rs", bare).len(), 1);
     }
 
     #[test]

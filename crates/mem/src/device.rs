@@ -637,8 +637,9 @@ impl HmcDevice {
     }
 
     /// Records the device's gauges into a metrics sampler at instant
-    /// `at`: vault queue depth, posted-write buffer fill, busy banks, and
-    /// the link-level ingress-credit / egress-backlog levels.
+    /// `at`: vault queue depth, posted-write buffer fill, busy banks,
+    /// the link-level ingress-credit / egress-backlog levels, and the
+    /// fault-plane counters (retries, stall windows, leaked credits).
     pub fn sample_metrics(&self, at: Time, s: &mut MetricsSampler) {
         s.record("device.vault_queued", at, self.total_queued() as f64);
         s.record("device.write_buf", at, self.write_buf_used as f64);
@@ -650,6 +651,10 @@ impl HmcDevice {
         s.record("device.egress_backlog", at, egress as f64);
         let retries: u64 = self.links.iter().map(|l| l.stats().retries).sum();
         s.record("device.link_retries", at, retries as f64);
+        let stalls: u64 = self.links.iter().map(|l| l.stats().stall_events).sum();
+        s.record("device.link_stalls", at, stalls as f64);
+        let leaked: u64 = self.links.iter().map(|l| l.stats().leaked_credits).sum();
+        s.record("device.credits_leaked", at, leaked as f64);
     }
 
     // ------------------------------------------------------------------

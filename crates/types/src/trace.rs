@@ -58,12 +58,17 @@ pub enum Stage {
     /// Link-layer retry: re-serialization attempts after a CRC-failed
     /// transfer, in either direction. Zero samples on clean links.
     LinkRetry = 14,
+    /// Cube-to-cube hop traversal in a multi-cube chain: pass-through
+    /// queueing, hop-link serialization, and head-of-line parking at the
+    /// receiving cube, in either direction. Zero samples on single-cube
+    /// runs, where no request ever crosses a hop link.
+    HopLink = 15,
 }
 
 impl Stage {
     /// Number of stages (the length every per-stage histogram vector
     /// must have).
-    pub const COUNT: usize = 15;
+    pub const COUNT: usize = 16;
 
     /// Every stage, in round-trip order.
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -82,6 +87,7 @@ impl Stage {
         Stage::LinkEgress,
         Stage::Rx,
         Stage::LinkRetry,
+        Stage::HopLink,
     ];
 
     /// Stage display names, indexed by [`Stage::index`]. This is the
@@ -102,6 +108,7 @@ impl Stage {
         "link_egress",
         "rx",
         "link_retry",
+        "hop_link",
     ];
 
     /// The stages a read traverses; their spans telescope exactly to the
@@ -144,6 +151,13 @@ impl Stage {
     pub const fn fault_only(self) -> bool {
         matches!(self, Stage::LinkRetry)
     }
+
+    /// True for stages that only appear on multi-cube chain runs; a
+    /// single-cube system never routes a request over a hop link, so
+    /// [`Stage::read_path`] excludes them.
+    pub const fn chain_only(self) -> bool {
+        matches!(self, Stage::HopLink)
+    }
 }
 
 impl fmt::Display for Stage {
@@ -177,7 +191,8 @@ mod tests {
         let rp = Stage::read_path();
         assert!(rp.iter().all(|s| !s.write_only()));
         assert!(rp.iter().all(|s| !s.fault_only()));
-        assert_eq!(rp.len(), Stage::COUNT - 3);
+        assert!(rp.iter().all(|s| !s.chain_only()));
+        assert_eq!(rp.len(), Stage::COUNT - 4);
         // Round-trip order is preserved.
         for w in rp.windows(2) {
             assert!(w[0].index() < w[1].index());
