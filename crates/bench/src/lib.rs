@@ -15,6 +15,9 @@ pub mod paper;
 /// The measurement window benches use. Set `HMC_BENCH_FAST=1` to shrink it
 /// (useful in CI) at some cost in measurement noise.
 pub fn bench_mc() -> MeasureConfig {
+    // The fast-mode switch scales the measurement window only; every
+    // simulated statistic within a window stays bit-identical.
+    // hmc-lint: allow(env-read)
     if std::env::var_os("HMC_BENCH_FAST").is_some() {
         MeasureConfig {
             warmup: TimeDelta::from_us(30),
@@ -30,6 +33,8 @@ pub fn bench_mc() -> MeasureConfig {
 
 /// A faster window for the many-point sweeps (Figures 17/18).
 pub fn sweep_mc() -> MeasureConfig {
+    // Same fast-mode switch as `bench_mc`: window length, not results.
+    // hmc-lint: allow(env-read)
     if std::env::var_os("HMC_BENCH_FAST").is_some() {
         MeasureConfig {
             warmup: TimeDelta::from_us(25),

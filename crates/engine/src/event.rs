@@ -11,9 +11,9 @@
 //! tuple comparisons. Far-future events overflow into a small heap and
 //! migrate into the wheel as simulated time approaches them.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use hmc_types::Time;
 
@@ -66,8 +66,11 @@ pub struct EventQueue<E> {
     len: usize,
     popped: u64,
     /// Cached earliest-event time in ps, or [`DIRTY`]/[`EMPTY`]. Lets
-    /// `peek_time(&self)` stay O(1) on the hot path while remaining `Sync`.
-    cached_peek: AtomicU64,
+    /// `peek_time(&self)` stay O(1) on the hot path. A `Cell` (not an
+    /// atomic): the queue is single-owner by design — the PDES pool
+    /// *moves* whole shards between threads, it never shares one — so
+    /// the type is `Send` but deliberately not `Sync`.
+    cached_peek: Cell<u64>,
 }
 
 #[derive(Debug)]
@@ -116,7 +119,7 @@ impl<E> EventQueue<E> {
             seq: 0,
             len: 0,
             popped: 0,
-            cached_peek: AtomicU64::new(EMPTY),
+            cached_peek: Cell::new(EMPTY),
         }
     }
 
@@ -142,9 +145,9 @@ impl<E> EventQueue<E> {
                 event,
             });
         }
-        let cached = self.cached_peek.load(Ordering::Relaxed);
+        let cached = self.cached_peek.get();
         if cached != DIRTY && at.as_ps() < cached {
-            self.cached_peek.store(at.as_ps(), Ordering::Relaxed);
+            self.cached_peek.set(at.as_ps());
         }
     }
 
@@ -175,7 +178,7 @@ impl<E> EventQueue<E> {
             None if self.len == 0 => EMPTY,
             None => DIRTY,
         };
-        self.cached_peek.store(next, Ordering::Relaxed);
+        self.cached_peek.set(next);
         Some((t, event))
     }
 
@@ -211,7 +214,7 @@ impl<E> EventQueue<E> {
             None if self.len == 0 => EMPTY,
             None => DIRTY,
         };
-        self.cached_peek.store(next, Ordering::Relaxed);
+        self.cached_peek.set(next);
         out.len() - before
     }
 
@@ -273,12 +276,11 @@ impl<E> EventQueue<E> {
 
     /// The time of the earliest scheduled event, if any.
     pub fn peek_time(&self) -> Option<Time> {
-        match self.cached_peek.load(Ordering::Relaxed) {
+        match self.cached_peek.get() {
             EMPTY => None,
             DIRTY => {
                 let t = self.scan_min_time();
-                self.cached_peek
-                    .store(t.map_or(EMPTY, Time::as_ps), Ordering::Relaxed);
+                self.cached_peek.set(t.map_or(EMPTY, Time::as_ps));
                 t
             }
             ps => Some(Time::from_ps(ps)),
@@ -333,7 +335,7 @@ impl<E> EventQueue<E> {
         }
         self.overflow.clear();
         self.len = 0;
-        self.cached_peek.store(EMPTY, Ordering::Relaxed);
+        self.cached_peek.set(EMPTY);
     }
 
     /// Iterates over pending events in arbitrary order (diagnostics).

@@ -9,21 +9,28 @@
 //! which core runs a point, never what the point computes or where its
 //! result lands.
 
+// The sweep executor is one of the two audited schedulers: the atomics
+// below carry only work-distribution state (a thread-count override and
+// a work-stealing cursor), never simulation state, so results stay
+// input-order deterministic regardless of interleaving.
+// hmc-lint: allow(atomics)
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Sweep-wide thread-count override; 0 means "use all available cores".
+// hmc-lint: allow(atomics)
 static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Sets the thread count used by [`sweep`]: `0` restores the default of
 /// one thread per available core. Typically driven by a `--threads` CLI
 /// flag.
 pub fn set_threads(n: usize) {
-    GLOBAL_THREADS.store(n, Ordering::Relaxed);
+    GLOBAL_THREADS.store(n, Ordering::Relaxed); // hmc-lint: allow(atomics)
 }
 
 /// The effective thread count [`sweep`] will use.
 pub fn threads() -> usize {
+    // hmc-lint: allow(atomics)
     match GLOBAL_THREADS.load(Ordering::Relaxed) {
         // hmc-lint: allow(thread)
         0 => std::thread::available_parallelism()
@@ -62,7 +69,7 @@ where
         return items.into_iter().map(f).collect();
     }
     let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-    let cursor = AtomicUsize::new(0);
+    let cursor = AtomicUsize::new(0); // hmc-lint: allow(atomics)
     let (work, cursor, f) = (&work, &cursor, &f);
     // hmc-lint: allow(thread)
     let mut tagged: Vec<(usize, R)> = std::thread::scope(|s| {
@@ -71,6 +78,7 @@ where
                 s.spawn(move || {
                     let mut out = Vec::new();
                     loop {
+                        // hmc-lint: allow(atomics)
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= work.len() {
                             break;

@@ -1,0 +1,468 @@
+//! A small hand-rolled Rust lexer producing a token stream with spans.
+//!
+//! The linter used to strip comments and string interiors line by line
+//! and match rules against the residue with `str::find`. That approach
+//! had two structural holes: a marker *inside a string literal* looked
+//! identical to a marker in a comment, and token adjacency created by
+//! formatting (`(x)as u16`) escaped substring probes (`" as "`). Lexing
+//! the whole file once fixes both classes: rules match token sequences,
+//! and comment text is a distinct token kind that cannot be forged from
+//! inside a literal.
+//!
+//! The lexer is deliberately smaller than a compiler front end — it
+//! only needs to classify bytes well enough to separate *code* from
+//! *non-code* and to keep identifier boundaries exact. It understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`) to arbitrary depth;
+//! * string literals: plain (`"…"` with escapes), raw (`r"…"`,
+//!   `r##"…"##`), byte (`b"…"`), raw byte (`br#"…"#`), and C
+//!   (`c"…"`) — contents are opaque, including `*/` inside raw strings;
+//! * char (`'x'`, `'\u{1F600}'`) and byte-char (`b'x'`) literals,
+//!   disambiguated from lifetimes (`'a`);
+//! * identifiers (including raw `r#ident`), numeric literals with
+//!   suffixes (`1_000u64`, `1.5e-3_f64`, `0xFFu8`), and punctuation.
+//!
+//! Tokens borrow from the source and carry the 1-based line where they
+//! start; block comments and raw strings may span lines (the lexer
+//! tracks the newline count inside them so later tokens keep accurate
+//! line numbers).
+
+/// Classification of one lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (also raw identifiers, lexed past `r#`).
+    Ident,
+    /// Numeric literal, including any type suffix (`1.5_f64`, `0xFF`).
+    Number,
+    /// Any string literal (`"…"`, `r#"…"#`, `b"…"`, `br"…"`, `c"…"`).
+    /// The text includes the delimiters; rules treat it as opaque.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// One byte of punctuation (`.`, `:`, `(`, …). Multi-byte operators
+    /// arrive as consecutive tokens; rules match the sequences they need.
+    Punct,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nested to arbitrary depth, possibly multi-line.
+    BlockComment,
+}
+
+/// One token: kind, exact source text, and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// What class of token this is.
+    pub kind: TokenKind,
+    /// The token's source text (delimiters included for literals).
+    pub text: &'a str,
+    /// 1-based line number of the token's first byte.
+    pub line: usize,
+}
+
+impl Token<'_> {
+    /// True for token kinds that participate in code (not comments).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lexes `source` into a token vector. Whitespace is dropped; every
+/// other byte lands in exactly one token. The lexer never fails: bytes
+/// it cannot classify become single `Punct` tokens, so a pathological
+/// file degrades to noise rather than a panic.
+pub fn lex(source: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src: source,
+        b: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token<'a>>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.pos < self.b.len() {
+            let c = self.b[self.pos];
+            match c {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(0, false),
+                b'\'' => self.char_or_lifetime(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ if is_ident_start(c) => self.ident_or_prefixed(),
+                _ => {
+                    self.emit(TokenKind::Punct, self.pos, self.pos + 1, self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.pos + ahead).copied()
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, end: usize, line: usize) {
+        self.out.push(Token {
+            kind,
+            text: &self.src[start..end],
+            line,
+        });
+    }
+
+    /// Counts newlines in `[start, end)` so multi-line tokens keep the
+    /// running line number accurate.
+    fn advance_lines(&mut self, start: usize, end: usize) {
+        self.line += self.b[start..end].iter().filter(|&&c| c == b'\n').count();
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.b.len() && self.b[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.emit(TokenKind::LineComment, start, self.pos, self.line);
+    }
+
+    /// `/* … */` with arbitrary nesting; an unterminated comment runs to
+    /// end of file (matching rustc's error recovery).
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let mut depth = 1usize;
+        self.pos += 2;
+        while self.pos < self.b.len() && depth > 0 {
+            if self.b[self.pos..].starts_with(b"/*") {
+                depth += 1;
+                self.pos += 2;
+            } else if self.b[self.pos..].starts_with(b"*/") {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += 1;
+            }
+        }
+        self.advance_lines(start, self.pos);
+        self.emit(TokenKind::BlockComment, start, self.pos, line);
+    }
+
+    /// A string body starting at the opening `"` (already positioned),
+    /// closed by `"` plus `hashes` pound signs. `raw` disables escapes.
+    /// The token start may have been earlier (prefix `r#`/`b`/`br`);
+    /// callers pass it via `self.pos` mutation — here we only consume
+    /// from the quote onward and the caller emits.
+    fn string(&mut self, hashes: usize, raw: bool) {
+        let start = self.pos;
+        let line = self.line;
+        self.consume_string_body(hashes, raw);
+        self.advance_lines(start, self.pos);
+        self.emit(TokenKind::Str, start, self.pos, line);
+    }
+
+    /// Consumes from the opening `"` through the closing delimiter.
+    fn consume_string_body(&mut self, hashes: usize, raw: bool) {
+        self.pos += 1; // opening quote
+        while self.pos < self.b.len() {
+            let c = self.b[self.pos];
+            if !raw && c == b'\\' {
+                self.pos += 2; // skip the escaped byte (may pass EOL; fine)
+            } else if c == b'"' && self.closes_raw(hashes) {
+                self.pos += 1 + hashes;
+                return;
+            } else {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Are the `hashes` bytes after the current `"` all `#`?
+    fn closes_raw(&self, hashes: usize) -> bool {
+        let rest = &self.b[self.pos + 1..];
+        rest.len() >= hashes && rest[..hashes].iter().all(|&c| c == b'#')
+    }
+
+    /// `'x'`, `'\n'`, `'\u{…}'` → `Char`; `'a` / `'static` → `Lifetime`.
+    fn char_or_lifetime(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        // `'\…'` is always a char literal.
+        if self.peek(1) == Some(b'\\') {
+            self.pos += 2;
+            while self.pos < self.b.len() && self.b[self.pos] != b'\'' {
+                self.pos += 1;
+            }
+            self.pos = (self.pos + 1).min(self.b.len());
+            self.emit(TokenKind::Char, start, self.pos, line);
+            return;
+        }
+        // `'x'` (any single byte/codepoint then a quote) is a char; an
+        // identifier-shaped tail without a closing quote is a lifetime.
+        let mut j = self.pos + 1;
+        while j < self.b.len() && is_ident_continue(self.b[j]) {
+            j += 1;
+        }
+        if j == self.pos + 1 && self.peek(1).is_some() && self.peek(2) == Some(b'\'') {
+            // Non-identifier single char like `'"'` or `'.'`.
+            self.pos += 3;
+            self.emit(TokenKind::Char, start, self.pos, line);
+        } else if j == self.pos + 2 && self.b.get(j) == Some(&b'\'') {
+            // `'x'`: exactly one identifier-class byte then a quote.
+            self.pos = j + 1;
+            self.emit(TokenKind::Char, start, self.pos, line);
+        } else {
+            // Lifetime: consume `'` plus the identifier tail (possibly
+            // empty, for stray quotes — still harmless as a token).
+            self.pos = j.max(self.pos + 1);
+            self.emit(TokenKind::Lifetime, start, self.pos, line);
+        }
+    }
+
+    /// Numeric literal: digits, `_`, radix prefixes, a fractional part
+    /// (only when followed by a digit — `1..5` and `1.max(2)` stay
+    /// separate tokens), an exponent, and any trailing type suffix.
+    fn number(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 1;
+        // Radix prefix bodies (0x/0o/0b) and plain digit runs both fall
+        // under "identifier-continue" consumption; suffixes too.
+        while self.pos < self.b.len() && is_ident_continue(self.b[self.pos]) {
+            self.pos += 1;
+        }
+        // Fractional part: a `.` followed by a digit.
+        if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+            while self.pos < self.b.len() && is_ident_continue(self.b[self.pos]) {
+                self.pos += 1;
+            }
+        }
+        // Signed exponent (`1e-9`): the `e` was consumed above; a sign
+        // and digit run may follow.
+        if matches!(self.b.get(self.pos.wrapping_sub(1)), Some(b'e' | b'E'))
+            && matches!(self.peek(0), Some(b'+' | b'-'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.pos += 1;
+            while self.pos < self.b.len() && is_ident_continue(self.b[self.pos]) {
+                self.pos += 1;
+            }
+        }
+        self.emit(TokenKind::Number, start, self.pos, line);
+    }
+
+    /// Identifier, or one of the prefixed literal forms that *start*
+    /// like an identifier: `r"…"`, `r#"…"#`, `r#ident`, `b"…"`,
+    /// `b'x'`, `br##"…"##`, `c"…"`.
+    fn ident_or_prefixed(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        let c = self.b[self.pos];
+        // Raw string / raw identifier: `r` then `#`s then `"` or ident.
+        if (c == b'r' || c == b'b' || c == b'c') && !self.prev_is_ident(start) {
+            // `br` / raw-byte prefix.
+            let mut p = self.pos + 1;
+            if c == b'b' && self.b.get(p) == Some(&b'r') {
+                p += 1;
+            }
+            let hashes = self.b[p..].iter().take_while(|&&h| h == b'#').count();
+            if self.b.get(p + hashes) == Some(&b'"') && (hashes == 0 || c != b'c') {
+                let raw = p > self.pos + 1 || c == b'r' || hashes > 0;
+                self.pos = p + hashes;
+                self.consume_string_body(hashes, raw);
+                self.advance_lines(start, self.pos);
+                self.emit(TokenKind::Str, start, self.pos, line);
+                return;
+            }
+            // Byte char `b'x'`.
+            if c == b'b' && self.b.get(self.pos + 1) == Some(&b'\'') {
+                self.pos += 1;
+                let q_start = self.pos;
+                self.char_or_lifetime();
+                // Re-label the just-emitted token to include the `b` and
+                // force Char (a `b'…'` can never be a lifetime).
+                let tok = self.out.last_mut().expect("char_or_lifetime emitted");
+                tok.kind = TokenKind::Char;
+                tok.text = &self.src[start..q_start + tok.text.len()];
+                return;
+            }
+            // Raw identifier `r#ident`: skip the `r#` and lex the rest
+            // as a plain identifier (the token text keeps the prefix).
+            if c == b'r' && hashes == 1 && self.b.get(p + 1).is_some_and(|&c| is_ident_start(c)) {
+                self.pos = p + 1;
+            }
+        }
+        while self.pos < self.b.len() && is_ident_continue(self.b[self.pos]) {
+            self.pos += 1;
+        }
+        self.pos = self.pos.max(start + 1);
+        self.emit(TokenKind::Ident, start, self.pos, line);
+    }
+
+    /// Was the byte before `at` part of an identifier? Guards the
+    /// literal-prefix probe so `var"x"` never parses as a raw string.
+    fn prev_is_ident(&self, at: usize) -> bool {
+        at > 0 && is_ident_continue(self.b[at - 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    fn code_texts(src: &str) -> Vec<&str> {
+        lex(src)
+            .into_iter()
+            .filter(Token::is_code)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens_and_lines() {
+        let toks = lex("let x = 1;\nlet y = x;");
+        assert_eq!(toks[0].text, "let");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks.last().expect("tokens").line, 2);
+        assert_eq!(
+            kinds("a.b(1)").iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Ident,
+                TokenKind::Punct,
+                TokenKind::Number,
+                TokenKind::Punct
+            ]
+        );
+    }
+
+    #[test]
+    fn byte_strings_are_opaque() {
+        // A byte string containing rule-triggering text must lex as one
+        // Str token, not leak `unwrap` / `HashMap` idents.
+        let toks = kinds(r#"let s = b"call .unwrap() on HashMap";"#);
+        assert!(toks.contains(&(TokenKind::Str, r#"b"call .unwrap() on HashMap""#)));
+        assert!(!code_texts(r#"let s = b".unwrap()";"#).contains(&"unwrap"));
+    }
+
+    #[test]
+    fn byte_chars_and_char_literals() {
+        let toks = kinds("if c == b'x' && d == b'\\n' { }");
+        assert!(toks.contains(&(TokenKind::Char, "b'x'")));
+        assert!(toks.contains(&(TokenKind::Char, "b'\\n'")));
+        // A quote char literal must not open a string.
+        let toks = kinds("c == '\"' && s.unwrap()");
+        assert!(toks.contains(&(TokenKind::Char, "'\"'")));
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'static str");
+        assert!(toks.contains(&(TokenKind::Lifetime, "'a")));
+        assert!(toks.contains(&(TokenKind::Lifetime, "'static")));
+    }
+
+    #[test]
+    fn nested_block_comments_beyond_two_levels() {
+        // Three levels of nesting, spanning lines, with rule-bait inside.
+        let src = "/* 1 /* 2 /* 3 Instant::now() */ still 2 */\nstill 1 */ let x = 1;";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert!(toks[0].text.ends_with("still 1 */"));
+        // Code resumes after the comment, on line 2.
+        let let_tok = toks.iter().find(|t| t.text == "let").expect("let");
+        assert_eq!(let_tok.line, 2);
+        assert!(!code_texts(src).contains(&"Instant"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_hide_comment_closers() {
+        // `*/` inside a raw string must not terminate anything, and the
+        // `"#` inside must not close the 2-hash delimiter early.
+        let src = r###"let s = r##"contains */ and "# inside"##; s.len()"###;
+        let toks = lex(src);
+        assert_eq!(toks[3].kind, TokenKind::Str);
+        assert!(toks[3].text.contains("*/"));
+        assert!(code_texts(src).contains(&"len"));
+        // And a raw string inside a line that continues with real code.
+        let toks = kinds(r#"let s = r"no escapes \ here"; x.unwrap()"#);
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap")));
+    }
+
+    #[test]
+    fn raw_byte_strings() {
+        let src = r##"let s = br#"bytes with " quote"#;"##;
+        let toks = lex(src);
+        assert_eq!(toks[3].kind, TokenKind::Str);
+        assert!(toks[3].text.starts_with("br#"));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_floats() {
+        let toks = kinds("let a = 1_000u64 + 1.5e-3_f64 + 0xFFu8;");
+        assert!(toks.contains(&(TokenKind::Number, "1_000u64")));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3_f64")));
+        assert!(toks.contains(&(TokenKind::Number, "0xFFu8")));
+        // Ranges and method calls on ints do not swallow the dot.
+        let toks = kinds("for i in 1..5 { 2.max(i); }");
+        assert!(toks.contains(&(TokenKind::Number, "1")));
+        assert!(toks.contains(&(TokenKind::Number, "5")));
+        assert!(toks.contains(&(TokenKind::Ident, "max")));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.contains(&(TokenKind::Ident, "r#type")));
+    }
+
+    #[test]
+    fn multiline_strings_track_line_numbers() {
+        let src = "let s = \"line one\nline two\";\nlet t = 3;";
+        let t3 = lex(src)
+            .into_iter()
+            .find(|t| t.text == "t")
+            .expect("ident t");
+        assert_eq!(t3.line, 3);
+    }
+
+    #[test]
+    fn identifier_suffix_does_not_start_literal() {
+        // `var"x"` — the `r` belongs to `var`, the string is separate.
+        let toks = kinds("avar\"x\"");
+        assert_eq!(toks[0], (TokenKind::Ident, "avar"));
+        assert_eq!(toks[1], (TokenKind::Str, "\"x\""));
+    }
+}

@@ -76,9 +76,12 @@ impl PimSystem {
     /// Builds the fabric over a fresh device. Units are dealt round-robin
     /// over the vaults.
     pub fn new(mem: MemConfig, cfg: PimConfig) -> Self {
-        let vaults = mem.spec.num_vaults() as u16;
+        let vaults = mem.spec.num_vaults() as usize;
         let units = (0..cfg.units)
-            .map(|i| PimUnit::new(i, i as u16 % vaults, 0xBEEF))
+            .map(|i| {
+                let home = u16::try_from(i % vaults).expect("vault index below vault count");
+                PimUnit::new(i, home, 0xBEEF)
+            })
             .collect();
         PimSystem {
             device: HmcDevice::new(mem),

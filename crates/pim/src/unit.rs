@@ -107,7 +107,10 @@ impl PimUnit {
     ) -> MemoryRequest {
         MemoryRequest {
             id,
-            port: PortId::new(PIM_PORT_BASE + self.index as u8),
+            port: PortId::new(
+                PIM_PORT_BASE
+                    + u8::try_from(self.index).expect("PIM unit index fits the port id byte"),
+            ),
             tag: Tag::new(0),
             op,
             size: cfg.size,
@@ -130,7 +133,8 @@ impl PimUnit {
             PimLocality::VaultLocal => {
                 // A random aligned location within the home vault: pick a
                 // random bank and row, encode, and add an aligned offset.
-                let bank = self.rng.next_below(spec.banks_per_vault() as u64) as u16;
+                let drawn = self.rng.next_below(u64::from(spec.banks_per_vault()));
+                let bank = u16::try_from(drawn).expect("bank index below banks_per_vault");
                 let rows = spec.bank_bytes() / hmc_types::address::ROW_BYTES;
                 let row = self.rng.next_below(rows);
                 mapping.encode(
