@@ -20,6 +20,13 @@
 //!   host robustness layer on and the sanitizer armed, and print the
 //!   degraded-mode characterization (nonzero exit on violations or a
 //!   run that failed to drain).
+//! * `openloop [policy|all] [--poisson] [--quick] [--cubes N] [--shards N]
+//!   [--faults scenario]` — open-loop multi-tenant overload sweep:
+//!   throughput-latency curves over the saturation-fraction grid plus
+//!   per-tenant SLO conformance, MMPP arrivals by default, sanitizer and
+//!   shed-accounting invariant armed (nonzero exit on violations or a
+//!   failed drain). `--faults` composes one 1.5x-saturation point with a
+//!   built-in fault scenario and the host robustness layer.
 //! * `chain [--cubes N] [--star] [--interleave cube|vault] [--shards N]`
 //!   — multi-cube chain characterization: aggregate bandwidth vs chain
 //!   length, the per-hop latency ladder, and near/far asymmetry, with
@@ -50,8 +57,8 @@
 
 use hmc_bench::{bench_mc, sweep_mc};
 use hmc_core::experiments::{
-    bandwidth, baseline, chain, faults, generations, kernels, latency, mapping, page_policy,
-    read_ratio, thermal,
+    bandwidth, baseline, chain, faults, generations, kernels, latency, mapping, openloop,
+    page_policy, read_ratio, thermal,
 };
 use hmc_core::hmc_host::Workload;
 use hmc_core::hmc_types::CubeInterleave;
@@ -327,6 +334,30 @@ fn perf_json(cfg: &SystemConfig) {
         }
     }
 
+    // Open-loop overload grid: offered load vs goodput across the
+    // standard fraction grid (MMPP arrivals, reject-newest, sanitizer
+    // armed) — the throughput-latency curve as a regression surface.
+    let ol_run = openloop::OpenLoopRun::mmpp(hmc_core::hmc_host::ShedPolicy::RejectNewest);
+    let t2 = Instant::now();
+    let ol = openloop::run_openloop(cfg, &ol_run, &mc);
+    let ol_wall = t2.elapsed().as_secs_f64();
+    assert!(ol.is_clean(), "openloop perf grid must sanitize clean");
+    let mut ol_cells = String::new();
+    for p in &ol.points {
+        if !ol_cells.is_empty() {
+            ol_cells.push_str(",\n");
+        }
+        ol_cells.push_str(&format!(
+            "      {{\"load\": {:.2}, \"offered_rps\": {:.0}, \
+             \"goodput_rps\": {:.0}, \"shed\": {}, \"p99_ns\": {:.1}}}",
+            p.offered_rps / ol.saturation_rps,
+            p.offered_rps,
+            p.goodput_rps,
+            p.shed,
+            p.p99_ns
+        ));
+    }
+
     let json = format!(
         "{{\n  \"event_core\": {{\n    \"events_per_sec\": {:.0},\n    \
          \"simulated_us_per_wall_sec\": {:.1}\n  }},\n  \"sweep\": {{\n    \
@@ -336,6 +367,10 @@ fn perf_json(cfg: &SystemConfig) {
          \"host_cores\": {},\n    \"points\": [\n{}\n    ]\n  }},\n  \
          \"observability\": {{\n    \"span_us\": {:.0},\n    \
          \"armed\": \"tracer + per-cube gauges + epoch profiler\",\n    \
+         \"points\": [\n{}\n    ]\n  }},\n  \
+         \"openloop\": {{\n    \"arrivals\": \"mmpp\",\n    \
+         \"policy\": \"reject-newest\",\n    \
+         \"saturation_rps\": {:.0},\n    \"wall_sec\": {:.3},\n    \
          \"points\": [\n{}\n    ]\n  }}\n}}\n",
         events as f64 / core_wall,
         span.as_ns_f64() / 1e3 / core_wall,
@@ -348,6 +383,9 @@ fn perf_json(cfg: &SystemConfig) {
         chain_cells,
         chain_span.as_ns_f64() / 1e3,
         obs_cells,
+        ol.saturation_rps,
+        ol_wall,
+        ol_cells,
     );
     print!("{json}");
     if let Err(e) = std::fs::write("BENCH_simperf.json", &json) {
@@ -448,6 +486,123 @@ fn run_faults(cfg: &SystemConfig, which: &str, json_out: Option<&str>) -> bool {
     ok
 }
 
+/// Runs the open-loop multi-tenant overload sweep for one shed policy
+/// (or all three) and prints the throughput-latency curve plus the
+/// per-tenant SLO conformance table. With `--faults <scenario>` it runs
+/// a single 1.5x-saturation point composed with that fault scenario and
+/// the host robustness layer instead. Returns `false` on any sanitizer
+/// violation or failed drain.
+#[allow(clippy::too_many_lines)]
+fn run_openloop(cfg: &SystemConfig, args: &[String], json_out: Option<&str>) -> bool {
+    use hmc_core::hmc_host::ShedPolicy;
+    use sim_engine::{ArrivalKind, FaultScenario};
+
+    let mut policies: Vec<ShedPolicy> = ShedPolicy::ALL.to_vec();
+    let mut kind = openloop::bursty();
+    let mut cubes = 1u8;
+    let mut shards = 1usize;
+    let mut scenario: Option<FaultScenario> = None;
+    let mut mc = bench_mc();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--poisson" => kind = ArrivalKind::Poisson,
+            "--quick" => mc = hmc_core::measure::MeasureConfig::quick(),
+            "--cubes" => {
+                cubes = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--faults" => {
+                let name = it.next().unwrap_or_else(|| usage());
+                match FaultScenario::builtin(name) {
+                    Some(s) => scenario = Some(s),
+                    None => {
+                        eprintln!(
+                            "unknown scenario '{name}' (built-ins: {})",
+                            FaultScenario::builtin_names().join(", ")
+                        );
+                        return false;
+                    }
+                }
+            }
+            "all" => policies = ShedPolicy::ALL.to_vec(),
+            p => match ShedPolicy::parse(p) {
+                Some(policy) => policies = vec![policy],
+                None => {
+                    eprintln!(
+                        "unknown policy '{p}' (policies: {}, or 'all')",
+                        ShedPolicy::ALL.map(|p| p.label()).join(", ")
+                    );
+                    return false;
+                }
+            },
+        }
+    }
+    let mut ok = true;
+    if let Some(scenario) = scenario {
+        for policy in policies {
+            let run = openloop::OpenLoopRun {
+                kind,
+                cubes,
+                workers: shards,
+                ..openloop::OpenLoopRun::standard(policy)
+            };
+            let o = openloop::run_openloop_scenario(cfg, &run, &scenario, 1.5, &mc);
+            let p = &o.point;
+            println!(
+                "{} + {} at 1.5x saturation: offered={} shed={} completed={} \
+                 p99={:.0} ns abandoned={} retries={} drained={}",
+                policy,
+                o.scenario,
+                p.offered,
+                p.shed,
+                p.completed,
+                p.p99_ns,
+                o.robust.abandoned,
+                o.robust.retries,
+                o.drained,
+            );
+            if !o.is_clean() {
+                eprintln!(
+                    "degraded run under '{}' was not clean:\n{}",
+                    o.scenario, o.report
+                );
+                ok = false;
+            }
+        }
+        return ok;
+    }
+    let mut last: Option<openloop::OpenLoopOutcome> = None;
+    for policy in policies {
+        let run = openloop::OpenLoopRun {
+            kind,
+            cubes,
+            workers: shards,
+            ..openloop::OpenLoopRun::standard(policy)
+        };
+        let o = openloop::run_openloop(cfg, &run, &mc);
+        println!("{}", openloop::throughput_table(&o));
+        println!("{}", openloop::slo_table(&o));
+        if !o.is_clean() {
+            eprintln!("openloop sweep under {policy} was not clean:\n{}", o.report);
+            ok = false;
+        }
+        last = Some(o);
+    }
+    if let (Some(path), Some(o)) = (json_out, last.as_ref()) {
+        write_artifact(o, path);
+    }
+    ok
+}
+
 /// Runs the multi-cube chain characterization and prints its three
 /// tables. The shape checks (aggregate scaling, exact ladder adders,
 /// near/far asymmetry) are asserted inside `characterize`.
@@ -483,6 +638,8 @@ fn usage() -> ! {
          \x20 sweep <trace|metrics|perf>\n\
          \x20 sanitize\n\
          \x20 faults [scenario|all]\n\
+         \x20 openloop [policy|all] [--poisson] [--quick] [--cubes N] [--shards N]\n\
+         \x20          [--faults scenario]\n\
          \x20 chain [--cubes N] [--star] [--interleave cube|vault] [--shards N]\n\
          \x20       [--breakdown] [--trace-json P] [--metrics-json P] [--profile-json P]\n\
          \x20       [--dashboard | --dashboard-headless] [--frames N] [--frame-us N]\n\
@@ -762,6 +919,12 @@ fn main() {
             let (rest, json) = take_common(&args[1..]);
             let which = rest.first().map(String::as_str).unwrap_or("all");
             if !run_faults(&cfg, which, json.as_deref()) {
+                std::process::exit(1);
+            }
+        }
+        Some("openloop") => {
+            let (rest, json) = take_common(&args[1..]);
+            if !run_openloop(&cfg, &rest, json.as_deref()) {
                 std::process::exit(1);
             }
         }

@@ -141,6 +141,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches the open-loop multi-tenant arrival frontend with
+    /// admission control to every host. In a chain, each sharded host
+    /// receives a clone (so the config's `offered_rps` is per shard) and
+    /// draws decorrelated arrivals through its `rng_salt`.
+    pub fn open_loop(mut self, open: hmc_host::OpenLoopConfig) -> Self {
+        self.cfg.host.openloop = Some(open);
+        self
+    }
+
     /// Selects the cube topology ([`Topology::single`] by default).
     /// Multi-cube topologies require [`build_chain`](Self::build_chain).
     pub fn topology(mut self, topo: Topology) -> Self {

@@ -14,6 +14,7 @@
 //! | [`faults`] | link bit-error injection: the cost of the packet-integrity machinery doing work |
 //! | [`generations`] | the Table I geometries re-measured, including the then-unreleased HMC 2.0 |
 //! | [`chain`] | multi-cube chains: aggregate scaling, per-hop latency adders, near/far asymmetry |
+//! | [`openloop`] | open-loop multi-tenant overload: throughput–latency curves, shed policies, SLO conformance |
 
 pub mod bandwidth;
 pub mod baseline;
@@ -23,6 +24,7 @@ pub mod generations;
 pub mod kernels;
 pub mod latency;
 pub mod mapping;
+pub mod openloop;
 pub mod page_policy;
 pub mod read_ratio;
 pub mod thermal;

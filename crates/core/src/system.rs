@@ -225,9 +225,12 @@ impl System {
     }
 
     /// Asserts the request-conservation ledger is empty — call once the
-    /// run has drained (no outstanding requests expected).
+    /// run has drained (no outstanding requests expected). With the
+    /// open-loop frontend attached this also asserts the shed-accounting
+    /// invariant (`offered = shed + completed` at drain).
     pub fn sanitize_check_drained(&mut self) {
         let now = self.now;
+        self.host.check_open_conservation(now);
         self.host.sanitizer_mut().check_drained(now);
     }
 

@@ -270,6 +270,7 @@ fn response_from(pkt: &OutPacket, now: Time) -> MemoryResponse {
         issued_at: pkt.req.issued_at,
         completed_at: now,
         data_token: pkt.token,
+        tenant: pkt.req.tenant,
     }
 }
 
@@ -286,6 +287,7 @@ fn repack(resp: &MemoryResponse) -> OutPacket {
             addr: resp.addr,
             issued_at: resp.issued_at,
             data_token: 0,
+            tenant: resp.tenant,
         },
         token: resp.data_token,
     }
@@ -1066,6 +1068,18 @@ impl ChainSystem {
         agg
     }
 
+    /// Merged per-tenant open-loop stats across all sharded hosts, in
+    /// shard order (deterministic). Empty without the open-loop frontend.
+    pub fn open_stats(&self) -> Vec<hmc_host::TenantOpenStats> {
+        let mut agg: Vec<hmc_host::TenantOpenStats> = self.shards[0].host.open_stats().to_vec();
+        for sh in &self.shards[1..] {
+            for (a, s) in agg.iter_mut().zip(sh.host.open_stats()) {
+                a.merge(s);
+            }
+        }
+        agg
+    }
+
     /// The modeled per-hop remote-access latency adder for `size`-byte
     /// reads: one request serialization plus one response serialization
     /// through a pass-through link (identical timing model to the
@@ -1194,10 +1208,13 @@ impl ChainSystem {
     }
 
     /// Asserts every host's request-conservation ledger is empty — call
-    /// once the run has drained.
+    /// once the run has drained. With the open-loop frontend attached
+    /// this also asserts each shard's shed-accounting invariant
+    /// (`offered = shed + completed` at drain).
     pub fn sanitize_check_drained(&mut self) {
         let now = self.now;
         for sh in &mut self.shards {
+            sh.host.check_open_conservation(now);
             sh.host.sanitizer_mut().check_drained(now);
         }
     }

@@ -5,12 +5,13 @@
 //! iteration-order dependence: a randomized container in a simulation
 //! path shows up here as a flaky byte-level mismatch.
 
+use hmc_core::experiments::openloop::{bursty, openloop_json};
 use hmc_core::hmc_types::{RequestKind, RequestSize, Time, TimeDelta};
 use hmc_core::measure::MeasureConfig;
 use hmc_core::sanitize::fig9_bandwidth_subset;
 use hmc_core::topology::Topology;
 use hmc_core::{SystemBuilder, SystemConfig};
-use hmc_host::Workload;
+use hmc_host::{OpenLoopConfig, ShedPolicy, Workload};
 use sim_engine::FaultScenario;
 
 fn tiny() -> MeasureConfig {
@@ -85,6 +86,84 @@ fn noisy_octet(workers: usize) -> String {
         sys.events_processed(),
         sys.now().as_ps(),
     )
+}
+
+/// Runs a four-cube chain under a deliberately saturating MMPP open-loop
+/// frontend (sanitizer armed) on `workers` epoch threads and returns the
+/// full serialized surface: sanitizer `JsonReport`, the openloop JSON
+/// export (shed counts, SLO conformance, latency quantiles), and a
+/// flattened per-tenant shed line.
+fn saturating_mmpp_quartet(workers: usize) -> String {
+    // Far above what four cubes can retire: every shed path stays hot.
+    let open = OpenLoopConfig::standard_mix(2.0e9, bursty(), ShedPolicy::PriorityShed);
+    let mut sys = SystemBuilder::new(SystemConfig::default())
+        .sanitizer()
+        .open_loop(open.clone())
+        .parallel_shards(workers)
+        .topology(Topology::chain(4))
+        .build_chain();
+    sys.start(Time::ZERO);
+    sys.run_for(TimeDelta::from_us(40));
+    let stats = sys.open_stats();
+    sys.stop_generation();
+    assert!(
+        sys.run_until_idle(TimeDelta::from_ms(10)),
+        "saturated 4-cube open loop on {workers} workers failed to drain"
+    );
+    sys.sanitize_check_drained();
+    let report = sys.sanitizer_report();
+    let point = hmc_core::experiments::openloop::make_window_point(
+        2.0e9,
+        &open,
+        &stats,
+        TimeDelta::from_us(40),
+    );
+    let outcome = hmc_core::experiments::openloop::OpenLoopOutcome {
+        policy: open.policy,
+        kind: "mmpp",
+        cubes: 4,
+        saturation_rps: 0.0,
+        points: vec![point],
+        drained: true,
+        report: report.clone(),
+    };
+    let sheds: String = stats
+        .iter()
+        .map(|t| {
+            format!(
+                " {}:{}/{}/{}",
+                t.offered, t.shed_rate, t.shed_queue, t.shed_deadline
+            )
+        })
+        .collect();
+    format!(
+        "{}\n{}\nsheds={} events={} now={}",
+        report.to_json(),
+        openloop_json(&outcome),
+        sheds,
+        sys.events_processed(),
+        sys.now().as_ps(),
+    )
+}
+
+#[test]
+fn saturating_openloop_surface_is_identical_across_shard_counts() {
+    // Overload is where nondeterminism hides: shed decisions, eviction
+    // choices, and backpressure toggles all depend on exact queue state
+    // at exact instants. The epoch scheduler must not perturb any of it.
+    let serial = saturating_mmpp_quartet(1);
+    assert!(
+        serial.contains("\"clean\":true"),
+        "saturated open loop must sanitize clean: {serial}"
+    );
+    assert!(serial.contains("\"shed\":"), "surface missing shed counts");
+    for workers in [2, 4, 8] {
+        assert_eq!(
+            serial,
+            saturating_mmpp_quartet(workers),
+            "open-loop surface diverged at {workers} epoch workers"
+        );
+    }
 }
 
 #[test]

@@ -50,6 +50,7 @@
 //! assert_eq!((t.as_ps(), ev), (10, "early"));
 //! ```
 
+pub mod arrival;
 pub mod event;
 pub mod exec;
 pub mod fault;
@@ -64,6 +65,7 @@ pub mod stats;
 pub mod token;
 pub mod trace;
 
+pub use arrival::{ArrivalKind, ArrivalStream, ZipfSampler};
 pub use event::EventQueue;
 pub use fault::{FaultEvent, FaultKind, FaultScenario};
 pub use metrics::MetricsSampler;

@@ -182,6 +182,35 @@ impl Histogram {
         Some(TimeDelta::from_ps(sorted[idx]))
     }
 
+    /// True while the reservoir still holds every recorded sample (no
+    /// decimation yet), so exact-count percentiles are available.
+    pub fn is_exact(&self) -> bool {
+        self.stride == 1
+    }
+
+    /// The 99.9th percentile.
+    ///
+    /// While the reservoir is exact ([`is_exact`](Histogram::is_exact))
+    /// this uses the exact nearest-rank definition — the
+    /// `ceil(0.999 × n)`-th smallest sample, computed in integer
+    /// arithmetic — which stays well-defined on sparse per-tenant
+    /// histograms: a single sample is its own p999, and n ≤ 1000 yields
+    /// the maximum. After decimation it falls back to the reservoir
+    /// quantile estimate.
+    pub fn p999(&self) -> Option<TimeDelta> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.is_exact() {
+            return self.quantile(0.999);
+        }
+        let n = self.samples.len();
+        let rank = (999 * n).div_ceil(1000) - 1;
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(TimeDelta::from_ps(sorted[rank]))
+    }
+
     /// Sum of all samples.
     pub fn total(&self) -> TimeDelta {
         TimeDelta::from_ps(self.sum_ps.min(u64::MAX as u128) as u64)
@@ -371,6 +400,57 @@ mod tests {
         assert_eq!(h.quantile(1.0).unwrap().as_ns_f64(), 100.0);
         let median = h.quantile(0.5).unwrap().as_ns_f64();
         assert!((49.0..=52.0).contains(&median));
+    }
+
+    #[test]
+    fn p999_empty_is_none() {
+        let h = Histogram::new();
+        assert_eq!(h.p999(), None);
+        assert!(h.is_exact());
+    }
+
+    #[test]
+    fn p999_single_sample_is_that_sample() {
+        let mut h = Histogram::new();
+        h.record(TimeDelta::from_ns(42));
+        assert_eq!(h.p999().unwrap().as_ns_f64(), 42.0);
+    }
+
+    #[test]
+    fn p999_all_equal_collapses() {
+        let mut h = Histogram::new();
+        for _ in 0..500 {
+            h.record(TimeDelta::from_ns(7));
+        }
+        assert_eq!(h.p999().unwrap().as_ns_f64(), 7.0);
+    }
+
+    #[test]
+    fn p999_exact_nearest_rank() {
+        // 1..=1000 ns: nearest-rank p999 is exactly the 999th smallest.
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(TimeDelta::from_ns(i));
+        }
+        assert!(h.is_exact());
+        assert_eq!(h.p999().unwrap().as_ns_f64(), 999.0);
+        // Under 1000 samples the nearest rank is the maximum.
+        let mut small = Histogram::new();
+        for i in 1..=100u64 {
+            small.record(TimeDelta::from_ns(i));
+        }
+        assert_eq!(small.p999().unwrap().as_ns_f64(), 100.0);
+    }
+
+    #[test]
+    fn p999_decimated_falls_back_to_estimate() {
+        let mut h = Histogram::new();
+        for i in 0..200_000u64 {
+            h.record(TimeDelta::from_ps(i));
+        }
+        assert!(!h.is_exact());
+        let p = h.p999().unwrap().as_ps();
+        assert!((195_000..200_000).contains(&p), "p999 {p}");
     }
 
     #[test]

@@ -1,0 +1,293 @@
+//! Host-side admission control for open-loop multi-tenant traffic.
+//!
+//! The open-loop frontend ([`sim_engine::arrival`]) generates arrivals no
+//! matter how loaded the memory is, so the host needs an overload-
+//! protection layer between arrival and issue:
+//!
+//! * **Token-bucket rate limits** per tenant (exact integer arithmetic,
+//!   [`sim_engine::TokenBucket`]) clip tenants that exceed their
+//!   contracted rate before they can crowd the shared queue.
+//! * **A bounded admission queue** holds admitted work until a port can
+//!   issue it. When the queue is full one of three deterministic
+//!   [`ShedPolicy`] variants decides what to drop.
+//! * **A backpressure signal** derived from queue occupancy (watermark
+//!   hysteresis) is fed back to the arrival frontend: arrivals generated
+//!   while the signal is asserted are counted per tenant, so shed
+//!   decisions are observable at the source rather than silent.
+//!
+//! Every shed is accounted in [`TenantOpenStats`], preserving the
+//! conservation invariant the sanitizer asserts at drain:
+//! `offered = shed + completed` (with `admitted = completed + in-flight +
+//! queued` at any instant in between).
+
+use hmc_types::{Priority, RequestSize, TimeDelta};
+use sim_engine::ArrivalKind;
+
+/// One tenant stream of the open-loop frontend.
+///
+/// A spec stands in for `clients` logical clients: the superposition of
+/// their individual sparse request processes is modelled as one stream at
+/// the tenant's aggregate rate (exact in the many-client limit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Display name (also the metrics-gauge key segment).
+    pub name: String,
+    /// Priority class, tagged through the request lifecycle.
+    pub priority: Priority,
+    /// Fraction of the aggregate offered rate this tenant generates.
+    pub share: f64,
+    /// Logical clients folded into the stream (reporting only; the
+    /// arrival process already models their superposition).
+    pub clients: u64,
+    /// Fraction of requests that are reads (the rest are writes).
+    pub read_fraction: f64,
+    /// Request payload size.
+    pub size: RequestSize,
+    /// Zipf popularity skew over the tenant's hot set (`0` = uniform).
+    pub zipf_theta: f64,
+    /// Distinct hot items the Zipf sampler draws from.
+    pub hot_items: u64,
+    /// Token-bucket admission limit in requests/second, if contracted.
+    /// `None` = unlimited (admission is bounded only by the queue).
+    pub rate_limit_rps: Option<f64>,
+    /// The tenant's p99 latency SLO, measured arrival-to-completion.
+    pub slo_p99: TimeDelta,
+}
+
+/// What the admission queue drops when it is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Drop the incoming arrival (tail drop).
+    RejectNewest,
+    /// Drop the lowest-priority entry in the queue (newest among ties) if
+    /// the incoming arrival outranks it; otherwise drop the arrival.
+    PriorityShed,
+    /// First expire entries that have already overstayed the queue
+    /// deadline; if none have, fall back to dropping the arrival.
+    DeadlineDrop,
+}
+
+impl ShedPolicy {
+    /// All policies, in report order.
+    pub const ALL: [ShedPolicy; 3] = [
+        ShedPolicy::RejectNewest,
+        ShedPolicy::PriorityShed,
+        ShedPolicy::DeadlineDrop,
+    ];
+
+    /// Stable lowercase label used in tables, JSON, and CLI flags.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ShedPolicy::RejectNewest => "reject-newest",
+            ShedPolicy::PriorityShed => "priority-shed",
+            ShedPolicy::DeadlineDrop => "deadline-drop",
+        }
+    }
+
+    /// Parses a CLI label produced by [`label`](ShedPolicy::label).
+    pub fn parse(s: &str) -> Option<ShedPolicy> {
+        ShedPolicy::ALL.into_iter().find(|p| p.label() == s)
+    }
+}
+
+impl std::fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Configuration of the open-loop frontend attached to one host.
+///
+/// In a chain topology every sharded host receives a clone of this
+/// config (matching how closed-loop workloads are cloned), so
+/// `offered_rps` is **per host shard**; arrival streams are decorrelated
+/// across shards through the host's `rng_salt`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopConfig {
+    /// Aggregate offered rate across all tenants, requests/second.
+    pub offered_rps: f64,
+    /// Interarrival process shape (shared by all tenants).
+    pub kind: ArrivalKind,
+    /// Tenant mix; shares should sum to ~1.0.
+    pub tenants: Vec<TenantSpec>,
+    /// Bounded admission-queue capacity (structural bound the sanitizer
+    /// checks).
+    pub queue_capacity: usize,
+    /// Load-shedding policy applied when the queue is full.
+    pub policy: ShedPolicy,
+    /// Maximum queue wait before an entry is eligible for deadline drop
+    /// (enforced by [`ShedPolicy::DeadlineDrop`], lazily at dequeue too).
+    pub queue_deadline: TimeDelta,
+    /// Queue occupancy at which the backpressure signal asserts.
+    pub bp_high: usize,
+    /// Queue occupancy at which the asserted signal clears (hysteresis;
+    /// must be `<= bp_high`).
+    pub bp_low: usize,
+    /// Seed for the arrival/op/popularity RNG streams (salted per shard).
+    pub seed: u64,
+}
+
+impl OpenLoopConfig {
+    /// The canonical three-tenant production mix used by the `openloop`
+    /// experiments: a latency-critical read tier, a standard serving
+    /// tier, and a rate-limited batch tier.
+    ///
+    /// The batch tenant's token bucket is set to its long-run share of
+    /// the offered rate, so MMPP bursts above the mean are clipped at
+    /// admission — the rate-shed path stays exercised at every load.
+    pub fn standard_mix(offered_rps: f64, kind: ArrivalKind, policy: ShedPolicy) -> Self {
+        let tenants = vec![
+            TenantSpec {
+                name: "latency".to_string(),
+                priority: Priority::Critical,
+                share: 0.2,
+                clients: 50_000,
+                read_fraction: 1.0,
+                size: RequestSize::new(64).expect("64 B is a valid request size"),
+                zipf_theta: 0.9,
+                hot_items: 1 << 16,
+                rate_limit_rps: None,
+                slo_p99: TimeDelta::from_us(3),
+            },
+            TenantSpec {
+                name: "serving".to_string(),
+                priority: Priority::Standard,
+                share: 0.5,
+                clients: 1_000_000,
+                read_fraction: 0.7,
+                size: RequestSize::new(128).expect("128 B is a valid request size"),
+                zipf_theta: 0.99,
+                hot_items: 1 << 20,
+                rate_limit_rps: None,
+                slo_p99: TimeDelta::from_us(8),
+            },
+            TenantSpec {
+                name: "batch".to_string(),
+                priority: Priority::Batch,
+                share: 0.3,
+                clients: 2_000,
+                read_fraction: 0.5,
+                size: RequestSize::new(128).expect("128 B is a valid request size"),
+                zipf_theta: 0.0,
+                hot_items: 1 << 22,
+                rate_limit_rps: Some(offered_rps * 0.3),
+                slo_p99: TimeDelta::from_us(50),
+            },
+        ];
+        OpenLoopConfig {
+            offered_rps,
+            kind,
+            tenants,
+            queue_capacity: 512,
+            policy,
+            queue_deadline: TimeDelta::from_us(20),
+            bp_high: 384,
+            bp_low: 128,
+            seed: 0x0b5e_55ed,
+        }
+    }
+}
+
+/// Per-tenant open-loop accounting for one measurement window.
+///
+/// Counters are window-scoped (cleared by the host's stats reset); the
+/// host keeps separate cumulative counters for the conservation check.
+#[derive(Debug, Clone, Default)]
+pub struct TenantOpenStats {
+    /// Arrivals generated by the frontend.
+    pub offered: u64,
+    /// Arrivals dropped by the tenant's token bucket.
+    pub shed_rate: u64,
+    /// Entries dropped by the queue-full shed policy (either this
+    /// tenant's arrival rejected, or its queued entry evicted).
+    pub shed_queue: u64,
+    /// Entries dropped because they overstayed the queue deadline.
+    pub shed_deadline: u64,
+    /// Arrivals that entered the admission queue.
+    pub admitted: u64,
+    /// Entries issued into the memory pipeline.
+    pub issued: u64,
+    /// Responses delivered (includes robustness-layer abandonments,
+    /// which force-complete).
+    pub completed: u64,
+    /// Completions whose arrival-to-completion latency met the SLO.
+    pub completed_within_slo: u64,
+    /// Arrivals generated while the backpressure signal was asserted
+    /// (observable shed pressure at the source).
+    pub arrived_backpressured: u64,
+    /// Admission-queue wait (arrival to issue).
+    pub queue_wait: sim_engine::Histogram,
+    /// End-to-end latency, arrival to completion (queue wait included).
+    pub latency: sim_engine::Histogram,
+}
+
+impl TenantOpenStats {
+    /// Total sheds across all mechanisms.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_rate + self.shed_queue + self.shed_deadline
+    }
+
+    /// Merges another window's accounting (shard merge).
+    pub fn merge(&mut self, other: &TenantOpenStats) {
+        self.offered += other.offered;
+        self.shed_rate += other.shed_rate;
+        self.shed_queue += other.shed_queue;
+        self.shed_deadline += other.shed_deadline;
+        self.admitted += other.admitted;
+        self.issued += other.issued;
+        self.completed += other.completed;
+        self.completed_within_slo += other.completed_within_slo;
+        self.arrived_backpressured += other.arrived_backpressured;
+        self.queue_wait.merge(&other.queue_wait);
+        self.latency.merge(&other.latency);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_labels_round_trip() {
+        for p in ShedPolicy::ALL {
+            assert_eq!(ShedPolicy::parse(p.label()), Some(p));
+        }
+        assert_eq!(ShedPolicy::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn standard_mix_shares_sum_to_one() {
+        let cfg =
+            OpenLoopConfig::standard_mix(1.0e6, ArrivalKind::Poisson, ShedPolicy::RejectNewest);
+        let total: f64 = cfg.tenants.iter().map(|t| t.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(cfg.bp_low <= cfg.bp_high && cfg.bp_high <= cfg.queue_capacity);
+        // Exactly one rate-limited tenant in the canonical mix.
+        assert_eq!(
+            cfg.tenants
+                .iter()
+                .filter(|t| t.rate_limit_rps.is_some())
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn stats_merge_adds_counters() {
+        let mut a = TenantOpenStats {
+            offered: 10,
+            shed_rate: 1,
+            shed_queue: 2,
+            shed_deadline: 3,
+            ..TenantOpenStats::default()
+        };
+        let b = TenantOpenStats {
+            offered: 5,
+            shed_rate: 1,
+            ..TenantOpenStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.offered, 15);
+        assert_eq!(a.shed_total(), 7);
+    }
+}

@@ -2,6 +2,7 @@
 
 use hmc_types::{ChainShard, Frequency, LinkConfig, TimeDelta};
 
+use crate::admission::OpenLoopConfig;
 use crate::controller::{RxPath, TxStages};
 
 /// Host-side fault-robustness layer: per-request deadlines, bounded
@@ -83,6 +84,10 @@ pub struct HostConfig {
     /// for single hosts; chain topologies salt each sharded host so the
     /// hosts draw decorrelated address streams.
     pub rng_salt: u64,
+    /// Open-loop multi-tenant arrival frontend plus admission control.
+    /// `None` (the default) allocates nothing and leaves the closed-loop
+    /// host bit-identical to earlier revisions.
+    pub openloop: Option<OpenLoopConfig>,
 }
 
 impl Default for HostConfig {
@@ -100,6 +105,7 @@ impl Default for HostConfig {
             shard: ChainShard::SINGLE,
             request_id_base: 0,
             rng_salt: 0,
+            openloop: None,
         }
     }
 }

@@ -10,13 +10,19 @@
 //! whole in-flight window can be replayed. Disabled, none of that
 //! bookkeeping exists and the host is bit-identical to earlier revisions.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
-use hmc_types::packet::FlitCount;
+use hmc_types::packet::{FlitCount, OpKind};
 use hmc_types::trace::Stage;
-use hmc_types::{MemoryRequest, MemoryResponse, PortId, RequestId, Time, TimeDelta};
-use sim_engine::{EventQueue, Histogram, MetricsSampler, Sanitizer, Tracer};
+use hmc_types::{
+    MemoryRequest, MemoryResponse, PortId, RequestId, TenantId, TenantTag, Time, TimeDelta,
+};
+use sim_engine::{
+    ArrivalStream, EventQueue, Histogram, MetricsSampler, Sanitizer, SplitMix64, TokenBucket,
+    Tracer, ViolationClass, ZipfSampler,
+};
 
+use crate::admission::{OpenLoopConfig, ShedPolicy, TenantOpenStats};
 use crate::config::HostConfig;
 use crate::controller::TxStages;
 use crate::node::{TxNode, TxStart};
@@ -141,17 +147,170 @@ enum HostEvent {
     RxDeliver {
         resp: MemoryResponse,
     },
-    /// The single armed deadline check: fires at the minimum in-flight
-    /// deadline and processes every entry that expired by then. Deadlines
-    /// only ever move later (each new one is `now + request_timeout`), so
-    /// one pending sweep is always enough and never needs rescheduling
-    /// earlier — this keeps the event queue structurally bounded where a
-    /// timeout event per request would pile up stale entries.
-    DeadlineSweep,
+    /// The single live deadline check: fires at the minimum in-flight
+    /// deadline and processes every entry that expired by then. Fresh
+    /// issues only push deadlines later, but a retransmission's deadline
+    /// (`now + request_timeout`, without the TX flit delay fresh issues
+    /// carry) can undercut an already-armed sweep — so an earlier arm
+    /// supersedes the pending sweep via `seq`, exactly like node kicks.
+    /// The superseded event stays queued but is dropped on fire; at most
+    /// one stale sweep exists per supersession, keeping the event queue
+    /// structurally bounded where a timeout event per request would pile
+    /// up stale entries.
+    DeadlineSweep {
+        seq: u64,
+    },
     /// Backoff expired: retransmit `id` now.
     RetryIssue {
         id: u64,
     },
+    /// The open-loop frontend generates tenant `tenant`'s next arrival.
+    /// One live event per tenant; the handler schedules the successor
+    /// before any admission decision (open loop: arrivals never block).
+    Arrival {
+        tenant: u16,
+    },
+}
+
+/// One admitted entry waiting in the bounded admission queue.
+#[derive(Debug, Clone, Copy)]
+struct Admitted {
+    /// Tenant index into [`OpenLoopConfig::tenants`].
+    tenant: u16,
+    op: OpKind,
+    size: hmc_types::RequestSize,
+    /// Global byte address (sharded onto a cube at issue).
+    global: u64,
+    arrived: Time,
+    /// Instant after which [`ShedPolicy::DeadlineDrop`] may expire the
+    /// entry (arrival + queue deadline).
+    expires: Time,
+}
+
+/// Cumulative open-loop conservation counters, never reset by stats
+/// windows. The drain-time invariant the sanitizer asserts:
+/// `offered = shed + issued + queued` and `issued = completed + in-flight`.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpenLedger {
+    offered: u64,
+    shed: u64,
+    issued: u64,
+    completed: u64,
+}
+
+/// Runtime state of the open-loop multi-tenant frontend. Exists only
+/// when [`HostConfig::openloop`] is set; a `None` host allocates none of
+/// this and behaves bit-identically to earlier revisions.
+#[derive(Debug)]
+struct OpenLoopState {
+    cfg: OpenLoopConfig,
+    /// Per-tenant interarrival processes.
+    streams: Vec<ArrivalStream>,
+    /// Per-tenant popularity samplers over the tenant's hot set.
+    zipf: Vec<ZipfSampler>,
+    /// Per-tenant op-mix / address-scatter RNG (separate from the arrival
+    /// stream's so rate and content draws never interleave).
+    rng: Vec<SplitMix64>,
+    /// Per-tenant token buckets (`None` = uncontracted, no rate shed).
+    buckets: Vec<Option<TokenBucket>>,
+    /// The bounded admission queue, arrival order.
+    queue: VecDeque<Admitted>,
+    /// Per-tenant window stats (cleared by [`Host::reset_stats`]).
+    stats: Vec<TenantOpenStats>,
+    /// Arrival instant per issued-but-uncompleted request id, for
+    /// arrival-to-completion latency at delivery.
+    issued: BTreeMap<u64, (u16, Time)>,
+    ledger: OpenLedger,
+    /// Generators run between [`Host::start`] and
+    /// [`Host::stop_generation`]; stale [`HostEvent::Arrival`] events
+    /// fired after stop are dropped.
+    arrivals_on: bool,
+    /// The watermark-hysteresis backpressure signal.
+    backpressured: bool,
+    /// Signal assertions since construction (observability).
+    bp_assertions: u64,
+    /// Round-robin cursor over ports for queue-drain issue attempts.
+    next_port: usize,
+}
+
+impl OpenLoopState {
+    fn new(o: &OpenLoopConfig, host: &HostConfig) -> Self {
+        const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+        assert!(!o.tenants.is_empty(), "open loop needs at least one tenant");
+        assert!(o.queue_capacity > 0, "admission queue capacity must be > 0");
+        assert!(
+            o.bp_low <= o.bp_high && o.bp_high <= o.queue_capacity,
+            "backpressure watermarks must satisfy low <= high <= capacity"
+        );
+        let base = o.seed ^ host.rng_salt;
+        let n = o.tenants.len();
+        let mut streams = Vec::with_capacity(n);
+        let mut zipf = Vec::with_capacity(n);
+        let mut rng = Vec::with_capacity(n);
+        let mut buckets = Vec::with_capacity(n);
+        for (t, spec) in o.tenants.iter().enumerate() {
+            let salt = (t as u64 + 1).wrapping_mul(GOLDEN);
+            streams.push(ArrivalStream::new(
+                o.offered_rps * spec.share,
+                o.kind,
+                SplitMix64::new(base ^ salt ^ 0xA1),
+            ));
+            zipf.push(ZipfSampler::new(spec.hot_items.max(1), spec.zipf_theta));
+            rng.push(SplitMix64::new(base ^ salt ^ 0xB2));
+            buckets.push(spec.rate_limit_rps.map(|limit| {
+                // Burst capacity ~1 ms of contracted rate, at least 8.
+                let cap = if limit >= 8e3 {
+                    (limit / 1e3) as u64
+                } else {
+                    8
+                };
+                TokenBucket::new(limit, cap)
+            }));
+        }
+        OpenLoopState {
+            cfg: o.clone(),
+            streams,
+            zipf,
+            rng,
+            buckets,
+            queue: VecDeque::with_capacity(o.queue_capacity),
+            stats: vec![TenantOpenStats::default(); n],
+            issued: BTreeMap::new(),
+            ledger: OpenLedger::default(),
+            arrivals_on: false,
+            backpressured: false,
+            bp_assertions: 0,
+            next_port: 0,
+        }
+    }
+
+    /// Updates the watermark-hysteresis backpressure signal after any
+    /// queue mutation.
+    fn update_backpressure(&mut self) {
+        let len = self.queue.len();
+        if self.backpressured {
+            if len <= self.cfg.bp_low {
+                self.backpressured = false;
+            }
+        } else if len >= self.cfg.bp_high {
+            self.backpressured = true;
+            self.bp_assertions += 1;
+        }
+    }
+
+    /// Drops queue entries that overstayed the queue deadline (the
+    /// [`ShedPolicy::DeadlineDrop`] expiry scan), accounting each shed.
+    fn expire_overstays(&mut self, now: Time) {
+        while let Some(front) = self.queue.front() {
+            // Entries are queued in arrival order, so expiries are too.
+            if front.expires > now {
+                break;
+            }
+            let e = self.queue.pop_front().expect("front checked above");
+            self.stats[e.tenant as usize].shed_deadline += 1;
+            self.ledger.shed += 1;
+        }
+    }
 }
 
 /// The FPGA-side model: nine GUPS ports feeding two transmit nodes, with
@@ -186,6 +345,11 @@ pub struct Host {
     link_dead: Vec<bool>,
     /// Instant of the pending [`HostEvent::DeadlineSweep`], if armed.
     sweep_at: Option<Time>,
+    /// Sequence number of the live sweep; events carrying an older seq
+    /// were superseded by an earlier re-arm and are dropped.
+    sweep_seq: u64,
+    /// Open-loop frontend state; `None` (the default) allocates nothing.
+    open: Option<Box<OpenLoopState>>,
     robust_stats: RobustStats,
     /// Reusable drain buffer for [`Host::advance_instant`].
     scratch: Vec<(Time, HostEvent)>,
@@ -220,10 +384,18 @@ impl Host {
         } else {
             0
         };
+        // Open loop adds one live arrival event per tenant (plus stale
+        // ones draining after a stop).
+        let open_slack = cfg.openloop.as_ref().map_or(0, |o| 2 * o.tenants.len() + 8);
         let event_capacity = cfg.num_ports * cfg.tag_pool_depth
             + cfg.links.num_links() as usize * cfg.node_queue_depth
             + robust_slack
+            + open_slack
             + 64;
+        let open = cfg
+            .openloop
+            .as_ref()
+            .map(|o| Box::new(OpenLoopState::new(o, &cfg)));
         Host {
             ports,
             nodes,
@@ -244,6 +416,8 @@ impl Host {
             consecutive_timeouts: vec![0; cfg.links.num_links() as usize],
             link_dead: vec![false; cfg.links.num_links() as usize],
             sweep_at: None,
+            sweep_seq: 0,
+            open,
             robust_stats: RobustStats::default(),
             scratch: Vec::new(),
             tracer: Tracer::new(&Stage::NAMES),
@@ -303,12 +477,37 @@ impl Host {
                 self.schedule_issue(p, now + stagger * p as u64);
             }
         }
+        self.start_arrivals(now);
     }
 
-    /// Stops all generators (outstanding responses still drain).
+    /// Turns the open-loop frontend on (if configured) and schedules each
+    /// tenant's first arrival.
+    fn start_arrivals(&mut self, now: Time) {
+        let firsts = match self.open.as_mut() {
+            Some(open) if !open.arrivals_on => {
+                open.arrivals_on = true;
+                let mut firsts = Vec::with_capacity(open.streams.len());
+                for (t, stream) in open.streams.iter_mut().enumerate() {
+                    let tid = u16::try_from(t).expect("tenant index fits in u16");
+                    firsts.push((stream.next_arrival(now), tid));
+                }
+                firsts
+            }
+            _ => return,
+        };
+        for (at, tenant) in firsts {
+            self.events.push(at, HostEvent::Arrival { tenant });
+        }
+    }
+
+    /// Stops all generators (outstanding responses still drain; the
+    /// admission queue keeps draining into the ports too).
     pub fn stop_generation(&mut self) {
         for p in &mut self.ports {
             p.set_idle();
+        }
+        if let Some(open) = self.open.as_mut() {
+            open.arrivals_on = false;
         }
     }
 
@@ -410,9 +609,15 @@ impl Host {
         self.total_issued
     }
 
-    /// True while any port can still generate or any response is pending.
+    /// True while any port can still generate, any response is pending,
+    /// or the open-loop frontend still generates or holds queued work.
     pub fn is_busy(&self) -> bool {
-        self.outstanding() > 0 || self.ports.iter().any(|p| p.is_active())
+        self.outstanding() > 0
+            || self.ports.iter().any(|p| p.is_active())
+            || self
+                .open
+                .as_ref()
+                .is_some_and(|o| o.arrivals_on || !o.queue.is_empty())
     }
 
     /// Aggregated window measurements across all ports.
@@ -431,10 +636,67 @@ impl Host {
         s
     }
 
-    /// Clears all port monitors (start of a measurement window).
+    /// Clears all port monitors and open-loop window stats (start of a
+    /// measurement window). The open-loop conservation ledger is
+    /// cumulative and deliberately not cleared.
     pub fn reset_stats(&mut self) {
         for p in &mut self.ports {
             p.reset_monitor();
+        }
+        if let Some(open) = self.open.as_deref_mut() {
+            for s in &mut open.stats {
+                *s = TenantOpenStats::default();
+            }
+        }
+    }
+
+    /// True when the open-loop multi-tenant frontend is configured.
+    pub fn open_enabled(&self) -> bool {
+        self.open.is_some()
+    }
+
+    /// Per-tenant open-loop window stats, index-aligned with
+    /// [`OpenLoopConfig::tenants`] (empty without the frontend).
+    pub fn open_stats(&self) -> &[TenantOpenStats] {
+        self.open.as_deref().map_or(&[], |o| &o.stats)
+    }
+
+    /// Current admission-queue occupancy (0 without the frontend).
+    pub fn admission_queue_len(&self) -> usize {
+        self.open.as_deref().map_or(0, |o| o.queue.len())
+    }
+
+    /// True while the backpressure signal from host occupancy back to
+    /// the arrival frontend is asserted.
+    pub fn backpressure_asserted(&self) -> bool {
+        self.open.as_deref().is_some_and(|o| o.backpressured)
+    }
+
+    /// Times the backpressure signal has asserted since construction.
+    pub fn backpressure_assertions(&self) -> u64 {
+        self.open.as_deref().map_or(0, |o| o.bp_assertions)
+    }
+
+    /// Asserts the open-loop conservation invariant on the cumulative
+    /// ledger — every offered arrival is shed, queued, in flight, or
+    /// completed; nothing lost, nothing double-counted. A break is
+    /// recorded as a [`ViolationClass::Conservation`] violation. Call at
+    /// drain points; no-op without the frontend.
+    pub fn check_open_conservation(&mut self, now: Time) {
+        let Some(open) = self.open.as_deref() else {
+            return;
+        };
+        let l = open.ledger;
+        let queued = open.queue.len() as u64;
+        let in_flight = open.issued.len() as u64;
+        if l.offered != l.shed + l.issued + queued || l.issued != l.completed + in_flight {
+            let detail = format!(
+                "open-loop ledger broken: offered={} shed={} issued={} completed={} \
+                 queued={queued} in_flight={in_flight}",
+                l.offered, l.shed, l.issued, l.completed
+            );
+            self.sanitizer
+                .note_violation(ViolationClass::Conservation, now, detail);
         }
     }
 
@@ -525,6 +787,18 @@ impl Host {
                 self.schedule_issue(p, resume);
             }
         }
+        // Pending open-loop arrival events were dropped with the cleared
+        // queue; re-seed them (and restart the admission-queue drain) so
+        // the frontend survives a recovery.
+        if let Some(open) = self.open.as_deref_mut() {
+            if open.arrivals_on {
+                open.arrivals_on = false;
+                self.start_arrivals(resume);
+            }
+        }
+        if self.open.as_deref().is_some_and(|o| !o.queue.is_empty()) {
+            self.open_schedule_issue(resume);
+        }
         ids.len()
     }
 
@@ -608,6 +882,22 @@ impl Host {
             )
             .expect("writing to a String cannot fail");
         }
+        if let Some(open) = self.open.as_deref() {
+            let l = open.ledger;
+            writeln!(
+                s,
+                "  open: queue={} backpressured={} arrivals_on={} offered={} shed={} \
+                 issued={} completed={}",
+                open.queue.len(),
+                open.backpressured,
+                open.arrivals_on,
+                l.offered,
+                l.shed,
+                l.issued,
+                l.completed,
+            )
+            .expect("writing to a String cannot fail");
+        }
         for (p, port) in self.ports.iter().enumerate() {
             let m = port.monitor();
             let in_flight = (m.reads_issued + m.writes_issued)
@@ -641,6 +931,31 @@ impl Host {
             s.record("host.poisoned", at, r.poisoned_responses as f64);
             s.record("host.links_dead", at, (r.links_degraded) as f64);
         }
+        if let Some(open) = self.open.as_deref() {
+            s.record("host.admission_queue", at, open.queue.len() as f64);
+            s.record(
+                "host.backpressure",
+                at,
+                if open.backpressured { 1.0 } else { 0.0 },
+            );
+            for (spec, st) in open.cfg.tenants.iter().zip(&open.stats) {
+                s.record(
+                    &format!("tenant.{}.offered", spec.name),
+                    at,
+                    st.offered as f64,
+                );
+                s.record(
+                    &format!("tenant.{}.shed", spec.name),
+                    at,
+                    st.shed_total() as f64,
+                );
+                s.record(
+                    &format!("tenant.{}.completed", spec.name),
+                    at,
+                    st.completed as f64,
+                );
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -657,18 +972,27 @@ impl Host {
             }
             HostEvent::NodeTxDone { node, req } => {
                 let link = self.nodes[node].link();
-                sink.submit(link, req, now).unwrap_or_else(|r| {
-                    panic!(
-                        "credit was reserved for link {link} but the sink refused \
-                         request {} at {now}",
-                        r.id.value()
-                    )
-                });
-                self.nodes[node].arrived();
-                // The wire is free and our in-flight count just dropped;
-                // try the next queued packet.
-                if !self.nodes[node].waiting_credit() {
-                    self.kick_node(node, now);
+                match sink.submit(link, req, now) {
+                    Ok(()) => {
+                        self.nodes[node].arrived();
+                        // The wire is free and our in-flight count just
+                        // dropped; try the next queued packet.
+                        if !self.nodes[node].waiting_credit() {
+                            self.kick_node(node, now);
+                        }
+                    }
+                    Err(req) => {
+                        // The slot reserved at TX start was consumed in
+                        // flight — in a chain, pass-through hop traffic
+                        // shares the ingress buffers the reservation
+                        // counted, and a saturating frontend keeps them
+                        // full. Hold the packet at the link boundary and
+                        // retry next link cycle; the buffers drain as the
+                        // device consumes, so this terminates (and the
+                        // forward-progress watchdog guards the claim).
+                        self.events
+                            .push(now + self.cfg.cycle(), HostEvent::NodeTxDone { node, req });
+                    }
                 }
             }
             HostEvent::RxDeliver { mut resp } => {
@@ -693,8 +1017,14 @@ impl Host {
                 }
                 self.complete(resp, now);
             }
-            HostEvent::DeadlineSweep => self.deadline_sweep(now),
+            HostEvent::DeadlineSweep { seq } => {
+                if seq != self.sweep_seq {
+                    return; // superseded by an earlier re-arm
+                }
+                self.deadline_sweep(now);
+            }
             HostEvent::RetryIssue { id } => self.retransmit(id, now),
+            HostEvent::Arrival { tenant } => self.open_arrival(tenant as usize, now),
         }
     }
 
@@ -705,19 +1035,55 @@ impl Host {
         self.total_completed += 1;
         self.sanitizer.note_retire(resp.id.value(), now);
         let unblocked = self.ports[p].deliver(&resp);
+        let mut open_more = false;
+        if let Some(open) = self.open.as_deref_mut() {
+            if let Some((tenant, arrived)) = open.issued.remove(&resp.id.value()) {
+                let t = tenant as usize;
+                let latency = now.since(arrived);
+                open.ledger.completed += 1;
+                open.stats[t].completed += 1;
+                open.stats[t].latency.record(latency);
+                if latency <= open.cfg.tenants[t].slo_p99 {
+                    open.stats[t].completed_within_slo += 1;
+                }
+            }
+            open_more = !open.queue.is_empty();
+        }
         if unblocked && (self.parked_no_tags[p] || self.ports[p].is_active()) {
             self.parked_no_tags[p] = false;
             self.schedule_issue(p, now);
         }
+        if open_more {
+            if unblocked {
+                // The freed read tag makes this port issueable again.
+                self.parked_no_tags[p] = false;
+            }
+            self.open_schedule_issue(now);
+        }
     }
 
-    /// Arms the deadline sweep at `deadline` unless one is already
-    /// pending (which is necessarily no later — deadlines only grow).
+    /// Arms (or re-arms) the deadline sweep at `deadline`. A pending
+    /// sweep at or before `deadline` already covers it. A pending sweep
+    /// *after* `deadline` — possible because retransmissions take fresh
+    /// `now + timeout` deadlines without the TX flit delay fresh issues
+    /// carry — is superseded through the sequence number, so an expiry
+    /// can never hide behind a later-armed sweep: previously, with the
+    /// retransmit budget exhausted, that delay left the abandonment (and
+    /// the tag it frees) waiting on a stale armed sweep.
     fn arm_sweep(&mut self, deadline: Time) {
-        if self.sweep_at.is_none() {
-            self.sweep_at = Some(deadline);
-            self.events.push(deadline, HostEvent::DeadlineSweep);
+        if let Some(at) = self.sweep_at {
+            if at <= deadline {
+                return;
+            }
         }
+        self.sweep_seq += 1;
+        self.sweep_at = Some(deadline);
+        self.events.push(
+            deadline,
+            HostEvent::DeadlineSweep {
+                seq: self.sweep_seq,
+            },
+        );
     }
 
     /// The armed deadline sweep fired: expire every attempt whose
@@ -809,6 +1175,7 @@ impl Host {
             issued_at: entry.req.issued_at,
             completed_at: now,
             data_token: 0,
+            tenant: entry.req.tenant,
         };
         self.complete(resp, now);
     }
@@ -855,6 +1222,12 @@ impl Host {
 
     fn port_issue(&mut self, p: usize, now: Time) {
         self.issue_pending[p] = false;
+        if self.open.is_some() {
+            // Open-loop mode: ports drain the admission queue instead of
+            // running their own generators.
+            self.open_port_issue(p, now);
+            return;
+        }
         let node_idx = self.route_node(p);
         if self.nodes[node_idx].stop_asserted() {
             self.parked_node_full[p] = true;
@@ -892,6 +1265,210 @@ impl Host {
                 self.parked_no_tags[p] = true;
             }
             Err(IssueBlock::Done) => {}
+        }
+    }
+
+    /// One open-loop arrival for tenant `t`: schedule the successor,
+    /// then run the admission pipeline (token bucket, queue-full shed
+    /// policy, backpressure bookkeeping).
+    fn open_arrival(&mut self, t: usize, now: Time) {
+        let tid = u16::try_from(t).expect("tenant index fits in u16");
+        let (qlen, bound, admitted) = {
+            let Some(open) = self.open.as_deref_mut() else {
+                return;
+            };
+            if !open.arrivals_on {
+                return; // stale event after stop_generation
+            }
+            // Open loop: the successor fires no matter how loaded the
+            // memory is — load never slows the source.
+            let next = open.streams[t].next_arrival(now);
+            self.events.push(next, HostEvent::Arrival { tenant: tid });
+            open.stats[t].offered += 1;
+            open.ledger.offered += 1;
+            if open.backpressured {
+                open.stats[t].arrived_backpressured += 1;
+            }
+            // Stage 1: per-tenant token-bucket rate limit.
+            let rate_ok = match open.buckets[t].as_mut() {
+                Some(bucket) => bucket.try_take(1, now),
+                None => true,
+            };
+            if !rate_ok {
+                open.stats[t].shed_rate += 1;
+                open.ledger.shed += 1;
+                return;
+            }
+            // Draw the operation — op coin first, then popularity rank,
+            // so the draw order is fixed regardless of outcomes.
+            let spec = &open.cfg.tenants[t];
+            let op = if open.rng[t].next_f64() < spec.read_fraction {
+                OpKind::Read
+            } else {
+                OpKind::Write
+            };
+            let rank = open.zipf[t].sample(&mut open.rng[t]);
+            // Scatter ranks across the global space so popularity skew
+            // does not collapse onto one vault; equal ranks still map to
+            // the same line (true hot items).
+            let size_b = spec.size.bytes();
+            let slots = (self.cfg.memory_capacity * u64::from(self.cfg.shard.cubes())) / size_b;
+            let global = rank.wrapping_mul(0x9E37_79B9_7F4A_7C15) % slots * size_b;
+            let entry = Admitted {
+                tenant: tid,
+                op,
+                size: spec.size,
+                global,
+                arrived: now,
+                expires: now + open.cfg.queue_deadline,
+            };
+            // Stage 2: the bounded queue with its shed policy.
+            let mut admitted = true;
+            if open.queue.len() >= open.cfg.queue_capacity {
+                match open.cfg.policy {
+                    ShedPolicy::RejectNewest => admitted = false,
+                    ShedPolicy::PriorityShed => {
+                        // Victim: the worst-priority entry (newest among
+                        // ties). Evicted only if the arrival outranks it.
+                        let (victim, _) = open
+                            .queue
+                            .iter()
+                            .enumerate()
+                            .max_by_key(|(i, e)| (open.cfg.tenants[e.tenant as usize].priority, *i))
+                            .expect("queue is full, hence non-empty");
+                        let victim_prio =
+                            open.cfg.tenants[open.queue[victim].tenant as usize].priority;
+                        if victim_prio > spec.priority {
+                            let evicted = open.queue.remove(victim).expect("index from enumerate");
+                            open.stats[evicted.tenant as usize].shed_queue += 1;
+                            open.ledger.shed += 1;
+                        } else {
+                            admitted = false;
+                        }
+                    }
+                    ShedPolicy::DeadlineDrop => {
+                        open.expire_overstays(now);
+                        if open.queue.len() >= open.cfg.queue_capacity {
+                            admitted = false;
+                        }
+                    }
+                }
+            }
+            if admitted {
+                open.queue.push_back(entry);
+                open.stats[t].admitted += 1;
+            } else {
+                open.stats[t].shed_queue += 1;
+                open.ledger.shed += 1;
+            }
+            open.update_backpressure();
+            (open.queue.len(), open.cfg.queue_capacity, admitted)
+        };
+        self.sanitizer
+            .check_queue_bound("admission queue", qlen, bound, now);
+        if admitted {
+            self.open_schedule_issue(now);
+        }
+    }
+
+    /// One issue attempt in open-loop mode: pop the next admitted entry
+    /// (after lazily expiring overstays under [`ShedPolicy::DeadlineDrop`])
+    /// and issue it through port `p`.
+    fn open_port_issue(&mut self, p: usize, now: Time) {
+        let node_idx = self.route_node(p);
+        if self.nodes[node_idx].stop_asserted() {
+            self.parked_node_full[p] = true;
+            return;
+        }
+        let (entry, tag) = {
+            let Some(open) = self.open.as_deref_mut() else {
+                return;
+            };
+            if open.cfg.policy == ShedPolicy::DeadlineDrop {
+                open.expire_overstays(now);
+                open.update_backpressure();
+            }
+            let Some(entry) = open.queue.front().copied() else {
+                return;
+            };
+            let prio = open.cfg.tenants[entry.tenant as usize].priority;
+            // Tenant 0 of the tag space is reserved for closed-loop
+            // traffic; open-loop tenants are offset by one.
+            (entry, TenantTag::new(TenantId::new(entry.tenant + 1), prio))
+        };
+        match self.ports[p].try_issue_open(
+            self.next_id,
+            now,
+            entry.op,
+            entry.size,
+            entry.global,
+            tag,
+        ) {
+            Ok(req) => {
+                {
+                    let open = self.open.as_deref_mut().expect("checked above");
+                    open.queue.pop_front();
+                    open.update_backpressure();
+                    let t = entry.tenant as usize;
+                    open.stats[t].issued += 1;
+                    open.stats[t].queue_wait.record(now.since(entry.arrived));
+                    open.ledger.issued += 1;
+                    open.issued
+                        .insert(req.id.value(), (entry.tenant, entry.arrived));
+                }
+                self.next_id = self.next_id.next();
+                self.total_issued += 1;
+                self.sanitizer.note_inject(req.id.value(), now);
+                let ready = now + self.cfg.frequency.cycles(self.cfg.tx.flits_to_parallel);
+                self.tracer.begin(req.trace_id(), now);
+                self.tracer
+                    .transition(req.trace_id(), Stage::TxFlits.index(), ready);
+                if self.cfg.robust.enabled {
+                    let deadline = ready + self.cfg.robust.request_timeout;
+                    self.in_flight.insert(
+                        req.id.value(),
+                        InFlight {
+                            req,
+                            node: node_idx,
+                            attempt: 1,
+                            deadline: Some(deadline),
+                        },
+                    );
+                    self.arm_sweep(deadline);
+                }
+                self.nodes[node_idx].enqueue(ready, req);
+                self.kick_node(node_idx, ready);
+                // Keep the drain chain alive while admitted work remains.
+                if self.open.as_deref().is_some_and(|o| !o.queue.is_empty()) {
+                    self.open_schedule_issue(now);
+                }
+            }
+            Err(IssueBlock::NoTags) => {
+                self.parked_no_tags[p] = true;
+                // Another port's tag pool may still have room.
+                self.open_schedule_issue(now);
+            }
+            // try_issue_open never reports generator exhaustion.
+            Err(IssueBlock::Done) => {}
+        }
+    }
+
+    /// Schedules an issue attempt on the next available port (round
+    /// robin) to drain the admission queue. Ports parked on tags or node
+    /// flow control are skipped — their unpark paths re-enter here.
+    fn open_schedule_issue(&mut self, now: Time) {
+        let n = self.ports.len();
+        let start = self.open.as_deref().map_or(0, |o| o.next_port);
+        for k in 0..n {
+            let p = (start + k) % n;
+            if self.issue_pending[p] || self.parked_no_tags[p] || self.parked_node_full[p] {
+                continue;
+            }
+            if let Some(open) = self.open.as_deref_mut() {
+                open.next_port = (p + 1) % n;
+            }
+            self.schedule_issue(p, now);
+            return;
         }
     }
 
@@ -1034,6 +1611,7 @@ mod tests {
             issued_at: req.issued_at,
             completed_at: at + TimeDelta::from_ns(delay_ns),
             data_token: 0,
+            tenant: req.tenant,
         }
     }
 
@@ -1312,6 +1890,212 @@ mod tests {
             .map(|(_, r, _)| r.id.value())
             .collect();
         assert_eq!(replay_ids, first_ids, "same window, same ids");
+    }
+
+    #[test]
+    fn earlier_deadline_supersedes_pending_sweep() {
+        // Regression: a retransmission's deadline (`now + timeout`, no TX
+        // flit delay) can undercut an already-armed sweep. The old
+        // arm-once path kept the later sweep, delaying expiry — and with
+        // the retransmit budget exhausted, the abandonment that frees the
+        // tag waited on that stale armed sweep.
+        let mut host = Host::new(robust_cfg());
+        host.arm_sweep(Time::from_ps(1_000_000));
+        let late_seq = host.sweep_seq;
+        assert_eq!(host.sweep_at, Some(Time::from_ps(1_000_000)));
+        // An earlier deadline must supersede, not be swallowed.
+        host.arm_sweep(Time::from_ps(500_000));
+        assert_eq!(host.sweep_at, Some(Time::from_ps(500_000)));
+        assert!(host.sweep_seq > late_seq, "earlier arm takes a fresh seq");
+        // A later deadline is covered by the pending sweep.
+        host.arm_sweep(Time::from_ps(800_000));
+        assert_eq!(host.sweep_at, Some(Time::from_ps(500_000)));
+        // One live sweep plus the single superseded stale event.
+        assert_eq!(host.events.len(), 2);
+    }
+
+    #[test]
+    fn retransmit_storm_keeps_event_queue_bounded() {
+        // Satellite regression for the sweep re-arm fix: a full-port
+        // retransmit storm (black-hole sink) with the sanitizer's
+        // queue-bound check armed. Superseded sweeps must stay within the
+        // structural event bound and every request must drain.
+        let mut host = Host::new(robust_cfg());
+        host.apply_workload(&Workload::full_scale(
+            RequestKind::ReadOnly,
+            RequestSize::MAX,
+        ));
+        host.enable_sanitizer();
+        host.start(Time::ZERO);
+        let mut sink = EchoSink::new(1 << 20); // accepts all, answers none
+        host.advance(Time::from_ps(80_000_000), &mut sink);
+        host.stop_generation();
+        host.advance(Time::from_ps(400_000_000), &mut sink);
+        assert!(host.robust_stats().abandoned > 0);
+        assert_eq!(host.outstanding(), 0);
+        assert_eq!(host.tracked_in_flight(), 0);
+        assert!(
+            host.sanitizer().violations().is_empty(),
+            "{:?}",
+            host.sanitizer().violations()
+        );
+    }
+
+    fn open_cfg(offered_rps: f64, policy: ShedPolicy) -> HostConfig {
+        HostConfig {
+            openloop: Some(OpenLoopConfig::standard_mix(
+                offered_rps,
+                sim_engine::ArrivalKind::Poisson,
+                policy,
+            )),
+            ..HostConfig::default()
+        }
+    }
+
+    /// Drives an open-loop host for `until_ns`, echoing every submitted
+    /// request back `delay_ns` after it crossed the wire.
+    fn run_open(host: &mut Host, until_ns: u64, delay_ns: u64) {
+        let mut sink = EchoSink::new(1 << 20);
+        let step = 1_000; // 1 us slices
+        let mut t = 0;
+        while t < until_ns {
+            t += step;
+            host.advance(Time::from_ps(t * 1_000), &mut sink);
+            let drained: Vec<(usize, MemoryRequest, Time)> = sink.submitted.drain(..).collect();
+            for (_, req, _) in drained {
+                let at = host.now() + TimeDelta::from_ns(delay_ns);
+                host.receive_response(echo(&req, at, 0), at);
+            }
+        }
+        host.stop_generation();
+        // Drain: queued work keeps issuing, so keep echoing until idle.
+        for _ in 0..1_000 {
+            if !host.is_busy() && host.pending_events() == 0 {
+                break;
+            }
+            t += step;
+            host.advance(Time::from_ps(t * 1_000), &mut sink);
+            let drained: Vec<(usize, MemoryRequest, Time)> = sink.submitted.drain(..).collect();
+            for (_, req, _) in drained {
+                let at = host.now() + TimeDelta::from_ns(delay_ns);
+                host.receive_response(echo(&req, at, 0), at);
+            }
+        }
+    }
+
+    #[test]
+    fn open_loop_light_load_flows_and_conserves() {
+        for policy in ShedPolicy::ALL {
+            let mut host = Host::new(open_cfg(1.0e7, policy));
+            host.enable_sanitizer();
+            host.start(Time::ZERO);
+            run_open(&mut host, 200_000, 200);
+            assert_eq!(host.outstanding(), 0, "policy {policy}");
+            assert_eq!(host.admission_queue_len(), 0, "policy {policy}");
+            let l = host.open.as_deref().expect("open loop configured").ledger;
+            assert!(l.offered > 1_000, "policy {policy}: offered {}", l.offered);
+            assert_eq!(l.offered, l.shed + l.issued, "policy {policy}");
+            assert_eq!(l.issued, l.completed, "policy {policy}");
+            // At 1% of drain capacity nothing should queue-shed; only the
+            // batch tenant's token bucket may clip.
+            for (spec, st) in host
+                .config()
+                .openloop
+                .as_ref()
+                .unwrap()
+                .tenants
+                .iter()
+                .zip(host.open_stats())
+            {
+                assert_eq!(st.shed_queue, 0, "policy {policy} tenant {}", spec.name);
+                assert_eq!(st.shed_deadline, 0, "policy {policy} tenant {}", spec.name);
+            }
+            host.check_open_conservation(host.now());
+            assert!(
+                host.sanitizer().violations().is_empty(),
+                "policy {policy}: {:?}",
+                host.sanitizer().violations()
+            );
+        }
+    }
+
+    #[test]
+    fn open_loop_overload_sheds_but_never_wedges() {
+        for policy in ShedPolicy::ALL {
+            let mut host = Host::new(open_cfg(4.0e9, policy));
+            host.enable_sanitizer();
+            host.start(Time::ZERO);
+            run_open(&mut host, 20_000, 200);
+            let l = host.open.as_deref().expect("open loop configured").ledger;
+            assert!(l.shed > 0, "policy {policy}: overload must shed");
+            assert!(
+                l.completed > 0,
+                "policy {policy}: goodput must not collapse"
+            );
+            assert_eq!(host.outstanding(), 0, "policy {policy}");
+            assert_eq!(host.admission_queue_len(), 0, "policy {policy}");
+            assert!(
+                host.backpressure_assertions() > 0,
+                "policy {policy}: a saturated queue must assert backpressure"
+            );
+            host.check_open_conservation(host.now());
+            assert!(
+                host.sanitizer().violations().is_empty(),
+                "policy {policy}: {:?}",
+                host.sanitizer().violations()
+            );
+        }
+    }
+
+    #[test]
+    fn priority_shed_protects_critical_tenants() {
+        let mut host = Host::new(open_cfg(4.0e9, ShedPolicy::PriorityShed));
+        host.start(Time::ZERO);
+        run_open(&mut host, 20_000, 200);
+        let cfg = host.config().openloop.as_ref().unwrap().clone();
+        let frac = |name: &str| {
+            let (i, _) = cfg
+                .tenants
+                .iter()
+                .enumerate()
+                .find(|(_, t)| t.name == name)
+                .expect("tenant in standard mix");
+            let st = &host.open_stats()[i];
+            st.shed_queue as f64 / st.offered.max(1) as f64
+        };
+        assert!(
+            frac("latency") < frac("batch"),
+            "critical queue-shed fraction {} must undercut batch {}",
+            frac("latency"),
+            frac("batch")
+        );
+    }
+
+    #[test]
+    fn open_loop_runs_are_bit_deterministic() {
+        let run = || {
+            let mut host = Host::new(open_cfg(2.0e9, ShedPolicy::DeadlineDrop));
+            host.enable_sanitizer();
+            host.start(Time::ZERO);
+            run_open(&mut host, 20_000, 200);
+            let l = host.open.as_deref().unwrap().ledger;
+            let per_tenant: Vec<(u64, u64, u64)> = host
+                .open_stats()
+                .iter()
+                .map(|s| (s.offered, s.shed_total(), s.completed))
+                .collect();
+            (l.offered, l.shed, l.issued, l.completed, per_tenant)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn open_loop_none_is_inert() {
+        let host = Host::new(HostConfig::default());
+        assert!(!host.open_enabled());
+        assert!(host.open_stats().is_empty());
+        assert_eq!(host.admission_queue_len(), 0);
+        assert!(!host.backpressure_asserted());
     }
 
     #[test]

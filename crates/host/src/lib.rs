@@ -41,6 +41,7 @@
 //! # Ok::<(), hmc_types::HmcError>(())
 //! ```
 
+pub mod admission;
 pub mod config;
 pub mod controller;
 pub mod host;
@@ -48,6 +49,7 @@ pub mod node;
 pub mod port;
 pub mod workload;
 
+pub use admission::{OpenLoopConfig, ShedPolicy, TenantOpenStats, TenantSpec};
 pub use config::{HostConfig, RobustnessConfig};
 pub use controller::{RxPath, TxStage, TxStages};
 pub use host::{Host, HostStats, LinkSink, RobustStats};

@@ -181,6 +181,7 @@ mod tests {
             addr: Address::new(0),
             issued_at: Time::ZERO,
             data_token: 0,
+            tenant: hmc_types::TenantTag::NONE,
         }
     }
 

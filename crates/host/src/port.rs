@@ -6,7 +6,7 @@ use std::collections::{BTreeMap, VecDeque};
 use hmc_types::packet::{wire_bytes_per_access, OpKind};
 use hmc_types::{
     Address, ChainShard, CubeId, MemoryRequest, MemoryResponse, PortId, RequestId, RequestKind,
-    RequestSize, Tag, Time,
+    RequestSize, Tag, TenantTag, Time,
 };
 use sim_engine::{Histogram, SplitMix64};
 
@@ -217,6 +217,7 @@ impl GupsPort {
                 addr,
                 issued_at: now,
                 data_token: token,
+                tenant: TenantTag::NONE,
             });
         }
         match &mut self.generator {
@@ -250,6 +251,7 @@ impl GupsPort {
                     addr,
                     issued_at: now,
                     data_token: 0,
+                    tenant: TenantTag::NONE,
                 })
             }
             Generator::Stream(ops) => {
@@ -285,6 +287,7 @@ impl GupsPort {
                     addr,
                     issued_at: now,
                     data_token: if op.op == OpKind::Write { op.token } else { 0 },
+                    tenant: TenantTag::NONE,
                 })
             }
             Generator::Continuous(w) => {
@@ -319,9 +322,61 @@ impl GupsPort {
                     addr,
                     issued_at: now,
                     data_token: if op == OpKind::Write { id.value() } else { 0 },
+                    tenant: TenantTag::NONE,
                 })
             }
         }
+    }
+
+    /// Issues one open-loop request through this port: reads take a tag
+    /// from the pool (writes are posted, tag 0), the global address is
+    /// split by the port's shard, and the monitor counts it like any
+    /// generated request. The admission layer owns pacing and generation;
+    /// the port only contributes its tag pool and routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueBlock::NoTags`] when a read finds the pool empty.
+    pub fn try_issue_open(
+        &mut self,
+        id: RequestId,
+        now: Time,
+        op: OpKind,
+        size: RequestSize,
+        global: u64,
+        tenant: TenantTag,
+    ) -> Result<MemoryRequest, IssueBlock> {
+        let tag = if op == OpKind::Read {
+            match self.free_tags.pop() {
+                Some(t) => t,
+                None => return Err(IssueBlock::NoTags),
+            }
+        } else {
+            Tag::new(0)
+        };
+        match op {
+            OpKind::Read => self.monitor.reads_issued += 1,
+            OpKind::Write => self.monitor.writes_issued += 1,
+        }
+        self.last_issue = Some(now);
+        let (cube, addr) = self.route(global);
+        Ok(MemoryRequest {
+            id,
+            port: self.id,
+            tag,
+            op,
+            size,
+            cube,
+            addr,
+            issued_at: now,
+            data_token: 0,
+            tenant,
+        })
+    }
+
+    /// Free read tags remaining in the pool.
+    pub fn free_tag_count(&self) -> usize {
+        self.free_tags.len()
     }
 
     /// Draws the next *global* address for a continuous generator. The
@@ -406,6 +461,7 @@ mod tests {
             issued_at: req.issued_at,
             completed_at: req.issued_at + TimeDelta::from_ns(lat_ns),
             data_token: 0,
+            tenant: req.tenant,
         }
     }
 

@@ -40,5 +40,9 @@ fn self_scan_sarif_parses_and_is_empty() {
         .and_then(|r| r.idx(0))
         .and_then(|r| r.get("results"))
         .and_then(hmc_lint::sarif::Json::arr_len);
-    assert_eq!(results, Some(0), "clean tree must emit an empty results array");
+    assert_eq!(
+        results,
+        Some(0),
+        "clean tree must emit an empty results array"
+    );
 }

@@ -755,6 +755,7 @@ impl HmcDevice {
                             issued_at: pkt.req.issued_at,
                             completed_at: now,
                             data_token: pkt.token,
+                            tenant: pkt.req.tenant,
                         },
                         link,
                         at: now,
@@ -777,6 +778,7 @@ impl HmcDevice {
                         issued_at: pkt.req.issued_at,
                         completed_at: now,
                         data_token: pkt.token,
+                        tenant: pkt.req.tenant,
                     },
                     link: PIM_LINK,
                     at: now,
@@ -1070,6 +1072,7 @@ mod tests {
             addr: Address::new(addr),
             issued_at: Time::ZERO,
             data_token: 0,
+            tenant: hmc_types::TenantTag::NONE,
         }
     }
 

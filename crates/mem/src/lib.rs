@@ -23,7 +23,7 @@
 //!
 //! ```
 //! use hmc_mem::{HmcDevice, MemConfig};
-//! use hmc_types::{Address, CubeId, MemoryRequest, PortId, RequestId, RequestSize, Tag, Time};
+//! use hmc_types::{Address, CubeId, MemoryRequest, PortId, RequestId, RequestSize, Tag, TenantTag, Time};
 //! use hmc_types::packet::OpKind;
 //!
 //! let mut dev = HmcDevice::new(MemConfig::default());
@@ -37,6 +37,7 @@
 //!     addr: Address::new(0),
 //!     issued_at: Time::ZERO,
 //!     data_token: 0,
+//!     tenant: TenantTag::NONE,
 //! };
 //! dev.submit(0, req, Time::ZERO).unwrap();
 //! let mut out = Vec::new();

@@ -287,6 +287,7 @@ mod tests {
             addr: Address::new(addr),
             issued_at: Time::ZERO,
             data_token: 0,
+            tenant: hmc_types::TenantTag::NONE,
         }
     }
 

@@ -120,6 +120,7 @@ impl PimUnit {
             addr,
             issued_at: now,
             data_token: if op == OpKind::Write { id.value() } else { 0 },
+            tenant: hmc_types::TenantTag::NONE,
         }
     }
 

@@ -35,6 +35,7 @@ pub mod error;
 pub mod packet;
 pub mod request;
 pub mod spec;
+pub mod tenant;
 pub mod time;
 pub mod trace;
 
@@ -46,5 +47,6 @@ pub use error::HmcError;
 pub use packet::{FlitCount, RequestKind, RequestSize, TransactionSizes, FLIT_BYTES};
 pub use request::{MemoryRequest, MemoryResponse, PortId, RequestId, Tag};
 pub use spec::{DramTimingFloor, HmcSpec, HmcVersion, LinkConfig, LinkSpeed, LinkWidth};
+pub use tenant::{Priority, TenantId, TenantTag};
 pub use time::{Frequency, Time, TimeDelta};
 pub use trace::{Stage, TraceId};

@@ -10,6 +10,7 @@ use std::fmt;
 
 use crate::address::{Address, CubeId};
 use crate::packet::{OpKind, RequestSize, TransactionSizes};
+use crate::tenant::TenantTag;
 use crate::time::Time;
 
 /// Identifies one of the GUPS ports on the FPGA (nine usable ports).
@@ -111,6 +112,9 @@ pub struct MemoryRequest {
     /// the token into the cube's backing store, reads carry zero. Used by
     /// the stream-GUPS data-integrity check.
     pub data_token: u64,
+    /// Owning tenant stream and priority class. [`TenantTag::NONE`] for
+    /// closed-loop (GUPS) traffic; set by the open-loop arrival frontend.
+    pub tenant: TenantTag,
 }
 
 impl MemoryRequest {
@@ -162,6 +166,9 @@ pub struct MemoryResponse {
     /// For reads, the token read back from the backing store (zero for
     /// never-written locations); for writes, zero.
     pub data_token: u64,
+    /// Tenant tag echoed from the original request, so per-tenant SLO
+    /// accounting happens at the completion site without a lookup.
+    pub tenant: TenantTag,
 }
 
 impl MemoryResponse {
@@ -198,6 +205,7 @@ mod tests {
             addr: Address::new(0x80),
             issued_at: Time::from_ps(1_000),
             data_token: 0,
+            tenant: TenantTag::NONE,
         }
     }
 
@@ -222,6 +230,7 @@ mod tests {
             issued_at: r.issued_at,
             completed_at: r.issued_at + TimeDelta::from_ns(700),
             data_token: 0,
+            tenant: TenantTag::NONE,
         };
         assert_eq!(resp.latency().as_ns_f64(), 700.0);
     }
@@ -250,6 +259,7 @@ mod tests {
             issued_at: r.issued_at,
             completed_at: r.issued_at + TimeDelta::from_ns(1),
             data_token: 0,
+            tenant: TenantTag::NONE,
         };
         assert!(format!("{resp}").contains("done"));
     }

@@ -1,0 +1,127 @@
+//! Multi-tenant vocabulary for open-loop production traffic.
+//!
+//! The open-loop arrival frontend folds thousands-to-millions of logical
+//! clients into a handful of per-tenant streams. Each request carries a
+//! [`TenantTag`] — a tenant identifier plus a [`Priority`] class — from
+//! the arrival process through the admission queue, the packet lifecycle,
+//! and back out on the response, so shed policies, SLO conformance
+//! accounting, and per-tenant gauges can all key off the same tag.
+//!
+//! Closed-loop workloads (the GUPS ports) issue requests tagged
+//! [`TenantTag::NONE`]; the tag is plumbed but inert for them.
+
+use std::fmt;
+
+/// Identifies one tenant stream of the open-loop arrival frontend.
+///
+/// Tenant 0 is reserved for untagged (closed-loop) traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantId(u16);
+
+impl TenantId {
+    /// Creates a tenant id.
+    pub const fn new(index: u16) -> Self {
+        TenantId(index)
+    }
+
+    /// The tenant index.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// Priority class of a tenant stream, from most to least protected.
+///
+/// The priority-aware shed policy drops [`Priority::Batch`] work before
+/// [`Priority::Standard`], and [`Priority::Standard`] before
+/// [`Priority::Critical`]. Ordering: `Critical < Standard < Batch`, so
+/// "larger = shed first" comparisons read naturally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Priority {
+    /// Latency-critical serving traffic; shed last.
+    Critical,
+    /// Ordinary production traffic.
+    #[default]
+    Standard,
+    /// Best-effort background work; shed first.
+    Batch,
+}
+
+impl Priority {
+    /// Every class, in shed-last-to-shed-first order.
+    pub const ALL: [Priority; 3] = [Priority::Critical, Priority::Standard, Priority::Batch];
+
+    /// Short lowercase label used in tables and JSON.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Priority::Critical => "critical",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The tenant annotation carried by every request and response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TenantTag {
+    /// Owning tenant stream.
+    pub tenant: TenantId,
+    /// Priority class inherited from the tenant's spec.
+    pub priority: Priority,
+}
+
+impl TenantTag {
+    /// The untagged (closed-loop) sentinel: tenant 0, standard priority.
+    pub const NONE: TenantTag = TenantTag {
+        tenant: TenantId::new(0),
+        priority: Priority::Standard,
+    };
+
+    /// Creates a tag for a tenant stream.
+    pub const fn new(tenant: TenantId, priority: Priority) -> Self {
+        TenantTag { tenant, priority }
+    }
+}
+
+impl fmt::Display for TenantTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.tenant, self.priority)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_shed_last_to_shed_first() {
+        assert!(Priority::Critical < Priority::Standard);
+        assert!(Priority::Standard < Priority::Batch);
+        assert_eq!(Priority::ALL.len(), 3);
+    }
+
+    #[test]
+    fn none_tag_is_default() {
+        assert_eq!(TenantTag::NONE, TenantTag::default());
+        assert_eq!(TenantTag::NONE.tenant.index(), 0);
+    }
+
+    #[test]
+    fn display_impls() {
+        let tag = TenantTag::new(TenantId::new(3), Priority::Batch);
+        assert_eq!(format!("{tag}"), "tenant3/batch");
+        assert_eq!(format!("{}", Priority::Critical), "critical");
+    }
+}
