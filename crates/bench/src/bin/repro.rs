@@ -9,10 +9,19 @@
 //!   `table3`, `fig6`..`fig18`, `baseline`, `readratio`, `kernels`,
 //!   `mapping`, `faults`, `generations`, or `all`. `--breakdown` adds the
 //!   traced per-stage attribution to `fig14`.
-//! * `sweep <trace|metrics|perf>` — observability captures: a traced
-//!   full-scale window as Chrome trace-event JSON (Perfetto-loadable),
-//!   the same window's sampled gauge series, or simulation-throughput
-//!   measurements (`perf` defaults to `BENCH_simperf.json`).
+//! * `sweep <trace|metrics|perf> [--backend <kind>]` — observability
+//!   captures: a traced full-scale window as Chrome trace-event JSON
+//!   (Perfetto-loadable), the same window's sampled gauge series, or
+//!   simulation-throughput measurements (`perf` defaults to
+//!   `BENCH_simperf.json`, including the cross-backend
+//!   `backend_compare` grid). `--backend` selects the device preset for
+//!   `trace`/`metrics` (`hmc` default, `hmc-gen3`, `ddr3-1600`, `hbm`).
+//! * `compare [--quick]` — the cross-technology table: every backend
+//!   preset under the identical host pipeline at the Figure 9 operating
+//!   point (full-scale ro and rw at 128 B) plus one open-loop
+//!   multi-tenant point, reporting bandwidth, p99, and the
+//!   channels-in-flight concurrency gauge (nonzero exit if the HBM
+//!   backend does not sustain more channels in flight than HMC Gen2).
 //! * `sanitize` — run the Figure 9 bandwidth subset with the protocol
 //!   sanitizer armed, verify bit-identity against the plain run, and
 //!   print the invariant-check report (nonzero exit on any violation).
@@ -48,9 +57,9 @@
 //!     (simulated time per frame), `--span-us N` (total simulated time),
 //!     `--refresh-ms N` (live repaint pacing).
 //!
-//! The pre-subcommand flags (`--figure`, `--perf-json`, `--trace`,
-//! `--metrics-json`, `--sanitize[-json]`, `--faults[-json]`) still work
-//! as aliases and print a deprecation note on stderr.
+//! Unknown commands or flags print the usage text and exit nonzero (the
+//! pre-subcommand flag aliases were removed after their deprecation
+//! period).
 //!
 //! (The `benches/` targets print the same tables plus paper-vs-measured
 //! verdicts; this binary is the quick interactive entry point.)
@@ -60,14 +69,17 @@ use hmc_core::experiments::{
     bandwidth, baseline, chain, faults, generations, kernels, latency, mapping, openloop,
     page_policy, read_ratio, thermal,
 };
-use hmc_core::hmc_host::Workload;
+use hmc_core::hmc_host::{OpenLoopConfig, ShedPolicy, Workload};
 use hmc_core::hmc_types::CubeInterleave;
-use hmc_core::observe::run_window_observed;
+use hmc_core::measure::{run_backend_measurement, BackendMeasurement, MeasureConfig};
+use hmc_core::mem_backend::BackendKind;
+use hmc_core::observe::{run_window_observed, run_window_observed_backend};
 use hmc_core::topology::Topology;
 use hmc_core::{JsonReport, System, SystemBuilder, SystemConfig};
 use hmc_types::packet::{OpKind, TransactionSizes};
 use hmc_types::{HmcSpec, HmcVersion, RequestKind, RequestSize, Time, TimeDelta};
 use sim_engine::exec;
+use sim_engine::ArrivalKind;
 
 fn table1() {
     for v in [HmcVersion::Gen1, HmcVersion::Gen2, HmcVersion::Hmc2] {
@@ -358,6 +370,34 @@ fn perf_json(cfg: &SystemConfig) {
         ));
     }
 
+    // Cross-backend simulation throughput and achieved bandwidth at the
+    // Figure 9 operating point (full-scale ro at 128 B): every device
+    // preset behind the identical host pipeline.
+    let mut backend_cells = String::new();
+    for kind in BackendKind::ALL {
+        let mut sys = SystemBuilder::new(cfg.clone()).backend(kind).build_any();
+        let t = Instant::now();
+        let m = run_backend_measurement(
+            &mut sys,
+            &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+            &mc,
+        );
+        let wall = t.elapsed().as_secs_f64();
+        if !backend_cells.is_empty() {
+            backend_cells.push_str(",\n");
+        }
+        backend_cells.push_str(&format!(
+            "      {{\"backend\": \"{}\", \"events\": {}, \
+             \"events_per_sec\": {:.0}, \"achieved_gbs\": {:.2}, \
+             \"peak_channels\": {}}}",
+            m.backend,
+            m.events,
+            m.events as f64 / wall,
+            m.bandwidth_gbs,
+            m.peak_channels,
+        ));
+    }
+
     let json = format!(
         "{{\n  \"event_core\": {{\n    \"events_per_sec\": {:.0},\n    \
          \"simulated_us_per_wall_sec\": {:.1}\n  }},\n  \"sweep\": {{\n    \
@@ -368,6 +408,8 @@ fn perf_json(cfg: &SystemConfig) {
          \"observability\": {{\n    \"span_us\": {:.0},\n    \
          \"armed\": \"tracer + per-cube gauges + epoch profiler\",\n    \
          \"points\": [\n{}\n    ]\n  }},\n  \
+         \"backend_compare\": {{\n    \"workload\": \"full-scale ro 128B\",\n    \
+         \"points\": [\n{backend_cells}\n    ]\n  }},\n  \
          \"openloop\": {{\n    \"arrivals\": \"mmpp\",\n    \
          \"policy\": \"reject-newest\",\n    \
          \"saturation_rps\": {:.0},\n    \"wall_sec\": {:.3},\n    \
@@ -401,26 +443,181 @@ fn write_artifact<R: JsonReport + ?Sized>(report: &R, path: &str) {
     }
 }
 
-/// Runs a traced full-scale window and writes the requested exports:
-/// Chrome trace-event JSON (`--trace`) and/or the sampled gauge series
-/// (`--metrics-json`).
-fn capture_observed(cfg: &SystemConfig, trace_out: Option<&str>, metrics_out: Option<&str>) {
-    let obs = run_window_observed(
-        cfg,
-        &Workload::full_scale(
-            RequestKind::ReadModifyWrite,
-            RequestSize::new(64).expect("valid"),
-        ),
-        TimeDelta::from_us(50),
-        101,
-        TimeDelta::from_us(1),
+/// Runs a traced full-scale window on the selected backend preset and
+/// writes the requested exports: Chrome trace-event JSON and/or the
+/// sampled gauge series. The default `hmc` preset takes the concrete
+/// [`System`] path (byte-identical artifacts across refactors); other
+/// presets go through the generic backend build.
+fn capture_observed(
+    cfg: &SystemConfig,
+    kind: BackendKind,
+    trace_out: Option<&str>,
+    metrics_out: Option<&str>,
+) {
+    let workload = Workload::full_scale(
+        RequestKind::ReadModifyWrite,
+        RequestSize::new(64).expect("valid"),
     );
+    let span = TimeDelta::from_us(50);
+    let obs = if kind == BackendKind::Hmc {
+        run_window_observed(cfg, &workload, span, 101, TimeDelta::from_us(1))
+    } else {
+        run_window_observed_backend(cfg, kind, &workload, span, 101, TimeDelta::from_us(1))
+    };
     if let Some(path) = trace_out {
         write_artifact(&obs.report, path);
     }
     if let Some(path) = metrics_out {
         write_artifact(&obs.metrics, path);
     }
+}
+
+/// One backend's row of the `repro compare` table.
+struct CompareRow {
+    /// Fig-9 operating point, read-only.
+    ro: BackendMeasurement,
+    /// Fig-9 operating point, read-modify-write.
+    rw: BackendMeasurement,
+    /// Open-loop point: goodput (requests/s), p99 (ns), sheds.
+    open_goodput_rps: f64,
+    open_p99_ns: f64,
+    open_shed: u64,
+}
+
+/// The offered rate of the compare table's open-loop point: modest
+/// enough that even the single-channel DIMM can serve most of it, so
+/// the p99 column contrasts queueing behavior rather than raw ceilings.
+const COMPARE_OPENLOOP_RPS: f64 = 10.0e6;
+
+/// Measures one backend preset at the Figure 9 operating point (ro and
+/// rw full-scale) plus the open-loop multi-tenant point.
+fn compare_backend(cfg: &SystemConfig, kind: BackendKind, mc: &MeasureConfig) -> CompareRow {
+    let mut sys = SystemBuilder::new(cfg.clone()).backend(kind).build_any();
+    let ro = run_backend_measurement(
+        &mut sys,
+        &Workload::full_scale(RequestKind::ReadOnly, RequestSize::MAX),
+        mc,
+    );
+    let mut sys = SystemBuilder::new(cfg.clone()).backend(kind).build_any();
+    let rw = run_backend_measurement(
+        &mut sys,
+        &Workload::full_scale(RequestKind::ReadModifyWrite, RequestSize::MAX),
+        mc,
+    );
+    let open = OpenLoopConfig::standard_mix(
+        COMPARE_OPENLOOP_RPS,
+        ArrivalKind::Poisson,
+        ShedPolicy::RejectNewest,
+    );
+    let mut sys = SystemBuilder::new(cfg.clone())
+        .backend(kind)
+        .open_loop(open.clone())
+        .build_any();
+    sys.host_mut().start(Time::ZERO);
+    sys.step_until(Time::ZERO + mc.warmup);
+    sys.host_mut().reset_stats();
+    sys.step_until(Time::ZERO + mc.warmup + mc.window);
+    let point = openloop::make_window_point(
+        COMPARE_OPENLOOP_RPS,
+        &open,
+        sys.host().open_stats(),
+        mc.window,
+    );
+    CompareRow {
+        ro,
+        rw,
+        open_goodput_rps: point.goodput_rps,
+        open_p99_ns: point.p99_ns,
+        open_shed: point.shed,
+    }
+}
+
+/// Runs every backend preset under the identical host pipeline and
+/// prints the cross-technology table. Returns `false` (nonzero exit)
+/// if the HBM backend fails to sustain more channels in flight than
+/// HMC Gen2 — the structural-concurrency claim the comparison rests on.
+fn run_compare(cfg: &SystemConfig, mc: &MeasureConfig, json_out: Option<&str>) -> bool {
+    let rows: Vec<(BackendKind, CompareRow)> = BackendKind::ALL
+        .into_iter()
+        .map(|kind| (kind, compare_backend(cfg, kind, mc)))
+        .collect();
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>6} {:>11} {:>10} {:>7}",
+        "backend",
+        "ro-GB/s",
+        "ro-p99ns",
+        "rw-GB/s",
+        "rw-p99ns",
+        "chans",
+        "open-Mrps",
+        "open-p99",
+        "shed"
+    );
+    let mut cells = String::new();
+    for (kind, r) in &rows {
+        println!(
+            "{:<10} {:>9.2} {:>9.0} {:>9.2} {:>9.0} {:>6} {:>11.2} {:>10.0} {:>7}",
+            kind.label(),
+            r.ro.bandwidth_gbs,
+            r.ro.p99_latency_ns,
+            r.rw.bandwidth_gbs,
+            r.rw.p99_latency_ns,
+            r.ro.peak_channels,
+            r.open_goodput_rps / 1e6,
+            r.open_p99_ns,
+            r.open_shed,
+        );
+        if !cells.is_empty() {
+            cells.push_str(",\n");
+        }
+        cells.push_str(&format!(
+            "    {{\"backend\": \"{}\", \
+             \"ro_gbs\": {:.3}, \"ro_p99_ns\": {:.1}, \
+             \"rw_gbs\": {:.3}, \"rw_p99_ns\": {:.1}, \
+             \"peak_channels\": {}, \"events\": {}, \
+             \"open_goodput_rps\": {:.0}, \"open_p99_ns\": {:.1}, \
+             \"open_shed\": {}}}",
+            kind.label(),
+            r.ro.bandwidth_gbs,
+            r.ro.p99_latency_ns,
+            r.rw.bandwidth_gbs,
+            r.rw.p99_latency_ns,
+            r.ro.peak_channels,
+            r.ro.events,
+            r.open_goodput_rps,
+            r.open_p99_ns,
+            r.open_shed,
+        ));
+    }
+    let hmc_chans = rows
+        .iter()
+        .find(|(k, _)| *k == BackendKind::Hmc)
+        .map_or(0, |(_, r)| r.ro.peak_channels);
+    let hbm_chans = rows
+        .iter()
+        .find(|(k, _)| *k == BackendKind::Hbm)
+        .map_or(0, |(_, r)| r.ro.peak_channels);
+    let ok = hbm_chans > hmc_chans;
+    println!(
+        "channels-in-flight: hbm {hbm_chans} vs hmc {hmc_chans} — {}",
+        if ok { "ok" } else { "VIOLATION" }
+    );
+    if let Some(path) = json_out {
+        let json = format!(
+            "{{\n  \"workload\": \"fig9 operating point (full-scale ro/rw 128B) + \
+             openloop {:.0}rps poisson reject-newest\",\n  \
+             \"window_us\": {:.1},\n  \"backends\": [\n{cells}\n  ],\n  \
+             \"verdict\": {{\"hbm_channels\": {hbm_chans}, \
+             \"hmc_channels\": {hmc_chans}, \"hbm_exceeds_hmc\": {ok}}}\n}}\n",
+            COMPARE_OPENLOOP_RPS,
+            mc.window.as_ns_f64() / 1e3,
+        );
+        match std::fs::write(path, &json) {
+            Ok(()) => eprintln!("wrote compare artifact to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+    ok
 }
 
 /// Runs the Figure 9 subset twice — plain and sanitized — checks the
@@ -635,7 +832,8 @@ fn usage() -> ! {
         "usage: repro <command> [--threads N] [--json PATH]\n\
          commands:\n\
          \x20 figure <table1|table2|table3|fig6..fig18|baseline|readratio|kernels|mapping|faults|generations|all>... [--breakdown]\n\
-         \x20 sweep <trace|metrics|perf>\n\
+         \x20 sweep <trace|metrics|perf> [--backend hmc|hmc-gen3|ddr3-1600|hbm]\n\
+         \x20 compare [--quick]\n\
          \x20 sanitize\n\
          \x20 faults [scenario|all]\n\
          \x20 openloop [policy|all] [--poisson] [--quick] [--cubes N] [--shards N]\n\
@@ -643,8 +841,7 @@ fn usage() -> ! {
          \x20 chain [--cubes N] [--star] [--interleave cube|vault] [--shards N]\n\
          \x20       [--breakdown] [--trace-json P] [--metrics-json P] [--profile-json P]\n\
          \x20       [--dashboard | --dashboard-headless] [--frames N] [--frame-us N]\n\
-         \x20       [--span-us N] [--refresh-ms N]\n\
-         (legacy flag forms still work; see --help text in the module docs)"
+         \x20       [--span-us N] [--refresh-ms N]"
     );
     std::process::exit(2);
 }
@@ -724,10 +921,41 @@ fn cmd_figure(cfg: &SystemConfig, args: &[String]) {
 
 fn cmd_sweep(cfg: &SystemConfig, args: &[String]) {
     let (rest, json) = take_common(args);
-    match rest.first().map(String::as_str) {
-        Some("trace") => capture_observed(cfg, Some(json.as_deref().unwrap_or("trace.json")), None),
+    let mut backend = BackendKind::default();
+    let mut target: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--backend" => {
+                let name = it.next().unwrap_or_else(|| usage());
+                backend = BackendKind::parse(name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown backend '{name}' (kinds: {})",
+                        BackendKind::ALL.map(|k| k.label()).join(", ")
+                    );
+                    std::process::exit(2);
+                });
+            }
+            t if !t.starts_with("--") && target.is_none() => target = Some(t.to_string()),
+            _ => usage(),
+        }
+    }
+    match target.as_deref() {
+        Some("trace") => {
+            capture_observed(
+                cfg,
+                backend,
+                Some(json.as_deref().unwrap_or("trace.json")),
+                None,
+            );
+        }
         Some("metrics") => {
-            capture_observed(cfg, None, Some(json.as_deref().unwrap_or("metrics.json")));
+            capture_observed(
+                cfg,
+                backend,
+                None,
+                Some(json.as_deref().unwrap_or("metrics.json")),
+            );
         }
         Some("perf") => perf_json(cfg),
         _ => usage(),
@@ -929,115 +1157,23 @@ fn main() {
             }
         }
         Some("chain") => cmd_chain(&cfg, &args[1..]),
-        Some(_) => legacy_main(&cfg, &args),
-        None => usage(),
-    }
-}
-
-/// The pre-subcommand flag interface, kept as aliases. Every accepted
-/// legacy flag prints a deprecation note pointing at its subcommand.
-fn legacy_main(cfg: &SystemConfig, args: &[String]) {
-    fn deprecated(old: &str, new: &str) {
-        eprintln!("note: '{old}' is deprecated; use 'repro {new}' instead");
-    }
-    let mut targets: Vec<String> = Vec::new();
-    let mut perf = false;
-    let mut opts = Opts::default();
-    let mut trace_out: Option<String> = None;
-    let mut metrics_out: Option<String> = None;
-    let mut sanitize = false;
-    let mut sanitize_out: Option<String> = None;
-    let mut faults_which: Option<String> = None;
-    let mut faults_out: Option<String> = None;
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--threads" => {
-                let n = it
-                    .next()
-                    .and_then(|v| v.parse::<usize>().ok())
-                    .unwrap_or_else(|| usage());
-                exec::set_threads(n);
-            }
-            "--figure" => {
-                deprecated("--figure", "figure <id>");
-                let id = it.next().unwrap_or_else(|| usage());
-                // Accept both `--figure fig7` and `--figure 7`.
-                if id.chars().all(|c| c.is_ascii_digit()) {
-                    targets.push(format!("fig{id}"));
-                } else {
-                    targets.push(id.clone());
+        Some("compare") => {
+            let (rest, json) = take_common(&args[1..]);
+            let mut mc = bench_mc();
+            for arg in &rest {
+                match arg.as_str() {
+                    "--quick" => mc = MeasureConfig::quick(),
+                    _ => usage(),
                 }
             }
-            "--perf-json" => {
-                deprecated("--perf-json", "sweep perf");
-                perf = true;
+            if !run_compare(&cfg, &mc, json.as_deref()) {
+                std::process::exit(1);
             }
-            "--breakdown" => opts.breakdown = true,
-            "--trace" => {
-                deprecated("--trace", "sweep trace --json <out.json>");
-                trace_out = Some(it.next().unwrap_or_else(|| usage()).clone());
-            }
-            "--metrics-json" => {
-                deprecated("--metrics-json", "sweep metrics --json <out.json>");
-                metrics_out = Some(it.next().unwrap_or_else(|| usage()).clone());
-            }
-            "--sanitize" => {
-                deprecated("--sanitize", "sanitize");
-                sanitize = true;
-            }
-            "--sanitize-json" => {
-                deprecated("--sanitize-json", "sanitize --json <out.json>");
-                sanitize = true;
-                sanitize_out = Some(it.next().unwrap_or_else(|| usage()).clone());
-            }
-            "--faults" => {
-                deprecated("--faults", "faults <scenario|all>");
-                faults_which = Some(it.next().unwrap_or_else(|| usage()).clone());
-            }
-            "--faults-json" => {
-                deprecated("--faults-json", "faults ... --json <out.json>");
-                faults_out = Some(it.next().unwrap_or_else(|| usage()).clone());
-            }
-            flag if flag.starts_with("--") => usage(),
-            target => targets.push(target.to_string()),
         }
-    }
-    if targets.is_empty()
-        && !perf
-        && !sanitize
-        && faults_which.is_none()
-        && trace_out.is_none()
-        && metrics_out.is_none()
-    {
-        usage();
-    }
-    if faults_which.is_none() && faults_out.is_some() {
-        eprintln!("--faults-json requires --faults");
-        usage();
-    }
-    for arg in &targets {
-        if arg == "all" {
-            for t in ALL_TARGETS {
-                println!("\n########## {t} ##########");
-                run(t, cfg, opts);
-            }
-        } else {
-            run(arg, cfg, opts);
+        Some(other) => {
+            eprintln!("unknown command '{other}'");
+            usage();
         }
-    }
-    if trace_out.is_some() || metrics_out.is_some() {
-        capture_observed(cfg, trace_out.as_deref(), metrics_out.as_deref());
-    }
-    if perf {
-        perf_json(cfg);
-    }
-    if sanitize && !run_sanitize(cfg, sanitize_out.as_deref()) {
-        std::process::exit(1);
-    }
-    if let Some(which) = &faults_which {
-        if !run_faults(cfg, which, faults_out.as_deref()) {
-            std::process::exit(1);
-        }
+        None => usage(),
     }
 }

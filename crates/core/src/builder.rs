@@ -26,8 +26,10 @@
 
 use hmc_thermal::FailurePolicy;
 use hmc_types::TimeDelta;
+use mem_backend::{BackendKind, MemoryBackend};
 use sim_engine::FaultScenario;
 
+use crate::backends::{self, AnyBackend};
 use crate::system::{System, SystemConfig};
 use crate::topology::{ChainSystem, Topology};
 
@@ -40,6 +42,7 @@ use crate::topology::{ChainSystem, Topology};
 #[derive(Debug, Clone)]
 pub struct SystemBuilder {
     cfg: SystemConfig,
+    backend: BackendKind,
     topo: Topology,
     tracing: Option<u64>,
     metrics: Option<TimeDelta>,
@@ -57,6 +60,7 @@ impl SystemBuilder {
     pub fn new(cfg: SystemConfig) -> Self {
         SystemBuilder {
             cfg,
+            backend: BackendKind::default(),
             topo: Topology::single(),
             tracing: None,
             metrics: None,
@@ -66,6 +70,19 @@ impl SystemBuilder {
             shards: None,
             profiler: false,
         }
+    }
+
+    /// Selects the memory-backend preset (the default is
+    /// [`BackendKind::Hmc`], the characterized Gen2 device).
+    ///
+    /// This is the single selection path: the preset rewrites the
+    /// configuration's geometry at build time (see
+    /// [`backends::apply_preset`]) and picks the device model. HMC-family
+    /// presets work with every build variant; `ddr3-1600` and `hbm`
+    /// require [`build_any`](Self::build_any).
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.backend = kind;
+        self
     }
 
     /// Pumps chain epochs on `workers` threads instead of sequentially.
@@ -157,19 +174,9 @@ impl SystemBuilder {
         self
     }
 
-    /// Builds a single-cube [`System`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if a multi-cube [`topology`](SystemBuilder::topology) was
-    /// selected — use [`build_chain`](SystemBuilder::build_chain).
-    pub fn build(self) -> System {
-        assert_eq!(
-            self.topo.cubes(),
-            1,
-            "multi-cube topology requires build_chain()"
-        );
-        let mut sys = System::new(self.cfg);
+    /// Applies the declared observability and fault knobs to a built
+    /// system, in the one fixed order every build variant shares.
+    fn finish_system<B: MemoryBackend>(self, mut sys: System<B>) -> System<B> {
         if let Some(policy) = self.policy {
             sys.set_failure_policy(policy);
         }
@@ -190,9 +197,98 @@ impl SystemBuilder {
         sys
     }
 
+    /// Builds a single-cube [`System`] with the concrete HMC device
+    /// (the statically-typed fast path every existing caller uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a multi-cube [`topology`](SystemBuilder::topology) was
+    /// selected — use [`build_chain`](SystemBuilder::build_chain) — or
+    /// if a non-HMC [`backend`](SystemBuilder::backend) preset was
+    /// selected — use [`build_any`](SystemBuilder::build_any).
+    pub fn build(mut self) -> System {
+        assert_eq!(
+            self.topo.cubes(),
+            1,
+            "multi-cube topology requires build_chain()"
+        );
+        assert!(
+            matches!(self.backend, BackendKind::Hmc | BackendKind::HmcGen3),
+            "backend preset '{}' requires build_any()",
+            self.backend
+        );
+        backends::apply_preset(self.backend, &mut self.cfg);
+        let sys = System::new(self.cfg.clone());
+        self.finish_system(sys)
+    }
+
+    /// Builds a single-cube system around the selected
+    /// [`backend`](SystemBuilder::backend) preset, after the build-time
+    /// address-layout handshake.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-cube topology, or with a diagnostic naming
+    /// both bit-fields when the instantiated backend decodes a shared
+    /// address field differently than the host generates it.
+    pub fn build_any(mut self) -> System<AnyBackend> {
+        assert_eq!(
+            self.topo.cubes(),
+            1,
+            "multi-cube topology requires build_chain()"
+        );
+        backends::apply_preset(self.backend, &mut self.cfg);
+        let device = backends::instantiate(self.backend, &self.cfg);
+        backends::assert_layout_compatible(
+            &device,
+            &backends::host_layout(self.backend, &self.cfg),
+        );
+        let sys = System::with_backend(self.cfg.host.clone(), device);
+        self.finish_system(sys)
+    }
+
+    /// Builds a single-cube system around a caller-constructed backend
+    /// — the checked entry point for custom device models that share
+    /// the host's interleave (DIMM-style backends with no interleave
+    /// contract go through [`build_any`](Self::build_any) presets).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-cube topology, or with a diagnostic naming
+    /// both bit-fields when `device` decodes a shared address field
+    /// differently than the host's configured mapping generates it.
+    pub fn build_with<B: MemoryBackend>(self, device: B) -> System<B> {
+        assert_eq!(
+            self.topo.cubes(),
+            1,
+            "multi-cube topology requires build_chain()"
+        );
+        let host = mem_backend::AddressLayout::of_mapping(
+            "host-interleave",
+            self.cfg.mem.mapping,
+            &self.cfg.mem.spec,
+        );
+        backends::assert_layout_compatible(&device, &host);
+        let sys = System::with_backend(self.cfg.host.clone(), device);
+        self.finish_system(sys)
+    }
+
     /// Builds a [`ChainSystem`] of the selected topology (any cube count,
     /// including the single-cube identity topology).
-    pub fn build_chain(self) -> ChainSystem {
+    ///
+    /// # Panics
+    ///
+    /// Panics if a non-HMC [`backend`](SystemBuilder::backend) preset
+    /// was selected: cube chaining is an HMC-specification feature (the
+    /// hop links are HMC pass-through serializers), so chains are
+    /// HMC-family only.
+    pub fn build_chain(mut self) -> ChainSystem {
+        assert!(
+            matches!(self.backend, BackendKind::Hmc | BackendKind::HmcGen3),
+            "backend preset '{}' cannot form a cube chain; chaining is HMC-family only",
+            self.backend
+        );
+        backends::apply_preset(self.backend, &mut self.cfg);
         let mut sys = ChainSystem::new(self.cfg, self.topo);
         if let Some(workers) = self.shards {
             sys.set_parallel_shards(workers);

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod analysis;
+pub mod backends;
 pub mod builder;
 pub mod experiments;
 pub mod measure;
@@ -52,8 +53,9 @@ pub mod sanitize;
 pub mod system;
 pub mod topology;
 
+pub use backends::AnyBackend;
 pub use builder::SystemBuilder;
-pub use measure::{MeasureConfig, Measurement};
+pub use measure::{BackendMeasurement, MeasureConfig, Measurement};
 pub use observe::{ObservedChain, ObservedStream, ObservedWindow, TraceReport};
 pub use pattern::AccessPattern;
 pub use report::{JsonReport, Table};
@@ -68,4 +70,5 @@ pub use hmc_mem;
 pub use hmc_power;
 pub use hmc_thermal;
 pub use hmc_types;
+pub use mem_backend;
 pub use sim_engine;

@@ -10,6 +10,7 @@ use hmc_host::{HostStats, Workload};
 use hmc_mem::DeviceStats;
 use hmc_power::ActivityRates;
 use hmc_types::{Time, TimeDelta};
+use mem_backend::MemoryBackend;
 use sim_engine::Histogram;
 
 use crate::builder::SystemBuilder;
@@ -151,6 +152,70 @@ pub fn run_measurement_built(
         outstanding,
     };
     (m, sys)
+}
+
+/// One backend's numbers for the cross-technology compare table: the
+/// subset of [`Measurement`] every [`MemoryBackend`] can produce, plus
+/// the concurrency gauge the comparison turns on.
+#[derive(Debug, Clone)]
+pub struct BackendMeasurement {
+    /// Backend technology label.
+    pub backend: &'static str,
+    /// Counted bandwidth over the window, GB/s.
+    pub bandwidth_gbs: f64,
+    /// Completed requests, millions per second.
+    pub mrps: f64,
+    /// Mean read latency over the window, ns.
+    pub mean_latency_ns: f64,
+    /// 99th-percentile read latency over the window, ns (0 if no reads).
+    pub p99_latency_ns: f64,
+    /// Peak structurally independent channels observed with work in
+    /// flight — vaults (HMC), banks (DIMM), pseudo-channels (HBM).
+    pub peak_channels: usize,
+    /// Backend-internal events processed during the window (the
+    /// simulator-throughput numerator of `BENCH_simperf`).
+    pub events: u64,
+    /// Requests completed during the window.
+    pub completed: u64,
+}
+
+/// Measures one warm-up + window cycle on any backend, sampling the
+/// channels-in-flight gauge at 256 deterministic points across the
+/// window. The generic analogue of [`run_measurement_built`] for the
+/// `repro compare` table.
+pub fn run_backend_measurement<B: MemoryBackend>(
+    sys: &mut System<B>,
+    workload: &Workload,
+    mc: &MeasureConfig,
+) -> BackendMeasurement {
+    sys.host_mut().apply_workload(workload);
+    sys.host_mut().start(Time::ZERO);
+    sys.step_until(Time::ZERO + mc.warmup);
+    sys.host_mut().reset_stats();
+    let events_before = sys.device().events_processed();
+    let completed_before = sys.device().core_stats().completed();
+    let end = Time::ZERO + mc.warmup + mc.window;
+    let slice = mc.window / 256;
+    let mut peak = 0usize;
+    while sys.now() < end {
+        let next = (sys.now() + slice).min(end);
+        sys.step_until(next);
+        peak = peak.max(sys.device().channels_in_flight(sys.now()));
+    }
+    let host = sys.host().stats();
+    BackendMeasurement {
+        backend: sys.device().label(),
+        bandwidth_gbs: host.bandwidth_gbs(mc.window),
+        mrps: host.mrps(mc.window),
+        mean_latency_ns: host.read_latency.mean().as_ns_f64(),
+        p99_latency_ns: host
+            .read_latency
+            .quantile(0.99)
+            .map_or(0.0, |d| d.as_ns_f64()),
+        peak_channels: peak,
+        events: sys.device().events_processed() - events_before,
+        completed: sys.device().core_stats().completed() - completed_before,
+    }
 }
 
 /// Runs a [`Workload::Stream`] to completion on a fresh system and

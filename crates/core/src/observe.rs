@@ -21,6 +21,7 @@ use std::fmt::Write as _;
 use hmc_host::Workload;
 use hmc_types::trace::Stage;
 use hmc_types::{Time, TimeDelta};
+use mem_backend::{BackendKind, MemoryBackend};
 use sim_engine::stats::Histogram;
 use sim_engine::trace::{chrome_trace_events, chrome_trace_json, TraceEvent};
 use sim_engine::{EpochProfiler, MetricsSampler};
@@ -39,8 +40,9 @@ pub struct TraceReport {
 
 impl TraceReport {
     /// Merges the host and device tracers of a finished (or paused)
-    /// system into one report.
-    pub fn from_system(sys: &System) -> Self {
+    /// system into one report (any backend: the device tracer comes
+    /// through the [`MemoryBackend`] surface).
+    pub fn from_system<B: MemoryBackend>(sys: &System<B>) -> Self {
         let mut stages: Vec<Histogram> = sys.host().tracer().stage_histograms().to_vec();
         for (mine, theirs) in stages
             .iter_mut()
@@ -278,10 +280,39 @@ pub fn run_window_observed(
     sample_every: u64,
     metrics_period: TimeDelta,
 ) -> ObservedWindow {
-    let mut sys = SystemBuilder::new(cfg.clone())
+    let sys = SystemBuilder::new(cfg.clone())
         .tracing(sample_every)
         .metrics(metrics_period)
         .build();
+    observe_window_on(sys, workload, span)
+}
+
+/// [`run_window_observed`] against a selected backend preset: the same
+/// traced + gauge-sampled window, built through
+/// [`SystemBuilder::backend`] so any technology can be captured.
+pub fn run_window_observed_backend(
+    cfg: &SystemConfig,
+    kind: BackendKind,
+    workload: &Workload,
+    span: TimeDelta,
+    sample_every: u64,
+    metrics_period: TimeDelta,
+) -> ObservedWindow {
+    let sys = SystemBuilder::new(cfg.clone())
+        .backend(kind)
+        .tracing(sample_every)
+        .metrics(metrics_period)
+        .build_any();
+    observe_window_on(sys, workload, span)
+}
+
+/// The shared window body: run the workload for `span` and package the
+/// merged trace, gauge stream, and latency histogram.
+fn observe_window_on<B: MemoryBackend>(
+    mut sys: System<B>,
+    workload: &Workload,
+    span: TimeDelta,
+) -> ObservedWindow {
     sys.host_mut().apply_workload(workload);
     sys.host_mut().start(Time::ZERO);
     sys.run_for(span);

@@ -12,6 +12,7 @@ use hmc_host::{Host, HostConfig, LinkSink};
 use hmc_mem::{DeviceOutput, HmcDevice, MemConfig};
 use hmc_thermal::{FailurePolicy, RecoveryStep, ThermalEvent};
 use hmc_types::{MemoryRequest, Time, TimeDelta};
+use mem_backend::MemoryBackend;
 use sim_engine::{FaultKind, FaultScenario, MetricsSampler, SanitizerReport, ViolationClass};
 
 /// Configuration of the whole modelled system.
@@ -23,12 +24,12 @@ pub struct SystemConfig {
     pub host: HostConfig,
 }
 
-/// Newtype adapter: the device model as the host's transmit sink.
-struct DeviceSink<'a>(&'a mut HmcDevice);
+/// Newtype adapter: any memory backend as the host's transmit sink.
+struct DeviceSink<'a, B: MemoryBackend>(&'a mut B);
 
-impl LinkSink for DeviceSink<'_> {
+impl<B: MemoryBackend> LinkSink for DeviceSink<'_, B> {
     fn free_slots(&self, link: usize) -> usize {
-        self.0.ingress_free(link)
+        self.0.free_slots(link)
     }
 
     fn submit(&mut self, link: usize, req: MemoryRequest, now: Time) -> Result<(), MemoryRequest> {
@@ -54,9 +55,9 @@ impl LinkSink for DeviceSink<'_> {
 /// # Ok::<(), hmc_types::HmcError>(())
 /// ```
 #[derive(Debug)]
-pub struct System {
+pub struct System<B: MemoryBackend = HmcDevice> {
     host: Host,
-    device: HmcDevice,
+    device: B,
     now: Time,
     sampler: Option<MetricsSampler>,
     watchdog: Option<Watchdog>,
@@ -109,11 +110,23 @@ pub(crate) struct Watchdog {
 }
 
 impl System {
-    /// Builds an idle system.
+    /// Builds an idle system around the characterized HMC device.
     pub fn new(cfg: SystemConfig) -> Self {
+        let device = HmcDevice::new(cfg.mem);
+        System::with_backend(cfg.host, device)
+    }
+}
+
+impl<B: MemoryBackend> System<B> {
+    /// Builds an idle system around an already-constructed backend —
+    /// the generic entry point [`SystemBuilder::build_any`] and the
+    /// conformance tests use for non-HMC technologies.
+    ///
+    /// [`SystemBuilder::build_any`]: crate::SystemBuilder::build_any
+    pub fn with_backend(host: HostConfig, device: B) -> Self {
         System {
-            host: Host::new(cfg.host),
-            device: HmcDevice::new(cfg.mem),
+            host: Host::new(host),
+            device,
             now: Time::ZERO,
             sampler: None,
             watchdog: None,
@@ -294,12 +307,12 @@ impl System {
     }
 
     /// The device model.
-    pub fn device(&self) -> &HmcDevice {
+    pub fn device(&self) -> &B {
         &self.device
     }
 
     /// Mutable device access (refresh coupling, data wipes).
-    pub fn device_mut(&mut self) -> &mut HmcDevice {
+    pub fn device_mut(&mut self) -> &mut B {
         &mut self.device
     }
 
@@ -334,7 +347,7 @@ impl System {
     /// write limit applies as soon as the run has completed any write —
     /// the paper's ~10 °C earlier write-workload shutdowns.
     fn apply_thermal_spike(&mut self, at: Time, surface_c: f64) {
-        let writes = self.device.stats().writes_completed > 0;
+        let writes = self.device.core_stats().writes_completed > 0;
         match self.policy.check(surface_c, writes) {
             Ok(ThermalEvent::Normal) => {}
             Ok(ThermalEvent::RefreshBoost) => self.device.set_refresh_multiplier(2),
@@ -374,7 +387,7 @@ impl System {
     /// The event-pump core of [`System::step_until`] (no thermal
     /// barriers).
     fn step_events_until(&mut self, end: Time) {
-        let links = self.device.config().links.num_links() as usize;
+        let links = self.device.num_links();
         let mut outputs: Vec<DeviceOutput> = Vec::new();
         loop {
             let t = match (self.host.next_time(), self.device.next_time()) {
@@ -399,7 +412,7 @@ impl System {
             }
             if self.host.any_node_stalled() {
                 for l in 0..links {
-                    let free = self.device.ingress_free(l);
+                    let free = self.device.free_slots(l);
                     if free > 0 {
                         self.host.notify_credit(l, free, t);
                     }

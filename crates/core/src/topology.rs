@@ -59,6 +59,7 @@ use hmc_types::trace::Stage;
 use hmc_types::{
     ChainShard, CubeInterleave, MemoryRequest, MemoryResponse, RequestSize, Time, TimeDelta,
 };
+use mem_backend::MemoryBackend;
 use sim_engine::pdes::{
     Envelope, EpochProfiler, EpochSample, EpochShard, LookaheadTable, Mailbox, MsgKey,
     PoolUtilization, ShardPool,
@@ -428,18 +429,18 @@ fn send_via(port: &mut Port, outbox: &mut Vec<Envelope<HopMsg>>, at: Time, msg: 
 /// toward their target. Host flow control sees the *tightest* window
 /// along the local fan-out (device ingress and every adjacent outgoing
 /// hop queue), which is conservative but never over-commits a queue.
-struct ShardSink<'a> {
+struct ShardSink<'a, B: MemoryBackend> {
     shard: usize,
     topo: &'a Topology,
-    device: &'a mut HmcDevice,
+    device: &'a mut B,
     ports: &'a mut [Port],
     outbox: &'a mut Vec<Envelope<HopMsg>>,
     hop_tracer: &'a mut Tracer,
 }
 
-impl LinkSink for ShardSink<'_> {
+impl<B: MemoryBackend> LinkSink for ShardSink<'_, B> {
     fn free_slots(&self, link: usize) -> usize {
-        let mut free = self.device.ingress_free(link);
+        let mut free = self.device.free_slots(link);
         for p in self.ports.iter() {
             free = free.min(p.req_tx[link].link.ingress_free());
         }
@@ -477,12 +478,12 @@ impl LinkSink for ShardSink<'_> {
 /// total order, so the shard computes the same states no matter which
 /// thread (or how many) runs its epochs.
 #[derive(Debug)]
-struct CubeShard {
+struct CubeShard<B: MemoryBackend = HmcDevice> {
     idx: usize,
     topo: Topology,
     links: usize,
     host: Host,
-    device: HmcDevice,
+    device: B,
     sampler: Option<MetricsSampler>,
     ports: Vec<Port>,
     inbox: Mailbox<HopMsg>,
@@ -503,7 +504,7 @@ struct CubeShard {
     hol_parked: TimeDelta,
 }
 
-impl CubeShard {
+impl<B: MemoryBackend> CubeShard<B> {
     /// Index of the port facing adjacent shard `peer`.
     fn port_toward(&self, peer: usize) -> usize {
         self.ports
@@ -662,7 +663,7 @@ impl CubeShard {
         // 5. Wake a stalled host if any fan-out window opened.
         if self.host.any_node_stalled() {
             for l in 0..self.links {
-                let mut free = self.device.ingress_free(l);
+                let mut free = self.device.free_slots(l);
                 for p in &self.ports {
                     free = free.min(p.req_tx[l].link.ingress_free());
                 }
@@ -803,7 +804,7 @@ impl CubeShard {
     }
 }
 
-impl EpochShard for CubeShard {
+impl<B: MemoryBackend> EpochShard for CubeShard<B> {
     /// Pumps every instant strictly before `end` — the epoch window is
     /// half-open, so a message timestamped exactly `end` lands in the
     /// next epoch on every shard alike.
@@ -837,10 +838,10 @@ impl EpochShard for CubeShard {
 /// # Ok::<(), hmc_types::HmcError>(())
 /// ```
 #[derive(Debug)]
-pub struct ChainSystem {
+pub struct ChainSystem<B: MemoryBackend = HmcDevice> {
     cfg: SystemConfig,
     topo: Topology,
-    shards: Vec<CubeShard>,
+    shards: Vec<CubeShard<B>>,
     /// Per-edge conservative lookahead (`None` for a single cube, which
     /// has no edges and no epochs).
     lookahead: Option<LookaheadTable>,
@@ -848,7 +849,7 @@ pub struct ChainSystem {
     workers: usize,
     /// Lazily-spawned persistent worker pool (only when `workers > 1` and
     /// the topology is multi-cube).
-    pool: Option<ShardPool<CubeShard>>,
+    pool: Option<ShardPool<CubeShard<B>>>,
     now: Time,
     watchdog: Option<Watchdog>,
     /// Pending thermal spikes `(at, °C, cube)`, sorted ascending.
@@ -884,6 +885,26 @@ impl ChainSystem {
     /// cross-shard message can carry, and therefore the conservative
     /// epoch bound.
     pub fn new(cfg: SystemConfig, topo: Topology) -> Self {
+        let base_seed = cfg.mem.link_seed;
+        ChainSystem::with_devices(cfg, topo, |s, cfg| {
+            let mut mc = cfg.mem.clone();
+            mc.link_seed = base_seed ^ ((s as u64) << 8);
+            HmcDevice::new(mc)
+        })
+    }
+}
+
+impl<B: MemoryBackend> ChainSystem<B> {
+    /// Builds an idle multi-cube system from a per-cube backend factory —
+    /// the generic analogue of [`ChainSystem::new`]. The hop links joining
+    /// adjacent cubes stay HMC pass-through serializers (cube chaining is
+    /// an HMC-specification feature; the backend only replaces what sits
+    /// behind each cube's host-facing ports).
+    pub fn with_devices(
+        cfg: SystemConfig,
+        topo: Topology,
+        mut factory: impl FnMut(usize, &SystemConfig) -> B,
+    ) -> Self {
         let n = topo.cubes() as usize;
         let shard = topo.shard();
         let links = cfg.mem.links.num_links() as usize;
@@ -897,9 +918,7 @@ impl ChainSystem {
             hc.request_id_base = (s as u64) << ORIGIN_SHIFT;
             hc.rng_salt = (s as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let host = Host::new(hc);
-            let mut mc = cfg.mem.clone();
-            mc.link_seed = cfg.mem.link_seed ^ ((s as u64) << 8);
-            let device = HmcDevice::new(mc);
+            let device = factory(s, &cfg);
             let mut ports = Vec::new();
             for b in topo.neighbors(s) {
                 let (e, up) = topo.hop_between(s, b);
@@ -992,12 +1011,12 @@ impl ChainSystem {
     }
 
     /// The device of cube `s`.
-    pub fn device(&self, s: usize) -> &HmcDevice {
+    pub fn device(&self, s: usize) -> &B {
         &self.shards[s].device
     }
 
     /// Mutable device access.
-    pub fn device_mut(&mut self, s: usize) -> &mut HmcDevice {
+    pub fn device_mut(&mut self, s: usize) -> &mut B {
         &mut self.shards[s].device
     }
 
@@ -1368,7 +1387,7 @@ impl ChainSystem {
     }
 
     fn apply_thermal_spike(&mut self, cube: usize, at: Time, surface_c: f64) {
-        let writes = self.shards[cube].device.stats().writes_completed > 0;
+        let writes = self.shards[cube].device.core_stats().writes_completed > 0;
         match self.policy.check(surface_c, writes) {
             Ok(ThermalEvent::Normal) => {}
             Ok(ThermalEvent::RefreshBoost) => self.shards[cube].device.set_refresh_multiplier(2),
@@ -1463,7 +1482,7 @@ impl ChainSystem {
             sh.outputs = outputs;
             if sh.host.any_node_stalled() {
                 for l in 0..sh.links {
-                    let free = sh.device.ingress_free(l);
+                    let free = sh.device.free_slots(l);
                     if free > 0 {
                         sh.host.notify_credit(l, free, t);
                     }
@@ -1511,7 +1530,7 @@ impl ChainSystem {
             // [next, next + delta) is conservative.
             let window = (next + delta).min(cap);
             if let Some(pool) = (self.workers > 1).then_some(self.pool.as_mut()).flatten() {
-                let owned: Vec<(usize, CubeShard)> = self.shards.drain(..).enumerate().collect();
+                let owned: Vec<(usize, CubeShard<B>)> = self.shards.drain(..).enumerate().collect();
                 let back = pool.run_epoch(owned, window);
                 self.shards.extend(back.into_iter().map(|(_, sh)| sh));
             } else {

@@ -26,6 +26,10 @@
 //! assert!(done.as_ns_f64() < 100.0, "one access is tens of ns");
 //! ```
 
+pub mod device;
+
+pub use device::{DdrDevice, DdrDeviceConfig};
+
 use hmc_types::{Time, TimeDelta};
 use sim_engine::Histogram;
 
@@ -65,6 +69,18 @@ pub struct DdrConfig {
 }
 
 impl DdrConfig {
+    /// Looks up a configuration by preset label — the same vocabulary the
+    /// backend selector uses (`ddr3-1600`, `ddr3-1600-closed`). All DDR
+    /// configurations flow through these named presets; there are no
+    /// loose constructors.
+    pub fn preset(label: &str) -> Option<Self> {
+        match label {
+            "ddr3-1600" => Some(Self::ddr3_1600()),
+            "ddr3-1600-closed" => Some(Self::ddr3_1600_closed_page()),
+            _ => None,
+        }
+    }
+
     /// DDR3-1600: 11-11-11 timings, 8 banks, 12.8 GB/s bus.
     pub fn ddr3_1600() -> Self {
         DdrConfig {

@@ -4,11 +4,12 @@
 //! reach *down*:
 //!
 //! ```text
-//! layer 0  types                                  (vocabulary)
-//! layer 1  engine                                 (DES kernel)
-//! layer 2  mem  host  thermal  power  ddr         (device models)
-//! layer 3  core  pim                              (assembled systems)
-//! layer 4  bench                                  (harnesses, CLI)
+//! layer 0  types                           (vocabulary)
+//! layer 1  engine                          (DES kernel)
+//! layer 2  backend                         (the MemoryBackend trait)
+//! layer 3  mem  host  thermal  power  ddr  (device models)
+//! layer 4  core  pim                       (assembled systems)
+//! layer 5  bench                           (harnesses, CLI)
 //! ```
 //!
 //! `ddr-baseline` sits in the model layer (not beside `core` as a peer)
@@ -28,7 +29,7 @@
 //!
 //! Upward imports (a model crate reaching into `core`) and lateral
 //! imports (`mem` reaching into `host`) both fail, so future backends
-//! can slot into layer 2 without tangling their siblings.
+//! can slot into the model layer without tangling their siblings.
 
 use crate::lexer::{Token, TokenKind};
 use crate::Finding;
@@ -68,66 +69,78 @@ pub const LAYERS: &[LayerSpec] = &[
         allowed: &["types"],
     },
     LayerSpec {
+        dir: "backend",
+        package: "mem-backend",
+        ident: "mem_backend",
+        layer: 2,
+        // The trait crate sits below every device model and must never
+        // import the host or system layers: backends plug into the
+        // host, not the other way around.
+        allowed: &["types", "engine"],
+    },
+    LayerSpec {
         dir: "mem",
         package: "hmc-mem",
         ident: "hmc_mem",
-        layer: 2,
-        allowed: &["types", "engine"],
+        layer: 3,
+        allowed: &["types", "engine", "backend"],
     },
     LayerSpec {
         dir: "host",
         package: "hmc-host",
         ident: "hmc_host",
-        layer: 2,
+        layer: 3,
         allowed: &["types", "engine"],
     },
     LayerSpec {
         dir: "thermal",
         package: "hmc-thermal",
         ident: "hmc_thermal",
-        layer: 2,
+        layer: 3,
         allowed: &["types", "engine"],
     },
     LayerSpec {
         dir: "power",
         package: "hmc-power",
         ident: "hmc_power",
-        layer: 2,
+        layer: 3,
         allowed: &["types", "engine"],
     },
     LayerSpec {
         dir: "ddr",
         package: "ddr-baseline",
         ident: "ddr_baseline",
-        layer: 2,
-        allowed: &["types", "engine"],
+        layer: 3,
+        allowed: &["types", "engine", "backend"],
     },
     LayerSpec {
         dir: "core",
         package: "hmc-core",
         ident: "hmc_core",
-        layer: 3,
-        allowed: &["types", "engine", "mem", "host", "thermal", "power", "ddr"],
+        layer: 4,
+        allowed: &[
+            "types", "engine", "backend", "mem", "host", "thermal", "power", "ddr",
+        ],
     },
     LayerSpec {
         dir: "pim",
         package: "hmc-pim",
         ident: "hmc_pim",
-        layer: 3,
+        layer: 4,
         allowed: &["types", "engine", "mem", "thermal", "power"],
     },
     LayerSpec {
         dir: "bench",
         package: "hmc-bench",
         ident: "hmc_bench",
-        layer: 4,
+        layer: 5,
         allowed: &["types", "engine", "core", "pim"],
     },
     LayerSpec {
         dir: "lint",
         package: "hmc-lint",
         ident: "hmc_lint",
-        layer: 4,
+        layer: 5,
         allowed: &[],
     },
 ];

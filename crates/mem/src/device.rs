@@ -17,16 +17,11 @@ use crate::xbar::Xbar;
 
 /// A response leaving the device, timestamped with the instant its last
 /// flit crossed the link (the host's RX pipeline starts then).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct DeviceOutput {
-    /// The response record (with `completed_at` set to the link-exit time;
-    /// the host overwrites it after its RX pipeline).
-    pub resp: MemoryResponse,
-    /// Link the response left on.
-    pub link: usize,
-    /// Link-exit instant.
-    pub at: Time,
-}
+///
+/// This is the backend-neutral [`mem_backend::BackendOutput`] under its
+/// historical device-side name; every existing construction and
+/// destructuring site keeps compiling unchanged.
+pub type DeviceOutput = mem_backend::BackendOutput;
 
 /// Declares a plain counter struct plus its field-wise [`Sub`] — the
 /// single source of truth for window deltas. Adding a counter here makes
@@ -1053,6 +1048,138 @@ impl HmcDevice {
                 seq: self.wake_seq[v],
             },
         );
+    }
+}
+
+/// The HMC device behind the pluggable-backend seam. Every method
+/// delegates to the inherent implementation above, so a `System<HmcDevice>`
+/// driven through the trait is bit-identical to one calling the inherent
+/// API directly.
+impl mem_backend::MemoryBackend for HmcDevice {
+    fn label(&self) -> &'static str {
+        match self.cfg.spec.version() {
+            hmc_types::HmcVersion::Gen3 => "hmc-gen3",
+            _ => "hmc",
+        }
+    }
+
+    fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    fn address_layout(&self) -> mem_backend::AddressLayout {
+        mem_backend::AddressLayout::of_mapping(
+            "hmc-low-interleave",
+            self.cfg.mapping,
+            &self.cfg.spec,
+        )
+    }
+
+    fn can_accept(&self, link: usize) -> bool {
+        HmcDevice::can_accept(self, link)
+    }
+
+    fn free_slots(&self, link: usize) -> usize {
+        self.ingress_free(link)
+    }
+
+    fn submit(&mut self, link: usize, req: MemoryRequest, now: Time) -> Result<(), MemoryRequest> {
+        HmcDevice::submit(self, link, req, now)
+    }
+
+    fn next_time(&self) -> Option<Time> {
+        HmcDevice::next_time(self)
+    }
+
+    fn now(&self) -> Time {
+        HmcDevice::now(self)
+    }
+
+    fn pending_events(&self) -> usize {
+        HmcDevice::pending_events(self)
+    }
+
+    fn advance(&mut self, until: Time, out: &mut Vec<DeviceOutput>) {
+        HmcDevice::advance(self, until, out);
+    }
+
+    fn advance_instant(&mut self, t: Time, out: &mut Vec<DeviceOutput>) {
+        HmcDevice::advance_instant(self, t, out);
+    }
+
+    fn events_processed(&self) -> u64 {
+        HmcDevice::events_processed(self)
+    }
+
+    fn total_queued(&self) -> usize {
+        HmcDevice::total_queued(self)
+    }
+
+    fn channels_in_flight(&self, now: Time) -> usize {
+        self.vaults
+            .iter()
+            .filter(|v| v.queued() > 0 || v.busy_banks(now) > 0)
+            .count()
+    }
+
+    fn core_stats(&self) -> mem_backend::CoreStats {
+        let s = self.stats();
+        mem_backend::CoreStats {
+            reads_completed: s.reads_completed,
+            writes_completed: s.writes_completed,
+            data_read_bytes: s.data_read_bytes,
+            data_write_bytes: s.data_write_bytes,
+            bytes_up: s.bytes_up,
+            bytes_down: s.bytes_down,
+        }
+    }
+
+    fn sample_metrics(&self, at: Time, s: &mut MetricsSampler) {
+        HmcDevice::sample_metrics(self, at, s);
+    }
+
+    fn tracer(&self) -> &Tracer {
+        HmcDevice::tracer(self)
+    }
+
+    fn tracer_mut(&mut self) -> &mut Tracer {
+        HmcDevice::tracer_mut(self)
+    }
+
+    fn enable_sanitizer(&mut self) {
+        HmcDevice::enable_sanitizer(self);
+    }
+
+    fn sanitizer(&self) -> &Sanitizer {
+        HmcDevice::sanitizer(self)
+    }
+
+    fn sanitizer_mut(&mut self) -> &mut Sanitizer {
+        HmcDevice::sanitizer_mut(self)
+    }
+
+    fn diagnostic_dump(&self, at: Time) -> String {
+        HmcDevice::diagnostic_dump(self, at)
+    }
+
+    fn schedule_fault(&mut self, at: Time, kind: FaultKind) {
+        HmcDevice::schedule_fault(self, at, kind);
+    }
+
+    fn reset_after_shutdown(&mut self, resume: Time) {
+        HmcDevice::reset_after_shutdown(self, resume);
+    }
+
+    fn set_refresh_multiplier(&mut self, m: u32) {
+        HmcDevice::set_refresh_multiplier(self, m);
+    }
+
+    fn refresh_multiplier(&self) -> u32 {
+        HmcDevice::refresh_multiplier(self)
+    }
+
+    fn wipe_data(&mut self) {
+        HmcDevice::wipe_data(self);
     }
 }
 

@@ -49,6 +49,7 @@
 pub mod config;
 pub mod device;
 pub mod dram;
+pub mod hbm;
 pub mod link;
 pub mod store;
 pub mod vault;
@@ -58,4 +59,5 @@ pub use config::{
     DramTiming, LinkLayerConfig, MemConfig, PagePolicy, RefreshConfig, VaultConfig, XbarConfig,
 };
 pub use device::{DeviceOutput, DeviceStats, HmcDevice, PIM_LINK};
+pub use hbm::{HbmConfig, HbmDevice};
 pub use store::SparseStore;

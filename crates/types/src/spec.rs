@@ -20,6 +20,12 @@ pub enum HmcVersion {
     /// HMC 2.0: 32 vaults, up to 512 banks; hardware unavailable at the
     /// time of the paper.
     Hmc2,
+    /// A projected Gen3 geometry: the HMC 2.0 stack doubled again to 64
+    /// vaults, paired with the four full-width-link arrangement
+    /// ([`LinkConfig::gen3`]). Never built — the extrapolation point the
+    /// paper's conclusion gestures at ("generic to the class of
+    /// 3D-memory systems").
+    Gen3,
 }
 
 impl fmt::Display for HmcVersion {
@@ -28,6 +34,7 @@ impl fmt::Display for HmcVersion {
             HmcVersion::Gen1 => "HMC 1.0 (Gen1)",
             HmcVersion::Gen2 => "HMC 1.1 (Gen2)",
             HmcVersion::Hmc2 => "HMC 2.0",
+            HmcVersion::Gen3 => "HMC Gen3 (projected)",
         };
         f.write_str(s)
     }
@@ -82,6 +89,15 @@ impl HmcSpec {
                 layer_bits: 4 << 30,
                 quadrants: 4,
                 vaults: 32,
+                banks_per_vault: 16,
+            },
+            HmcVersion::Gen3 => HmcSpec {
+                version,
+                capacity_bytes: 16 << 30,
+                dram_layers: 16,
+                layer_bits: 8 << 30,
+                quadrants: 4,
+                vaults: 64,
                 banks_per_vault: 16,
             },
         }
@@ -325,6 +341,17 @@ impl LinkConfig {
         }
     }
 
+    /// The projected Gen3 link arrangement: four full-width links at
+    /// 15 Gb/s — a 240 GB/s bidirectional peak, four times the AC-510
+    /// board's.
+    pub fn gen3() -> Self {
+        LinkConfig {
+            num_links: 4,
+            width: LinkWidth::Full,
+            speed: LinkSpeed::G15,
+        }
+    }
+
     /// Number of links.
     pub const fn num_links(&self) -> u32 {
         self.num_links
@@ -421,6 +448,21 @@ mod tests {
         assert_eq!(s.vaults_per_quadrant(), 8);
         assert_eq!(s.total_banks(), 512);
         assert_eq!(s.bank_bytes(), 16 << 20);
+    }
+
+    #[test]
+    fn gen3_projection() {
+        let s = HmcSpec::of(HmcVersion::Gen3);
+        assert_eq!(s.num_vaults(), 64);
+        assert_eq!(s.vault_bits(), 6);
+        assert_eq!(s.total_banks(), 1024);
+        assert_eq!(s.capacity_bytes(), 16 << 30);
+        let l = LinkConfig::gen3();
+        assert_eq!(l.num_links(), 4);
+        assert_eq!(l.width().lanes(), 16);
+        // 4 x 16 lanes x 15 Gb/s x 2 directions = 240 GB/s.
+        assert_eq!(l.peak_bandwidth_bytes_per_sec(), 240_000_000_000);
+        assert!(format!("{}", HmcVersion::Gen3).contains("Gen3"));
     }
 
     #[test]
